@@ -1,0 +1,268 @@
+//! The approximation methods the paper positions KnightKing against (§3).
+//!
+//! Because exact dynamic sampling was considered unaffordable at scale,
+//! deployed node2vec systems approximate:
+//!
+//! * **Edge trimming** (node2vec-on-spark): vertices above a degree cap
+//!   keep only a sample of their edges (30 in the original), shrinking
+//!   the pre-computation to ~`900·|V|` transition probabilities — at the
+//!   cost of walking a *different graph*.
+//! * **Static switch** (Fast-Node2Vec): at high-degree vertices the
+//!   dynamic component is simply ignored (pure static sampling), since
+//!   hubs are exactly where the per-step scan hurts most — at the cost
+//!   of a *different distribution* precisely at the vertices visited
+//!   most often.
+//!
+//! KnightKing's claim is that rejection sampling makes both workarounds
+//! unnecessary: exact sampling at the approximations' speed. The
+//! `approx` benchmark binary quantifies each method's distributional
+//! error against exact node2vec alongside its run time.
+
+use knightking_core::{CsrGraph, EdgeView, OutlierSlot, VertexId, Walker, WalkerProgram};
+use knightking_graph::GraphBuilder;
+use knightking_sampling::DeterministicRng;
+use knightking_walks::Node2Vec;
+
+/// Trims every vertex with out-degree above `max_degree` down to a
+/// uniform random sample of `max_degree` out-edges (the
+/// node2vec-on-spark pre-processing; the original uses 30).
+///
+/// Trimming is per-direction, so an undirected graph loses symmetry at
+/// trimmed hubs — as in the original. Weights and types are carried
+/// along with the surviving edges.
+pub fn trim_high_degree(graph: &CsrGraph, max_degree: usize, seed: u64) -> CsrGraph {
+    let mut rng = DeterministicRng::for_stream(seed, 0x7219);
+    let mut b = GraphBuilder::directed(graph.vertex_count());
+    if graph.is_weighted() {
+        b = b.with_weights();
+    }
+    if graph.is_typed() {
+        b = b.with_edge_types();
+    }
+    for v in 0..graph.vertex_count() as VertexId {
+        let deg = graph.degree(v);
+        if deg <= max_degree {
+            for e in graph.edges(v) {
+                b.add_full_edge(v, e.dst, e.weight, e.edge_type);
+            }
+        } else {
+            // Uniform sample without replacement (partial Fisher-Yates
+            // over the index set).
+            let mut idx: Vec<usize> = (0..deg).collect();
+            for i in 0..max_degree {
+                let j = i + rng.next_index(deg - i);
+                idx.swap(i, j);
+            }
+            for &i in &idx[..max_degree] {
+                let e = graph.edge(v, i);
+                b.add_full_edge(v, e.dst, e.weight, e.edge_type);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Fast-Node2Vec's approximation: at vertices whose degree exceeds
+/// `degree_threshold`, ignore the dynamic component and sample purely
+/// statically; elsewhere behave exactly like [`Node2Vec`].
+///
+/// Expressed as a regular [`WalkerProgram`] — the static-switch cases
+/// need neither queries nor rejection (`Pd ≡ 1` with a tight envelope),
+/// so the engine runs them at static-walk speed, faithfully mirroring
+/// the original optimization.
+#[derive(Debug, Clone, Copy)]
+pub struct StaticSwitchNode2Vec {
+    /// The exact algorithm used below the threshold.
+    pub inner: Node2Vec,
+    /// Degrees above this sample statically.
+    pub degree_threshold: usize,
+}
+
+impl StaticSwitchNode2Vec {
+    /// Wraps `inner` with a static switch at `degree_threshold`.
+    pub fn new(inner: Node2Vec, degree_threshold: usize) -> Self {
+        StaticSwitchNode2Vec {
+            inner,
+            degree_threshold,
+        }
+    }
+
+    #[inline]
+    fn switched(&self, graph: &CsrGraph, v: VertexId) -> bool {
+        graph.degree(v) > self.degree_threshold
+    }
+}
+
+impl WalkerProgram for StaticSwitchNode2Vec {
+    type Data = ();
+    type Query = VertexId;
+    type Answer = bool;
+    const SECOND_ORDER: bool = true;
+
+    fn init_data(&self, _id: u64, _start: VertexId) {}
+
+    fn should_terminate(&self, walker: &mut Walker<()>) -> bool {
+        self.inner.should_terminate(walker)
+    }
+
+    fn state_query(
+        &self,
+        walker: &Walker<()>,
+        candidate: EdgeView,
+    ) -> Option<(VertexId, VertexId)> {
+        // `candidate.src` is the residing vertex; the switch must not
+        // depend on graph data we cannot reach, and the residing vertex
+        // is always owned. Degree checks happen in dynamic_comp /
+        // upper_bound, which receive the graph; here we rely on the
+        // engine consulting us only for candidates it sampled at the
+        // residing vertex, whose degree gates everything below.
+        self.inner.state_query(walker, candidate)
+    }
+
+    fn answer_query(&self, graph: &CsrGraph, target: VertexId, candidate: VertexId) -> bool {
+        self.inner.answer_query(graph, target, candidate)
+    }
+
+    fn dynamic_comp(
+        &self,
+        graph: &CsrGraph,
+        walker: &Walker<()>,
+        edge: EdgeView,
+        answer: Option<bool>,
+    ) -> f64 {
+        if self.switched(graph, walker.current) {
+            1.0
+        } else {
+            self.inner.dynamic_comp(graph, walker, edge, answer)
+        }
+    }
+
+    fn upper_bound(&self, graph: &CsrGraph, walker: &Walker<()>) -> f64 {
+        if self.switched(graph, walker.current) {
+            1.0
+        } else {
+            self.inner.upper_bound(graph, walker)
+        }
+    }
+
+    fn lower_bound(&self, graph: &CsrGraph, walker: &Walker<()>) -> f64 {
+        if self.switched(graph, walker.current) {
+            1.0 // Pd ≡ 1: every dart pre-accepts, no queries at hubs.
+        } else {
+            self.inner.lower_bound(graph, walker)
+        }
+    }
+
+    fn declare_outliers(&self, graph: &CsrGraph, walker: &Walker<()>, out: &mut Vec<OutlierSlot>) {
+        if !self.switched(graph, walker.current) {
+            self.inner.declare_outliers(graph, walker, out);
+        }
+    }
+}
+
+/// Total variation distance between two visit-count vectors (normalized
+/// internally). The `approx` benchmark uses this to quantify each
+/// approximation's distributional error.
+pub fn total_variation(a: &[u64], b: &[u64]) -> f64 {
+    let ta: u64 = a.iter().sum();
+    let tb: u64 = b.iter().sum();
+    assert!(ta > 0 && tb > 0, "both distributions need mass");
+    0.5 * a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| (x as f64 / ta as f64 - y as f64 / tb as f64).abs())
+        .sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knightking_core::{RandomWalkEngine, WalkConfig, WalkerStarts};
+    use knightking_graph::gen;
+
+    #[test]
+    fn trimming_caps_degrees_and_keeps_small_vertices_intact() {
+        let g = gen::with_hotspots(500, 8, 2, 300, gen::GenOptions::paper_weighted(260));
+        let t = trim_high_degree(&g, 30, 1);
+        assert_eq!(t.vertex_count(), g.vertex_count());
+        for v in 0..500u32 {
+            if g.degree(v) <= 30 {
+                assert_eq!(t.neighbors(v), g.neighbors(v), "small vertex {v} altered");
+                assert_eq!(t.edge_weights(v), g.edge_weights(v));
+            } else {
+                assert_eq!(t.degree(v), 30, "hub {v} not capped");
+                // Every surviving edge existed in the original.
+                for &x in t.neighbors(v) {
+                    assert!(g.has_edge(v, x));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trimming_is_deterministic_per_seed() {
+        let g = gen::with_hotspots(200, 6, 1, 150, gen::GenOptions::seeded(261));
+        let a = trim_high_degree(&g, 20, 7);
+        let b = trim_high_degree(&g, 20, 7);
+        let c = trim_high_degree(&g, 20, 8);
+        for v in 0..200u32 {
+            assert_eq!(a.neighbors(v), b.neighbors(v));
+        }
+        assert!((0..200u32).any(|v| a.neighbors(v) != c.neighbors(v)));
+    }
+
+    #[test]
+    fn static_switch_with_huge_threshold_equals_exact() {
+        let g = gen::presets::twitter_like(9, gen::GenOptions::seeded(262));
+        let exact = RandomWalkEngine::new(
+            &g,
+            Node2Vec::new(2.0, 0.5, 12),
+            WalkConfig::single_node(263),
+        )
+        .run(WalkerStarts::Count(200));
+        let approx = StaticSwitchNode2Vec::new(Node2Vec::new(2.0, 0.5, 12), usize::MAX);
+        let same = RandomWalkEngine::new(&g, approx, WalkConfig::single_node(263))
+            .run(WalkerStarts::Count(200));
+        assert_eq!(exact.paths, same.paths);
+    }
+
+    #[test]
+    fn static_switch_skips_queries_at_hubs() {
+        // Star-heavy graph: almost every step resides at or moves through
+        // hubs, so a tiny threshold should eliminate most queries.
+        let g = gen::with_hotspots(800, 6, 4, 400, gen::GenOptions::seeded(264));
+        let exact = RandomWalkEngine::new(
+            &g,
+            Node2Vec::new(0.5, 2.0, 20),
+            WalkConfig::single_node(265),
+        )
+        .run(WalkerStarts::Count(400));
+        let approx = StaticSwitchNode2Vec::new(Node2Vec::new(0.5, 2.0, 20), 50);
+        let fast = RandomWalkEngine::new(&g, approx, WalkConfig::single_node(265))
+            .run(WalkerStarts::Count(400));
+        // Steps residing at hubs skip queries entirely; on this topology
+        // hubs host roughly a third of all steps.
+        assert!(
+            fast.metrics.queries < exact.metrics.queries * 3 / 4,
+            "approx queries {} vs exact {}",
+            fast.metrics.queries,
+            exact.metrics.queries
+        );
+        assert!(fast.metrics.edges_per_step() < exact.metrics.edges_per_step());
+        // And it changes the walk distribution — it is an approximation.
+        assert_ne!(exact.paths, fast.paths);
+    }
+
+    #[test]
+    fn total_variation_basics() {
+        assert_eq!(total_variation(&[10, 10], &[1, 1]), 0.0);
+        assert!((total_variation(&[1, 0], &[0, 1]) - 1.0).abs() < 1e-12);
+        assert!((total_variation(&[3, 1], &[1, 1]) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "mass")]
+    fn total_variation_rejects_empty() {
+        total_variation(&[0], &[1]);
+    }
+}

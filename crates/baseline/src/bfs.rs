@@ -1,0 +1,129 @@
+//! BSP breadth-first search on the simulated cluster.
+//!
+//! Figure 5 of the paper contrasts the *tail behavior* of graph traversal
+//! and random walk: BFS has a fast-growing, fast-shrinking active set
+//! (LiveJournal completes in ~12 iterations), while straggler-prone walks
+//! "converge" slowly with a long, thin tail of active walkers. This module
+//! provides the BFS half of that comparison, built on the same cluster
+//! substrate as the walk engines.
+
+use knightking_cluster::run_cluster;
+use knightking_graph::{CsrGraph, Partition, VertexId};
+
+/// Runs a BFS from `source` on `n_nodes` simulated nodes and returns the
+/// frontier size at each iteration (the Figure 5 "active vertices"
+/// series).
+///
+/// # Panics
+///
+/// Panics if `source` is out of range or `n_nodes == 0`.
+pub fn bfs_frontier_sizes(graph: &CsrGraph, n_nodes: usize, source: VertexId) -> Vec<u64> {
+    assert!(
+        (source as usize) < graph.vertex_count(),
+        "source out of range"
+    );
+    let partition = Partition::balanced(graph, n_nodes, 1.0);
+
+    let results = run_cluster::<VertexId, _, _>(n_nodes, |ctx| {
+        let me = ctx.node;
+        let range = partition.range(me);
+        let base = range.start;
+        let mut visited = vec![false; (range.end - range.start) as usize];
+        let mut frontier: Vec<VertexId> = Vec::new();
+        if partition.owner(source) == me {
+            visited[(source - base) as usize] = true;
+            frontier.push(source);
+        }
+        let mut sizes = Vec::new();
+
+        loop {
+            let frontier_total = ctx.allreduce_sum(frontier.len() as u64);
+            if frontier_total == 0 {
+                break;
+            }
+            sizes.push(frontier_total);
+
+            let mut outbox: Vec<Vec<VertexId>> = (0..ctx.n_nodes()).map(|_| Vec::new()).collect();
+            for &v in &frontier {
+                for &x in graph.neighbors(v) {
+                    outbox[partition.owner(x)].push(x);
+                }
+            }
+            let inbox = ctx.exchange(outbox);
+            frontier.clear();
+            for x in inbox {
+                let slot = &mut visited[(x - base) as usize];
+                if !*slot {
+                    *slot = true;
+                    frontier.push(x);
+                }
+            }
+        }
+        sizes
+    });
+    results.into_iter().next().unwrap_or_default()
+}
+
+/// Total vertices reached by the BFS (for reachability checks in tests).
+pub fn bfs_reached(graph: &CsrGraph, n_nodes: usize, source: VertexId) -> u64 {
+    bfs_frontier_sizes(graph, n_nodes, source).iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knightking_graph::{gen, GraphBuilder};
+
+    #[test]
+    fn path_graph_has_unit_frontiers() {
+        let mut b = GraphBuilder::undirected(5);
+        for v in 0..4u32 {
+            b.add_edge(v, v + 1);
+        }
+        let g = b.build();
+        assert_eq!(bfs_frontier_sizes(&g, 1, 0), vec![1, 1, 1, 1, 1]);
+        assert_eq!(bfs_frontier_sizes(&g, 3, 0), vec![1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn star_graph_two_levels() {
+        let mut b = GraphBuilder::undirected(10);
+        for v in 1..10u32 {
+            b.add_edge(0, v);
+        }
+        let g = b.build();
+        assert_eq!(bfs_frontier_sizes(&g, 2, 0), vec![1, 9]);
+        assert_eq!(bfs_frontier_sizes(&g, 2, 3), vec![1, 1, 8]);
+    }
+
+    #[test]
+    fn disconnected_components_unreached() {
+        let mut b = GraphBuilder::undirected(6);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(3, 4); // separate component
+        let g = b.build();
+        assert_eq!(bfs_reached(&g, 2, 0), 3);
+        assert_eq!(bfs_reached(&g, 2, 3), 2);
+        assert_eq!(bfs_reached(&g, 2, 5), 1);
+    }
+
+    #[test]
+    fn node_count_does_not_change_levels() {
+        let g = gen::presets::livejournal_like(10, gen::GenOptions::seeded(90));
+        let one = bfs_frontier_sizes(&g, 1, 0);
+        let four = bfs_frontier_sizes(&g, 4, 0);
+        assert_eq!(one, four);
+    }
+
+    #[test]
+    fn social_graph_completes_in_few_iterations() {
+        // The Figure 5 shape: a social graph's BFS has a short, fat
+        // frontier curve.
+        let g = gen::presets::livejournal_like(12, gen::GenOptions::seeded(91));
+        let sizes = bfs_frontier_sizes(&g, 4, 0);
+        assert!(sizes.len() < 20, "BFS took {} iterations", sizes.len());
+        let peak = *sizes.iter().max().unwrap();
+        assert!(peak as usize > g.vertex_count() / 10);
+    }
+}

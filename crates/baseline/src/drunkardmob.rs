@@ -1,0 +1,217 @@
+//! A DrunkardMob-style single-machine walker engine.
+//!
+//! DrunkardMob (RecSys '13) is the only prior *system* study of graph
+//! random walk the paper identifies (§3): billions of walks on one
+//! machine, made fast by processing walkers **grouped by the vertex
+//! neighborhood they currently occupy**, so each pass streams the graph
+//! in vertex order with good cache/disk locality instead of chasing each
+//! walker's pointer independently. It supports static walks only — also
+//! noted by the paper.
+//!
+//! This module reimplements the in-memory essence of that design: walkers
+//! live in per-bucket queues keyed by their current vertex range; an
+//! iteration sweeps buckets in vertex order and advances every resident
+//! walker one step. Useful as a third comparison point (walker-locality
+//! vs KnightKing's partition-BSP vs naive per-walker pointer chasing) and
+//! exercised by the engine benchmark suite.
+
+use std::time::Instant;
+
+use knightking_core::{Walker, WalkerStarts};
+use knightking_graph::{CsrGraph, VertexId};
+use knightking_sampling::AliasTable;
+
+use crate::{spec::BaselineSpec, BaselineResult};
+
+/// In-memory DrunkardMob-style runner for *static* walks.
+pub struct DrunkardMobRunner<'g, S: BaselineSpec> {
+    graph: &'g CsrGraph,
+    spec: S,
+    /// Number of vertex buckets walkers are grouped into.
+    pub buckets: usize,
+    /// Run seed (per-walker streams as everywhere else).
+    pub seed: u64,
+    /// Record full walk paths.
+    pub record_paths: bool,
+}
+
+impl<'g, S: BaselineSpec> DrunkardMobRunner<'g, S> {
+    /// Creates a runner with `buckets` vertex groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `S::DYNAMIC` — DrunkardMob supports static walks only.
+    pub fn new(graph: &'g CsrGraph, spec: S, buckets: usize, seed: u64) -> Self {
+        assert!(
+            !S::DYNAMIC,
+            "DrunkardMob-style execution supports static walks only (as the paper notes)"
+        );
+        DrunkardMobRunner {
+            graph,
+            spec,
+            buckets: buckets.max(1),
+            seed,
+            record_paths: false,
+        }
+    }
+
+    /// Enables path recording.
+    pub fn with_paths(mut self) -> Self {
+        self.record_paths = true;
+        self
+    }
+
+    #[inline]
+    fn bucket_of(&self, v: VertexId) -> usize {
+        (v as usize * self.buckets / self.graph.vertex_count().max(1)).min(self.buckets - 1)
+    }
+
+    /// Walks all walkers to completion.
+    pub fn run(&self, starts: WalkerStarts) -> BaselineResult {
+        let graph = self.graph;
+        let starts = starts.materialize(graph.vertex_count());
+        let begin = Instant::now();
+
+        // Static pre-computation, as in FullScanRunner.
+        let alias: Vec<Option<AliasTable>> = (0..graph.vertex_count())
+            .map(|v| {
+                let v = v as VertexId;
+                if graph.degree(v) == 0 {
+                    return None;
+                }
+                let w: Vec<f64> = graph.edges(v).map(|e| e.weight as f64).collect();
+                AliasTable::new(&w).ok()
+            })
+            .collect();
+
+        // Per-bucket walker queues plus per-walker recorded paths.
+        let mut buckets: Vec<Vec<Walker<S::Data>>> =
+            (0..self.buckets).map(|_| Vec::new()).collect();
+        let mut paths: Vec<Vec<VertexId>> = if self.record_paths {
+            starts.iter().map(|&s| vec![s]).collect()
+        } else {
+            Vec::new()
+        };
+        for (id, &start) in starts.iter().enumerate() {
+            let data = self.spec.init_data(id as u64, start);
+            let w = Walker::new(id as u64, start, self.seed, data);
+            buckets[self.bucket_of(start)].push(w);
+        }
+
+        let mut result = BaselineResult::default();
+        let mut active = starts.len();
+        let mut incoming: Vec<Vec<Walker<S::Data>>> =
+            (0..self.buckets).map(|_| Vec::new()).collect();
+        while active > 0 {
+            result.iterations += 1;
+            // Sweep buckets in vertex order — the locality trick.
+            for b in 0..self.buckets {
+                let mut residents = std::mem::take(&mut buckets[b]);
+                for mut walker in residents.drain(..) {
+                    if self.spec.terminate(&mut walker) {
+                        result.finished_walkers += 1;
+                        active -= 1;
+                        continue;
+                    }
+                    let v = walker.current;
+                    let Some(table) = &alias[v as usize] else {
+                        result.finished_walkers += 1;
+                        active -= 1;
+                        continue;
+                    };
+                    let dst = graph.edge(v, table.sample(&mut walker.rng)).dst;
+                    walker.advance(dst);
+                    result.steps += 1;
+                    if self.record_paths {
+                        paths[walker.id as usize].push(dst);
+                    }
+                    incoming[self.bucket_of(dst)].push(walker);
+                }
+                buckets[b] = residents; // reuse allocation
+            }
+            for (b, inc) in incoming.iter_mut().enumerate() {
+                buckets[b].append(inc);
+            }
+        }
+
+        result.paths = paths;
+        result.elapsed = begin.elapsed();
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{DeepWalkSpec, PprSpec};
+    use knightking_graph::gen;
+
+    #[test]
+    fn walks_complete_with_correct_lengths() {
+        let g = gen::uniform_degree(300, 6, gen::GenOptions::seeded(240));
+        let r = DrunkardMobRunner::new(&g, DeepWalkSpec { walk_length: 15 }, 8, 241)
+            .with_paths()
+            .run(WalkerStarts::PerVertex);
+        assert_eq!(r.finished_walkers, 300);
+        assert_eq!(r.steps, 300 * 15);
+        assert!(r.paths.iter().all(|p| p.len() == 16));
+        for p in &r.paths {
+            for w in p.windows(2) {
+                assert!(g.has_edge(w[0], w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn identical_trajectories_to_full_scan_runner() {
+        // Same per-walker RNG streams and same static sampler ⇒ the
+        // bucketed schedule must not change any trajectory.
+        let g = gen::uniform_degree(200, 5, gen::GenOptions::paper_weighted(242));
+        let spec = DeepWalkSpec { walk_length: 12 };
+        let mob = DrunkardMobRunner::new(&g, spec, 16, 243)
+            .with_paths()
+            .run(WalkerStarts::PerVertex);
+        let full = crate::FullScanRunner::new(&g, spec, 2, 243)
+            .with_paths()
+            .run(WalkerStarts::PerVertex);
+        assert_eq!(mob.paths, full.paths);
+    }
+
+    #[test]
+    fn geometric_termination_works() {
+        let g = gen::uniform_degree(100, 4, gen::GenOptions::seeded(244));
+        let r = DrunkardMobRunner::new(
+            &g,
+            PprSpec {
+                termination_prob: 0.25,
+            },
+            4,
+            245,
+        )
+        .run(WalkerStarts::Count(10_000));
+        let mean = r.steps as f64 / 10_000.0;
+        assert!((mean - 3.0).abs() < 0.2, "mean {mean}"); // (1-p)/p = 3
+    }
+
+    #[test]
+    fn bucket_count_does_not_change_results() {
+        let g = gen::presets::livejournal_like(9, gen::GenOptions::seeded(246));
+        let spec = DeepWalkSpec { walk_length: 10 };
+        let one = DrunkardMobRunner::new(&g, spec, 1, 247)
+            .with_paths()
+            .run(WalkerStarts::Count(200));
+        let many = DrunkardMobRunner::new(&g, spec, 64, 247)
+            .with_paths()
+            .run(WalkerStarts::Count(200));
+        assert_eq!(one.paths, many.paths);
+    }
+
+    #[test]
+    #[should_panic(expected = "static walks only")]
+    fn dynamic_specs_rejected() {
+        use crate::spec::Node2VecSpec;
+        use knightking_walks::Node2Vec;
+        let g = gen::uniform_degree(10, 2, gen::GenOptions::seeded(248));
+        let _ = DrunkardMobRunner::new(&g, Node2VecSpec::from(Node2Vec::paper()), 4, 1);
+    }
+}

@@ -1,0 +1,279 @@
+//! The traditional exact sampler: full per-step probability recomputation.
+//!
+//! This is the approach every exact dynamic random walk implementation the
+//! paper surveys uses (§1, §3): at each step, compute the transition
+//! probability of *every* out-edge of the walker's residing vertex, build
+//! a CDF, and sample by inverse transform. Cost per step is `O(|E_v|)` —
+//! which explodes on skewed graphs, since high-degree vertices are also
+//! visited most often. Table 1's "Full-scan average overhead" column and
+//! Figure 6's "traditional sampling" series are measured on this runner.
+//!
+//! Static specs get per-vertex alias tables built once (the standard
+//! static optimization of §3), so this runner doubles as a fair
+//! shared-memory baseline for DeepWalk/PPR as well.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use knightking_core::{Walker, WalkerStarts};
+use knightking_graph::{CsrGraph, VertexId};
+use knightking_sampling::{AliasTable, CdfTable};
+
+use crate::{spec::BaselineSpec, BaselineResult};
+
+/// Shared-memory multi-threaded runner for a [`BaselineSpec`].
+pub struct FullScanRunner<'g, S: BaselineSpec> {
+    graph: &'g CsrGraph,
+    spec: S,
+    /// Worker threads (walkers are partitioned statically across them).
+    pub threads: usize,
+    /// Run seed; per-walker streams derive from it exactly like the
+    /// engine's, so a static spec walked here reproduces the engine's
+    /// trajectories.
+    pub seed: u64,
+    /// Record full walk paths.
+    pub record_paths: bool,
+}
+
+impl<'g, S: BaselineSpec> FullScanRunner<'g, S> {
+    /// Creates a runner with the given parallelism and seed.
+    pub fn new(graph: &'g CsrGraph, spec: S, threads: usize, seed: u64) -> Self {
+        FullScanRunner {
+            graph,
+            spec,
+            threads: threads.max(1),
+            seed,
+            record_paths: false,
+        }
+    }
+
+    /// Enables path recording.
+    pub fn with_paths(mut self) -> Self {
+        self.record_paths = true;
+        self
+    }
+
+    /// Walks all walkers to completion.
+    pub fn run(&self, starts: WalkerStarts) -> BaselineResult {
+        let starts = starts.materialize(self.graph.vertex_count());
+        let begin = Instant::now();
+
+        // Static specs: alias tables once, per vertex (the classic §3
+        // optimization). Dynamic specs get none — that is the point.
+        let alias: Vec<Option<AliasTable>> = if S::DYNAMIC {
+            Vec::new()
+        } else {
+            (0..self.graph.vertex_count())
+                .map(|v| {
+                    let v = v as VertexId;
+                    if self.graph.degree(v) == 0 {
+                        return None;
+                    }
+                    let w: Vec<f64> = self.graph.edges(v).map(|e| e.weight as f64).collect();
+                    AliasTable::new(&w).ok()
+                })
+                .collect()
+        };
+
+        let steps = AtomicU64::new(0);
+        let edges = AtomicU64::new(0);
+        let finished = AtomicU64::new(0);
+        let n = starts.len();
+        let threads = self.threads.min(n.max(1));
+        let mut all_paths: Vec<Vec<VertexId>> = Vec::new();
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for t in 0..threads {
+                let starts = &starts;
+                let alias = &alias;
+                let steps = &steps;
+                let edges = &edges;
+                let finished = &finished;
+                handles.push(scope.spawn(move || {
+                    let lo = n * t / threads;
+                    let hi = n * (t + 1) / threads;
+                    let mut paths: Vec<(usize, Vec<VertexId>)> = Vec::new();
+                    let mut scratch: Vec<f64> = Vec::new();
+                    let mut local_steps = 0u64;
+                    let mut local_edges = 0u64;
+                    for (id, &start) in starts.iter().enumerate().take(hi).skip(lo) {
+                        let path = self.walk_one(
+                            id as u64,
+                            start,
+                            alias,
+                            &mut scratch,
+                            &mut local_steps,
+                            &mut local_edges,
+                        );
+                        if self.record_paths {
+                            paths.push((id, path));
+                        }
+                    }
+                    steps.fetch_add(local_steps, Ordering::Relaxed);
+                    edges.fetch_add(local_edges, Ordering::Relaxed);
+                    finished.fetch_add((hi - lo) as u64, Ordering::Relaxed);
+                    paths
+                }));
+            }
+            if self.record_paths {
+                all_paths = vec![Vec::new(); n];
+            }
+            for h in handles {
+                for (id, p) in h.join().expect("full-scan worker panicked") {
+                    all_paths[id] = p;
+                }
+            }
+        });
+
+        BaselineResult {
+            steps: steps.into_inner(),
+            edges_evaluated: edges.into_inner(),
+            finished_walkers: finished.into_inner(),
+            iterations: 0,
+            abandoned_walkers: 0,
+            paths: all_paths,
+            elapsed: begin.elapsed(),
+        }
+    }
+
+    /// Walks one walker to completion, returning its path (when
+    /// recording; otherwise only the start vertex to keep it cheap).
+    fn walk_one(
+        &self,
+        id: u64,
+        start: VertexId,
+        alias: &[Option<AliasTable>],
+        scratch: &mut Vec<f64>,
+        steps: &mut u64,
+        edges: &mut u64,
+    ) -> Vec<VertexId> {
+        let graph = self.graph;
+        let data = self.spec.init_data(id, start);
+        let mut walker: Walker<S::Data> = Walker::new(id, start, self.seed, data);
+        let mut path = vec![start];
+        loop {
+            if self.spec.terminate(&mut walker) {
+                return path;
+            }
+            let v = walker.current;
+            let deg = graph.degree(v);
+            if deg == 0 {
+                return path;
+            }
+            let next = if S::DYNAMIC {
+                // The traditional full scan: every edge's probability,
+                // every step.
+                scratch.clear();
+                let mut run = 0.0f64;
+                for e in graph.edges(v) {
+                    run += self.spec.prob(graph, &walker, e).max(0.0);
+                    scratch.push(run);
+                }
+                *edges += deg as u64;
+                if run <= 0.0 {
+                    return path;
+                }
+                let idx = CdfTable::sample_prepared(scratch, &mut walker.rng);
+                graph.edge(v, idx).dst
+            } else {
+                match &alias[v as usize] {
+                    Some(t) => graph.edge(v, t.sample(&mut walker.rng)).dst,
+                    None => graph.edge(v, walker.rng.next_index(deg)).dst,
+                }
+            };
+            walker.advance(next);
+            *steps += 1;
+            if self.record_paths {
+                path.push(next);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{DeepWalkSpec, Node2VecSpec};
+    use knightking_graph::gen;
+    use knightking_walks::Node2Vec;
+
+    #[test]
+    fn static_walk_counts_no_edge_evaluations() {
+        let g = gen::uniform_degree(100, 6, gen::GenOptions::seeded(50));
+        let r = FullScanRunner::new(&g, DeepWalkSpec { walk_length: 10 }, 2, 51)
+            .with_paths()
+            .run(WalkerStarts::PerVertex);
+        assert_eq!(r.steps, 1000);
+        assert_eq!(r.edges_evaluated, 0);
+        assert_eq!(r.finished_walkers, 100);
+        assert!(r.paths.iter().all(|p| p.len() == 11));
+    }
+
+    #[test]
+    fn dynamic_walk_pays_degree_per_step() {
+        // Uniform degree d: the full scan must evaluate exactly d edges
+        // per step.
+        let d = 8;
+        let g = gen::uniform_degree(100, d, gen::GenOptions::seeded(52));
+        let spec = Node2VecSpec::from(Node2Vec::new(2.0, 0.5, 10));
+        let r = FullScanRunner::new(&g, spec, 4, 53).run(WalkerStarts::PerVertex);
+        assert_eq!(r.steps, 1000);
+        assert_eq!(r.edges_evaluated, r.steps * d as u64);
+        assert!((r.edges_per_step() - d as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skewed_graph_costs_more_per_step_than_mean_degree() {
+        // The Table 1 phenomenon: frequently-visited hubs push the
+        // per-step cost far above the mean degree.
+        let g = gen::with_hotspots(2000, 10, 2, 20_000, gen::GenOptions::seeded(54));
+        let (mean_deg, _) = g.degree_stats();
+        let spec = Node2VecSpec::from(Node2Vec::new(2.0, 0.5, 20));
+        let r = FullScanRunner::new(&g, spec, 4, 55).run(WalkerStarts::Count(500));
+        assert!(
+            r.edges_per_step() > mean_deg * 3.0,
+            "edges/step {} vs mean degree {mean_deg}",
+            r.edges_per_step()
+        );
+    }
+
+    #[test]
+    fn paths_are_deterministic_across_thread_counts() {
+        let g = gen::uniform_degree(60, 5, gen::GenOptions::seeded(56));
+        let spec = Node2VecSpec::from(Node2Vec::new(0.5, 2.0, 15));
+        let a = FullScanRunner::new(&g, spec, 1, 57)
+            .with_paths()
+            .run(WalkerStarts::PerVertex);
+        let b = FullScanRunner::new(&g, spec, 8, 57)
+            .with_paths()
+            .run(WalkerStarts::PerVertex);
+        assert_eq!(a.paths, b.paths);
+    }
+
+    #[test]
+    fn static_paths_match_knightking_engine() {
+        // Same seed, same per-walker streams, same static sampling
+        // structure ⇒ identical trajectories walker-for-walker.
+        use knightking_core::{RandomWalkEngine, WalkConfig};
+        let g = gen::uniform_degree(80, 6, gen::GenOptions::paper_weighted(58));
+        let kk = RandomWalkEngine::new(
+            &g,
+            knightking_walks::DeepWalk::new(12),
+            WalkConfig::single_node(59),
+        )
+        .run(WalkerStarts::PerVertex);
+        let base = FullScanRunner::new(&g, DeepWalkSpec { walk_length: 12 }, 2, 59)
+            .with_paths()
+            .run(WalkerStarts::PerVertex);
+        assert_eq!(kk.paths, base.paths);
+    }
+
+    #[test]
+    fn zero_walkers() {
+        let g = gen::uniform_degree(10, 2, gen::GenOptions::seeded(60));
+        let r = FullScanRunner::new(&g, DeepWalkSpec { walk_length: 5 }, 2, 61)
+            .run(WalkerStarts::Count(0));
+        assert_eq!(r.steps, 0);
+    }
+}

@@ -1,0 +1,598 @@
+//! A Gemini-style distributed random walk baseline (§7.1).
+//!
+//! Gemini partitions a vertex's edges across nodes, so a vertex cannot
+//! directly access all its incident edges: it interacts with *mirrors* on
+//! other nodes. The paper adapts it to random walk with **two-phase
+//! sampling**:
+//!
+//! 1. at the walker's master, sample *which node* to walk into, by
+//!    inverse transform over the per-node static weight sums of the
+//!    current vertex;
+//! 2. at that node's mirror, sample a *specific edge* among the current
+//!    vertex's locally-stored edges — pre-built ITS/alias for static
+//!    walks, a full scan of the local edges for dynamic walks.
+//!
+//! This structure is what prevents Gemini from adopting rejection
+//! sampling ("a walker reading any particular edge requires two
+//! iterations"), and its per-step full scans are why dynamic walks
+//! explode on skewed graphs.
+//!
+//! Two documented deviations from an idealized exact sampler, both
+//! inherent to the two-phase structure (the paper calls its own version
+//! "ad-hoc"):
+//!
+//! * For dynamic walks, phase 1 picks the node by *static* weight sums,
+//!   so the node choice ignores `Pd`; phase 2 then samples exactly among
+//!   that node's local edges. The resulting distribution is approximate.
+//! * A dynamic walker can land on a mirror whose local edges all have
+//!   `Pd = 0` (e.g. Meta-path with no matching type locally). It bounces
+//!   back to its master and retries; after `max_retries` bounces it is
+//!   abandoned (counted in
+//!   [`BaselineResult::abandoned_walkers`](crate::BaselineResult)).
+//!
+//! node2vec's `d_tx` check at the mirror reads the shared graph directly
+//! — charitable to the baseline, which on a real cluster would pay
+//! communication for it.
+
+use std::time::Instant;
+
+use knightking_cluster::{run_cluster, Scheduler};
+use knightking_core::{result::WalkResult, Walker, WalkerStarts};
+use knightking_graph::{CsrGraph, Partition, VertexId};
+use knightking_sampling::{AliasTable, CdfTable};
+
+/// Which pre-built structure the static second phase samples from.
+///
+/// §7.1: "with both ITS and alias evaluated for the second phase (results
+/// reporting the better between the two)" — both are provided here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StaticSampler {
+    /// O(1) alias tables (usually the better of the two).
+    #[default]
+    Alias,
+    /// O(log d) inverse transform sampling.
+    Its,
+}
+
+use crate::{spec::BaselineSpec, BaselineResult};
+
+/// Configuration for the Gemini-style engine.
+#[derive(Debug, Clone, Copy)]
+pub struct GeminiConfig {
+    /// Simulated cluster nodes.
+    pub n_nodes: usize,
+    /// Compute threads per node (0 = auto).
+    pub threads_per_node: usize,
+    /// Run seed.
+    pub seed: u64,
+    /// Record full walk paths.
+    pub record_paths: bool,
+    /// Bounce limit for dynamic walkers stranded by two-phase sampling.
+    pub max_retries: u32,
+    /// Pre-built sampler used by the static second phase.
+    pub static_sampler: StaticSampler,
+}
+
+impl GeminiConfig {
+    /// A configuration with paper-ish defaults.
+    pub fn new(n_nodes: usize, seed: u64) -> Self {
+        GeminiConfig {
+            n_nodes,
+            threads_per_node: 0,
+            seed,
+            record_paths: false,
+            max_retries: 128,
+            static_sampler: StaticSampler::Alias,
+        }
+    }
+
+    fn resolved_threads(&self) -> usize {
+        if self.threads_per_node > 0 {
+            self.threads_per_node
+        } else {
+            let total = std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1);
+            (total / self.n_nodes).max(1)
+        }
+    }
+}
+
+/// A walker plus its bounce counter.
+struct GWalker<D> {
+    walker: Walker<D>,
+    retries: u32,
+}
+
+/// Messages of the two-phase protocol.
+enum GMsg<D> {
+    /// Phase-1 output: sample an edge for this walker at your mirror.
+    Req(Walker<D>, u32),
+    /// Walker relocating to its new master (or bouncing back).
+    Move(Walker<D>, u32),
+}
+
+/// Per-node accumulator counters.
+#[derive(Default, Clone, Copy)]
+struct Counters {
+    steps: u64,
+    edges: u64,
+    finished: u64,
+    abandoned: u64,
+}
+
+/// The Gemini-style engine.
+pub struct GeminiEngine<'g, S: BaselineSpec> {
+    graph: &'g CsrGraph,
+    spec: S,
+    cfg: GeminiConfig,
+}
+
+/// Node-local mirror storage: for every vertex `v` of the whole graph,
+/// the indices (into `v`'s full adjacency) of the edges whose destination
+/// this node owns.
+struct MirrorStore {
+    offsets: Vec<u64>,
+    edge_idx: Vec<u32>,
+    /// Static alias tables per vertex over the local edges (static specs
+    /// with [`StaticSampler::Alias`] only; `None` where no local edges
+    /// exist).
+    alias: Vec<Option<AliasTable>>,
+    /// Static CDF tables, the [`StaticSampler::Its`] alternative.
+    cdf: Vec<Option<CdfTable>>,
+}
+
+impl MirrorStore {
+    fn build<S: BaselineSpec>(
+        graph: &CsrGraph,
+        partition: &Partition,
+        me: usize,
+        sampler: StaticSampler,
+    ) -> Self {
+        let v_count = graph.vertex_count();
+        let mine = partition.range(me);
+        let mut offsets = vec![0u64; v_count + 1];
+        for v in 0..v_count as VertexId {
+            let local = graph
+                .neighbors(v)
+                .iter()
+                .filter(|&&x| mine.contains(&x))
+                .count();
+            offsets[v as usize + 1] = offsets[v as usize] + local as u64;
+        }
+        let mut edge_idx = Vec::with_capacity(*offsets.last().unwrap() as usize);
+        for v in 0..v_count as VertexId {
+            for (i, &x) in graph.neighbors(v).iter().enumerate() {
+                if mine.contains(&x) {
+                    edge_idx.push(i as u32);
+                }
+            }
+        }
+        let local_weights = |v: usize| -> Option<Vec<f64>> {
+            let lo = offsets[v] as usize;
+            let hi = offsets[v + 1] as usize;
+            if lo == hi {
+                return None;
+            }
+            Some(
+                edge_idx[lo..hi]
+                    .iter()
+                    .map(|&i| graph.edge(v as VertexId, i as usize).weight as f64)
+                    .collect(),
+            )
+        };
+        let mut alias = Vec::new();
+        let mut cdf = Vec::new();
+        if !S::DYNAMIC {
+            match sampler {
+                StaticSampler::Alias => {
+                    alias = (0..v_count)
+                        .map(|v| local_weights(v).and_then(|w| AliasTable::new(&w).ok()))
+                        .collect();
+                }
+                StaticSampler::Its => {
+                    cdf = (0..v_count)
+                        .map(|v| local_weights(v).and_then(|w| CdfTable::new(&w).ok()))
+                        .collect();
+                }
+            }
+        }
+        MirrorStore {
+            offsets,
+            edge_idx,
+            alias,
+            cdf,
+        }
+    }
+
+    /// Samples a local edge index from the pre-built static structure.
+    fn sample_static(
+        &self,
+        v: VertexId,
+        rng: &mut knightking_sampling::DeterministicRng,
+    ) -> Option<u32> {
+        let local = self.local_edges(v);
+        if !self.alias.is_empty() {
+            self.alias[v as usize]
+                .as_ref()
+                .map(|t| local[t.sample(rng)])
+        } else {
+            self.cdf[v as usize].as_ref().map(|t| local[t.sample(rng)])
+        }
+    }
+
+    fn local_edges(&self, v: VertexId) -> &[u32] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.edge_idx[lo..hi]
+    }
+}
+
+impl<'g, S: BaselineSpec> GeminiEngine<'g, S> {
+    /// Creates an engine over `graph` running `spec`.
+    pub fn new(graph: &'g CsrGraph, spec: S, cfg: GeminiConfig) -> Self {
+        GeminiEngine { graph, spec, cfg }
+    }
+
+    /// Runs all walkers to completion.
+    pub fn run(&self, starts: WalkerStarts) -> BaselineResult {
+        let starts = starts.materialize(self.graph.vertex_count());
+        let partition = Partition::balanced(self.graph, self.cfg.n_nodes, 1.0);
+        let threads = self.cfg.resolved_threads();
+        let n_walkers = starts.len() as u64;
+        let begin = Instant::now();
+
+        type Frag = (u64, u32, VertexId);
+        let outs: Vec<(Counters, Vec<Frag>, u64)> =
+            run_cluster::<GMsg<S::Data>, _, _>(self.cfg.n_nodes, |ctx| {
+                self.node_main(&ctx, &partition, &starts, threads)
+            });
+
+        let mut result = BaselineResult {
+            elapsed: begin.elapsed(),
+            ..Default::default()
+        };
+        let mut frags = Vec::new();
+        for (c, f, iters) in outs {
+            result.steps += c.steps;
+            result.edges_evaluated += c.edges;
+            result.finished_walkers += c.finished;
+            result.abandoned_walkers += c.abandoned;
+            result.iterations = result.iterations.max(iters);
+            frags.extend(
+                f.into_iter()
+                    .map(|(w, s, v)| knightking_core::result::PathEntry {
+                        walker: w,
+                        step: s,
+                        vertex: v,
+                    }),
+            );
+        }
+        if self.cfg.record_paths {
+            result.paths = WalkResult::assemble_paths(n_walkers, frags);
+        }
+        result
+    }
+
+    fn node_main(
+        &self,
+        ctx: &knightking_cluster::NodeCtx<'_, GMsg<S::Data>>,
+        partition: &Partition,
+        starts: &[VertexId],
+        threads: usize,
+    ) -> (Counters, Vec<(u64, u32, VertexId)>, u64) {
+        let me = ctx.node;
+        let n = ctx.n_nodes();
+        let scheduler = Scheduler::new(threads).without_light_mode();
+        let mirror = MirrorStore::build::<S>(self.graph, partition, me, self.cfg.static_sampler);
+
+        // Master-side: per-owned-vertex CDF over per-node weight sums.
+        let mine = partition.range(me);
+        let base = mine.start;
+        let node_cdf: Vec<Option<CdfTable>> = (mine.start..mine.end)
+            .map(|v| {
+                if self.graph.degree(v) == 0 {
+                    return None;
+                }
+                let mut sums = vec![0.0f64; n];
+                for e in self.graph.edges(v) {
+                    sums[partition.owner(e.dst)] += e.weight as f64;
+                }
+                CdfTable::new(&sums).ok()
+            })
+            .collect();
+
+        let mut walkers: Vec<GWalker<S::Data>> = Vec::new();
+        let mut frags: Vec<(u64, u32, VertexId)> = Vec::new();
+        for (id, &start) in starts.iter().enumerate() {
+            if partition.owner(start) == me {
+                let data = self.spec.init_data(id as u64, start);
+                walkers.push(GWalker {
+                    walker: Walker::new(id as u64, start, self.cfg.seed, data),
+                    retries: 0,
+                });
+                if self.cfg.record_paths {
+                    frags.push((id as u64, 0, start));
+                }
+            }
+        }
+
+        let mut counters = Counters::default();
+        let mut iterations = 0u64;
+        loop {
+            iterations += 1;
+
+            // Phase 1 (masters): decide destination node per walker.
+            let accs = scheduler.run_chunks(
+                &mut walkers,
+                || {
+                    (
+                        (0..n)
+                            .map(|_| Vec::new())
+                            .collect::<Vec<Vec<GMsg<S::Data>>>>(),
+                        Counters::default(),
+                    )
+                },
+                |_b, slice, (outbox, c)| {
+                    for gw in slice.iter_mut() {
+                        if self.spec.terminate(&mut gw.walker) {
+                            c.finished += 1;
+                            continue;
+                        }
+                        let v = gw.walker.current;
+                        let Some(cdf) = &node_cdf[(v - base) as usize] else {
+                            c.finished += 1;
+                            continue;
+                        };
+                        if gw.retries > self.cfg.max_retries {
+                            c.abandoned += 1;
+                            continue;
+                        }
+                        let k = cdf.sample(&mut gw.walker.rng);
+                        outbox[k].push(GMsg::Req(gw.walker.clone(), gw.retries));
+                    }
+                },
+            );
+            walkers.clear();
+            let mut outbox: Vec<Vec<GMsg<S::Data>>> = (0..n).map(|_| Vec::new()).collect();
+            for (chunk_outbox, c) in accs {
+                for (to, mut msgs) in chunk_outbox.into_iter().enumerate() {
+                    outbox[to].append(&mut msgs);
+                }
+                merge(&mut counters, c);
+            }
+
+            // Exchange 1: sampling requests to mirrors.
+            let mut reqs: Vec<(Walker<S::Data>, u32)> = Vec::new();
+            for msg in ctx.exchange(outbox) {
+                match msg {
+                    GMsg::Req(w, r) => reqs.push((w, r)),
+                    GMsg::Move(..) => unreachable!("no moves in the request round"),
+                }
+            }
+
+            // Phase 2 (mirrors): sample a concrete local edge.
+            let accs = scheduler.run_chunks(
+                &mut reqs,
+                || {
+                    (
+                        (0..n)
+                            .map(|_| Vec::new())
+                            .collect::<Vec<Vec<GMsg<S::Data>>>>(),
+                        Counters::default(),
+                        Vec::<(u64, u32, VertexId)>::new(),
+                        Vec::<f64>::new(),
+                    )
+                },
+                |_b, slice, (outbox, c, paths, scratch)| {
+                    for (walker, retries) in slice.iter_mut() {
+                        let v = walker.current;
+                        let local = mirror.local_edges(v);
+                        debug_assert!(!local.is_empty(), "phase 1 sampled a zero-weight node");
+                        let picked = if S::DYNAMIC {
+                            // Full scan of the local edges.
+                            scratch.clear();
+                            let mut run = 0.0f64;
+                            for &i in local {
+                                let e = self.graph.edge(v, i as usize);
+                                run += self.spec.prob(self.graph, walker, e).max(0.0);
+                                scratch.push(run);
+                            }
+                            c.edges += local.len() as u64;
+                            if run <= 0.0 {
+                                None
+                            } else {
+                                Some(local[CdfTable::sample_prepared(scratch, &mut walker.rng)])
+                            }
+                        } else {
+                            mirror.sample_static(v, &mut walker.rng)
+                        };
+                        match picked {
+                            Some(i) => {
+                                let dst = self.graph.edge(v, i as usize).dst;
+                                walker.advance(dst);
+                                c.steps += 1;
+                                if self.cfg.record_paths {
+                                    paths.push((walker.id, walker.step, dst));
+                                }
+                                let owner = partition.owner(dst);
+                                outbox[owner].push(GMsg::Move(walker.clone(), 0));
+                            }
+                            None => {
+                                // Local dynamic mass is zero: bounce back
+                                // to the master and retry.
+                                let owner = partition.owner(v);
+                                outbox[owner].push(GMsg::Move(walker.clone(), *retries + 1));
+                            }
+                        }
+                    }
+                },
+            );
+            let mut outbox: Vec<Vec<GMsg<S::Data>>> = (0..n).map(|_| Vec::new()).collect();
+            for (chunk_outbox, c, mut paths, _) in accs {
+                for (to, mut msgs) in chunk_outbox.into_iter().enumerate() {
+                    outbox[to].append(&mut msgs);
+                }
+                merge(&mut counters, c);
+                frags.append(&mut paths);
+            }
+
+            // Exchange 2: walkers relocate to their (new) masters.
+            for msg in ctx.exchange(outbox) {
+                match msg {
+                    GMsg::Move(walker, retries) => walkers.push(GWalker { walker, retries }),
+                    GMsg::Req(..) => unreachable!("no requests in the move round"),
+                }
+            }
+
+            let active = ctx.allreduce_sum(walkers.len() as u64);
+            if active == 0 {
+                break;
+            }
+        }
+        (counters, frags, iterations)
+    }
+}
+
+fn merge(into: &mut Counters, c: Counters) {
+    into.steps += c.steps;
+    into.edges += c.edges;
+    into.finished += c.finished;
+    into.abandoned += c.abandoned;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{DeepWalkSpec, MetaPathSpec, Node2VecSpec, PprSpec};
+    use knightking_graph::{gen, GraphBuilder};
+    use knightking_sampling::stats::assert_distribution_matches;
+    use knightking_walks::{MetaPath, Node2Vec};
+
+    #[test]
+    fn static_walk_completes_with_correct_lengths() {
+        let g = gen::uniform_degree(200, 6, gen::GenOptions::seeded(70));
+        let mut cfg = GeminiConfig::new(4, 71);
+        cfg.record_paths = true;
+        let r = GeminiEngine::new(&g, DeepWalkSpec { walk_length: 10 }, cfg)
+            .run(WalkerStarts::PerVertex);
+        assert_eq!(r.finished_walkers, 200);
+        assert!(r.paths.iter().all(|p| p.len() == 11));
+        assert_eq!(r.steps, 2000);
+        assert_eq!(r.edges_evaluated, 0, "static two-phase uses alias tables");
+    }
+
+    #[test]
+    fn static_two_phase_is_distribution_exact() {
+        // Weighted star, 2 nodes: P(k)·P(e|k) must equal w_e / Σw.
+        let mut b = GraphBuilder::undirected(5).with_weights();
+        let weights = [1.0f32, 2.0, 3.0, 4.0];
+        for (i, &w) in weights.iter().enumerate() {
+            b.add_weighted_edge(0, (i + 1) as u32, w);
+        }
+        let g = b.build();
+        let mut cfg = GeminiConfig::new(2, 72);
+        cfg.record_paths = true;
+        let r = GeminiEngine::new(&g, DeepWalkSpec { walk_length: 1 }, cfg)
+            .run(WalkerStarts::Explicit(vec![0; 40_000]));
+        let mut counts = [0u64; 4];
+        for p in &r.paths {
+            counts[(p[1] - 1) as usize] += 1;
+        }
+        let total: f32 = weights.iter().sum();
+        let expected: Vec<f64> = weights.iter().map(|&w| (w / total) as f64).collect();
+        assert_distribution_matches(&counts, &expected, "gemini static two-phase");
+    }
+
+    #[test]
+    fn dynamic_walk_pays_local_scan_per_step() {
+        let d = 10;
+        let g = gen::uniform_degree(300, d, gen::GenOptions::seeded(73));
+        let spec = Node2VecSpec::from(Node2Vec::new(2.0, 0.5, 8));
+        let r = GeminiEngine::new(&g, spec, GeminiConfig::new(2, 74)).run(WalkerStarts::PerVertex);
+        assert!(r.steps >= 300 * 8);
+        // Each step scans the local portion of the vertex's edges; across
+        // 2 nodes that averages about half the degree or more.
+        assert!(
+            r.edges_per_step() > d as f64 / 3.0,
+            "edges/step {}",
+            r.edges_per_step()
+        );
+    }
+
+    #[test]
+    fn single_node_dynamic_scan_equals_full_degree() {
+        let d = 10;
+        let g = gen::uniform_degree(200, d, gen::GenOptions::seeded(75));
+        let spec = Node2VecSpec::from(Node2Vec::new(2.0, 0.5, 5));
+        let r = GeminiEngine::new(&g, spec, GeminiConfig::new(1, 76)).run(WalkerStarts::PerVertex);
+        assert_eq!(r.edges_evaluated, r.steps * d as u64);
+    }
+
+    #[test]
+    fn metapath_walkers_can_bounce_but_finish() {
+        let opts = gen::GenOptions {
+            weights: gen::WeightKind::None,
+            edge_types: Some(3),
+            seed: 77,
+        };
+        let g = gen::uniform_degree(200, 12, opts);
+        let spec = MetaPathSpec::from(MetaPath::new(vec![vec![0, 1, 2]], 9, 78));
+        let r = GeminiEngine::new(&g, spec, GeminiConfig::new(3, 79)).run(WalkerStarts::PerVertex);
+        assert_eq!(
+            r.finished_walkers + r.abandoned_walkers,
+            200,
+            "every walker must resolve"
+        );
+        assert!(r.finished_walkers > 150, "most walkers should finish");
+    }
+
+    #[test]
+    fn ppr_geometric_lengths() {
+        let g = gen::uniform_degree(100, 6, gen::GenOptions::seeded(80));
+        let r = GeminiEngine::new(
+            &g,
+            PprSpec {
+                termination_prob: 0.2,
+            },
+            GeminiConfig::new(2, 81),
+        )
+        .run(WalkerStarts::Count(10_000));
+        let mean = r.steps as f64 / 10_000.0;
+        assert!((mean - 4.0).abs() < 0.3, "mean length {mean}"); // (1-p)/p = 4
+    }
+
+    #[test]
+    fn its_sampler_is_also_distribution_exact() {
+        let mut b = GraphBuilder::undirected(5).with_weights();
+        let weights = [1.0f32, 2.0, 3.0, 4.0];
+        for (i, &w) in weights.iter().enumerate() {
+            b.add_weighted_edge(0, (i + 1) as u32, w);
+        }
+        let g = b.build();
+        let mut cfg = GeminiConfig::new(2, 84);
+        cfg.record_paths = true;
+        cfg.static_sampler = StaticSampler::Its;
+        let r = GeminiEngine::new(&g, DeepWalkSpec { walk_length: 1 }, cfg)
+            .run(WalkerStarts::Explicit(vec![0; 40_000]));
+        let mut counts = [0u64; 4];
+        for p in &r.paths {
+            counts[(p[1] - 1) as usize] += 1;
+        }
+        let total: f32 = weights.iter().sum();
+        let expected: Vec<f64> = weights.iter().map(|&w| (w / total) as f64).collect();
+        assert_distribution_matches(&counts, &expected, "gemini ITS two-phase");
+    }
+
+    #[test]
+    fn iterations_reported() {
+        let g = gen::uniform_degree(50, 4, gen::GenOptions::seeded(82));
+        let r = GeminiEngine::new(
+            &g,
+            DeepWalkSpec { walk_length: 5 },
+            GeminiConfig::new(2, 83),
+        )
+        .run(WalkerStarts::PerVertex);
+        assert!(r.iterations >= 5);
+    }
+}

@@ -1,0 +1,79 @@
+#![warn(missing_docs)]
+
+//! Comparison baselines for the KnightKing evaluation (§7.1).
+//!
+//! The paper compares KnightKing against *random-walk-adapted versions of
+//! Gemini*, the state-of-the-art distributed graph engine, plus the
+//! "traditional sampling" approach that recomputes every out-edge's
+//! transition probability at each dynamic step. This crate rebuilds both:
+//!
+//! * [`spec`] — a baseline-facing algorithm interface with the four paper
+//!   workloads (DeepWalk, PPR, Meta-path, node2vec) implemented against
+//!   it. Unlike KnightKing's [`WalkerProgram`], a baseline spec computes
+//!   the *full* per-edge probability directly against the whole graph —
+//!   exactly what traditional implementations do.
+//! * [`full_scan`] — the traditional exact sampler: at every step of a
+//!   dynamic walk, scan all out-edges, build a CDF, sample by inverse
+//!   transform. This is the "Full-scan average overhead" column of
+//!   Table 1 and the "traditional sampling" series of Figure 6.
+//! * [`gemini`] — a Gemini-style distributed engine: vertices have
+//!   mirrors, a walker's out-edges are scattered across nodes by
+//!   destination owner, and each step runs *two-phase sampling* (pick a
+//!   node by ITS over per-node weight sums, then pick an edge at that
+//!   node's mirror). Used by the Table 3/4 and Figure 7 reproductions.
+//! * [`bfs`] — BSP breadth-first search, for the Figure 5 tail-behavior
+//!   comparison.
+//! * [`drunkardmob`] — a DrunkardMob-style single-machine walker engine
+//!   (the one prior random-walk *system* the paper cites), for a third
+//!   comparison point on static walks.
+//! * [`approx`] — the §3 approximation methods (node2vec-on-spark's edge
+//!   trimming, Fast-Node2Vec's static switch), for quantifying the
+//!   accuracy cost KnightKing's exact sampling avoids.
+//!
+//! [`WalkerProgram`]: knightking_core::WalkerProgram
+
+pub mod approx;
+pub mod bfs;
+pub mod drunkardmob;
+pub mod full_scan;
+pub mod gemini;
+pub mod spec;
+
+pub use approx::{trim_high_degree, StaticSwitchNode2Vec};
+pub use drunkardmob::DrunkardMobRunner;
+pub use full_scan::FullScanRunner;
+pub use gemini::{GeminiConfig, GeminiEngine};
+pub use spec::{BaselineSpec, DeepWalkSpec, MetaPathSpec, Node2VecSpec, PprSpec};
+
+/// Counters and outputs shared by the baseline runners.
+#[derive(Debug, Clone, Default)]
+pub struct BaselineResult {
+    /// Walker moves taken.
+    pub steps: u64,
+    /// Per-edge transition probability computations (the paper's
+    /// full-scan overhead metric).
+    pub edges_evaluated: u64,
+    /// Walks completed.
+    pub finished_walkers: u64,
+    /// BSP iterations (Gemini runner only).
+    pub iterations: u64,
+    /// Walkers abandoned after exhausting retries (two-phase sampling can
+    /// strand a dynamic walker whose eligible edges all live elsewhere;
+    /// see `gemini` module docs).
+    pub abandoned_walkers: u64,
+    /// Full walk sequences indexed by walker id (when recording).
+    pub paths: Vec<Vec<knightking_graph::VertexId>>,
+    /// Wall-clock duration of the walk (initialization included).
+    pub elapsed: std::time::Duration,
+}
+
+impl BaselineResult {
+    /// Average probability computations per walker move.
+    pub fn edges_per_step(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.edges_evaluated as f64 / self.steps as f64
+        }
+    }
+}

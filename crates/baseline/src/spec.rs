@@ -1,0 +1,248 @@
+//! Baseline-facing algorithm specifications.
+//!
+//! A [`BaselineSpec`] describes a random walk the way traditional
+//! implementations do: one function computing the complete unnormalized
+//! transition probability `Ps·Pd` of an edge, with direct access to the
+//! whole graph (e.g. node2vec's `d_tx` test is an in-memory adjacency
+//! lookup). There is no static/dynamic decomposition, no bounds, no
+//! outliers — that separation is KnightKing's contribution, and the
+//! baselines deliberately lack it.
+
+use knightking_core::Walker;
+use knightking_graph::{CsrGraph, EdgeTypeId, EdgeView, VertexId};
+use knightking_sampling::DeterministicRng;
+use knightking_walks::{MetaPath, Node2Vec, Ppr};
+
+/// A random walk algorithm as a traditional implementation sees it.
+pub trait BaselineSpec: Sync {
+    /// Per-walker custom state.
+    type Data: Clone + Send + 'static;
+
+    /// Whether per-edge probabilities change with walker state. Static
+    /// specs get pre-built alias tables; dynamic specs pay a full scan
+    /// per step.
+    const DYNAMIC: bool;
+
+    /// Creates walker `id`'s custom state.
+    fn init_data(&self, id: u64, start: VertexId) -> Self::Data;
+
+    /// Termination test, evaluated before each step.
+    fn terminate(&self, walker: &mut Walker<Self::Data>) -> bool;
+
+    /// The full unnormalized transition probability of `edge` for
+    /// `walker` (static weight included).
+    fn prob(&self, graph: &CsrGraph, walker: &Walker<Self::Data>, edge: EdgeView) -> f64;
+}
+
+/// DeepWalk for the baselines: static, weight-proportional, fixed length.
+#[derive(Debug, Clone, Copy)]
+pub struct DeepWalkSpec {
+    /// Fixed walk length.
+    pub walk_length: u32,
+}
+
+impl BaselineSpec for DeepWalkSpec {
+    type Data = ();
+    const DYNAMIC: bool = false;
+    fn init_data(&self, _id: u64, _start: VertexId) {}
+    fn terminate(&self, walker: &mut Walker<()>) -> bool {
+        walker.step >= self.walk_length
+    }
+    fn prob(&self, _graph: &CsrGraph, _walker: &Walker<()>, edge: EdgeView) -> f64 {
+        edge.weight as f64
+    }
+}
+
+/// PPR for the baselines: static, geometric termination.
+#[derive(Debug, Clone, Copy)]
+pub struct PprSpec {
+    /// Per-step termination probability.
+    pub termination_prob: f64,
+}
+
+impl From<Ppr> for PprSpec {
+    fn from(p: Ppr) -> Self {
+        PprSpec {
+            termination_prob: p.termination_prob,
+        }
+    }
+}
+
+impl BaselineSpec for PprSpec {
+    type Data = ();
+    const DYNAMIC: bool = false;
+    fn init_data(&self, _id: u64, _start: VertexId) {}
+    fn terminate(&self, walker: &mut Walker<()>) -> bool {
+        walker.rng.chance(self.termination_prob)
+    }
+    fn prob(&self, _graph: &CsrGraph, _walker: &Walker<()>, edge: EdgeView) -> f64 {
+        edge.weight as f64
+    }
+}
+
+/// Meta-path for the baselines: dynamic, per-step type filtering.
+#[derive(Debug, Clone)]
+pub struct MetaPathSpec {
+    inner: MetaPath,
+}
+
+impl From<MetaPath> for MetaPathSpec {
+    fn from(inner: MetaPath) -> Self {
+        MetaPathSpec { inner }
+    }
+}
+
+impl MetaPathSpec {
+    /// The edge type required at the walker's current step.
+    fn required_type(&self, walker: &Walker<ScmState>) -> EdgeTypeId {
+        let scheme = &self.inner.schemes[walker.data.0 as usize];
+        scheme[walker.step as usize % scheme.len()]
+    }
+}
+
+/// Baseline Meta-path walker state: the assigned scheme index.
+#[derive(Debug, Clone, Copy)]
+pub struct ScmState(pub u32);
+
+impl BaselineSpec for MetaPathSpec {
+    type Data = ScmState;
+    const DYNAMIC: bool = true;
+    fn init_data(&self, id: u64, _start: VertexId) -> ScmState {
+        // Identical assignment to the KnightKing program, so results are
+        // comparable walker-for-walker.
+        let mut rng = DeterministicRng::for_stream(self.inner.assignment_seed ^ 0x4D45_5441, id);
+        ScmState(rng.next_bounded(self.inner.schemes.len() as u64) as u32)
+    }
+    fn terminate(&self, walker: &mut Walker<ScmState>) -> bool {
+        walker.step >= self.inner.walk_length
+    }
+    fn prob(&self, _graph: &CsrGraph, walker: &Walker<ScmState>, edge: EdgeView) -> f64 {
+        if edge.edge_type == self.required_type(walker) {
+            edge.weight as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+/// node2vec for the baselines: dynamic second-order; the `d_tx` test is a
+/// direct in-memory adjacency lookup, as shared-memory implementations
+/// (and Gemini mirrors with replicated state) would do.
+#[derive(Debug, Clone, Copy)]
+pub struct Node2VecSpec {
+    inner: Node2Vec,
+}
+
+impl From<Node2Vec> for Node2VecSpec {
+    fn from(inner: Node2Vec) -> Self {
+        Node2VecSpec { inner }
+    }
+}
+
+impl BaselineSpec for Node2VecSpec {
+    type Data = ();
+    const DYNAMIC: bool = true;
+    fn init_data(&self, _id: u64, _start: VertexId) {}
+    fn terminate(&self, walker: &mut Walker<()>) -> bool {
+        walker.step >= self.inner.walk_length
+    }
+    fn prob(&self, graph: &CsrGraph, walker: &Walker<()>, edge: EdgeView) -> f64 {
+        let pd = match walker.prev {
+            None => 1.0,
+            Some(prev) if edge.dst == prev => 1.0 / self.inner.p,
+            Some(prev) => {
+                if graph.has_edge(prev, edge.dst) {
+                    1.0
+                } else {
+                    1.0 / self.inner.q
+                }
+            }
+        };
+        edge.weight as f64 * pd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knightking_graph::GraphBuilder;
+
+    fn walker(start: VertexId) -> Walker<()> {
+        Walker::new(0, start, 1, ())
+    }
+
+    #[test]
+    fn deepwalk_prob_is_weight() {
+        let mut b = GraphBuilder::undirected(2).with_weights();
+        b.add_weighted_edge(0, 1, 2.5);
+        let g = b.build();
+        let s = DeepWalkSpec { walk_length: 80 };
+        assert_eq!(s.prob(&g, &walker(0), g.edge(0, 0)), 2.5);
+        let mut w = walker(0);
+        w.step = 80;
+        assert!(s.terminate(&mut w));
+    }
+
+    #[test]
+    fn node2vec_prob_cases() {
+        // Square with diagonal 1-3 (same topology as the engine test).
+        let mut b = GraphBuilder::undirected(4);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 3);
+        b.add_edge(3, 0);
+        b.add_edge(1, 3);
+        let g = b.build();
+        let s = Node2VecSpec::from(Node2Vec::new(2.0, 0.5, 80));
+        let mut w = walker(0);
+        w.advance(1); // came 0 → 1; candidates from 1: {0, 2, 3}
+        let edges: Vec<EdgeView> = g.edges(1).collect();
+        for e in edges {
+            let p = s.prob(&g, &w, e);
+            match e.dst {
+                0 => assert_eq!(p, 0.5), // return edge, 1/p
+                2 => assert_eq!(p, 2.0), // not adjacent to 0, 1/q
+                3 => assert_eq!(p, 1.0), // adjacent to 0
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn metapath_prob_filters_types() {
+        let mut b = GraphBuilder::undirected(3).with_edge_types();
+        b.add_typed_edge(0, 1, 0);
+        b.add_typed_edge(0, 2, 1);
+        let g = b.build();
+        let s = MetaPathSpec::from(MetaPath::new(vec![vec![1, 0]], 10, 7));
+        let w = Walker::new(0, 0, 1, ScmState(0));
+        let probs: Vec<f64> = g.edges(0).map(|e| s.prob(&g, &w, e)).collect();
+        // Step 0 requires type 1: only the edge to vertex 2 qualifies.
+        assert_eq!(probs, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn metapath_assignment_matches_knightking_program() {
+        use knightking_core::WalkerProgram;
+        let mp = MetaPath::paper(11);
+        let spec = MetaPathSpec::from(mp.clone());
+        for id in 0..200u64 {
+            assert_eq!(mp.init_data(id, 0).scheme, spec.init_data(id, 0).0);
+        }
+    }
+
+    #[test]
+    fn ppr_terminates_geometrically() {
+        let s = PprSpec {
+            termination_prob: 0.5,
+        };
+        let mut w = walker(0);
+        let mut stops = 0;
+        for _ in 0..1000 {
+            if s.terminate(&mut w) {
+                stops += 1;
+            }
+        }
+        assert!((400..600).contains(&stops), "{stops}");
+    }
+}

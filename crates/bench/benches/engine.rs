@@ -1,0 +1,122 @@
+//! Criterion end-to-end engine benchmarks: steps/second for each of the
+//! four workloads, KnightKing vs the baselines, at a small fixed scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use knightking_baseline::{
+    DeepWalkSpec, DrunkardMobRunner, FullScanRunner, GeminiConfig, GeminiEngine, Node2VecSpec,
+};
+use knightking_core::{RandomWalkEngine, WalkConfig, WalkerStarts};
+use knightking_graph::gen;
+use knightking_walks::{DeepWalk, MetaPath, Node2Vec, Ppr};
+
+const SCALE: u32 = 11; // 2048 vertices
+const WALKERS: u64 = 512;
+const LEN: u32 = 40;
+
+fn graph(weighted: bool, typed: bool) -> knightking_graph::CsrGraph {
+    let opts = gen::GenOptions {
+        weights: if weighted {
+            gen::WeightKind::Uniform { lo: 1.0, hi: 5.0 }
+        } else {
+            gen::WeightKind::None
+        },
+        edge_types: if typed { Some(5) } else { None },
+        seed: 0xBE,
+    };
+    gen::presets::twitter_like(SCALE, opts)
+}
+
+fn cfg() -> WalkConfig {
+    let mut c = WalkConfig::single_node(1);
+    c.record_paths = false;
+    c
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_steps");
+    group.throughput(Throughput::Elements(WALKERS * LEN as u64));
+    group.sample_size(10);
+
+    let g = graph(false, false);
+    group.bench_function(BenchmarkId::new("deepwalk", "unweighted"), |b| {
+        b.iter(|| {
+            RandomWalkEngine::new(&g, DeepWalk::new(LEN), cfg()).run(WalkerStarts::Count(WALKERS))
+        })
+    });
+    group.bench_function(BenchmarkId::new("ppr", "unweighted"), |b| {
+        b.iter(|| {
+            RandomWalkEngine::new(&g, Ppr::new(1.0 / LEN as f64), cfg())
+                .run(WalkerStarts::Count(WALKERS))
+        })
+    });
+    group.bench_function(BenchmarkId::new("node2vec", "unweighted"), |b| {
+        b.iter(|| {
+            RandomWalkEngine::new(&g, Node2Vec::new(2.0, 0.5, LEN), cfg())
+                .run(WalkerStarts::Count(WALKERS))
+        })
+    });
+
+    let gw = graph(true, false);
+    group.bench_function(BenchmarkId::new("node2vec", "weighted"), |b| {
+        b.iter(|| {
+            RandomWalkEngine::new(&gw, Node2Vec::new(2.0, 0.5, LEN), cfg())
+                .run(WalkerStarts::Count(WALKERS))
+        })
+    });
+
+    let gt = graph(false, true);
+    let mp = MetaPath::paper(1);
+    group.bench_function(BenchmarkId::new("metapath", "typed"), |b| {
+        b.iter(|| RandomWalkEngine::new(&gt, mp.clone(), cfg()).run(WalkerStarts::Count(WALKERS)))
+    });
+
+    // The traditional full-scan baseline on the same node2vec workload.
+    group.bench_function(
+        BenchmarkId::new("node2vec_fullscan_baseline", "unweighted"),
+        |b| {
+            let spec = Node2VecSpec::from(Node2Vec::new(2.0, 0.5, LEN));
+            b.iter(|| FullScanRunner::new(&g, spec, 1, 1).run(WalkerStarts::Count(WALKERS)))
+        },
+    );
+
+    // Gemini-style two-phase baseline, static and dynamic.
+    group.bench_function(
+        BenchmarkId::new("deepwalk_gemini_baseline", "unweighted"),
+        |b| {
+            b.iter(|| {
+                GeminiEngine::new(
+                    &g,
+                    DeepWalkSpec { walk_length: LEN },
+                    GeminiConfig::new(2, 1),
+                )
+                .run(WalkerStarts::Count(WALKERS))
+            })
+        },
+    );
+    group.bench_function(
+        BenchmarkId::new("node2vec_gemini_baseline", "unweighted"),
+        |b| {
+            let spec = Node2VecSpec::from(Node2Vec::new(2.0, 0.5, LEN));
+            b.iter(|| {
+                GeminiEngine::new(&g, spec, GeminiConfig::new(2, 1))
+                    .run(WalkerStarts::Count(WALKERS))
+            })
+        },
+    );
+
+    // DrunkardMob-style bucketed single-machine baseline (static only).
+    group.bench_function(
+        BenchmarkId::new("deepwalk_drunkardmob", "unweighted"),
+        |b| {
+            b.iter(|| {
+                DrunkardMobRunner::new(&g, DeepWalkSpec { walk_length: LEN }, 32, 1)
+                    .run(WalkerStarts::Count(WALKERS))
+            })
+        },
+    );
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! Criterion micro-benchmarks for the sampling substrate: alias vs ITS vs
+//! rejection sampling, across vertex degrees.
+//!
+//! Backs the paper's §3/§4 complexity claims: alias O(1), ITS O(log n),
+//! rejection O(E[trials]) independent of degree.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use knightking_sampling::{
+    rejection::{sample_local, Envelope},
+    AliasTable, CdfTable, DeterministicRng,
+};
+
+fn weights(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = DeterministicRng::new(seed);
+    (0..n).map(|_| 1.0 + rng.next_f64() * 4.0).collect()
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build");
+    for n in [16usize, 256, 4096, 65536] {
+        let w = weights(n, 1);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("alias", n), &w, |b, w| {
+            b.iter(|| AliasTable::new(w).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("its", n), &w, |b, w| {
+            b.iter(|| CdfTable::new(w).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_sample(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sample");
+    for n in [16usize, 256, 4096, 65536] {
+        let w = weights(n, 2);
+        let alias = AliasTable::new(&w).unwrap();
+        let cdf = CdfTable::new(&w).unwrap();
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::new("alias", n), &alias, |b, t| {
+            let mut rng = DeterministicRng::new(3);
+            b.iter(|| t.sample(&mut rng))
+        });
+        group.bench_with_input(BenchmarkId::new("its", n), &cdf, |b, t| {
+            let mut rng = DeterministicRng::new(3);
+            b.iter(|| t.sample(&mut rng))
+        });
+    }
+    group.finish();
+}
+
+/// Rejection sampling cost must be independent of degree — the paper's
+/// central complexity claim.
+fn bench_rejection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rejection_node2vec_like");
+    for n in [16usize, 256, 4096, 65536] {
+        // Pd shaped like node2vec p=2, q=0.5: values in {0.5, 1, 2}.
+        let mut rng = DeterministicRng::new(4);
+        let pd: Vec<f64> = (0..n).map(|_| [0.5, 1.0, 2.0][rng.next_index(3)]).collect();
+        let env = Envelope {
+            q: 2.0,
+            lower: 0.5,
+            static_total: n as f64,
+            outliers: Vec::new(),
+        };
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::new("uniform_ps", n), &pd, |b, pd| {
+            let mut rng = DeterministicRng::new(5);
+            b.iter(|| {
+                sample_local(
+                    &env,
+                    &mut rng,
+                    1000,
+                    |r| r.next_index(pd.len()),
+                    |_| 1.0,
+                    |e| pd[e],
+                    |_| None,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The full-scan alternative at the same degrees, for contrast.
+fn bench_full_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_scan_per_step");
+    for n in [16usize, 256, 4096, 65536] {
+        let mut rng = DeterministicRng::new(6);
+        let pd: Vec<f64> = (0..n).map(|_| [0.5, 1.0, 2.0][rng.next_index(3)]).collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("cdf_rebuild", n), &pd, |b, pd| {
+            let mut rng = DeterministicRng::new(7);
+            let mut scratch = Vec::new();
+            b.iter(|| {
+                scratch.clear();
+                let mut run = 0.0;
+                for &p in pd {
+                    run += p;
+                    scratch.push(run);
+                }
+                CdfTable::sample_prepared(&scratch, &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_build,
+    bench_sample,
+    bench_rejection,
+    bench_full_scan
+);
+criterion_main!(benches);

@@ -1,0 +1,166 @@
+//! Exactness vs approximation (§1/§3): KnightKing against the deployed
+//! node2vec approximations it obsoletes.
+//!
+//! Claim under test: "unlike existing approximate optimizations,
+//! KnightKing performs *exact* sampling, improving performance without
+//! sacrificing correctness." We run node2vec four ways on a hub-heavy
+//! graph and report both run time and distributional error (total
+//! variation distance of per-vertex visit frequencies against the exact
+//! full-scan reference):
+//!
+//! * exact full scan (reference distribution; traditional cost),
+//! * KnightKing (exact; rejection-sampling cost),
+//! * edge trimming at degree 30 (node2vec-on-spark),
+//! * static switch at degree 100 (Fast-Node2Vec).
+//!
+//! Expected: KnightKing's TV error is statistical noise (same as a
+//! second exact run under a different seed) at several times the full
+//! scan's speed. Edge trimming carries real, visible error (it walks a
+//! different graph). The static switch's error is small on aggregate
+//! metrics — non-neighbor probability mass dominates at huge-degree
+//! vertices, which is exactly the observation Fast-Node2Vec exploits —
+//! but KnightKing removes even that trade by being exact at the same
+//! speed.
+
+use knightking_baseline::{
+    approx::total_variation, trim_high_degree, FullScanRunner, Node2VecSpec, StaticSwitchNode2Vec,
+};
+use knightking_bench::{HarnessOpts, Table};
+use knightking_core::{
+    CsrGraph, RandomWalkEngine, VertexId, WalkConfig, WalkObserver, Walker, WalkerStarts,
+};
+use knightking_graph::gen;
+use knightking_walks::Node2Vec;
+
+/// Visit-count observer.
+struct Visits(usize);
+impl WalkObserver<()> for Visits {
+    type Acc = Vec<u64>;
+    fn make_acc(&self) -> Vec<u64> {
+        vec![0; self.0]
+    }
+    fn on_move(&self, acc: &mut Vec<u64>, w: &Walker<()>) {
+        acc[w.current as usize] += 1;
+    }
+    fn merge(&self, into: &mut Vec<u64>, from: Vec<u64>) {
+        for (a, b) in into.iter_mut().zip(from) {
+            *a += b;
+        }
+    }
+}
+
+fn engine_visits(
+    graph: &CsrGraph,
+    program: impl knightking_core::WalkerProgram<Data = ()>,
+    walkers: u64,
+    seed: u64,
+) -> (Vec<u64>, f64, f64) {
+    let cfg = WalkConfig::with_nodes(1, seed);
+    let (r, visits) = RandomWalkEngine::new(graph, program, cfg)
+        .run_with_observer(WalkerStarts::Count(walkers), &Visits(graph.vertex_count()));
+    let ret = knightking_walks::analysis::return_rate(&r.paths);
+    (visits, r.elapsed.as_secs_f64(), ret)
+}
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let n: usize = if opts.quick { 5_000 } else { 20_000 };
+    // Hub-heavy topology: where the approximations bite.
+    let graph = gen::with_hotspots(n, 10, 4, n / 4, gen::GenOptions::seeded(0xA0));
+    let walkers = (n * 4) as u64;
+    // Strong BFS-flavoured second-order preferences (low p: return often;
+    // high q: stay near the previous neighborhood) — the regime where
+    // flattening Pd at hubs distorts behaviour most.
+    let n2v = Node2Vec::new(0.25, 4.0, 40);
+    println!(
+        "Approximation accuracy vs speed — node2vec p=0.25 q=4, hub-heavy graph \
+         (n = {n}, 4 hubs of degree {}), {walkers} walkers\n",
+        n / 4
+    );
+
+    // Reference: exact full scan, and a second exact run under another
+    // seed to calibrate the statistical noise floor of the TV metric.
+    let full = FullScanRunner::new(&graph, Node2VecSpec::from(n2v), 1, 1)
+        .with_paths()
+        .run(WalkerStarts::Count(walkers));
+    let mut reference = vec![0u64; n];
+    for p in &full.paths {
+        for &v in &p[1..] {
+            reference[v as usize] += 1;
+        }
+    }
+    let full_secs = full.elapsed.as_secs_f64();
+
+    let exact_return = knightking_walks::analysis::return_rate(&full.paths);
+
+    let (noise_visits, _, noise_return) = engine_visits(&graph, n2v, walkers, 999);
+    let noise_floor = total_variation(&noise_visits, &reference);
+
+    let (kk_visits, kk_secs, kk_return) = engine_visits(&graph, n2v, walkers, 2);
+
+    let trimmed_graph = trim_high_degree(&graph, 30, 3);
+    let (trim_visits, trim_secs, trim_return) = engine_visits(&trimmed_graph, n2v, walkers, 2);
+
+    let static_switch = StaticSwitchNode2Vec::new(n2v, 100);
+    let (ss_visits, ss_secs, ss_return) = engine_visits(&graph, static_switch, walkers, 2);
+
+    let mut t = Table::new(&[
+        "method",
+        "time (s)",
+        "TV error vs exact",
+        "return rate",
+        "exact?",
+    ]);
+    t.row(&[
+        "full scan (reference)".into(),
+        format!("{full_secs:.3}"),
+        "—".into(),
+        format!("{exact_return:.4}"),
+        "yes".into(),
+    ]);
+    t.row(&[
+        "KnightKing".into(),
+        format!("{kk_secs:.3}"),
+        format!("{:.4}", total_variation(&kk_visits, &reference)),
+        format!("{kk_return:.4}"),
+        "yes".into(),
+    ]);
+    t.row(&[
+        "edge trimming (cap 30)".into(),
+        format!("{trim_secs:.3}"),
+        format!("{:.4}", total_variation(&trim_visits, &reference)),
+        format!("{trim_return:.4}"),
+        "no".into(),
+    ]);
+    t.row(&[
+        "static switch (deg>100)".into(),
+        format!("{ss_secs:.3}"),
+        format!("{:.4}", total_variation(&ss_visits, &reference)),
+        format!("{ss_return:.4}"),
+        "no".into(),
+    ]);
+    t.print();
+    let _ = noise_return;
+    println!("\nstatistical noise floor (two exact runs, different seeds): TV ≈ {noise_floor:.4}");
+    println!("expected: KnightKing at the noise floor and several times faster than the");
+    println!("full scan. Edge trimming shows real distributional error (it walks a");
+    println!("different graph). The static switch's error is small — which is why");
+    println!("Fast-Node2Vec picked it — but with KnightKing matching its speed *exactly*,");
+    println!("there is nothing left to buy with the approximation.");
+
+    // Where does the approximation error live? Check the hubs.
+    let hubs: Vec<VertexId> = (0..4).collect();
+    println!("\nper-hub visit frequency (per mille of all visits):");
+    let mut ht = Table::new(&["hub", "exact", "KnightKing", "trimmed", "static switch"]);
+    let norm = |v: &[u64], i: usize| -> f64 { 1000.0 * v[i] as f64 / v.iter().sum::<u64>() as f64 };
+    for &h in &hubs {
+        ht.row(&[
+            format!("{h}"),
+            format!("{:.2}", norm(&reference, h as usize)),
+            format!("{:.2}", norm(&kk_visits, h as usize)),
+            format!("{:.2}", norm(&trim_visits, h as usize)),
+            format!("{:.2}", norm(&ss_visits, h as usize)),
+        ]);
+    }
+    ht.print();
+}

@@ -1,0 +1,70 @@
+//! Figure 5 — tail behavior: random walk vs BFS on LiveJournal.
+//!
+//! Paper shape: BFS's active-vertex set grows and shrinks fast (done in
+//! ~12 iterations); a straggler-prone walk (PPR-style geometric
+//! termination) "converges" slowly, with very few active walkers lagging
+//! for hundreds of iterations — a *longer and thinner* tail.
+
+use knightking_baseline::bfs::bfs_frontier_sizes;
+use knightking_bench::{graphs::StandIn, HarnessOpts};
+use knightking_core::{RandomWalkEngine, WalkConfig, WalkerStarts};
+use knightking_walks::Ppr;
+
+/// Renders a log-ish sparkline of a series.
+fn spark(series: &[u64], peak: u64) -> String {
+    const BARS: &[char] = &[' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    series
+        .iter()
+        .map(|&v| {
+            if v == 0 {
+                BARS[0]
+            } else {
+                let frac = ((v as f64).ln_1p() / (peak as f64).ln_1p() * 8.0).ceil() as usize;
+                BARS[frac.clamp(1, 8)]
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let scale = opts.effective_scale(StandIn::LiveJournal.default_scale());
+    let graph = StandIn::LiveJournal.build(scale, false, false);
+    println!(
+        "Figure 5 — tail behavior, random walk vs BFS (LiveJournal stand-in, scale {scale})\n"
+    );
+
+    let bfs = bfs_frontier_sizes(&graph, opts.nodes, 0);
+
+    let mut cfg = WalkConfig::with_nodes(opts.nodes, 3);
+    cfg.record_paths = false;
+    let walk = RandomWalkEngine::new(&graph, Ppr::paper(), cfg).run(WalkerStarts::PerVertex);
+    let walk_series = &walk.active_per_iteration;
+
+    println!(
+        "BFS active vertices per iteration ({} iterations):",
+        bfs.len()
+    );
+    println!("  {:?}", bfs);
+    println!("  [{}]", spark(&bfs, *bfs.iter().max().unwrap_or(&1)));
+
+    println!(
+        "\nPPR active walkers per iteration ({} iterations, Pt = 1/80):",
+        walk_series.len()
+    );
+    let head: Vec<u64> = walk_series.iter().copied().take(12).collect();
+    println!("  first 12: {head:?}");
+    let tail_start = walk_series.iter().position(|&a| a < 100).unwrap_or(0);
+    println!(
+        "  fewer than 100 active from iteration {tail_start}; last walker finished at iteration {}",
+        walk_series.len()
+    );
+    let peak = *walk_series.iter().max().unwrap_or(&1);
+    println!("  [{}]", spark(walk_series, peak));
+
+    println!(
+        "\nshape check: BFS finishes in {} iterations; the walk drags {}x longer with a thin tail",
+        bfs.len(),
+        walk_series.len() / bfs.len().max(1)
+    );
+}

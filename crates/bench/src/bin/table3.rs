@@ -1,0 +1,12 @@
+//! Table 3 — overall performance, unweighted graphs.
+//!
+//! Paper shape to preserve: KnightKing wins everywhere; static walks
+//! (DeepWalk, PPR) by a modest constant factor (~6-17x on the paper's
+//! cluster), dynamic walks (Meta-path, node2vec) by orders of magnitude
+//! on the heavily skewed graphs (the paper's starred entries reach
+//! 11138x).
+
+fn main() {
+    let opts = knightking_bench::HarnessOpts::from_args();
+    knightking_bench::overall::run(false, opts);
+}

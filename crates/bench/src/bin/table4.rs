@@ -1,0 +1,11 @@
+//! Table 4 — overall performance, weighted graphs (weights U[1, 5)).
+//!
+//! Paper shape to preserve: same ordering as Table 3 with both systems
+//! moderately slower than their unweighted runs (non-uniform static
+//! sampling overhead); whether the graph is weighted plays little role
+//! for node2vec, whose cost is dominated by connectivity checks.
+
+fn main() {
+    let opts = knightking_bench::HarnessOpts::from_args();
+    knightking_bench::overall::run(true, opts);
+}

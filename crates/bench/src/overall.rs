@@ -1,0 +1,171 @@
+//! Shared driver for Tables 3 and 4: overall performance of the four
+//! algorithms on the four graphs, KnightKing vs the Gemini-style
+//! baseline.
+//!
+//! Methodology mirrors §7.1: `|V|` walkers, timing includes walker and
+//! sampling-structure initialization, excludes graph build and
+//! partitioning, and — like the paper's starred entries — prohibitively
+//! slow baseline configurations (dynamic walks on the heavily skewed
+//! graphs) are *extrapolated* from a run with a sampled subset of walkers
+//! (the paper validated linearity in walker count with R² ≥ 0.9998 and
+//! error < 1.5%).
+
+use knightking_baseline::{
+    BaselineResult, DeepWalkSpec, GeminiConfig, GeminiEngine, MetaPathSpec, Node2VecSpec, PprSpec,
+};
+use knightking_core::{RandomWalkEngine, WalkConfig, WalkMetrics, WalkerStarts};
+use knightking_graph::CsrGraph;
+use knightking_walks::{DeepWalk, MetaPath, Node2Vec, Ppr};
+
+use crate::{graphs::StandIn, HarnessOpts, Table};
+
+/// Fraction of walkers used when extrapolating a starred baseline entry.
+const SAMPLE_FRACTION: f64 = 0.1;
+
+/// The four workloads in the tables' row order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    /// Static, fixed length 80.
+    DeepWalk,
+    /// Static, geometric termination `Pt = 1/80`.
+    Ppr,
+    /// Dynamic first-order, 5 types / 10 schemes / scheme length 5.
+    MetaPath,
+    /// Dynamic second-order, `p = 2, q = 0.5`.
+    Node2Vec,
+}
+
+impl Algo {
+    /// All four, in paper order.
+    pub const ALL: [Algo; 4] = [Algo::DeepWalk, Algo::Ppr, Algo::MetaPath, Algo::Node2Vec];
+
+    /// Row label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algo::DeepWalk => "DeepWalk",
+            Algo::Ppr => "PPR",
+            Algo::MetaPath => "Meta-path",
+            Algo::Node2Vec => "node2vec",
+        }
+    }
+
+    /// Whether per-step probabilities depend on walker state.
+    pub fn dynamic(&self) -> bool {
+        matches!(self, Algo::MetaPath | Algo::Node2Vec)
+    }
+
+    /// Runs the KnightKing engine for this workload.
+    pub fn run_knightking(
+        &self,
+        graph: &CsrGraph,
+        nodes: usize,
+        walkers: u64,
+        seed: u64,
+    ) -> (WalkMetrics, f64) {
+        let mut cfg = WalkConfig::with_nodes(nodes, seed);
+        cfg.record_paths = false;
+        let starts = WalkerStarts::Count(walkers);
+        let result = match self {
+            Algo::DeepWalk => RandomWalkEngine::new(graph, DeepWalk::paper(), cfg).run(starts),
+            Algo::Ppr => RandomWalkEngine::new(graph, Ppr::paper(), cfg).run(starts),
+            Algo::MetaPath => RandomWalkEngine::new(graph, MetaPath::paper(seed), cfg).run(starts),
+            Algo::Node2Vec => RandomWalkEngine::new(graph, Node2Vec::paper(), cfg).run(starts),
+        };
+        let secs = result.elapsed.as_secs_f64();
+        (result.metrics, secs)
+    }
+
+    /// Runs the Gemini-style baseline for this workload.
+    pub fn run_gemini(
+        &self,
+        graph: &CsrGraph,
+        nodes: usize,
+        walkers: u64,
+        seed: u64,
+    ) -> BaselineResult {
+        let cfg = GeminiConfig::new(nodes, seed);
+        let starts = WalkerStarts::Count(walkers);
+        match self {
+            Algo::DeepWalk => {
+                GeminiEngine::new(graph, DeepWalkSpec { walk_length: 80 }, cfg).run(starts)
+            }
+            Algo::Ppr => GeminiEngine::new(
+                graph,
+                PprSpec {
+                    termination_prob: 1.0 / 80.0,
+                },
+                cfg,
+            )
+            .run(starts),
+            Algo::MetaPath => {
+                GeminiEngine::new(graph, MetaPathSpec::from(MetaPath::paper(seed)), cfg).run(starts)
+            }
+            Algo::Node2Vec => {
+                GeminiEngine::new(graph, Node2VecSpec::from(Node2Vec::paper()), cfg).run(starts)
+            }
+        }
+    }
+}
+
+/// One measured cell of the table.
+pub struct Cell {
+    /// Seconds (possibly extrapolated).
+    pub secs: f64,
+    /// Whether the value was extrapolated from a walker sample.
+    pub extrapolated: bool,
+}
+
+/// Runs the full table and prints it.
+pub fn run(weighted: bool, opts: HarnessOpts) {
+    let kind = if weighted { "weighted" } else { "unweighted" };
+    println!(
+        "Table {} — overall performance on {kind} graphs ({} simulated nodes, |V| walkers)\n",
+        if weighted { 4 } else { 3 },
+        opts.nodes
+    );
+
+    let mut table = Table::new(&["Algorithm", "Graph", "Gemini-like", "KnightKing", "Speedup"]);
+    for algo in Algo::ALL {
+        for stand_in in StandIn::ALL {
+            let scale = opts.effective_scale(stand_in.default_scale());
+            let typed = matches!(algo, Algo::MetaPath);
+            let graph = stand_in.build(scale, weighted, typed);
+            let walkers = graph.vertex_count() as u64;
+
+            let (_, kk_secs) = algo.run_knightking(&graph, opts.nodes, walkers, 7);
+
+            // Star policy mirroring the paper: dynamic walks on the
+            // heavily skewed graphs are extrapolated from a 10% walker
+            // sample.
+            let star = algo.dynamic() && stand_in.heavy_skew() && !opts.quick;
+            let gem = if star {
+                let sample = ((walkers as f64 * SAMPLE_FRACTION) as u64).max(1);
+                let r = algo.run_gemini(&graph, opts.nodes, sample, 7);
+                Cell {
+                    secs: r.elapsed.as_secs_f64() * walkers as f64 / sample as f64,
+                    extrapolated: true,
+                }
+            } else {
+                let r = algo.run_gemini(&graph, opts.nodes, walkers, 7);
+                Cell {
+                    secs: r.elapsed.as_secs_f64(),
+                    extrapolated: false,
+                }
+            };
+
+            let star_mark = if gem.extrapolated { "*" } else { "" };
+            table.row(&[
+                algo.name().into(),
+                stand_in.name().into(),
+                format!("{}{star_mark}", crate::fmt_secs(gem.secs)),
+                crate::fmt_secs(kk_secs),
+                format!("{:.2}x{star_mark}", gem.secs / kk_secs),
+            ]);
+        }
+    }
+    table.print();
+    println!(
+        "\n(* extrapolated from a {:.0}% walker sample, per §7.1 methodology)",
+        SAMPLE_FRACTION * 100.0
+    );
+}

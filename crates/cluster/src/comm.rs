@@ -1,0 +1,510 @@
+//! All-to-all message exchange and collectives for the simulated cluster.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::metrics::ClusterMetrics;
+
+/// A sense-reversing spin barrier.
+///
+/// BSP iterations synchronize a handful of node threads thousands of
+/// times per run; `std::sync::Barrier`'s futex sleep/wake costs tens of
+/// microseconds per crossing, which at simulation scale dwarfs the
+/// per-iteration compute. With at most ~16 node threads, spinning (with
+/// periodic yields to stay polite under oversubscription) is the right
+/// trade.
+pub(crate) struct SpinBarrier {
+    n: usize,
+    arrived: AtomicUsize,
+    generation: AtomicUsize,
+    /// More barrier participants than hardware threads: spinning would
+    /// steal the core a worker needs, so yield immediately instead.
+    oversubscribed: bool,
+    /// Set when a participant panicked: waiters must bail out instead of
+    /// spinning forever on a peer that will never arrive.
+    poisoned: AtomicBool,
+}
+
+impl SpinBarrier {
+    pub(crate) fn new(n: usize) -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        SpinBarrier {
+            n,
+            arrived: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+            oversubscribed: n > cores,
+            poisoned: AtomicBool::new(false),
+        }
+    }
+
+    /// Marks the barrier as poisoned; all current and future waiters
+    /// panic instead of deadlocking.
+    pub(crate) fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+    }
+
+    /// Blocks until all `n` participants have called `wait`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a participant panicked (the barrier was poisoned) —
+    /// propagating the failure instead of deadlocking the cluster.
+    pub(crate) fn wait(&self) {
+        if self.n == 1 {
+            return;
+        }
+        if self.poisoned.load(Ordering::Acquire) {
+            panic!("cluster barrier poisoned: another node panicked");
+        }
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) == self.n - 1 {
+            // Last arrival: reset and release the generation.
+            self.arrived.store(0, Ordering::Release);
+            self.generation
+                .store(gen.wrapping_add(1), Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.generation.load(Ordering::Acquire) == gen {
+                if self.poisoned.load(Ordering::Acquire) {
+                    panic!("cluster barrier poisoned: another node panicked");
+                }
+                spins += 1;
+                if self.oversubscribed || spins.is_multiple_of(1024) {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+}
+
+/// Shared collective state for one cluster run.
+struct Shared<M> {
+    n_nodes: usize,
+    /// `slots[from][to]`: staged messages awaiting delivery.
+    slots: Vec<Vec<Mutex<Vec<M>>>>,
+    /// Synchronizes collective phases.
+    barrier: SpinBarrier,
+    /// Scratch for `allreduce_sum`.
+    reduce: Vec<AtomicU64>,
+    /// Run-wide communication metrics.
+    metrics: ClusterMetrics,
+}
+
+/// A node's handle onto the cluster: its identity plus the collectives.
+///
+/// Handed to each node closure by [`run_cluster`]. All collective calls
+/// must be made by *every* node the same number of times in the same
+/// order (the usual SPMD contract); violating it deadlocks, exactly as it
+/// would under MPI.
+pub struct NodeCtx<'a, M> {
+    /// This node's id in `[0, n_nodes)`.
+    pub node: usize,
+    shared: &'a Shared<M>,
+}
+
+impl<'a, M: Send> NodeCtx<'a, M> {
+    /// Number of nodes in the cluster.
+    #[inline]
+    pub fn n_nodes(&self) -> usize {
+        self.shared.n_nodes
+    }
+
+    /// Run-wide communication metrics (shared by all nodes).
+    pub fn metrics(&self) -> &ClusterMetrics {
+        &self.shared.metrics
+    }
+
+    /// Waits until every node reaches this point.
+    pub fn barrier(&self) {
+        self.shared.barrier.wait();
+    }
+
+    /// All-to-all message exchange (`MPI_Alltoallv`).
+    ///
+    /// `outbox[i]` is delivered to node `i`; the returned inbox contains
+    /// everything addressed to this node, concatenated in sender-id order.
+    /// Messages to self are delivered too (walker logic need not
+    /// special-case local moves).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outbox.len() != n_nodes()`.
+    pub fn exchange(&self, outbox: Vec<Vec<M>>) -> Vec<M> {
+        let n = self.shared.n_nodes;
+        assert_eq!(outbox.len(), n, "outbox must address every node");
+
+        let mut sent = 0u64;
+        for (to, msgs) in outbox.into_iter().enumerate() {
+            if to != self.node {
+                sent += msgs.len() as u64;
+            }
+            if !msgs.is_empty() {
+                let mut slot = self.shared.slots[self.node][to].lock();
+                debug_assert!(slot.is_empty(), "exchange slot not drained");
+                *slot = msgs;
+            }
+        }
+        self.shared.metrics.record_send::<M>(sent);
+
+        // Phase 1: everyone has staged. Phase 2 (after drain): slots are
+        // reusable for the next exchange.
+        self.shared.barrier.wait();
+        let mut inbox = Vec::new();
+        for from in 0..n {
+            let mut slot = self.shared.slots[from][self.node].lock();
+            inbox.append(&mut slot);
+        }
+        self.shared.barrier.wait();
+        self.shared.metrics.record_exchange(self.node);
+        inbox
+    }
+
+    /// Sums `value` across all nodes and returns the total to each
+    /// (`MPI_Allreduce` with `MPI_SUM`).
+    pub fn allreduce_sum(&self, value: u64) -> u64 {
+        self.shared.reduce[self.node].store(value, Ordering::Relaxed);
+        self.shared.barrier.wait();
+        let total = self
+            .shared
+            .reduce
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .sum();
+        // Keep slow readers from racing the next allreduce's stores.
+        self.shared.barrier.wait();
+        total
+    }
+
+    /// Returns `true` on exactly one node (node 0); useful for one-shot
+    /// reporting.
+    pub fn is_leader(&self) -> bool {
+        self.node == 0
+    }
+}
+
+/// Runs `n_nodes` node closures to completion and collects their results.
+///
+/// Each closure receives its [`NodeCtx`]. Panics in any node propagate to
+/// the caller (after all threads are joined by the scope).
+///
+/// # Examples
+///
+/// ```
+/// use knightking_cluster::run_cluster;
+///
+/// // Ring shift: each node sends its id to the next node.
+/// let results = run_cluster::<u64, _, _>(4, |ctx| {
+///     let n = ctx.n_nodes();
+///     let mut outbox: Vec<Vec<u64>> = vec![Vec::new(); n];
+///     outbox[(ctx.node + 1) % n].push(ctx.node as u64);
+///     let inbox = ctx.exchange(outbox);
+///     inbox[0]
+/// });
+/// assert_eq!(results, vec![3, 0, 1, 2]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n_nodes == 0`.
+pub fn run_cluster<M, R, F>(n_nodes: usize, f: F) -> Vec<R>
+where
+    M: Send,
+    R: Send,
+    F: Fn(NodeCtx<'_, M>) -> R + Sync,
+{
+    assert!(n_nodes > 0, "need at least one node");
+    let shared = Shared::<M> {
+        n_nodes,
+        slots: (0..n_nodes)
+            .map(|_| (0..n_nodes).map(|_| Mutex::new(Vec::new())).collect())
+            .collect(),
+        barrier: SpinBarrier::new(n_nodes),
+        reduce: (0..n_nodes).map(|_| AtomicU64::new(0)).collect(),
+        metrics: ClusterMetrics::new(n_nodes),
+    };
+
+    if n_nodes == 1 {
+        return vec![f(NodeCtx {
+            node: 0,
+            shared: &shared,
+        })];
+    }
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_nodes)
+            .map(|node| {
+                let shared = &shared;
+                let f = &f;
+                scope.spawn(move || run_poisoning(shared, node, f))
+            })
+            .collect();
+        collect_results(handles)
+    })
+}
+
+/// Runs one node's closure, poisoning the barrier if it panics so peers
+/// blocked on collectives fail fast instead of deadlocking.
+fn run_poisoning<M: Send, R, F>(shared: &Shared<M>, node: usize, f: &F) -> R
+where
+    F: Fn(NodeCtx<'_, M>) -> R,
+{
+    let result =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(NodeCtx { node, shared })));
+    match result {
+        Ok(r) => r,
+        Err(payload) => {
+            shared.barrier.poison();
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Joins node threads, preferring the panic of the node that failed
+/// *first* (the poisoner) over the secondary poisoned-barrier panics.
+fn collect_results<R>(handles: Vec<std::thread::ScopedJoinHandle<'_, R>>) -> Vec<R> {
+    let mut results = Vec::with_capacity(handles.len());
+    let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
+    let mut secondary: Option<Box<dyn std::any::Any + Send>> = None;
+    for h in handles {
+        match h.join() {
+            Ok(r) => results.push(r),
+            Err(payload) => {
+                let is_poison = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.contains("barrier poisoned"))
+                    .or_else(|| {
+                        payload
+                            .downcast_ref::<String>()
+                            .map(|s| s.contains("barrier poisoned"))
+                    })
+                    .unwrap_or(false);
+                if is_poison {
+                    secondary.get_or_insert(payload);
+                } else {
+                    first_panic.get_or_insert(payload);
+                }
+            }
+        }
+    }
+    if let Some(p) = first_panic.or(secondary) {
+        std::panic::resume_unwind(p);
+    }
+    results
+}
+
+/// Runs a cluster and also returns a snapshot of the communication
+/// metrics accumulated over the whole run.
+///
+/// # Panics
+///
+/// Panics if `n_nodes == 0`.
+pub fn run_cluster_with_metrics<M, R, F>(
+    n_nodes: usize,
+    f: F,
+) -> (Vec<R>, crate::metrics::MetricCounts)
+where
+    M: Send,
+    R: Send,
+    F: Fn(NodeCtx<'_, M>) -> R + Sync,
+{
+    assert!(n_nodes > 0, "need at least one node");
+    let shared = Shared::<M> {
+        n_nodes,
+        slots: (0..n_nodes)
+            .map(|_| (0..n_nodes).map(|_| Mutex::new(Vec::new())).collect())
+            .collect(),
+        barrier: SpinBarrier::new(n_nodes),
+        reduce: (0..n_nodes).map(|_| AtomicU64::new(0)).collect(),
+        metrics: ClusterMetrics::new(n_nodes),
+    };
+
+    let results = if n_nodes == 1 {
+        vec![f(NodeCtx {
+            node: 0,
+            shared: &shared,
+        })]
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n_nodes)
+                .map(|node| {
+                    let shared = &shared;
+                    let f = &f;
+                    scope.spawn(move || run_poisoning(shared, node, f))
+                })
+                .collect();
+            collect_results(handles)
+        })
+    };
+    let counts = shared.metrics.clone_counts();
+    (results, counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exchange_delivers_in_sender_order() {
+        let results = run_cluster::<(usize, u32), _, _>(3, |ctx| {
+            let n = ctx.n_nodes();
+            // Every node sends (its id, i) to every node i.
+            let outbox: Vec<Vec<(usize, u32)>> =
+                (0..n).map(|to| vec![(ctx.node, to as u32)]).collect();
+            ctx.exchange(outbox)
+        });
+        for (me, inbox) in results.iter().enumerate() {
+            let senders: Vec<usize> = inbox.iter().map(|&(s, _)| s).collect();
+            assert_eq!(senders, vec![0, 1, 2], "node {me} inbox order");
+            assert!(inbox.iter().all(|&(_, to)| to as usize == me));
+        }
+    }
+
+    #[test]
+    fn self_messages_delivered() {
+        let results = run_cluster::<u8, _, _>(2, |ctx| {
+            let mut outbox = vec![Vec::new(), Vec::new()];
+            outbox[ctx.node].push(42u8);
+            ctx.exchange(outbox)
+        });
+        assert_eq!(results, vec![vec![42], vec![42]]);
+    }
+
+    #[test]
+    fn repeated_exchanges_do_not_leak_messages() {
+        let results = run_cluster::<u32, _, _>(4, |ctx| {
+            let n = ctx.n_nodes();
+            let mut total = 0usize;
+            for round in 0..10u32 {
+                let outbox: Vec<Vec<u32>> = (0..n).map(|_| vec![round]).collect();
+                let inbox = ctx.exchange(outbox);
+                assert_eq!(inbox.len(), n);
+                assert!(inbox.iter().all(|&m| m == round));
+                total += inbox.len();
+            }
+            total
+        });
+        assert!(results.iter().all(|&t| t == 40));
+    }
+
+    #[test]
+    fn allreduce_sums_across_nodes() {
+        let results = run_cluster::<(), _, _>(5, |ctx| {
+            let mut sums = Vec::new();
+            for round in 0..3u64 {
+                sums.push(ctx.allreduce_sum(ctx.node as u64 + round));
+            }
+            sums
+        });
+        // Round r: sum over nodes of (node + r) = 10 + 5r.
+        for sums in results {
+            assert_eq!(sums, vec![10, 15, 20]);
+        }
+    }
+
+    #[test]
+    fn single_node_runs_inline() {
+        let results = run_cluster::<u8, _, _>(1, |ctx| {
+            assert_eq!(ctx.n_nodes(), 1);
+            assert!(ctx.is_leader());
+            let inbox = ctx.exchange(vec![vec![7u8]]);
+            inbox[0]
+        });
+        assert_eq!(results, vec![7]);
+    }
+
+    #[test]
+    fn metrics_count_remote_messages_only() {
+        run_cluster::<u64, _, _>(2, |ctx| {
+            let mut outbox = vec![Vec::new(), Vec::new()];
+            outbox[ctx.node].push(1u64); // local: not counted
+            outbox[1 - ctx.node].extend([2u64, 3]); // remote: counted
+            ctx.exchange(outbox);
+            ctx.barrier();
+            if ctx.is_leader() {
+                let counts = ctx.metrics().clone_counts();
+                assert_eq!(counts.messages, 4);
+                assert_eq!(counts.bytes, 4 * std::mem::size_of::<u64>() as u64);
+                assert_eq!(counts.exchanges, 1);
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "outbox must address every node")]
+    fn wrong_outbox_size_panics() {
+        run_cluster::<u8, _, _>(1, |ctx| {
+            ctx.exchange(vec![]);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_panics() {
+        run_cluster::<u8, _, _>(0, |_| ());
+    }
+
+    #[test]
+    fn panicking_node_fails_fast_instead_of_deadlocking() {
+        // Node 2 panics before its exchange; the others must not spin
+        // forever — they observe the poisoned barrier and the original
+        // panic propagates to the caller.
+        let result = std::panic::catch_unwind(|| {
+            run_cluster::<u8, _, _>(4, |ctx| {
+                if ctx.node == 2 {
+                    panic!("injected failure on node 2");
+                }
+                let outbox = (0..ctx.n_nodes()).map(|_| vec![1u8]).collect();
+                let _ = ctx.exchange(outbox);
+            });
+        });
+        let payload = result.expect_err("cluster must propagate the panic");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(
+            msg.contains("injected failure"),
+            "original panic must win over poison panics, got: {msg}"
+        );
+    }
+
+    #[test]
+    fn panic_after_some_exchanges_still_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            run_cluster::<u8, _, _>(3, |ctx| {
+                for round in 0..5 {
+                    let outbox = (0..ctx.n_nodes()).map(|_| vec![round as u8]).collect();
+                    let _ = ctx.exchange(outbox);
+                    if ctx.node == 0 && round == 3 {
+                        panic!("late failure");
+                    }
+                }
+            });
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn large_fanout_stress() {
+        // 8 nodes, 1000 messages each direction, several rounds.
+        let results = run_cluster::<u64, _, _>(8, |ctx| {
+            let n = ctx.n_nodes();
+            let mut received = 0u64;
+            for _ in 0..5 {
+                let outbox: Vec<Vec<u64>> = (0..n).map(|to| vec![to as u64; 1000]).collect();
+                let inbox = ctx.exchange(outbox);
+                assert_eq!(inbox.len(), n * 1000);
+                assert!(inbox.iter().all(|&m| m == ctx.node as u64));
+                received += inbox.len() as u64;
+            }
+            received
+        });
+        assert!(results.iter().all(|&r| r == 40_000));
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! Simulated distributed runtime for the KnightKing engine.
+//!
+//! The paper runs on an 8-node cluster over OpenMPI (§6.2, §7.1). This
+//! crate substitutes a *simulated cluster*: each node is a thread owning a
+//! contiguous vertex partition, and all inter-node traffic flows through
+//! explicit all-to-all message exchanges separated by barriers — the BSP
+//! (Bulk Synchronous Parallel) model the paper adopts. The semantics the
+//! engine relies on are preserved exactly:
+//!
+//! * vertex ownership and walker migration across partitions,
+//! * two-round walker-to-vertex query message passing per iteration,
+//! * per-node message batching and byte accounting,
+//! * per-node task scheduling over chunked work queues (chunk size 128),
+//!   with the straggler-aware *light mode* of §6.2 that collapses to a
+//!   single thread when few walkers remain active.
+//!
+//! Collectives mirror their MPI namesakes: [`NodeCtx::exchange`] is
+//! `MPI_Alltoallv`, [`NodeCtx::allreduce_sum`] is `MPI_Allreduce(SUM)`,
+//! [`NodeCtx::barrier`] is `MPI_Barrier`.
+//!
+//! Determinism: inboxes are delivered ordered by sender node id, and the
+//! [`scheduler`] merges per-chunk results in chunk order, so a full engine
+//! run is a deterministic function of its seed regardless of thread
+//! scheduling.
+
+pub mod comm;
+pub mod metrics;
+pub mod scheduler;
+
+pub use comm::{run_cluster, NodeCtx};
+pub use metrics::ClusterMetrics;
+pub use scheduler::Scheduler;

@@ -1,0 +1,109 @@
+//! Property-based tests of the collective semantics: arbitrary message
+//! patterns must be delivered exactly once, in sender order, across any
+//! node count.
+
+use knightking_cluster::{run_cluster, Scheduler};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every node sends an arbitrary number of tagged messages to every
+    /// other node over several rounds; everything must arrive exactly
+    /// once, grouped by round, ordered by sender.
+    #[test]
+    fn exchange_delivers_exactly_once(
+        n_nodes in 1usize..7,
+        rounds in 1usize..4,
+        counts in prop::collection::vec(0usize..20, 1..150),
+    ) {
+        let results = run_cluster::<(u64, u64, u64), _, _>(n_nodes, |ctx| {
+            let n = ctx.n_nodes();
+            let mut received: Vec<(u64, u64, u64)> = Vec::new();
+            for round in 0..rounds {
+                let mut outbox: Vec<Vec<(u64, u64, u64)>> =
+                    (0..n).map(|_| Vec::new()).collect();
+                for (to, out) in outbox.iter_mut().enumerate() {
+                    // Deterministic per-(sender, receiver, round) count.
+                    let k = counts[(ctx.node * 31 + to * 7 + round) % counts.len()];
+                    for i in 0..k {
+                        out.push((ctx.node as u64, round as u64, i as u64));
+                    }
+                }
+                let inbox = ctx.exchange(outbox);
+                // Sender-order within one exchange.
+                let senders: Vec<u64> = inbox.iter().map(|&(s, _, _)| s).collect();
+                let mut sorted = senders.clone();
+                sorted.sort_unstable();
+                assert_eq!(senders, sorted, "inbox not sender-ordered");
+                received.extend(inbox);
+            }
+            received
+        });
+
+        // Global exactly-once check: reconstruct what each node should
+        // have received.
+        for (me, inbox) in results.iter().enumerate() {
+            let mut expected = Vec::new();
+            for round in 0..rounds {
+                for from in 0..n_nodes {
+                    let k = counts[(from * 31 + me * 7 + round) % counts.len()];
+                    for i in 0..k {
+                        expected.push((from as u64, round as u64, i as u64));
+                    }
+                }
+            }
+            prop_assert_eq!(inbox, &expected, "node {} inbox mismatch", me);
+        }
+    }
+
+    /// Allreduce agrees across nodes and rounds for arbitrary inputs.
+    #[test]
+    fn allreduce_is_consistent(
+        n_nodes in 1usize..7,
+        values in prop::collection::vec(0u64..1000, 1..40),
+    ) {
+        let results = run_cluster::<(), _, _>(n_nodes, |ctx| {
+            let mut sums = Vec::new();
+            for (round, _) in values.iter().enumerate() {
+                let mine = values[(ctx.node + round) % values.len()];
+                sums.push(ctx.allreduce_sum(mine));
+            }
+            sums
+        });
+        for round in 0..values.len() {
+            let expect: u64 = (0..n_nodes)
+                .map(|node| values[(node + round) % values.len()])
+                .sum();
+            for (node, sums) in results.iter().enumerate() {
+                prop_assert_eq!(sums[round], expect, "node {} round {}", node, round);
+            }
+        }
+    }
+
+    /// The scheduler processes arbitrary workloads exactly once with
+    /// chunk-ordered accumulators, for any thread/chunk configuration.
+    #[test]
+    fn scheduler_exactly_once(
+        threads in 1usize..6,
+        chunk in 1usize..70,
+        len in 0usize..400,
+        light in 0usize..500,
+    ) {
+        let sched = Scheduler {
+            threads,
+            chunk_size: chunk,
+            light_threshold: light,
+        };
+        let mut items: Vec<u64> = (0..len as u64).collect();
+        let accs = sched.run_chunks(&mut items, Vec::new, |base, slice, acc: &mut Vec<u64>| {
+            for (i, x) in slice.iter_mut().enumerate() {
+                *x += 1;
+                acc.push((base + i) as u64);
+            }
+        });
+        prop_assert!(items.iter().enumerate().all(|(i, &x)| x == i as u64 + 1));
+        let flat: Vec<u64> = accs.into_iter().flatten().collect();
+        prop_assert_eq!(flat, (0..len as u64).collect::<Vec<u64>>());
+    }
+}

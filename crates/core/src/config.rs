@@ -1,0 +1,211 @@
+//! Engine configuration and walker placement.
+
+use knightking_graph::VertexId;
+
+/// Where walkers start (§5.2 "Initialization and termination").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalkerStarts {
+    /// `n` walkers placed by the paper's default strategy: walker `i`
+    /// starts at vertex `i mod |V|`.
+    Count(u64),
+    /// One walker per vertex — the `|V|` walkers setup of §7.1.
+    PerVertex,
+    /// Explicit start vertices; walker `i` starts at `starts[i]`.
+    Explicit(Vec<VertexId>),
+}
+
+impl WalkerStarts {
+    /// Builds an explicit start list with `n` walkers placed at vertices
+    /// sampled proportionally to out-degree — the natural "start from the
+    /// stationary distribution" setup (§5.2 lets users supply a start
+    /// *distribution*).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has no edges but walkers were requested.
+    pub fn degree_proportional(graph: &knightking_graph::CsrGraph, n: u64, seed: u64) -> Self {
+        use knightking_sampling::DeterministicRng;
+        if n == 0 {
+            return WalkerStarts::Explicit(Vec::new());
+        }
+        let weights: Vec<f64> = (0..graph.vertex_count())
+            .map(|v| graph.degree(v as VertexId) as f64)
+            .collect();
+        let cdf = knightking_sampling::CdfTable::new(&weights)
+            .expect("degree-proportional starts need at least one edge");
+        let mut rng = DeterministicRng::for_stream(seed, 0x57A2);
+        WalkerStarts::Explicit((0..n).map(|_| cdf.sample(&mut rng) as VertexId).collect())
+    }
+
+    /// Materializes the start vertex of every walker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is empty but walkers were requested.
+    pub fn materialize(&self, vertex_count: usize) -> Vec<VertexId> {
+        match self {
+            WalkerStarts::Count(n) => {
+                assert!(vertex_count > 0 || *n == 0, "no vertices to start from");
+                (0..*n)
+                    .map(|i| (i % vertex_count as u64) as VertexId)
+                    .collect()
+            }
+            WalkerStarts::PerVertex => (0..vertex_count as VertexId).collect(),
+            WalkerStarts::Explicit(starts) => {
+                assert!(
+                    starts.iter().all(|&s| (s as usize) < vertex_count),
+                    "explicit start vertex out of range"
+                );
+                starts.clone()
+            }
+        }
+    }
+}
+
+/// Engine configuration.
+///
+/// The ablation flags (`use_lower_bound`, `use_outliers`,
+/// `decoupled_static`) exist to reproduce the paper's Table 5 and
+/// Figure 8; production users leave them at the defaults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalkConfig {
+    /// Number of simulated cluster nodes.
+    pub n_nodes: usize,
+    /// Compute threads per node (`0` = auto: available parallelism divided
+    /// by `n_nodes`, at least 1).
+    pub threads_per_node: usize,
+    /// Seed for all randomness in the run.
+    pub seed: u64,
+    /// Record full walk paths (excluded from the paper's timings; cheap
+    /// but memory-proportional to total steps).
+    pub record_paths: bool,
+    /// Light-mode threshold: a node with fewer active walkers processes
+    /// them on one thread (§6.2; paper default 4000). `0` disables.
+    pub light_threshold: usize,
+    /// Task granularity for walkers and messages (paper default 128).
+    pub chunk_size: usize,
+    /// Local rejection trials before falling back to an exact full scan.
+    /// The fallback guarantees liveness when all `Pd` mass is (nearly)
+    /// zero — e.g. a Meta-path walker at a vertex with no matching edge
+    /// type.
+    pub max_local_trials: u32,
+    /// Honor the program's `lower_bound` (pre-acceptance, Table 5a).
+    pub use_lower_bound: bool,
+    /// Honor the program's outlier declarations (appendix folding,
+    /// Table 5b).
+    pub use_outliers: bool,
+    /// Keep `Ps` decoupled from `Pd` (Figure 8). When `false` ("mixed"
+    /// mode), the engine emulates traditional samplers that fold edge
+    /// weights into the dynamic component: candidates are drawn uniformly
+    /// and `Pd` is multiplied by the weight, inflating the envelope by the
+    /// vertex's maximum weight.
+    pub decoupled_static: bool,
+}
+
+impl WalkConfig {
+    /// A single-node configuration with auto threads.
+    pub fn single_node(seed: u64) -> Self {
+        WalkConfig::with_nodes(1, seed)
+    }
+
+    /// An `n`-node configuration with auto threads.
+    pub fn with_nodes(n_nodes: usize, seed: u64) -> Self {
+        WalkConfig {
+            n_nodes,
+            threads_per_node: 0,
+            seed,
+            record_paths: true,
+            light_threshold: knightking_cluster::scheduler::DEFAULT_LIGHT_THRESHOLD,
+            chunk_size: knightking_cluster::scheduler::DEFAULT_CHUNK,
+            max_local_trials: 64,
+            use_lower_bound: true,
+            use_outliers: true,
+            decoupled_static: true,
+        }
+    }
+
+    /// Resolved threads per node.
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads_per_node > 0 {
+            self.threads_per_node
+        } else {
+            let total = std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1);
+            (total / self.n_nodes).max(1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree_proportional_favors_hubs() {
+        use knightking_graph::GraphBuilder;
+        let mut b = GraphBuilder::directed(3);
+        // Vertex 0: degree 8; vertex 1: degree 2; vertex 2: degree 0.
+        for _ in 0..8 {
+            b.add_edge(0, 1);
+        }
+        b.add_edge(1, 0);
+        b.add_edge(1, 2);
+        let g = b.build();
+        let WalkerStarts::Explicit(starts) = WalkerStarts::degree_proportional(&g, 10_000, 1)
+        else {
+            panic!("expected explicit starts")
+        };
+        let at0 = starts.iter().filter(|&&s| s == 0).count();
+        let at2 = starts.iter().filter(|&&s| s == 2).count();
+        assert!(at0 > 7_500 && at0 < 8_500, "hub share {at0}");
+        assert_eq!(at2, 0, "degree-0 vertex must never start a walker");
+    }
+
+    #[test]
+    fn degree_proportional_zero_walkers() {
+        use knightking_graph::GraphBuilder;
+        let g = GraphBuilder::directed(1).build();
+        assert_eq!(
+            WalkerStarts::degree_proportional(&g, 0, 1),
+            WalkerStarts::Explicit(Vec::new())
+        );
+    }
+
+    #[test]
+    fn count_uses_modulo_placement() {
+        let starts = WalkerStarts::Count(7).materialize(3);
+        assert_eq!(starts, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn per_vertex_places_one_each() {
+        let starts = WalkerStarts::PerVertex.materialize(4);
+        assert_eq!(starts, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn explicit_passes_through() {
+        let starts = WalkerStarts::Explicit(vec![2, 2, 0]).materialize(3);
+        assert_eq!(starts, vec![2, 2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn explicit_out_of_range_panics() {
+        WalkerStarts::Explicit(vec![5]).materialize(3);
+    }
+
+    #[test]
+    fn zero_walkers_on_empty_graph_is_fine() {
+        assert!(WalkerStarts::Count(0).materialize(0).is_empty());
+    }
+
+    #[test]
+    fn resolved_threads_positive() {
+        let mut c = WalkConfig::with_nodes(64, 1);
+        assert!(c.resolved_threads() >= 1);
+        c.threads_per_node = 3;
+        assert_eq!(c.resolved_threads(), 3);
+    }
+}

@@ -1,0 +1,67 @@
+//! Static and first-order dynamic execution: one exchange per iteration.
+//!
+//! With no walker-to-vertex state queries, a walker's whole step — the
+//! termination check, rejection sampling (or direct static sampling), and
+//! the move — resolves locally within one iteration, and all walkers
+//! advance in lockstep (§5.1: "For such algorithms, all walkers can move
+//! lockstep").
+
+use knightking_cluster::{NodeCtx, Scheduler};
+
+use crate::{
+    metrics::WalkMetrics,
+    program::{WalkObserver, WalkerProgram},
+    result::PathEntry,
+};
+
+use super::{local_step, merge_accs, ChunkAcc, Msg, NodeRt, Slot, SlotState, StepOutcome};
+
+/// Runs one first-order BSP iteration on this node.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn iteration<P: WalkerProgram, O: WalkObserver<P::Data>>(
+    rt: &NodeRt<'_, P, O>,
+    ctx: &NodeCtx<'_, Msg<P>>,
+    scheduler: &Scheduler,
+    slots: &mut Vec<Slot<P>>,
+    paths: &mut Vec<PathEntry>,
+    metrics: &mut WalkMetrics,
+    obs_acc: &mut O::Acc,
+) {
+    let n = ctx.n_nodes();
+
+    let accs = scheduler.run_chunks(
+        slots,
+        || ChunkAcc::new(n, rt.observer),
+        |base, slice, acc| {
+            for (i, slot) in slice.iter_mut().enumerate() {
+                match local_step(rt, slot, (base + i) as u32, acc) {
+                    StepOutcome::Finished => {
+                        acc.metrics.finished_walkers += 1;
+                        slot.state = SlotState::Finished;
+                    }
+                    StepOutcome::Moved(dst) => {
+                        rt.commit_move(slot, dst, acc);
+                    }
+                    StepOutcome::Posted { .. } | StepOutcome::NeedFullScan => {
+                        unreachable!("first-order walks resolve every step locally")
+                    }
+                }
+            }
+        },
+    );
+    let outbox = merge_accs(rt.observer, accs, n, paths, metrics, obs_acc);
+
+    let inbox = ctx.exchange(outbox);
+    slots.retain(|s| matches!(s.state, SlotState::Active));
+    for msg in inbox {
+        match msg {
+            Msg::Move(walker) => slots.push(Slot {
+                walker,
+                state: SlotState::Active,
+                fresh: true,
+                stuck: 0,
+            }),
+            _ => unreachable!("first-order iterations exchange only walker moves"),
+        }
+    }
+}

@@ -1,0 +1,799 @@
+//! The KnightKing execution engine.
+//!
+//! One [`RandomWalkEngine`] run executes a [`WalkerProgram`] over a graph
+//! on a simulated cluster (§5.1, §6):
+//!
+//! 1. The vertex set is 1-D partitioned across nodes, balancing
+//!    `|V_i| + |E_i]` (§6.1).
+//! 2. Each node builds alias tables for its owned vertices when the
+//!    static component is non-uniform (§3), and instantiates the walkers
+//!    whose start vertices it owns.
+//! 3. BSP iterations run until no walker remains active. Static and
+//!    first-order walks resolve each step locally in one exchange
+//!    (`first_order` module); second-order walks add the two-round
+//!    walker-to-vertex query protocol (`second_order` module).
+//!
+//! Rejection sampling (with lower-bound pre-acceptance and outlier
+//! folding) happens in the per-step helpers in this module; when
+//! `max_local_trials` darts all miss, the engine falls back to an *exact*
+//! full scan, which both preserves exactness under adversarially-bad
+//! bounds and detects the "no eligible edge" termination condition (§2.2).
+
+mod first_order;
+mod second_order;
+
+use std::time::Instant;
+
+use knightking_cluster::{comm::run_cluster_with_metrics, NodeCtx, Scheduler};
+use knightking_graph::{CsrGraph, EdgeView, Partition, VertexId};
+use knightking_sampling::{
+    rejection::{Envelope, OutlierSlot},
+    AliasTable, CdfTable, DeterministicRng,
+};
+
+use crate::{
+    config::{WalkConfig, WalkerStarts},
+    metrics::WalkMetrics,
+    program::{NoopObserver, WalkObserver, WalkerProgram},
+    result::{PathEntry, WalkResult},
+    walker::Walker,
+};
+
+/// Window of outstanding state queries per walker during a full-scan
+/// fallback, bounding per-iteration message burst at hub vertices.
+const FULL_SCAN_WINDOW: usize = 4096;
+
+/// Messages exchanged between nodes.
+pub(crate) enum Msg<P: WalkerProgram> {
+    /// A walker migrating to the node owning its new residing vertex.
+    Move(Walker<P::Data>),
+    /// A walker-to-vertex state query (§5.1 step 2).
+    Query {
+        /// Node to route the answer back to.
+        from: u32,
+        /// Slot index of the asking walker on `from`.
+        slot: u32,
+        /// Caller-defined tag (edge index) echoed in the answer.
+        tag: u32,
+        /// Vertex whose owner executes the query.
+        target: VertexId,
+        /// Program-defined payload.
+        payload: P::Query,
+    },
+    /// A query response (§5.1 step 3).
+    Answer {
+        /// Slot index of the asking walker on the receiving node.
+        slot: u32,
+        /// Echoed tag.
+        tag: u32,
+        /// Program-defined result.
+        payload: P::Answer,
+    },
+}
+
+/// Walker bookkeeping within a node.
+pub(crate) struct Slot<P: WalkerProgram> {
+    pub(crate) walker: Walker<P::Data>,
+    pub(crate) state: SlotState<P>,
+    /// Whether the walker is about to *start* a step (the termination
+    /// component `Pe` is evaluated once per step, not once per trial).
+    pub(crate) fresh: bool,
+    /// Consecutive remote-answer rejections for the current step.
+    /// Second-order walks reject across iterations; once this exceeds the
+    /// trial budget the engine switches to the exact full scan, which
+    /// guarantees liveness even when all queried `Pd` are zero.
+    pub(crate) stuck: u32,
+}
+
+/// Per-walker execution state.
+pub(crate) enum SlotState<P: WalkerProgram> {
+    /// Ready to throw darts.
+    Active,
+    /// One dart thrown; awaiting the state query answer for its candidate.
+    Awaiting {
+        edge: u32,
+        y: f64,
+        answer: Option<P::Answer>,
+    },
+    /// Exact full-scan fallback in progress (rare; see module docs).
+    FullScan(Box<FullScanState<P::Answer>>),
+    /// Walker moved to another node this iteration.
+    Departed,
+    /// Walk complete.
+    Finished,
+}
+
+/// State of an in-progress exact full scan over a walker's out-edges.
+pub(crate) struct FullScanState<A> {
+    /// `Ps·Pd` per edge; `NaN` = not yet known.
+    pub(crate) products: Vec<f64>,
+    /// Answers received this iteration, to fold in at phase B.
+    pub(crate) received: Vec<(u32, A)>,
+    /// Edges whose product is still unknown.
+    pub(crate) unfilled: usize,
+    /// Next edge index not yet queried.
+    pub(crate) next_unqueried: usize,
+}
+
+/// Per-chunk accumulator used by both execution paths.
+pub(crate) struct ChunkAcc<P: WalkerProgram, O: WalkObserver<P::Data>> {
+    pub(crate) outbox: Vec<Vec<Msg<P>>>,
+    pub(crate) paths: Vec<PathEntry>,
+    pub(crate) metrics: WalkMetrics,
+    /// Observer accumulator (chunk-local; merged at iteration end).
+    pub(crate) obs_acc: O::Acc,
+    /// Scratch envelope reused across steps to avoid per-step allocation.
+    pub(crate) env: Envelope,
+    /// Scratch buffer for full-scan CDF sampling.
+    pub(crate) cdf_scratch: Vec<f64>,
+}
+
+impl<P: WalkerProgram, O: WalkObserver<P::Data>> ChunkAcc<P, O> {
+    fn new(n_nodes: usize, obs: &O) -> Self {
+        ChunkAcc {
+            outbox: (0..n_nodes).map(|_| Vec::new()).collect(),
+            paths: Vec::new(),
+            metrics: WalkMetrics::default(),
+            obs_acc: obs.make_acc(),
+            env: Envelope::simple(1.0, 1.0),
+            cdf_scratch: Vec::new(),
+        }
+    }
+}
+
+/// Immutable per-node runtime shared by the execution paths.
+pub(crate) struct NodeRt<'a, P: WalkerProgram, O: WalkObserver<P::Data>> {
+    pub(crate) graph: &'a CsrGraph,
+    pub(crate) program: &'a P,
+    pub(crate) observer: &'a O,
+    pub(crate) partition: &'a Partition,
+    pub(crate) cfg: &'a WalkConfig,
+    pub(crate) me: usize,
+    /// First vertex owned by this node.
+    pub(crate) base: VertexId,
+    /// Alias tables for owned vertices (`None` for degree-0 vertices);
+    /// empty when the static component is uniform.
+    pub(crate) alias: Vec<Option<AliasTable>>,
+    /// Per-owned-vertex maximum `Ps`, used only in mixed mode (Figure 8).
+    pub(crate) max_ps: Vec<f64>,
+    /// Whether candidates are drawn from alias tables (biased static
+    /// component, decoupled mode).
+    pub(crate) biased: bool,
+}
+
+/// What one local sampling attempt decided.
+pub(crate) enum StepOutcome {
+    /// Walk over (termination, dead end, or zero probability mass).
+    Finished,
+    /// Edge accepted; move to this vertex.
+    Moved(VertexId),
+    /// (Second-order only) a state query was posted for this candidate.
+    Posted { edge: u32, y: f64 },
+    /// (Second-order only) rejection trials exhausted; switch to full
+    /// scan.
+    NeedFullScan,
+}
+
+impl<'a, P: WalkerProgram, O: WalkObserver<P::Data>> NodeRt<'a, P, O> {
+    /// Builds the per-node runtime, including alias tables for owned
+    /// vertices (parallel over the scheduler).
+    fn build(
+        graph: &'a CsrGraph,
+        program: &'a P,
+        observer: &'a O,
+        partition: &'a Partition,
+        cfg: &'a WalkConfig,
+        me: usize,
+        scheduler: &Scheduler,
+    ) -> Self {
+        let range = partition.range(me);
+        let base = range.start;
+        let n_local = (range.end - range.start) as usize;
+        let biased = cfg.decoupled_static && graph.is_weighted();
+
+        let alias = if biased {
+            let mut locals: Vec<VertexId> = (range.start..range.end).collect();
+            let tables = scheduler.run_chunks(
+                &mut locals,
+                Vec::new,
+                |_base, slice, acc: &mut Vec<Option<AliasTable>>| {
+                    for &v in slice.iter() {
+                        if graph.degree(v) == 0 {
+                            acc.push(None);
+                        } else {
+                            let weights: Vec<f64> = graph
+                                .edges(v)
+                                .map(|e| program.static_comp(graph, e))
+                                .collect();
+                            acc.push(AliasTable::new(&weights).ok());
+                        }
+                    }
+                },
+            );
+            tables.into_iter().flatten().collect()
+        } else {
+            Vec::new()
+        };
+
+        let max_ps = if !cfg.decoupled_static {
+            (0..n_local)
+                .map(|i| {
+                    let v = base + i as VertexId;
+                    graph
+                        .edges(v)
+                        .map(|e| program.static_comp(graph, e))
+                        .fold(0.0f64, f64::max)
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        NodeRt {
+            graph,
+            program,
+            observer,
+            partition,
+            cfg,
+            me,
+            base,
+            alias,
+            max_ps,
+            biased,
+        }
+    }
+
+    /// Static component of an edge, as the program defines it.
+    #[inline]
+    pub(crate) fn ps(&self, edge: EdgeView) -> f64 {
+        self.program.static_comp(self.graph, edge)
+    }
+
+    /// Draws a candidate edge index from the static distribution.
+    #[inline]
+    pub(crate) fn candidate(&self, v: VertexId, deg: usize, rng: &mut DeterministicRng) -> usize {
+        if self.biased {
+            match &self.alias[(v - self.base) as usize] {
+                Some(table) => table.sample(rng),
+                None => rng.next_index(deg),
+            }
+        } else {
+            rng.next_index(deg)
+        }
+    }
+
+    /// Sum of static components at `v` (the envelope's width).
+    #[inline]
+    pub(crate) fn static_total(&self, v: VertexId, deg: usize) -> f64 {
+        if self.biased {
+            self.alias[(v - self.base) as usize]
+                .as_ref()
+                .map_or(deg as f64, |t| t.total_weight())
+        } else {
+            deg as f64
+        }
+    }
+
+    /// Evaluates the effective dynamic component for rejection testing.
+    ///
+    /// In decoupled mode this is the program's `Pd`; in mixed mode
+    /// (Figure 8) it is `Ps·Pd`, emulating traditional samplers.
+    #[inline]
+    pub(crate) fn pd(
+        &self,
+        walker: &Walker<P::Data>,
+        edge: EdgeView,
+        answer: Option<P::Answer>,
+        metrics: &mut WalkMetrics,
+    ) -> f64 {
+        metrics.edges_evaluated += 1;
+        let base = self.program.dynamic_comp(self.graph, walker, edge, answer);
+        debug_assert!(
+            base.is_finite() && base >= 0.0,
+            "dynamic_comp returned invalid probability {base} for edge ({}, {})",
+            edge.src,
+            edge.dst
+        );
+        if self.cfg.decoupled_static {
+            base
+        } else {
+            base * self.ps(edge)
+        }
+    }
+
+    /// Rebuilds the scratch envelope for one step of `walker` at its
+    /// residing vertex.
+    pub(crate) fn fill_envelope(&self, walker: &Walker<P::Data>, deg: usize, env: &mut Envelope) {
+        let v = walker.current;
+        let q = self.program.upper_bound(self.graph, walker);
+        env.outliers.clear();
+        if self.cfg.decoupled_static {
+            env.q = q;
+            env.lower = if self.cfg.use_lower_bound {
+                self.program.lower_bound(self.graph, walker)
+            } else {
+                0.0
+            };
+            env.static_total = self.static_total(v, deg);
+            self.program
+                .declare_outliers(self.graph, walker, &mut env.outliers);
+            if !self.cfg.use_outliers && !env.outliers.is_empty() {
+                // Ablation mode (Table 5b "naive"): instead of folding the
+                // outliers into appendix areas, raise the whole envelope
+                // to cover them — the traditional, wasteful board shape.
+                for o in &env.outliers {
+                    env.q = env.q.max(o.height_bound);
+                }
+                env.outliers.clear();
+            }
+        } else {
+            // Mixed mode: uniform candidates, weight folded into Pd, so
+            // the envelope must absorb the vertex's largest weight — and
+            // any declared outlier heights, since appendix folding assumes
+            // decoupled static sampling.
+            let mut q = q;
+            self.program
+                .declare_outliers(self.graph, walker, &mut env.outliers);
+            for o in &env.outliers {
+                q = q.max(o.height_bound);
+            }
+            env.outliers.clear();
+            env.q = q * self.max_ps[(v - self.base) as usize];
+            env.lower = 0.0;
+            env.static_total = deg as f64;
+        }
+    }
+
+    /// Records a path entry if path recording is on.
+    #[inline]
+    pub(crate) fn record(&self, acc: &mut ChunkAcc<P, O>, walker: &Walker<P::Data>) {
+        if self.cfg.record_paths {
+            acc.paths.push(PathEntry {
+                walker: walker.id,
+                step: walker.step,
+                vertex: walker.current,
+            });
+        }
+    }
+
+    /// Performs the exact full scan for a walker whose `Pd` is locally
+    /// computable, sampling from the true `Ps·Pd` distribution — or
+    /// finishing the walk if no edge has positive probability.
+    pub(crate) fn local_full_scan(
+        &self,
+        walker: &mut Walker<P::Data>,
+        deg: usize,
+        acc: &mut ChunkAcc<P, O>,
+    ) -> StepOutcome {
+        acc.metrics.fallback_scans += 1;
+        let graph = self.graph;
+        let v = walker.current;
+        acc.cdf_scratch.clear();
+        let mut run = 0.0f64;
+        for i in 0..deg {
+            let edge = graph.edge(v, i);
+            let pd = self.pd(walker, edge, None, &mut acc.metrics);
+            let ps = if self.cfg.decoupled_static {
+                self.ps(edge)
+            } else {
+                // Mixed mode folded Ps into `pd` already.
+                1.0
+            };
+            run += (ps * pd).max(0.0);
+            acc.cdf_scratch.push(run);
+        }
+        if run <= 0.0 {
+            return StepOutcome::Finished;
+        }
+        let idx = CdfTable::sample_prepared(&acc.cdf_scratch, &mut walker.rng);
+        StepOutcome::Moved(graph.edge(v, idx).dst)
+    }
+
+    /// Commits an accepted move: advances the walker, fires `on_move`,
+    /// records the path entry, and emits a migration message if the new
+    /// vertex lives on another node. Returns `true` if the walker stayed
+    /// local.
+    pub(crate) fn commit_move(
+        &self,
+        slot: &mut Slot<P>,
+        dst: VertexId,
+        acc: &mut ChunkAcc<P, O>,
+    ) -> bool {
+        slot.walker.advance(dst);
+        self.program.on_move(self.graph, &mut slot.walker);
+        acc.metrics.steps += 1;
+        self.observer.on_move(&mut acc.obs_acc, &slot.walker);
+        self.record(acc, &slot.walker);
+        slot.fresh = true;
+        slot.stuck = 0;
+        let owner = self.partition.owner(dst);
+        if owner == self.me {
+            slot.state = SlotState::Active;
+            true
+        } else {
+            slot.state = SlotState::Departed;
+            let walker = slot.walker.clone();
+            acc.outbox[owner].push(Msg::Move(walker));
+            false
+        }
+    }
+}
+
+/// Output of one node's run.
+struct NodeOut {
+    paths: Vec<PathEntry>,
+    metrics: WalkMetrics,
+    active_series: Vec<u64>,
+}
+
+/// The engine: a graph, a program, and a configuration.
+///
+/// See the [crate-level docs](crate) for an end-to-end example.
+pub struct RandomWalkEngine<'g, P: WalkerProgram> {
+    graph: &'g CsrGraph,
+    program: P,
+    config: WalkConfig,
+}
+
+impl<'g, P: WalkerProgram> RandomWalkEngine<'g, P> {
+    /// Creates an engine over `graph` running `program`.
+    pub fn new(graph: &'g CsrGraph, program: P, config: WalkConfig) -> Self {
+        RandomWalkEngine {
+            graph,
+            program,
+            config,
+        }
+    }
+
+    /// Access the configuration.
+    pub fn config(&self) -> &WalkConfig {
+        &self.config
+    }
+
+    /// Runs the walk to completion and returns the result.
+    ///
+    /// Timing covers walker and sampling-structure initialization plus the
+    /// walk itself, matching §7.1's methodology (graph loading and
+    /// partitioning excluded).
+    pub fn run(&self, starts: WalkerStarts) -> WalkResult {
+        self.run_with_observer(starts, &NoopObserver).0
+    }
+
+    /// Runs the walk with an in-flight [`WalkObserver`], returning the
+    /// result plus the merged observation (§5.1's "computation embedded
+    /// during the random walk process").
+    pub fn run_with_observer<O: WalkObserver<P::Data>>(
+        &self,
+        starts: WalkerStarts,
+        observer: &O,
+    ) -> (WalkResult, O::Acc) {
+        let starts = starts.materialize(self.graph.vertex_count());
+        let partition = Partition::balanced(self.graph, self.config.n_nodes, 1.0);
+        let n_walkers = starts.len() as u64;
+        let threads = self.config.resolved_threads();
+
+        // Physically partition the graph: each node receives only the
+        // out-edges of its owned vertices, as on a real cluster.
+        // Out-of-partition accesses become structurally impossible (a
+        // foreign vertex has degree zero on this node). Single-node runs
+        // use the input graph directly. Like graph loading/partitioning,
+        // this is excluded from the timed region (§7.1).
+        let locals: Vec<CsrGraph> = if self.config.n_nodes > 1 {
+            (0..self.config.n_nodes)
+                .map(|node| partition.extract_local(self.graph, node))
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        let begin = Instant::now();
+        let (outs, comm): (Vec<(NodeOut, O::Acc)>, _) =
+            run_cluster_with_metrics::<Msg<P>, _, _>(self.config.n_nodes, |ctx| {
+                let local = if self.config.n_nodes > 1 {
+                    &locals[ctx.node]
+                } else {
+                    self.graph
+                };
+                self.node_main(ctx, local, observer, &partition, &starts, threads)
+            });
+        let elapsed = begin.elapsed();
+
+        let mut fragments = Vec::new();
+        let mut metrics = WalkMetrics::default();
+        let mut active_series = Vec::new();
+        let mut observation: Option<O::Acc> = None;
+        for (i, (out, obs_acc)) in outs.into_iter().enumerate() {
+            fragments.extend(out.paths);
+            metrics.merge(&out.metrics);
+            if i == 0 {
+                active_series = out.active_series;
+            }
+            match &mut observation {
+                None => observation = Some(obs_acc),
+                Some(into) => observer.merge(into, obs_acc),
+            }
+        }
+        let paths = if self.config.record_paths {
+            WalkResult::assemble_paths(n_walkers, fragments)
+        } else {
+            Vec::new()
+        };
+        let result = WalkResult {
+            paths,
+            active_per_iteration: active_series,
+            metrics,
+            comm,
+            elapsed,
+        };
+        (result, observation.unwrap_or_else(|| observer.make_acc()))
+    }
+
+    /// Body executed by each simulated node. `local` is this node's slice
+    /// of the graph: out-edges of owned vertices only.
+    fn node_main<O: WalkObserver<P::Data>>(
+        &self,
+        ctx: NodeCtx<'_, Msg<P>>,
+        local: &CsrGraph,
+        observer: &O,
+        partition: &Partition,
+        starts: &[VertexId],
+        threads: usize,
+    ) -> (NodeOut, O::Acc) {
+        let cfg = &self.config;
+        let scheduler = Scheduler {
+            threads,
+            chunk_size: cfg.chunk_size,
+            light_threshold: cfg.light_threshold,
+        };
+        let rt = NodeRt::build(
+            local,
+            &self.program,
+            observer,
+            partition,
+            cfg,
+            ctx.node,
+            &scheduler,
+        );
+
+        // Instantiate locally-owned walkers, recording their start vertex
+        // as path step 0.
+        let mut slots: Vec<Slot<P>> = Vec::new();
+        let mut paths: Vec<PathEntry> = Vec::new();
+        for (id, &start) in starts.iter().enumerate() {
+            if partition.owner(start) == ctx.node {
+                let data = self.program.init_data(id as u64, start);
+                let walker = Walker::new(id as u64, start, cfg.seed, data);
+                if cfg.record_paths {
+                    paths.push(PathEntry {
+                        walker: walker.id,
+                        step: 0,
+                        vertex: start,
+                    });
+                }
+                slots.push(Slot {
+                    walker,
+                    state: SlotState::Active,
+                    fresh: true,
+                    stuck: 0,
+                });
+            }
+        }
+
+        let mut metrics = WalkMetrics::default();
+        let mut active_series = Vec::new();
+        let mut obs_acc = observer.make_acc();
+        loop {
+            metrics.iterations += 1;
+            if P::SECOND_ORDER {
+                second_order::iteration(
+                    &rt,
+                    &ctx,
+                    &scheduler,
+                    &mut slots,
+                    &mut paths,
+                    &mut metrics,
+                    &mut obs_acc,
+                );
+            } else {
+                first_order::iteration(
+                    &rt,
+                    &ctx,
+                    &scheduler,
+                    &mut slots,
+                    &mut paths,
+                    &mut metrics,
+                    &mut obs_acc,
+                );
+            }
+            let active = ctx.allreduce_sum(slots.len() as u64);
+            if ctx.is_leader() {
+                active_series.push(active);
+            }
+            if active == 0 {
+                break;
+            }
+        }
+
+        (
+            NodeOut {
+                paths,
+                metrics,
+                active_series,
+            },
+            obs_acc,
+        )
+    }
+}
+
+/// Merges chunk accumulators into node-level buffers and returns the
+/// combined outbox.
+pub(crate) fn merge_accs<P: WalkerProgram, O: WalkObserver<P::Data>>(
+    observer: &O,
+    accs: Vec<ChunkAcc<P, O>>,
+    n_nodes: usize,
+    paths: &mut Vec<PathEntry>,
+    metrics: &mut WalkMetrics,
+    obs_acc: &mut O::Acc,
+) -> Vec<Vec<Msg<P>>> {
+    let mut outbox: Vec<Vec<Msg<P>>> = (0..n_nodes).map(|_| Vec::new()).collect();
+    let mut iter_metrics = WalkMetrics::default();
+    for mut acc in accs {
+        for (to, msgs) in acc.outbox.iter_mut().enumerate() {
+            outbox[to].append(msgs);
+        }
+        paths.append(&mut acc.paths);
+        iter_metrics.merge(&acc.metrics);
+        observer.merge(obs_acc, acc.obs_acc);
+    }
+    // Chunk accumulators start from zero each iteration; fold their sums
+    // into the running node totals (iterations tracked by the caller).
+    let saved_iterations = metrics.iterations;
+    metrics.merge(&iter_metrics);
+    metrics.iterations = saved_iterations;
+    outbox
+}
+
+/// Shared helper: runs one *local* sampling decision for a walker
+/// (everything except remote-answer cases). Used directly by the
+/// first-order path, and by the second-order path until a query is
+/// needed. `slot_idx` is the walker's index in the node's slot vector,
+/// used to address query answers back to it.
+///
+/// When the walker is `fresh`, the termination component is checked first
+/// (once per step, not per trial).
+pub(crate) fn local_step<P: WalkerProgram, O: WalkObserver<P::Data>>(
+    rt: &NodeRt<'_, P, O>,
+    slot: &mut Slot<P>,
+    slot_idx: u32,
+    acc: &mut ChunkAcc<P, O>,
+) -> StepOutcome {
+    let graph = rt.graph;
+    // Distributed-memory discipline: a node only ever samples at vertices
+    // it owns. The CSR is shared for simulation convenience, but every
+    // access in the walk path must stay partition-local.
+    debug_assert_eq!(
+        rt.partition.owner(slot.walker.current),
+        rt.me,
+        "walker resides on a vertex this node does not own"
+    );
+    if slot.fresh {
+        if rt.program.should_terminate(&mut slot.walker) {
+            return StepOutcome::Finished;
+        }
+        if let Some(dst) = rt.program.teleport(graph, &mut slot.walker) {
+            // Restart-style jump: no edge traversed, no sampling.
+            assert!(
+                (dst as usize) < graph.vertex_count(),
+                "teleport destination {dst} out of range"
+            );
+            return StepOutcome::Moved(dst);
+        }
+        slot.fresh = false;
+    }
+    let v = slot.walker.current;
+    let deg = graph.degree(v);
+    if deg == 0 {
+        return StepOutcome::Finished;
+    }
+
+    // Static walks: the alias/uniform candidate *is* the sample.
+    if !P::DYNAMIC {
+        let idx = rt.candidate(v, deg, &mut slot.walker.rng);
+        return StepOutcome::Moved(graph.edge(v, idx).dst);
+    }
+
+    rt.fill_envelope(&slot.walker, deg, &mut acc.env);
+    if acc.env.total_area() <= 0.0 {
+        return StepOutcome::Finished;
+    }
+
+    for _ in 0..rt.cfg.max_local_trials {
+        acc.metrics.trials += 1;
+        let Some(dart) = acc.env.draw(&mut slot.walker.rng) else {
+            return StepOutcome::Finished;
+        };
+        match dart {
+            knightking_sampling::Trial::Main { y } => {
+                let idx = rt.candidate(v, deg, &mut slot.walker.rng);
+                let edge = graph.edge(v, idx);
+                if y < acc.env.lower {
+                    acc.metrics.pre_accepts += 1;
+                    return StepOutcome::Moved(edge.dst);
+                }
+                if P::SECOND_ORDER {
+                    if let Some((target, payload)) = rt.program.state_query(&slot.walker, edge) {
+                        post_query(rt, acc, slot_idx, target, idx as u32, payload);
+                        return StepOutcome::Posted {
+                            edge: idx as u32,
+                            y,
+                        };
+                    }
+                }
+                let pd = rt.pd(&slot.walker, edge, None, &mut acc.metrics);
+                if y < pd {
+                    return StepOutcome::Moved(edge.dst);
+                }
+            }
+            knightking_sampling::Trial::Appendix { index, x_mass, y } => {
+                acc.metrics.appendix_hits += 1;
+                let slot_decl: OutlierSlot = acc.env.outliers[index];
+                // Spread the appendix's horizontal mass across all
+                // (possibly parallel) edges leading to the declared
+                // target, proportionally to their Ps — exact even on
+                // multigraphs.
+                let mut chosen = None;
+                let mut cum = 0.0f64;
+                for i in graph.edge_range(v, slot_decl.target) {
+                    let e = graph.edge(v, i);
+                    cum += rt.ps(e);
+                    if x_mass < cum {
+                        chosen = Some((i, e));
+                        break;
+                    }
+                }
+                let Some((idx, edge)) = chosen else {
+                    continue;
+                };
+                if P::SECOND_ORDER {
+                    if let Some((target, payload)) = rt.program.state_query(&slot.walker, edge) {
+                        post_query(rt, acc, slot_idx, target, idx as u32, payload);
+                        return StepOutcome::Posted {
+                            edge: idx as u32,
+                            y,
+                        };
+                    }
+                }
+                let pd = rt.pd(&slot.walker, edge, None, &mut acc.metrics);
+                if y < pd {
+                    return StepOutcome::Moved(edge.dst);
+                }
+            }
+        }
+    }
+
+    if P::SECOND_ORDER {
+        StepOutcome::NeedFullScan
+    } else {
+        rt.local_full_scan(&mut slot.walker, deg, acc)
+    }
+}
+
+/// Emits a state query message addressed to the owner of `target`.
+pub(crate) fn post_query<P: WalkerProgram, O: WalkObserver<P::Data>>(
+    rt: &NodeRt<'_, P, O>,
+    acc: &mut ChunkAcc<P, O>,
+    slot_idx: u32,
+    target: VertexId,
+    tag: u32,
+    payload: P::Query,
+) {
+    acc.metrics.queries += 1;
+    let owner = rt.partition.owner(target);
+    acc.outbox[owner].push(Msg::Query {
+        from: rt.me as u32,
+        slot: slot_idx,
+        tag,
+        target,
+        payload,
+    });
+}

@@ -1,0 +1,351 @@
+//! Second-order execution: the two-round query protocol (§5.1).
+//!
+//! Each iteration implements the paper's five steps:
+//!
+//! 1. walkers generate candidate edges and perform preliminary screening
+//!    (pre-acceptance below `L(v)`, locally-resolvable `Pd` cases);
+//! 2. walkers issue walker-to-vertex state queries for candidates whose
+//!    `Pd` depends on another vertex's state;
+//! 3. all nodes process received queries and send back results;
+//! 4. walkers retrieve their query results;
+//! 5. walkers decide the sampling outcome and move if successful —
+//!    rejected walkers stay put and retry next iteration (the straggler
+//!    behaviour §6.2 discusses).
+//!
+//! Three all-to-all exchanges carry this: queries (+ early moves),
+//! answers, then late moves.
+//!
+//! A walker that exhausts `max_local_trials` darts switches to an exact
+//! distributed **full scan**: it queries the state of every out-edge in
+//! windows of [`FULL_SCAN_WINDOW`](super::FULL_SCAN_WINDOW) per iteration,
+//! accumulates the true `Ps·Pd` of each edge, then either samples from the
+//! exact distribution or — if the total mass is zero — terminates, which
+//! is how "no out edges with positive transition probability" (§2.2) is
+//! detected without sacrificing exactness.
+
+use knightking_cluster::{NodeCtx, Scheduler};
+use knightking_sampling::CdfTable;
+
+use crate::{
+    metrics::WalkMetrics,
+    program::{WalkObserver, WalkerProgram},
+    result::PathEntry,
+};
+
+use super::{
+    local_step, merge_accs, post_query, ChunkAcc, FullScanState, Msg, NodeRt, Slot, SlotState,
+    StepOutcome, FULL_SCAN_WINDOW,
+};
+
+/// Runs one second-order BSP iteration on this node.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn iteration<P: WalkerProgram, O: WalkObserver<P::Data>>(
+    rt: &NodeRt<'_, P, O>,
+    ctx: &NodeCtx<'_, Msg<P>>,
+    scheduler: &Scheduler,
+    slots: &mut Vec<Slot<P>>,
+    paths: &mut Vec<PathEntry>,
+    metrics: &mut WalkMetrics,
+    obs_acc: &mut O::Acc,
+) {
+    let n = ctx.n_nodes();
+
+    // ---- Phase A: candidates, screening, queries (steps 1-2). ----
+    let accs = scheduler.run_chunks(
+        slots,
+        || ChunkAcc::new(n, rt.observer),
+        |base, slice, acc| {
+            for (i, slot) in slice.iter_mut().enumerate() {
+                let idx = (base + i) as u32;
+                if matches!(slot.state, SlotState::Active) {
+                    phase_a_active(rt, slot, idx, acc);
+                } else if matches!(slot.state, SlotState::FullScan(_)) {
+                    post_scan_queries(rt, slot, idx, acc);
+                } else {
+                    unreachable!("awaiting/departed/finished slots cannot start an iteration")
+                }
+            }
+        },
+    );
+    let outbox = merge_accs(rt.observer, accs, n, paths, metrics, obs_acc);
+
+    // ---- Exchange 1: queries out, early moves along for the ride. ----
+    let inbox = ctx.exchange(outbox);
+    let mut arrivals: Vec<Slot<P>> = Vec::new();
+    let mut queries: Vec<(u32, u32, u32, knightking_graph::VertexId, P::Query)> = Vec::new();
+    for msg in inbox {
+        match msg {
+            Msg::Move(walker) => arrivals.push(Slot {
+                walker,
+                state: SlotState::Active,
+                fresh: true,
+                stuck: 0,
+            }),
+            Msg::Query {
+                from,
+                slot,
+                tag,
+                target,
+                payload,
+            } => queries.push((from, slot, tag, target, payload)),
+            Msg::Answer { .. } => unreachable!("no answers in the query round"),
+        }
+    }
+
+    // ---- Step 3: execute queries at the owned vertices. ----
+    let answer_accs = scheduler.run_chunks(
+        &mut queries,
+        || -> Vec<Vec<Msg<P>>> { (0..n).map(|_| Vec::new()).collect() },
+        |_base, slice, acc| {
+            for &mut (from, slot, tag, target, payload) in slice.iter_mut() {
+                debug_assert_eq!(rt.partition.owner(target), rt.me);
+                let answer = rt.program.answer_query(rt.graph, target, payload);
+                acc[from as usize].push(Msg::Answer {
+                    slot,
+                    tag,
+                    payload: answer,
+                });
+            }
+        },
+    );
+    let mut answer_outbox: Vec<Vec<Msg<P>>> = (0..n).map(|_| Vec::new()).collect();
+    for mut acc in answer_accs {
+        for (to, msgs) in acc.iter_mut().enumerate() {
+            answer_outbox[to].append(msgs);
+        }
+    }
+
+    // ---- Exchange 2 + step 4: answers come back. ----
+    let answers = ctx.exchange(answer_outbox);
+    for msg in answers {
+        let Msg::Answer { slot, tag, payload } = msg else {
+            unreachable!("only answers in the answer round")
+        };
+        match &mut slots[slot as usize].state {
+            SlotState::Awaiting { edge, answer, .. } => {
+                debug_assert_eq!(*edge, tag);
+                *answer = Some(payload);
+            }
+            SlotState::FullScan(scan) => scan.received.push((tag, payload)),
+            _ => unreachable!("answer addressed to a slot that asked nothing"),
+        }
+    }
+
+    // ---- Phase B (step 5): decide outcomes; movers move. ----
+    let accs = scheduler.run_chunks(
+        slots,
+        || ChunkAcc::new(n, rt.observer),
+        |_base, slice, acc| {
+            for slot in slice.iter_mut() {
+                let answered = match &slot.state {
+                    SlotState::Awaiting {
+                        edge,
+                        y,
+                        answer: Some(a),
+                    } => Some((*edge, *y, *a)),
+                    SlotState::Awaiting { answer: None, .. } => {
+                        unreachable!("every posted query is answered in its iteration")
+                    }
+                    _ => None,
+                };
+                if let Some((edge, y, a)) = answered {
+                    let view = rt.graph.edge(slot.walker.current, edge as usize);
+                    let pd = rt.pd(&slot.walker, view, Some(a), &mut acc.metrics);
+                    if y < pd {
+                        rt.commit_move(slot, view.dst, acc);
+                    } else {
+                        // Rejected: stuck at the current vertex until the
+                        // next iteration. Too many consecutive rejections
+                        // switch the walker to the exact full scan, which
+                        // both bounds the retry cost and guarantees
+                        // termination when the true probability mass is
+                        // zero.
+                        slot.stuck += 1;
+                        slot.state = SlotState::Active;
+                    }
+                } else if matches!(slot.state, SlotState::FullScan(_)) {
+                    fold_scan_answers(rt, slot, acc);
+                }
+            }
+        },
+    );
+    let outbox = merge_accs(rt.observer, accs, n, paths, metrics, obs_acc);
+
+    // ---- Exchange 3: late moves. ----
+    let inbox = ctx.exchange(outbox);
+    for msg in inbox {
+        match msg {
+            Msg::Move(walker) => arrivals.push(Slot {
+                walker,
+                state: SlotState::Active,
+                fresh: true,
+                stuck: 0,
+            }),
+            _ => unreachable!("only moves in the move round"),
+        }
+    }
+
+    slots.retain(|s| !matches!(s.state, SlotState::Departed | SlotState::Finished));
+    slots.append(&mut arrivals);
+}
+
+/// Phase A handling of an `Active` walker: throw darts until a move, a
+/// posted query, termination, or trial exhaustion.
+fn phase_a_active<P: WalkerProgram, O: WalkObserver<P::Data>>(
+    rt: &NodeRt<'_, P, O>,
+    slot: &mut Slot<P>,
+    idx: u32,
+    acc: &mut ChunkAcc<P, O>,
+) {
+    if slot.stuck > rt.cfg.max_local_trials {
+        init_full_scan(rt, slot, acc);
+        post_scan_queries(rt, slot, idx, acc);
+        return;
+    }
+    match local_step(rt, slot, idx, acc) {
+        StepOutcome::Finished => {
+            acc.metrics.finished_walkers += 1;
+            slot.state = SlotState::Finished;
+        }
+        StepOutcome::Moved(dst) => {
+            rt.commit_move(slot, dst, acc);
+        }
+        StepOutcome::Posted { edge, y } => {
+            slot.state = SlotState::Awaiting {
+                edge,
+                y,
+                answer: None,
+            };
+        }
+        StepOutcome::NeedFullScan => {
+            init_full_scan(rt, slot, acc);
+            post_scan_queries(rt, slot, idx, acc);
+        }
+    }
+}
+
+/// Starts an exact full scan: pre-fills the `Ps·Pd` of every edge whose
+/// `Pd` is locally computable; the rest await queried answers.
+fn init_full_scan<P: WalkerProgram, O: WalkObserver<P::Data>>(
+    rt: &NodeRt<'_, P, O>,
+    slot: &mut Slot<P>,
+    acc: &mut ChunkAcc<P, O>,
+) {
+    acc.metrics.fallback_scans += 1;
+    let v = slot.walker.current;
+    let deg = rt.graph.degree(v);
+    let mut products = vec![f64::NAN; deg];
+    let mut unfilled = deg;
+    for (i, product) in products.iter_mut().enumerate() {
+        let edge = rt.graph.edge(v, i);
+        if rt.program.state_query(&slot.walker, edge).is_none() {
+            let pd = rt.pd(&slot.walker, edge, None, &mut acc.metrics);
+            *product = scan_product(rt, edge, pd);
+            unfilled -= 1;
+        }
+    }
+    slot.state = SlotState::FullScan(Box::new(FullScanState {
+        products,
+        received: Vec::new(),
+        unfilled,
+        next_unqueried: 0,
+    }));
+}
+
+/// `Ps·Pd` with mixed-mode folding handled (mixed mode's `pd` already
+/// includes `Ps`).
+fn scan_product<P: WalkerProgram, O: WalkObserver<P::Data>>(
+    rt: &NodeRt<'_, P, O>,
+    edge: knightking_graph::EdgeView,
+    pd: f64,
+) -> f64 {
+    let ps = if rt.cfg.decoupled_static {
+        rt.ps(edge)
+    } else {
+        1.0
+    };
+    (ps * pd).max(0.0)
+}
+
+/// Posts the next window of state queries for an in-progress full scan.
+fn post_scan_queries<P: WalkerProgram, O: WalkObserver<P::Data>>(
+    rt: &NodeRt<'_, P, O>,
+    slot: &mut Slot<P>,
+    idx: u32,
+    acc: &mut ChunkAcc<P, O>,
+) {
+    let v = slot.walker.current;
+    let deg = rt.graph.degree(v);
+    let SlotState::FullScan(scan) = &mut slot.state else {
+        unreachable!("post_scan_queries requires a FullScan slot")
+    };
+    let mut posted = 0usize;
+    let mut i = scan.next_unqueried;
+    // Collect this window's queries first: `post_query` needs `&acc`
+    // while `scan` borrows the slot, so stage then emit.
+    let mut staged: Vec<(u32, knightking_graph::VertexId, P::Query)> = Vec::new();
+    while i < deg && posted < FULL_SCAN_WINDOW {
+        if scan.products[i].is_nan() {
+            let edge = rt.graph.edge(v, i);
+            if let Some((target, payload)) = rt.program.state_query(&slot.walker, edge) {
+                staged.push((i as u32, target, payload));
+                posted += 1;
+            }
+        }
+        i += 1;
+    }
+    scan.next_unqueried = i;
+    for (tag, target, payload) in staged {
+        post_query(rt, acc, idx, target, tag, payload);
+    }
+}
+
+/// Folds received answers into the scan; completes it when every edge's
+/// product is known.
+fn fold_scan_answers<P: WalkerProgram, O: WalkObserver<P::Data>>(
+    rt: &NodeRt<'_, P, O>,
+    slot: &mut Slot<P>,
+    acc: &mut ChunkAcc<P, O>,
+) {
+    let v = slot.walker.current;
+    let SlotState::FullScan(scan) = &mut slot.state else {
+        unreachable!("fold_scan_answers requires a FullScan slot")
+    };
+    let received = std::mem::take(&mut scan.received);
+    // Split borrows: compute products against an immutable walker view.
+    for (tag, answer) in received {
+        let edge = rt.graph.edge(v, tag as usize);
+        acc.metrics.edges_evaluated += 1;
+        let base = rt
+            .program
+            .dynamic_comp(rt.graph, &slot.walker, edge, Some(answer));
+        let pd = if rt.cfg.decoupled_static {
+            base
+        } else {
+            base * rt.program.static_comp(rt.graph, edge)
+        };
+        let product = scan_product(rt, edge, pd);
+        debug_assert!(scan.products[tag as usize].is_nan(), "duplicate answer");
+        scan.products[tag as usize] = product;
+        scan.unfilled -= 1;
+    }
+    if scan.unfilled > 0 {
+        return;
+    }
+
+    // Scan complete: sample exactly or terminate on zero mass.
+    acc.cdf_scratch.clear();
+    let mut run = 0.0f64;
+    for &p in &scan.products {
+        run += p;
+        acc.cdf_scratch.push(run);
+    }
+    if run <= 0.0 {
+        acc.metrics.finished_walkers += 1;
+        slot.state = SlotState::Finished;
+        return;
+    }
+    let idx = CdfTable::sample_prepared(&acc.cdf_scratch, &mut slot.walker.rng);
+    let dst = rt.graph.edge(v, idx).dst;
+    rt.commit_move(slot, dst, acc);
+}

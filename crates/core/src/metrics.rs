@@ -1,0 +1,113 @@
+//! Per-run walk metrics.
+//!
+//! The paper's key machine-independent quantity is **edges per step** —
+//! the average number of per-edge transition probability computations per
+//! walker move (Tables 1 and 5, Figure 6). These counters are accumulated
+//! locally inside scheduler chunk accumulators (no atomics on the hot
+//! path) and summed across nodes at the end of a run.
+
+/// Aggregated counters for one walk execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalkMetrics {
+    /// Walker moves actually taken (the denominator of edges/step).
+    pub steps: u64,
+    /// Dynamic component (`Pd`) evaluations (the numerator of edges/step).
+    pub edges_evaluated: u64,
+    /// Rejection trials (darts thrown).
+    pub trials: u64,
+    /// Darts pre-accepted at or below the lower bound `L(v)` — each saved
+    /// a `Pd` evaluation (and, for second-order walks, a query round
+    /// trip).
+    pub pre_accepts: u64,
+    /// Darts landing in outlier appendix areas.
+    pub appendix_hits: u64,
+    /// Exact full-scan fallbacks after exhausting rejection trials.
+    pub fallback_scans: u64,
+    /// Walker-to-vertex state queries sent.
+    pub queries: u64,
+    /// Walks completed.
+    pub finished_walkers: u64,
+    /// BSP iterations executed.
+    pub iterations: u64,
+}
+
+impl WalkMetrics {
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &WalkMetrics) {
+        self.steps += other.steps;
+        self.edges_evaluated += other.edges_evaluated;
+        self.trials += other.trials;
+        self.pre_accepts += other.pre_accepts;
+        self.appendix_hits += other.appendix_hits;
+        self.fallback_scans += other.fallback_scans;
+        self.queries += other.queries;
+        self.finished_walkers += other.finished_walkers;
+        self.iterations = self.iterations.max(other.iterations);
+    }
+
+    /// Average `Pd` computations per walker move — the paper's
+    /// "edges/step" (Table 1, Table 5, Figure 6).
+    pub fn edges_per_step(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.edges_evaluated as f64 / self.steps as f64
+        }
+    }
+
+    /// Average rejection trials per walker move.
+    pub fn trials_per_step(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.trials as f64 / self.steps as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_and_maxes() {
+        let mut a = WalkMetrics {
+            steps: 10,
+            edges_evaluated: 15,
+            trials: 12,
+            iterations: 5,
+            ..Default::default()
+        };
+        let b = WalkMetrics {
+            steps: 5,
+            edges_evaluated: 5,
+            trials: 8,
+            iterations: 7,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.steps, 15);
+        assert_eq!(a.edges_evaluated, 20);
+        assert_eq!(a.trials, 20);
+        assert_eq!(a.iterations, 7);
+    }
+
+    #[test]
+    fn rates_guard_division_by_zero() {
+        let m = WalkMetrics::default();
+        assert_eq!(m.edges_per_step(), 0.0);
+        assert_eq!(m.trials_per_step(), 0.0);
+    }
+
+    #[test]
+    fn rates_compute() {
+        let m = WalkMetrics {
+            steps: 4,
+            edges_evaluated: 6,
+            trials: 8,
+            ..Default::default()
+        };
+        assert_eq!(m.edges_per_step(), 1.5);
+        assert_eq!(m.trials_per_step(), 2.0);
+    }
+}

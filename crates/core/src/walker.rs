@@ -1,0 +1,117 @@
+//! The walker: the unit of computation in KnightKing's walker-centric
+//! model.
+//!
+//! Where traditional graph engines update vertex state along edges,
+//! KnightKing tracks many independent walkers, each carrying its own
+//! position, recent history, step count, RNG stream, and algorithm-defined
+//! custom state (§5.1). Walkers are owned by the node that owns their
+//! current residing vertex and migrate between nodes as messages when a
+//! step crosses a partition boundary.
+
+use knightking_graph::VertexId;
+use knightking_sampling::DeterministicRng;
+
+/// Marker for algorithm-defined per-walker state.
+///
+/// Blanket-implemented for every `Clone + Send + 'static` type; walkers
+/// migrate between nodes by value, so their custom state must too.
+pub trait WalkerData: Clone + Send + 'static {}
+impl<T: Clone + Send + 'static> WalkerData for T {}
+
+/// One walker.
+///
+/// The engine maintains the built-in fields (`current`, `prev`, `step`);
+/// programs read them freely and keep anything else in `data` (§5.2,
+/// "Walker state"). The `rng` field is the walker's private random stream,
+/// derived from `(run_seed, id)` — every probabilistic decision about this
+/// walker draws from it, which makes trajectories independent of thread
+/// scheduling and node count.
+#[derive(Debug, Clone)]
+pub struct Walker<D> {
+    /// Globally unique walker id, assigned densely from 0 at start.
+    pub id: u64,
+    /// The vertex the walker currently resides at.
+    pub current: VertexId,
+    /// The previous stop (`last(w)` in the paper); `None` before the first
+    /// step. Second-order programs build their `Pd` on this.
+    pub prev: Option<VertexId>,
+    /// Number of steps taken so far.
+    pub step: u32,
+    /// The walker's private random stream.
+    pub rng: DeterministicRng,
+    /// Algorithm-defined state (e.g. a Meta-path scheme assignment).
+    pub data: D,
+}
+
+impl<D: WalkerData> Walker<D> {
+    /// Creates a walker at `start` with a stream derived from
+    /// `(seed, id)`.
+    pub fn new(id: u64, start: VertexId, seed: u64, data: D) -> Self {
+        Walker {
+            id,
+            current: start,
+            prev: None,
+            step: 0,
+            rng: DeterministicRng::for_stream(seed, id),
+            data,
+        }
+    }
+
+    /// Advances the walker along an accepted edge to `dst`.
+    ///
+    /// Updates position, history, and step count; the engine calls the
+    /// program's `on_move` hook right after.
+    #[inline]
+    pub fn advance(&mut self, dst: VertexId) {
+        self.prev = Some(self.current);
+        self.current = dst;
+        self.step += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_walker_has_clean_state() {
+        let w: Walker<()> = Walker::new(3, 17, 42, ());
+        assert_eq!(w.id, 3);
+        assert_eq!(w.current, 17);
+        assert_eq!(w.prev, None);
+        assert_eq!(w.step, 0);
+    }
+
+    #[test]
+    fn advance_tracks_history() {
+        let mut w: Walker<()> = Walker::new(0, 5, 1, ());
+        w.advance(9);
+        assert_eq!(w.current, 9);
+        assert_eq!(w.prev, Some(5));
+        assert_eq!(w.step, 1);
+        w.advance(2);
+        assert_eq!(w.prev, Some(9));
+        assert_eq!(w.step, 2);
+    }
+
+    #[test]
+    fn rng_streams_depend_on_id_and_seed() {
+        let mut a: Walker<()> = Walker::new(0, 0, 7, ());
+        let mut b: Walker<()> = Walker::new(1, 0, 7, ());
+        let mut c: Walker<()> = Walker::new(0, 0, 8, ());
+        let (ra, rb, rc) = (a.rng.next_u64(), b.rng.next_u64(), c.rng.next_u64());
+        assert_ne!(ra, rb);
+        assert_ne!(ra, rc);
+
+        // Same (seed, id) → same stream, regardless of start vertex.
+        let mut d: Walker<()> = Walker::new(0, 99, 7, ());
+        assert_eq!(d.rng.next_u64(), ra);
+    }
+
+    #[test]
+    fn custom_data_travels_with_clone() {
+        let w: Walker<Vec<u32>> = Walker::new(0, 0, 1, vec![1, 2, 3]);
+        let w2 = w.clone();
+        assert_eq!(w2.data, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,329 @@
+//! Incremental construction of [`CsrGraph`]s from edge lists.
+//!
+//! The builder collects raw edges, then performs a two-pass counting sort
+//! into CSR form — O(V + E) time, no per-vertex allocation — followed by a
+//! per-vertex sort of adjacency by destination (required for the O(log d)
+//! neighbor queries of second-order walks).
+
+use crate::{csr::CsrGraph, EdgeTypeId, VertexId, Weight};
+
+/// Builds a [`CsrGraph`] edge by edge.
+///
+/// # Examples
+///
+/// ```
+/// use knightking_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::undirected(3);
+/// b.add_edge(0, 1);
+/// b.add_edge(1, 2);
+/// let g = b.build();
+/// assert_eq!(g.edge_count(), 4); // undirected edges stored twice
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    vertex_count: usize,
+    undirected: bool,
+    srcs: Vec<VertexId>,
+    dsts: Vec<VertexId>,
+    weights: Option<Vec<Weight>>,
+    edge_types: Option<Vec<EdgeTypeId>>,
+}
+
+impl GraphBuilder {
+    /// Starts a directed graph with `vertex_count` vertices.
+    pub fn directed(vertex_count: usize) -> Self {
+        GraphBuilder {
+            vertex_count,
+            undirected: false,
+            srcs: Vec::new(),
+            dsts: Vec::new(),
+            weights: None,
+            edge_types: None,
+        }
+    }
+
+    /// Starts an undirected graph with `vertex_count` vertices.
+    ///
+    /// Every added edge is stored in both directions, per §6.1.
+    pub fn undirected(vertex_count: usize) -> Self {
+        GraphBuilder {
+            undirected: true,
+            ..GraphBuilder::directed(vertex_count)
+        }
+    }
+
+    /// Enables per-edge weights (the static component `Ps`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if edges were already added.
+    pub fn with_weights(mut self) -> Self {
+        assert!(self.srcs.is_empty(), "enable weights before adding edges");
+        self.weights = Some(Vec::new());
+        self
+    }
+
+    /// Enables per-edge types (for heterogeneous / Meta-path graphs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if edges were already added.
+    pub fn with_edge_types(mut self) -> Self {
+        assert!(self.srcs.is_empty(), "enable types before adding edges");
+        self.edge_types = Some(Vec::new());
+        self
+    }
+
+    /// Number of vertices declared at construction.
+    pub fn vertex_count(&self) -> usize {
+        self.vertex_count
+    }
+
+    /// Number of edges added so far (before direction doubling).
+    pub fn added_edges(&self) -> usize {
+        self.srcs.len()
+    }
+
+    fn push(&mut self, src: VertexId, dst: VertexId, weight: Weight, edge_type: EdgeTypeId) {
+        assert!(
+            (src as usize) < self.vertex_count && (dst as usize) < self.vertex_count,
+            "edge ({src}, {dst}) out of range (|V| = {})",
+            self.vertex_count
+        );
+        self.srcs.push(src);
+        self.dsts.push(dst);
+        if let Some(w) = &mut self.weights {
+            assert!(
+                weight.is_finite() && weight >= 0.0,
+                "invalid edge weight {weight}"
+            );
+            w.push(weight);
+        }
+        if let Some(t) = &mut self.edge_types {
+            t.push(edge_type);
+        }
+    }
+
+    /// Adds an unweighted, untyped edge.
+    pub fn add_edge(&mut self, src: VertexId, dst: VertexId) {
+        self.push(src, dst, 1.0, 0);
+    }
+
+    /// Adds a weighted edge. Requires [`GraphBuilder::with_weights`].
+    pub fn add_weighted_edge(&mut self, src: VertexId, dst: VertexId, weight: Weight) {
+        self.push(src, dst, weight, 0);
+    }
+
+    /// Adds a typed edge. Requires [`GraphBuilder::with_edge_types`].
+    pub fn add_typed_edge(&mut self, src: VertexId, dst: VertexId, edge_type: EdgeTypeId) {
+        self.push(src, dst, 1.0, edge_type);
+    }
+
+    /// Adds a fully-specified edge.
+    pub fn add_full_edge(
+        &mut self,
+        src: VertexId,
+        dst: VertexId,
+        weight: Weight,
+        edge_type: EdgeTypeId,
+    ) {
+        self.push(src, dst, weight, edge_type);
+    }
+
+    /// Finalizes into an immutable [`CsrGraph`].
+    ///
+    /// Runs a counting sort by source, then sorts each vertex's adjacency
+    /// by destination (weights and types permuted alongside).
+    pub fn build(self) -> CsrGraph {
+        let v = self.vertex_count;
+        let directed_edges = if self.undirected {
+            self.srcs.len() * 2
+        } else {
+            self.srcs.len()
+        };
+
+        // Pass 1: out-degrees.
+        let mut offsets = vec![0u64; v + 1];
+        for i in 0..self.srcs.len() {
+            offsets[self.srcs[i] as usize + 1] += 1;
+            if self.undirected {
+                offsets[self.dsts[i] as usize + 1] += 1;
+            }
+        }
+        for i in 0..v {
+            offsets[i + 1] += offsets[i];
+        }
+
+        // Pass 2: scatter.
+        let mut targets = vec![0 as VertexId; directed_edges];
+        let mut weights = self
+            .weights
+            .as_ref()
+            .map(|_| vec![0.0 as Weight; directed_edges]);
+        let mut edge_types = self
+            .edge_types
+            .as_ref()
+            .map(|_| vec![0 as EdgeTypeId; directed_edges]);
+        let mut cursor: Vec<u64> = offsets[..v].to_vec();
+        let place = |src: VertexId,
+                     dst: VertexId,
+                     i: usize,
+                     cursor: &mut [u64],
+                     targets: &mut [VertexId],
+                     weights: &mut Option<Vec<Weight>>,
+                     edge_types: &mut Option<Vec<EdgeTypeId>>| {
+            let pos = cursor[src as usize] as usize;
+            cursor[src as usize] += 1;
+            targets[pos] = dst;
+            if let (Some(out), Some(src_w)) = (weights.as_mut(), self.weights.as_ref()) {
+                out[pos] = src_w[i];
+            }
+            if let (Some(out), Some(src_t)) = (edge_types.as_mut(), self.edge_types.as_ref()) {
+                out[pos] = src_t[i];
+            }
+        };
+        for i in 0..self.srcs.len() {
+            place(
+                self.srcs[i],
+                self.dsts[i],
+                i,
+                &mut cursor,
+                &mut targets,
+                &mut weights,
+                &mut edge_types,
+            );
+            if self.undirected {
+                place(
+                    self.dsts[i],
+                    self.srcs[i],
+                    i,
+                    &mut cursor,
+                    &mut targets,
+                    &mut weights,
+                    &mut edge_types,
+                );
+            }
+        }
+
+        // Pass 3: sort each adjacency range by destination, carrying the
+        // parallel arrays along via an index permutation.
+        for vtx in 0..v {
+            let lo = offsets[vtx] as usize;
+            let hi = offsets[vtx + 1] as usize;
+            if hi - lo <= 1 {
+                continue;
+            }
+            let range = &targets[lo..hi];
+            if range.windows(2).all(|w| w[0] <= w[1]) {
+                continue;
+            }
+            let mut perm: Vec<usize> = (0..hi - lo).collect();
+            perm.sort_unstable_by_key(|&i| targets[lo + i]);
+            apply_permutation(&mut targets[lo..hi], &perm);
+            if let Some(w) = &mut weights {
+                apply_permutation(&mut w[lo..hi], &perm);
+            }
+            if let Some(t) = &mut edge_types {
+                apply_permutation(&mut t[lo..hi], &perm);
+            }
+        }
+
+        CsrGraph::from_parts(offsets, targets, weights, edge_types)
+    }
+}
+
+/// Reorders `data` so that `data[i] = old_data[perm[i]]`.
+fn apply_permutation<T: Copy>(data: &mut [T], perm: &[usize]) {
+    let snapshot: Vec<T> = data.to_vec();
+    for (i, &p) in perm.iter().enumerate() {
+        data[i] = snapshot[p];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_sort_places_every_edge() {
+        let mut b = GraphBuilder::directed(4);
+        let edges = [(2u32, 0u32), (0, 3), (2, 1), (1, 1), (0, 0), (3, 2)];
+        for (s, d) in edges {
+            b.add_edge(s, d);
+        }
+        let g = b.build();
+        assert_eq!(g.edge_count(), 6);
+        for (s, d) in edges {
+            assert!(g.has_edge(s, d), "missing edge ({s}, {d})");
+        }
+    }
+
+    #[test]
+    fn weights_follow_sorted_adjacency() {
+        let mut b = GraphBuilder::directed(3).with_weights();
+        b.add_weighted_edge(0, 2, 20.0);
+        b.add_weighted_edge(0, 1, 10.0);
+        let g = b.build();
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.edge_weights(0).unwrap(), &[10.0, 20.0]);
+    }
+
+    #[test]
+    fn undirected_weights_mirrored() {
+        let mut b = GraphBuilder::undirected(3).with_weights();
+        b.add_weighted_edge(0, 1, 3.0);
+        b.add_weighted_edge(2, 0, 4.0);
+        let g = b.build();
+        assert_eq!(g.edge_weights(0).unwrap(), &[3.0, 4.0]);
+        assert_eq!(g.edge_weights(1).unwrap(), &[3.0]);
+        assert_eq!(g.edge_weights(2).unwrap(), &[4.0]);
+    }
+
+    #[test]
+    fn types_follow_sorted_adjacency_undirected() {
+        let mut b = GraphBuilder::undirected(3).with_edge_types();
+        b.add_typed_edge(0, 2, 9);
+        b.add_typed_edge(0, 1, 5);
+        let g = b.build();
+        assert_eq!(g.edge_types_of(0).unwrap(), &[5, 9]);
+        assert_eq!(g.edge_types_of(2).unwrap(), &[9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        GraphBuilder::directed(2).add_edge(0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid edge weight")]
+    fn nan_weight_panics() {
+        GraphBuilder::directed(2)
+            .with_weights()
+            .add_weighted_edge(0, 1, f32::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "before adding edges")]
+    fn late_with_weights_panics() {
+        let mut b = GraphBuilder::directed(2);
+        b.add_edge(0, 1);
+        let _ = b.with_weights();
+    }
+
+    #[test]
+    fn apply_permutation_works() {
+        let mut data = [10, 20, 30, 40];
+        apply_permutation(&mut data, &[3, 1, 0, 2]);
+        assert_eq!(data, [40, 20, 10, 30]);
+    }
+
+    #[test]
+    fn accessors() {
+        let mut b = GraphBuilder::undirected(5);
+        assert_eq!(b.vertex_count(), 5);
+        b.add_edge(0, 1);
+        assert_eq!(b.added_edges(), 1);
+    }
+}

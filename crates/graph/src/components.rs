@@ -1,0 +1,181 @@
+//! Connected components via union-find.
+//!
+//! Walk-corpus quality depends on connectivity — a walker never leaves
+//! its component, so coverage and mixing claims only make sense per
+//! component. The CLI's `stats` command and several examples report the
+//! component structure computed here.
+//!
+//! Components are computed over the *undirected closure*: `u ∪ v` for
+//! every stored edge `(u, v)`, which equals weak connectivity for
+//! directed graphs and plain connectivity for undirected ones.
+
+use crate::{CsrGraph, VertexId};
+
+/// Union-find (disjoint set union) with path halving and union by size.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    /// Finds the representative of `x`'s set (with path halving).
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let grand = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grand;
+            x = grand;
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns `true` if they were
+    /// separate.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra as usize] < self.size[rb as usize] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        self.size[ra as usize] += self.size[rb as usize];
+        true
+    }
+}
+
+/// Summary of a graph's (weak) connectivity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Components {
+    /// Component label per vertex, densely renumbered from 0.
+    pub labels: Vec<u32>,
+    /// Vertex count of each component, indexed by label.
+    pub sizes: Vec<u32>,
+}
+
+impl Components {
+    /// Number of components.
+    pub fn count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Size of the largest component (0 on an empty graph).
+    pub fn largest(&self) -> u32 {
+        self.sizes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Whether two vertices share a component.
+    pub fn connected(&self, a: VertexId, b: VertexId) -> bool {
+        self.labels[a as usize] == self.labels[b as usize]
+    }
+}
+
+/// Computes the (weakly) connected components of `graph`.
+pub fn connected_components(graph: &CsrGraph) -> Components {
+    let n = graph.vertex_count();
+    let mut uf = UnionFind::new(n);
+    for v in 0..n as VertexId {
+        for &x in graph.neighbors(v) {
+            uf.union(v, x);
+        }
+    }
+    // Dense renumbering in order of first appearance.
+    let mut labels = vec![u32::MAX; n];
+    let mut sizes = Vec::new();
+    for v in 0..n as u32 {
+        let root = uf.find(v);
+        if labels[root as usize] == u32::MAX {
+            labels[root as usize] = sizes.len() as u32;
+            sizes.push(0);
+        }
+        let label = labels[root as usize];
+        labels[v as usize] = label;
+        sizes[label as usize] += 1;
+    }
+    Components { labels, sizes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{gen, GraphBuilder};
+
+    #[test]
+    fn singletons_without_edges() {
+        let g = GraphBuilder::directed(4).build();
+        let c = connected_components(&g);
+        assert_eq!(c.count(), 4);
+        assert_eq!(c.largest(), 1);
+        assert!(!c.connected(0, 1));
+    }
+
+    #[test]
+    fn two_components() {
+        let mut b = GraphBuilder::undirected(6);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(3, 4);
+        let g = b.build();
+        let c = connected_components(&g);
+        assert_eq!(c.count(), 3); // {0,1,2}, {3,4}, {5}
+        assert_eq!(c.largest(), 3);
+        assert!(c.connected(0, 2));
+        assert!(c.connected(3, 4));
+        assert!(!c.connected(2, 3));
+        assert_eq!(c.sizes.iter().sum::<u32>(), 6);
+    }
+
+    #[test]
+    fn directed_edges_count_as_weak_links() {
+        let mut b = GraphBuilder::directed(3);
+        b.add_edge(0, 1);
+        b.add_edge(2, 1);
+        let g = b.build();
+        let c = connected_components(&g);
+        assert_eq!(c.count(), 1);
+    }
+
+    #[test]
+    fn agrees_with_bfs_reachability() {
+        let g = gen::presets::livejournal_like(9, gen::GenOptions::seeded(250));
+        let c = connected_components(&g);
+        // BFS from vertex 0 must reach exactly its component.
+        let mut reached = vec![false; g.vertex_count()];
+        let mut stack = vec![0u32];
+        reached[0] = true;
+        let mut count = 1u32;
+        while let Some(v) = stack.pop() {
+            for &x in g.neighbors(v) {
+                if !reached[x as usize] {
+                    reached[x as usize] = true;
+                    count += 1;
+                    stack.push(x);
+                }
+            }
+        }
+        assert_eq!(count, c.sizes[c.labels[0] as usize]);
+        for v in 0..g.vertex_count() as u32 {
+            assert_eq!(reached[v as usize], c.connected(0, v), "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn union_find_primitives() {
+        let mut uf = UnionFind::new(5);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert!(uf.union(2, 3));
+        assert!(uf.union(0, 3));
+        assert_eq!(uf.find(1), uf.find(2));
+        assert_ne!(uf.find(0), uf.find(4));
+    }
+}

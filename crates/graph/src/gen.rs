@@ -1,0 +1,429 @@
+//! Synthetic graph generators used throughout the paper's evaluation.
+//!
+//! §7.3 studies sampling cost against controlled topology: uniform-degree
+//! graphs (density sweep, Figure 6a), truncated power-law graphs (skewness
+//! sweep, Figure 6b), and uniform graphs with injected hotspots
+//! (Figure 6c). §7.1 additionally needs weighted versions of each graph
+//! with weights drawn from `[1, 5)`, and Figure 8 needs power-law weight
+//! assignment with a controllable maximum.
+//!
+//! Since the paper's real-world graphs (Twitter, Friendster, UK-Union) are
+//! tens of gigabytes, the benchmark harness stands them in with [`rmat`]
+//! graphs whose skew is tuned to match each graph's character; the
+//! substitution is documented in `DESIGN.md`.
+//!
+//! All generators produce *undirected* graphs (edges stored twice), matching
+//! the paper's setup ("we use their undirected version"). Degrees below
+//! refer to the undirected degree.
+
+use crate::{builder::GraphBuilder, CsrGraph, EdgeTypeId, VertexId, Weight};
+use knightking_sampling::DeterministicRng;
+
+/// How to assign edge weights (`Ps`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WeightKind {
+    /// Unweighted graph (`Ps = 1` implicitly; no weight array stored).
+    None,
+    /// Weights uniform in `[lo, hi)` — the paper uses `[1, 5)`.
+    Uniform {
+        /// Inclusive lower bound.
+        lo: f32,
+        /// Exclusive upper bound.
+        hi: f32,
+    },
+    /// Weights `w ∈ [1, max]` with density `∝ w^-exponent` (Figure 8's
+    /// power-law weight assignment).
+    PowerLaw {
+        /// Largest possible weight.
+        max: f32,
+        /// Power-law exponent (> 1).
+        exponent: f32,
+    },
+}
+
+/// Options shared by all generators.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GenOptions {
+    /// Weight assignment.
+    pub weights: WeightKind,
+    /// When `Some(t)`, each edge gets a uniform random type in `[0, t)` —
+    /// the heterogeneous-graph setup for Meta-path (§7.1 uses 5 types).
+    pub edge_types: Option<EdgeTypeId>,
+    /// RNG seed; equal seeds give identical graphs.
+    pub seed: u64,
+}
+
+impl Default for GenOptions {
+    fn default() -> Self {
+        GenOptions {
+            weights: WeightKind::None,
+            edge_types: None,
+            seed: 1,
+        }
+    }
+}
+
+impl GenOptions {
+    /// Unweighted, untyped, with the given seed.
+    pub fn seeded(seed: u64) -> Self {
+        GenOptions {
+            seed,
+            ..GenOptions::default()
+        }
+    }
+
+    /// The paper's weighted setup: weights uniform in `[1, 5)`.
+    pub fn paper_weighted(seed: u64) -> Self {
+        GenOptions {
+            weights: WeightKind::Uniform { lo: 1.0, hi: 5.0 },
+            edge_types: None,
+            seed,
+        }
+    }
+}
+
+fn draw_weight(kind: WeightKind, rng: &mut DeterministicRng) -> Weight {
+    match kind {
+        WeightKind::None => 1.0,
+        WeightKind::Uniform { lo, hi } => lo + rng.next_f64() as f32 * (hi - lo),
+        WeightKind::PowerLaw { max, exponent } => {
+            // Inverse-transform sampling of a bounded Pareto on [1, max].
+            let a = exponent as f64;
+            let u = rng.next_f64();
+            let hi = max as f64;
+            if (a - 1.0).abs() < 1e-9 {
+                hi.powf(u) as f32
+            } else {
+                let lo_p = 1.0f64;
+                let hi_p = hi.powf(1.0 - a);
+                ((lo_p + u * (hi_p - lo_p)).powf(1.0 / (1.0 - a))) as f32
+            }
+        }
+    }
+}
+
+/// Builds the undirected graph from an explicit pairing of endpoints.
+fn assemble(n: usize, pairs: &[(VertexId, VertexId)], opts: GenOptions) -> CsrGraph {
+    let mut rng = DeterministicRng::for_stream(opts.seed, 0xA77A);
+    let mut b = GraphBuilder::undirected(n);
+    if !matches!(opts.weights, WeightKind::None) {
+        b = b.with_weights();
+    }
+    if opts.edge_types.is_some() {
+        b = b.with_edge_types();
+    }
+    for &(u, v) in pairs {
+        let w = draw_weight(opts.weights, &mut rng);
+        let t = opts
+            .edge_types
+            .map_or(0, |count| rng.next_bounded(count as u64) as EdgeTypeId);
+        b.add_full_edge(u, v, w, t);
+    }
+    b.build()
+}
+
+/// Pairs up a stub list (configuration model), consuming it.
+fn pair_stubs(stubs: &mut Vec<VertexId>, rng: &mut DeterministicRng) -> Vec<(VertexId, VertexId)> {
+    // Fisher–Yates shuffle, then pair consecutive stubs. Self-loops and
+    // parallel edges are kept — they are rare and harmless for random
+    // walks, and dropping them would perturb the degree sequence.
+    for i in (1..stubs.len()).rev() {
+        let j = rng.next_index(i + 1);
+        stubs.swap(i, j);
+    }
+    if stubs.len() % 2 == 1 {
+        stubs.pop();
+    }
+    stubs.chunks_exact(2).map(|c| (c[0], c[1])).collect()
+}
+
+/// Generates an undirected graph where every vertex has degree exactly
+/// `degree` (configuration model), as in Figure 6a.
+///
+/// `n * degree` should be even; if odd, one stub is dropped and a single
+/// vertex ends up one short.
+///
+/// # Examples
+///
+/// ```
+/// use knightking_graph::gen::{uniform_degree, GenOptions};
+///
+/// let g = uniform_degree(100, 8, GenOptions::seeded(7));
+/// assert_eq!(g.vertex_count(), 100);
+/// assert_eq!(g.degree(42), 8);
+/// ```
+pub fn uniform_degree(n: usize, degree: usize, opts: GenOptions) -> CsrGraph {
+    let mut rng = DeterministicRng::for_stream(opts.seed, 0x51B5);
+    let mut stubs = Vec::with_capacity(n * degree);
+    for v in 0..n as VertexId {
+        for _ in 0..degree {
+            stubs.push(v);
+        }
+    }
+    let pairs = pair_stubs(&mut stubs, &mut rng);
+    assemble(n, &pairs, opts)
+}
+
+/// Generates an undirected graph whose degrees follow a *truncated*
+/// power-law `P(k) ∝ k^-gamma` on `[min_degree, cap]`, as in Figure 6b.
+///
+/// Raising `cap` with `gamma` fixed makes the distribution more skewed
+/// while only mildly raising the mean — the knob the paper turns.
+pub fn truncated_power_law(
+    n: usize,
+    gamma: f64,
+    min_degree: usize,
+    cap: usize,
+    opts: GenOptions,
+) -> CsrGraph {
+    assert!(min_degree >= 1 && cap >= min_degree, "bad degree range");
+    let mut rng = DeterministicRng::for_stream(opts.seed, 0x70B7);
+    // Build the discrete CDF of k^-gamma over [min_degree, cap]. The cap
+    // for our scaled-down experiments stays ≤ ~100k, so a dense CDF is fine.
+    let weights: Vec<f64> = (min_degree..=cap)
+        .map(|k| (k as f64).powf(-gamma))
+        .collect();
+    let cdf = knightking_sampling::CdfTable::new(&weights)
+        .expect("power-law weights are positive by construction");
+    let mut stubs = Vec::new();
+    for v in 0..n as VertexId {
+        let k = min_degree + cdf.sample(&mut rng);
+        for _ in 0..k {
+            stubs.push(v);
+        }
+    }
+    let pairs = pair_stubs(&mut stubs, &mut rng);
+    assemble(n, &pairs, opts)
+}
+
+/// Generates the Figure 6c topology: a uniform graph of degree
+/// `base_degree` with `hotspot_count` vertices of degree `hotspot_degree`
+/// spliced in.
+///
+/// The hotspots are the first `hotspot_count` vertex ids; each connects to
+/// uniformly random non-hotspot vertices.
+pub fn with_hotspots(
+    n: usize,
+    base_degree: usize,
+    hotspot_count: usize,
+    hotspot_degree: usize,
+    opts: GenOptions,
+) -> CsrGraph {
+    assert!(hotspot_count < n, "hotspots must leave ordinary vertices");
+    let mut rng = DeterministicRng::for_stream(opts.seed, 0x405F);
+    let mut stubs = Vec::new();
+    for v in hotspot_count as VertexId..n as VertexId {
+        for _ in 0..base_degree {
+            stubs.push(v);
+        }
+    }
+    let mut pairs = pair_stubs(&mut stubs, &mut rng);
+    let ordinary = (n - hotspot_count) as u64;
+    for h in 0..hotspot_count as VertexId {
+        for _ in 0..hotspot_degree {
+            let other = hotspot_count as VertexId + rng.next_bounded(ordinary) as VertexId;
+            pairs.push((h, other));
+        }
+    }
+    assemble(n, &pairs, opts)
+}
+
+/// R-MAT generator — the stand-in for the paper's real-world social graphs.
+///
+/// Produces `2^scale` vertices and `edge_factor · 2^scale` undirected
+/// edges by recursive quadrant descent with probabilities
+/// `(a, b, c, 1 − a − b − c)`. The classic skew setting
+/// `(0.57, 0.19, 0.19)` yields a heavy-tailed degree distribution similar
+/// to Twitter's; `(0.45, 0.22, 0.22)` is milder, similar to Friendster's.
+pub fn rmat(scale: u32, edge_factor: usize, a: f64, b: f64, c: f64, opts: GenOptions) -> CsrGraph {
+    assert!(scale <= 31, "scale too large for u32 vertex ids");
+    assert!(a + b + c < 1.0 + 1e-9, "quadrant probabilities exceed 1");
+    let n = 1usize << scale;
+    let edges = edge_factor * n;
+    let mut rng = DeterministicRng::for_stream(opts.seed, 0x46A7);
+    let mut pairs = Vec::with_capacity(edges);
+    for _ in 0..edges {
+        let (mut lo_u, mut lo_v) = (0u32, 0u32);
+        let mut half = (n >> 1) as u32;
+        while half > 0 {
+            let r = rng.next_f64();
+            if r < a {
+                // upper-left: no change
+            } else if r < a + b {
+                lo_v += half;
+            } else if r < a + b + c {
+                lo_u += half;
+            } else {
+                lo_u += half;
+                lo_v += half;
+            }
+            half >>= 1;
+        }
+        pairs.push((lo_u, lo_v));
+    }
+    assemble(n, &pairs, opts)
+}
+
+/// Convenience presets matching the characters of the paper's Table 2
+/// graphs, at laptop scale.
+pub mod presets {
+    use super::*;
+
+    /// A mildly-skewed social graph (Friendster-like): R-MAT with gentle
+    /// quadrant skew.
+    pub fn friendster_like(scale: u32, opts: GenOptions) -> CsrGraph {
+        rmat(scale, 16, 0.45, 0.22, 0.22, opts)
+    }
+
+    /// A heavily-skewed social graph (Twitter-like): R-MAT with classic
+    /// Graph500 skew, producing a few ultra-high-degree hubs.
+    pub fn twitter_like(scale: u32, opts: GenOptions) -> CsrGraph {
+        rmat(scale, 16, 0.57, 0.19, 0.19, opts)
+    }
+
+    /// A small social graph (LiveJournal-like): lower degree, mild skew.
+    pub fn livejournal_like(scale: u32, opts: GenOptions) -> CsrGraph {
+        rmat(scale, 9, 0.48, 0.21, 0.21, opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_degree_is_exact() {
+        let g = uniform_degree(200, 6, GenOptions::seeded(1));
+        for v in 0..200 {
+            assert_eq!(g.degree(v), 6, "vertex {v}");
+        }
+        assert_eq!(g.edge_count(), 200 * 6);
+    }
+
+    #[test]
+    fn uniform_degree_deterministic_per_seed() {
+        let a = uniform_degree(100, 4, GenOptions::seeded(9));
+        let b = uniform_degree(100, 4, GenOptions::seeded(9));
+        let c = uniform_degree(100, 4, GenOptions::seeded(10));
+        for v in 0..100 {
+            assert_eq!(a.neighbors(v), b.neighbors(v));
+        }
+        assert!((0..100).any(|v| a.neighbors(v) != c.neighbors(v)));
+    }
+
+    #[test]
+    fn power_law_cap_respected_and_skew_grows() {
+        let low_cap = truncated_power_law(3000, 2.0, 2, 20, GenOptions::seeded(2));
+        let high_cap = truncated_power_law(3000, 2.0, 2, 2000, GenOptions::seeded(2));
+        assert!(low_cap.max_degree() <= 2 * 20); // pairing can add a little
+        let (m1, v1) = low_cap.degree_stats();
+        let (m2, v2) = high_cap.degree_stats();
+        // Raising the cap raises variance much faster than the mean.
+        assert!(v2 / v1 > (m2 / m1) * 2.0, "v1={v1} v2={v2} m1={m1} m2={m2}");
+    }
+
+    #[test]
+    fn hotspots_have_requested_degree() {
+        let g = with_hotspots(1000, 10, 3, 5000, GenOptions::seeded(3));
+        for h in 0..3 {
+            assert!(g.degree(h) >= 5000, "hotspot {h} degree {}", g.degree(h));
+        }
+        // Ordinary vertices stay near the base degree (plus hotspot links).
+        let (mean, _) = g.degree_stats();
+        assert!(mean < 50.0);
+    }
+
+    #[test]
+    fn rmat_produces_skewed_degrees() {
+        let g = presets::twitter_like(12, GenOptions::seeded(4));
+        assert_eq!(g.vertex_count(), 4096);
+        let (mean, var) = g.degree_stats();
+        // Heavy tail: variance far exceeds the mean.
+        assert!(var > mean * 10.0, "mean {mean} var {var}");
+        assert!(g.max_degree() > 100);
+    }
+
+    #[test]
+    fn friendster_like_less_skewed_than_twitter_like() {
+        let f = presets::friendster_like(12, GenOptions::seeded(5));
+        let t = presets::twitter_like(12, GenOptions::seeded(5));
+        let (_, vf) = f.degree_stats();
+        let (_, vt) = t.degree_stats();
+        assert!(
+            vt > vf * 2.0,
+            "twitter-like var {vt} vs friendster-like {vf}"
+        );
+    }
+
+    #[test]
+    fn weighted_generation_in_range() {
+        let g = uniform_degree(100, 4, GenOptions::paper_weighted(6));
+        assert!(g.is_weighted());
+        for v in 0..100 {
+            for &w in g.edge_weights(v).unwrap() {
+                assert!((1.0..5.0).contains(&w), "weight {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn power_law_weights_bounded_and_skewed() {
+        let opts = GenOptions {
+            weights: WeightKind::PowerLaw {
+                max: 100.0,
+                exponent: 2.0,
+            },
+            edge_types: None,
+            seed: 7,
+        };
+        let g = uniform_degree(500, 10, opts);
+        let mut below_10 = 0usize;
+        let mut total = 0usize;
+        for v in 0..500 {
+            for &w in g.edge_weights(v).unwrap() {
+                assert!((1.0..=100.0).contains(&w));
+                total += 1;
+                if w < 10.0 {
+                    below_10 += 1;
+                }
+            }
+        }
+        // Power law with exponent 2: ~90% of mass below 10.
+        assert!(below_10 as f64 / total as f64 > 0.8);
+    }
+
+    #[test]
+    fn typed_generation_covers_all_types() {
+        let opts = GenOptions {
+            weights: WeightKind::None,
+            edge_types: Some(5),
+            seed: 8,
+        };
+        let g = uniform_degree(500, 10, opts);
+        assert!(g.is_typed());
+        let mut seen = [false; 5];
+        for v in 0..500 {
+            for &t in g.edge_types_of(v).unwrap() {
+                assert!(t < 5);
+                seen[t as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn undirected_symmetry_holds() {
+        let g = presets::livejournal_like(10, GenOptions::seeded(11));
+        for v in 0..g.vertex_count() as u32 {
+            for x in g.neighbors(v) {
+                assert!(g.has_edge(*x, v), "asymmetric edge ({v}, {x})");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bad degree range")]
+    fn power_law_rejects_bad_range() {
+        truncated_power_law(10, 2.0, 5, 4, GenOptions::default());
+    }
+}

@@ -1,0 +1,311 @@
+//! Plain-text edge-list I/O.
+//!
+//! The format is the de-facto standard used by SNAP and most graph
+//! datasets: one edge per line, whitespace-separated fields
+//! `src dst [weight] [type]`, with `#`-prefixed comment lines ignored.
+//! All vertices mentioned must be below the declared vertex count; use
+//! [`load_edge_list_auto`] to infer the count from the data.
+
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+use crate::{builder::GraphBuilder, CsrGraph, GraphError};
+
+/// Which optional columns an edge list carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeListFormat {
+    /// Third column is a weight.
+    pub weighted: bool,
+    /// Column after `dst` (and weight, if any) is an edge type.
+    pub typed: bool,
+    /// Treat edges as undirected (store both directions).
+    pub undirected: bool,
+}
+
+impl Default for EdgeListFormat {
+    fn default() -> Self {
+        EdgeListFormat {
+            weighted: false,
+            typed: false,
+            undirected: true,
+        }
+    }
+}
+
+/// Parses an edge list from a reader with a declared vertex count.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] on malformed lines and
+/// [`GraphError::VertexOutOfRange`] when an id is at or beyond
+/// `vertex_count`.
+pub fn read_edge_list<R: BufRead>(
+    reader: R,
+    vertex_count: usize,
+    format: EdgeListFormat,
+) -> Result<CsrGraph, GraphError> {
+    let mut b = if format.undirected {
+        GraphBuilder::undirected(vertex_count)
+    } else {
+        GraphBuilder::directed(vertex_count)
+    };
+    if format.weighted {
+        b = b.with_weights();
+    }
+    if format.typed {
+        b = b.with_edge_types();
+    }
+
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        let parse_u32 = |field: Option<&str>, what: &str| -> Result<u32, GraphError> {
+            field
+                .ok_or_else(|| GraphError::Parse {
+                    line: lineno + 1,
+                    message: format!("missing {what}"),
+                })?
+                .parse::<u32>()
+                .map_err(|e| GraphError::Parse {
+                    line: lineno + 1,
+                    message: format!("bad {what}: {e}"),
+                })
+        };
+        let src = parse_u32(fields.next(), "source vertex")?;
+        let dst = parse_u32(fields.next(), "destination vertex")?;
+        for v in [src, dst] {
+            if v as usize >= vertex_count {
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: v,
+                    vertex_count,
+                });
+            }
+        }
+        let weight = if format.weighted {
+            let w: f32 = fields
+                .next()
+                .ok_or_else(|| GraphError::Parse {
+                    line: lineno + 1,
+                    message: "missing weight".into(),
+                })?
+                .parse()
+                .map_err(|e| GraphError::Parse {
+                    line: lineno + 1,
+                    message: format!("bad weight: {e}"),
+                })?;
+            if !w.is_finite() || w < 0.0 {
+                return Err(GraphError::InvalidWeight { weight: w });
+            }
+            w
+        } else {
+            1.0
+        };
+        let edge_type = if format.typed {
+            fields
+                .next()
+                .ok_or_else(|| GraphError::Parse {
+                    line: lineno + 1,
+                    message: "missing edge type".into(),
+                })?
+                .parse()
+                .map_err(|e| GraphError::Parse {
+                    line: lineno + 1,
+                    message: format!("bad edge type: {e}"),
+                })?
+        } else {
+            0
+        };
+        b.add_full_edge(src, dst, weight, edge_type);
+    }
+    Ok(b.build())
+}
+
+/// Loads an edge list from a file, inferring the vertex count as
+/// `max id + 1`.
+///
+/// Reads the file twice: once to find the maximum id, once to build.
+///
+/// # Errors
+///
+/// Propagates I/O and parse failures as [`GraphError`].
+pub fn load_edge_list_auto(path: &Path, format: EdgeListFormat) -> Result<CsrGraph, GraphError> {
+    let file = std::fs::File::open(path)?;
+    let reader = std::io::BufReader::new(file);
+    let mut max_id: u32 = 0;
+    let mut any = false;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        for what in ["source", "destination"] {
+            let id: u32 = fields
+                .next()
+                .ok_or_else(|| GraphError::Parse {
+                    line: lineno + 1,
+                    message: format!("missing {what} vertex"),
+                })?
+                .parse()
+                .map_err(|e| GraphError::Parse {
+                    line: lineno + 1,
+                    message: format!("bad {what} vertex: {e}"),
+                })?;
+            max_id = max_id.max(id);
+            any = true;
+        }
+    }
+    let vertex_count = if any { max_id as usize + 1 } else { 0 };
+    let file = std::fs::File::open(path)?;
+    read_edge_list(std::io::BufReader::new(file), vertex_count, format)
+}
+
+/// Writes a graph as a plain-text edge list.
+///
+/// Undirected graphs (which store each edge twice) emit each edge once,
+/// with `src <= dst`; set `dedup_undirected` to `false` to dump the raw
+/// directed form.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_edge_list<W: Write>(
+    graph: &CsrGraph,
+    writer: W,
+    dedup_undirected: bool,
+) -> Result<(), GraphError> {
+    let mut out = BufWriter::new(writer);
+    for v in 0..graph.vertex_count() as u32 {
+        for e in graph.edges(v) {
+            if dedup_undirected && e.dst < v {
+                continue;
+            }
+            write!(out, "{} {}", e.src, e.dst)?;
+            if graph.is_weighted() {
+                write!(out, " {}", e.weight)?;
+            }
+            if graph.is_typed() {
+                write!(out, " {}", e.edge_type)?;
+            }
+            writeln!(out)?;
+        }
+    }
+    out.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_basic_edge_list() {
+        let data = "# comment\n0 1\n1 2\n\n2 0\n";
+        let g = read_edge_list(Cursor::new(data), 3, EdgeListFormat::default()).unwrap();
+        assert_eq!(g.edge_count(), 6); // undirected, stored twice
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 0));
+    }
+
+    #[test]
+    fn parses_weighted_typed_directed() {
+        let fmt = EdgeListFormat {
+            weighted: true,
+            typed: true,
+            undirected: false,
+        };
+        let data = "0 1 2.5 3\n1 0 4.0 1\n";
+        let g = read_edge_list(Cursor::new(data), 2, fmt).unwrap();
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.edge(0, 0).weight, 2.5);
+        assert_eq!(g.edge(0, 0).edge_type, 3);
+        assert_eq!(g.edge(1, 0).weight, 4.0);
+    }
+
+    #[test]
+    fn rejects_out_of_range_vertex() {
+        let err = read_edge_list(Cursor::new("0 5\n"), 3, EdgeListFormat::default()).unwrap_err();
+        assert!(matches!(
+            err,
+            GraphError::VertexOutOfRange { vertex: 5, .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_lines_with_line_numbers() {
+        let err =
+            read_edge_list(Cursor::new("0 1\nxyz 2\n"), 3, EdgeListFormat::default()).unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_missing_weight_column() {
+        let fmt = EdgeListFormat {
+            weighted: true,
+            typed: false,
+            undirected: true,
+        };
+        let err = read_edge_list(Cursor::new("0 1\n"), 2, fmt).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { .. }));
+    }
+
+    #[test]
+    fn rejects_negative_weight() {
+        let fmt = EdgeListFormat {
+            weighted: true,
+            typed: false,
+            undirected: true,
+        };
+        let err = read_edge_list(Cursor::new("0 1 -2.0\n"), 2, fmt).unwrap_err();
+        assert!(matches!(err, GraphError::InvalidWeight { .. }));
+    }
+
+    #[test]
+    fn round_trips_through_a_file() {
+        let dir = std::env::temp_dir().join("kk_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.txt");
+
+        let g = crate::gen::uniform_degree(50, 4, crate::gen::GenOptions::paper_weighted(3));
+        let file = std::fs::File::create(&path).unwrap();
+        write_edge_list(&g, file, true).unwrap();
+
+        let fmt = EdgeListFormat {
+            weighted: true,
+            typed: false,
+            undirected: true,
+        };
+        let g2 = load_edge_list_auto(&path, fmt).unwrap();
+        assert_eq!(g2.vertex_count(), g.vertex_count());
+        assert_eq!(g2.edge_count(), g.edge_count());
+        for v in 0..g.vertex_count() as u32 {
+            assert_eq!(g.neighbors(v), g2.neighbors(v), "vertex {v}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_input_gives_empty_graph() {
+        let g = read_edge_list(Cursor::new("# nothing\n"), 0, EdgeListFormat::default()).unwrap();
+        assert_eq!(g.vertex_count(), 0);
+    }
+
+    #[test]
+    fn auto_load_infers_vertex_count() {
+        let dir = std::env::temp_dir().join("kk_io_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.txt");
+        std::fs::write(&path, "0 7\n3 2\n").unwrap();
+        let g = load_edge_list_auto(&path, EdgeListFormat::default()).unwrap();
+        assert_eq!(g.vertex_count(), 8);
+        std::fs::remove_file(&path).ok();
+    }
+}

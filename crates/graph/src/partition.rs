@@ -1,0 +1,304 @@
+//! 1-D contiguous vertex partitioning (§6.1 of the paper).
+//!
+//! KnightKing estimates a node's processing workload as the sum of its
+//! local vertex and edge counts and balances that sum across nodes with a
+//! contiguous 1-D split. Contiguity makes ownership lookup a binary search
+//! over at most `n_nodes` boundaries, and gives each node one dense CSR
+//! slice — the property that lets a walker directly address any edge of its
+//! residing vertex.
+
+use crate::{CsrGraph, VertexId};
+
+/// A contiguous 1-D partition of the vertex set across `n` nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// `starts[i]..starts[i + 1]` is node `i`'s vertex range
+    /// (len `n_nodes + 1`, `starts[0] == 0`, `starts[n] == |V|`).
+    starts: Vec<VertexId>,
+}
+
+impl Partition {
+    /// Partitions `graph` across `n_nodes`, balancing `α·|V_i| + |E_i|`.
+    ///
+    /// `alpha` weighs a vertex against an edge in the workload estimate;
+    /// the paper's heuristic is the plain sum, i.e. `alpha = 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_nodes == 0`.
+    pub fn balanced(graph: &CsrGraph, n_nodes: usize, alpha: f64) -> Self {
+        assert!(n_nodes > 0, "need at least one node");
+        let v = graph.vertex_count();
+        let total_work: f64 = alpha * v as f64 + graph.edge_count() as f64;
+        let per_node = total_work / n_nodes as f64;
+
+        let mut starts = Vec::with_capacity(n_nodes + 1);
+        starts.push(0 as VertexId);
+        let mut acc = 0.0f64;
+        let mut next_vertex = 0usize;
+        for node in 0..n_nodes - 1 {
+            let target = per_node * (node + 1) as f64;
+            while next_vertex < v && acc < target {
+                acc += alpha + graph.degree(next_vertex as VertexId) as f64;
+                next_vertex += 1;
+            }
+            // Never let a later node start before an earlier one, and keep
+            // at least the remaining nodes' worth of room.
+            starts.push(next_vertex as VertexId);
+        }
+        starts.push(v as VertexId);
+        Partition { starts }
+    }
+
+    /// Splits vertices evenly by count, ignoring edges. Useful for tests
+    /// and as the degenerate case of `balanced` with `alpha → ∞`.
+    pub fn even(vertex_count: usize, n_nodes: usize) -> Self {
+        assert!(n_nodes > 0, "need at least one node");
+        let mut starts = Vec::with_capacity(n_nodes + 1);
+        for node in 0..=n_nodes {
+            starts.push((vertex_count * node / n_nodes) as VertexId);
+        }
+        Partition { starts }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n_nodes(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// Total number of partitioned vertices.
+    #[inline]
+    pub fn vertex_count(&self) -> usize {
+        *self.starts.last().unwrap() as usize
+    }
+
+    /// The node owning vertex `v`, in O(log n_nodes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is outside the partitioned range.
+    #[inline]
+    pub fn owner(&self, v: VertexId) -> usize {
+        assert!(
+            (v as usize) < self.vertex_count(),
+            "vertex {v} outside partition"
+        );
+        // First boundary strictly greater than v, minus one.
+        self.starts.partition_point(|&s| s <= v) - 1
+    }
+
+    /// Node `i`'s vertex range.
+    #[inline]
+    pub fn range(&self, node: usize) -> std::ops::Range<VertexId> {
+        self.starts[node]..self.starts[node + 1]
+    }
+
+    /// Number of vertices owned by node `i`.
+    #[inline]
+    pub fn local_vertex_count(&self, node: usize) -> usize {
+        (self.starts[node + 1] - self.starts[node]) as usize
+    }
+
+    /// Extracts node `i`'s local graph slice: same vertex id space, but
+    /// only the out-edges of vertices this node owns. Every other vertex
+    /// has degree zero.
+    ///
+    /// This is the storage layout of a real distributed deployment — a
+    /// node physically holds nothing beyond its partition — and is what
+    /// the engine hands each simulated node, so out-of-partition accesses
+    /// are structurally impossible rather than merely forbidden.
+    pub fn extract_local(&self, graph: &CsrGraph, node: usize) -> CsrGraph {
+        let v_count = graph.vertex_count();
+        let range = self.range(node);
+        let mut offsets = vec![0u64; v_count + 1];
+        let mut run = 0u64;
+        for v in 0..v_count as VertexId {
+            if range.contains(&v) {
+                run += graph.degree(v) as u64;
+            }
+            offsets[v as usize + 1] = run;
+        }
+        let local_edges = run as usize;
+        let mut targets = Vec::with_capacity(local_edges);
+        let mut weights = graph.is_weighted().then(|| Vec::with_capacity(local_edges));
+        let mut edge_types = graph.is_typed().then(|| Vec::with_capacity(local_edges));
+        for v in range.clone() {
+            targets.extend_from_slice(graph.neighbors(v));
+            if let Some(w) = &mut weights {
+                w.extend_from_slice(graph.edge_weights(v).expect("weighted"));
+            }
+            if let Some(t) = &mut edge_types {
+                t.extend_from_slice(graph.edge_types_of(v).expect("typed"));
+            }
+        }
+        CsrGraph::from_parts(offsets, targets, weights, edge_types)
+    }
+
+    /// Workload estimate `α·|V_i| + |E_i|` for each node, for balance
+    /// diagnostics and tests.
+    pub fn workloads(&self, graph: &CsrGraph, alpha: f64) -> Vec<f64> {
+        (0..self.n_nodes())
+            .map(|node| {
+                let r = self.range(node);
+                let edges: usize = (r.start..r.end).map(|v| graph.degree(v)).sum();
+                alpha * (r.end - r.start) as f64 + edges as f64
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use knightking_sampling::DeterministicRng;
+
+    fn random_graph(v: usize, e: usize, seed: u64) -> CsrGraph {
+        let mut rng = DeterministicRng::new(seed);
+        let mut b = GraphBuilder::directed(v);
+        for _ in 0..e {
+            b.add_edge(rng.next_index(v) as u32, rng.next_index(v) as u32);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn covers_all_vertices_exactly_once() {
+        let g = random_graph(1000, 5000, 1);
+        let p = Partition::balanced(&g, 7, 1.0);
+        assert_eq!(p.n_nodes(), 7);
+        let mut covered = 0usize;
+        for node in 0..7 {
+            covered += p.local_vertex_count(node);
+            for v in p.range(node) {
+                assert_eq!(p.owner(v), node);
+            }
+        }
+        assert_eq!(covered, 1000);
+    }
+
+    #[test]
+    fn balances_workload_within_tolerance() {
+        let g = random_graph(10_000, 80_000, 2);
+        let p = Partition::balanced(&g, 8, 1.0);
+        let loads = p.workloads(&g, 1.0);
+        let total: f64 = loads.iter().sum();
+        let ideal = total / 8.0;
+        for (node, &l) in loads.iter().enumerate() {
+            assert!(
+                (l - ideal).abs() / ideal < 0.15,
+                "node {node} load {l} vs ideal {ideal}"
+            );
+        }
+    }
+
+    #[test]
+    fn skewed_graph_still_partitions_correctly() {
+        // One vertex holds almost all edges; its node must end up with few
+        // other vertices.
+        let mut b = GraphBuilder::directed(100);
+        for d in 0..1000u32 {
+            b.add_edge(0, d % 100);
+        }
+        b.add_edge(99, 0);
+        let g = b.build();
+        let p = Partition::balanced(&g, 4, 1.0);
+        assert_eq!(p.owner(0), 0);
+        assert_eq!(
+            p.local_vertex_count(0)
+                + p.local_vertex_count(1)
+                + p.local_vertex_count(2)
+                + p.local_vertex_count(3),
+            100
+        );
+        // The hub's node should own far fewer vertices than the average.
+        assert!(p.local_vertex_count(0) < 25);
+    }
+
+    #[test]
+    fn single_node_owns_everything() {
+        let g = random_graph(50, 100, 3);
+        let p = Partition::balanced(&g, 1, 1.0);
+        assert_eq!(p.range(0), 0..50);
+        assert_eq!(p.owner(49), 0);
+    }
+
+    #[test]
+    fn more_nodes_than_vertices_leaves_empty_nodes() {
+        let g = random_graph(3, 3, 4);
+        let p = Partition::balanced(&g, 8, 1.0);
+        assert_eq!(p.n_nodes(), 8);
+        let covered: usize = (0..8).map(|n| p.local_vertex_count(n)).sum();
+        assert_eq!(covered, 3);
+    }
+
+    #[test]
+    fn even_partition_splits_by_count() {
+        let p = Partition::even(10, 3);
+        assert_eq!(p.range(0), 0..3);
+        assert_eq!(p.range(1), 3..6);
+        assert_eq!(p.range(2), 6..10);
+        assert_eq!(p.owner(5), 1);
+        assert_eq!(p.owner(6), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside partition")]
+    fn owner_out_of_range_panics() {
+        Partition::even(5, 2).owner(5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_panics() {
+        Partition::even(5, 0);
+    }
+
+    #[test]
+    fn extract_local_covers_the_graph_exactly_once() {
+        let g = random_graph(500, 4000, 5);
+        let p = Partition::balanced(&g, 4, 1.0);
+        let locals: Vec<CsrGraph> = (0..4).map(|n| p.extract_local(&g, n)).collect();
+        let mut total_edges = 0;
+        for (node, local) in locals.iter().enumerate() {
+            assert_eq!(local.vertex_count(), g.vertex_count());
+            total_edges += local.edge_count();
+            for v in 0..500u32 {
+                if p.owner(v) == node {
+                    assert_eq!(local.neighbors(v), g.neighbors(v), "owned vertex {v}");
+                } else {
+                    assert_eq!(local.degree(v), 0, "foreign vertex {v} must be empty");
+                }
+            }
+        }
+        assert_eq!(total_edges, g.edge_count());
+    }
+
+    #[test]
+    fn extract_local_keeps_weights_and_types() {
+        let mut b = GraphBuilder::directed(6).with_weights().with_edge_types();
+        b.add_full_edge(0, 1, 1.5, 2);
+        b.add_full_edge(3, 4, 2.5, 7);
+        b.add_full_edge(5, 0, 3.5, 1);
+        let g = b.build();
+        let p = Partition::even(6, 2);
+        let a = p.extract_local(&g, 0);
+        let c = p.extract_local(&g, 1);
+        assert_eq!(a.edge_weights(0).unwrap(), &[1.5]);
+        assert_eq!(a.edge_types_of(0).unwrap(), &[2]);
+        assert_eq!(a.degree(3), 0);
+        assert_eq!(c.edge_weights(3).unwrap(), &[2.5]);
+        assert_eq!(c.edge_types_of(5).unwrap(), &[1]);
+        assert_eq!(c.degree(0), 0);
+    }
+
+    #[test]
+    fn owner_boundaries_are_exact() {
+        let p = Partition::even(100, 4);
+        assert_eq!(p.owner(0), 0);
+        assert_eq!(p.owner(24), 0);
+        assert_eq!(p.owner(25), 1);
+        assert_eq!(p.owner(99), 3);
+    }
+}

@@ -1,0 +1,211 @@
+//! Property-based tests for the graph substrate: CSR construction,
+//! adjacency invariants, partition coverage, and edge-list round-trips.
+
+use knightking_graph::{builder::GraphBuilder, io, Partition, VertexId};
+use proptest::prelude::*;
+
+/// An arbitrary edge list over `n` vertices.
+fn edges_strategy() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (1usize..64).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32);
+        (Just(n), prop::collection::vec(edge, 0..256))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every inserted directed edge is findable; none are invented.
+    #[test]
+    fn csr_contains_exactly_the_inserted_edges((n, edges) in edges_strategy()) {
+        let mut b = GraphBuilder::directed(n);
+        for &(s, d) in &edges {
+            b.add_edge(s, d);
+        }
+        let g = b.build();
+        prop_assert_eq!(g.edge_count(), edges.len());
+        // Multiset equality per source.
+        for v in 0..n as u32 {
+            let mut expected: Vec<u32> = edges
+                .iter()
+                .filter(|&&(s, _)| s == v)
+                .map(|&(_, d)| d)
+                .collect();
+            expected.sort_unstable();
+            prop_assert_eq!(g.neighbors(v), &expected[..]);
+        }
+    }
+
+    /// Adjacency is sorted, `has_edge`/`find_edge`/`edge_range` agree.
+    #[test]
+    fn csr_lookup_functions_agree((n, edges) in edges_strategy()) {
+        let mut b = GraphBuilder::directed(n);
+        for &(s, d) in &edges {
+            b.add_edge(s, d);
+        }
+        let g = b.build();
+        for v in 0..n as u32 {
+            prop_assert!(g.neighbors(v).windows(2).all(|w| w[0] <= w[1]));
+            for x in 0..n as u32 {
+                let range = g.edge_range(v, x);
+                let count = g.neighbors(v).iter().filter(|&&d| d == x).count();
+                prop_assert_eq!(range.len(), count);
+                prop_assert_eq!(g.has_edge(v, x), count > 0);
+                if let Some(i) = g.find_edge(v, x) {
+                    prop_assert_eq!(g.edge(v, i).dst, x);
+                } else {
+                    prop_assert_eq!(count, 0);
+                }
+            }
+        }
+    }
+
+    /// Undirected graphs are symmetric with doubled edge count.
+    #[test]
+    fn undirected_symmetry((n, edges) in edges_strategy()) {
+        let mut b = GraphBuilder::undirected(n);
+        for &(s, d) in &edges {
+            b.add_edge(s, d);
+        }
+        let g = b.build();
+        prop_assert_eq!(g.edge_count(), edges.len() * 2);
+        for v in 0..n as u32 {
+            for &x in g.neighbors(v) {
+                prop_assert!(g.has_edge(x, v), "missing mirror of ({v}, {x})");
+            }
+        }
+    }
+
+    /// Weights and types stay attached to their edge through the
+    /// counting sort and adjacency sort.
+    #[test]
+    fn attributes_follow_edges((n, edges) in edges_strategy()) {
+        let mut b = GraphBuilder::directed(n).with_weights().with_edge_types();
+        for (i, &(s, d)) in edges.iter().enumerate() {
+            b.add_full_edge(s, d, (i + 1) as f32, (i % 200) as u8);
+        }
+        let g = b.build();
+        // For each stored edge, its (weight, type) pair must correspond
+        // to SOME inserted edge with the same endpoints.
+        for v in 0..n as u32 {
+            for e in g.edges(v) {
+                let found = edges.iter().enumerate().any(|(i, &(s, d))| {
+                    s == v && d == e.dst
+                        && (i + 1) as f32 == e.weight
+                        && (i % 200) as u8 == e.edge_type
+                });
+                prop_assert!(found, "edge ({v}, {}) carries foreign attributes", e.dst);
+            }
+        }
+    }
+
+    /// Partitions cover every vertex exactly once, owners agree with
+    /// ranges, and ranges are contiguous and ordered.
+    #[test]
+    fn partition_invariants((n, edges) in edges_strategy(), n_nodes in 1usize..12, alpha in 0.0f64..10.0) {
+        let mut b = GraphBuilder::directed(n);
+        for &(s, d) in &edges {
+            b.add_edge(s, d);
+        }
+        let g = b.build();
+        let p = Partition::balanced(&g, n_nodes, alpha);
+        prop_assert_eq!(p.n_nodes(), n_nodes);
+        prop_assert_eq!(p.vertex_count(), n);
+        let mut covered = 0usize;
+        let mut prev_end = 0 as VertexId;
+        for node in 0..n_nodes {
+            let r = p.range(node);
+            prop_assert_eq!(r.start, prev_end, "ranges must be contiguous");
+            prev_end = r.end;
+            covered += r.len();
+            for v in r {
+                prop_assert_eq!(p.owner(v), node);
+            }
+        }
+        prop_assert_eq!(covered, n);
+    }
+
+    /// Binary format round-trip preserves the graph exactly, including
+    /// attributes.
+    #[test]
+    fn binary_round_trip((n, edges) in edges_strategy()) {
+        let mut b = GraphBuilder::undirected(n).with_weights().with_edge_types();
+        for (i, &(s, d)) in edges.iter().enumerate() {
+            b.add_full_edge(s, d, (i % 13) as f32 + 0.25, (i % 200) as u8);
+        }
+        let g = b.build();
+        let mut buf = Vec::new();
+        knightking_graph::binfmt::write_binary(&g, &mut buf).unwrap();
+        let g2 = knightking_graph::binfmt::read_binary(std::io::Cursor::new(buf)).unwrap();
+        prop_assert_eq!(g2.vertex_count(), g.vertex_count());
+        for v in 0..n as u32 {
+            prop_assert_eq!(g2.neighbors(v), g.neighbors(v));
+            prop_assert_eq!(g2.edge_weights(v), g.edge_weights(v));
+            prop_assert_eq!(g2.edge_types_of(v), g.edge_types_of(v));
+        }
+    }
+
+    /// The Bloom neighbor index agrees with binary search on every pair.
+    #[test]
+    fn neighbor_index_always_agrees((n, edges) in edges_strategy(), min_deg in 0usize..16) {
+        let mut b = GraphBuilder::directed(n);
+        for &(s, d) in &edges {
+            b.add_edge(s, d);
+        }
+        let g = b.build();
+        let idx = knightking_graph::NeighborIndex::build(&g, min_deg);
+        for v in 0..n as u32 {
+            for x in 0..n as u32 {
+                prop_assert_eq!(idx.has_edge(&g, v, x), g.has_edge(v, x));
+            }
+        }
+    }
+
+    /// Local extraction partitions the edge set exactly.
+    #[test]
+    fn extract_local_partitions_edges((n, edges) in edges_strategy(), nodes in 1usize..6) {
+        let mut b = GraphBuilder::directed(n);
+        for &(s, d) in &edges {
+            b.add_edge(s, d);
+        }
+        let g = b.build();
+        let p = Partition::balanced(&g, nodes, 1.0);
+        let mut total = 0usize;
+        for node in 0..nodes {
+            let local = p.extract_local(&g, node);
+            total += local.edge_count();
+            for v in 0..n as u32 {
+                if p.owner(v) == node {
+                    prop_assert_eq!(local.neighbors(v), g.neighbors(v));
+                } else {
+                    prop_assert_eq!(local.degree(v), 0);
+                }
+            }
+        }
+        prop_assert_eq!(total, g.edge_count());
+    }
+
+    /// Edge-list text round-trip preserves the graph exactly.
+    #[test]
+    fn edge_list_round_trip((n, edges) in edges_strategy()) {
+        let mut b = GraphBuilder::directed(n).with_weights();
+        for (i, &(s, d)) in edges.iter().enumerate() {
+            b.add_weighted_edge(s, d, (i % 31) as f32 + 0.5);
+        }
+        let g = b.build();
+
+        let mut buf: Vec<u8> = Vec::new();
+        io::write_edge_list(&g, &mut buf, false).unwrap();
+        let fmt = io::EdgeListFormat {
+            weighted: true,
+            typed: false,
+            undirected: false,
+        };
+        let g2 = io::read_edge_list(std::io::Cursor::new(buf), n, fmt).unwrap();
+        prop_assert_eq!(g2.edge_count(), g.edge_count());
+        for v in 0..n as u32 {
+            prop_assert_eq!(g2.neighbors(v), g.neighbors(v));
+            prop_assert_eq!(g2.edge_weights(v), g.edge_weights(v));
+        }
+    }
+}

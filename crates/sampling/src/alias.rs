@@ -1,0 +1,210 @@
+//! Walker's alias method for O(1) sampling from a discrete distribution.
+//!
+//! The alias table is KnightKing's static sampler of choice (§3 of the
+//! paper): building takes O(n) time and space, and each sample costs O(1) —
+//! one bounded integer draw plus one coin flip. The engine builds one table
+//! per vertex whose static component `Ps` is non-uniform, and reuses it
+//! across all sampling trials of all walkers.
+
+use crate::{rng::DeterministicRng, validate_weights, SamplingError};
+
+/// A pre-built alias table over `n` outcomes.
+///
+/// Each of the `n` buckets holds (a piece of) up to two outcomes: the bucket
+/// index itself with probability `prob[i]`, and `alias[i]` with probability
+/// `1 - prob[i]`. Sampling draws a uniform bucket, then flips the bucket's
+/// coin — the classic Vose construction.
+///
+/// # Examples
+///
+/// ```
+/// use knightking_sampling::{AliasTable, DeterministicRng};
+///
+/// let table = AliasTable::new(&[1.0, 3.0]).unwrap();
+/// let mut rng = DeterministicRng::new(1);
+/// let mut counts = [0u32; 2];
+/// for _ in 0..10_000 {
+///     counts[table.sample(&mut rng)] += 1;
+/// }
+/// // Outcome 1 carries 3/4 of the mass.
+/// assert!(counts[1] > counts[0] * 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    /// Probability of staying on the bucket's own index, scaled to `[0, 1]`.
+    prob: Vec<f64>,
+    /// The other outcome sharing the bucket.
+    alias: Vec<u32>,
+    /// Sum of the (unnormalized) input weights.
+    total_weight: f64,
+}
+
+impl AliasTable {
+    /// Builds an alias table from unnormalized, non-negative weights.
+    ///
+    /// Zero-weight outcomes are representable and will never be sampled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SamplingError`] if `weights` is empty, contains a
+    /// negative/NaN/infinite value, or sums to zero.
+    pub fn new(weights: &[f64]) -> Result<Self, SamplingError> {
+        let total = validate_weights(weights)?;
+        let n = weights.len();
+        assert!(
+            n <= u32::MAX as usize,
+            "alias table limited to 2^32 outcomes"
+        );
+
+        // Vose's algorithm: scale weights so the average bucket is 1, then
+        // pair each under-full bucket with an over-full donor.
+        let scale = n as f64 / total;
+        let mut scaled: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+        let mut prob = vec![1.0f64; n];
+        let mut alias: Vec<u32> = (0..n as u32).collect();
+
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            prob[s as usize] = scaled[s as usize];
+            alias[s as usize] = l;
+            scaled[l as usize] -= 1.0 - scaled[s as usize];
+            if scaled[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Leftovers in either list are numerically-full buckets.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = 1.0;
+        }
+
+        Ok(AliasTable {
+            prob,
+            alias,
+            total_weight: total,
+        })
+    }
+
+    /// Draws one outcome index in O(1).
+    #[inline]
+    pub fn sample(&self, rng: &mut DeterministicRng) -> usize {
+        let bucket = rng.next_index(self.prob.len());
+        if rng.next_f64() < self.prob[bucket] {
+            bucket
+        } else {
+            self.alias[bucket] as usize
+        }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Returns `true` if the table has no outcomes (never constructible).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Sum of the unnormalized weights the table was built from.
+    ///
+    /// The rejection sampler needs this to size the envelope rectangle
+    /// (`Q(v) · ΣPs`) relative to outlier appendix areas.
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    /// Approximate heap footprint in bytes, for memory accounting.
+    pub fn heap_bytes(&self) -> usize {
+        self.prob.len() * (std::mem::size_of::<f64>() + std::mem::size_of::<u32>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empirical(weights: &[f64], draws: usize, seed: u64) -> Vec<f64> {
+        let table = AliasTable::new(weights).unwrap();
+        let mut rng = DeterministicRng::new(seed);
+        let mut counts = vec![0usize; weights.len()];
+        for _ in 0..draws {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / draws as f64).collect()
+    }
+
+    #[test]
+    fn uniform_weights_sample_uniformly() {
+        let freqs = empirical(&[1.0; 8], 80_000, 11);
+        for &f in &freqs {
+            assert!((f - 0.125).abs() < 0.01, "freq {f}");
+        }
+    }
+
+    #[test]
+    fn skewed_weights_match_distribution() {
+        let weights = [1.0, 2.0, 4.0, 8.0, 16.0];
+        let total: f64 = weights.iter().sum();
+        let freqs = empirical(&weights, 200_000, 12);
+        for (f, w) in freqs.iter().zip(weights.iter()) {
+            let expect = w / total;
+            assert!((f - expect).abs() < 0.01, "freq {f} expected {expect}");
+        }
+    }
+
+    #[test]
+    fn zero_weight_outcome_never_sampled() {
+        let freqs = empirical(&[1.0, 0.0, 1.0], 50_000, 13);
+        assert_eq!(freqs[1], 0.0);
+    }
+
+    #[test]
+    fn single_outcome_always_sampled() {
+        let freqs = empirical(&[3.5], 1000, 14);
+        assert_eq!(freqs[0], 1.0);
+    }
+
+    #[test]
+    fn extreme_skew_still_exact() {
+        // One outcome with 10^9 times the weight of its sibling.
+        let weights = [1e9, 1.0];
+        let table = AliasTable::new(&weights).unwrap();
+        let mut rng = DeterministicRng::new(15);
+        let mut rare = 0usize;
+        let draws = 1_000_000;
+        for _ in 0..draws {
+            if table.sample(&mut rng) == 1 {
+                rare += 1;
+            }
+        }
+        // Expected ~1e-9 * 1e6 = 0.001 hits; must be essentially never.
+        assert!(rare <= 2, "rare outcome sampled {rare} times");
+    }
+
+    #[test]
+    fn build_errors_propagate() {
+        assert!(AliasTable::new(&[]).is_err());
+        assert!(AliasTable::new(&[0.0]).is_err());
+        assert!(AliasTable::new(&[-1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn total_weight_preserved() {
+        let table = AliasTable::new(&[0.25, 0.5, 0.75]).unwrap();
+        assert!((table.total_weight() - 1.5).abs() < 1e-12);
+        assert_eq!(table.len(), 3);
+        assert!(!table.is_empty());
+        assert!(table.heap_bytes() > 0);
+    }
+}

@@ -1,0 +1,250 @@
+//! Statistical helpers shared by this repository's correctness tests.
+//!
+//! The headline property of KnightKing is that rejection sampling is
+//! *exact*: the engine's empirical transition frequencies must match the
+//! brute-force normalized `Ps·Pd` distribution. The integration tests
+//! verify this with Pearson's chi-squared statistic, using the helpers
+//! here.
+
+/// Pearson's chi-squared statistic of observed counts against expected
+/// probabilities.
+///
+/// Buckets with zero expected probability are asserted to have zero
+/// observations (a single stray observation in an impossible bucket is an
+/// exactness violation, not noise) and are excluded from the statistic.
+///
+/// Returns `(statistic, degrees_of_freedom)`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length, if an expected probability is
+/// negative, or if an impossible bucket has observations.
+pub fn chi_squared(observed: &[u64], expected_probs: &[f64]) -> (f64, usize) {
+    assert_eq!(
+        observed.len(),
+        expected_probs.len(),
+        "observed and expected must align"
+    );
+    let n: u64 = observed.iter().sum();
+    let mut stat = 0.0f64;
+    let mut dof = 0usize;
+    for (i, (&o, &p)) in observed.iter().zip(expected_probs).enumerate() {
+        assert!(p >= 0.0, "expected probability at {i} is negative");
+        if p == 0.0 {
+            assert_eq!(o, 0, "bucket {i} is impossible but was observed {o} times");
+            continue;
+        }
+        let e = p * n as f64;
+        stat += (o as f64 - e).powi(2) / e;
+        dof += 1;
+    }
+    (stat, dof.saturating_sub(1))
+}
+
+/// Conservative chi-squared critical value at significance ≈ 0.001.
+///
+/// Uses the Wilson–Hilferty approximation
+/// `χ²_crit ≈ k·(1 − 2/(9k) + z·√(2/(9k)))³` with `z = 3.09`
+/// (the 99.9th percentile of the standard normal). Accurate to within a
+/// few percent for `k ≥ 3`, which is ample for a pass/fail test bound.
+pub fn chi_squared_critical(dof: usize) -> f64 {
+    if dof == 0 {
+        return 0.0;
+    }
+    let k = dof as f64;
+    let z = 3.09;
+    let term = 1.0 - 2.0 / (9.0 * k) + z * (2.0 / (9.0 * k)).sqrt();
+    k * term.powi(3)
+}
+
+/// Asserts that observed counts are consistent with expected probabilities
+/// at significance ≈ 0.001.
+///
+/// # Panics
+///
+/// Panics with a diagnostic message when the chi-squared statistic exceeds
+/// the critical value.
+pub fn assert_distribution_matches(observed: &[u64], expected_probs: &[f64], context: &str) {
+    let (stat, dof) = chi_squared(observed, expected_probs);
+    let crit = chi_squared_critical(dof);
+    assert!(
+        stat <= crit,
+        "{context}: chi-squared {stat:.2} exceeds critical {crit:.2} (dof {dof})"
+    );
+}
+
+/// Two-sample chi-squared homogeneity statistic.
+///
+/// Tests whether two observed count vectors were drawn from the same
+/// (unknown) distribution — the right tool for comparing two *empirical*
+/// samplers, where treating one side as exact expectations would double
+/// the variance. Buckets empty on both sides are skipped.
+///
+/// Returns `(statistic, degrees_of_freedom)`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or either sums to zero.
+pub fn chi_squared_two_sample(a: &[u64], b: &[u64]) -> (f64, usize) {
+    assert_eq!(a.len(), b.len(), "samples must align");
+    let na: u64 = a.iter().sum();
+    let nb: u64 = b.iter().sum();
+    assert!(na > 0 && nb > 0, "both samples must be non-empty");
+    let (na, nb) = (na as f64, nb as f64);
+    let mut stat = 0.0f64;
+    let mut dof = 0usize;
+    for (&oa, &ob) in a.iter().zip(b) {
+        let row = (oa + ob) as f64;
+        if row == 0.0 {
+            continue;
+        }
+        let ea = row * na / (na + nb);
+        let eb = row * nb / (na + nb);
+        stat += (oa as f64 - ea).powi(2) / ea + (ob as f64 - eb).powi(2) / eb;
+        dof += 1;
+    }
+    (stat, dof.saturating_sub(1))
+}
+
+/// Asserts two count vectors are consistent with a common distribution at
+/// significance ≈ 0.001.
+///
+/// # Panics
+///
+/// Panics with a diagnostic message when the statistic exceeds the
+/// critical value.
+pub fn assert_same_distribution(a: &[u64], b: &[u64], context: &str) {
+    let (stat, dof) = chi_squared_two_sample(a, b);
+    let crit = chi_squared_critical(dof);
+    assert!(
+        stat <= crit,
+        "{context}: two-sample chi-squared {stat:.2} exceeds critical {crit:.2} (dof {dof})"
+    );
+}
+
+/// Mean and (population) variance of a sequence — used for reporting degree
+/// distributions exactly as Table 2 of the paper does.
+pub fn mean_variance(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    let mut n = 0u64;
+    let mut mean = 0.0f64;
+    let mut m2 = 0.0f64;
+    for x in values {
+        n += 1;
+        let delta = x - mean;
+        mean += delta / n as f64;
+        m2 += delta * (x - mean);
+    }
+    if n == 0 {
+        (0.0, 0.0)
+    } else {
+        (mean, m2 / n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::DeterministicRng;
+
+    #[test]
+    fn chi_squared_zero_for_perfect_fit() {
+        let (stat, dof) = chi_squared(&[25, 25, 25, 25], &[0.25; 4]);
+        assert_eq!(stat, 0.0);
+        assert_eq!(dof, 3);
+    }
+
+    #[test]
+    fn chi_squared_skips_impossible_buckets() {
+        let (stat, dof) = chi_squared(&[50, 0, 50], &[0.5, 0.0, 0.5]);
+        assert_eq!(stat, 0.0);
+        assert_eq!(dof, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "impossible")]
+    fn chi_squared_rejects_impossible_observation() {
+        chi_squared(&[50, 1, 49], &[0.5, 0.0, 0.5]);
+    }
+
+    #[test]
+    fn critical_values_reasonable() {
+        // Known χ² 0.999 quantiles: dof 1 ≈ 10.83, dof 10 ≈ 29.59,
+        // dof 100 ≈ 149.45. Wilson–Hilferty should be within ~10%.
+        assert!((chi_squared_critical(10) - 29.59).abs() < 2.0);
+        assert!((chi_squared_critical(100) - 149.45).abs() < 5.0);
+        assert_eq!(chi_squared_critical(0), 0.0);
+    }
+
+    #[test]
+    fn good_sampler_passes_bad_sampler_fails() {
+        let probs = [0.1, 0.2, 0.3, 0.4];
+        let cdf = crate::CdfTable::new(&probs).unwrap();
+        let mut rng = DeterministicRng::new(77);
+        let mut counts = [0u64; 4];
+        for _ in 0..100_000 {
+            counts[cdf.sample(&mut rng)] += 1;
+        }
+        assert_distribution_matches(&counts, &probs, "cdf sampler");
+
+        // A deliberately wrong expectation must fail.
+        let wrong = [0.4, 0.3, 0.2, 0.1];
+        let (stat, dof) = chi_squared(&counts, &wrong);
+        assert!(stat > chi_squared_critical(dof));
+    }
+
+    #[test]
+    fn two_sample_zero_for_identical() {
+        let (stat, dof) = chi_squared_two_sample(&[10, 20, 30], &[10, 20, 30]);
+        assert_eq!(stat, 0.0);
+        assert_eq!(dof, 2);
+    }
+
+    #[test]
+    fn two_sample_skips_empty_rows() {
+        let (_, dof) = chi_squared_two_sample(&[10, 0, 30], &[12, 0, 28]);
+        assert_eq!(dof, 1);
+    }
+
+    #[test]
+    fn two_sample_accepts_same_sampler_rejects_different() {
+        let probs_a = [0.1, 0.2, 0.3, 0.4];
+        let probs_b = [0.4, 0.3, 0.2, 0.1];
+        let cdf_a = crate::CdfTable::new(&probs_a).unwrap();
+        let cdf_b = crate::CdfTable::new(&probs_b).unwrap();
+        let mut rng = DeterministicRng::new(91);
+        let draw = |cdf: &crate::CdfTable, rng: &mut DeterministicRng| {
+            let mut c = [0u64; 4];
+            for _ in 0..50_000 {
+                c[cdf.sample(rng)] += 1;
+            }
+            c
+        };
+        let a1 = draw(&cdf_a, &mut rng);
+        let a2 = draw(&cdf_a, &mut rng);
+        let b = draw(&cdf_b, &mut rng);
+        assert_same_distribution(&a1, &a2, "same sampler");
+        let (stat, dof) = chi_squared_two_sample(&a1, &b);
+        assert!(stat > chi_squared_critical(dof) * 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn two_sample_rejects_empty_side() {
+        chi_squared_two_sample(&[0, 0], &[1, 2]);
+    }
+
+    #[test]
+    fn mean_variance_matches_closed_form() {
+        let (m, v) = mean_variance([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter());
+        assert!((m - 5.0).abs() < 1e-12);
+        assert!((v - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_variance_empty_and_single() {
+        assert_eq!(mean_variance(std::iter::empty()), (0.0, 0.0));
+        let (m, v) = mean_variance(std::iter::once(3.0));
+        assert_eq!(m, 3.0);
+        assert_eq!(v, 0.0);
+    }
+}

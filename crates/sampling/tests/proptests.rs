@@ -1,0 +1,212 @@
+//! Property-based tests for the sampling substrate.
+//!
+//! The central invariant: every sampler — alias, ITS, and rejection with
+//! arbitrary bounds/outliers — reproduces the target distribution
+//! *exactly* (up to chi-squared noise) for arbitrary weight vectors.
+
+use knightking_sampling::{
+    rejection::{sample_local, Envelope, LocalOutcome, OutlierSlot},
+    stats::{chi_squared, chi_squared_critical},
+    AliasTable, CdfTable, DeterministicRng,
+};
+use proptest::prelude::*;
+
+/// A weight vector with at least one strictly positive entry.
+fn weights_strategy(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..100.0, 1..max_len).prop_filter_map(
+        "needs positive total",
+        |mut w| {
+            // Force at least one positive weight.
+            if w.iter().sum::<f64>() <= 0.0 {
+                w[0] = 1.0;
+            }
+            Some(w)
+        },
+    )
+}
+
+fn check_sampler(
+    weights: &[f64],
+    draws: usize,
+    seed: u64,
+    mut sample: impl FnMut(&mut DeterministicRng) -> usize,
+) {
+    let mut rng = DeterministicRng::new(seed);
+    let mut counts = vec![0u64; weights.len()];
+    for _ in 0..draws {
+        counts[sample(&mut rng)] += 1;
+    }
+    let total: f64 = weights.iter().sum();
+    let probs: Vec<f64> = weights.iter().map(|w| w / total).collect();
+    let (stat, dof) = chi_squared(&counts, &probs);
+    // Slightly relaxed bound: proptest runs many cases, so use ~1e-4
+    // significance via an inflated critical value.
+    let crit = chi_squared_critical(dof) * 1.5 + 5.0;
+    assert!(
+        stat <= crit,
+        "sampler drifted: chi2 {stat:.1} > {crit:.1} for weights {weights:?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn alias_matches_arbitrary_distributions(w in weights_strategy(24), seed in 0u64..1000) {
+        let table = AliasTable::new(&w).unwrap();
+        check_sampler(&w, 30_000, seed, |rng| table.sample(rng));
+    }
+
+    #[test]
+    fn its_matches_arbitrary_distributions(w in weights_strategy(24), seed in 0u64..1000) {
+        let cdf = CdfTable::new(&w).unwrap();
+        check_sampler(&w, 30_000, seed, |rng| cdf.sample(rng));
+    }
+
+    /// Rejection sampling with an arbitrary valid envelope must match the
+    /// normalized Ps·Pd products.
+    #[test]
+    fn rejection_matches_ps_pd_products(
+        ps in weights_strategy(12),
+        pd_raw in prop::collection::vec(0.0f64..4.0, 12),
+        slack in 1.0f64..2.0,
+        seed in 0u64..1000,
+    ) {
+        let n = ps.len();
+        let pd: Vec<f64> = (0..n).map(|i| pd_raw[i % pd_raw.len()]).collect();
+        let mass: f64 = ps.iter().zip(&pd).map(|(a, b)| a * b).sum();
+        prop_assume!(mass > 1e-9);
+
+        let q = pd.iter().fold(0.0f64, |a, &b| a.max(b)) * slack;
+        let lower = pd.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+        let env = Envelope {
+            q,
+            lower,
+            static_total: ps.iter().sum(),
+            outliers: Vec::new(),
+        };
+        let cdf = CdfTable::new(&ps).unwrap();
+        let products: Vec<f64> = ps.iter().zip(&pd).map(|(a, b)| a * b).collect();
+        check_sampler(&products, 30_000, seed, |rng| {
+            match sample_local(
+                &env, rng, 100_000,
+                |r| cdf.sample(r),
+                |e| ps[e],
+                |e| pd[e],
+                |_| None,
+            ) {
+                LocalOutcome::Accepted { edge, .. } => edge,
+                other => panic!("unexpected {other:?}"),
+            }
+        });
+    }
+
+    /// Folding the largest bar as an outlier (with possibly loose bounds)
+    /// must leave the distribution unchanged.
+    #[test]
+    fn outlier_folding_preserves_arbitrary_distributions(
+        ps in weights_strategy(10),
+        pd_raw in prop::collection::vec(0.1f64..1.0, 10),
+        outlier_height in 1.5f64..8.0,
+        width_slack in 1.0f64..3.0,
+        height_slack in 1.0f64..2.0,
+        seed in 0u64..1000,
+    ) {
+        let n = ps.len();
+        let mut pd: Vec<f64> = (0..n).map(|i| pd_raw[i % pd_raw.len()]).collect();
+        // Make edge 0 the towering outlier.
+        pd[0] = outlier_height;
+        prop_assume!(ps[0] > 0.0);
+
+        let env = Envelope {
+            q: 1.0, // bounds the non-outlier bars (pd_raw < 1)
+            lower: 0.0,
+            static_total: ps.iter().sum(),
+            outliers: vec![OutlierSlot {
+                target: 0,
+                width_bound: ps[0] * width_slack,
+                height_bound: outlier_height * height_slack,
+            }],
+        };
+        let cdf = CdfTable::new(&ps).unwrap();
+        let products: Vec<f64> = ps.iter().zip(&pd).map(|(a, b)| a * b).collect();
+        check_sampler(&products, 30_000, seed, |rng| {
+            match sample_local(
+                &env, rng, 100_000,
+                |r| cdf.sample(r),
+                |e| ps[e],
+                |e| pd[e],
+                |slot| if slot.target == 0 { Some(0) } else { None },
+            ) {
+                LocalOutcome::Accepted { edge, .. } => edge,
+                other => panic!("unexpected {other:?}"),
+            }
+        });
+    }
+
+    /// Lemire bounded sampling is uniform for arbitrary bounds.
+    #[test]
+    fn bounded_rng_uniform(bound in 1u64..64, seed in 0u64..10_000) {
+        let mut rng = DeterministicRng::new(seed);
+        let draws = 20_000usize;
+        let mut counts = vec![0u64; bound as usize];
+        for _ in 0..draws {
+            counts[rng.next_bounded(bound) as usize] += 1;
+        }
+        let probs = vec![1.0 / bound as f64; bound as usize];
+        let (stat, dof) = chi_squared(&counts, &probs);
+        prop_assert!(stat <= chi_squared_critical(dof) * 1.5 + 5.0);
+    }
+
+    /// Alias and ITS never return an index with zero weight.
+    #[test]
+    fn zero_weight_never_sampled(
+        mut w in weights_strategy(16),
+        zero_at in 0usize..16,
+        seed in 0u64..1000,
+    ) {
+        let idx = zero_at % w.len();
+        w[idx] = 0.0;
+        prop_assume!(w.iter().sum::<f64>() > 0.0);
+        let alias = AliasTable::new(&w).unwrap();
+        let cdf = CdfTable::new(&w).unwrap();
+        let mut rng = DeterministicRng::new(seed);
+        for _ in 0..2000 {
+            prop_assert_ne!(alias.sample(&mut rng), idx);
+            prop_assert_ne!(cdf.sample(&mut rng), idx);
+        }
+    }
+
+    /// Expected-trials accounting: empirical trials per accept must match
+    /// Eq. 3 within noise.
+    #[test]
+    fn trial_count_matches_eq3(
+        ps in weights_strategy(8),
+        seed in 0u64..1000,
+    ) {
+        let n = ps.len();
+        let pd: Vec<f64> = (0..n).map(|i| 0.25 + 0.75 * ((i % 3) as f64) / 2.0).collect();
+        let mass: f64 = ps.iter().zip(&pd).map(|(a, b)| a * b).sum();
+        prop_assume!(mass > 1e-9);
+        let env = Envelope::simple(1.0, ps.iter().sum());
+        let expect = env.expected_trials(mass);
+
+        let cdf = CdfTable::new(&ps).unwrap();
+        let mut rng = DeterministicRng::new(seed);
+        let mut trials_total = 0u64;
+        let accepts = 3000u64;
+        for _ in 0..accepts {
+            match sample_local(&env, &mut rng, 1_000_000,
+                |r| cdf.sample(r), |e| ps[e], |e| pd[e], |_| None)
+            {
+                LocalOutcome::Accepted { trials, .. } => trials_total += trials as u64,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        let measured = trials_total as f64 / accepts as f64;
+        prop_assert!(
+            (measured - expect).abs() / expect < 0.15,
+            "measured {measured:.3} vs Eq.3 {expect:.3}"
+        );
+    }
+}

@@ -1,0 +1,216 @@
+//! Analysis utilities over collected walk corpora.
+//!
+//! Random walk output rarely is the end product: applications consume
+//! visit statistics (PPR scores), co-occurrence pairs (SkipGram windows),
+//! or coverage/quality diagnostics. These helpers operate on the
+//! `Vec<Vec<VertexId>>` path corpus a
+//! [`WalkResult`](knightking_core::WalkResult) carries and are used by
+//! the examples and the CLI.
+
+use knightking_graph::VertexId;
+
+/// Per-vertex visit counts over a corpus, including start vertices.
+pub fn visit_counts(paths: &[Vec<VertexId>], vertex_count: usize) -> Vec<u64> {
+    let mut counts = vec![0u64; vertex_count];
+    for p in paths {
+        for &v in p {
+            counts[v as usize] += 1;
+        }
+    }
+    counts
+}
+
+/// Fraction of vertices visited at least once.
+pub fn coverage(paths: &[Vec<VertexId>], vertex_count: usize) -> f64 {
+    if vertex_count == 0 {
+        return 0.0;
+    }
+    let mut seen = vec![false; vertex_count];
+    let mut covered = 0usize;
+    for p in paths {
+        for &v in p {
+            let s = &mut seen[v as usize];
+            if !*s {
+                *s = true;
+                covered += 1;
+            }
+        }
+    }
+    covered as f64 / vertex_count as f64
+}
+
+/// Walk-length statistics (in steps, i.e. `path.len() - 1`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LengthStats {
+    /// Number of walks.
+    pub walks: usize,
+    /// Total steps across all walks.
+    pub total_steps: u64,
+    /// Mean steps per walk.
+    pub mean: f64,
+    /// Longest walk in steps.
+    pub max: usize,
+    /// Shortest walk in steps.
+    pub min: usize,
+}
+
+/// Computes [`LengthStats`] over a corpus.
+pub fn length_stats(paths: &[Vec<VertexId>]) -> LengthStats {
+    let mut total = 0u64;
+    let mut max = 0usize;
+    let mut min = usize::MAX;
+    for p in paths {
+        let steps = p.len().saturating_sub(1);
+        total += steps as u64;
+        max = max.max(steps);
+        min = min.min(steps);
+    }
+    LengthStats {
+        walks: paths.len(),
+        total_steps: total,
+        mean: if paths.is_empty() {
+            0.0
+        } else {
+            total as f64 / paths.len() as f64
+        },
+        max,
+        min: if paths.is_empty() { 0 } else { min },
+    }
+}
+
+/// Fraction of 2-step windows that return to their origin (`a → b → a`),
+/// the direct observable of node2vec's return parameter `p`.
+pub fn return_rate(paths: &[Vec<VertexId>]) -> f64 {
+    let mut returns = 0u64;
+    let mut windows = 0u64;
+    for p in paths {
+        for w in p.windows(3) {
+            windows += 1;
+            if w[0] == w[2] {
+                returns += 1;
+            }
+        }
+    }
+    if windows == 0 {
+        0.0
+    } else {
+        returns as f64 / windows as f64
+    }
+}
+
+/// Estimated personalized PageRank scores for walks started at `source`:
+/// normalized visit frequencies over walks whose first vertex is
+/// `source`.
+///
+/// Returns `(vertex, score)` pairs sorted by descending score, truncated
+/// to `top_k`.
+pub fn ppr_scores(paths: &[Vec<VertexId>], source: VertexId, top_k: usize) -> Vec<(VertexId, f64)> {
+    use std::collections::HashMap;
+    let mut counts: HashMap<VertexId, u64> = HashMap::new();
+    let mut total = 0u64;
+    for p in paths {
+        if p.first() == Some(&source) {
+            for &v in p {
+                *counts.entry(v).or_default() += 1;
+                total += 1;
+            }
+        }
+    }
+    let mut scored: Vec<(VertexId, f64)> = counts
+        .into_iter()
+        .map(|(v, c)| (v, c as f64 / total as f64))
+        .collect();
+    scored.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    scored.truncate(top_k);
+    scored
+}
+
+/// Emits SkipGram-style `(center, context)` co-occurrence pairs within a
+/// window radius, invoking `sink` for each pair.
+pub fn cooccurrence_pairs(
+    paths: &[Vec<VertexId>],
+    window: usize,
+    mut sink: impl FnMut(VertexId, VertexId),
+) {
+    for p in paths {
+        for (i, &center) in p.iter().enumerate() {
+            let lo = i.saturating_sub(window);
+            let hi = (i + window + 1).min(p.len());
+            for (j, &ctx) in p.iter().enumerate().take(hi).skip(lo) {
+                if i != j {
+                    sink(center, ctx);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<Vec<VertexId>> {
+        vec![vec![0, 1, 0, 2], vec![3, 1], vec![2]]
+    }
+
+    #[test]
+    fn visit_counts_include_starts() {
+        let c = visit_counts(&corpus(), 5);
+        assert_eq!(c, vec![2, 2, 2, 1, 0]);
+    }
+
+    #[test]
+    fn coverage_fraction() {
+        assert!((coverage(&corpus(), 5) - 0.8).abs() < 1e-12);
+        assert_eq!(coverage(&[], 0), 0.0);
+    }
+
+    #[test]
+    fn length_stats_basics() {
+        let s = length_stats(&corpus());
+        assert_eq!(s.walks, 3);
+        assert_eq!(s.total_steps, 4);
+        assert!((s.mean - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.max, 3);
+        assert_eq!(s.min, 0);
+    }
+
+    #[test]
+    fn length_stats_empty() {
+        let s = length_stats(&[]);
+        assert_eq!(s.walks, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.min, 0);
+    }
+
+    #[test]
+    fn return_rate_counts_aba() {
+        // Windows: (0,1,0) return, (1,0,2) not.
+        assert!((return_rate(&corpus()) - 0.5).abs() < 1e-12);
+        assert_eq!(return_rate(&[vec![1, 2]]), 0.0);
+    }
+
+    #[test]
+    fn ppr_scores_sorted_and_normalized() {
+        let paths = vec![vec![0, 1, 1], vec![0, 2], vec![9, 9, 9]];
+        let scores = ppr_scores(&paths, 0, 10);
+        // Walks from 0 visit: 0×2, 1×2, 2×1 → total 5.
+        assert_eq!(scores.len(), 3);
+        let total: f64 = scores.iter().map(|&(_, s)| s).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(scores[0].0.min(scores[1].0), 0);
+        assert!((scores[0].1 - 0.4).abs() < 1e-12);
+        assert_eq!(scores[2], (2, 0.2));
+    }
+
+    #[test]
+    fn cooccurrence_window_respected() {
+        let paths = vec![vec![0, 1, 2, 3]];
+        let mut pairs = Vec::new();
+        cooccurrence_pairs(&paths, 1, |a, b| pairs.push((a, b)));
+        // Each adjacent pair appears in both directions: 3 edges × 2.
+        assert_eq!(pairs.len(), 6);
+        assert!(pairs.contains(&(1, 2)) && pairs.contains(&(2, 1)));
+        assert!(!pairs.contains(&(0, 2)));
+    }
+}

@@ -1,0 +1,58 @@
+#![warn(missing_docs)]
+
+//! The four random walk algorithms the paper evaluates (§2.2, §7.1),
+//! expressed through KnightKing's public [`WalkerProgram`] API exactly as
+//! a downstream user would write them:
+//!
+//! * [`DeepWalk`] — biased/unbiased, static, truncated at a fixed length.
+//! * [`Ppr`] — biased/unbiased, static, geometric termination.
+//! * [`MetaPath`] — dynamic first-order over typed edges.
+//! * [`Node2Vec`] — dynamic second-order with return/in-out parameters,
+//!   including the lower-bound and outlier declarations of §4.2.
+//!
+//! Plus one extension beyond the paper's evaluation set:
+//!
+//! * [`Rwr`] — random walk with restart, using the engine's teleport
+//!   hook for the damping jump.
+//! * [`NonBacktracking`] — the simplest second-order walk; needs no
+//!   state queries, so it runs on the first-order fast path.
+//! * [`IndexedNode2Vec`] — node2vec with Bloom-filter-accelerated
+//!   neighbor queries at hub vertices, as in the original C++ system.
+//!
+//! The [`embedding`] module closes the loop with a SkipGram
+//! negative-sampling trainer over walk corpora, and [`analysis`] provides
+//! corpus statistics (visit counts, coverage, PPR scores, co-occurrence).
+//!
+//! Biased vs. unbiased is decided by the input graph: on weighted graphs
+//! the default static component `Ps = weight` applies (alias tables are
+//! built per vertex); on unweighted graphs sampling is uniform.
+//!
+//! [`WalkerProgram`]: knightking_core::WalkerProgram
+
+pub mod analysis;
+pub mod deepwalk;
+pub mod embedding;
+pub mod metapath;
+pub mod node2vec;
+pub mod non_backtracking;
+pub mod ppr;
+pub mod rwr;
+
+pub use deepwalk::DeepWalk;
+pub use metapath::MetaPath;
+pub use node2vec::{IndexedNode2Vec, Node2Vec};
+pub use non_backtracking::NonBacktracking;
+pub use ppr::Ppr;
+pub use rwr::Rwr;
+
+/// The walk length used throughout the paper's evaluation (§2.2: "a
+/// common setup recommended in prior work").
+pub const PAPER_WALK_LENGTH: u32 = 80;
+
+/// The paper's PPR termination probability matching an expected length of
+/// 80 (§7.1).
+pub const PAPER_PPR_TERMINATION: f64 = 1.0 / 80.0;
+
+/// The stronger termination probability used for the straggler study
+/// (§7.5, following PowerWalk).
+pub const PAPER_PPR_TERMINATION_STRAGGLER: f64 = 0.149;

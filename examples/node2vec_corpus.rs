@@ -1,0 +1,133 @@
+//! node2vec walk-corpus generation — the paper's motivating application.
+//!
+//! node2vec feeds its walk sequences into a SkipGram model; the random
+//! walk phase dominates the pipeline (a Spark implementation spends 98.8%
+//! of its time there, §1). This example generates the corpus the
+//! embedding stage would consume: `|V|` walks of length 80, then reports
+//! corpus statistics and the vertex co-occurrence counts a SkipGram window
+//! would see.
+//!
+//! ```text
+//! cargo run --release --example node2vec_corpus
+//! ```
+
+use std::collections::HashMap;
+
+use knightking::prelude::*;
+
+/// SkipGram context window radius.
+const WINDOW: usize = 5;
+
+fn main() {
+    let graph = gen::presets::friendster_like(13, gen::GenOptions::paper_weighted(11));
+    println!(
+        "graph: |V| = {}, stored |E| = {} (weighted)",
+        graph.vertex_count(),
+        graph.edge_count()
+    );
+
+    // BFS-flavoured walks (q > 1 keeps them local), as node2vec recommends
+    // for structural equivalence tasks.
+    let result = RandomWalkEngine::new(
+        &graph,
+        Node2Vec::new(1.0, 2.0, 80),
+        WalkConfig::with_nodes(4, 3),
+    )
+    .run(WalkerStarts::PerVertex);
+
+    let corpus = &result.paths;
+    let tokens: usize = corpus.iter().map(|p| p.len()).sum();
+    println!(
+        "\ncorpus: {} sequences, {} tokens, generated in {:?}",
+        corpus.len(),
+        tokens,
+        result.elapsed
+    );
+    println!(
+        "sampling: {:.3} Pd evaluations/step, {} remote state queries",
+        result.metrics.edges_per_step(),
+        result.metrics.queries
+    );
+
+    // Vocabulary coverage: how many vertices appear at least once.
+    let mut seen = vec![false; graph.vertex_count()];
+    for path in corpus {
+        for &v in path {
+            seen[v as usize] = true;
+        }
+    }
+    let covered = seen.iter().filter(|&&s| s).count();
+    println!(
+        "vocabulary coverage: {covered}/{} vertices ({:.1}%)",
+        graph.vertex_count(),
+        100.0 * covered as f64 / graph.vertex_count() as f64
+    );
+
+    // SkipGram-style co-occurrence pairs within the window, for the most
+    // frequent vertex.
+    let mut freq: HashMap<VertexId, u64> = HashMap::new();
+    for path in corpus {
+        for &v in path {
+            *freq.entry(v).or_default() += 1;
+        }
+    }
+    let (&hot, &hot_count) = freq
+        .iter()
+        .max_by_key(|(_, &c)| c)
+        .expect("non-empty corpus");
+    println!(
+        "\nmost visited vertex: {hot} ({hot_count} visits, degree {})",
+        graph.degree(hot)
+    );
+
+    let mut ctx: HashMap<VertexId, u64> = HashMap::new();
+    for path in corpus {
+        for (i, &v) in path.iter().enumerate() {
+            if v != hot {
+                continue;
+            }
+            let lo = i.saturating_sub(WINDOW);
+            let hi = (i + WINDOW + 1).min(path.len());
+            for &c in &path[lo..hi] {
+                if c != hot {
+                    *ctx.entry(c).or_default() += 1;
+                }
+            }
+        }
+    }
+    let mut top: Vec<(VertexId, u64)> = ctx.into_iter().collect();
+    top.sort_unstable_by_key(|&(_, c)| std::cmp::Reverse(c));
+    println!("top-5 SkipGram contexts of vertex {hot}:");
+    for (v, c) in top.iter().take(5) {
+        println!(
+            "  vertex {v:>6}: {c} co-occurrences (neighbor: {})",
+            graph.has_edge(hot, *v)
+        );
+    }
+
+    // --- Close the loop: train the embeddings the corpus exists for.
+    use knightking::walks::embedding::{train_skipgram, SkipGramConfig};
+    let t0 = std::time::Instant::now();
+    let emb = train_skipgram(
+        corpus,
+        graph.vertex_count(),
+        SkipGramConfig {
+            dims: 32,
+            epochs: 1,
+            ..Default::default()
+        },
+    );
+    println!(
+        "\ntrained {}-d SkipGram embeddings in {:?} (walks took {:?} — the paper's point)",
+        emb.dims(),
+        t0.elapsed(),
+        result.elapsed,
+    );
+    println!("nearest neighbors of vertex {hot} in embedding space:");
+    for (v, sim) in emb.most_similar(hot, 5) {
+        println!(
+            "  vertex {v:>6}: cosine {sim:.3} (graph neighbor: {})",
+            graph.has_edge(hot, v)
+        );
+    }
+}

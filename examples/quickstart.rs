@@ -1,0 +1,64 @@
+//! Quickstart: run DeepWalk and node2vec on a synthetic social graph.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use knightking::prelude::*;
+
+fn main() {
+    // A LiveJournal-flavoured R-MAT graph: 2^14 vertices, mild skew.
+    let graph = gen::presets::livejournal_like(14, gen::GenOptions::seeded(42));
+    let (mean, var) = graph.degree_stats();
+    println!(
+        "graph: |V| = {}, stored |E| = {}, degree mean {:.1} variance {:.0}",
+        graph.vertex_count(),
+        graph.edge_count(),
+        mean,
+        var
+    );
+
+    // --- DeepWalk: static, truncated at 80 steps, one walker per vertex.
+    let deepwalk = RandomWalkEngine::new(
+        &graph,
+        DeepWalk::new(80),
+        WalkConfig::with_nodes(4, 7), // 4 simulated cluster nodes
+    )
+    .run(WalkerStarts::PerVertex);
+    println!(
+        "\nDeepWalk: {} walks, {} steps in {:?} ({:.2} M steps/s)",
+        deepwalk.paths.len(),
+        deepwalk.metrics.steps,
+        deepwalk.elapsed,
+        deepwalk.metrics.steps as f64 / deepwalk.elapsed.as_secs_f64() / 1e6,
+    );
+    println!(
+        "first walk: {:?} ...",
+        &deepwalk.paths[0][..8.min(deepwalk.paths[0].len())]
+    );
+
+    // --- node2vec: second-order, the paper's p = 2, q = 0.5.
+    let node2vec = RandomWalkEngine::new(
+        &graph,
+        Node2Vec::new(2.0, 0.5, 80),
+        WalkConfig::with_nodes(4, 7),
+    )
+    .run(WalkerStarts::PerVertex);
+    println!(
+        "\nnode2vec: {} walks, {} steps in {:?}",
+        node2vec.paths.len(),
+        node2vec.metrics.steps,
+        node2vec.elapsed,
+    );
+    println!(
+        "rejection sampling cost: {:.3} Pd evaluations/step, {:.3} trials/step, {} state queries",
+        node2vec.metrics.edges_per_step(),
+        node2vec.metrics.trials_per_step(),
+        node2vec.metrics.queries,
+    );
+    println!(
+        "pre-accepted darts: {} ({:.1}% of trials)",
+        node2vec.metrics.pre_accepts,
+        100.0 * node2vec.metrics.pre_accepts as f64 / node2vec.metrics.trials as f64,
+    );
+}

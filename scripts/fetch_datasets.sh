@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Fetches the real-world graphs of the paper's Table 2 (the ones that are
+# publicly downloadable) and converts them to the binary .kkg format with
+# the `kk` CLI. Needs network access and ~100 GB of disk for the full set;
+# pass a subset of dataset names to fetch less.
+#
+#   ./scripts/fetch_datasets.sh [livejournal] [friendster]
+#
+# The benchmark binaries default to synthetic R-MAT stand-ins (DESIGN.md
+# §2); to run them against a real graph, load it in your own harness via
+# `knightking::graph::binfmt::load_binary` or point `kk walk --graph` at
+# the produced .kkg file.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mkdir -p datasets
+cargo build --release --bin kk
+
+fetch() {
+  local name="$1" url="$2"
+  local gz="datasets/$name.txt.gz" txt="datasets/$name.txt" kkg="datasets/$name.kkg"
+  if [ -f "$kkg" ]; then
+    echo "$name: already converted"
+    return
+  fi
+  echo "$name: downloading $url"
+  curl -L --fail -o "$gz" "$url"
+  gunzip -f "$gz"
+  # SNAP edge lists are directed with '#' comments; the paper uses the
+  # undirected version, which `kk convert` produces by default.
+  ./target/release/kk convert --input "$txt" --output "$kkg"
+  ./target/release/kk stats --graph "$kkg"
+}
+
+want() { [ $# -eq 0 ] || printf '%s\n' "$@" | grep -qx "$1"; }
+
+ARGS=("${@}")
+if want livejournal "${ARGS[@]}"; then
+  fetch livejournal "https://snap.stanford.edu/data/soc-LiveJournal1.txt.gz"
+fi
+if want friendster "${ARGS[@]}"; then
+  # 31 GB compressed — make sure you want this.
+  fetch friendster "https://snap.stanford.edu/data/bigdata/communities/com-friendster.ungraph.txt.gz"
+fi
+
+echo "done. Twitter-2010 and UK-Union are distributed by LAW"
+echo "(https://law.di.unimi.it/) in WebGraph format and need their own tooling."

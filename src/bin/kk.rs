@@ -1,0 +1,389 @@
+//! `kk` — command-line front end for the KnightKing random walk engine.
+//!
+//! ```text
+//! kk generate --kind twitter --scale 14 --weighted --output g.kkg
+//! kk convert  --input edges.txt --undirected --weighted --output g.kkg
+//! kk stats    --graph g.kkg
+//! kk walk     --graph g.kkg --algo node2vec --p 2 --q 0.5 --length 80 \
+//!             --walkers pervertex --nodes 4 --output paths.txt
+//! ```
+//!
+//! Graph files ending in `.kkg` use the binary CSR format
+//! ([`knightking::graph::binfmt`]); anything else is parsed as a text
+//! edge list.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use knightking::graph::{binfmt, gen, io as gio};
+use knightking::prelude::*;
+use knightking::walks::analysis;
+
+/// Minimal flag parser: `--key value` pairs plus boolean `--key` flags.
+struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    fn parse(raw: &[String], bool_flags: &[&str]) -> Result<Args, String> {
+        let mut values = HashMap::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < raw.len() {
+            let key = raw[i]
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got {:?}", raw[i]))?;
+            if bool_flags.contains(&key) {
+                flags.push(key.to_string());
+                i += 1;
+            } else {
+                let value = raw
+                    .get(i + 1)
+                    .ok_or_else(|| format!("--{key} needs a value"))?;
+                values.insert(key.to_string(), value.clone());
+                i += 2;
+            }
+        }
+        Ok(Args { values, flags })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing --{key}"))
+    }
+
+    fn parse_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(s) => s.parse().map_err(|_| format!("bad value for --{key}: {s}")),
+        }
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+fn load_graph(
+    path: &str,
+    weighted: bool,
+    typed: bool,
+    undirected: bool,
+) -> Result<CsrGraph, String> {
+    let p = Path::new(path);
+    if p.extension().is_some_and(|e| e == "kkg") {
+        binfmt::load_binary(p).map_err(|e| format!("loading {path}: {e}"))
+    } else {
+        let fmt = gio::EdgeListFormat {
+            weighted,
+            typed,
+            undirected,
+        };
+        gio::load_edge_list_auto(p, fmt).map_err(|e| format!("loading {path}: {e}"))
+    }
+}
+
+fn save_graph(graph: &CsrGraph, path: &str) -> Result<(), String> {
+    let p = PathBuf::from(path);
+    if p.extension().is_some_and(|e| e == "kkg") {
+        binfmt::save_binary(graph, &p).map_err(|e| format!("saving {path}: {e}"))
+    } else {
+        let file = std::fs::File::create(&p).map_err(|e| format!("saving {path}: {e}"))?;
+        gio::write_edge_list(graph, file, true).map_err(|e| format!("saving {path}: {e}"))
+    }
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    let kind = args.require("kind")?;
+    let seed: u64 = args.parse_num("seed", 1)?;
+    let opts = gen::GenOptions {
+        weights: if args.has("weighted") {
+            gen::WeightKind::Uniform { lo: 1.0, hi: 5.0 }
+        } else {
+            gen::WeightKind::None
+        },
+        edge_types: match args.get("types") {
+            Some(t) => Some(t.parse().map_err(|_| "bad --types".to_string())?),
+            None => None,
+        },
+        seed,
+    };
+    let graph = match kind {
+        "uniform" => {
+            let n: usize = args.parse_num("n", 10_000)?;
+            let degree: usize = args.parse_num("degree", 16)?;
+            gen::uniform_degree(n, degree, opts)
+        }
+        "powerlaw" => {
+            let n: usize = args.parse_num("n", 10_000)?;
+            let cap: usize = args.parse_num("cap", 1000)?;
+            let gamma: f64 = args.parse_num("gamma", 2.0)?;
+            gen::truncated_power_law(n, gamma, 2, cap, opts)
+        }
+        "livejournal" | "friendster" | "twitter" => {
+            let scale: u32 = args.parse_num("scale", 14)?;
+            match kind {
+                "livejournal" => gen::presets::livejournal_like(scale, opts),
+                "friendster" => gen::presets::friendster_like(scale, opts),
+                _ => gen::presets::twitter_like(scale, opts),
+            }
+        }
+        other => {
+            return Err(format!(
+                "unknown --kind {other} (uniform|powerlaw|livejournal|friendster|twitter)"
+            ))
+        }
+    };
+    let output = args.require("output")?;
+    save_graph(&graph, output)?;
+    let (mean, var) = graph.degree_stats();
+    println!(
+        "wrote {output}: |V| = {}, stored |E| = {}, degree mean {mean:.1} variance {var:.1e}",
+        graph.vertex_count(),
+        graph.edge_count()
+    );
+    Ok(())
+}
+
+fn cmd_convert(args: &Args) -> Result<(), String> {
+    let graph = load_graph(
+        args.require("input")?,
+        args.has("weighted"),
+        args.has("typed"),
+        !args.has("directed"),
+    )?;
+    save_graph(&graph, args.require("output")?)?;
+    println!(
+        "converted: |V| = {}, stored |E| = {}",
+        graph.vertex_count(),
+        graph.edge_count()
+    );
+    Ok(())
+}
+
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    let graph = load_graph(
+        args.require("graph")?,
+        args.has("weighted"),
+        args.has("typed"),
+        !args.has("directed"),
+    )?;
+    let (mean, var) = graph.degree_stats();
+    println!("|V|              {}", graph.vertex_count());
+    println!("stored |E|       {}", graph.edge_count());
+    println!("degree mean      {mean:.2}");
+    println!("degree variance  {var:.3e}");
+    println!("max degree       {}", graph.max_degree());
+    println!("weighted         {}", graph.is_weighted());
+    println!("typed            {}", graph.is_typed());
+    println!("heap bytes       {}", graph.heap_bytes());
+    let comps = knightking::graph::connected_components(&graph);
+    println!("components       {}", comps.count());
+    println!(
+        "largest comp     {} ({:.1}%)",
+        comps.largest(),
+        100.0 * comps.largest() as f64 / graph.vertex_count().max(1) as f64
+    );
+    Ok(())
+}
+
+fn cmd_walk(args: &Args) -> Result<(), String> {
+    let graph = load_graph(
+        args.require("graph")?,
+        args.has("weighted"),
+        args.has("typed"),
+        !args.has("directed"),
+    )?;
+    let algo = args.require("algo")?;
+    let length: u32 = args.parse_num("length", 80)?;
+    let nodes: usize = args.parse_num("nodes", 1)?;
+    let seed: u64 = args.parse_num("seed", 1)?;
+
+    let starts = match args.get("walkers") {
+        None | Some("pervertex") => WalkerStarts::PerVertex,
+        Some(n) => WalkerStarts::Count(n.parse().map_err(|_| "bad --walkers".to_string())?),
+    };
+    let mut cfg = WalkConfig::with_nodes(nodes, seed);
+    cfg.record_paths = args.get("output").is_some() || args.has("stats");
+
+    let engine_result = match algo {
+        "deepwalk" => RandomWalkEngine::new(&graph, DeepWalk::new(length), cfg).run(starts),
+        "ppr" => {
+            let pt: f64 = args.parse_num("pt", 1.0 / 80.0)?;
+            RandomWalkEngine::new(&graph, Ppr::new(pt), cfg).run(starts)
+        }
+        "node2vec" => {
+            let p: f64 = args.parse_num("p", 2.0)?;
+            let q: f64 = args.parse_num("q", 0.5)?;
+            RandomWalkEngine::new(&graph, Node2Vec::new(p, q, length), cfg).run(starts)
+        }
+        "metapath" => {
+            let mp = knightking::walks::MetaPath::paper(seed);
+            RandomWalkEngine::new(&graph, mp, cfg).run(starts)
+        }
+        "rwr" => {
+            let c: f64 = args.parse_num("restart", 0.15)?;
+            RandomWalkEngine::new(&graph, Rwr::new(c, length), cfg).run(starts)
+        }
+        "nobacktrack" => {
+            RandomWalkEngine::new(&graph, NonBacktracking::new(length), cfg).run(starts)
+        }
+        other => {
+            return Err(format!(
+                "unknown --algo {other} (deepwalk|ppr|node2vec|metapath|rwr|nobacktrack)"
+            ))
+        }
+    };
+
+    eprintln!(
+        "{} walks, {} steps, {} iterations in {:?} ({:.2} edges/step, {:.2} trials/step, {} queries)",
+        engine_result.metrics.finished_walkers,
+        engine_result.metrics.steps,
+        engine_result.metrics.iterations,
+        engine_result.elapsed,
+        engine_result.metrics.edges_per_step(),
+        engine_result.metrics.trials_per_step(),
+        engine_result.metrics.queries,
+    );
+
+    if args.has("stats") {
+        let ls = analysis::length_stats(&engine_result.paths);
+        println!("walks            {}", ls.walks);
+        println!("mean length      {:.2}", ls.mean);
+        println!("min/max length   {}/{}", ls.min, ls.max);
+        println!(
+            "coverage         {:.1}%",
+            100.0 * analysis::coverage(&engine_result.paths, graph.vertex_count())
+        );
+        println!(
+            "return rate      {:.4}",
+            analysis::return_rate(&engine_result.paths)
+        );
+    }
+
+    if let Some(output) = args.get("output") {
+        let file = std::fs::File::create(output).map_err(|e| format!("creating {output}: {e}"))?;
+        engine_result
+            .write_paths(file)
+            .map_err(|e| format!("writing {output}: {e}"))?;
+        eprintln!("paths written to {output}");
+    }
+    Ok(())
+}
+
+/// Runs walks and trains SkipGram embeddings — the full node2vec
+/// pipeline from the shell.
+fn cmd_embed(args: &Args) -> Result<(), String> {
+    use knightking::walks::embedding::{train_skipgram, SkipGramConfig};
+
+    let graph = load_graph(
+        args.require("graph")?,
+        args.has("weighted"),
+        args.has("typed"),
+        !args.has("directed"),
+    )?;
+    let length: u32 = args.parse_num("length", 80)?;
+    let nodes: usize = args.parse_num("nodes", 1)?;
+    let seed: u64 = args.parse_num("seed", 1)?;
+    let p: f64 = args.parse_num("p", 1.0)?;
+    let q: f64 = args.parse_num("q", 1.0)?;
+
+    let cfg = WalkConfig::with_nodes(nodes, seed);
+    let t0 = std::time::Instant::now();
+    let walk = RandomWalkEngine::new(&graph, Node2Vec::new(p, q, length), cfg)
+        .run(WalkerStarts::PerVertex);
+    eprintln!(
+        "walks: {} sequences, {} steps in {:?}",
+        walk.paths.len(),
+        walk.metrics.steps,
+        walk.elapsed
+    );
+
+    let sg = SkipGramConfig {
+        dims: args.parse_num("dims", 64)?,
+        window: args.parse_num("window", 5)?,
+        negatives: args.parse_num("negatives", 5)?,
+        epochs: args.parse_num("epochs", 2)?,
+        learning_rate: args.parse_num("lr", 0.025)?,
+        seed,
+    };
+    let emb = train_skipgram(&walk.paths, graph.vertex_count(), sg);
+    eprintln!(
+        "embeddings: {} × {}d trained in {:?} total",
+        emb.len(),
+        emb.dims(),
+        t0.elapsed()
+    );
+
+    // word2vec text format: header line, then "vertex v1 v2 ...".
+    let output = args.require("output")?;
+    let file = std::fs::File::create(output).map_err(|e| format!("creating {output}: {e}"))?;
+    let mut out = std::io::BufWriter::new(file);
+    use std::io::Write as _;
+    writeln!(out, "{} {}", emb.len(), emb.dims()).map_err(|e| e.to_string())?;
+    for v in 0..emb.len() as u32 {
+        write!(out, "{v}").map_err(|e| e.to_string())?;
+        for x in emb.vector(v) {
+            write!(out, " {x}").map_err(|e| e.to_string())?;
+        }
+        writeln!(out).map_err(|e| e.to_string())?;
+    }
+    out.flush().map_err(|e| e.to_string())?;
+    eprintln!("embeddings written to {output}");
+    Ok(())
+}
+
+const USAGE: &str = "\
+kk — KnightKing random walk engine
+
+USAGE:
+  kk generate --kind <uniform|powerlaw|livejournal|friendster|twitter>
+              [--n N | --scale S] [--degree D] [--cap C] [--gamma G]
+              [--weighted] [--types T] [--seed S] --output <file[.kkg]>
+  kk convert  --input <file> [--weighted] [--typed] [--directed] --output <file[.kkg]>
+  kk stats    --graph <file> [--weighted] [--typed] [--directed]
+  kk walk     --graph <file> --algo <deepwalk|ppr|node2vec|metapath|rwr|nobacktrack>
+              [--length N] [--p P] [--q Q] [--pt PT] [--restart C]
+              [--walkers N|pervertex] [--nodes N] [--seed S]
+              [--output paths.txt] [--stats]
+  kk embed    --graph <file> [--p P] [--q Q] [--length N] [--dims D]
+              [--window W] [--negatives K] [--epochs E] [--lr LR]
+              [--nodes N] [--seed S] --output <embeddings.txt>
+";
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = raw.split_first() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let bool_flags = ["weighted", "typed", "directed", "stats"];
+    let result = match Args::parse(rest, &bool_flags) {
+        Err(e) => Err(e),
+        Ok(args) => match cmd.as_str() {
+            "generate" => cmd_generate(&args),
+            "convert" => cmd_convert(&args),
+            "stats" => cmd_stats(&args),
+            "walk" => cmd_walk(&args),
+            "embed" => cmd_embed(&args),
+            "help" | "--help" | "-h" => {
+                print!("{USAGE}");
+                Ok(())
+            }
+            other => Err(format!("unknown command {other}")),
+        },
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprint!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! End-to-end workload tests: every shipped algorithm on every graph
+//! flavour, validating structural path invariants.
+
+use knightking::prelude::*;
+
+fn assert_paths_walk_real_edges(g: &knightking::graph::CsrGraph, paths: &[Vec<VertexId>]) {
+    for (id, p) in paths.iter().enumerate() {
+        for w in p.windows(2) {
+            assert!(
+                g.has_edge(w[0], w[1]),
+                "walker {id} traversed nonexistent edge ({}, {})",
+                w[0],
+                w[1]
+            );
+        }
+    }
+}
+
+#[test]
+fn deepwalk_on_all_graph_flavours() {
+    for weighted in [false, true] {
+        let opts = if weighted {
+            gen::GenOptions::paper_weighted(140)
+        } else {
+            gen::GenOptions::seeded(140)
+        };
+        let g = gen::presets::twitter_like(10, opts);
+        let r = RandomWalkEngine::new(&g, DeepWalk::new(40), WalkConfig::with_nodes(3, 141))
+            .run(WalkerStarts::PerVertex);
+        assert_eq!(r.paths.len(), g.vertex_count());
+        assert_paths_walk_real_edges(&g, &r.paths);
+        assert_eq!(r.metrics.finished_walkers as usize, g.vertex_count());
+    }
+}
+
+#[test]
+fn ppr_visit_frequencies_favor_high_degree() {
+    // On an undirected graph, the stationary distribution of an unbiased
+    // walk is proportional to degree; PPR walks mix toward it.
+    let g = gen::presets::livejournal_like(11, gen::GenOptions::seeded(142));
+    let r = RandomWalkEngine::new(&g, Ppr::new(0.02), WalkConfig::with_nodes(3, 143))
+        .run(WalkerStarts::Count(4000));
+    let mut visits = vec![0u64; g.vertex_count()];
+    for p in &r.paths {
+        for &v in p {
+            visits[v as usize] += 1;
+        }
+    }
+    let hub = (0..g.vertex_count())
+        .max_by_key(|&v| g.degree(v as u32))
+        .unwrap();
+    let (mean_deg, _) = g.degree_stats();
+    let total_visits: u64 = visits.iter().sum();
+    let hub_share = visits[hub] as f64 / total_visits as f64;
+    let hub_degree_share = g.degree(hub as u32) as f64 / (mean_deg * g.vertex_count() as f64);
+    assert!(
+        hub_share > hub_degree_share * 0.5 && hub_share < hub_degree_share * 2.0,
+        "hub visit share {hub_share:.4} vs degree share {hub_degree_share:.4}"
+    );
+}
+
+#[test]
+fn metapath_paper_setup_runs_on_typed_graph() {
+    let opts = gen::GenOptions {
+        weights: gen::WeightKind::None,
+        edge_types: Some(5),
+        seed: 144,
+    };
+    let g = gen::presets::friendster_like(10, opts);
+    let mp = MetaPath::paper(77);
+    let r = RandomWalkEngine::new(&g, mp.clone(), WalkConfig::with_nodes(3, 145))
+        .run(WalkerStarts::Count(1000));
+    assert_paths_walk_real_edges(&g, &r.paths);
+    // With 5 types and ~uniform type assignment, most steps find a
+    // matching edge; walks run long but terminate early at low-degree
+    // vertices missing the required type.
+    let mean_len: f64 =
+        r.paths.iter().map(|p| p.len() as f64 - 1.0).sum::<f64>() / r.paths.len() as f64;
+    assert!(mean_len > 25.0, "mean walk length {mean_len}");
+    assert!(mean_len < 80.0, "some walks must hit missing types");
+}
+
+#[test]
+fn node2vec_full_paper_config_on_weighted_skewed_graph() {
+    let g = gen::presets::twitter_like(11, gen::GenOptions::paper_weighted(146));
+    let r = RandomWalkEngine::new(&g, Node2Vec::paper(), WalkConfig::with_nodes(4, 147))
+        .run(WalkerStarts::PerVertex);
+    assert_paths_walk_real_edges(&g, &r.paths);
+    // All non-isolated starts complete the full 80 steps (undirected
+    // graph: no reachable dead ends).
+    for p in &r.paths {
+        if g.degree(p[0]) > 0 {
+            assert_eq!(p.len(), 81);
+        }
+    }
+    // The headline claim: rejection sampling evaluates ~O(1) edges/step
+    // even on a skewed graph (paper Table 1: 0.79).
+    assert!(
+        r.metrics.edges_per_step() < 2.0,
+        "edges/step {}",
+        r.metrics.edges_per_step()
+    );
+}
+
+#[test]
+fn gemini_baseline_agrees_with_engine_on_static_distribution() {
+    use knightking::baseline::{DeepWalkSpec, GeminiConfig, GeminiEngine};
+    use knightking::sampling::stats::{chi_squared, chi_squared_critical};
+
+    let g = gen::uniform_degree(20, 4, gen::GenOptions::paper_weighted(148));
+    let walkers = 60_000u64;
+
+    let kk = RandomWalkEngine::new(&g, DeepWalk::new(1), WalkConfig::single_node(149))
+        .run(WalkerStarts::Explicit(vec![0; walkers as usize]));
+    let mut gcfg = GeminiConfig::new(3, 150);
+    gcfg.record_paths = true;
+    let gem = GeminiEngine::new(&g, DeepWalkSpec { walk_length: 1 }, gcfg)
+        .run(WalkerStarts::Explicit(vec![0; walkers as usize]));
+
+    let deg = g.degree(0);
+    let count_hops = |paths: &[Vec<VertexId>]| {
+        let mut c = vec![0u64; deg];
+        for p in paths {
+            let idx = g.find_edge(0, p[1]).unwrap();
+            c[idx] += 1;
+        }
+        c
+    };
+    let a = count_hops(&kk.paths);
+    let b = count_hops(&gem.paths);
+    let total_b: u64 = b.iter().sum();
+    let expected: Vec<f64> = b.iter().map(|&x| x as f64 / total_b as f64).collect();
+    let (stat, dof) = chi_squared(&a, &expected);
+    assert!(
+        stat <= chi_squared_critical(dof) * 1.3,
+        "chi2 {stat} dof {dof}"
+    );
+}
+
+#[test]
+fn million_step_smoke_run() {
+    // A larger end-to-end smoke: ~1M steps of node2vec across 4 nodes.
+    let g = gen::presets::friendster_like(12, gen::GenOptions::seeded(151));
+    let mut cfg = WalkConfig::with_nodes(4, 152);
+    cfg.record_paths = false;
+    let r = RandomWalkEngine::new(&g, Node2Vec::paper(), cfg)
+        .run(WalkerStarts::Count(g.vertex_count() as u64 * 3));
+    assert_eq!(r.metrics.finished_walkers, g.vertex_count() as u64 * 3);
+    assert!(r.metrics.steps > 900_000);
+}
+
+/// Large-scale stress: ~20M node2vec steps across 4 nodes on a skewed
+/// 260 K-vertex graph. Run with `cargo test --release -- --ignored`.
+#[test]
+#[ignore = "multi-minute stress run; exercise with --ignored"]
+fn large_scale_stress() {
+    let g = gen::presets::twitter_like(18, gen::GenOptions::paper_weighted(153));
+    let mut cfg = WalkConfig::with_nodes(4, 154);
+    cfg.record_paths = false;
+    let r = RandomWalkEngine::new(&g, Node2Vec::paper(), cfg).run(WalkerStarts::PerVertex);
+    assert_eq!(r.metrics.finished_walkers as usize, g.vertex_count());
+    // R-MAT leaves a fraction of vertices isolated; their walkers finish
+    // immediately, so expect fewer than |V|*80 steps.
+    assert!(r.metrics.steps > 10_000_000);
+    assert!(
+        r.metrics.edges_per_step() < 2.0,
+        "edges/step {}",
+        r.metrics.edges_per_step()
+    );
+}

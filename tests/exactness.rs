@@ -1,0 +1,143 @@
+//! Cross-system exactness: the KnightKing engine's rejection sampling and
+//! the traditional full-scan baseline must produce the *same* walk
+//! distribution — the paper's core correctness claim ("exact sampling,
+//! improving performance without sacrificing correctness").
+
+use knightking::baseline::{FullScanRunner, MetaPathSpec, Node2VecSpec};
+use knightking::prelude::*;
+use knightking::sampling::stats::assert_same_distribution;
+
+/// Compares next-hop histograms of two path sets — bucketed by
+/// `(current, next)` at a fixed hop index — with a two-sample chi-squared
+/// homogeneity test (both sides are empirical samples).
+fn compare_hop_histograms(a: &[Vec<VertexId>], b: &[Vec<VertexId>], hop: usize, context: &str) {
+    use std::collections::HashMap;
+    let collect = |paths: &[Vec<VertexId>]| -> HashMap<(VertexId, VertexId), u64> {
+        let mut m = HashMap::new();
+        for p in paths {
+            if p.len() > hop + 1 {
+                *m.entry((p[hop], p[hop + 1])).or_insert(0u64) += 1;
+            }
+        }
+        m
+    };
+    let ha = collect(a);
+    let hb = collect(b);
+    let total_a: u64 = ha.values().sum();
+    let total_b: u64 = hb.values().sum();
+    assert!(
+        total_a > 10_000 && total_b > 10_000,
+        "{context}: too few samples"
+    );
+
+    let mut keys: Vec<_> = ha.keys().chain(hb.keys()).collect();
+    keys.sort_unstable();
+    keys.dedup();
+    let mut oa = Vec::new();
+    let mut ob = Vec::new();
+    for k in keys {
+        let ca = *ha.get(k).unwrap_or(&0);
+        let cb = *hb.get(k).unwrap_or(&0);
+        // Chi-squared needs expected counts ≳ 5 per cell; merge rare
+        // buckets into a shared tail cell.
+        if ca + cb >= 10 {
+            oa.push(ca);
+            ob.push(cb);
+        } else {
+            if oa.is_empty() {
+                oa.push(0);
+                ob.push(0);
+            }
+            oa[0] += ca;
+            ob[0] += cb;
+        }
+    }
+    assert_same_distribution(&oa, &ob, context);
+}
+
+#[test]
+fn node2vec_engine_matches_full_scan_distribution() {
+    let graph = gen::uniform_degree(40, 6, gen::GenOptions::seeded(100));
+    let n2v = Node2Vec::new(2.0, 0.5, 3);
+    let walkers = 120_000usize;
+
+    let engine = RandomWalkEngine::new(&graph, n2v, WalkConfig::single_node(101))
+        .run(WalkerStarts::Explicit(vec![0; walkers]));
+    let full = FullScanRunner::new(&graph, Node2VecSpec::from(n2v), 2, 102)
+        .with_paths()
+        .run(WalkerStarts::Explicit(vec![0; walkers]));
+
+    // Hop 2 is the first genuinely second-order decision.
+    compare_hop_histograms(&engine.paths, &full.paths, 1, "node2vec hop 1");
+    compare_hop_histograms(&engine.paths, &full.paths, 2, "node2vec hop 2");
+}
+
+#[test]
+fn node2vec_skewed_params_match_full_scan_distribution() {
+    // p = 0.5, q = 2: the outlier-folding configuration.
+    let graph = gen::uniform_degree(40, 6, gen::GenOptions::seeded(103));
+    let n2v = Node2Vec::new(0.5, 2.0, 3);
+    let walkers = 120_000usize;
+
+    let engine = RandomWalkEngine::new(&graph, n2v, WalkConfig::single_node(104))
+        .run(WalkerStarts::Explicit(vec![0; walkers]));
+    assert!(engine.metrics.appendix_hits > 0, "outlier path must be hot");
+    let full = FullScanRunner::new(&graph, Node2VecSpec::from(n2v), 2, 105)
+        .with_paths()
+        .run(WalkerStarts::Explicit(vec![0; walkers]));
+
+    compare_hop_histograms(&engine.paths, &full.paths, 2, "skewed node2vec hop 2");
+}
+
+#[test]
+fn weighted_node2vec_matches_full_scan_distribution() {
+    let graph = gen::uniform_degree(30, 5, gen::GenOptions::paper_weighted(106));
+    let n2v = Node2Vec::new(2.0, 0.5, 3);
+    let walkers = 120_000usize;
+
+    let engine = RandomWalkEngine::new(&graph, n2v, WalkConfig::single_node(107))
+        .run(WalkerStarts::Explicit(vec![0; walkers]));
+    let full = FullScanRunner::new(&graph, Node2VecSpec::from(n2v), 2, 108)
+        .with_paths()
+        .run(WalkerStarts::Explicit(vec![0; walkers]));
+
+    compare_hop_histograms(&engine.paths, &full.paths, 2, "weighted node2vec hop 2");
+}
+
+#[test]
+fn metapath_engine_matches_full_scan_distribution() {
+    let opts = gen::GenOptions {
+        weights: gen::WeightKind::None,
+        edge_types: Some(3),
+        seed: 109,
+    };
+    let graph = gen::uniform_degree(40, 9, opts);
+    let mp = MetaPath::new(vec![vec![0, 1], vec![2, 0]], 3, 55);
+
+    let walkers = 100_000usize;
+    let engine = RandomWalkEngine::new(&graph, mp.clone(), WalkConfig::single_node(110))
+        .run(WalkerStarts::Explicit(vec![0; walkers]));
+    let full = FullScanRunner::new(&graph, MetaPathSpec::from(mp), 2, 111)
+        .with_paths()
+        .run(WalkerStarts::Explicit(vec![0; walkers]));
+
+    compare_hop_histograms(&engine.paths, &full.paths, 1, "metapath hop 1");
+}
+
+#[test]
+fn mixed_mode_still_samples_exactly() {
+    // Figure 8's "mixed" emulation is slower but must stay exact.
+    let graph = gen::uniform_degree(30, 5, gen::GenOptions::paper_weighted(112));
+    let n2v = Node2Vec::new(2.0, 0.5, 3);
+    let walkers = 120_000usize;
+
+    let mut cfg = WalkConfig::single_node(113);
+    cfg.decoupled_static = false;
+    let mixed =
+        RandomWalkEngine::new(&graph, n2v, cfg).run(WalkerStarts::Explicit(vec![0; walkers]));
+    let full = FullScanRunner::new(&graph, Node2VecSpec::from(n2v), 2, 114)
+        .with_paths()
+        .run(WalkerStarts::Explicit(vec![0; walkers]));
+
+    compare_hop_histograms(&mixed.paths, &full.paths, 2, "mixed-mode node2vec hop 2");
+}

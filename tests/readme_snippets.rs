@@ -1,0 +1,83 @@
+//! Keeps the README's code snippets honest: the "Defining your own walk"
+//! example must compile and run against the real API.
+
+use knightking::prelude::*;
+
+struct MyWalk;
+
+impl WalkerProgram for MyWalk {
+    type Data = (); // custom per-walker state
+    type Query = VertexId; // walker-to-vertex state query payload
+    type Answer = bool; // query response payload
+    const SECOND_ORDER: bool = true;
+
+    fn init_data(&self, _id: u64, _start: VertexId) {}
+
+    // Pe: stop after 80 steps.
+    fn should_terminate(&self, w: &mut Walker<()>) -> bool {
+        w.step >= 80
+    }
+
+    // Pd: prefer candidates adjacent to the previous stop.
+    fn dynamic_comp(
+        &self,
+        _g: &CsrGraph,
+        w: &Walker<()>,
+        e: EdgeView,
+        answer: Option<bool>,
+    ) -> f64 {
+        match w.prev {
+            None => 1.0,
+            Some(t) if e.dst == t => 0.25,
+            _ => {
+                if answer.unwrap() {
+                    1.0
+                } else {
+                    0.5
+                }
+            }
+        }
+    }
+
+    // postStateQuery: ask the owner of `prev` whether it knows the candidate.
+    fn state_query(&self, w: &Walker<()>, e: EdgeView) -> Option<(VertexId, VertexId)> {
+        match w.prev {
+            Some(t) if e.dst != t => Some((t, e.dst)),
+            _ => None,
+        }
+    }
+    fn answer_query(&self, g: &CsrGraph, t: VertexId, x: VertexId) -> bool {
+        g.has_edge(t, x)
+    }
+
+    // dynamicCompUpperBound / LowerBound: the rejection envelope.
+    fn upper_bound(&self, _g: &CsrGraph, _w: &Walker<()>) -> f64 {
+        1.0
+    }
+    fn lower_bound(&self, _g: &CsrGraph, _w: &Walker<()>) -> f64 {
+        0.25
+    }
+}
+
+#[test]
+fn readme_custom_walk_compiles_and_runs() {
+    let graph = gen::uniform_degree(64, 6, gen::GenOptions::seeded(1));
+    let result = RandomWalkEngine::new(&graph, MyWalk, WalkConfig::with_nodes(2, 2))
+        .run(WalkerStarts::Count(20));
+    assert_eq!(result.metrics.finished_walkers, 20);
+    assert!(result.metrics.queries > 0);
+    assert!(result.metrics.pre_accepts > 0, "lower bound must fire");
+}
+
+#[test]
+fn readme_quickstart_compiles_and_runs() {
+    let graph = gen::presets::twitter_like(10, gen::GenOptions::paper_weighted(42));
+    let result = RandomWalkEngine::new(
+        &graph,
+        Node2Vec::new(2.0, 0.5, 20),
+        WalkConfig::with_nodes(4, 7),
+    )
+    .run(WalkerStarts::PerVertex);
+    assert_eq!(result.paths.len(), graph.vertex_count());
+    assert!(result.metrics.edges_per_step() < 2.0);
+}

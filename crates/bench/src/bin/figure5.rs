@@ -38,7 +38,9 @@ fn main() {
 
     let mut cfg = WalkConfig::with_nodes(opts.nodes, 3);
     cfg.record_paths = false;
+    opts.configure(&mut cfg);
     let walk = RandomWalkEngine::new(&graph, Ppr::paper(), cfg).run(WalkerStarts::PerVertex);
+    opts.sink_profile("ppr-tail", &walk);
     let walk_series = &walk.active_per_iteration;
 
     println!(

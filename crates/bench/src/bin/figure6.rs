@@ -16,13 +16,15 @@ use knightking_core::{RandomWalkEngine, WalkConfig, WalkerStarts};
 use knightking_graph::{gen, CsrGraph};
 use knightking_walks::Node2Vec;
 
-fn measure(graph: &CsrGraph, walkers: u64, nodes: usize) -> (f64, f64) {
+fn measure(graph: &CsrGraph, walkers: u64, opts: &HarnessOpts, label: &str) -> (f64, f64) {
     let n2v = Node2Vec::paper();
     let full =
         FullScanRunner::new(graph, Node2VecSpec::from(n2v), 8, 1).run(WalkerStarts::Count(walkers));
-    let mut cfg = WalkConfig::with_nodes(nodes, 1);
+    let mut cfg = WalkConfig::with_nodes(opts.nodes, 1);
     cfg.record_paths = false;
+    opts.configure(&mut cfg);
     let kk = RandomWalkEngine::new(graph, n2v, cfg).run(WalkerStarts::Count(walkers));
+    opts.sink_profile(label, &kk);
     (full.edges_per_step(), kk.metrics.edges_per_step())
 }
 
@@ -39,7 +41,7 @@ fn main() {
     let mut ta = Table::new(&["degree", "traditional edges/step", "rejection edges/step"]);
     for degree in [10usize, 40, 160, 640, 2560] {
         let g = gen::uniform_degree(n, degree, gen::GenOptions::seeded(60));
-        let (full, kk) = measure(&g, walkers, opts.nodes);
+        let (full, kk) = measure(&g, walkers, &opts, &format!("uniform-deg{degree}"));
         ta.row(&[
             format!("{degree}"),
             format!("{full:.1}"),
@@ -59,7 +61,7 @@ fn main() {
     for cap in [100usize, 400, 1600, 6400, 25600] {
         let g = gen::truncated_power_law(n, 2.0, 4, cap, gen::GenOptions::seeded(61));
         let (mean, _) = g.degree_stats();
-        let (full, kk) = measure(&g, walkers, opts.nodes);
+        let (full, kk) = measure(&g, walkers, &opts, &format!("powerlaw-cap{cap}"));
         tb.row(&[
             format!("{cap}"),
             format!("{mean:.1}"),
@@ -81,7 +83,7 @@ fn main() {
         } else {
             gen::with_hotspots(n, 100, hotspots, n / 2, gen::GenOptions::seeded(62))
         };
-        let (full, kk) = measure(&g, walkers, opts.nodes);
+        let (full, kk) = measure(&g, walkers, &opts, &format!("hotspots{hotspots}"));
         tc.row(&[
             format!("{hotspots}"),
             format!("{full:.1}"),

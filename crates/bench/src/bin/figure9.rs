@@ -48,16 +48,17 @@ fn main() {
                 // effect).
                 cfg.threads_per_node = 4;
                 cfg.light_threshold = if light { 4000 } else { 0 };
-                let secs = if algo.starts_with("PPR") {
+                opts.configure(&mut cfg);
+                let result = if algo.starts_with("PPR") {
                     RandomWalkEngine::new(&graph, Ppr::straggler_study(), cfg)
                         .run(WalkerStarts::Count(walkers))
-                        .elapsed
                 } else {
                     RandomWalkEngine::new(&graph, Node2Vec::paper(), cfg)
                         .run(WalkerStarts::Count(walkers))
-                        .elapsed
                 };
-                secs.as_secs_f64()
+                let mode = if light { "light" } else { "base" };
+                opts.sink_profile(&format!("{algo}-{}-{mode}", stand_in.name()), &result);
+                result.elapsed.as_secs_f64()
             };
 
             // Median of 3 to tame scheduling noise on small runs.

@@ -42,7 +42,9 @@ fn main() {
 
         let mut cfg = WalkConfig::with_nodes(opts.nodes, 1);
         cfg.record_paths = false;
+        opts.configure(&mut cfg);
         let kk = RandomWalkEngine::new(&graph, n2v, cfg).run(WalkerStarts::PerVertex);
+        opts.sink_profile(name, &kk);
 
         table.row(&[
             name.into(),

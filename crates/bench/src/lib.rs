@@ -14,12 +14,14 @@
 
 pub mod overall;
 
+use std::path::PathBuf;
 use std::time::Instant;
 
+use knightking_core::{WalkConfig, WalkResult};
 use knightking_graph::{gen, CsrGraph};
 
 /// Command-line options shared by all harness binaries.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct HarnessOpts {
     /// R-MAT scale override (default per-binary).
     pub scale: Option<u32>,
@@ -27,34 +29,79 @@ pub struct HarnessOpts {
     pub quick: bool,
     /// Simulated cluster nodes.
     pub nodes: usize,
+    /// `--profile <path>`: collect observability profiles for every
+    /// engine run and append them as JSON lines to `path` (plus a
+    /// human-readable table on stdout).
+    pub profile: Option<PathBuf>,
 }
 
+/// One-line usage string for the shared harness flags.
+pub const USAGE: &str = "usage: [--quick] [--scale N] [--nodes N] [--profile PATH]";
+
 impl HarnessOpts {
-    /// Parses `--quick`, `--scale N`, `--nodes N` from `std::env::args`.
-    pub fn from_args() -> Self {
-        let args: Vec<String> = std::env::args().collect();
+    /// Parses the shared harness flags from `args` (binary name already
+    /// stripped).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unknown flags, flags missing their value
+    /// (including a value flag in final position), and unparseable
+    /// numbers.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
         let mut opts = HarnessOpts {
             scale: None,
             quick: false,
             nodes: 4,
+            profile: None,
         };
-        let mut i = 1;
+        let mut i = 0;
         while i < args.len() {
-            match args[i].as_str() {
+            let flag = args[i].as_str();
+            match flag {
                 "--quick" => opts.quick = true,
-                "--scale" => {
+                "--scale" | "--nodes" | "--profile" => {
                     i += 1;
-                    opts.scale = Some(args[i].parse().expect("--scale takes an integer"));
+                    let Some(value) = args.get(i) else {
+                        return Err(format!("{flag} requires a value"));
+                    };
+                    match flag {
+                        "--scale" => {
+                            opts.scale = Some(
+                                value
+                                    .parse()
+                                    .map_err(|_| format!("--scale takes an integer, got {value:?}"))?,
+                            );
+                        }
+                        "--nodes" => {
+                            opts.nodes = value
+                                .parse()
+                                .map_err(|_| format!("--nodes takes an integer, got {value:?}"))?;
+                            if opts.nodes == 0 {
+                                return Err("--nodes must be at least 1".into());
+                            }
+                        }
+                        _ => opts.profile = Some(PathBuf::from(value)),
+                    }
                 }
-                "--nodes" => {
-                    i += 1;
-                    opts.nodes = args[i].parse().expect("--nodes takes an integer");
-                }
-                other => panic!("unknown argument {other} (expected --quick/--scale N/--nodes N)"),
+                other => return Err(format!("unknown argument {other}")),
             }
             i += 1;
         }
-        opts
+        Ok(opts)
+    }
+
+    /// Parses `std::env::args`, printing usage and exiting nonzero on
+    /// bad input.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        match Self::parse(&args) {
+            Ok(opts) => opts,
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!("{USAGE}");
+                std::process::exit(2);
+            }
+        }
     }
 
     /// The effective scale: override > quick-shrunk default > default.
@@ -64,6 +111,36 @@ impl HarnessOpts {
         } else {
             default
         })
+    }
+
+    /// Turns profiling on in an engine config when `--profile` was given.
+    pub fn configure(&self, cfg: &mut WalkConfig) {
+        cfg.profile = self.profile.is_some();
+    }
+
+    /// Report sink for one engine run: appends the run's profile to the
+    /// `--profile` JSONL target and prints the human-readable table,
+    /// prefixed with `label`. A no-op without the flag (or when the run
+    /// carried no profile, e.g. an obs-disabled build).
+    pub fn sink_profile(&self, label: &str, result: &WalkResult) {
+        let Some(path) = &self.profile else { return };
+        let Some(profile) = result.profile.as_ref() else {
+            return;
+        };
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .unwrap_or_else(|e| panic!("cannot open profile target {}: {e}", path.display()));
+        let mut out = std::io::BufWriter::new(file);
+        profile
+            .write_jsonl(&mut out)
+            .unwrap_or_else(|e| panic!("writing profile to {}: {e}", path.display()));
+        use std::io::Write as _;
+        out.flush()
+            .unwrap_or_else(|e| panic!("writing profile to {}: {e}", path.display()));
+        println!("\n--- profile: {label} (appended to {}) ---", path.display());
+        print!("{}", profile.render_table());
     }
 }
 
@@ -263,12 +340,61 @@ mod tests {
             scale: None,
             quick: false,
             nodes: 4,
+            profile: None,
         };
         assert_eq!(o.effective_scale(14), 14);
         o.quick = true;
         assert_eq!(o.effective_scale(14), 11);
         o.scale = Some(9);
         assert_eq!(o.effective_scale(14), 9);
+    }
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_accepts_all_flags() {
+        let o = HarnessOpts::parse(&strs(&[
+            "--quick", "--scale", "12", "--nodes", "8", "--profile", "p.jsonl",
+        ]))
+        .unwrap();
+        assert!(o.quick);
+        assert_eq!(o.scale, Some(12));
+        assert_eq!(o.nodes, 8);
+        assert_eq!(o.profile.as_deref(), Some(std::path::Path::new("p.jsonl")));
+    }
+
+    #[test]
+    fn parse_defaults() {
+        let o = HarnessOpts::parse(&[]).unwrap();
+        assert_eq!(o.scale, None);
+        assert!(!o.quick);
+        assert_eq!(o.nodes, 4);
+        assert_eq!(o.profile, None);
+    }
+
+    #[test]
+    fn parse_rejects_trailing_value_flag() {
+        // Regression: a value flag in final position used to index out of
+        // bounds and panic instead of reporting the mistake.
+        for flag in ["--scale", "--nodes", "--profile"] {
+            let err = HarnessOpts::parse(&strs(&[flag])).unwrap_err();
+            assert!(err.contains("requires a value"), "{flag}: {err}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_unknown_and_malformed() {
+        assert!(HarnessOpts::parse(&strs(&["--bogus"]))
+            .unwrap_err()
+            .contains("unknown argument"));
+        assert!(HarnessOpts::parse(&strs(&["--scale", "many"]))
+            .unwrap_err()
+            .contains("integer"));
+        assert!(HarnessOpts::parse(&strs(&["--nodes", "0"]))
+            .unwrap_err()
+            .contains("at least 1"));
     }
 
     #[test]

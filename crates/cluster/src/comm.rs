@@ -1,10 +1,17 @@
 //! All-to-all message exchange and collectives for the simulated cluster.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-
-use parking_lot::Mutex;
+use std::sync::{Mutex, MutexGuard};
 
 use crate::metrics::ClusterMetrics;
+
+/// Locks ignoring poisoning: barrier poisoning (below) is the cluster's
+/// failure-propagation mechanism, and exchange slots hold plain message
+/// vectors that stay consistent across a panic.
+#[inline]
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// A sense-reversing spin barrier.
 ///
@@ -95,6 +102,18 @@ struct Shared<M> {
     metrics: ClusterMetrics,
 }
 
+/// What one [`exchange_with_stats`](NodeCtx::exchange_with_stats) call
+/// sent and received, from the calling node's perspective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExchangeStats {
+    /// Remote (cross-node) messages this node sent.
+    pub sent_messages: u64,
+    /// Wire bytes of those messages, per the caller's sizing function.
+    pub sent_bytes: u64,
+    /// Messages delivered to this node's inbox (including from itself).
+    pub received: usize,
+}
+
 /// A node's handle onto the cluster: its identity plus the collectives.
 ///
 /// Handed to each node closure by [`run_cluster`]. All collective calls
@@ -131,37 +150,69 @@ impl<'a, M: Send> NodeCtx<'a, M> {
     /// Messages to self are delivered too (walker logic need not
     /// special-case local moves).
     ///
+    /// Wire size is approximated as `size_of::<M>()` per remote message;
+    /// use [`exchange_with_stats`](NodeCtx::exchange_with_stats) when the
+    /// true serialized size is known.
+    ///
     /// # Panics
     ///
     /// Panics if `outbox.len() != n_nodes()`.
     pub fn exchange(&self, outbox: Vec<Vec<M>>) -> Vec<M> {
+        self.exchange_with_stats(outbox, |_| std::mem::size_of::<M>())
+            .0
+    }
+
+    /// [`exchange`](NodeCtx::exchange) with caller-supplied wire sizing and
+    /// per-call statistics.
+    ///
+    /// `wire_bytes` gives the serialized size of one message; for enum
+    /// messages this is typically a tag byte plus the active variant's
+    /// payload, which `size_of::<M>()` (the whole-enum upper bound used by
+    /// [`exchange`](NodeCtx::exchange)) overstates. Sizes feed the run-wide
+    /// [`metrics`](NodeCtx::metrics) and the returned [`ExchangeStats`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outbox.len() != n_nodes()`.
+    pub fn exchange_with_stats(
+        &self,
+        outbox: Vec<Vec<M>>,
+        wire_bytes: impl Fn(&M) -> usize,
+    ) -> (Vec<M>, ExchangeStats) {
         let n = self.shared.n_nodes;
         assert_eq!(outbox.len(), n, "outbox must address every node");
 
         let mut sent = 0u64;
+        let mut sent_bytes = 0u64;
         for (to, msgs) in outbox.into_iter().enumerate() {
             if to != self.node {
                 sent += msgs.len() as u64;
+                sent_bytes += msgs.iter().map(|m| wire_bytes(m) as u64).sum::<u64>();
             }
             if !msgs.is_empty() {
-                let mut slot = self.shared.slots[self.node][to].lock();
+                let mut slot = lock(&self.shared.slots[self.node][to]);
                 debug_assert!(slot.is_empty(), "exchange slot not drained");
                 *slot = msgs;
             }
         }
-        self.shared.metrics.record_send::<M>(sent);
+        self.shared.metrics.record_send_sized(sent, sent_bytes);
 
         // Phase 1: everyone has staged. Phase 2 (after drain): slots are
         // reusable for the next exchange.
         self.shared.barrier.wait();
         let mut inbox = Vec::new();
         for from in 0..n {
-            let mut slot = self.shared.slots[from][self.node].lock();
+            let mut slot = lock(&self.shared.slots[from][self.node]);
             inbox.append(&mut slot);
         }
         self.shared.barrier.wait();
         self.shared.metrics.record_exchange(self.node);
-        inbox
+        let stats = ExchangeStats {
+            sent_messages: sent,
+            sent_bytes,
+            received: inbox.len(),
+        };
+        (inbox, stats)
     }
 
     /// Sums `value` across all nodes and returns the total to each
@@ -432,6 +483,28 @@ mod tests {
                 assert_eq!(counts.exchanges, 1);
             }
         });
+    }
+
+    #[test]
+    fn exchange_with_stats_uses_true_wire_sizes() {
+        let results = run_cluster::<u64, _, _>(2, |ctx| {
+            let mut outbox = vec![Vec::new(), Vec::new()];
+            outbox[ctx.node].push(9u64); // local: excluded from sent stats
+            outbox[1 - ctx.node].extend([1u64, 2, 3]);
+            // Pretend each message serializes to 3 bytes, not size_of::<u64>().
+            let (inbox, stats) = ctx.exchange_with_stats(outbox, |_| 3);
+            assert_eq!(stats.sent_messages, 3);
+            assert_eq!(stats.sent_bytes, 9);
+            assert_eq!(stats.received, 4);
+            assert_eq!(inbox.len(), 4);
+            ctx.barrier();
+            if ctx.is_leader() {
+                let counts = ctx.metrics().clone_counts();
+                assert_eq!(counts.messages, 6);
+                assert_eq!(counts.bytes, 18, "run-wide bytes use the sizing fn");
+            }
+        });
+        assert_eq!(results.len(), 2);
     }
 
     #[test]

@@ -29,6 +29,6 @@ pub mod comm;
 pub mod metrics;
 pub mod scheduler;
 
-pub use comm::{run_cluster, NodeCtx};
+pub use comm::{run_cluster, ExchangeStats, NodeCtx};
 pub use metrics::ClusterMetrics;
 pub use scheduler::Scheduler;

@@ -42,14 +42,23 @@ impl ClusterMetrics {
 
     /// Records `count` remote messages of type `M`.
     ///
-    /// Wire size is approximated as `size_of::<M>()` per message, which is
-    /// exact for the engine's fixed-size message enums.
+    /// Wire size is approximated as `size_of::<M>()` per message — an
+    /// upper bound that overstates enum messages (every variant is charged
+    /// the largest variant's footprint). Callers that know the true
+    /// serialized size should use [`record_send_sized`] instead.
+    ///
+    /// [`record_send_sized`]: ClusterMetrics::record_send_sized
     #[inline]
     pub fn record_send<M>(&self, count: u64) {
+        self.record_send_sized(count, count * std::mem::size_of::<M>() as u64);
+    }
+
+    /// Records `count` remote messages occupying `bytes` true wire bytes.
+    #[inline]
+    pub fn record_send_sized(&self, count: u64, bytes: u64) {
         if count > 0 {
             self.messages.fetch_add(count, Ordering::Relaxed);
-            self.bytes
-                .fetch_add(count * std::mem::size_of::<M>() as u64, Ordering::Relaxed);
+            self.bytes.fetch_add(bytes, Ordering::Relaxed);
         }
     }
 
@@ -94,6 +103,16 @@ mod tests {
     fn zero_count_send_is_free() {
         let m = ClusterMetrics::new(1);
         m.record_send::<[u8; 100]>(0);
+        m.record_send_sized(0, 0);
         assert_eq!(m.clone_counts(), MetricCounts::default());
+    }
+
+    #[test]
+    fn sized_send_records_exact_bytes() {
+        let m = ClusterMetrics::new(2);
+        m.record_send_sized(3, 17);
+        let c = m.clone_counts();
+        assert_eq!(c.messages, 3);
+        assert_eq!(c.bytes, 17);
     }
 }

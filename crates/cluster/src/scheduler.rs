@@ -14,8 +14,15 @@
 //! chunk.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
 
-use parking_lot::Mutex;
+/// Locks ignoring poisoning: a worker panic during `run_chunks` already
+/// propagates through the thread scope, and the queue/slot vectors stay
+/// consistent across it.
+#[inline]
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// The paper's dynamic-scheduling granularity, for walkers and messages.
 pub const DEFAULT_CHUNK: usize = 128;
@@ -73,6 +80,12 @@ impl Scheduler {
         self.threads == 1 || (self.light_threshold > 0 && len < self.light_threshold)
     }
 
+    /// Number of chunk tasks a batch of `len` items queues.
+    #[inline]
+    pub fn chunk_count(&self, len: usize) -> usize {
+        len.div_ceil(self.chunk_size.max(1))
+    }
+
     /// Processes `items` in chunk tasks, producing one accumulator per
     /// chunk, merged in chunk order.
     ///
@@ -126,17 +139,18 @@ impl Scheduler {
                     if ci >= n_chunks {
                         break;
                     }
-                    let taken = chunks.lock()[ci].take();
+                    let taken = lock(&chunks)[ci].take();
                     let Some((idx, slice)) = taken else { break };
                     let mut acc = init();
                     f(idx * chunk, slice, &mut acc);
-                    slots.lock()[idx] = Some(acc);
+                    lock(&slots)[idx] = Some(acc);
                 });
             }
         });
 
         slots
             .into_inner()
+            .unwrap_or_else(|e| e.into_inner())
             .into_iter()
             .map(|s| s.expect("every chunk produces an accumulator"))
             .collect()
@@ -211,6 +225,20 @@ mod tests {
         assert!(!sched.is_light(100));
         assert!(!sched.without_light_mode().is_light(5));
         assert!(Scheduler::serial().is_light(1_000_000));
+    }
+
+    #[test]
+    fn chunk_count_matches_run_chunks() {
+        let sched = Scheduler {
+            threads: 2,
+            chunk_size: 128,
+            light_threshold: 0,
+        };
+        for len in [0usize, 1, 127, 128, 129, 1000] {
+            let mut items = vec![0u8; len];
+            let accs = sched.run_chunks(&mut items, || (), |_, _, _| {});
+            assert_eq!(accs.len(), sched.chunk_count(len), "len {len}");
+        }
     }
 
     #[test]

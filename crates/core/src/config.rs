@@ -100,6 +100,13 @@ pub struct WalkConfig {
     /// and `Pd` is multiplied by the weight, inflating the envelope by the
     /// vertex's maximum weight.
     pub decoupled_static: bool,
+    /// Collect a per-run observability profile (phase timers, trace
+    /// events, histograms) into `WalkResult::profile`. Only effective when
+    /// the crate's `obs` feature (default on) is enabled; otherwise the
+    /// flag is accepted and ignored. Profiling never changes walk results:
+    /// instrumentation is accumulated per chunk and merged in chunk order,
+    /// like every other engine output.
+    pub profile: bool,
 }
 
 impl WalkConfig {
@@ -121,6 +128,7 @@ impl WalkConfig {
             use_lower_bound: true,
             use_outliers: true,
             decoupled_static: true,
+            profile: false,
         }
     }
 

@@ -14,7 +14,10 @@ use crate::{
     result::PathEntry,
 };
 
-use super::{local_step, merge_accs, ChunkAcc, Msg, NodeRt, Slot, SlotState, StepOutcome};
+use super::{
+    instrument::{NodeObs, Phase},
+    local_step, merge_accs, msg_wire_bytes, ChunkAcc, Msg, NodeRt, Slot, SlotState, StepOutcome,
+};
 
 /// Runs one first-order BSP iteration on this node.
 #[allow(clippy::too_many_arguments)]
@@ -26,32 +29,56 @@ pub(super) fn iteration<P: WalkerProgram, O: WalkObserver<P::Data>>(
     paths: &mut Vec<PathEntry>,
     metrics: &mut WalkMetrics,
     obs_acc: &mut O::Acc,
+    prof: &mut NodeObs,
 ) {
     let n = ctx.n_nodes();
 
-    let accs = scheduler.run_chunks(
-        slots,
-        || ChunkAcc::new(n, rt.observer),
-        |base, slice, acc| {
-            for (i, slot) in slice.iter_mut().enumerate() {
-                match local_step(rt, slot, (base + i) as u32, acc) {
-                    StepOutcome::Finished => {
-                        acc.metrics.finished_walkers += 1;
-                        slot.state = SlotState::Finished;
+    let light = scheduler.is_light(slots.len());
+    prof.superstep(
+        slots.len() as u64,
+        scheduler.chunk_count(slots.len()) as u64,
+        light,
+    );
+    let compute_phase = if light {
+        Phase::LightMode
+    } else {
+        Phase::LocalCompute
+    };
+    let obs_ctx = prof.chunk_ctx();
+    let accs = prof.time(compute_phase, || {
+        scheduler.run_chunks(
+            slots,
+            || ChunkAcc::new(n, rt.observer, obs_ctx),
+            |base, slice, acc| {
+                for (i, slot) in slice.iter_mut().enumerate() {
+                    let trials_before = acc.metrics.trials;
+                    match local_step(rt, slot, (base + i) as u32, acc) {
+                        StepOutcome::Finished => {
+                            acc.metrics.finished_walkers += 1;
+                            slot.state = SlotState::Finished;
+                            acc.obs.walk_finished(slot.walker.step as u64);
+                        }
+                        StepOutcome::Moved(dst) => {
+                            rt.commit_move(slot, dst, acc);
+                        }
+                        StepOutcome::Posted { .. } | StepOutcome::NeedFullScan => {
+                            unreachable!("first-order walks resolve every step locally")
+                        }
                     }
-                    StepOutcome::Moved(dst) => {
-                        rt.commit_move(slot, dst, acc);
-                    }
-                    StepOutcome::Posted { .. } | StepOutcome::NeedFullScan => {
-                        unreachable!("first-order walks resolve every step locally")
+                    if P::DYNAMIC {
+                        acc.obs.record_trials(acc.metrics.trials - trials_before);
                     }
                 }
-            }
-        },
-    );
-    let outbox = merge_accs(rt.observer, accs, n, paths, metrics, obs_acc);
+            },
+        )
+    });
+    let outbox = merge_accs(rt.observer, accs, n, paths, metrics, obs_acc, prof);
 
-    let inbox = ctx.exchange(outbox);
+    let (inbox, stats) =
+        prof.time(Phase::Exchange, || {
+            ctx.exchange_with_stats(outbox, msg_wire_bytes::<P>)
+        });
+    prof.record_exchange_bytes(stats.sent_bytes);
     slots.retain(|s| matches!(s.state, SlotState::Active));
     for msg in inbox {
         match msg {

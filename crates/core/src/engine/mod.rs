@@ -20,6 +20,7 @@
 //! bounds and detects the "no eligible edge" termination condition (§2.2).
 
 mod first_order;
+mod instrument;
 mod second_order;
 
 use std::time::Instant;
@@ -38,6 +39,8 @@ use crate::{
     result::{PathEntry, WalkResult},
     walker::Walker,
 };
+
+use instrument::{ChunkCtx, ChunkObs, NodeObs, Phase};
 
 /// Window of outstanding state queries per walker during a full-scan
 /// fallback, bounding per-iteration message burst at hub vertices.
@@ -122,6 +125,8 @@ pub(crate) struct ChunkAcc<P: WalkerProgram, O: WalkObserver<P::Data>> {
     pub(crate) metrics: WalkMetrics,
     /// Observer accumulator (chunk-local; merged at iteration end).
     pub(crate) obs_acc: O::Acc,
+    /// Chunk-local instrumentation (thread-owned, merged in chunk order).
+    pub(crate) obs: ChunkObs,
     /// Scratch envelope reused across steps to avoid per-step allocation.
     pub(crate) env: Envelope,
     /// Scratch buffer for full-scan CDF sampling.
@@ -129,12 +134,13 @@ pub(crate) struct ChunkAcc<P: WalkerProgram, O: WalkObserver<P::Data>> {
 }
 
 impl<P: WalkerProgram, O: WalkObserver<P::Data>> ChunkAcc<P, O> {
-    fn new(n_nodes: usize, obs: &O) -> Self {
+    fn new(n_nodes: usize, obs: &O, obs_ctx: ChunkCtx) -> Self {
         ChunkAcc {
             outbox: (0..n_nodes).map(|_| Vec::new()).collect(),
             paths: Vec::new(),
             metrics: WalkMetrics::default(),
             obs_acc: obs.make_acc(),
+            obs: ChunkObs::new(obs_ctx),
             env: Envelope::simple(1.0, 1.0),
             cdf_scratch: Vec::new(),
         }
@@ -366,6 +372,7 @@ impl<'a, P: WalkerProgram, O: WalkObserver<P::Data>> NodeRt<'a, P, O> {
         acc: &mut ChunkAcc<P, O>,
     ) -> StepOutcome {
         acc.metrics.fallback_scans += 1;
+        acc.obs.fallback(walker.id);
         let graph = self.graph;
         let v = walker.current;
         acc.cdf_scratch.clear();
@@ -424,6 +431,20 @@ struct NodeOut {
     paths: Vec<PathEntry>,
     metrics: WalkMetrics,
     active_series: Vec<u64>,
+    profile: instrument::NodeProfileOut,
+}
+
+/// True wire size of one message: a one-byte variant tag plus the active
+/// variant's fields. `size_of::<Msg<P>>()` would charge every message the
+/// largest variant's footprint (a `Move` carrying walker data), badly
+/// overstating the small `Query`/`Answer` traffic of second-order walks.
+pub(crate) fn msg_wire_bytes<P: WalkerProgram>(msg: &Msg<P>) -> usize {
+    use std::mem::size_of;
+    1 + match msg {
+        Msg::Move(_) => size_of::<Walker<P::Data>>(),
+        Msg::Query { .. } => size_of::<u32>() * 3 + size_of::<VertexId>() + size_of::<P::Query>(),
+        Msg::Answer { .. } => size_of::<u32>() * 2 + size_of::<P::Answer>(),
+    }
 }
 
 /// The engine: a graph, a program, and a configuration.
@@ -498,10 +519,16 @@ impl<'g, P: WalkerProgram> RandomWalkEngine<'g, P> {
             });
         let elapsed = begin.elapsed();
 
+        // Post-run finalization (merge + path reassembly) is timed into
+        // node 0's `Finalize` phase so per-node phase sums stay bounded by
+        // the profile's wall clock.
+        let finalize_begin = Instant::now();
         let mut fragments = Vec::new();
         let mut metrics = WalkMetrics::default();
         let mut active_series = Vec::new();
         let mut observation: Option<O::Acc> = None;
+        #[cfg(feature = "obs")]
+        let mut node_profiles: Vec<knightking_obs::NodeProfile> = Vec::new();
         for (i, (out, obs_acc)) in outs.into_iter().enumerate() {
             fragments.extend(out.paths);
             metrics.merge(&out.metrics);
@@ -512,18 +539,42 @@ impl<'g, P: WalkerProgram> RandomWalkEngine<'g, P> {
                 None => observation = Some(obs_acc),
                 Some(into) => observer.merge(into, obs_acc),
             }
+            #[cfg(feature = "obs")]
+            node_profiles.extend(out.profile);
+            #[cfg(not(feature = "obs"))]
+            let () = out.profile;
         }
         let paths = if self.config.record_paths {
             WalkResult::assemble_paths(n_walkers, fragments)
         } else {
             Vec::new()
         };
+        #[cfg(feature = "obs")]
+        let profile = if node_profiles.is_empty() {
+            None
+        } else {
+            if let Some(n0) = node_profiles.first_mut() {
+                n0.timers.add(
+                    Phase::Finalize,
+                    finalize_begin.elapsed().as_nanos() as u64,
+                );
+                n0.timers.flush_setup();
+            }
+            Some(knightking_obs::RunProfile {
+                nodes: node_profiles,
+                wall_nanos: begin.elapsed().as_nanos() as u64,
+            })
+        };
+        #[cfg(not(feature = "obs"))]
+        let _ = finalize_begin;
         let result = WalkResult {
             paths,
             active_per_iteration: active_series,
             metrics,
             comm,
             elapsed,
+            #[cfg(feature = "obs")]
+            profile,
         };
         (result, observation.unwrap_or_else(|| observer.make_acc()))
     }
@@ -545,39 +596,46 @@ impl<'g, P: WalkerProgram> RandomWalkEngine<'g, P> {
             chunk_size: cfg.chunk_size,
             light_threshold: cfg.light_threshold,
         };
-        let rt = NodeRt::build(
-            local,
-            &self.program,
-            observer,
-            partition,
-            cfg,
-            ctx.node,
-            &scheduler,
-        );
+        let mut prof = NodeObs::new(cfg.profile, ctx.node);
+        let rt = prof.time(Phase::AliasBuild, || {
+            NodeRt::build(
+                local,
+                &self.program,
+                observer,
+                partition,
+                cfg,
+                ctx.node,
+                &scheduler,
+            )
+        });
 
         // Instantiate locally-owned walkers, recording their start vertex
         // as path step 0.
-        let mut slots: Vec<Slot<P>> = Vec::new();
-        let mut paths: Vec<PathEntry> = Vec::new();
-        for (id, &start) in starts.iter().enumerate() {
-            if partition.owner(start) == ctx.node {
-                let data = self.program.init_data(id as u64, start);
-                let walker = Walker::new(id as u64, start, cfg.seed, data);
-                if cfg.record_paths {
-                    paths.push(PathEntry {
-                        walker: walker.id,
-                        step: 0,
-                        vertex: start,
+        let (mut slots, mut paths) = prof.time(Phase::Init, || {
+            let mut slots: Vec<Slot<P>> = Vec::new();
+            let mut paths: Vec<PathEntry> = Vec::new();
+            for (id, &start) in starts.iter().enumerate() {
+                if partition.owner(start) == ctx.node {
+                    let data = self.program.init_data(id as u64, start);
+                    let walker = Walker::new(id as u64, start, cfg.seed, data);
+                    if cfg.record_paths {
+                        paths.push(PathEntry {
+                            walker: walker.id,
+                            step: 0,
+                            vertex: start,
+                        });
+                    }
+                    slots.push(Slot {
+                        walker,
+                        state: SlotState::Active,
+                        fresh: true,
+                        stuck: 0,
                     });
                 }
-                slots.push(Slot {
-                    walker,
-                    state: SlotState::Active,
-                    fresh: true,
-                    stuck: 0,
-                });
             }
-        }
+            (slots, paths)
+        });
+        prof.flush_setup();
 
         let mut metrics = WalkMetrics::default();
         let mut active_series = Vec::new();
@@ -593,6 +651,7 @@ impl<'g, P: WalkerProgram> RandomWalkEngine<'g, P> {
                     &mut paths,
                     &mut metrics,
                     &mut obs_acc,
+                    &mut prof,
                 );
             } else {
                 first_order::iteration(
@@ -603,12 +662,14 @@ impl<'g, P: WalkerProgram> RandomWalkEngine<'g, P> {
                     &mut paths,
                     &mut metrics,
                     &mut obs_acc,
+                    &mut prof,
                 );
             }
-            let active = ctx.allreduce_sum(slots.len() as u64);
+            let active = prof.time(Phase::Exchange, || ctx.allreduce_sum(slots.len() as u64));
             if ctx.is_leader() {
                 active_series.push(active);
             }
+            prof.end_iteration();
             if active == 0 {
                 break;
             }
@@ -619,6 +680,7 @@ impl<'g, P: WalkerProgram> RandomWalkEngine<'g, P> {
                 paths,
                 metrics,
                 active_series,
+                profile: prof.finish(),
             },
             obs_acc,
         )
@@ -626,7 +688,8 @@ impl<'g, P: WalkerProgram> RandomWalkEngine<'g, P> {
 }
 
 /// Merges chunk accumulators into node-level buffers and returns the
-/// combined outbox.
+/// combined outbox. Chunk instrumentation is absorbed here too — in chunk
+/// order, so profiles inherit the scheduler's determinism contract.
 pub(crate) fn merge_accs<P: WalkerProgram, O: WalkObserver<P::Data>>(
     observer: &O,
     accs: Vec<ChunkAcc<P, O>>,
@@ -634,6 +697,7 @@ pub(crate) fn merge_accs<P: WalkerProgram, O: WalkObserver<P::Data>>(
     paths: &mut Vec<PathEntry>,
     metrics: &mut WalkMetrics,
     obs_acc: &mut O::Acc,
+    prof: &mut NodeObs,
 ) -> Vec<Vec<Msg<P>>> {
     let mut outbox: Vec<Vec<Msg<P>>> = (0..n_nodes).map(|_| Vec::new()).collect();
     let mut iter_metrics = WalkMetrics::default();
@@ -644,6 +708,7 @@ pub(crate) fn merge_accs<P: WalkerProgram, O: WalkObserver<P::Data>>(
         paths.append(&mut acc.paths);
         iter_metrics.merge(&acc.metrics);
         observer.merge(obs_acc, acc.obs_acc);
+        prof.absorb(acc.obs);
     }
     // Chunk accumulators start from zero each iteration; fold their sums
     // into the running node totals (iterations tracked by the caller).

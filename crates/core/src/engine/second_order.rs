@@ -33,8 +33,9 @@ use crate::{
 };
 
 use super::{
-    local_step, merge_accs, post_query, ChunkAcc, FullScanState, Msg, NodeRt, Slot, SlotState,
-    StepOutcome, FULL_SCAN_WINDOW,
+    instrument::{NodeObs, Phase},
+    local_step, merge_accs, msg_wire_bytes, post_query, ChunkAcc, FullScanState, Msg, NodeRt,
+    Slot, SlotState, StepOutcome, FULL_SCAN_WINDOW,
 };
 
 /// Runs one second-order BSP iteration on this node.
@@ -47,30 +48,49 @@ pub(super) fn iteration<P: WalkerProgram, O: WalkObserver<P::Data>>(
     paths: &mut Vec<PathEntry>,
     metrics: &mut WalkMetrics,
     obs_acc: &mut O::Acc,
+    prof: &mut NodeObs,
 ) {
     let n = ctx.n_nodes();
 
-    // ---- Phase A: candidates, screening, queries (steps 1-2). ----
-    let accs = scheduler.run_chunks(
-        slots,
-        || ChunkAcc::new(n, rt.observer),
-        |base, slice, acc| {
-            for (i, slot) in slice.iter_mut().enumerate() {
-                let idx = (base + i) as u32;
-                if matches!(slot.state, SlotState::Active) {
-                    phase_a_active(rt, slot, idx, acc);
-                } else if matches!(slot.state, SlotState::FullScan(_)) {
-                    post_scan_queries(rt, slot, idx, acc);
-                } else {
-                    unreachable!("awaiting/departed/finished slots cannot start an iteration")
-                }
-            }
-        },
+    let light = scheduler.is_light(slots.len());
+    prof.superstep(
+        slots.len() as u64,
+        scheduler.chunk_count(slots.len()) as u64,
+        light,
     );
-    let outbox = merge_accs(rt.observer, accs, n, paths, metrics, obs_acc);
+    let compute_phase = if light {
+        Phase::LightMode
+    } else {
+        Phase::LocalCompute
+    };
+    let obs_ctx = prof.chunk_ctx();
+
+    // ---- Phase A: candidates, screening, queries (steps 1-2). ----
+    let accs = prof.time(compute_phase, || {
+        scheduler.run_chunks(
+            slots,
+            || ChunkAcc::new(n, rt.observer, obs_ctx),
+            |base, slice, acc| {
+                for (i, slot) in slice.iter_mut().enumerate() {
+                    let idx = (base + i) as u32;
+                    if matches!(slot.state, SlotState::Active) {
+                        phase_a_active(rt, slot, idx, acc);
+                    } else if matches!(slot.state, SlotState::FullScan(_)) {
+                        post_scan_queries(rt, slot, idx, acc);
+                    } else {
+                        unreachable!("awaiting/departed/finished slots cannot start an iteration")
+                    }
+                }
+            },
+        )
+    });
+    let outbox = merge_accs(rt.observer, accs, n, paths, metrics, obs_acc, prof);
 
     // ---- Exchange 1: queries out, early moves along for the ride. ----
-    let inbox = ctx.exchange(outbox);
+    let (inbox, q_stats) = prof.time(Phase::QueryRound, || {
+        ctx.exchange_with_stats(outbox, msg_wire_bytes::<P>)
+    });
+    prof.record_exchange_bytes(q_stats.sent_bytes);
     let mut arrivals: Vec<Slot<P>> = Vec::new();
     let mut queries: Vec<(u32, u32, u32, knightking_graph::VertexId, P::Query)> = Vec::new();
     for msg in inbox {
@@ -93,48 +113,57 @@ pub(super) fn iteration<P: WalkerProgram, O: WalkObserver<P::Data>>(
     }
 
     // ---- Step 3: execute queries at the owned vertices. ----
-    let answer_accs = scheduler.run_chunks(
-        &mut queries,
-        || -> Vec<Vec<Msg<P>>> { (0..n).map(|_| Vec::new()).collect() },
-        |_base, slice, acc| {
-            for &mut (from, slot, tag, target, payload) in slice.iter_mut() {
-                debug_assert_eq!(rt.partition.owner(target), rt.me);
-                let answer = rt.program.answer_query(rt.graph, target, payload);
-                acc[from as usize].push(Msg::Answer {
-                    slot,
-                    tag,
-                    payload: answer,
-                });
+    let answer_outbox = prof.time(Phase::QueryRound, || {
+        let answer_accs = scheduler.run_chunks(
+            &mut queries,
+            || -> Vec<Vec<Msg<P>>> { (0..n).map(|_| Vec::new()).collect() },
+            |_base, slice, acc| {
+                for &mut (from, slot, tag, target, payload) in slice.iter_mut() {
+                    debug_assert_eq!(rt.partition.owner(target), rt.me);
+                    let answer = rt.program.answer_query(rt.graph, target, payload);
+                    acc[from as usize].push(Msg::Answer {
+                        slot,
+                        tag,
+                        payload: answer,
+                    });
+                }
+            },
+        );
+        let mut answer_outbox: Vec<Vec<Msg<P>>> = (0..n).map(|_| Vec::new()).collect();
+        for mut acc in answer_accs {
+            for (to, msgs) in acc.iter_mut().enumerate() {
+                answer_outbox[to].append(msgs);
             }
-        },
-    );
-    let mut answer_outbox: Vec<Vec<Msg<P>>> = (0..n).map(|_| Vec::new()).collect();
-    for mut acc in answer_accs {
-        for (to, msgs) in acc.iter_mut().enumerate() {
-            answer_outbox[to].append(msgs);
         }
-    }
+        answer_outbox
+    });
 
     // ---- Exchange 2 + step 4: answers come back. ----
-    let answers = ctx.exchange(answer_outbox);
-    for msg in answers {
-        let Msg::Answer { slot, tag, payload } = msg else {
-            unreachable!("only answers in the answer round")
-        };
-        match &mut slots[slot as usize].state {
-            SlotState::Awaiting { edge, answer, .. } => {
-                debug_assert_eq!(*edge, tag);
-                *answer = Some(payload);
+    let (answers, a_stats) = prof.time(Phase::AnswerRound, || {
+        ctx.exchange_with_stats(answer_outbox, msg_wire_bytes::<P>)
+    });
+    prof.record_exchange_bytes(a_stats.sent_bytes);
+    prof.time(Phase::AnswerRound, || {
+        for msg in answers {
+            let Msg::Answer { slot, tag, payload } = msg else {
+                unreachable!("only answers in the answer round")
+            };
+            match &mut slots[slot as usize].state {
+                SlotState::Awaiting { edge, answer, .. } => {
+                    debug_assert_eq!(*edge, tag);
+                    *answer = Some(payload);
+                }
+                SlotState::FullScan(scan) => scan.received.push((tag, payload)),
+                _ => unreachable!("answer addressed to a slot that asked nothing"),
             }
-            SlotState::FullScan(scan) => scan.received.push((tag, payload)),
-            _ => unreachable!("answer addressed to a slot that asked nothing"),
         }
-    }
+    });
 
     // ---- Phase B (step 5): decide outcomes; movers move. ----
-    let accs = scheduler.run_chunks(
+    let accs = prof.time(compute_phase, || {
+        scheduler.run_chunks(
         slots,
-        || ChunkAcc::new(n, rt.observer),
+        || ChunkAcc::new(n, rt.observer, obs_ctx),
         |_base, slice, acc| {
             for slot in slice.iter_mut() {
                 let answered = match &slot.state {
@@ -168,11 +197,15 @@ pub(super) fn iteration<P: WalkerProgram, O: WalkObserver<P::Data>>(
                 }
             }
         },
-    );
-    let outbox = merge_accs(rt.observer, accs, n, paths, metrics, obs_acc);
+        )
+    });
+    let outbox = merge_accs(rt.observer, accs, n, paths, metrics, obs_acc, prof);
 
     // ---- Exchange 3: late moves. ----
-    let inbox = ctx.exchange(outbox);
+    let (inbox, m_stats) = prof.time(Phase::Exchange, || {
+        ctx.exchange_with_stats(outbox, msg_wire_bytes::<P>)
+    });
+    prof.record_exchange_bytes(m_stats.sent_bytes);
     for msg in inbox {
         match msg {
             Msg::Move(walker) => arrivals.push(Slot {
@@ -202,10 +235,12 @@ fn phase_a_active<P: WalkerProgram, O: WalkObserver<P::Data>>(
         post_scan_queries(rt, slot, idx, acc);
         return;
     }
+    let trials_before = acc.metrics.trials;
     match local_step(rt, slot, idx, acc) {
         StepOutcome::Finished => {
             acc.metrics.finished_walkers += 1;
             slot.state = SlotState::Finished;
+            acc.obs.walk_finished(slot.walker.step as u64);
         }
         StepOutcome::Moved(dst) => {
             rt.commit_move(slot, dst, acc);
@@ -222,6 +257,7 @@ fn phase_a_active<P: WalkerProgram, O: WalkObserver<P::Data>>(
             post_scan_queries(rt, slot, idx, acc);
         }
     }
+    acc.obs.record_trials(acc.metrics.trials - trials_before);
 }
 
 /// Starts an exact full scan: pre-fills the `Ps·Pd` of every edge whose
@@ -232,6 +268,7 @@ fn init_full_scan<P: WalkerProgram, O: WalkObserver<P::Data>>(
     acc: &mut ChunkAcc<P, O>,
 ) {
     acc.metrics.fallback_scans += 1;
+    acc.obs.fallback(slot.walker.id);
     let v = slot.walker.current;
     let deg = rt.graph.degree(v);
     let mut products = vec![f64::NAN; deg];
@@ -342,6 +379,7 @@ fn fold_scan_answers<P: WalkerProgram, O: WalkObserver<P::Data>>(
     }
     if run <= 0.0 {
         acc.metrics.finished_walkers += 1;
+        acc.obs.walk_finished(slot.walker.step as u64);
         slot.state = SlotState::Finished;
         return;
     }

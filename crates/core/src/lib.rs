@@ -69,3 +69,9 @@ pub use walker::Walker;
 // Re-export the substrate types users need to write programs.
 pub use knightking_graph::{CsrGraph, EdgeView, VertexId};
 pub use knightking_sampling::{rejection::OutlierSlot, DeterministicRng};
+
+/// The observability primitives backing `WalkResult::profile` (phase
+/// timers, event rings, histograms, report sinks). Present only with the
+/// `obs` feature (default on).
+#[cfg(feature = "obs")]
+pub use knightking_obs as obs;

@@ -36,6 +36,12 @@ pub struct WalkResult {
     /// and sampling structures included; graph loading and partitioning
     /// excluded — matching the paper's §7.1 methodology).
     pub elapsed: std::time::Duration,
+    /// Observability profile of the run (phase timers, trace events,
+    /// histograms per node); `Some` only when `WalkConfig::profile` was
+    /// set. Render it with `RunProfile::render_table` or
+    /// `RunProfile::write_jsonl`.
+    #[cfg(feature = "obs")]
+    pub profile: Option<knightking_obs::RunProfile>,
 }
 
 impl WalkResult {
@@ -163,6 +169,8 @@ mod tests {
             metrics: crate::metrics::WalkMetrics::default(),
             comm: Default::default(),
             elapsed: std::time::Duration::ZERO,
+            #[cfg(feature = "obs")]
+            profile: None,
         };
         let mut buf = Vec::new();
         r.write_paths(&mut buf).unwrap();

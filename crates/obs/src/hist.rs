@@ -1,0 +1,239 @@
+//! Power-of-two-bucket histograms.
+//!
+//! Bucket `0` holds the value `0`; bucket `i ≥ 1` holds values in
+//! `[2^(i-1), 2^i)`. Recording a value is `leading_zeros` plus an array
+//! increment — integer-only, branch-light, and allocation-free, so it is
+//! safe inside the engine's per-step path (per-chunk instances, merged in
+//! chunk order; never shared across threads).
+
+/// Number of buckets: one for zero plus one per bit of a `u64`.
+const N_BUCKETS: usize = 65;
+
+/// A fixed-shape histogram over `u64` values with power-of-two buckets.
+#[derive(Debug, Clone)]
+pub struct Pow2Histogram {
+    // Scalars first: the merge fast path (empty `other`) reads only this
+    // header cache line, never the bucket array.
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    /// One past the highest touched bucket index. Bounds the scan in
+    /// [`merge`](Self::merge): the engine merges short-lived per-chunk
+    /// histograms at every exchange barrier, and their buckets are cold by
+    /// then — reading only the live prefix keeps the merge off the memory
+    /// bus (typical values span a handful of buckets out of 65).
+    hi: u32,
+    buckets: [u64; N_BUCKETS],
+}
+
+impl Default for Pow2Histogram {
+    fn default() -> Self {
+        Pow2Histogram {
+            buckets: [0; N_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            hi: 0,
+        }
+    }
+}
+
+impl Pow2Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Pow2Histogram::default()
+    }
+
+    /// Index of the bucket holding `v`.
+    #[inline]
+    fn bucket_of(v: u64) -> usize {
+        (64 - v.leading_zeros()) as usize
+    }
+
+    /// `[lo, hi]` value range of bucket `i`.
+    pub fn bucket_bounds(i: usize) -> (u64, u64) {
+        if i == 0 {
+            (0, 0)
+        } else {
+            (1u64 << (i - 1), (1u64 << (i - 1)).wrapping_mul(2) - 1)
+        }
+    }
+
+    /// Records one observation. Integer-only: no floats, no allocation.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        let b = Self::bucket_of(v);
+        self.buckets[b] += 1;
+        self.hi = self.hi.max(b as u32 + 1);
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded value, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value, or 0 if empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of recorded values, or 0.0 if empty. (Report-time
+    /// only; the hot path never calls this.)
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile observation
+    /// (`q` in `[0, 1]`), or 0 if empty. Exact to bucket resolution.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_bounds(i).1.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one. Empty histograms merge for
+    /// free, and only `other`'s touched bucket prefix is read.
+    pub fn merge(&mut self, other: &Pow2Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        let hi = other.hi as usize;
+        for (a, b) in self.buckets[..hi].iter_mut().zip(&other.buckets[..hi]) {
+            *a += *b;
+        }
+        self.hi = self.hi.max(other.hi);
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        if other.min < self.min {
+            self.min = other.min;
+        }
+        if other.max > self.max {
+            self.max = other.max;
+        }
+    }
+
+    /// Iterates the non-empty buckets as `(lo, hi, count)`, ascending.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let (lo, hi) = Self::bucket_bounds(i);
+                (lo, hi, c)
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(Pow2Histogram::bucket_of(0), 0);
+        assert_eq!(Pow2Histogram::bucket_of(1), 1);
+        assert_eq!(Pow2Histogram::bucket_of(2), 2);
+        assert_eq!(Pow2Histogram::bucket_of(3), 2);
+        assert_eq!(Pow2Histogram::bucket_of(4), 3);
+        assert_eq!(Pow2Histogram::bucket_of(u64::MAX), 64);
+        assert_eq!(Pow2Histogram::bucket_bounds(0), (0, 0));
+        assert_eq!(Pow2Histogram::bucket_bounds(1), (1, 1));
+        assert_eq!(Pow2Histogram::bucket_bounds(3), (4, 7));
+    }
+
+    #[test]
+    fn records_and_summarizes() {
+        let mut h = Pow2Histogram::new();
+        for v in [0u64, 1, 5, 5, 80] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 91);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 80);
+        assert!((h.mean() - 18.2).abs() < 1e-9);
+        let buckets: Vec<_> = h.nonzero_buckets().collect();
+        assert_eq!(buckets, vec![(0, 0, 1), (1, 1, 1), (4, 7, 2), (64, 127, 1)]);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_resolution_upper_bounds() {
+        let mut h = Pow2Histogram::new();
+        for _ in 0..99 {
+            h.record(4); // bucket [4, 7]
+        }
+        h.record(1000); // bucket [512, 1023]
+        assert_eq!(h.quantile(0.5), 7);
+        assert_eq!(h.quantile(0.99), 7);
+        assert_eq!(h.quantile(1.0), 1000, "clamped to observed max");
+        let empty = Pow2Histogram::new();
+        assert_eq!(empty.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn merge_combines_everything() {
+        let mut a = Pow2Histogram::new();
+        a.record(2);
+        let mut b = Pow2Histogram::new();
+        b.record(100);
+        b.record(0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), 0);
+        assert_eq!(a.max(), 100);
+        let merged_empty = {
+            let mut x = Pow2Histogram::new();
+            x.merge(&Pow2Histogram::new());
+            x
+        };
+        assert_eq!(merged_empty.count(), 0);
+        assert_eq!(merged_empty.min(), 0);
+    }
+
+    #[test]
+    fn saturating_sum_does_not_wrap() {
+        let mut h = Pow2Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.count(), 2);
+    }
+}

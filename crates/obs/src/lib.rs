@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! Observability primitives for the KnightKing engine.
+//!
+//! The paper's evaluation (§7) reasons entirely about *where time goes* —
+//! sampling vs. communication vs. synchronization, light-mode tail
+//! behaviour (§6.2/§7.5), per-node load imbalance. This crate provides the
+//! instrumentation those arguments need, with three hard constraints the
+//! engine imposes:
+//!
+//! * **zero external dependencies** — everything here is `std` only,
+//!   including the JSON-lines serialization (no serde);
+//! * **no atomics, no locks, no floats on the hot path** — recording a
+//!   value is an integer bucket increment into thread-owned state; data is
+//!   merged in deterministic chunk order at exchange barriers, mirroring
+//!   the scheduler's determinism contract;
+//! * **compile-out-able** — the engine wires these types behind its `obs`
+//!   cargo feature; this crate itself carries no conditional code.
+//!
+//! Four building blocks:
+//!
+//! * [`Phase`] / [`PhaseTimers`] — monotonic wall-time accumulation over a
+//!   fixed phase taxonomy, per node per BSP iteration.
+//! * [`EventRing`] — a bounded, overwrite-oldest trace buffer for
+//!   [`Event`]s (superstep transitions, light-mode switches, full-scan
+//!   fallbacks). Rings are thread-owned (hence lock-free) and drained at
+//!   exchange barriers.
+//! * [`Pow2Histogram`] — power-of-two-bucket histograms: `record` is two
+//!   integer ops and an array increment, no floats.
+//! * [`RunProfile`] / [`NodeProfile`] — the aggregated per-run report,
+//!   rendering both a human-readable table and machine-readable JSON
+//!   lines (see [`report`] for the schema).
+
+pub mod hist;
+pub mod phase;
+pub mod report;
+pub mod ring;
+
+pub use hist::Pow2Histogram;
+pub use phase::{Phase, PhaseTimers, N_PHASES};
+pub use report::{NodeProfile, RunProfile};
+pub use ring::{Event, EventKind, EventRing};

@@ -1,0 +1,359 @@
+//! The aggregated per-run profile and its report sinks.
+//!
+//! Two renderings, both hand-rolled (no serde):
+//!
+//! * [`RunProfile::render_table`] — a human-readable per-run table (phase
+//!   breakdown per node plus histogram summaries);
+//! * [`RunProfile::write_jsonl`] — machine-readable JSON lines for a
+//!   `--profile <path>` target.
+//!
+//! # JSON-lines schema
+//!
+//! One JSON object per line; every object carries a `"type"` tag:
+//!
+//! ```text
+//! {"type":"run","nodes":4,"iterations":81,"wall_ns":12345678}
+//! {"type":"phase","node":0,"iter":3,"phase":"exchange","ns":512}
+//! {"type":"phase_total","node":0,"phase":"exchange","ns":99999,"count":81}
+//! {"type":"event","node":0,"iter":2,"kind":"superstep","active":4096,"chunks":32,"light":false}
+//! {"type":"event","node":0,"iter":5,"kind":"light_mode_switch","light":true,"active":1311}
+//! {"type":"event","node":0,"iter":7,"kind":"full_scan_fallback","walker":42}
+//! {"type":"events_dropped","node":0,"count":0}
+//! {"type":"hist","node":0,"name":"walk_length","count":100,"sum":8000,"min":80,"max":80,
+//!  "buckets":[[64,127,100]]}
+//! ```
+//!
+//! Per-iteration `phase` lines are emitted only for non-zero cells. The
+//! four histograms are `walk_length`, `trials_per_step`, `active_walkers`,
+//! and `exchange_bytes`; `buckets` entries are `[lo, hi, count]` with
+//! inclusive bounds. A file may contain several runs back to back; each
+//! starts with a `run` line.
+
+use std::io::{self, Write};
+
+use crate::hist::Pow2Histogram;
+use crate::phase::{Phase, PhaseTimers};
+use crate::ring::{Event, EventKind};
+
+/// Everything observed on one node during one run.
+#[derive(Debug, Clone)]
+pub struct NodeProfile {
+    /// Node id.
+    pub node: u32,
+    /// Phase timers (per-iteration rows plus run totals).
+    pub timers: PhaseTimers,
+    /// Drained trace events, in deterministic merge order.
+    pub events: Vec<Event>,
+    /// Events lost to ring overwrites.
+    pub dropped_events: u64,
+    /// Steps per finished walk.
+    pub walk_length: Pow2Histogram,
+    /// Rejection trials per sampling step.
+    pub trials_per_step: Pow2Histogram,
+    /// Active walkers on this node, sampled once per iteration.
+    pub active_walkers: Pow2Histogram,
+    /// Remote bytes sent per all-to-all exchange.
+    pub exchange_bytes: Pow2Histogram,
+}
+
+impl NodeProfile {
+    /// An empty profile for `node`.
+    pub fn new(node: u32) -> Self {
+        NodeProfile {
+            node,
+            timers: PhaseTimers::new(),
+            events: Vec::new(),
+            dropped_events: 0,
+            walk_length: Pow2Histogram::new(),
+            trials_per_step: Pow2Histogram::new(),
+            active_walkers: Pow2Histogram::new(),
+            exchange_bytes: Pow2Histogram::new(),
+        }
+    }
+
+    /// The four histograms with their schema names.
+    pub fn histograms(&self) -> [(&'static str, &Pow2Histogram); 4] {
+        [
+            ("walk_length", &self.walk_length),
+            ("trials_per_step", &self.trials_per_step),
+            ("active_walkers", &self.active_walkers),
+            ("exchange_bytes", &self.exchange_bytes),
+        ]
+    }
+}
+
+/// The profile of one engine run across all nodes.
+#[derive(Debug, Clone)]
+pub struct RunProfile {
+    /// One profile per node, in node order.
+    pub nodes: Vec<NodeProfile>,
+    /// Wall-clock nanoseconds of the run (including finalization).
+    pub wall_nanos: u64,
+}
+
+impl RunProfile {
+    /// BSP iterations executed (the longest per-node row count).
+    pub fn iterations(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| n.timers.rows.len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Writes the machine-readable JSON-lines rendering.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from `w`.
+    pub fn write_jsonl<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        writeln!(
+            w,
+            "{{\"type\":\"run\",\"nodes\":{},\"iterations\":{},\"wall_ns\":{}}}",
+            self.nodes.len(),
+            self.iterations(),
+            self.wall_nanos
+        )?;
+        for np in &self.nodes {
+            for (iter, row) in np.timers.rows.iter().enumerate() {
+                for phase in Phase::ALL {
+                    let ns = row[phase.index()];
+                    if ns > 0 {
+                        writeln!(
+                            w,
+                            "{{\"type\":\"phase\",\"node\":{},\"iter\":{},\"phase\":\"{}\",\"ns\":{}}}",
+                            np.node,
+                            iter,
+                            phase.name(),
+                            ns
+                        )?;
+                    }
+                }
+            }
+            for phase in Phase::ALL {
+                writeln!(
+                    w,
+                    "{{\"type\":\"phase_total\",\"node\":{},\"phase\":\"{}\",\"ns\":{},\"count\":{}}}",
+                    np.node,
+                    phase.name(),
+                    np.timers.totals[phase.index()],
+                    np.timers.counts[phase.index()]
+                )?;
+            }
+            for e in &np.events {
+                write!(
+                    w,
+                    "{{\"type\":\"event\",\"node\":{},\"iter\":{},\"kind\":\"{}\"",
+                    e.node,
+                    e.iteration,
+                    e.kind.name()
+                )?;
+                match e.kind {
+                    EventKind::Superstep {
+                        active,
+                        chunks,
+                        light,
+                    } => write!(w, ",\"active\":{active},\"chunks\":{chunks},\"light\":{light}")?,
+                    EventKind::LightModeSwitch { light, active } => {
+                        write!(w, ",\"light\":{light},\"active\":{active}")?
+                    }
+                    EventKind::FullScanFallback { walker } => write!(w, ",\"walker\":{walker}")?,
+                }
+                writeln!(w, "}}")?;
+            }
+            writeln!(
+                w,
+                "{{\"type\":\"events_dropped\",\"node\":{},\"count\":{}}}",
+                np.node, np.dropped_events
+            )?;
+            for (name, h) in np.histograms() {
+                write!(
+                    w,
+                    "{{\"type\":\"hist\",\"node\":{},\"name\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+                    np.node,
+                    name,
+                    h.count(),
+                    h.sum(),
+                    h.min(),
+                    h.max()
+                )?;
+                let mut first = true;
+                for (lo, hi, c) in h.nonzero_buckets() {
+                    if !first {
+                        write!(w, ",")?;
+                    }
+                    write!(w, "[{lo},{hi},{c}]")?;
+                    first = false;
+                }
+                writeln!(w, "]}}")?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the human-readable per-run table.
+    pub fn render_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let wall_ms = self.wall_nanos as f64 / 1e6;
+        let _ = writeln!(
+            out,
+            "profile: {} node(s), {} iteration(s), wall {:.2} ms",
+            self.nodes.len(),
+            self.iterations(),
+            wall_ms
+        );
+        let _ = writeln!(
+            out,
+            "  {:<4} {:<14} {:>12} {:>8} {:>7}",
+            "node", "phase", "time (ms)", "count", "share"
+        );
+        for np in &self.nodes {
+            for phase in Phase::ALL {
+                let ns = np.timers.totals[phase.index()];
+                if ns == 0 {
+                    continue;
+                }
+                let _ = writeln!(
+                    out,
+                    "  {:<4} {:<14} {:>12.3} {:>8} {:>6.1}%",
+                    np.node,
+                    phase.name(),
+                    ns as f64 / 1e6,
+                    np.timers.counts[phase.index()],
+                    100.0 * ns as f64 / self.wall_nanos.max(1) as f64
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "  {:<4} {:<16} {:>10} {:>8} {:>8} {:>10} {:>10}",
+            "node", "histogram", "count", "min", "p50", "max", "mean"
+        );
+        for np in &self.nodes {
+            for (name, h) in np.histograms() {
+                let _ = writeln!(
+                    out,
+                    "  {:<4} {:<16} {:>10} {:>8} {:>8} {:>10} {:>10.1}",
+                    np.node,
+                    name,
+                    h.count(),
+                    h.min(),
+                    h.quantile(0.5),
+                    h.max(),
+                    h.mean()
+                );
+            }
+            let events = np.events.len();
+            if events > 0 || np.dropped_events > 0 {
+                let _ = writeln!(
+                    out,
+                    "  node {} events: {} recorded, {} dropped",
+                    np.node, events, np.dropped_events
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_profile() -> RunProfile {
+        let mut np = NodeProfile::new(0);
+        np.timers.add(Phase::Init, 1_000);
+        np.timers.flush_setup();
+        np.timers.add(Phase::LocalCompute, 5_000);
+        np.timers.add(Phase::Exchange, 2_000);
+        np.timers.end_iteration();
+        np.events.push(Event {
+            iteration: 0,
+            node: 0,
+            kind: EventKind::Superstep {
+                active: 10,
+                chunks: 1,
+                light: true,
+            },
+        });
+        np.events.push(Event {
+            iteration: 0,
+            node: 0,
+            kind: EventKind::LightModeSwitch {
+                light: true,
+                active: 10,
+            },
+        });
+        np.walk_length.record(80);
+        np.trials_per_step.record(2);
+        np.active_walkers.record(10);
+        np.exchange_bytes.record(4096);
+        RunProfile {
+            nodes: vec![np],
+            wall_nanos: 10_000,
+        }
+    }
+
+    #[test]
+    fn jsonl_lines_are_well_formed_objects() {
+        let p = sample_profile();
+        let mut buf = Vec::new();
+        p.write_jsonl(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(!text.is_empty());
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "line: {line}");
+            assert!(line.contains("\"type\":\""), "line: {line}");
+            // Balanced braces/brackets — a cheap well-formedness check
+            // that catches truncated writes without a JSON parser.
+            let open = line.matches(['{', '[']).count();
+            let close = line.matches(['}', ']']).count();
+            assert_eq!(open, close, "unbalanced: {line}");
+        }
+        assert!(text.contains("\"type\":\"run\""));
+        assert!(text.contains("\"phase\":\"local_compute\""));
+        assert!(text.contains("\"kind\":\"light_mode_switch\""));
+        for name in [
+            "walk_length",
+            "trials_per_step",
+            "active_walkers",
+            "exchange_bytes",
+        ] {
+            assert!(text.contains(&format!("\"name\":\"{name}\"")), "{name}");
+        }
+    }
+
+    #[test]
+    fn per_iteration_phases_only_emit_nonzero_cells() {
+        let p = sample_profile();
+        let mut buf = Vec::new();
+        p.write_jsonl(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let phase_lines = text
+            .lines()
+            .filter(|l| l.contains("\"type\":\"phase\""))
+            .count();
+        assert_eq!(phase_lines, 2, "one per nonzero cell in the single row");
+    }
+
+    #[test]
+    fn table_mentions_phases_and_histograms() {
+        let p = sample_profile();
+        let t = p.render_table();
+        assert!(t.contains("local_compute"));
+        assert!(t.contains("walk_length"));
+        assert!(t.contains("1 node(s)"));
+        assert!(t.contains("events: 2 recorded"));
+    }
+
+    #[test]
+    fn iterations_is_max_over_nodes() {
+        let mut p = sample_profile();
+        let mut n1 = NodeProfile::new(1);
+        n1.timers.end_iteration();
+        n1.timers.end_iteration();
+        p.nodes.push(n1);
+        assert_eq!(p.iterations(), 2);
+    }
+}

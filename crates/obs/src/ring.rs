@@ -1,0 +1,192 @@
+//! Bounded, overwrite-oldest event trace rings.
+//!
+//! Rings are *thread-owned*: the engine gives each scheduler chunk
+//! accumulator its own ring, so pushes are plain writes with no atomics or
+//! locks (lock-freedom by ownership, the cheapest kind). Rings are drained
+//! into the node-level profile at exchange barriers, in chunk order, which
+//! keeps the trace deterministic under the scheduler's merge contract.
+
+/// What happened, with event-specific context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A BSP superstep began on this node.
+    Superstep {
+        /// Active walkers at the start of the superstep.
+        active: u64,
+        /// Chunk tasks the scheduler will queue for them.
+        chunks: u64,
+        /// Whether the node processes this superstep in light mode.
+        light: bool,
+    },
+    /// The node crossed the light-mode threshold (§6.2).
+    LightModeSwitch {
+        /// `true`: entered light mode; `false`: resumed parallel mode.
+        light: bool,
+        /// Active walkers at the switch.
+        active: u64,
+    },
+    /// A walker exhausted its rejection trials and fell back to the exact
+    /// full scan.
+    FullScanFallback {
+        /// The walker that fell back.
+        walker: u64,
+    },
+}
+
+impl EventKind {
+    /// Stable snake-case name used in the JSON-lines schema.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::Superstep { .. } => "superstep",
+            EventKind::LightModeSwitch { .. } => "light_mode_switch",
+            EventKind::FullScanFallback { .. } => "full_scan_fallback",
+        }
+    }
+}
+
+/// One traced event with its iteration/node context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// BSP iteration the event occurred in (0-based).
+    pub iteration: u32,
+    /// Node the event occurred on.
+    pub node: u32,
+    /// The event itself.
+    pub kind: EventKind,
+}
+
+/// A bounded ring of [`Event`]s that overwrites the oldest entry when
+/// full, counting what it dropped.
+#[derive(Debug, Clone)]
+pub struct EventRing {
+    buf: Vec<Event>,
+    cap: usize,
+    /// Index of the oldest entry.
+    start: usize,
+    len: usize,
+    dropped: u64,
+}
+
+impl EventRing {
+    /// A ring holding at most `cap` events (`cap` ≥ 1).
+    ///
+    /// Allocation is lazy: a ring that never sees an event never touches
+    /// the heap, so per-chunk rings cost nothing on quiet chunks.
+    pub fn new(cap: usize) -> Self {
+        EventRing {
+            buf: Vec::new(),
+            cap: cap.max(1),
+            start: 0,
+            len: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Pushes an event, overwriting the oldest if the ring is full.
+    #[inline]
+    pub fn push(&mut self, event: Event) {
+        if self.buf.len() < self.cap {
+            self.buf.push(event);
+            self.len += 1;
+        } else {
+            // Full: the slot at `start` holds the oldest entry; replace it
+            // and advance.
+            self.buf[self.start] = event;
+            self.start = (self.start + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Events overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Removes and returns all events, oldest first. The drop counter is
+    /// preserved so callers can account for lost history.
+    pub fn drain(&mut self) -> Vec<Event> {
+        let mut out = Vec::with_capacity(self.len);
+        for i in 0..self.len {
+            out.push(self.buf[(self.start + i) % self.cap.max(1)]);
+        }
+        self.buf.clear();
+        self.start = 0;
+        self.len = 0;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(i: u32) -> Event {
+        Event {
+            iteration: i,
+            node: 0,
+            kind: EventKind::FullScanFallback { walker: i as u64 },
+        }
+    }
+
+    #[test]
+    fn fifo_below_capacity() {
+        let mut r = EventRing::new(8);
+        for i in 0..5 {
+            r.push(ev(i));
+        }
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.dropped(), 0);
+        let drained = r.drain();
+        assert_eq!(
+            drained.iter().map(|e| e.iteration).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn overwrites_oldest_when_full() {
+        let mut r = EventRing::new(3);
+        for i in 0..7 {
+            r.push(ev(i));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 4);
+        let drained = r.drain();
+        assert_eq!(
+            drained.iter().map(|e| e.iteration).collect::<Vec<_>>(),
+            vec![4, 5, 6]
+        );
+    }
+
+    #[test]
+    fn reusable_after_drain() {
+        let mut r = EventRing::new(2);
+        r.push(ev(0));
+        r.push(ev(1));
+        r.push(ev(2));
+        assert_eq!(r.drain().len(), 2);
+        assert_eq!(r.dropped(), 1, "drop counter survives the drain");
+        r.push(ev(9));
+        assert_eq!(r.drain()[0].iteration, 9);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut r = EventRing::new(0);
+        r.push(ev(1));
+        r.push(ev(2));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.drain()[0].iteration, 2);
+    }
+}

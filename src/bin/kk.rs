@@ -210,6 +210,7 @@ fn cmd_walk(args: &Args) -> Result<(), String> {
     };
     let mut cfg = WalkConfig::with_nodes(nodes, seed);
     cfg.record_paths = args.get("output").is_some() || args.has("stats");
+    cfg.profile = args.get("profile").is_some();
 
     let engine_result = match algo {
         "deepwalk" => RandomWalkEngine::new(&graph, DeepWalk::new(length), cfg).run(starts),
@@ -264,6 +265,24 @@ fn cmd_walk(args: &Args) -> Result<(), String> {
             "return rate      {:.4}",
             analysis::return_rate(&engine_result.paths)
         );
+    }
+
+    if let Some(path) = args.get("profile") {
+        let profile = engine_result
+            .profile
+            .as_ref()
+            .expect("profile requested in config");
+        let file = std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?;
+        let mut out = std::io::BufWriter::new(file);
+        profile
+            .write_jsonl(&mut out)
+            .and_then(|()| {
+                use std::io::Write as _;
+                out.flush()
+            })
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprint!("{}", profile.render_table());
+        eprintln!("profile written to {path}");
     }
 
     if let Some(output) = args.get("output") {
@@ -350,7 +369,7 @@ USAGE:
   kk walk     --graph <file> --algo <deepwalk|ppr|node2vec|metapath|rwr|nobacktrack>
               [--length N] [--p P] [--q Q] [--pt PT] [--restart C]
               [--walkers N|pervertex] [--nodes N] [--seed S]
-              [--output paths.txt] [--stats]
+              [--output paths.txt] [--stats] [--profile prof.jsonl]
   kk embed    --graph <file> [--p P] [--q Q] [--length N] [--dims D]
               [--window W] [--negatives K] [--epochs E] [--lr LR]
               [--nodes N] [--seed S] --output <embeddings.txt>

@@ -112,6 +112,16 @@ enum GMsg<D> {
     Move(Walker<D>, u32),
 }
 
+/// True wire size of one message: tag byte + walker + retry counter.
+/// `size_of::<GMsg<D>>()` would add enum padding and charge the niche-less
+/// in-memory layout; using the serialized size keeps this engine's byte
+/// histograms comparable with the KnightKing engine's.
+fn gmsg_wire_bytes<D: Clone + Send + knightking_core::Wire + 'static>(msg: &GMsg<D>) -> usize {
+    use knightking_core::Wire as _;
+    let (GMsg::Req(w, r) | GMsg::Move(w, r)) = msg;
+    1 + w.wire_size() + r.wire_size()
+}
+
 /// Per-node accumulator counters.
 #[derive(Default, Clone, Copy)]
 struct Counters {
@@ -364,7 +374,7 @@ impl<'g, S: BaselineSpec> GeminiEngine<'g, S> {
 
             // Exchange 1: sampling requests to mirrors.
             let mut reqs: Vec<(Walker<S::Data>, u32)> = Vec::new();
-            for msg in ctx.exchange(outbox) {
+            for msg in ctx.exchange_with_stats(outbox, gmsg_wire_bytes::<S::Data>).0 {
                 match msg {
                     GMsg::Req(w, r) => reqs.push((w, r)),
                     GMsg::Move(..) => unreachable!("no moves in the request round"),
@@ -438,7 +448,7 @@ impl<'g, S: BaselineSpec> GeminiEngine<'g, S> {
             }
 
             // Exchange 2: walkers relocate to their (new) masters.
-            for msg in ctx.exchange(outbox) {
+            for msg in ctx.exchange_with_stats(outbox, gmsg_wire_bytes::<S::Data>).0 {
                 match msg {
                     GMsg::Move(walker, retries) => walkers.push(GWalker { walker, retries }),
                     GMsg::Req(..) => unreachable!("no requests in the move round"),

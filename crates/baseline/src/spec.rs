@@ -8,7 +8,7 @@
 //! outliers — that separation is KnightKing's contribution, and the
 //! baselines deliberately lack it.
 
-use knightking_core::Walker;
+use knightking_core::{Walker, Wire};
 use knightking_graph::{CsrGraph, EdgeTypeId, EdgeView, VertexId};
 use knightking_sampling::DeterministicRng;
 use knightking_walks::{MetaPath, Node2Vec, Ppr};
@@ -16,7 +16,11 @@ use knightking_walks::{MetaPath, Node2Vec, Ppr};
 /// A random walk algorithm as a traditional implementation sees it.
 pub trait BaselineSpec: Sync {
     /// Per-walker custom state.
-    type Data: Clone + Send + 'static;
+    ///
+    /// `Wire` lets the Gemini-style engine price its walker messages at
+    /// true serialized size, keeping its byte accounting comparable with
+    /// the KnightKing engine's.
+    type Data: Clone + Send + Wire + 'static;
 
     /// Whether per-edge probabilities change with walker state. Static
     /// specs get pre-built alias tables; dynamic specs pay a full scan
@@ -103,6 +107,18 @@ impl MetaPathSpec {
 /// Baseline Meta-path walker state: the assigned scheme index.
 #[derive(Debug, Clone, Copy)]
 pub struct ScmState(pub u32);
+
+impl Wire for ScmState {
+    fn wire_size(&self) -> usize {
+        self.0.wire_size()
+    }
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> std::io::Result<Self> {
+        Ok(ScmState(u32::decode(input)?))
+    }
+}
 
 impl BaselineSpec for MetaPathSpec {
     type Data = ScmState;

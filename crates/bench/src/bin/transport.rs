@@ -1,0 +1,89 @@
+//! Transport microbenchmark — in-process exchange vs TCP loopback.
+//!
+//! Drives the same all-to-all exchange workload through both `Transport`
+//! backends and reports wall time and socket-level throughput. The
+//! in-process backend moves `Vec`s between threads (no serialization);
+//! the TCP backend pays encode + syscalls + decode per message, so the
+//! gap between the two rows is the true cost of the wire — the number to
+//! watch when deciding whether a walk is worth distributing.
+//!
+//! Not a paper experiment (the paper benchmarks on a real 8-node
+//! cluster); this is the repo's own yardstick for its networking layer.
+
+use std::time::{Duration, Instant};
+
+use knightking_bench::{HarnessOpts, Table};
+use knightking_cluster::comm::run_cluster;
+use knightking_net::{reserve_loopback_addrs, TcpConfig, TcpTransport, Transport, Wire};
+
+/// Workload message: (sender rank, payload index) — 16 wire bytes.
+type Msg = (u64, u64);
+
+/// Runs `rounds` full all-to-all exchanges of `per_peer` messages per
+/// destination; returns rank-local (sent bytes, wall time).
+fn drive<T: Transport<Msg>>(t: &mut T, rounds: usize, per_peer: usize) -> (u64, Duration) {
+    let n = t.n_nodes();
+    let me = t.node() as u64;
+    t.barrier();
+    let start = Instant::now();
+    let mut sent_bytes = 0u64;
+    for round in 0..rounds {
+        let outbox: Vec<Vec<Msg>> = (0..n)
+            .map(|_| {
+                (0..per_peer)
+                    .map(|i| (me, (round * per_peer + i) as u64))
+                    .collect()
+            })
+            .collect();
+        let (inbox, stats) = t.exchange_with_stats(outbox, &|m: &Msg| m.wire_size());
+        assert_eq!(inbox.len(), n * per_peer, "exchange lost messages");
+        sent_bytes += stats.sent_bytes;
+    }
+    t.barrier();
+    (sent_bytes, start.elapsed())
+}
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let nodes = opts.nodes;
+    let (rounds, per_peer) = if opts.quick { (20, 500) } else { (100, 5_000) };
+    println!(
+        "Transport exchange — {nodes} nodes, {rounds} rounds × {per_peer} msgs/peer (16 B each)\n"
+    );
+
+    let mut table = Table::new(&["Backend", "Wall time", "Sent MB (rank sum)", "MB/s"]);
+
+    let in_proc = run_cluster::<Msg, _, _>(nodes, |mut ctx| drive(&mut ctx, rounds, per_peer));
+    report(&mut table, "in-process", &in_proc);
+
+    let peers = reserve_loopback_addrs(nodes).expect("reserve loopback ports");
+    let tcp: Vec<(u64, Duration)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..nodes)
+            .map(|rank| {
+                let peers = peers.clone();
+                s.spawn(move || {
+                    let mut t = TcpTransport::establish(TcpConfig::new(rank, peers, 0xBE7C))
+                        .expect("establish mesh");
+                    drive(&mut t, rounds, per_peer)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    report(&mut table, "tcp-loopback", &tcp);
+
+    table.print();
+    println!("\n(in-process sends no bytes over any wire; its MB are priced, not transmitted)");
+}
+
+fn report(table: &mut Table, name: &str, results: &[(u64, Duration)]) {
+    let bytes: u64 = results.iter().map(|&(b, _)| b).sum();
+    let wall = results.iter().map(|&(_, d)| d).max().unwrap_or_default();
+    let mb = bytes as f64 / 1e6;
+    table.row(&[
+        name.into(),
+        format!("{wall:?}"),
+        format!("{mb:.1}"),
+        format!("{:.0}", mb / wall.as_secs_f64().max(1e-9)),
+    ]);
+}

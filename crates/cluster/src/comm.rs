@@ -98,8 +98,25 @@ struct Shared<M> {
     barrier: SpinBarrier,
     /// Scratch for `allreduce_sum`.
     reduce: Vec<AtomicU64>,
+    /// Per-node staging for `gather_bytes` (leader-side result collection).
+    gather: Vec<Mutex<Vec<u8>>>,
     /// Run-wide communication metrics.
     metrics: ClusterMetrics,
+}
+
+impl<M> Shared<M> {
+    fn new(n_nodes: usize) -> Self {
+        Shared {
+            n_nodes,
+            slots: (0..n_nodes)
+                .map(|_| (0..n_nodes).map(|_| Mutex::new(Vec::new())).collect())
+                .collect(),
+            barrier: SpinBarrier::new(n_nodes),
+            reduce: (0..n_nodes).map(|_| AtomicU64::new(0)).collect(),
+            gather: (0..n_nodes).map(|_| Mutex::new(Vec::new())).collect(),
+            metrics: ClusterMetrics::new(n_nodes),
+        }
+    }
 }
 
 /// What one [`exchange_with_stats`](NodeCtx::exchange_with_stats) call
@@ -231,6 +248,31 @@ impl<'a, M: Send> NodeCtx<'a, M> {
         total
     }
 
+    /// Gathers one opaque byte payload per node at the leader
+    /// (`MPI_Gatherv` to node 0).
+    ///
+    /// Node 0 receives `Some(payloads)` with `payloads[i]` holding node
+    /// `i`'s contribution; every other node receives `None`. Used for
+    /// end-of-run result collection (path fragments, serialized metrics)
+    /// outside the typed message channel.
+    pub fn gather_bytes(&self, payload: Vec<u8>) -> Option<Vec<Vec<u8>>> {
+        *lock(&self.shared.gather[self.node]) = payload;
+        self.shared.barrier.wait();
+        let out = if self.node == 0 {
+            Some(
+                (0..self.shared.n_nodes)
+                    .map(|i| std::mem::take(&mut *lock(&self.shared.gather[i])))
+                    .collect(),
+            )
+        } else {
+            None
+        };
+        // Keep contributors from racing ahead into the next gather while
+        // the leader is still draining the staging slots.
+        self.shared.barrier.wait();
+        out
+    }
+
     /// Returns `true` on exactly one node (node 0); useful for one-shot
     /// reporting.
     pub fn is_leader(&self) -> bool {
@@ -269,15 +311,7 @@ where
     F: Fn(NodeCtx<'_, M>) -> R + Sync,
 {
     assert!(n_nodes > 0, "need at least one node");
-    let shared = Shared::<M> {
-        n_nodes,
-        slots: (0..n_nodes)
-            .map(|_| (0..n_nodes).map(|_| Mutex::new(Vec::new())).collect())
-            .collect(),
-        barrier: SpinBarrier::new(n_nodes),
-        reduce: (0..n_nodes).map(|_| AtomicU64::new(0)).collect(),
-        metrics: ClusterMetrics::new(n_nodes),
-    };
+    let shared = Shared::<M>::new(n_nodes);
 
     if n_nodes == 1 {
         return vec![f(NodeCtx {
@@ -364,15 +398,7 @@ where
     F: Fn(NodeCtx<'_, M>) -> R + Sync,
 {
     assert!(n_nodes > 0, "need at least one node");
-    let shared = Shared::<M> {
-        n_nodes,
-        slots: (0..n_nodes)
-            .map(|_| (0..n_nodes).map(|_| Mutex::new(Vec::new())).collect())
-            .collect(),
-        barrier: SpinBarrier::new(n_nodes),
-        reduce: (0..n_nodes).map(|_| AtomicU64::new(0)).collect(),
-        metrics: ClusterMetrics::new(n_nodes),
-    };
+    let shared = Shared::<M>::new(n_nodes);
 
     let results = if n_nodes == 1 {
         vec![f(NodeCtx {
@@ -505,6 +531,24 @@ mod tests {
             }
         });
         assert_eq!(results.len(), 2);
+    }
+
+    #[test]
+    fn gather_bytes_collects_at_leader_in_rank_order() {
+        let results = run_cluster::<(), _, _>(4, |ctx| {
+            let mut last = None;
+            for round in 0..3u8 {
+                last = ctx.gather_bytes(vec![ctx.node as u8 + round; ctx.node + 1]);
+                assert_eq!(last.is_some(), ctx.is_leader(), "round {round}");
+            }
+            last
+        });
+        let parts = results[0].as_ref().expect("leader gets the gather");
+        assert_eq!(parts.len(), 4);
+        for (i, p) in parts.iter().enumerate() {
+            assert_eq!(p, &vec![i as u8 + 2; i + 1], "node {i} payload");
+        }
+        assert!(results[1..].iter().all(Option::is_none));
     }
 
     #[test]

@@ -54,10 +54,17 @@ impl ClusterMetrics {
     }
 
     /// Records `count` remote messages occupying `bytes` true wire bytes.
+    ///
+    /// `count == 0` with `bytes > 0` is meaningful: transports with real
+    /// framing (the TCP backend) account control frames — barriers,
+    /// allreduce contributions — as pure byte overhead carrying no
+    /// engine messages.
     #[inline]
     pub fn record_send_sized(&self, count: u64, bytes: u64) {
         if count > 0 {
             self.messages.fetch_add(count, Ordering::Relaxed);
+        }
+        if bytes > 0 {
             self.bytes.fetch_add(bytes, Ordering::Relaxed);
         }
     }
@@ -105,6 +112,15 @@ mod tests {
         m.record_send::<[u8; 100]>(0);
         m.record_send_sized(0, 0);
         assert_eq!(m.clone_counts(), MetricCounts::default());
+    }
+
+    #[test]
+    fn control_frame_bytes_recorded_without_messages() {
+        let m = ClusterMetrics::new(2);
+        m.record_send_sized(0, 13); // e.g. one TCP barrier frame
+        let c = m.clone_counts();
+        assert_eq!(c.messages, 0);
+        assert_eq!(c.bytes, 13);
     }
 
     #[test]

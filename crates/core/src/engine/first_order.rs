@@ -6,7 +6,8 @@
 //! advance in lockstep (§5.1: "For such algorithms, all walkers can move
 //! lockstep").
 
-use knightking_cluster::{NodeCtx, Scheduler};
+use knightking_cluster::Scheduler;
+use knightking_net::Transport;
 
 use crate::{
     metrics::WalkMetrics,
@@ -21,9 +22,9 @@ use super::{
 
 /// Runs one first-order BSP iteration on this node.
 #[allow(clippy::too_many_arguments)]
-pub(super) fn iteration<P: WalkerProgram, O: WalkObserver<P::Data>>(
+pub(super) fn iteration<P: WalkerProgram, O: WalkObserver<P::Data>, T: Transport<Msg<P>>>(
     rt: &NodeRt<'_, P, O>,
-    ctx: &NodeCtx<'_, Msg<P>>,
+    ctx: &mut T,
     scheduler: &Scheduler,
     slots: &mut Vec<Slot<P>>,
     paths: &mut Vec<PathEntry>,
@@ -76,7 +77,7 @@ pub(super) fn iteration<P: WalkerProgram, O: WalkObserver<P::Data>>(
 
     let (inbox, stats) =
         prof.time(Phase::Exchange, || {
-            ctx.exchange_with_stats(outbox, msg_wire_bytes::<P>)
+            ctx.exchange_with_stats(outbox, &msg_wire_bytes::<P>)
         });
     prof.record_exchange_bytes(stats.sent_bytes);
     slots.retain(|s| matches!(s.state, SlotState::Active));

@@ -25,8 +25,9 @@ mod second_order;
 
 use std::time::Instant;
 
-use knightking_cluster::{comm::run_cluster_with_metrics, NodeCtx, Scheduler};
+use knightking_cluster::{comm::run_cluster_with_metrics, Scheduler};
 use knightking_graph::{CsrGraph, EdgeView, Partition, VertexId};
+use knightking_net::{Transport, Wire};
 use knightking_sampling::{
     rejection::{Envelope, OutlierSlot},
     AliasTable, CdfTable, DeterministicRng,
@@ -47,7 +48,10 @@ use instrument::{ChunkCtx, ChunkObs, NodeObs, Phase};
 const FULL_SCAN_WINDOW: usize = 4096;
 
 /// Messages exchanged between nodes.
-pub(crate) enum Msg<P: WalkerProgram> {
+///
+/// Public because [`RandomWalkEngine::run_distributed`] is generic over
+/// `Transport<Msg<P>>`; user code never constructs these.
+pub enum Msg<P: WalkerProgram> {
     /// A walker migrating to the node owning its new residing vertex.
     Move(Walker<P::Data>),
     /// A walker-to-vertex state query (§5.1 step 2).
@@ -72,6 +76,83 @@ pub(crate) enum Msg<P: WalkerProgram> {
         /// Program-defined result.
         payload: P::Answer,
     },
+}
+
+/// One tag byte plus the active variant's fields — no padding, no unused
+/// variants. The same function prices messages for the in-process byte
+/// statistics and frames them on the TCP transport, which is what makes
+/// the two backends' byte histograms agree.
+impl<P: WalkerProgram> Wire for Msg<P> {
+    fn wire_size(&self) -> usize {
+        1 + match self {
+            Msg::Move(walker) => walker.wire_size(),
+            Msg::Query {
+                from,
+                slot,
+                tag,
+                target,
+                payload,
+            } => {
+                from.wire_size()
+                    + slot.wire_size()
+                    + tag.wire_size()
+                    + target.wire_size()
+                    + payload.wire_size()
+            }
+            Msg::Answer { slot, tag, payload } => {
+                slot.wire_size() + tag.wire_size() + payload.wire_size()
+            }
+        }
+    }
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Msg::Move(walker) => {
+                out.push(0);
+                walker.encode(out);
+            }
+            Msg::Query {
+                from,
+                slot,
+                tag,
+                target,
+                payload,
+            } => {
+                out.push(1);
+                from.encode(out);
+                slot.encode(out);
+                tag.encode(out);
+                target.encode(out);
+                payload.encode(out);
+            }
+            Msg::Answer { slot, tag, payload } => {
+                out.push(2);
+                slot.encode(out);
+                tag.encode(out);
+                payload.encode(out);
+            }
+        }
+    }
+    fn decode(input: &mut &[u8]) -> std::io::Result<Self> {
+        match u8::decode(input)? {
+            0 => Ok(Msg::Move(Walker::decode(input)?)),
+            1 => Ok(Msg::Query {
+                from: u32::decode(input)?,
+                slot: u32::decode(input)?,
+                tag: u32::decode(input)?,
+                target: VertexId::decode(input)?,
+                payload: P::Query::decode(input)?,
+            }),
+            2 => Ok(Msg::Answer {
+                slot: u32::decode(input)?,
+                tag: u32::decode(input)?,
+                payload: P::Answer::decode(input)?,
+            }),
+            b => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("wire: invalid Msg tag {b}"),
+            )),
+        }
+    }
 }
 
 /// Walker bookkeeping within a node.
@@ -434,17 +515,12 @@ struct NodeOut {
     profile: instrument::NodeProfileOut,
 }
 
-/// True wire size of one message: a one-byte variant tag plus the active
-/// variant's fields. `size_of::<Msg<P>>()` would charge every message the
-/// largest variant's footprint (a `Move` carrying walker data), badly
-/// overstating the small `Query`/`Answer` traffic of second-order walks.
+/// True wire size of one message: exactly what [`Wire::encode`] would
+/// emit. `size_of::<Msg<P>>()` would charge every message the largest
+/// variant's footprint (a `Move` carrying walker data), badly overstating
+/// the small `Query`/`Answer` traffic of second-order walks.
 pub(crate) fn msg_wire_bytes<P: WalkerProgram>(msg: &Msg<P>) -> usize {
-    use std::mem::size_of;
-    1 + match msg {
-        Msg::Move(_) => size_of::<Walker<P::Data>>(),
-        Msg::Query { .. } => size_of::<u32>() * 3 + size_of::<VertexId>() + size_of::<P::Query>(),
-        Msg::Answer { .. } => size_of::<u32>() * 2 + size_of::<P::Answer>(),
-    }
+    msg.wire_size()
 }
 
 /// The engine: a graph, a program, and a configuration.
@@ -510,12 +586,13 @@ impl<'g, P: WalkerProgram> RandomWalkEngine<'g, P> {
         let begin = Instant::now();
         let (outs, comm): (Vec<(NodeOut, O::Acc)>, _) =
             run_cluster_with_metrics::<Msg<P>, _, _>(self.config.n_nodes, |ctx| {
+                let mut ctx = ctx;
                 let local = if self.config.n_nodes > 1 {
                     &locals[ctx.node]
                 } else {
                     self.graph
                 };
-                self.node_main(ctx, local, observer, &partition, &starts, threads)
+                self.node_main(&mut ctx, local, observer, &partition, &starts, threads)
             });
         let elapsed = begin.elapsed();
 
@@ -579,11 +656,12 @@ impl<'g, P: WalkerProgram> RandomWalkEngine<'g, P> {
         (result, observation.unwrap_or_else(|| observer.make_acc()))
     }
 
-    /// Body executed by each simulated node. `local` is this node's slice
-    /// of the graph: out-edges of owned vertices only.
-    fn node_main<O: WalkObserver<P::Data>>(
+    /// Body executed by each node — simulated (in-process `NodeCtx`) or
+    /// real (one OS process driving a `TcpTransport`). `local` is this
+    /// node's slice of the graph: out-edges of owned vertices only.
+    fn node_main<O: WalkObserver<P::Data>, T: Transport<Msg<P>>>(
         &self,
-        ctx: NodeCtx<'_, Msg<P>>,
+        ctx: &mut T,
         local: &CsrGraph,
         observer: &O,
         partition: &Partition,
@@ -591,12 +669,13 @@ impl<'g, P: WalkerProgram> RandomWalkEngine<'g, P> {
         threads: usize,
     ) -> (NodeOut, O::Acc) {
         let cfg = &self.config;
+        let me = ctx.node();
         let scheduler = Scheduler {
             threads,
             chunk_size: cfg.chunk_size,
             light_threshold: cfg.light_threshold,
         };
-        let mut prof = NodeObs::new(cfg.profile, ctx.node);
+        let mut prof = NodeObs::new(cfg.profile, me);
         let rt = prof.time(Phase::AliasBuild, || {
             NodeRt::build(
                 local,
@@ -604,7 +683,7 @@ impl<'g, P: WalkerProgram> RandomWalkEngine<'g, P> {
                 observer,
                 partition,
                 cfg,
-                ctx.node,
+                me,
                 &scheduler,
             )
         });
@@ -615,7 +694,7 @@ impl<'g, P: WalkerProgram> RandomWalkEngine<'g, P> {
             let mut slots: Vec<Slot<P>> = Vec::new();
             let mut paths: Vec<PathEntry> = Vec::new();
             for (id, &start) in starts.iter().enumerate() {
-                if partition.owner(start) == ctx.node {
+                if partition.owner(start) == me {
                     let data = self.program.init_data(id as u64, start);
                     let walker = Walker::new(id as u64, start, cfg.seed, data);
                     if cfg.record_paths {
@@ -645,7 +724,7 @@ impl<'g, P: WalkerProgram> RandomWalkEngine<'g, P> {
             if P::SECOND_ORDER {
                 second_order::iteration(
                     &rt,
-                    &ctx,
+                    ctx,
                     &scheduler,
                     &mut slots,
                     &mut paths,
@@ -656,7 +735,7 @@ impl<'g, P: WalkerProgram> RandomWalkEngine<'g, P> {
             } else {
                 first_order::iteration(
                     &rt,
-                    &ctx,
+                    ctx,
                     &scheduler,
                     &mut slots,
                     &mut paths,
@@ -684,6 +763,118 @@ impl<'g, P: WalkerProgram> RandomWalkEngine<'g, P> {
             },
             obs_acc,
         )
+    }
+
+    /// Runs the walk as **one node of a real multi-process cluster**, with
+    /// inter-node communication carried by `transport` (e.g. a
+    /// [`TcpTransport`] over a full mesh of sockets).
+    ///
+    /// Every process must call this with the same graph, program, config,
+    /// and starts (the SPMD contract); `config.n_nodes` must equal
+    /// `transport.n_nodes()`. Each process derives its own partition from
+    /// the shared graph, walks its owned walkers, and at the end sends its
+    /// path fragments and metrics to rank 0, which assembles the full
+    /// [`WalkResult`] — byte-identical to an in-process
+    /// [`run`](RandomWalkEngine::run) with the same seed and node count.
+    ///
+    /// Returns `Some(result)` on rank 0 and `None` on every other rank.
+    ///
+    /// [`TcpTransport`]: https://docs.rs/knightking-net
+    ///
+    /// # Panics
+    ///
+    /// Panics if `transport.n_nodes() != config.n_nodes`.
+    pub fn run_distributed<T: Transport<Msg<P>>>(
+        &self,
+        transport: &mut T,
+        starts: WalkerStarts,
+    ) -> Option<WalkResult> {
+        assert_eq!(
+            transport.n_nodes(),
+            self.config.n_nodes,
+            "transport has {} nodes but config.n_nodes is {}",
+            transport.n_nodes(),
+            self.config.n_nodes
+        );
+        let starts = starts.materialize(self.graph.vertex_count());
+        let partition = Partition::balanced(self.graph, self.config.n_nodes, 1.0);
+        let n_walkers = starts.len() as u64;
+        let threads = self.config.resolved_threads();
+        let me = transport.node();
+
+        // Every process loads the full graph and extracts its own slice —
+        // the same physical partitioning as the in-process path, just
+        // without materializing the other nodes' slices.
+        let local_owned;
+        let local: &CsrGraph = if self.config.n_nodes > 1 {
+            local_owned = partition.extract_local(self.graph, me);
+            &local_owned
+        } else {
+            self.graph
+        };
+
+        let begin = Instant::now();
+        let (out, ()) = self.node_main(
+            transport,
+            local,
+            &NoopObserver,
+            &partition,
+            &starts,
+            threads,
+        );
+        let elapsed = begin.elapsed();
+
+        // Result collection: each rank ships (metrics, path fragments) to
+        // the leader as one opaque blob; counters are snapshotted as a
+        // collective so every rank agrees the run is over.
+        let finalize_begin = Instant::now();
+        let blob = knightking_net::to_bytes(&(out.metrics, out.paths));
+        let gathered = transport.gather_bytes(blob);
+        let comm = transport.cluster_counts();
+        let parts = gathered?;
+
+        let mut fragments = Vec::new();
+        let mut metrics = WalkMetrics::default();
+        for (rank, part) in parts.iter().enumerate() {
+            let (m, paths): (WalkMetrics, Vec<PathEntry>) = knightking_net::from_bytes(part)
+                .unwrap_or_else(|e| panic!("corrupt result blob from rank {rank}: {e}"));
+            metrics.merge(&m);
+            fragments.extend(paths);
+        }
+        let paths = if self.config.record_paths {
+            WalkResult::assemble_paths(n_walkers, fragments)
+        } else {
+            Vec::new()
+        };
+        #[cfg(feature = "obs")]
+        let profile = {
+            // Only the leader's own node profile is collected; shipping
+            // every rank's profile through the gather would require a wire
+            // encoding for the whole obs tree.
+            let mut node_profile = out.profile;
+            if let Some(n0) = node_profile.as_mut() {
+                n0.timers.add(
+                    Phase::Finalize,
+                    finalize_begin.elapsed().as_nanos() as u64,
+                );
+                n0.timers.flush_setup();
+            }
+            node_profile.map(|n0| knightking_obs::RunProfile {
+                nodes: vec![n0],
+                wall_nanos: begin.elapsed().as_nanos() as u64,
+            })
+        };
+        #[cfg(not(feature = "obs"))]
+        let _ = finalize_begin;
+        Some(WalkResult {
+            paths,
+            active_per_iteration: out.active_series,
+            metrics,
+            comm,
+            elapsed,
+            #[cfg(feature = "obs")]
+            profile,
+        })
     }
 }
 

@@ -23,7 +23,8 @@
 //! is how "no out edges with positive transition probability" (§2.2) is
 //! detected without sacrificing exactness.
 
-use knightking_cluster::{NodeCtx, Scheduler};
+use knightking_cluster::Scheduler;
+use knightking_net::Transport;
 use knightking_sampling::CdfTable;
 
 use crate::{
@@ -40,9 +41,9 @@ use super::{
 
 /// Runs one second-order BSP iteration on this node.
 #[allow(clippy::too_many_arguments)]
-pub(super) fn iteration<P: WalkerProgram, O: WalkObserver<P::Data>>(
+pub(super) fn iteration<P: WalkerProgram, O: WalkObserver<P::Data>, T: Transport<Msg<P>>>(
     rt: &NodeRt<'_, P, O>,
-    ctx: &NodeCtx<'_, Msg<P>>,
+    ctx: &mut T,
     scheduler: &Scheduler,
     slots: &mut Vec<Slot<P>>,
     paths: &mut Vec<PathEntry>,
@@ -88,7 +89,7 @@ pub(super) fn iteration<P: WalkerProgram, O: WalkObserver<P::Data>>(
 
     // ---- Exchange 1: queries out, early moves along for the ride. ----
     let (inbox, q_stats) = prof.time(Phase::QueryRound, || {
-        ctx.exchange_with_stats(outbox, msg_wire_bytes::<P>)
+        ctx.exchange_with_stats(outbox, &msg_wire_bytes::<P>)
     });
     prof.record_exchange_bytes(q_stats.sent_bytes);
     let mut arrivals: Vec<Slot<P>> = Vec::new();
@@ -140,7 +141,7 @@ pub(super) fn iteration<P: WalkerProgram, O: WalkObserver<P::Data>>(
 
     // ---- Exchange 2 + step 4: answers come back. ----
     let (answers, a_stats) = prof.time(Phase::AnswerRound, || {
-        ctx.exchange_with_stats(answer_outbox, msg_wire_bytes::<P>)
+        ctx.exchange_with_stats(answer_outbox, &msg_wire_bytes::<P>)
     });
     prof.record_exchange_bytes(a_stats.sent_bytes);
     prof.time(Phase::AnswerRound, || {
@@ -203,7 +204,7 @@ pub(super) fn iteration<P: WalkerProgram, O: WalkObserver<P::Data>>(
 
     // ---- Exchange 3: late moves. ----
     let (inbox, m_stats) = prof.time(Phase::Exchange, || {
-        ctx.exchange_with_stats(outbox, msg_wire_bytes::<P>)
+        ctx.exchange_with_stats(outbox, &msg_wire_bytes::<P>)
     });
     prof.record_exchange_bytes(m_stats.sent_bytes);
     for msg in inbox {

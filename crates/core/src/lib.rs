@@ -60,7 +60,7 @@ pub mod result;
 pub mod walker;
 
 pub use config::{WalkConfig, WalkerStarts};
-pub use engine::RandomWalkEngine;
+pub use engine::{Msg, RandomWalkEngine};
 pub use metrics::WalkMetrics;
 pub use program::{NoopObserver, WalkObserver, WalkerProgram};
 pub use result::WalkResult;
@@ -68,6 +68,7 @@ pub use walker::Walker;
 
 // Re-export the substrate types users need to write programs.
 pub use knightking_graph::{CsrGraph, EdgeView, VertexId};
+pub use knightking_net::{Transport, Wire};
 pub use knightking_sampling::{rejection::OutlierSlot, DeterministicRng};
 
 /// The observability primitives backing `WalkResult::profile` (phase

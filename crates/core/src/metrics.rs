@@ -65,6 +65,44 @@ impl WalkMetrics {
     }
 }
 
+use knightking_net::Wire;
+
+/// Metrics travel to the leader in the end-of-run result gather of
+/// multi-process runs.
+impl Wire for WalkMetrics {
+    fn wire_size(&self) -> usize {
+        9 * 8
+    }
+    fn encode(&self, out: &mut Vec<u8>) {
+        for v in [
+            self.steps,
+            self.edges_evaluated,
+            self.trials,
+            self.pre_accepts,
+            self.appendix_hits,
+            self.fallback_scans,
+            self.queries,
+            self.finished_walkers,
+            self.iterations,
+        ] {
+            v.encode(out);
+        }
+    }
+    fn decode(input: &mut &[u8]) -> std::io::Result<Self> {
+        Ok(WalkMetrics {
+            steps: u64::decode(input)?,
+            edges_evaluated: u64::decode(input)?,
+            trials: u64::decode(input)?,
+            pre_accepts: u64::decode(input)?,
+            appendix_hits: u64::decode(input)?,
+            fallback_scans: u64::decode(input)?,
+            queries: u64::decode(input)?,
+            finished_walkers: u64::decode(input)?,
+            iterations: u64::decode(input)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

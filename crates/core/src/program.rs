@@ -21,7 +21,10 @@
 //! and [`WalkerProgram::SECOND_ORDER`] enables the two-round
 //! walker-to-vertex query protocol within each iteration.
 
+use std::io;
+
 use knightking_graph::{CsrGraph, EdgeView, VertexId};
+use knightking_net::Wire;
 use knightking_sampling::rejection::OutlierSlot;
 
 use crate::walker::{Walker, WalkerData};
@@ -47,11 +50,15 @@ use crate::walker::{Walker, WalkerData};
 /// [`lower_bound`]: WalkerProgram::lower_bound
 pub trait WalkerProgram: Sync + Sized {
     /// Algorithm-defined per-walker state.
-    type Data: WalkerData;
+    ///
+    /// The [`Wire`] bound lets walkers migrate between *processes* on the
+    /// TCP transport; in-process runs never serialize, but the encoding
+    /// must exist so the same program runs on either backend.
+    type Data: WalkerData + Wire;
     /// Payload of a walker-to-vertex state query.
-    type Query: Copy + Send + 'static;
+    type Query: Copy + Send + Wire + 'static;
     /// Payload of a query response.
-    type Answer: Copy + Send + 'static;
+    type Answer: Copy + Send + Wire + 'static;
 
     /// Whether the walk has a non-trivial dynamic component `Pd`.
     ///
@@ -255,6 +262,20 @@ pub struct NeighborQuery {
     /// The vertex whose adjacency is tested (walker's previous stop `t`).
     /// This is the vertex the query is routed to.
     pub subject: VertexId,
+}
+
+impl Wire for NeighborQuery {
+    fn wire_size(&self) -> usize {
+        self.subject.wire_size()
+    }
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.subject.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> io::Result<Self> {
+        Ok(NeighborQuery {
+            subject: VertexId::decode(input)?,
+        })
+    }
 }
 
 /// Answers a [`NeighborQuery`] at the owner of `target`: O(log d) binary

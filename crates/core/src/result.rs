@@ -1,6 +1,7 @@
 //! Walk results: reassembled paths, per-iteration activity, metrics.
 
 use knightking_graph::VertexId;
+use knightking_net::Wire;
 
 use crate::metrics::WalkMetrics;
 
@@ -16,6 +17,26 @@ pub struct PathEntry {
     pub step: u32,
     /// Vertex visited.
     pub vertex: VertexId,
+}
+
+/// Path fragments travel to the leader in the end-of-run result gather of
+/// multi-process runs.
+impl Wire for PathEntry {
+    fn wire_size(&self) -> usize {
+        8 + 4 + 4
+    }
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.walker.encode(out);
+        self.step.encode(out);
+        self.vertex.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> std::io::Result<Self> {
+        Ok(PathEntry {
+            walker: u64::decode(input)?,
+            step: u32::decode(input)?,
+            vertex: VertexId::decode(input)?,
+        })
+    }
 }
 
 /// The outcome of one engine run.

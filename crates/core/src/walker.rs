@@ -8,7 +8,10 @@
 //! current residing vertex and migrate between nodes as messages when a
 //! step crosses a partition boundary.
 
+use std::io;
+
 use knightking_graph::VertexId;
+use knightking_net::Wire;
 use knightking_sampling::DeterministicRng;
 
 /// Marker for algorithm-defined per-walker state.
@@ -69,6 +72,51 @@ impl<D: WalkerData> Walker<D> {
     }
 }
 
+/// Walkers migrate between processes on the TCP transport; the encoding
+/// carries the full RNG state so a trajectory continues *exactly* where it
+/// left off — this losslessness is what makes multi-process runs
+/// byte-identical to in-process ones.
+impl<D: WalkerData + Wire> Wire for Walker<D> {
+    fn wire_size(&self) -> usize {
+        self.id.wire_size()
+            + self.current.wire_size()
+            + self.prev.wire_size()
+            + self.step.wire_size()
+            + self.rng.state().wire_size()
+            + self.data.wire_size()
+    }
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.id.encode(out);
+        self.current.encode(out);
+        self.prev.encode(out);
+        self.step.encode(out);
+        self.rng.state().encode(out);
+        self.data.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> io::Result<Self> {
+        let id = u64::decode(input)?;
+        let current = VertexId::decode(input)?;
+        let prev = Option::<VertexId>::decode(input)?;
+        let step = u32::decode(input)?;
+        let state = <[u64; 4]>::decode(input)?;
+        if state == [0; 4] {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "wire: all-zero walker rng state",
+            ));
+        }
+        let data = D::decode(input)?;
+        Ok(Walker {
+            id,
+            current,
+            prev,
+            step,
+            rng: DeterministicRng::from_state(state),
+            data,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,5 +161,35 @@ mod tests {
         let w: Walker<Vec<u32>> = Walker::new(0, 0, 1, vec![1, 2, 3]);
         let w2 = w.clone();
         assert_eq!(w2.data, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn wire_round_trip_resumes_rng_stream() {
+        let mut w: Walker<(Option<VertexId>, Option<VertexId>)> =
+            Walker::new(9, 4, 77, (Some(1), None));
+        w.advance(8);
+        let _ = w.rng.next_u64(); // advance the stream past its origin
+        let bytes = knightking_net::to_bytes(&w);
+        assert_eq!(bytes.len(), w.wire_size());
+        let mut back: Walker<(Option<VertexId>, Option<VertexId>)> =
+            knightking_net::from_bytes(&bytes).unwrap();
+        assert_eq!(back.id, 9);
+        assert_eq!(back.current, 8);
+        assert_eq!(back.prev, Some(4));
+        assert_eq!(back.step, 1);
+        assert_eq!(back.data, (Some(1), None));
+        // The decoded walker continues the exact same random stream.
+        assert_eq!(back.rng.next_u64(), w.rng.next_u64());
+    }
+
+    #[test]
+    fn wire_rejects_zero_rng_state() {
+        let w: Walker<()> = Walker::new(0, 0, 1, ());
+        let mut bytes = knightking_net::to_bytes(&w);
+        // Zero out the 32-byte rng state (after id, current, prev, step).
+        let off = 8 + 4 + w.prev.wire_size() + 4;
+        bytes[off..off + 32].fill(0);
+        let err = knightking_net::from_bytes::<Walker<()>>(&bytes).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 }

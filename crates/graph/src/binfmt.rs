@@ -25,6 +25,10 @@ use std::path::Path;
 use crate::{CsrGraph, GraphError, VertexId};
 
 const MAGIC: &[u8; 4] = b"KKG1";
+/// Magic prefix shared by every format version; the fourth byte is the
+/// ASCII version digit.
+const MAGIC_FAMILY: &[u8; 3] = b"KKG";
+const VERSION: u8 = b'1';
 const FLAG_WEIGHTED: u8 = 1;
 const FLAG_TYPED: u8 = 2;
 
@@ -100,7 +104,24 @@ pub fn read_binary<R: Read>(reader: R) -> Result<CsrGraph, GraphError> {
     let mut magic = [0u8; 4];
     input.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(bad("bad magic: not a KKG1 file"));
+        // Distinguish a graph from a newer tool (actionable: upgrade or
+        // re-export) from a file that is not a KKG graph at all.
+        if &magic[..3] == MAGIC_FAMILY && magic[3].is_ascii_digit() && magic[3] > VERSION {
+            return Err(GraphError::Parse {
+                line: 0,
+                message: format!(
+                    "KKG version {} is newer than this build supports (reads version {})",
+                    magic[3] as char, VERSION as char
+                ),
+            });
+        }
+        return Err(GraphError::Parse {
+            line: 0,
+            message: format!(
+                "not a KnightKing binary graph (magic {:?}, expected \"KKG1\")",
+                String::from_utf8_lossy(&magic)
+            ),
+        });
     }
     let mut flags = [0u8; 1];
     input.read_exact(&mut flags)?;
@@ -245,7 +266,23 @@ mod tests {
     #[test]
     fn rejects_bad_magic() {
         let err = read_binary(std::io::Cursor::new(b"XXXX....".to_vec())).unwrap_err();
-        assert!(err.to_string().contains("magic"));
+        assert!(err.to_string().contains("not a KnightKing binary graph"));
+    }
+
+    #[test]
+    fn rejects_future_version_with_upgrade_hint() {
+        let err = read_binary(std::io::Cursor::new(b"KKG7....".to_vec())).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("version 7"), "{msg}");
+        assert!(msg.contains("newer than this build"), "{msg}");
+    }
+
+    #[test]
+    fn text_edge_list_is_not_mistaken_for_future_version() {
+        // A text file starting with digits/comments must produce the
+        // "not a binary graph" error, not a version complaint.
+        let err = read_binary(std::io::Cursor::new(b"0 1\n1 2\n".to_vec())).unwrap_err();
+        assert!(err.to_string().contains("not a KnightKing binary graph"));
     }
 
     #[test]

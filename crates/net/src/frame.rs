@@ -1,0 +1,338 @@
+//! TCP wire protocol: handshake and length-prefixed frames.
+//!
+//! # Handshake (exchanged once per connection, both directions)
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"KKNT"
+//! 4       2     protocol version (little-endian u16, currently 1)
+//! 6       8     run epoch (u64): all members of one launch share it
+//! 14      4     cluster size n_nodes (u32)
+//! 18      4     sender rank (u32)
+//! ```
+//!
+//! The connecting side sends its handshake first, then reads the peer's.
+//! Magic and version mismatches mean "not a knightking-net peer" /
+//! incompatible build; an epoch mismatch means a stale process from a
+//! previous launch is still bound to the port; size/rank mismatches mean
+//! a misconfigured hostfile. Each case fails with a distinct error.
+//!
+//! # Frames (everything after the handshake)
+//!
+//! ```text
+//! offset  size  field
+//! 0       1     tag (DATA / BARRIER / REDUCE / GATHER)
+//! 1       8     collective sequence number (u64)
+//! 9       4     payload length (u32)
+//! 13      len   payload
+//! ```
+//!
+//! Every collective increments the sequence number on all ranks; a
+//! receiver that observes a frame with an unexpected sequence number has
+//! caught an SPMD-contract violation (or crossed wires) and aborts
+//! rather than mis-delivering.
+
+use std::io::{self, Read, Write};
+
+/// Connection magic: identifies a knightking-net peer.
+pub const MAGIC: [u8; 4] = *b"KKNT";
+
+/// Protocol version. Bump on any incompatible frame or handshake change.
+pub const VERSION: u16 = 1;
+
+/// Hard ceiling on one frame's payload (1 GiB): corrupt lengths fail
+/// fast instead of attempting absurd allocations.
+pub const MAX_FRAME_LEN: u32 = 1 << 30;
+
+/// Frame tags.
+pub mod tag {
+    /// One exchange's messages for the receiving rank.
+    pub const DATA: u8 = 1;
+    /// Barrier announcement (empty payload).
+    pub const BARRIER: u8 = 2;
+    /// Allreduce contribution (8-byte payload).
+    pub const REDUCE: u8 = 3;
+    /// Result gather payload (rank ≠ 0 → rank 0).
+    pub const GATHER: u8 = 4;
+}
+
+/// Size of an encoded frame header.
+pub const HEADER_LEN: usize = 1 + 8 + 4;
+
+/// Size of an encoded handshake.
+pub const HANDSHAKE_LEN: usize = 4 + 2 + 8 + 4 + 4;
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Frame kind (see [`tag`]).
+    pub tag: u8,
+    /// Collective sequence number at the sender.
+    pub seq: u64,
+    /// Opaque payload.
+    pub payload: Vec<u8>,
+}
+
+/// Identity a peer announces during the handshake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Handshake {
+    /// Launch epoch shared by every member of the run.
+    pub epoch: u64,
+    /// Cluster size the peer believes in.
+    pub n_nodes: u32,
+    /// The peer's rank.
+    pub rank: u32,
+}
+
+impl Handshake {
+    /// Encodes the handshake into its fixed wire layout.
+    pub fn to_bytes(self) -> [u8; HANDSHAKE_LEN] {
+        let mut out = [0u8; HANDSHAKE_LEN];
+        out[0..4].copy_from_slice(&MAGIC);
+        out[4..6].copy_from_slice(&VERSION.to_le_bytes());
+        out[6..14].copy_from_slice(&self.epoch.to_le_bytes());
+        out[14..18].copy_from_slice(&self.n_nodes.to_le_bytes());
+        out[18..22].copy_from_slice(&self.rank.to_le_bytes());
+        out
+    }
+
+    /// Writes the handshake to `w`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn write_to<W: Write>(self, w: &mut W) -> io::Result<()> {
+        w.write_all(&self.to_bytes())
+    }
+
+    /// Reads and validates a peer handshake against our own view of the
+    /// run. `expect_rank` pins the rank when the caller knows who must be
+    /// on the other end (outbound connections); accepting sides pass
+    /// `None` and learn the rank from the handshake.
+    ///
+    /// # Errors
+    ///
+    /// Fails with `InvalidData` describing exactly which field
+    /// mismatched, or with the underlying I/O error.
+    pub fn read_validated<R: Read>(
+        r: &mut R,
+        ours: Handshake,
+        expect_rank: Option<u32>,
+    ) -> io::Result<Handshake> {
+        let mut buf = [0u8; HANDSHAKE_LEN];
+        r.read_exact(&mut buf)?;
+        let bad = |msg: String| Err(io::Error::new(io::ErrorKind::InvalidData, msg));
+        if buf[0..4] != MAGIC {
+            return bad(format!(
+                "handshake magic mismatch: got {:02x?}, want {:02x?} — peer is not a knightking-net process",
+                &buf[0..4],
+                MAGIC
+            ));
+        }
+        let version = u16::from_le_bytes(buf[4..6].try_into().expect("sized"));
+        if version != VERSION {
+            return bad(format!(
+                "protocol version mismatch: peer speaks v{version}, this build speaks v{VERSION}"
+            ));
+        }
+        let theirs = Handshake {
+            epoch: u64::from_le_bytes(buf[6..14].try_into().expect("sized")),
+            n_nodes: u32::from_le_bytes(buf[14..18].try_into().expect("sized")),
+            rank: u32::from_le_bytes(buf[18..22].try_into().expect("sized")),
+        };
+        if theirs.epoch != ours.epoch {
+            return bad(format!(
+                "epoch mismatch: peer is from launch {:#x}, this launch is {:#x} — \
+                 a stale process from a previous run is likely still alive",
+                theirs.epoch, ours.epoch
+            ));
+        }
+        if theirs.n_nodes != ours.n_nodes {
+            return bad(format!(
+                "cluster size mismatch: peer expects {} nodes, this process expects {}",
+                theirs.n_nodes, ours.n_nodes
+            ));
+        }
+        if theirs.rank >= ours.n_nodes {
+            return bad(format!(
+                "peer rank {} out of range for a {}-node cluster",
+                theirs.rank, ours.n_nodes
+            ));
+        }
+        if let Some(want) = expect_rank {
+            if theirs.rank != want {
+                return bad(format!(
+                    "connected to the wrong peer: expected rank {want}, got rank {}",
+                    theirs.rank
+                ));
+            }
+        }
+        Ok(theirs)
+    }
+}
+
+/// Writes one frame (header + payload) to `w`. Returns the number of
+/// bytes put on the wire, for socket-level byte accounting.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+///
+/// # Panics
+///
+/// Panics if the payload exceeds [`MAX_FRAME_LEN`].
+pub fn write_frame<W: Write>(w: &mut W, tag: u8, seq: u64, payload: &[u8]) -> io::Result<u64> {
+    let len = u32::try_from(payload.len()).expect("frame payload exceeds u32");
+    assert!(len <= MAX_FRAME_LEN, "frame payload exceeds MAX_FRAME_LEN");
+    let mut header = [0u8; HEADER_LEN];
+    header[0] = tag;
+    header[1..9].copy_from_slice(&seq.to_le_bytes());
+    header[9..13].copy_from_slice(&len.to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    Ok((HEADER_LEN + payload.len()) as u64)
+}
+
+/// Reads one frame from `r`, validating the tag and length.
+///
+/// # Errors
+///
+/// Fails with `UnexpectedEof` when the peer closed the connection, or
+/// `InvalidData` on an unknown tag / oversized length.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Frame> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header)?;
+    let tag = header[0];
+    if !(tag::DATA..=tag::GATHER).contains(&tag) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unknown frame tag {tag}"),
+        ));
+    }
+    let seq = u64::from_le_bytes(header[1..9].try_into().expect("sized"));
+    let len = u32::from_le_bytes(header[9..13].try_into().expect("sized"));
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds the {MAX_FRAME_LEN}-byte ceiling"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Frame { tag, seq, payload })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OURS: Handshake = Handshake {
+        epoch: 0xDEAD_BEEF,
+        n_nodes: 4,
+        rank: 0,
+    };
+
+    #[test]
+    fn handshake_round_trip() {
+        let theirs = Handshake { rank: 2, ..OURS };
+        let bytes = theirs.to_bytes();
+        let got = Handshake::read_validated(&mut &bytes[..], OURS, Some(2)).unwrap();
+        assert_eq!(got, theirs);
+    }
+
+    #[test]
+    fn handshake_rejects_bad_magic() {
+        let mut bytes = Handshake { rank: 1, ..OURS }.to_bytes();
+        bytes[0] = b'X';
+        let err = Handshake::read_validated(&mut &bytes[..], OURS, None).unwrap_err();
+        assert!(err.to_string().contains("magic mismatch"), "{err}");
+    }
+
+    #[test]
+    fn handshake_rejects_future_version() {
+        let mut bytes = Handshake { rank: 1, ..OURS }.to_bytes();
+        bytes[4..6].copy_from_slice(&99u16.to_le_bytes());
+        let err = Handshake::read_validated(&mut &bytes[..], OURS, None).unwrap_err();
+        assert!(err.to_string().contains("version mismatch"), "{err}");
+    }
+
+    #[test]
+    fn handshake_rejects_stale_epoch() {
+        let stale = Handshake {
+            epoch: 123,
+            ..OURS
+        };
+        let bytes = stale.to_bytes();
+        let err = Handshake::read_validated(&mut &bytes[..], OURS, None).unwrap_err();
+        assert!(err.to_string().contains("epoch mismatch"), "{err}");
+    }
+
+    #[test]
+    fn handshake_rejects_wrong_cluster_size() {
+        let other = Handshake {
+            n_nodes: 8,
+            ..OURS
+        };
+        let bytes = other.to_bytes();
+        let err = Handshake::read_validated(&mut &bytes[..], OURS, None).unwrap_err();
+        assert!(err.to_string().contains("size mismatch"), "{err}");
+    }
+
+    #[test]
+    fn handshake_rejects_unexpected_rank() {
+        let bytes = Handshake { rank: 3, ..OURS }.to_bytes();
+        let err = Handshake::read_validated(&mut &bytes[..], OURS, Some(1)).unwrap_err();
+        assert!(err.to_string().contains("wrong peer"), "{err}");
+    }
+
+    #[test]
+    fn frame_round_trip() {
+        let mut buf = Vec::new();
+        let n = write_frame(&mut buf, tag::DATA, 42, b"hello").unwrap();
+        assert_eq!(n as usize, HEADER_LEN + 5);
+        let frame = read_frame(&mut &buf[..]).unwrap();
+        assert_eq!(
+            frame,
+            Frame {
+                tag: tag::DATA,
+                seq: 42,
+                payload: b"hello".to_vec()
+            }
+        );
+    }
+
+    #[test]
+    fn empty_payload_frame() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, tag::BARRIER, 7, &[]).unwrap();
+        let frame = read_frame(&mut &buf[..]).unwrap();
+        assert_eq!(frame.tag, tag::BARRIER);
+        assert!(frame.payload.is_empty());
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, tag::DATA, 0, &[]).unwrap();
+        buf[0] = 200;
+        let err = read_frame(&mut &buf[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn oversized_length_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, tag::DATA, 0, &[]).unwrap();
+        buf[9..13].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_frame(&mut &buf[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_stream_is_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, tag::DATA, 0, b"abcdef").unwrap();
+        let err = read_frame(&mut &buf[..HEADER_LEN + 2]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+}

@@ -1,0 +1,171 @@
+//! The `Transport` abstraction: the collectives the engine runs on.
+//!
+//! The KnightKing engine only ever talks to its cluster through three
+//! collectives — all-to-all exchange, allreduce-SUM, and barrier — plus a
+//! result gather at the end of a run. This trait captures exactly that
+//! surface, so the same engine code drives both the in-process simulated
+//! cluster ([`NodeCtx`]) and the multi-process TCP backend
+//! ([`TcpTransport`](crate::TcpTransport)).
+//!
+//! The SPMD contract carries over unchanged from MPI: every node must
+//! call the same collectives in the same order. The in-process backend
+//! deadlocks (or panics via barrier poisoning) on violations; the TCP
+//! backend detects sequence-number mismatches and aborts with a protocol
+//! error.
+
+use knightking_cluster::metrics::MetricCounts;
+use knightking_cluster::{ExchangeStats, NodeCtx};
+
+/// A cluster communication backend carrying messages of type `M`.
+///
+/// Methods take `&mut self` because real transports (sockets, sequence
+/// counters) are stateful; the in-process backend simply ignores the
+/// exclusivity. One `Transport` value belongs to one node of the cluster.
+pub trait Transport<M> {
+    /// This node's id in `[0, n_nodes)`.
+    fn node(&self) -> usize;
+
+    /// Number of nodes in the cluster.
+    fn n_nodes(&self) -> usize;
+
+    /// Waits until every node reaches this point (`MPI_Barrier`).
+    fn barrier(&mut self);
+
+    /// Sums `value` across all nodes and returns the total to each
+    /// (`MPI_Allreduce` with `MPI_SUM`).
+    fn allreduce_sum(&mut self, value: u64) -> u64;
+
+    /// All-to-all message exchange (`MPI_Alltoallv`) with caller-supplied
+    /// wire sizing.
+    ///
+    /// `outbox[i]` is delivered to node `i`; the returned inbox contains
+    /// everything addressed to this node concatenated in sender-id order,
+    /// self-addressed messages included. `wire_bytes` prices one message
+    /// for the byte statistics; the TCP backend additionally uses it to
+    /// pre-size encode buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outbox.len() != n_nodes()`.
+    fn exchange_with_stats(
+        &mut self,
+        outbox: Vec<Vec<M>>,
+        wire_bytes: &dyn Fn(&M) -> usize,
+    ) -> (Vec<M>, ExchangeStats);
+
+    /// [`exchange_with_stats`](Transport::exchange_with_stats) with the
+    /// default `size_of::<M>()` sizing — an upper bound that overstates
+    /// enum messages. Prefer supplying real sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outbox.len() != n_nodes()`.
+    fn exchange(&mut self, outbox: Vec<Vec<M>>) -> Vec<M> {
+        self.exchange_with_stats(outbox, &|_| std::mem::size_of::<M>())
+            .0
+    }
+
+    /// Gathers one opaque byte payload per node at the leader
+    /// (`MPI_Gatherv` to rank 0).
+    ///
+    /// Returns `Some(payloads)` on the leader with `payloads[i]` being
+    /// node `i`'s contribution, `None` everywhere else. Used to collect
+    /// per-node run results (path fragments, metrics) without forcing
+    /// them through the typed message channel.
+    fn gather_bytes(&mut self, payload: Vec<u8>) -> Option<Vec<Vec<u8>>>;
+
+    /// Snapshot of the cluster-wide communication counters, as a
+    /// collective (all nodes must call it together; all receive the same
+    /// totals).
+    ///
+    /// The in-process backend reads the shared counters directly; the TCP
+    /// backend allreduces each process's local socket-level counts.
+    fn cluster_counts(&mut self) -> MetricCounts;
+
+    /// Returns `true` on exactly one node (node 0).
+    fn is_leader(&self) -> bool {
+        self.node() == 0
+    }
+}
+
+/// The in-process simulated cluster is a `Transport`: the trait methods
+/// delegate to the existing collectives with zero behavior change.
+impl<M: Send> Transport<M> for NodeCtx<'_, M> {
+    fn node(&self) -> usize {
+        self.node
+    }
+
+    fn n_nodes(&self) -> usize {
+        NodeCtx::n_nodes(self)
+    }
+
+    fn barrier(&mut self) {
+        NodeCtx::barrier(self);
+    }
+
+    fn allreduce_sum(&mut self, value: u64) -> u64 {
+        NodeCtx::allreduce_sum(self, value)
+    }
+
+    fn exchange_with_stats(
+        &mut self,
+        outbox: Vec<Vec<M>>,
+        wire_bytes: &dyn Fn(&M) -> usize,
+    ) -> (Vec<M>, ExchangeStats) {
+        NodeCtx::exchange_with_stats(self, outbox, wire_bytes)
+    }
+
+    fn gather_bytes(&mut self, payload: Vec<u8>) -> Option<Vec<Vec<u8>>> {
+        NodeCtx::gather_bytes(self, payload)
+    }
+
+    fn cluster_counts(&mut self) -> MetricCounts {
+        // The counters are shared by every node; the barriers make the
+        // snapshot a proper collective (all prior sends are recorded, and
+        // no node races ahead into the next exchange while others read).
+        NodeCtx::barrier(self);
+        let counts = self.metrics().clone_counts();
+        NodeCtx::barrier(self);
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knightking_cluster::run_cluster;
+
+    /// Drives the collectives through the trait object surface, proving
+    /// the in-process backend behaves identically via `Transport`.
+    #[test]
+    fn node_ctx_implements_transport() {
+        let results = run_cluster::<u64, _, _>(3, |ctx| {
+            let mut t: Box<dyn Transport<u64> + '_> = Box::new(ctx);
+            assert_eq!(t.n_nodes(), 3);
+            let me = t.node();
+            t.barrier();
+            let total = t.allreduce_sum(me as u64 + 1);
+            assert_eq!(total, 6);
+            let outbox: Vec<Vec<u64>> = (0..3).map(|to| vec![(me * 10 + to) as u64]).collect();
+            let (inbox, stats) = t.exchange_with_stats(outbox, &|_| 5);
+            assert_eq!(stats.received, 3);
+            assert_eq!(stats.sent_messages, 2);
+            assert_eq!(stats.sent_bytes, 10);
+            let gathered = t.gather_bytes(vec![me as u8; me + 1]);
+            assert_eq!(gathered.is_some(), me == 0);
+            if let Some(parts) = &gathered {
+                assert_eq!(parts.len(), 3);
+                for (i, p) in parts.iter().enumerate() {
+                    assert_eq!(p, &vec![i as u8; i + 1]);
+                }
+            }
+            let counts = t.cluster_counts();
+            assert_eq!(counts.messages, 6);
+            inbox
+        });
+        for (me, inbox) in results.iter().enumerate() {
+            let expected: Vec<u64> = (0..3).map(|from| (from * 10 + me) as u64).collect();
+            assert_eq!(inbox, &expected);
+        }
+    }
+}

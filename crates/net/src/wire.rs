@@ -1,0 +1,290 @@
+//! `Wire`: the hand-rolled, dependency-free serialization used on the
+//! TCP transport.
+//!
+//! Every value encodes to a fixed, platform-independent little-endian
+//! layout; `wire_size` reports the *exact* number of bytes `encode`
+//! appends. That exactness is load-bearing twice over: the framing layer
+//! pre-sizes buffers from it, and the engine feeds it to
+//! `exchange_with_stats` so the byte histograms of the in-process and TCP
+//! backends agree (the in-process backend never serializes at all, it
+//! just *prices* messages with the same function).
+//!
+//! No `serde`: the workspace is dependency-free by design, and the
+//! message set is small enough that explicit impls are clearer than a
+//! derive anyway.
+
+use std::io;
+
+/// A value with an exact, self-describing binary encoding.
+///
+/// Contract: `encode` appends exactly `wire_size()` bytes, and `decode`
+/// consumes exactly the bytes `encode` produced, yielding an equal value.
+/// The proptest suite in this module checks the round trip for every
+/// built-in impl.
+pub trait Wire: Sized {
+    /// Exact number of bytes `encode` will append for this value.
+    fn wire_size(&self) -> usize;
+    /// Appends the encoding of `self` to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+    /// Decodes one value from the front of `input`, advancing it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`io::ErrorKind::UnexpectedEof`] on truncated input and
+    /// [`io::ErrorKind::InvalidData`] on malformed bytes (e.g. a bool
+    /// that is neither 0 nor 1).
+    fn decode(input: &mut &[u8]) -> io::Result<Self>;
+}
+
+/// Takes `n` bytes off the front of `input` or fails with a labelled EOF.
+fn take<'a>(input: &mut &'a [u8], n: usize, what: &str) -> io::Result<&'a [u8]> {
+    if input.len() < n {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            format!("wire: truncated {what} (need {n} bytes, have {})", input.len()),
+        ));
+    }
+    let (head, tail) = input.split_at(n);
+    *input = tail;
+    Ok(head)
+}
+
+macro_rules! wire_prim {
+    ($($t:ty),*) => {$(
+        impl Wire for $t {
+            #[inline]
+            fn wire_size(&self) -> usize {
+                std::mem::size_of::<$t>()
+            }
+            #[inline]
+            fn encode(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            #[inline]
+            fn decode(input: &mut &[u8]) -> io::Result<Self> {
+                let bytes = take(input, std::mem::size_of::<$t>(), stringify!($t))?;
+                Ok(<$t>::from_le_bytes(bytes.try_into().expect("sized take")))
+            }
+        }
+    )*};
+}
+
+wire_prim!(u8, u16, u32, u64, i8, i16, i32, i64, f32, f64);
+
+impl Wire for () {
+    #[inline]
+    fn wire_size(&self) -> usize {
+        0
+    }
+    #[inline]
+    fn encode(&self, _out: &mut Vec<u8>) {}
+    #[inline]
+    fn decode(_input: &mut &[u8]) -> io::Result<Self> {
+        Ok(())
+    }
+}
+
+impl Wire for bool {
+    #[inline]
+    fn wire_size(&self) -> usize {
+        1
+    }
+    #[inline]
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+    #[inline]
+    fn decode(input: &mut &[u8]) -> io::Result<Self> {
+        match take(input, 1, "bool")?[0] {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("wire: invalid bool byte {b}"),
+            )),
+        }
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    #[inline]
+    fn wire_size(&self) -> usize {
+        1 + self.as_ref().map_or(0, Wire::wire_size)
+    }
+    #[inline]
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+    #[inline]
+    fn decode(input: &mut &[u8]) -> io::Result<Self> {
+        match take(input, 1, "option tag")?[0] {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(input)?)),
+            b => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("wire: invalid option tag {b}"),
+            )),
+        }
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn wire_size(&self) -> usize {
+        4 + self.iter().map(Wire::wire_size).sum::<usize>()
+    }
+    fn encode(&self, out: &mut Vec<u8>) {
+        let n = u32::try_from(self.len()).expect("vec longer than u32::MAX");
+        n.encode(out);
+        for v in self {
+            v.encode(out);
+        }
+    }
+    fn decode(input: &mut &[u8]) -> io::Result<Self> {
+        let n = u32::decode(input)? as usize;
+        // Bound the pre-allocation by what the input could possibly hold,
+        // so a corrupt length cannot OOM before the EOF error surfaces.
+        let mut out = Vec::with_capacity(n.min(input.len()));
+        for _ in 0..n {
+            out.push(T::decode(input)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<const N: usize> Wire for [u64; N] {
+    #[inline]
+    fn wire_size(&self) -> usize {
+        8 * N
+    }
+    fn encode(&self, out: &mut Vec<u8>) {
+        for v in self {
+            v.encode(out);
+        }
+    }
+    fn decode(input: &mut &[u8]) -> io::Result<Self> {
+        let mut out = [0u64; N];
+        for v in &mut out {
+            *v = u64::decode(input)?;
+        }
+        Ok(out)
+    }
+}
+
+macro_rules! wire_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Wire),+> Wire for ($($name,)+) {
+            #[inline]
+            fn wire_size(&self) -> usize {
+                0 $(+ self.$idx.wire_size())+
+            }
+            #[inline]
+            fn encode(&self, out: &mut Vec<u8>) {
+                $(self.$idx.encode(out);)+
+            }
+            #[inline]
+            fn decode(input: &mut &[u8]) -> io::Result<Self> {
+                Ok(($($name::decode(input)?,)+))
+            }
+        }
+    };
+}
+
+wire_tuple!(A: 0, B: 1);
+wire_tuple!(A: 0, B: 1, C: 2);
+wire_tuple!(A: 0, B: 1, C: 2, D: 3);
+
+/// Encodes a value into a fresh buffer (sized exactly).
+pub fn to_bytes<T: Wire>(value: &T) -> Vec<u8> {
+    let mut out = Vec::with_capacity(value.wire_size());
+    value.encode(&mut out);
+    debug_assert_eq!(out.len(), value.wire_size(), "wire_size lied");
+    out
+}
+
+/// Decodes a value from a buffer, requiring the buffer be fully consumed.
+///
+/// # Errors
+///
+/// Fails on truncated or malformed input, or on trailing garbage.
+pub fn from_bytes<T: Wire>(mut input: &[u8]) -> io::Result<T> {
+    let v = T::decode(&mut input)?;
+    if !input.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("wire: {} trailing bytes after value", input.len()),
+        ));
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = to_bytes(&v);
+        assert_eq!(bytes.len(), v.wire_size());
+        assert_eq!(from_bytes::<T>(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(0xABu8);
+        round_trip(0xBEEFu16);
+        round_trip(0xDEAD_BEEFu32);
+        round_trip(u64::MAX);
+        round_trip(-5i32);
+        round_trip(1.5f32);
+        round_trip(-0.25f64);
+        round_trip(true);
+        round_trip(false);
+        round_trip(());
+    }
+
+    #[test]
+    fn compounds_round_trip() {
+        round_trip(Some(7u32));
+        round_trip(Option::<u32>::None);
+        round_trip(vec![1u64, 2, 3]);
+        round_trip(Vec::<u8>::new());
+        round_trip((1u32, true));
+        round_trip((1u8, 2u16, 3u32));
+        round_trip([1u64, 2, 3, 4]);
+        round_trip((Some(3u32), Option::<u32>::None));
+    }
+
+    #[test]
+    fn truncated_input_is_eof() {
+        let bytes = to_bytes(&0xAABBCCDDu32);
+        let err = from_bytes::<u32>(&bytes[..2]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = to_bytes(&1u8);
+        bytes.push(99);
+        let err = from_bytes::<u8>(&bytes).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn invalid_bool_rejected() {
+        let err = from_bytes::<bool>(&[2]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn corrupt_vec_length_does_not_alloc_unbounded() {
+        // Length claims u32::MAX elements; must error, not OOM.
+        let bytes = to_bytes(&u32::MAX);
+        let err = from_bytes::<Vec<u64>>(&bytes).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+}

@@ -1,0 +1,39 @@
+//! Property tests for the `Wire` codec round-trip contract.
+
+use knightking_net::{from_bytes, to_bytes, Wire};
+use proptest::prelude::*;
+
+fn round_trip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+    let bytes = to_bytes(&v);
+    assert_eq!(bytes.len(), v.wire_size(), "wire_size must be exact");
+    assert_eq!(from_bytes::<T>(&bytes).unwrap(), v);
+}
+
+proptest! {
+    #[test]
+    fn prop_u64_round_trip(v: u64) {
+        round_trip(v);
+    }
+
+    #[test]
+    fn prop_f64_round_trip(v in proptest::num::f64::NORMAL | proptest::num::f64::ZERO) {
+        round_trip(v);
+    }
+
+    #[test]
+    fn prop_vec_round_trip(v: Vec<u32>) {
+        round_trip(v);
+    }
+
+    #[test]
+    fn prop_nested_round_trip(v: Vec<(u64, Option<u32>)>) {
+        round_trip(v);
+    }
+
+    #[test]
+    fn prop_decode_never_panics_on_garbage(bytes: Vec<u8>) {
+        // Arbitrary input must produce a value or an error — never panic.
+        let _ = from_bytes::<Vec<(u64, Option<u32>, bool)>>(&bytes);
+        let _ = from_bytes::<Option<u64>>(&bytes);
+    }
+}

@@ -100,6 +100,25 @@ impl DeterministicRng {
         DeterministicRng::new(stream_mixer.next_u64())
     }
 
+    /// Exposes the raw 256-bit state, for serializing an in-flight
+    /// generator (e.g. a walker migrating between OS processes).
+    #[inline]
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a previously captured [`state`].
+    ///
+    /// Only meaningful for states obtained from `state()`: an all-zero
+    /// state is a fixed point of xoshiro and is rejected in debug builds.
+    ///
+    /// [`state`]: DeterministicRng::state
+    #[inline]
+    pub fn from_state(s: [u64; 4]) -> Self {
+        debug_assert!(s != [0, 0, 0, 0], "all-zero xoshiro state");
+        DeterministicRng { s }
+    }
+
     /// Returns the next 64-bit output.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
@@ -259,6 +278,18 @@ mod tests {
         let mut rng = DeterministicRng::new(2);
         for _ in 0..100 {
             assert_eq!(rng.next_bounded(1), 0);
+        }
+    }
+
+    #[test]
+    fn state_round_trip_resumes_stream() {
+        let mut a = DeterministicRng::new(123);
+        for _ in 0..10 {
+            a.next_u64();
+        }
+        let mut b = DeterministicRng::from_state(a.state());
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
         }
     }
 

@@ -16,7 +16,7 @@
 //! trials all miss and the engine's exact full-scan fallback detects the
 //! zero probability mass and terminates the walk (§2.2).
 
-use knightking_core::{CsrGraph, EdgeView, VertexId, Walker, WalkerProgram};
+use knightking_core::{CsrGraph, EdgeView, VertexId, Walker, WalkerProgram, Wire};
 use knightking_graph::EdgeTypeId;
 use knightking_sampling::DeterministicRng;
 
@@ -25,6 +25,20 @@ use knightking_sampling::DeterministicRng;
 pub struct MetaPathState {
     /// Index into [`MetaPath::schemes`].
     pub scheme: u32,
+}
+
+impl Wire for MetaPathState {
+    fn wire_size(&self) -> usize {
+        self.scheme.wire_size()
+    }
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.scheme.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> std::io::Result<Self> {
+        Ok(MetaPathState {
+            scheme: u32::decode(input)?,
+        })
+    }
 }
 
 /// The Meta-path walk program.

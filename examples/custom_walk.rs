@@ -19,6 +19,22 @@ struct Stats {
     triangles_closed: u32,
 }
 
+// Custom walker state needs a wire encoding so walkers can migrate
+// between processes on the TCP transport.
+impl Wire for Stats {
+    fn wire_size(&self) -> usize {
+        self.triangles_closed.wire_size()
+    }
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.triangles_closed.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> std::io::Result<Self> {
+        Ok(Stats {
+            triangles_closed: u32::decode(input)?,
+        })
+    }
+}
+
 struct TriangleWalk {
     /// Preference multiplier for triangle-closing candidates.
     boost: f64,

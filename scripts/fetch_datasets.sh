@@ -13,8 +13,31 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+CHECKSUMS="scripts/dataset_checksums.sha256"
+
 mkdir -p datasets
 cargo build --release --bin kk
+
+# Verifies one file against its pinned digest in $CHECKSUMS. Returns 0 on
+# a match, 1 on a mismatch or a missing file; unpinned files warn and
+# pass (so adding a new dataset doesn't require a digest up front).
+verify() {
+  local file="$1"
+  local expected actual
+  expected=$(awk -v f="$file" '$2 == f { print $1 }' "$CHECKSUMS" 2>/dev/null || true)
+  if [ -z "$expected" ]; then
+    echo "$file: no pinned checksum — add one to $CHECKSUMS" >&2
+    return 0
+  fi
+  [ -f "$file" ] || return 1
+  actual=$(sha256sum "$file" | awk '{ print $1 }')
+  if [ "$actual" != "$expected" ]; then
+    echo "$file: checksum mismatch" >&2
+    echo "  expected $expected" >&2
+    echo "  actual   $actual" >&2
+    return 1
+  fi
+}
 
 fetch() {
   local name="$1" url="$2"
@@ -23,12 +46,24 @@ fetch() {
     echo "$name: already converted"
     return
   fi
-  echo "$name: downloading $url"
-  curl -L --fail -o "$gz" "$url"
-  gunzip -f "$gz"
+  # Skip the (possibly multi-GB) download when a verified archive is
+  # already on disk; refuse to convert one that fails verification.
+  if [ -f "$gz" ] && verify "$gz"; then
+    echo "$name: archive already downloaded and verified"
+  else
+    echo "$name: downloading $url"
+    curl -L --fail -o "$gz" "$url"
+    if ! verify "$gz"; then
+      echo "$name: downloaded archive failed SHA-256 verification — truncated" >&2
+      echo "download or upstream change; delete $gz and retry" >&2
+      exit 1
+    fi
+  fi
+  gunzip -kf "$gz"
   # SNAP edge lists are directed with '#' comments; the paper uses the
   # undirected version, which `kk convert` produces by default.
   ./target/release/kk convert --input "$txt" --output "$kkg"
+  rm -f "$txt"
   ./target/release/kk stats --graph "$kkg"
 }
 

@@ -13,10 +13,12 @@
 //! edge list.
 
 use std::collections::HashMap;
+use std::net::SocketAddr;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use knightking::graph::{binfmt, gen, io as gio};
+use knightking::net::reserve_loopback_addrs;
 use knightking::prelude::*;
 use knightking::walks::analysis;
 
@@ -192,7 +194,24 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_walk(args: &Args) -> Result<(), String> {
+/// Runs one engine either in-process (`transport: None`) or as one rank
+/// of a multi-process cluster. Returns `None` on non-leader ranks, which
+/// have nothing to report or write.
+fn run_engine<P: WalkerProgram>(
+    graph: &CsrGraph,
+    program: P,
+    cfg: WalkConfig,
+    starts: WalkerStarts,
+    transport: Option<&mut TcpTransport>,
+) -> Option<WalkResult> {
+    let engine = RandomWalkEngine::new(graph, program, cfg);
+    match transport {
+        None => Some(engine.run(starts)),
+        Some(t) => engine.run_distributed(t, starts),
+    }
+}
+
+fn cmd_walk(args: &Args, transport: Option<&mut TcpTransport>) -> Result<(), String> {
     let graph = load_graph(
         args.require("graph")?,
         args.has("weighted"),
@@ -201,7 +220,20 @@ fn cmd_walk(args: &Args) -> Result<(), String> {
     )?;
     let algo = args.require("algo")?;
     let length: u32 = args.parse_num("length", 80)?;
-    let nodes: usize = args.parse_num("nodes", 1)?;
+    let nodes: usize = match &transport {
+        // The cluster decides the node count; `--nodes` in the walk args
+        // must agree with it when present (SPMD: every rank parses the
+        // same command line, so this check is uniform).
+        Some(t) => {
+            let n = t.world_size();
+            let flag: usize = args.parse_num("nodes", n)?;
+            if flag != n {
+                return Err(format!("--nodes {flag} disagrees with the {n}-process cluster"));
+            }
+            n
+        }
+        None => args.parse_num("nodes", 1)?,
+    };
     let seed: u64 = args.parse_num("seed", 1)?;
 
     let starts = match args.get("walkers") {
@@ -213,32 +245,37 @@ fn cmd_walk(args: &Args) -> Result<(), String> {
     cfg.profile = args.get("profile").is_some();
 
     let engine_result = match algo {
-        "deepwalk" => RandomWalkEngine::new(&graph, DeepWalk::new(length), cfg).run(starts),
+        "deepwalk" => run_engine(&graph, DeepWalk::new(length), cfg, starts, transport),
         "ppr" => {
             let pt: f64 = args.parse_num("pt", 1.0 / 80.0)?;
-            RandomWalkEngine::new(&graph, Ppr::new(pt), cfg).run(starts)
+            run_engine(&graph, Ppr::new(pt), cfg, starts, transport)
         }
         "node2vec" => {
             let p: f64 = args.parse_num("p", 2.0)?;
             let q: f64 = args.parse_num("q", 0.5)?;
-            RandomWalkEngine::new(&graph, Node2Vec::new(p, q, length), cfg).run(starts)
+            run_engine(&graph, Node2Vec::new(p, q, length), cfg, starts, transport)
         }
         "metapath" => {
             let mp = knightking::walks::MetaPath::paper(seed);
-            RandomWalkEngine::new(&graph, mp, cfg).run(starts)
+            run_engine(&graph, mp, cfg, starts, transport)
         }
         "rwr" => {
             let c: f64 = args.parse_num("restart", 0.15)?;
-            RandomWalkEngine::new(&graph, Rwr::new(c, length), cfg).run(starts)
+            run_engine(&graph, Rwr::new(c, length), cfg, starts, transport)
         }
         "nobacktrack" => {
-            RandomWalkEngine::new(&graph, NonBacktracking::new(length), cfg).run(starts)
+            run_engine(&graph, NonBacktracking::new(length), cfg, starts, transport)
         }
         other => {
             return Err(format!(
                 "unknown --algo {other} (deepwalk|ppr|node2vec|metapath|rwr|nobacktrack)"
             ))
         }
+    };
+    // Non-leader cluster ranks contributed their fragments to rank 0 and
+    // are done.
+    let Some(engine_result) = engine_result else {
+        return Ok(());
     };
 
     eprintln!(
@@ -357,6 +394,132 @@ fn cmd_embed(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `kk cluster [--nodes N | --hostfile F --rank R] [--epoch E] -- walk ...`
+///
+/// Two modes share one entry point:
+///
+/// * **Launcher** (no `--rank`): reserve N loopback ports, spawn N child
+///   processes of this same binary — each a worker with its rank — and
+///   wait for all of them. One laptop, real sockets.
+/// * **Worker** (`--rank R`): connect the TCP mesh and run the walk as
+///   rank R. With `--hostfile` listing one `host:port` per line this is
+///   the multi-machine mode: start the same command on every host,
+///   varying only `--rank`.
+fn cmd_cluster(cluster_args: &[String], walk_args: &[String]) -> Result<(), String> {
+    if walk_args.first().map(String::as_str) != Some("walk") {
+        return Err("cluster runs a walk: kk cluster ... -- walk ...".to_string());
+    }
+    let args = Args::parse(cluster_args, &[])?;
+    match args.get("rank") {
+        None => cluster_launch(&args, walk_args),
+        Some(_) => cluster_worker(&args, walk_args),
+    }
+}
+
+/// Parses the worker's peer list: inline `--peers a:1,b:2` or a
+/// `--hostfile` with one address per line (`#` comments allowed).
+fn parse_peers(args: &Args) -> Result<Vec<SocketAddr>, String> {
+    let entries: Vec<String> = if let Some(list) = args.get("peers") {
+        list.split(',').map(str::to_string).collect()
+    } else if let Some(path) = args.get("hostfile") {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("reading hostfile {path}: {e}"))?;
+        text.lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .map(str::to_string)
+            .collect()
+    } else {
+        return Err("worker needs --peers or --hostfile".to_string());
+    };
+    entries
+        .iter()
+        .map(|e| {
+            e.parse()
+                .map_err(|_| format!("bad peer address {e:?} (want host:port)"))
+        })
+        .collect()
+}
+
+/// Launcher mode: spawn `--nodes` workers on loopback and reap them.
+fn cluster_launch(args: &Args, walk_args: &[String]) -> Result<(), String> {
+    let nodes: usize = args.parse_num("nodes", 4)?;
+    if nodes == 0 {
+        return Err("--nodes must be at least 1".to_string());
+    }
+    let addrs = reserve_loopback_addrs(nodes).map_err(|e| format!("reserving ports: {e}"))?;
+    let peers = addrs
+        .iter()
+        .map(|a| a.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    // A fresh epoch per launch keeps stragglers from a previous run (or a
+    // concurrent one) out of this mesh.
+    let epoch = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(1)
+        ^ u64::from(std::process::id());
+    let exe = std::env::current_exe().map_err(|e| format!("locating kk binary: {e}"))?;
+
+    let mut children = Vec::with_capacity(nodes);
+    for rank in 0..nodes {
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg("cluster")
+            .args(["--rank", &rank.to_string()])
+            .args(["--nodes", &nodes.to_string()])
+            .args(["--peers", &peers])
+            .args(["--epoch", &epoch.to_string()])
+            .arg("--")
+            .args(walk_args);
+        if rank != 0 {
+            // Only the leader reports results; silencing follower stdout
+            // keeps `kk cluster ... | sort` and friends sane.
+            cmd.stdout(std::process::Stdio::null());
+        }
+        let child = cmd
+            .spawn()
+            .map_err(|e| format!("spawning worker {rank}: {e}"))?;
+        children.push((rank, child));
+    }
+
+    let mut failed = Vec::new();
+    for (rank, mut child) in children {
+        match child.wait() {
+            Ok(status) if status.success() => {}
+            Ok(status) => failed.push(format!("worker {rank} exited with {status}")),
+            Err(e) => failed.push(format!("waiting for worker {rank}: {e}")),
+        }
+    }
+    if failed.is_empty() {
+        Ok(())
+    } else {
+        Err(failed.join("; "))
+    }
+}
+
+/// Worker mode: join the TCP mesh as `--rank` and run the walk.
+fn cluster_worker(args: &Args, walk_args: &[String]) -> Result<(), String> {
+    let rank: usize = args.parse_num("rank", 0)?;
+    let epoch: u64 = args.parse_num("epoch", 0)?;
+    let peers = parse_peers(args)?;
+    if rank >= peers.len() {
+        return Err(format!("--rank {rank} out of range for {} peers", peers.len()));
+    }
+    if args.get("nodes").is_some() {
+        let n: usize = args.parse_num("nodes", peers.len())?;
+        if n != peers.len() {
+            return Err(format!("--nodes {n} but peer list has {} entries", peers.len()));
+        }
+    }
+    let mut transport = TcpTransport::establish(TcpConfig::new(rank, peers, epoch))
+        .map_err(|e| format!("rank {rank}: establishing cluster: {e}"))?;
+
+    let bool_flags = ["weighted", "typed", "directed", "stats"];
+    let wargs = Args::parse(&walk_args[1..], &bool_flags)?;
+    cmd_walk(&wargs, Some(&mut transport))
+}
+
 const USAGE: &str = "\
 kk — KnightKing random walk engine
 
@@ -370,6 +533,11 @@ USAGE:
               [--length N] [--p P] [--q Q] [--pt PT] [--restart C]
               [--walkers N|pervertex] [--nodes N] [--seed S]
               [--output paths.txt] [--stats] [--profile prof.jsonl]
+  kk cluster  [--nodes N] -- walk <walk args...>
+              spawn N local worker processes talking real TCP on loopback
+  kk cluster  --hostfile <file> --rank R [--epoch E] -- walk <walk args...>
+              join a multi-machine cluster as rank R (hostfile lists one
+              host:port per line; run the same command on every host)
   kk embed    --graph <file> [--p P] [--q Q] [--length N] [--dims D]
               [--window W] [--negatives K] [--epochs E] [--lr LR]
               [--nodes N] [--seed S] --output <embeddings.txt>
@@ -382,20 +550,28 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
     let bool_flags = ["weighted", "typed", "directed", "stats"];
-    let result = match Args::parse(rest, &bool_flags) {
-        Err(e) => Err(e),
-        Ok(args) => match cmd.as_str() {
-            "generate" => cmd_generate(&args),
-            "convert" => cmd_convert(&args),
-            "stats" => cmd_stats(&args),
-            "walk" => cmd_walk(&args),
-            "embed" => cmd_embed(&args),
-            "help" | "--help" | "-h" => {
-                print!("{USAGE}");
-                Ok(())
-            }
-            other => Err(format!("unknown command {other}")),
-        },
+    let result = if cmd == "cluster" {
+        // `--` separates cluster flags from the walk invocation.
+        match rest.iter().position(|a| a == "--") {
+            Some(i) => cmd_cluster(&rest[..i], &rest[i + 1..]),
+            None => Err("cluster needs `-- walk ...` after its flags".to_string()),
+        }
+    } else {
+        match Args::parse(rest, &bool_flags) {
+            Err(e) => Err(e),
+            Ok(args) => match cmd.as_str() {
+                "generate" => cmd_generate(&args),
+                "convert" => cmd_convert(&args),
+                "stats" => cmd_stats(&args),
+                "walk" => cmd_walk(&args, None),
+                "embed" => cmd_embed(&args),
+                "help" | "--help" | "-h" => {
+                    print!("{USAGE}");
+                    Ok(())
+                }
+                other => Err(format!("unknown command {other}")),
+            },
+        }
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

@@ -16,6 +16,9 @@
 //! * [`cluster`] — the simulated distributed runtime: all-to-all message
 //!   exchange, BSP collectives, chunked scheduling with light mode
 //!   ([`knightking_cluster`]).
+//! * [`net`] — the pluggable transport layer: the [`Transport`] trait the
+//!   engine's collectives run on, the dependency-free [`Wire`] codec, and
+//!   a real TCP backend for multi-process clusters ([`knightking_net`]).
 //! * [`core`] — the engine: [`WalkerProgram`] API, rejection sampling
 //!   with lower-bound pre-acceptance and outlier folding, the two-round
 //!   state query protocol for second-order walks ([`knightking_core`]).
@@ -53,12 +56,13 @@ pub use knightking_baseline as baseline;
 pub use knightking_cluster as cluster;
 pub use knightking_core as core;
 pub use knightking_graph as graph;
+pub use knightking_net as net;
 pub use knightking_sampling as sampling;
 pub use knightking_walks as walks;
 
 pub use knightking_core::{
-    NoopObserver, RandomWalkEngine, WalkConfig, WalkMetrics, WalkObserver, WalkResult, Walker,
-    WalkerProgram, WalkerStarts,
+    NoopObserver, RandomWalkEngine, Transport, WalkConfig, WalkMetrics, WalkObserver, WalkResult,
+    Walker, WalkerProgram, WalkerStarts, Wire,
 };
 
 /// One-stop imports for applications.
@@ -66,10 +70,11 @@ pub mod prelude {
     pub use knightking_baseline::{FullScanRunner, GeminiConfig, GeminiEngine};
     pub use knightking_core::{
         CsrGraph, DeterministicRng, EdgeView, NoopObserver, OutlierSlot, RandomWalkEngine,
-        VertexId, WalkConfig, WalkMetrics, WalkObserver, WalkResult, Walker, WalkerProgram,
-        WalkerStarts,
+        Transport, VertexId, WalkConfig, WalkMetrics, WalkObserver, WalkResult, Walker,
+        WalkerProgram, WalkerStarts, Wire,
     };
     pub use knightking_graph::{gen, io, GraphBuilder, Partition};
+    pub use knightking_net::{TcpConfig, TcpTransport};
     pub use knightking_walks::{
         DeepWalk, IndexedNode2Vec, MetaPath, Node2Vec, NonBacktracking, Ppr, Rwr,
     };

@@ -1,0 +1,124 @@
+//! Multi-process cluster tests: `kk cluster` spawns real OS processes
+//! talking TCP on loopback, and their merged output must be byte-for-byte
+//! what the in-process simulation produces from the same seed.
+
+use std::path::PathBuf;
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+fn kk() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_kk"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("kk_cluster_tests");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir.join(name)
+}
+
+fn generate(graph: &PathBuf, scale: &str, seed: &str) {
+    let out = kk()
+        .args(["generate", "--kind", "twitter", "--scale", scale])
+        .args(["--weighted", "--seed", seed])
+        .args(["--output", graph.to_str().unwrap()])
+        .output()
+        .expect("run kk generate");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn four_process_tcp_walk_matches_in_process_byte_for_byte() {
+    let graph = tmp("equiv.kkg");
+    let in_proc = tmp("equiv_in_proc.txt");
+    let tcp = tmp("equiv_tcp.txt");
+    generate(&graph, "10", "5");
+
+    let walk_args = |output: &PathBuf| {
+        vec![
+            "walk".to_string(),
+            "--graph".to_string(),
+            graph.to_str().unwrap().to_string(),
+            "--algo".to_string(),
+            "node2vec".to_string(),
+            "--p".to_string(),
+            "2".to_string(),
+            "--q".to_string(),
+            "0.5".to_string(),
+            "--length".to_string(),
+            "20".to_string(),
+            "--walkers".to_string(),
+            "500".to_string(),
+            "--nodes".to_string(),
+            "4".to_string(),
+            "--seed".to_string(),
+            "7".to_string(),
+            "--output".to_string(),
+            output.to_str().unwrap().to_string(),
+        ]
+    };
+
+    let out = kk()
+        .args(walk_args(&in_proc))
+        .output()
+        .expect("run in-process walk");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let started = Instant::now();
+    let out = kk()
+        .args(["cluster", "--nodes", "4", "--"])
+        .args(walk_args(&tcp))
+        .output()
+        .expect("run kk cluster");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(120),
+        "cluster run took {:?}",
+        started.elapsed()
+    );
+
+    let a = std::fs::read(&in_proc).expect("in-process output");
+    let b = std::fs::read(&tcp).expect("tcp output");
+    assert!(!a.is_empty(), "in-process run wrote no paths");
+    assert_eq!(a, b, "TCP cluster output diverged from in-process run");
+}
+
+#[test]
+fn cluster_worker_failure_fails_the_launch() {
+    let graph = tmp("fail.kkg");
+    generate(&graph, "8", "9");
+
+    // A bad algorithm makes every worker exit nonzero after the mesh is
+    // up; the launcher must report failure, not hang or mask it.
+    let out = kk()
+        .args(["cluster", "--nodes", "2", "--", "walk"])
+        .args(["--graph", graph.to_str().unwrap()])
+        .args(["--algo", "no-such-algo"])
+        .output()
+        .expect("run kk cluster");
+    assert!(!out.status.success(), "launcher must propagate worker failure");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("worker"), "{stderr}");
+}
+
+#[test]
+fn cluster_requires_a_walk_invocation() {
+    let out = kk()
+        .args(["cluster", "--nodes", "2"])
+        .output()
+        .expect("run kk cluster");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("-- walk"), "{stderr}");
+}

@@ -148,6 +148,117 @@ fn queries_route_correctly_under_many_nodes() {
     assert_eq!(a, b);
 }
 
+/// A fixed-length walk with a poison pill: one walker panics at a chosen
+/// step, on whichever node owns it at that moment — mid-superstep while
+/// the other nodes are inside exchanges and barriers.
+#[derive(Clone, Copy)]
+struct PanicAt {
+    fail_step: u32,
+}
+
+impl WalkerProgram for PanicAt {
+    type Data = ();
+    type Query = ();
+    type Answer = ();
+    fn init_data(&self, _id: u64, _start: VertexId) {}
+    fn should_terminate(&self, w: &mut Walker<()>) -> bool {
+        assert!(
+            !(w.id == 7 && w.step == self.fail_step),
+            "injected mid-superstep failure"
+        );
+        w.step >= 20
+    }
+}
+
+#[test]
+fn in_process_panic_mid_superstep_propagates_instead_of_hanging() {
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    // Watchdog: the failure mode under test is a deadlock (three nodes
+    // spinning on a barrier the fourth will never reach), so the engine
+    // run lives in its own thread and the test asserts it *finishes*.
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let g = gen::uniform_degree(200, 8, gen::GenOptions::seeded(140));
+        let result = std::panic::catch_unwind(|| {
+            RandomWalkEngine::new(&g, PanicAt { fail_step: 5 }, WalkConfig::with_nodes(4, 141))
+                .run(WalkerStarts::Count(100))
+        });
+        let msg = match result {
+            Ok(_) => "run unexpectedly succeeded".to_string(),
+            Err(payload) => payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_default(),
+        };
+        let _ = tx.send(msg);
+    });
+    match rx.recv_timeout(Duration::from_secs(60)) {
+        Ok(msg) => assert!(
+            msg.contains("injected mid-superstep failure"),
+            "expected the injected panic to propagate, got: {msg}"
+        ),
+        Err(_) => panic!("engine hung after a mid-superstep panic"),
+    }
+}
+
+#[test]
+fn tcp_peer_crash_fails_peer_collectives_instead_of_hanging() {
+    use knightking::net::reserve_loopback_addrs;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    let peers = reserve_loopback_addrs(3).unwrap();
+    let (tx, rx) = mpsc::channel();
+    for rank in 0..3usize {
+        let peers = peers.clone();
+        let tx = tx.clone();
+        std::thread::spawn(move || {
+            let mut cfg = TcpConfig::new(rank, peers, 0xDEAD);
+            cfg.connect_deadline = Duration::from_secs(10);
+            let mut t = TcpTransport::establish(cfg).expect("establish");
+            Transport::<u64>::barrier(&mut t);
+            let outcome = if rank == 1 {
+                // Simulated crash: drop the transport mid-run. Its Drop
+                // closes the sockets, which is exactly what an aborting
+                // process does.
+                drop(t);
+                "crashed".to_string()
+            } else {
+                // The survivors' next collective must fail promptly with
+                // a diagnosable error, not block forever.
+                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    Transport::<u64>::barrier(&mut t);
+                    Transport::<u64>::allreduce_sum(&mut t, 1)
+                }));
+                match r {
+                    Ok(_) => "collective unexpectedly succeeded".to_string(),
+                    Err(payload) => payload
+                        .downcast_ref::<String>()
+                        .cloned()
+                        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                        .unwrap_or_default(),
+                }
+            };
+            let _ = tx.send((rank, outcome));
+        });
+    }
+    drop(tx);
+    for _ in 0..3 {
+        let (rank, outcome) = rx
+            .recv_timeout(Duration::from_secs(60))
+            .expect("a rank hung after the peer crash");
+        if rank != 1 {
+            assert!(
+                outcome.contains("lost connection to rank 1"),
+                "rank {rank}: {outcome}"
+            );
+        }
+    }
+}
+
 #[test]
 fn observer_aggregation_matches_paths_across_node_counts() {
     use knightking::WalkObserver;

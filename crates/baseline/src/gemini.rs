@@ -374,7 +374,10 @@ impl<'g, S: BaselineSpec> GeminiEngine<'g, S> {
 
             // Exchange 1: sampling requests to mirrors.
             let mut reqs: Vec<(Walker<S::Data>, u32)> = Vec::new();
-            for msg in ctx.exchange_with_stats(outbox, gmsg_wire_bytes::<S::Data>).0 {
+            for msg in ctx
+                .exchange_with_stats(outbox, gmsg_wire_bytes::<S::Data>)
+                .0
+            {
                 match msg {
                     GMsg::Req(w, r) => reqs.push((w, r)),
                     GMsg::Move(..) => unreachable!("no moves in the request round"),
@@ -448,7 +451,10 @@ impl<'g, S: BaselineSpec> GeminiEngine<'g, S> {
             }
 
             // Exchange 2: walkers relocate to their (new) masters.
-            for msg in ctx.exchange_with_stats(outbox, gmsg_wire_bytes::<S::Data>).0 {
+            for msg in ctx
+                .exchange_with_stats(outbox, gmsg_wire_bytes::<S::Data>)
+                .0
+            {
                 match msg {
                     GMsg::Move(walker, retries) => walkers.push(GWalker { walker, retries }),
                     GMsg::Req(..) => unreachable!("no requests in the move round"),

@@ -1,0 +1,113 @@
+//! Serving latency under offered load: closed-loop clients fire walk
+//! requests at an in-process resident service and we report per-request
+//! p50/p99 latency and throughput.
+//!
+//! This is the serving-mode counterpart of the batch throughput tables —
+//! the number that matters for a resident service is not aggregate
+//! steps/second but how long *one* query waits behind the others.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::thread;
+use std::time::Instant;
+
+use knightking_bench::{graphs::StandIn, HarnessOpts, Table};
+use knightking_core::WalkConfig;
+use knightking_obs::Pow2Histogram;
+use knightking_serve::{ServiceConfig, StartSpec, Status, WalkRequest, WalkService};
+use knightking_walks::Node2Vec;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let scale = opts.effective_scale(12);
+    let graph = StandIn::Twitter.build(scale, false, false);
+    let (requests_per_client, walkers_per_request) = if opts.quick { (4, 8) } else { (32, 64) };
+    println!(
+        "Serving latency (Twitter stand-in, scale {scale}, {} nodes, node2vec p=2 q=0.5 len=20)\n",
+        opts.nodes
+    );
+
+    let mut table = Table::new(&[
+        "clients", "requests", "ok", "rejected", "p50 (ms)", "p99 (ms)", "max (ms)", "req/s",
+    ]);
+
+    for clients in [1usize, 4, 16] {
+        let (service, handle) = WalkService::new(ServiceConfig {
+            // Enough queue for the burst: this sweep measures queueing
+            // delay, not rejection behavior (rejections still count).
+            queue_capacity: clients * requests_per_client,
+            ..ServiceConfig::default()
+        });
+
+        let hist = Mutex::new(Pow2Histogram::default());
+        let ok = AtomicU64::new(0);
+        let rejected = AtomicU64::new(0);
+        let t0 = Instant::now();
+
+        thread::scope(|scope| {
+            for c in 0..clients {
+                let client = handle.clone();
+                let hist = &hist;
+                let ok = &ok;
+                let rejected = &rejected;
+                scope.spawn(move || {
+                    for r in 0..requests_per_client {
+                        let sent = Instant::now();
+                        let rx = client.submit(WalkRequest {
+                            seed: (c * requests_per_client + r) as u64,
+                            starts: StartSpec::Count(walkers_per_request),
+                            deadline_ms: 0,
+                        });
+                        let resp = rx.recv().expect("service dropped the responder");
+                        match resp.status {
+                            Status::Ok => {
+                                ok.fetch_add(1, Ordering::Relaxed);
+                                let us = sent.elapsed().as_micros() as u64;
+                                let mut h = hist.lock().unwrap();
+                                h.record(us);
+                            }
+                            Status::Rejected { .. } => {
+                                rejected.fetch_add(1, Ordering::Relaxed);
+                            }
+                            other => panic!("unexpected status: {other:?}"),
+                        }
+                    }
+                    // Last client out closes the service.
+                });
+            }
+            // Closers: when every client thread in this scope finishes,
+            // shut the service down so `run` below returns.
+            let closer = handle.clone();
+            let total = (clients * requests_per_client) as u64;
+            let ok = &ok;
+            let rejected = &rejected;
+            scope.spawn(move || {
+                while ok.load(Ordering::Relaxed) + rejected.load(Ordering::Relaxed) < total {
+                    thread::sleep(std::time::Duration::from_millis(5));
+                }
+                closer.shutdown();
+            });
+
+            let mut cfg = WalkConfig::with_nodes(opts.nodes, 999);
+            cfg.record_paths = true;
+            service.run(&graph, Node2Vec::new(2.0, 0.5, 20), cfg);
+        });
+
+        let wall = t0.elapsed().as_secs_f64();
+        let h = hist.into_inner().unwrap();
+        let done = ok.load(Ordering::Relaxed);
+        table.row(&[
+            format!("{clients}"),
+            format!("{}", clients * requests_per_client),
+            format!("{done}"),
+            format!("{}", rejected.load(Ordering::Relaxed)),
+            format!("{:.2}", h.quantile(0.5) as f64 / 1000.0),
+            format!("{:.2}", h.quantile(0.99) as f64 / 1000.0),
+            format!("{:.2}", h.max() as f64 / 1000.0),
+            format!("{:.1}", done as f64 / wall),
+        ]);
+    }
+    table.print();
+
+    println!("\nlatency is end-to-end: queue wait + supersteps until the walk's last step");
+}

@@ -66,11 +66,10 @@ impl HarnessOpts {
                     };
                     match flag {
                         "--scale" => {
-                            opts.scale = Some(
-                                value
-                                    .parse()
-                                    .map_err(|_| format!("--scale takes an integer, got {value:?}"))?,
-                            );
+                            opts.scale =
+                                Some(value.parse().map_err(|_| {
+                                    format!("--scale takes an integer, got {value:?}")
+                                })?);
                         }
                         "--nodes" => {
                             opts.nodes = value
@@ -139,7 +138,10 @@ impl HarnessOpts {
         use std::io::Write as _;
         out.flush()
             .unwrap_or_else(|e| panic!("writing profile to {}: {e}", path.display()));
-        println!("\n--- profile: {label} (appended to {}) ---", path.display());
+        println!(
+            "\n--- profile: {label} (appended to {}) ---",
+            path.display()
+        );
         print!("{}", profile.render_table());
     }
 }
@@ -356,7 +358,13 @@ mod tests {
     #[test]
     fn parse_accepts_all_flags() {
         let o = HarnessOpts::parse(&strs(&[
-            "--quick", "--scale", "12", "--nodes", "8", "--profile", "p.jsonl",
+            "--quick",
+            "--scale",
+            "12",
+            "--nodes",
+            "8",
+            "--profile",
+            "p.jsonl",
         ]))
         .unwrap();
         assert!(o.quick);

@@ -100,6 +100,8 @@ struct Shared<M> {
     reduce: Vec<AtomicU64>,
     /// Per-node staging for `gather_bytes` (leader-side result collection).
     gather: Vec<Mutex<Vec<u8>>>,
+    /// Staging for `broadcast_bytes` (leader writes, everyone reads).
+    bcast: Mutex<Vec<u8>>,
     /// Run-wide communication metrics.
     metrics: ClusterMetrics,
 }
@@ -114,6 +116,7 @@ impl<M> Shared<M> {
             barrier: SpinBarrier::new(n_nodes),
             reduce: (0..n_nodes).map(|_| AtomicU64::new(0)).collect(),
             gather: (0..n_nodes).map(|_| Mutex::new(Vec::new())).collect(),
+            bcast: Mutex::new(Vec::new()),
             metrics: ClusterMetrics::new(n_nodes),
         }
     }
@@ -271,6 +274,31 @@ impl<'a, M: Send> NodeCtx<'a, M> {
         // the leader is still draining the staging slots.
         self.shared.barrier.wait();
         out
+    }
+
+    /// Broadcasts one opaque byte payload from the leader to every node
+    /// (`MPI_Bcast` from node 0).
+    ///
+    /// The leader's `payload` is returned on every node (the leader gets
+    /// its own bytes back untouched); non-leader payloads are ignored and
+    /// should be empty.
+    pub fn broadcast_bytes(&self, payload: Vec<u8>) -> Vec<u8> {
+        if self.node == 0 {
+            *lock(&self.shared.bcast) = payload;
+        }
+        self.shared.barrier.wait();
+        let copy = if self.node == 0 {
+            None
+        } else {
+            Some(lock(&self.shared.bcast).clone())
+        };
+        // Keep the leader from reclaiming (or restaging) the slot while
+        // slow readers are still cloning it.
+        self.shared.barrier.wait();
+        match copy {
+            Some(bytes) => bytes,
+            None => std::mem::take(&mut *lock(&self.shared.bcast)),
+        }
     }
 
     /// Returns `true` on exactly one node (node 0); useful for one-shot
@@ -549,6 +577,37 @@ mod tests {
             assert_eq!(p, &vec![i as u8 + 2; i + 1], "node {i} payload");
         }
         assert!(results[1..].iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn broadcast_bytes_reaches_every_node() {
+        let results = run_cluster::<(), _, _>(4, |ctx| {
+            let mut got = Vec::new();
+            for round in 0..3u8 {
+                let payload = if ctx.is_leader() {
+                    vec![round; round as usize + 1]
+                } else {
+                    Vec::new()
+                };
+                got.push(ctx.broadcast_bytes(payload));
+            }
+            got
+        });
+        for (node, rounds) in results.iter().enumerate() {
+            for (round, bytes) in rounds.iter().enumerate() {
+                assert_eq!(
+                    bytes,
+                    &vec![round as u8; round + 1],
+                    "node {node} round {round}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_bytes_single_node_round_trips() {
+        let results = run_cluster::<(), _, _>(1, |ctx| ctx.broadcast_bytes(vec![1, 2, 3]));
+        assert_eq!(results, vec![vec![1, 2, 3]]);
     }
 
     #[test]

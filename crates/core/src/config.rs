@@ -1,6 +1,48 @@
 //! Engine configuration and walker placement.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
 use knightking_graph::VertexId;
+
+/// A cooperative cancellation flag for long batch runs.
+///
+/// Cloning shares the flag. When [`WalkConfig::cancel`] carries a token,
+/// the engine checks it once per superstep (as a collective, so every
+/// node agrees) and, once cancelled, stops iterating: walkers freeze
+/// where they are and the run finalizes normally — partial paths,
+/// metrics, and the obs profile are all still assembled and flushed.
+/// This is what lets `kk walk` turn SIGINT/SIGTERM into "drain and
+/// flush" instead of dropping buffered output on the floor.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Safe to call from any thread (including a
+    /// signal-watcher); idempotent.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// Tokens compare by identity: two tokens are equal when they share the
+/// same flag (`WalkConfig` derives `PartialEq` for config comparisons,
+/// and "same config" means "same cancellation scope").
+impl PartialEq for CancelToken {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
 
 /// Where walkers start (§5.2 "Initialization and termination").
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,27 +79,57 @@ impl WalkerStarts {
         WalkerStarts::Explicit((0..n).map(|_| cdf.sample(&mut rng) as VertexId).collect())
     }
 
+    /// Checks every start vertex against the graph bounds, naming the
+    /// first offending vertex instead of leaving the engine to hit a deep
+    /// index panic later.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first invalid start.
+    pub fn validate(&self, vertex_count: usize) -> Result<(), String> {
+        match self {
+            WalkerStarts::Count(n) => {
+                if vertex_count == 0 && *n > 0 {
+                    return Err(format!(
+                        "cannot start {n} walker(s): the graph has no vertices"
+                    ));
+                }
+            }
+            WalkerStarts::PerVertex => {}
+            WalkerStarts::Explicit(starts) => {
+                if let Some((i, &s)) = starts
+                    .iter()
+                    .enumerate()
+                    .find(|&(_, &s)| (s as usize) >= vertex_count)
+                {
+                    return Err(format!(
+                        "start vertex {s} (walker {i}) is out of range: the graph has \
+                         {vertex_count} vertices (valid ids are 0..={})",
+                        vertex_count.saturating_sub(1)
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Materializes the start vertex of every walker.
     ///
     /// # Panics
     ///
-    /// Panics if the graph is empty but walkers were requested.
+    /// Panics with the [`validate`](WalkerStarts::validate) message if any
+    /// start vertex is out of range (or the graph is empty but walkers
+    /// were requested).
     pub fn materialize(&self, vertex_count: usize) -> Vec<VertexId> {
+        if let Err(msg) = self.validate(vertex_count) {
+            panic!("{msg}");
+        }
         match self {
-            WalkerStarts::Count(n) => {
-                assert!(vertex_count > 0 || *n == 0, "no vertices to start from");
-                (0..*n)
-                    .map(|i| (i % vertex_count as u64) as VertexId)
-                    .collect()
-            }
+            WalkerStarts::Count(n) => (0..*n)
+                .map(|i| (i % vertex_count as u64) as VertexId)
+                .collect(),
             WalkerStarts::PerVertex => (0..vertex_count as VertexId).collect(),
-            WalkerStarts::Explicit(starts) => {
-                assert!(
-                    starts.iter().all(|&s| (s as usize) < vertex_count),
-                    "explicit start vertex out of range"
-                );
-                starts.clone()
-            }
+            WalkerStarts::Explicit(starts) => starts.clone(),
         }
     }
 }
@@ -107,6 +179,12 @@ pub struct WalkConfig {
     /// instrumentation is accumulated per chunk and merged in chunk order,
     /// like every other engine output.
     pub profile: bool,
+    /// Optional cooperative cancellation token (see [`CancelToken`]).
+    /// When set, the engine spends one extra allreduce per superstep to
+    /// agree on cancellation; when `None` the run pays nothing. The same
+    /// token must be configured on every node of a distributed run (the
+    /// check is a collective).
+    pub cancel: Option<CancelToken>,
 }
 
 impl WalkConfig {
@@ -129,6 +207,7 @@ impl WalkConfig {
             use_outliers: true,
             decoupled_static: true,
             profile: false,
+            cancel: None,
         }
     }
 
@@ -207,6 +286,31 @@ mod tests {
     #[test]
     fn zero_walkers_on_empty_graph_is_fine() {
         assert!(WalkerStarts::Count(0).materialize(0).is_empty());
+    }
+
+    #[test]
+    fn validate_names_the_offending_vertex() {
+        let err = WalkerStarts::Explicit(vec![0, 2, 9])
+            .validate(3)
+            .unwrap_err();
+        assert!(err.contains("start vertex 9"), "{err}");
+        assert!(err.contains("walker 2"), "{err}");
+        assert!(err.contains("3 vertices"), "{err}");
+        assert!(WalkerStarts::Explicit(vec![0, 2]).validate(3).is_ok());
+        assert!(WalkerStarts::Count(5).validate(0).is_err());
+        assert!(WalkerStarts::Count(0).validate(0).is_ok());
+        assert!(WalkerStarts::PerVertex.validate(0).is_ok());
+    }
+
+    #[test]
+    fn cancel_token_shares_state_across_clones() {
+        let t = CancelToken::new();
+        let t2 = t.clone();
+        assert!(!t2.is_cancelled());
+        t.cancel();
+        assert!(t2.is_cancelled());
+        assert_eq!(t, t2, "clones compare equal (same flag)");
+        assert_ne!(t, CancelToken::new(), "distinct tokens differ");
     }
 
     #[test]

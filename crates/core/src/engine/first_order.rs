@@ -17,7 +17,8 @@ use crate::{
 
 use super::{
     instrument::{NodeObs, Phase},
-    local_step, merge_accs, msg_wire_bytes, ChunkAcc, Msg, NodeRt, Slot, SlotState, StepOutcome,
+    local_step, merge_accs, msg_wire_bytes, ChunkAcc, FinishedWalk, Msg, NodeRt, Slot, SlotState,
+    StepOutcome,
 };
 
 /// Runs one first-order BSP iteration on this node.
@@ -28,6 +29,7 @@ pub(super) fn iteration<P: WalkerProgram, O: WalkObserver<P::Data>, T: Transport
     scheduler: &Scheduler,
     slots: &mut Vec<Slot<P>>,
     paths: &mut Vec<PathEntry>,
+    finished: &mut Vec<FinishedWalk>,
     metrics: &mut WalkMetrics,
     obs_acc: &mut O::Acc,
     prof: &mut NodeObs,
@@ -58,6 +60,11 @@ pub(super) fn iteration<P: WalkerProgram, O: WalkObserver<P::Data>, T: Transport
                             acc.metrics.finished_walkers += 1;
                             slot.state = SlotState::Finished;
                             acc.obs.walk_finished(slot.walker.step as u64);
+                            acc.finished.push(FinishedWalk {
+                                tag: slot.walker.tag,
+                                walker: slot.walker.id,
+                                steps: slot.walker.step,
+                            });
                         }
                         StepOutcome::Moved(dst) => {
                             rt.commit_move(slot, dst, acc);
@@ -73,12 +80,20 @@ pub(super) fn iteration<P: WalkerProgram, O: WalkObserver<P::Data>, T: Transport
             },
         )
     });
-    let outbox = merge_accs(rt.observer, accs, n, paths, metrics, obs_acc, prof);
+    let outbox = merge_accs(
+        rt.observer,
+        accs,
+        n,
+        paths,
+        finished,
+        metrics,
+        obs_acc,
+        prof,
+    );
 
-    let (inbox, stats) =
-        prof.time(Phase::Exchange, || {
-            ctx.exchange_with_stats(outbox, &msg_wire_bytes::<P>)
-        });
+    let (inbox, stats) = prof.time(Phase::Exchange, || {
+        ctx.exchange_with_stats(outbox, &msg_wire_bytes::<P>)
+    });
     prof.record_exchange_bytes(stats.sent_bytes);
     slots.retain(|s| matches!(s.state, SlotState::Active));
     for msg in inbox {

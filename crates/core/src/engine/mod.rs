@@ -22,6 +22,9 @@
 mod first_order;
 mod instrument;
 mod second_order;
+mod serve;
+
+pub use serve::{AdmitRequest, Directives, FinishedWalk, NoopDriver, ServeDelta, ServeDriver};
 
 use std::time::Instant;
 
@@ -203,6 +206,10 @@ pub(crate) struct FullScanState<A> {
 pub(crate) struct ChunkAcc<P: WalkerProgram, O: WalkObserver<P::Data>> {
     pub(crate) outbox: Vec<Vec<Msg<P>>>,
     pub(crate) paths: Vec<PathEntry>,
+    /// Walkers that terminated this iteration, tagged with the request
+    /// they belong to. Batch runs discard these; serve mode ships them to
+    /// the leader so it can complete requests.
+    pub(crate) finished: Vec<FinishedWalk>,
     pub(crate) metrics: WalkMetrics,
     /// Observer accumulator (chunk-local; merged at iteration end).
     pub(crate) obs_acc: O::Acc,
@@ -219,6 +226,7 @@ impl<P: WalkerProgram, O: WalkObserver<P::Data>> ChunkAcc<P, O> {
         ChunkAcc {
             outbox: (0..n_nodes).map(|_| Vec::new()).collect(),
             paths: Vec::new(),
+            finished: Vec::new(),
             metrics: WalkMetrics::default(),
             obs_acc: obs.make_acc(),
             obs: ChunkObs::new(obs_ctx),
@@ -631,10 +639,8 @@ impl<'g, P: WalkerProgram> RandomWalkEngine<'g, P> {
             None
         } else {
             if let Some(n0) = node_profiles.first_mut() {
-                n0.timers.add(
-                    Phase::Finalize,
-                    finalize_begin.elapsed().as_nanos() as u64,
-                );
+                n0.timers
+                    .add(Phase::Finalize, finalize_begin.elapsed().as_nanos() as u64);
                 n0.timers.flush_setup();
             }
             Some(knightking_obs::RunProfile {
@@ -719,8 +725,12 @@ impl<'g, P: WalkerProgram> RandomWalkEngine<'g, P> {
         let mut metrics = WalkMetrics::default();
         let mut active_series = Vec::new();
         let mut obs_acc = observer.make_acc();
+        // Batch runs don't route per-request completions anywhere; the
+        // scratch buffer just absorbs them each iteration.
+        let mut finished_scratch: Vec<FinishedWalk> = Vec::new();
         loop {
             metrics.iterations += 1;
+            finished_scratch.clear();
             if P::SECOND_ORDER {
                 second_order::iteration(
                     &rt,
@@ -728,6 +738,7 @@ impl<'g, P: WalkerProgram> RandomWalkEngine<'g, P> {
                     &scheduler,
                     &mut slots,
                     &mut paths,
+                    &mut finished_scratch,
                     &mut metrics,
                     &mut obs_acc,
                     &mut prof,
@@ -739,6 +750,7 @@ impl<'g, P: WalkerProgram> RandomWalkEngine<'g, P> {
                     &scheduler,
                     &mut slots,
                     &mut paths,
+                    &mut finished_scratch,
                     &mut metrics,
                     &mut obs_acc,
                     &mut prof,
@@ -749,6 +761,18 @@ impl<'g, P: WalkerProgram> RandomWalkEngine<'g, P> {
                 active_series.push(active);
             }
             prof.end_iteration();
+            // Cooperative cancellation is a collective: every node votes
+            // with its local token, so all nodes agree on the same
+            // superstep to stop at — walkers freeze and the run finalizes
+            // with whatever paths/metrics exist so far.
+            if let Some(token) = &cfg.cancel {
+                let cancelled = prof.time(Phase::Exchange, || {
+                    ctx.allreduce_sum(token.is_cancelled() as u64)
+                });
+                if cancelled > 0 {
+                    break;
+                }
+            }
             if active == 0 {
                 break;
             }
@@ -853,10 +877,8 @@ impl<'g, P: WalkerProgram> RandomWalkEngine<'g, P> {
             // encoding for the whole obs tree.
             let mut node_profile = out.profile;
             if let Some(n0) = node_profile.as_mut() {
-                n0.timers.add(
-                    Phase::Finalize,
-                    finalize_begin.elapsed().as_nanos() as u64,
-                );
+                n0.timers
+                    .add(Phase::Finalize, finalize_begin.elapsed().as_nanos() as u64);
                 n0.timers.flush_setup();
             }
             node_profile.map(|n0| knightking_obs::RunProfile {
@@ -881,11 +903,13 @@ impl<'g, P: WalkerProgram> RandomWalkEngine<'g, P> {
 /// Merges chunk accumulators into node-level buffers and returns the
 /// combined outbox. Chunk instrumentation is absorbed here too — in chunk
 /// order, so profiles inherit the scheduler's determinism contract.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn merge_accs<P: WalkerProgram, O: WalkObserver<P::Data>>(
     observer: &O,
     accs: Vec<ChunkAcc<P, O>>,
     n_nodes: usize,
     paths: &mut Vec<PathEntry>,
+    finished: &mut Vec<FinishedWalk>,
     metrics: &mut WalkMetrics,
     obs_acc: &mut O::Acc,
     prof: &mut NodeObs,
@@ -897,6 +921,7 @@ pub(crate) fn merge_accs<P: WalkerProgram, O: WalkObserver<P::Data>>(
             outbox[to].append(msgs);
         }
         paths.append(&mut acc.paths);
+        finished.append(&mut acc.finished);
         iter_metrics.merge(&acc.metrics);
         observer.merge(obs_acc, acc.obs_acc);
         prof.absorb(acc.obs);

@@ -35,8 +35,8 @@ use crate::{
 
 use super::{
     instrument::{NodeObs, Phase},
-    local_step, merge_accs, msg_wire_bytes, post_query, ChunkAcc, FullScanState, Msg, NodeRt,
-    Slot, SlotState, StepOutcome, FULL_SCAN_WINDOW,
+    local_step, merge_accs, msg_wire_bytes, post_query, ChunkAcc, FinishedWalk, FullScanState, Msg,
+    NodeRt, Slot, SlotState, StepOutcome, FULL_SCAN_WINDOW,
 };
 
 /// Runs one second-order BSP iteration on this node.
@@ -47,6 +47,7 @@ pub(super) fn iteration<P: WalkerProgram, O: WalkObserver<P::Data>, T: Transport
     scheduler: &Scheduler,
     slots: &mut Vec<Slot<P>>,
     paths: &mut Vec<PathEntry>,
+    finished: &mut Vec<FinishedWalk>,
     metrics: &mut WalkMetrics,
     obs_acc: &mut O::Acc,
     prof: &mut NodeObs,
@@ -85,7 +86,16 @@ pub(super) fn iteration<P: WalkerProgram, O: WalkObserver<P::Data>, T: Transport
             },
         )
     });
-    let outbox = merge_accs(rt.observer, accs, n, paths, metrics, obs_acc, prof);
+    let outbox = merge_accs(
+        rt.observer,
+        accs,
+        n,
+        paths,
+        finished,
+        metrics,
+        obs_acc,
+        prof,
+    );
 
     // ---- Exchange 1: queries out, early moves along for the ride. ----
     let (inbox, q_stats) = prof.time(Phase::QueryRound, || {
@@ -163,44 +173,53 @@ pub(super) fn iteration<P: WalkerProgram, O: WalkObserver<P::Data>, T: Transport
     // ---- Phase B (step 5): decide outcomes; movers move. ----
     let accs = prof.time(compute_phase, || {
         scheduler.run_chunks(
-        slots,
-        || ChunkAcc::new(n, rt.observer, obs_ctx),
-        |_base, slice, acc| {
-            for slot in slice.iter_mut() {
-                let answered = match &slot.state {
-                    SlotState::Awaiting {
-                        edge,
-                        y,
-                        answer: Some(a),
-                    } => Some((*edge, *y, *a)),
-                    SlotState::Awaiting { answer: None, .. } => {
-                        unreachable!("every posted query is answered in its iteration")
+            slots,
+            || ChunkAcc::new(n, rt.observer, obs_ctx),
+            |_base, slice, acc| {
+                for slot in slice.iter_mut() {
+                    let answered = match &slot.state {
+                        SlotState::Awaiting {
+                            edge,
+                            y,
+                            answer: Some(a),
+                        } => Some((*edge, *y, *a)),
+                        SlotState::Awaiting { answer: None, .. } => {
+                            unreachable!("every posted query is answered in its iteration")
+                        }
+                        _ => None,
+                    };
+                    if let Some((edge, y, a)) = answered {
+                        let view = rt.graph.edge(slot.walker.current, edge as usize);
+                        let pd = rt.pd(&slot.walker, view, Some(a), &mut acc.metrics);
+                        if y < pd {
+                            rt.commit_move(slot, view.dst, acc);
+                        } else {
+                            // Rejected: stuck at the current vertex until the
+                            // next iteration. Too many consecutive rejections
+                            // switch the walker to the exact full scan, which
+                            // both bounds the retry cost and guarantees
+                            // termination when the true probability mass is
+                            // zero.
+                            slot.stuck += 1;
+                            slot.state = SlotState::Active;
+                        }
+                    } else if matches!(slot.state, SlotState::FullScan(_)) {
+                        fold_scan_answers(rt, slot, acc);
                     }
-                    _ => None,
-                };
-                if let Some((edge, y, a)) = answered {
-                    let view = rt.graph.edge(slot.walker.current, edge as usize);
-                    let pd = rt.pd(&slot.walker, view, Some(a), &mut acc.metrics);
-                    if y < pd {
-                        rt.commit_move(slot, view.dst, acc);
-                    } else {
-                        // Rejected: stuck at the current vertex until the
-                        // next iteration. Too many consecutive rejections
-                        // switch the walker to the exact full scan, which
-                        // both bounds the retry cost and guarantees
-                        // termination when the true probability mass is
-                        // zero.
-                        slot.stuck += 1;
-                        slot.state = SlotState::Active;
-                    }
-                } else if matches!(slot.state, SlotState::FullScan(_)) {
-                    fold_scan_answers(rt, slot, acc);
                 }
-            }
-        },
+            },
         )
     });
-    let outbox = merge_accs(rt.observer, accs, n, paths, metrics, obs_acc, prof);
+    let outbox = merge_accs(
+        rt.observer,
+        accs,
+        n,
+        paths,
+        finished,
+        metrics,
+        obs_acc,
+        prof,
+    );
 
     // ---- Exchange 3: late moves. ----
     let (inbox, m_stats) = prof.time(Phase::Exchange, || {
@@ -242,6 +261,11 @@ fn phase_a_active<P: WalkerProgram, O: WalkObserver<P::Data>>(
             acc.metrics.finished_walkers += 1;
             slot.state = SlotState::Finished;
             acc.obs.walk_finished(slot.walker.step as u64);
+            acc.finished.push(FinishedWalk {
+                tag: slot.walker.tag,
+                walker: slot.walker.id,
+                steps: slot.walker.step,
+            });
         }
         StepOutcome::Moved(dst) => {
             rt.commit_move(slot, dst, acc);
@@ -381,6 +405,11 @@ fn fold_scan_answers<P: WalkerProgram, O: WalkObserver<P::Data>>(
     if run <= 0.0 {
         acc.metrics.finished_walkers += 1;
         acc.obs.walk_finished(slot.walker.step as u64);
+        acc.finished.push(FinishedWalk {
+            tag: slot.walker.tag,
+            walker: slot.walker.id,
+            steps: slot.walker.step,
+        });
         slot.state = SlotState::Finished;
         return;
     }

@@ -1,0 +1,607 @@
+//! Open-world ("serve") execution: a resident BSP loop with continuous
+//! walker admission.
+//!
+//! Batch runs ([`RandomWalkEngine::run`]) instantiate every walker up
+//! front and iterate until none remain. Serve mode inverts that: the
+//! engine loads the graph once and runs supersteps forever, and a
+//! [`ServeDriver`] on the leader node injects new tagged walkers between
+//! supersteps and collects per-request results as walkers terminate.
+//! This is the continuous-batching idea from model inference serving
+//! applied to random walks — walkers from many requests share every
+//! superstep's compute and exchanges.
+//!
+//! # Protocol per superstep
+//!
+//! 1. every node gathers its [`ServeDelta`] (new path fragments + newly
+//!    finished walkers) to the leader;
+//! 2. the leader feeds the deltas to the driver and broadcasts the
+//!    driver's [`Directives`] (admissions, kills, shutdown) to all nodes;
+//! 3. every node applies kills and instantiates the admitted walkers it
+//!    owns;
+//! 4. an allreduce agrees on the active-walker count: the loop exits when
+//!    a shutdown was directed *and* no walker remains (drain-then-exit);
+//! 5. one normal BSP iteration advances every active walker.
+//!
+//! # Determinism
+//!
+//! A served walk is byte-identical to a batch run of the same request:
+//! walker trajectories depend only on the private RNG stream derived from
+//! `(request seed, walker index within the request)`, so neither the
+//! superstep at which a request is admitted nor which other requests
+//! share its supersteps can perturb its paths. The request-local walker
+//! index feeds `init_data` and the RNG stream; the globally unique id
+//! (`base_id + index`) only labels path fragments, and the driver shifts
+//! it back out before reassembly.
+
+use std::mem;
+
+use knightking_cluster::Scheduler;
+use knightking_graph::{CsrGraph, Partition, VertexId};
+use knightking_net::{from_bytes, to_bytes, Transport, Wire};
+
+use crate::{
+    metrics::WalkMetrics,
+    program::{NoopObserver, WalkObserver, WalkerProgram},
+    result::PathEntry,
+    walker::Walker,
+};
+
+use super::{
+    first_order, instrument::NodeObs, second_order, Msg, NodeRt, RandomWalkEngine, Slot, SlotState,
+};
+
+/// A walker that terminated, reported to the leader so it can complete
+/// the request the walker belonged to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FinishedWalk {
+    /// The request tag the walker carried ([`Walker::tag`]).
+    ///
+    /// [`Walker::tag`]: crate::Walker::tag
+    pub tag: u64,
+    /// The walker's globally unique id.
+    pub walker: u64,
+    /// Steps taken when the walk ended.
+    pub steps: u32,
+}
+
+impl Wire for FinishedWalk {
+    fn wire_size(&self) -> usize {
+        self.tag.wire_size() + self.walker.wire_size() + self.steps.wire_size()
+    }
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.tag.encode(out);
+        self.walker.encode(out);
+        self.steps.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> std::io::Result<Self> {
+        Ok(FinishedWalk {
+            tag: u64::decode(input)?,
+            walker: u64::decode(input)?,
+            steps: u32::decode(input)?,
+        })
+    }
+}
+
+/// One node's per-superstep report to the leader: everything that
+/// happened since the previous report.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServeDelta {
+    /// Path fragments recorded since the last superstep (includes the
+    /// step-0 entries of freshly admitted walkers).
+    pub paths: Vec<PathEntry>,
+    /// Walkers that terminated since the last superstep.
+    pub finished: Vec<FinishedWalk>,
+}
+
+impl Wire for ServeDelta {
+    fn wire_size(&self) -> usize {
+        self.paths.wire_size() + self.finished.wire_size()
+    }
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.paths.encode(out);
+        self.finished.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> std::io::Result<Self> {
+        Ok(ServeDelta {
+            paths: Vec::decode(input)?,
+            finished: Vec::decode(input)?,
+        })
+    }
+}
+
+/// One request's walkers, to be instantiated at the next superstep.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AdmitRequest {
+    /// Request tag stamped on every admitted walker (must be nonzero and
+    /// unique among in-flight requests; 0 is reserved for batch walkers).
+    pub tag: u64,
+    /// Global id of the request's first walker; walker `i` of the request
+    /// gets id `base_id + i`. The driver keeps bases disjoint so path
+    /// fragments route unambiguously.
+    pub base_id: u64,
+    /// Per-request seed: walker `i` draws from the stream `(seed, i)`,
+    /// exactly as a batch run with this seed would.
+    pub seed: u64,
+    /// Start vertices; walker `i` starts at `starts[i]`. Must be within
+    /// graph bounds (validate before admitting).
+    pub starts: Vec<VertexId>,
+}
+
+impl Wire for AdmitRequest {
+    fn wire_size(&self) -> usize {
+        self.tag.wire_size()
+            + self.base_id.wire_size()
+            + self.seed.wire_size()
+            + self.starts.wire_size()
+    }
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.tag.encode(out);
+        self.base_id.encode(out);
+        self.seed.encode(out);
+        self.starts.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> std::io::Result<Self> {
+        Ok(AdmitRequest {
+            tag: u64::decode(input)?,
+            base_id: u64::decode(input)?,
+            seed: u64::decode(input)?,
+            starts: Vec::decode(input)?,
+        })
+    }
+}
+
+/// The leader's verdict for one superstep boundary, broadcast to every
+/// node.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Directives {
+    /// Requests to admit this superstep.
+    pub admit: Vec<AdmitRequest>,
+    /// Request tags whose walkers must be force-terminated (deadline
+    /// expiry). Their remaining path fragments are dropped.
+    pub kill: Vec<u64>,
+    /// Ask the loop to exit. Draining, not dropping: the loop keeps
+    /// iterating until every in-flight walker has finished, then exits.
+    pub shutdown: bool,
+}
+
+impl Wire for Directives {
+    fn wire_size(&self) -> usize {
+        self.admit.wire_size() + self.kill.wire_size() + self.shutdown.wire_size()
+    }
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.admit.encode(out);
+        self.kill.encode(out);
+        self.shutdown.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> std::io::Result<Self> {
+        Ok(Directives {
+            admit: Vec::decode(input)?,
+            kill: Vec::decode(input)?,
+            shutdown: bool::decode(input)?,
+        })
+    }
+}
+
+/// The leader-side brain of a walk service.
+///
+/// [`RandomWalkEngine::run_service`] calls `absorb` once per node per
+/// superstep with that node's delta, then `poll` once to learn what to
+/// do next. Both run on the leader only; non-leader nodes receive the
+/// poll result via broadcast.
+pub trait ServeDriver {
+    /// Absorbs one node's superstep delta (path fragments + completions).
+    fn absorb(&mut self, node: usize, delta: ServeDelta);
+    /// Decides admissions, kills, and shutdown for the next superstep.
+    fn poll(&mut self, superstep: u64) -> Directives;
+}
+
+/// A driver that never admits anything and immediately asks to shut
+/// down. Useful as the `D` type parameter on non-leader nodes (which
+/// pass `None`) and in tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopDriver;
+
+impl ServeDriver for NoopDriver {
+    fn absorb(&mut self, _node: usize, _delta: ServeDelta) {}
+    fn poll(&mut self, _superstep: u64) -> Directives {
+        Directives {
+            shutdown: true,
+            ..Directives::default()
+        }
+    }
+}
+
+impl<'g, P: WalkerProgram> RandomWalkEngine<'g, P> {
+    /// Runs the engine as a **resident walk service**: the BSP loop stays
+    /// up, admitting tagged walkers whenever the leader's `driver` says
+    /// so and reporting completions back to it, until the driver directs
+    /// a shutdown *and* every in-flight walker has drained.
+    ///
+    /// Call once per node of the cluster — in-process (`NodeCtx`) or
+    /// multi-process (`TcpTransport`), exactly like
+    /// [`run_distributed`](RandomWalkEngine::run_distributed). The leader
+    /// (rank 0) must pass `Some(driver)`; every other rank passes `None`
+    /// and is steered entirely by broadcast directives, so only the
+    /// leader needs a request queue.
+    ///
+    /// Returns this node's accumulated [`WalkMetrics`] over the service's
+    /// lifetime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `transport.n_nodes() != config.n_nodes`, if
+    /// `config.record_paths` is off (a service that records no paths can
+    /// answer no queries), or if the leader passes no driver.
+    pub fn run_service<T: Transport<Msg<P>>, D: ServeDriver>(
+        &self,
+        transport: &mut T,
+        mut driver: Option<&mut D>,
+    ) -> WalkMetrics {
+        let cfg = &self.config;
+        assert_eq!(
+            transport.n_nodes(),
+            cfg.n_nodes,
+            "transport has {} nodes but config.n_nodes is {}",
+            transport.n_nodes(),
+            cfg.n_nodes
+        );
+        assert!(
+            cfg.record_paths,
+            "serve mode requires record_paths: responses are the paths"
+        );
+        let me = transport.node();
+        assert!(
+            !transport.is_leader() || driver.is_some(),
+            "the leader node must supply a ServeDriver"
+        );
+
+        let partition = Partition::balanced(self.graph, cfg.n_nodes, 1.0);
+        let local_owned;
+        let local: &CsrGraph = if cfg.n_nodes > 1 {
+            local_owned = partition.extract_local(self.graph, me);
+            &local_owned
+        } else {
+            self.graph
+        };
+        let scheduler = Scheduler {
+            threads: cfg.resolved_threads(),
+            chunk_size: cfg.chunk_size,
+            light_threshold: cfg.light_threshold,
+        };
+        let observer = NoopObserver;
+        // The obs profile is bounded per run, not per service lifetime;
+        // a resident loop would grow it without bound, so keep it off.
+        let mut prof = NodeObs::new(false, me);
+        let rt = NodeRt::build(
+            local,
+            &self.program,
+            &observer,
+            &partition,
+            cfg,
+            me,
+            &scheduler,
+        );
+
+        let mut slots: Vec<Slot<P>> = Vec::new();
+        let mut paths: Vec<PathEntry> = Vec::new();
+        let mut finished: Vec<FinishedWalk> = Vec::new();
+        let mut metrics = WalkMetrics::default();
+        #[allow(clippy::let_unit_value)] // NoopObserver's Acc happens to be ()
+        let mut obs_acc = <NoopObserver as WalkObserver<P::Data>>::make_acc(&observer);
+        let mut superstep: u64 = 0;
+        loop {
+            // (1) Ship this node's delta to the leader.
+            let delta = ServeDelta {
+                paths: mem::take(&mut paths),
+                finished: mem::take(&mut finished),
+            };
+            let gathered = transport.gather_bytes(to_bytes(&delta));
+
+            // (2) Leader: drive; everyone: learn the directives.
+            let dir_bytes = match gathered {
+                Some(parts) => {
+                    let d = driver.as_mut().expect("leader has a driver (asserted)");
+                    for (node, part) in parts.into_iter().enumerate() {
+                        let delta: ServeDelta = from_bytes(&part).unwrap_or_else(|e| {
+                            panic!("corrupt serve delta from rank {node}: {e}")
+                        });
+                        d.absorb(node, delta);
+                    }
+                    to_bytes(&d.poll(superstep))
+                }
+                None => Vec::new(),
+            };
+            let dir_bytes = transport.broadcast_bytes(dir_bytes);
+            let directives: Directives =
+                from_bytes(&dir_bytes).unwrap_or_else(|e| panic!("corrupt serve directives: {e}"));
+
+            // (3) Kills: drop every walker of an expired request. Path
+            // fragments already shipped are discarded leader-side.
+            if !directives.kill.is_empty() {
+                slots.retain(|s| !directives.kill.contains(&s.walker.tag));
+            }
+
+            // (4) Admissions: instantiate owned walkers. The *request-local*
+            // index seeds the RNG stream and `init_data` — the same values a
+            // batch run of this request would use — while the global id
+            // (`base_id + i`) labels the path fragments.
+            for req in &directives.admit {
+                for (i, &start) in req.starts.iter().enumerate() {
+                    if partition.owner(start) != me {
+                        continue;
+                    }
+                    let data = self.program.init_data(i as u64, start);
+                    let mut walker = Walker::new(i as u64, start, req.seed, data);
+                    walker.id = req.base_id + i as u64;
+                    walker.tag = req.tag;
+                    paths.push(PathEntry {
+                        walker: walker.id,
+                        step: 0,
+                        vertex: start,
+                    });
+                    slots.push(Slot {
+                        walker,
+                        state: SlotState::Active,
+                        fresh: true,
+                        stuck: 0,
+                    });
+                }
+            }
+
+            // (5) Collective census: exit only when a shutdown has been
+            // directed and the last walker has drained.
+            let active = transport.allreduce_sum(slots.len() as u64);
+            if active == 0 {
+                if directives.shutdown {
+                    break;
+                }
+                // Idle service: throttle the control loop rather than
+                // spinning through empty supersteps. Uniform across ranks
+                // (all saw active == 0), so no rank races ahead.
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                superstep += 1;
+                continue;
+            }
+
+            // (6) One ordinary BSP iteration.
+            metrics.iterations += 1;
+            if P::SECOND_ORDER {
+                second_order::iteration(
+                    &rt,
+                    transport,
+                    &scheduler,
+                    &mut slots,
+                    &mut paths,
+                    &mut finished,
+                    &mut metrics,
+                    &mut obs_acc,
+                    &mut prof,
+                );
+            } else {
+                first_order::iteration(
+                    &rt,
+                    transport,
+                    &scheduler,
+                    &mut slots,
+                    &mut paths,
+                    &mut finished,
+                    &mut metrics,
+                    &mut obs_acc,
+                    &mut prof,
+                );
+            }
+            superstep += 1;
+        }
+        metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{config::WalkConfig, config::WalkerStarts, result::WalkResult};
+    use knightking_cluster::comm::run_cluster_with_metrics;
+    use knightking_graph::gen;
+
+    #[test]
+    fn wire_round_trips() {
+        let dir = Directives {
+            admit: vec![AdmitRequest {
+                tag: 3,
+                base_id: 1000,
+                seed: 42,
+                starts: vec![0, 5, 9],
+            }],
+            kill: vec![7, 8],
+            shutdown: true,
+        };
+        let bytes = to_bytes(&dir);
+        assert_eq!(bytes.len(), dir.wire_size());
+        let back: Directives = from_bytes(&bytes).unwrap();
+        assert_eq!(back, dir);
+
+        let delta = ServeDelta {
+            paths: vec![PathEntry {
+                walker: 1,
+                step: 2,
+                vertex: 3,
+            }],
+            finished: vec![FinishedWalk {
+                tag: 3,
+                walker: 1,
+                steps: 2,
+            }],
+        };
+        let bytes = to_bytes(&delta);
+        assert_eq!(bytes.len(), delta.wire_size());
+        let back: ServeDelta = from_bytes(&bytes).unwrap();
+        assert_eq!(back, delta);
+    }
+
+    struct FixedLen(u32);
+    impl WalkerProgram for FixedLen {
+        type Data = ();
+        type Query = ();
+        type Answer = ();
+        const DYNAMIC: bool = false;
+        fn init_data(&self, _id: u64, _start: VertexId) {}
+        fn should_terminate(&self, w: &mut Walker<()>) -> bool {
+            w.step >= self.0
+        }
+    }
+
+    /// Admits one request at superstep 0, collects its fragments, and
+    /// shuts down once all its walkers have finished.
+    struct OneShotDriver {
+        request: AdmitRequest,
+        admitted: bool,
+        paths: Vec<PathEntry>,
+        done: u64,
+    }
+
+    impl ServeDriver for OneShotDriver {
+        fn absorb(&mut self, _node: usize, delta: ServeDelta) {
+            self.paths.extend(delta.paths);
+            self.done += delta.finished.len() as u64;
+        }
+        fn poll(&mut self, _superstep: u64) -> Directives {
+            let mut dir = Directives::default();
+            if !self.admitted {
+                self.admitted = true;
+                dir.admit.push(self.request.clone());
+            }
+            dir.shutdown = self.done >= self.request.starts.len() as u64;
+            dir
+        }
+    }
+
+    /// A served request's paths are byte-identical to a batch run with
+    /// the request's seed — even though the service itself was built with
+    /// a different seed, proving trajectories bind to the request.
+    #[test]
+    fn served_request_matches_batch_run() {
+        let g = gen::uniform_degree(60, 5, gen::GenOptions::seeded(3));
+        let starts: Vec<VertexId> = vec![0, 7, 14, 21, 59];
+
+        let batch = RandomWalkEngine::new(&g, FixedLen(12), WalkConfig::single_node(7))
+            .run(WalkerStarts::Explicit(starts.clone()));
+
+        let mut serve_cfg = WalkConfig::single_node(999);
+        serve_cfg.threads_per_node = 2;
+        let engine = RandomWalkEngine::new(&g, FixedLen(12), serve_cfg);
+        let request = AdmitRequest {
+            tag: 1,
+            base_id: 0,
+            seed: 7,
+            starts: starts.clone(),
+        };
+        let n = starts.len() as u64;
+        let (outs, _comm) = run_cluster_with_metrics::<Msg<FixedLen>, _, _>(1, |ctx| {
+            let mut ctx = ctx;
+            let mut driver = OneShotDriver {
+                request: request.clone(),
+                admitted: false,
+                paths: Vec::new(),
+                done: 0,
+            };
+            engine.run_service(&mut ctx, Some(&mut driver));
+            driver.paths
+        });
+        let fragments = outs.into_iter().next().unwrap();
+        let served = WalkResult::assemble_paths(n, fragments);
+        assert_eq!(served, batch.paths);
+    }
+
+    /// Two nodes, driver on the leader only; non-leader is steered by
+    /// broadcasts alone.
+    #[test]
+    fn two_node_service_matches_batch_run() {
+        let g = gen::uniform_degree(80, 4, gen::GenOptions::seeded(5));
+        let starts: Vec<VertexId> = (0..10).map(|i| i * 7).collect();
+
+        let batch = RandomWalkEngine::new(&g, FixedLen(9), WalkConfig::with_nodes(2, 11))
+            .run(WalkerStarts::Explicit(starts.clone()));
+
+        let mut serve_cfg = WalkConfig::with_nodes(2, 1234);
+        serve_cfg.threads_per_node = 1;
+        let engine = RandomWalkEngine::new(&g, FixedLen(9), serve_cfg);
+        let request = AdmitRequest {
+            tag: 9,
+            base_id: 0,
+            seed: 11,
+            starts: starts.clone(),
+        };
+        let n = starts.len() as u64;
+        let (outs, _comm) = run_cluster_with_metrics::<Msg<FixedLen>, _, _>(2, |ctx| {
+            let mut ctx = ctx;
+            if ctx.node == 0 {
+                let mut driver = OneShotDriver {
+                    request: request.clone(),
+                    admitted: false,
+                    paths: Vec::new(),
+                    done: 0,
+                };
+                engine.run_service(&mut ctx, Some(&mut driver));
+                Some(driver.paths)
+            } else {
+                engine.run_service(&mut ctx, None::<&mut OneShotDriver>);
+                None
+            }
+        });
+        let fragments = outs.into_iter().flatten().next().unwrap();
+        let served = WalkResult::assemble_paths(n, fragments);
+        assert_eq!(served, batch.paths);
+    }
+
+    /// Killed requests disappear: their walkers stop producing fragments
+    /// and the service still drains to a clean exit.
+    #[test]
+    fn kill_terminates_request_walkers() {
+        let g = gen::uniform_degree(40, 4, gen::GenOptions::seeded(2));
+
+        struct KillDriver {
+            admitted: bool,
+            killed: bool,
+            finished: Vec<FinishedWalk>,
+        }
+        impl ServeDriver for KillDriver {
+            fn absorb(&mut self, _node: usize, delta: ServeDelta) {
+                self.finished.extend(delta.finished);
+            }
+            fn poll(&mut self, superstep: u64) -> Directives {
+                let mut dir = Directives::default();
+                if !self.admitted {
+                    self.admitted = true;
+                    dir.admit.push(AdmitRequest {
+                        tag: 5,
+                        base_id: 0,
+                        seed: 1,
+                        starts: vec![0, 1, 2],
+                    });
+                }
+                if superstep >= 3 && !self.killed {
+                    self.killed = true;
+                    dir.kill.push(5);
+                }
+                dir.shutdown = self.killed;
+                dir
+            }
+        }
+
+        // Walk length far beyond the kill point: only the kill can end it.
+        let engine = RandomWalkEngine::new(&g, FixedLen(1_000_000), WalkConfig::single_node(1));
+        let (outs, _comm) = run_cluster_with_metrics::<Msg<FixedLen>, _, _>(1, |ctx| {
+            let mut ctx = ctx;
+            let mut driver = KillDriver {
+                admitted: false,
+                killed: false,
+                finished: Vec::new(),
+            };
+            engine.run_service(&mut ctx, Some(&mut driver));
+            driver.finished.len()
+        });
+        // The service exited (we got here) and no walker finished
+        // normally — the kill took them all out.
+        assert_eq!(outs[0], 0);
+    }
+}

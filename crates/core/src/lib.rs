@@ -59,8 +59,11 @@ pub mod program;
 pub mod result;
 pub mod walker;
 
-pub use config::{WalkConfig, WalkerStarts};
-pub use engine::{Msg, RandomWalkEngine};
+pub use config::{CancelToken, WalkConfig, WalkerStarts};
+pub use engine::{
+    AdmitRequest, Directives, FinishedWalk, Msg, NoopDriver, RandomWalkEngine, ServeDelta,
+    ServeDriver,
+};
 pub use metrics::WalkMetrics;
 pub use program::{NoopObserver, WalkObserver, WalkerProgram};
 pub use result::WalkResult;

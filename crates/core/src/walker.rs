@@ -40,6 +40,11 @@ pub struct Walker<D> {
     pub prev: Option<VertexId>,
     /// Number of steps taken so far.
     pub step: u32,
+    /// Request tag: which serve-mode walk request this walker belongs to
+    /// (0 for batch runs, which have no requests). Carried on the wire so
+    /// distributed serving can route each finished walker's results back
+    /// to the request that admitted it.
+    pub tag: u64,
     /// The walker's private random stream.
     pub rng: DeterministicRng,
     /// Algorithm-defined state (e.g. a Meta-path scheme assignment).
@@ -55,6 +60,7 @@ impl<D: WalkerData> Walker<D> {
             current: start,
             prev: None,
             step: 0,
+            tag: 0,
             rng: DeterministicRng::for_stream(seed, id),
             data,
         }
@@ -82,6 +88,7 @@ impl<D: WalkerData + Wire> Wire for Walker<D> {
             + self.current.wire_size()
             + self.prev.wire_size()
             + self.step.wire_size()
+            + self.tag.wire_size()
             + self.rng.state().wire_size()
             + self.data.wire_size()
     }
@@ -90,6 +97,7 @@ impl<D: WalkerData + Wire> Wire for Walker<D> {
         self.current.encode(out);
         self.prev.encode(out);
         self.step.encode(out);
+        self.tag.encode(out);
         self.rng.state().encode(out);
         self.data.encode(out);
     }
@@ -98,6 +106,7 @@ impl<D: WalkerData + Wire> Wire for Walker<D> {
         let current = VertexId::decode(input)?;
         let prev = Option::<VertexId>::decode(input)?;
         let step = u32::decode(input)?;
+        let tag = u64::decode(input)?;
         let state = <[u64; 4]>::decode(input)?;
         if state == [0; 4] {
             return Err(io::Error::new(
@@ -111,6 +120,7 @@ impl<D: WalkerData + Wire> Wire for Walker<D> {
             current,
             prev,
             step,
+            tag,
             rng: DeterministicRng::from_state(state),
             data,
         })
@@ -128,6 +138,7 @@ mod tests {
         assert_eq!(w.current, 17);
         assert_eq!(w.prev, None);
         assert_eq!(w.step, 0);
+        assert_eq!(w.tag, 0, "batch walkers belong to no request");
     }
 
     #[test]
@@ -167,6 +178,7 @@ mod tests {
     fn wire_round_trip_resumes_rng_stream() {
         let mut w: Walker<(Option<VertexId>, Option<VertexId>)> =
             Walker::new(9, 4, 77, (Some(1), None));
+        w.tag = 0xFEED;
         w.advance(8);
         let _ = w.rng.next_u64(); // advance the stream past its origin
         let bytes = knightking_net::to_bytes(&w);
@@ -177,6 +189,7 @@ mod tests {
         assert_eq!(back.current, 8);
         assert_eq!(back.prev, Some(4));
         assert_eq!(back.step, 1);
+        assert_eq!(back.tag, 0xFEED);
         assert_eq!(back.data, (Some(1), None));
         // The decoded walker continues the exact same random stream.
         assert_eq!(back.rng.next_u64(), w.rng.next_u64());
@@ -186,8 +199,9 @@ mod tests {
     fn wire_rejects_zero_rng_state() {
         let w: Walker<()> = Walker::new(0, 0, 1, ());
         let mut bytes = knightking_net::to_bytes(&w);
-        // Zero out the 32-byte rng state (after id, current, prev, step).
-        let off = 8 + 4 + w.prev.wire_size() + 4;
+        // Zero out the 32-byte rng state (after id, current, prev, step,
+        // tag).
+        let off = 8 + 4 + w.prev.wire_size() + 4 + 8;
         bytes[off..off + 32].fill(0);
         let err = knightking_net::from_bytes::<Walker<()>>(&bytes).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);

@@ -6,8 +6,7 @@
 
 use knightking_core::obs::Phase;
 use knightking_core::{
-    CsrGraph, EdgeView, RandomWalkEngine, VertexId, WalkConfig, Walker, WalkerProgram,
-    WalkerStarts,
+    CsrGraph, EdgeView, RandomWalkEngine, VertexId, WalkConfig, Walker, WalkerProgram, WalkerStarts,
 };
 use knightking_graph::gen;
 
@@ -110,8 +109,8 @@ fn profile_absent_without_flag() {
 fn multi_node_profile_aggregates_consistently() {
     let g = gen::uniform_degree(600, 8, gen::GenOptions::seeded(4));
     let n_walkers = 400u64;
-    let r = RandomWalkEngine::new(&g, EvenLover, profiled_cfg(3))
-        .run(WalkerStarts::Count(n_walkers));
+    let r =
+        RandomWalkEngine::new(&g, EvenLover, profiled_cfg(3)).run(WalkerStarts::Count(n_walkers));
     assert_eq!(r.metrics.finished_walkers, n_walkers);
 
     let p = r.profile.as_ref().expect("profile requested");
@@ -136,7 +135,11 @@ fn multi_node_profile_aggregates_consistently() {
         // phases, which have no rows) — monotone accumulation.
         for phase in Phase::ALL {
             let row_sum: u64 = np.timers.rows.iter().map(|r| r[phase.index()]).sum();
-            assert!(np.timers.totals[phase.index()] >= row_sum, "{}", phase.name());
+            assert!(
+                np.timers.totals[phase.index()] >= row_sum,
+                "{}",
+                phase.name()
+            );
         }
         // One active-walker sample and one move exchange per iteration.
         assert_eq!(np.active_walkers.count(), iterations as u64);
@@ -148,14 +151,23 @@ fn multi_node_profile_aggregates_consistently() {
             .filter(|e| e.kind.name() == "superstep")
             .count();
         assert_eq!(supersteps + np.dropped_events as usize, iterations);
-        assert!(np.events.iter().any(|e| e.kind.name() == "light_mode_switch"));
+        assert!(np
+            .events
+            .iter()
+            .any(|e| e.kind.name() == "light_mode_switch"));
     }
 
     // Every walker finishes on exactly one node.
     let finished: u64 = p.nodes.iter().map(|n| n.walk_length.count()).sum();
     assert_eq!(finished, n_walkers);
     // A dynamic program records rejection trials.
-    assert!(p.nodes.iter().map(|n| n.trials_per_step.count()).sum::<u64>() > 0);
+    assert!(
+        p.nodes
+            .iter()
+            .map(|n| n.trials_per_step.count())
+            .sum::<u64>()
+            > 0
+    );
 }
 
 #[test]
@@ -164,8 +176,7 @@ fn profiling_does_not_change_walk_results() {
     let mut plain = profiled_cfg(2);
     plain.profile = false;
     let r0 = RandomWalkEngine::new(&g, EvenLover, plain).run(WalkerStarts::Count(200));
-    let r1 =
-        RandomWalkEngine::new(&g, EvenLover, profiled_cfg(2)).run(WalkerStarts::Count(200));
+    let r1 = RandomWalkEngine::new(&g, EvenLover, profiled_cfg(2)).run(WalkerStarts::Count(200));
     assert_eq!(r0.paths, r1.paths);
     assert_eq!(r0.metrics, r1.metrics);
     assert_eq!(r0.comm, r1.comm);
@@ -204,8 +215,7 @@ fn full_scan_fallback_is_traced() {
 #[test]
 fn jsonl_report_is_parseable() {
     let g = gen::uniform_degree(200, 6, gen::GenOptions::seeded(4));
-    let r =
-        RandomWalkEngine::new(&g, EvenLover, profiled_cfg(2)).run(WalkerStarts::Count(100));
+    let r = RandomWalkEngine::new(&g, EvenLover, profiled_cfg(2)).run(WalkerStarts::Count(100));
     let p = r.profile.as_ref().unwrap();
 
     let mut buf = Vec::new();

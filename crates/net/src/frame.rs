@@ -21,7 +21,7 @@
 //!
 //! ```text
 //! offset  size  field
-//! 0       1     tag (DATA / BARRIER / REDUCE / GATHER)
+//! 0       1     tag (DATA / BARRIER / REDUCE / GATHER / BCAST / REQ / RESP)
 //! 1       8     collective sequence number (u64)
 //! 9       4     payload length (u32)
 //! 13      len   payload
@@ -54,6 +54,14 @@ pub mod tag {
     pub const REDUCE: u8 = 3;
     /// Result gather payload (rank ≠ 0 → rank 0).
     pub const GATHER: u8 = 4;
+    /// Broadcast payload (rank 0 → every other rank).
+    pub const BCAST: u8 = 5;
+    /// Serve-protocol request (client → `kk serve` listener). The
+    /// sequence number is the client-chosen request id, echoed in the
+    /// matching RESP frame.
+    pub const REQ: u8 = 6;
+    /// Serve-protocol response (listener → client).
+    pub const RESP: u8 = 7;
 }
 
 /// Size of an encoded frame header.
@@ -203,7 +211,7 @@ pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Frame> {
     let mut header = [0u8; HEADER_LEN];
     r.read_exact(&mut header)?;
     let tag = header[0];
-    if !(tag::DATA..=tag::GATHER).contains(&tag) {
+    if !(tag::DATA..=tag::RESP).contains(&tag) {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             format!("unknown frame tag {tag}"),
@@ -258,10 +266,7 @@ mod tests {
 
     #[test]
     fn handshake_rejects_stale_epoch() {
-        let stale = Handshake {
-            epoch: 123,
-            ..OURS
-        };
+        let stale = Handshake { epoch: 123, ..OURS };
         let bytes = stale.to_bytes();
         let err = Handshake::read_validated(&mut &bytes[..], OURS, None).unwrap_err();
         assert!(err.to_string().contains("epoch mismatch"), "{err}");
@@ -269,10 +274,7 @@ mod tests {
 
     #[test]
     fn handshake_rejects_wrong_cluster_size() {
-        let other = Handshake {
-            n_nodes: 8,
-            ..OURS
-        };
+        let other = Handshake { n_nodes: 8, ..OURS };
         let bytes = other.to_bytes();
         let err = Handshake::read_validated(&mut &bytes[..], OURS, None).unwrap_err();
         assert!(err.to_string().contains("size mismatch"), "{err}");

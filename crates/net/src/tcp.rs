@@ -135,7 +135,7 @@ impl TcpTransport {
             let deadline = Instant::now() + cfg.connect_deadline;
 
             // Dial all lower ranks (they accept us below, symmetrically).
-            for r in 0..cfg.rank {
+            for (r, slot) in peers.iter_mut().enumerate().take(cfg.rank) {
                 let stream = connect_with_backoff(cfg.peers[r], deadline)?;
                 prepare_stream(&stream, deadline)?;
                 let mut stream = stream;
@@ -144,7 +144,7 @@ impl TcpTransport {
                     io::Error::new(e.kind(), format!("handshake with rank {r} failed: {e}"))
                 })?;
                 stream.set_read_timeout(None)?;
-                peers[r] = Some(Peer::spawn(stream, r)?);
+                *slot = Some(Peer::spawn(stream, r)?);
             }
 
             // Accept all higher ranks.
@@ -153,15 +153,17 @@ impl TcpTransport {
                 let stream = accept_with_deadline(&listener, deadline)?;
                 prepare_stream(&stream, deadline)?;
                 let mut stream = stream;
-                let theirs =
-                    Handshake::read_validated(&mut stream, ours, None).map_err(|e| {
-                        io::Error::new(e.kind(), format!("inbound handshake failed: {e}"))
-                    })?;
+                let theirs = Handshake::read_validated(&mut stream, ours, None).map_err(|e| {
+                    io::Error::new(e.kind(), format!("inbound handshake failed: {e}"))
+                })?;
                 let r = theirs.rank as usize;
                 if r <= cfg.rank || peers[r].is_some() {
                     return Err(io::Error::new(
                         io::ErrorKind::InvalidData,
-                        format!("unexpected inbound connection from rank {r} (to rank {})", cfg.rank),
+                        format!(
+                            "unexpected inbound connection from rank {r} (to rank {})",
+                            cfg.rank
+                        ),
                     ));
                 }
                 ours.write_to(&mut stream)?;
@@ -459,6 +461,25 @@ impl<M: Wire> Transport<M> for TcpTransport {
         }
     }
 
+    fn broadcast_bytes(&mut self, payload: Vec<u8>) -> Vec<u8> {
+        if self.n_nodes == 1 {
+            return payload;
+        }
+        let seq = self.next_seq();
+        if self.rank == 0 {
+            let mut socket_bytes = 0u64;
+            for to in 1..self.n_nodes {
+                socket_bytes += self.send(to, tag::BCAST, seq, &payload);
+            }
+            self.flush_all();
+            self.metrics
+                .record_send_sized((self.n_nodes - 1) as u64, socket_bytes);
+            payload
+        } else {
+            self.recv(0, tag::BCAST, seq).payload
+        }
+    }
+
     fn cluster_counts(&mut self) -> MetricCounts {
         // Snapshot *before* the allreduces below so their own traffic
         // does not skew the totals mid-flight.
@@ -641,6 +662,32 @@ mod tests {
     }
 
     #[test]
+    fn broadcast_delivers_leader_payload_everywhere() {
+        let results = mesh(3, |mut t| {
+            let me = Transport::<u64>::node(&t);
+            let mut got = Vec::new();
+            for round in 0..3u8 {
+                let payload = if me == 0 {
+                    vec![round; round as usize + 1]
+                } else {
+                    Vec::new()
+                };
+                got.push(Transport::<u64>::broadcast_bytes(&mut t, payload));
+            }
+            got
+        });
+        for (rank, rounds) in results.iter().enumerate() {
+            for (round, bytes) in rounds.iter().enumerate() {
+                assert_eq!(
+                    bytes,
+                    &vec![round as u8; round + 1],
+                    "rank {rank} round {round}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn cluster_counts_are_collective_and_nonzero() {
         let results = mesh(2, |mut t| {
             let outbox: Vec<Vec<u64>> = vec![vec![1], vec![2, 3]];
@@ -662,12 +709,9 @@ mod tests {
 
     #[test]
     fn single_rank_runs_without_sockets() {
-        let mut t = TcpTransport::establish(TcpConfig::new(
-            0,
-            vec!["127.0.0.1:1".parse().unwrap()],
-            7,
-        ))
-        .unwrap();
+        let mut t =
+            TcpTransport::establish(TcpConfig::new(0, vec!["127.0.0.1:1".parse().unwrap()], 7))
+                .unwrap();
         Transport::<u32>::barrier(&mut t);
         assert_eq!(Transport::<u32>::allreduce_sum(&mut t, 5), 5);
         let (inbox, _) = t.exchange_with_stats(vec![vec![9u32]], &|_| 4);
@@ -675,6 +719,10 @@ mod tests {
         assert_eq!(
             Transport::<u32>::gather_bytes(&mut t, vec![1, 2]),
             Some(vec![vec![1, 2]])
+        );
+        assert_eq!(
+            Transport::<u32>::broadcast_bytes(&mut t, vec![3, 4]),
+            vec![3, 4]
         );
     }
 
@@ -738,10 +786,7 @@ mod tests {
                 }
             }))
             .expect_err("tag mismatch must be detected");
-            panic
-                .downcast::<String>()
-                .map(|s| *s)
-                .unwrap_or_default()
+            panic.downcast::<String>().map(|s| *s).unwrap_or_default()
         });
         for msg in &results {
             assert!(

@@ -74,6 +74,15 @@ pub trait Transport<M> {
     /// them through the typed message channel.
     fn gather_bytes(&mut self, payload: Vec<u8>) -> Option<Vec<Vec<u8>>>;
 
+    /// Broadcasts one opaque byte payload from the leader to every node
+    /// (`MPI_Bcast` from rank 0).
+    ///
+    /// The leader's `payload` is returned on every node (the leader gets
+    /// its own bytes back); non-leader payloads are ignored and should be
+    /// empty. Used by the serve loop to fan admission directives out from
+    /// the node that owns the request queue.
+    fn broadcast_bytes(&mut self, payload: Vec<u8>) -> Vec<u8>;
+
     /// Snapshot of the cluster-wide communication counters, as a
     /// collective (all nodes must call it together; all receive the same
     /// totals).
@@ -119,6 +128,10 @@ impl<M: Send> Transport<M> for NodeCtx<'_, M> {
         NodeCtx::gather_bytes(self, payload)
     }
 
+    fn broadcast_bytes(&mut self, payload: Vec<u8>) -> Vec<u8> {
+        NodeCtx::broadcast_bytes(self, payload)
+    }
+
     fn cluster_counts(&mut self) -> MetricCounts {
         // The counters are shared by every node; the barriers make the
         // snapshot a proper collective (all prior sends are recorded, and
@@ -159,6 +172,8 @@ mod tests {
                     assert_eq!(p, &vec![i as u8; i + 1]);
                 }
             }
+            let bcast = t.broadcast_bytes(if me == 0 { vec![9, 9, 9] } else { Vec::new() });
+            assert_eq!(bcast, vec![9, 9, 9]);
             let counts = t.cluster_counts();
             assert_eq!(counts.messages, 6);
             inbox

@@ -41,7 +41,10 @@ fn take<'a>(input: &mut &'a [u8], n: usize, what: &str) -> io::Result<&'a [u8]> 
     if input.len() < n {
         return Err(io::Error::new(
             io::ErrorKind::UnexpectedEof,
-            format!("wire: truncated {what} (need {n} bytes, have {})", input.len()),
+            format!(
+                "wire: truncated {what} (need {n} bytes, have {})",
+                input.len()
+            ),
         ));
     }
     let (head, tail) = input.split_at(n);

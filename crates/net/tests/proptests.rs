@@ -1,12 +1,31 @@
-//! Property tests for the `Wire` codec round-trip contract.
+//! Property tests for the `Wire` codec round-trip contract, including
+//! the serve protocol's REQ/RESP payloads.
 
 use knightking_net::{from_bytes, to_bytes, Wire};
+use knightking_serve::{Request, StartSpec, Status, WalkRequest, WalkResponse};
 use proptest::prelude::*;
 
 fn round_trip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
     let bytes = to_bytes(&v);
     assert_eq!(bytes.len(), v.wire_size(), "wire_size must be exact");
     assert_eq!(from_bytes::<T>(&bytes).unwrap(), v);
+}
+
+fn start_spec() -> impl Strategy<Value = StartSpec> {
+    prop_oneof![
+        any::<u64>().prop_map(StartSpec::Count),
+        proptest::collection::vec(any::<u32>(), 0..8).prop_map(StartSpec::Explicit),
+    ]
+}
+
+fn status() -> impl Strategy<Value = Status> {
+    prop_oneof![
+        Just(Status::Ok),
+        any::<u64>().prop_map(|retry_after_ms| Status::Rejected { retry_after_ms }),
+        Just(Status::DeadlineExceeded),
+        Just(Status::ShuttingDown),
+        ".{0,40}".prop_map(Status::Invalid),
+    ]
 }
 
 proptest! {
@@ -35,5 +54,38 @@ proptest! {
         // Arbitrary input must produce a value or an error — never panic.
         let _ = from_bytes::<Vec<(u64, Option<u32>, bool)>>(&bytes);
         let _ = from_bytes::<Option<u64>>(&bytes);
+    }
+
+    #[test]
+    fn prop_serve_request_round_trip(
+        seed: u64,
+        starts in start_spec(),
+        deadline_ms: u64,
+        shutdown: bool,
+    ) {
+        let req = if shutdown {
+            Request::Shutdown
+        } else {
+            Request::Walk(WalkRequest { seed, starts, deadline_ms })
+        };
+        round_trip(req);
+    }
+
+    #[test]
+    fn prop_serve_response_round_trip(
+        status in status(),
+        paths in proptest::collection::vec(
+            proptest::collection::vec(any::<u32>(), 0..6),
+            0..6,
+        ),
+    ) {
+        round_trip(WalkResponse { status, paths });
+    }
+
+    #[test]
+    fn prop_serve_decode_never_panics_on_garbage(bytes: Vec<u8>) {
+        let _ = from_bytes::<Request>(&bytes);
+        let _ = from_bytes::<WalkResponse>(&bytes);
+        let _ = from_bytes::<Status>(&bytes);
     }
 }

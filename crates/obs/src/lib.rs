@@ -38,5 +38,5 @@ pub mod ring;
 
 pub use hist::Pow2Histogram;
 pub use phase::{Phase, PhaseTimers, N_PHASES};
-pub use report::{NodeProfile, RunProfile};
+pub use report::{write_hist_jsonl, NodeProfile, RunProfile};
 pub use ring::{Event, EventKind, EventRing};

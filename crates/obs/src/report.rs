@@ -35,6 +35,41 @@ use crate::hist::Pow2Histogram;
 use crate::phase::{Phase, PhaseTimers};
 use crate::ring::{Event, EventKind};
 
+/// Writes one `{"type":"hist",...}` JSON line for `h`, exactly as
+/// [`RunProfile::write_jsonl`] renders the engine's built-in histograms.
+/// Exposed so other subsystems (e.g. a walk service's latency and
+/// queue-depth histograms) can share the schema and its consumers.
+///
+/// # Errors
+///
+/// Propagates I/O failures from `w`.
+pub fn write_hist_jsonl<W: Write>(
+    w: &mut W,
+    node: u32,
+    name: &str,
+    h: &Pow2Histogram,
+) -> io::Result<()> {
+    write!(
+        w,
+        "{{\"type\":\"hist\",\"node\":{},\"name\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+        node,
+        name,
+        h.count(),
+        h.sum(),
+        h.min(),
+        h.max()
+    )?;
+    let mut first = true;
+    for (lo, hi, c) in h.nonzero_buckets() {
+        if !first {
+            write!(w, ",")?;
+        }
+        write!(w, "[{lo},{hi},{c}]")?;
+        first = false;
+    }
+    writeln!(w, "]}}")
+}
+
 /// Everything observed on one node during one run.
 #[derive(Debug, Clone)]
 pub struct NodeProfile {
@@ -153,7 +188,10 @@ impl RunProfile {
                         active,
                         chunks,
                         light,
-                    } => write!(w, ",\"active\":{active},\"chunks\":{chunks},\"light\":{light}")?,
+                    } => write!(
+                        w,
+                        ",\"active\":{active},\"chunks\":{chunks},\"light\":{light}"
+                    )?,
                     EventKind::LightModeSwitch { light, active } => {
                         write!(w, ",\"light\":{light},\"active\":{active}")?
                     }
@@ -167,25 +205,7 @@ impl RunProfile {
                 np.node, np.dropped_events
             )?;
             for (name, h) in np.histograms() {
-                write!(
-                    w,
-                    "{{\"type\":\"hist\",\"node\":{},\"name\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
-                    np.node,
-                    name,
-                    h.count(),
-                    h.sum(),
-                    h.min(),
-                    h.max()
-                )?;
-                let mut first = true;
-                for (lo, hi, c) in h.nonzero_buckets() {
-                    if !first {
-                        write!(w, ",")?;
-                    }
-                    write!(w, "[{lo},{hi},{c}]")?;
-                    first = false;
-                }
-                writeln!(w, "]}}")?;
+                write_hist_jsonl(w, np.node, name, h)?;
             }
         }
         Ok(())

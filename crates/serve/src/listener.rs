@@ -1,0 +1,108 @@
+//! The TCP front door: accepts query clients and bridges them to a
+//! [`ServiceHandle`].
+//!
+//! One thread per connection; each connection may pipeline any number of
+//! requests (responses come back in request order per connection, since
+//! the handler waits for each walk before reading the next frame).
+
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::thread;
+use std::time::Duration;
+
+use knightking_net::frame::{read_frame, tag, write_frame};
+use knightking_net::{from_bytes, to_bytes};
+
+use crate::protocol::{Request, Status, WalkResponse, SERVE_MAGIC, SERVE_VERSION};
+use crate::service::ServiceHandle;
+
+/// Accepts query clients on `listener` until the service shuts down,
+/// spawning a handler thread per connection. Returns once the accept
+/// loop observes shutdown; connection threads may still be writing final
+/// responses — wait on [`ServiceHandle::active_connections`] before
+/// exiting the process.
+///
+/// # Errors
+///
+/// Propagates listener configuration failures. Per-connection errors
+/// (bad hello, mid-stream disconnect) only end that connection.
+pub fn serve_listener(listener: TcpListener, handle: ServiceHandle) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    loop {
+        if handle.is_shutdown() {
+            return Ok(());
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let handle = handle.clone();
+                handle.conn_opened();
+                thread::spawn(move || {
+                    let _ = handle_conn(stream, &handle);
+                    handle.conn_closed();
+                });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Serves one client connection: hello, then a request/response loop
+/// until the client closes or the service shuts down.
+fn handle_conn(mut stream: TcpStream, handle: &ServiceHandle) -> io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_nodelay(true)?;
+
+    let mut hello = [0u8; 6];
+    stream.read_exact(&mut hello)?;
+    if hello[0..4] != SERVE_MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a serve client: bad hello magic (is this a cluster peer?)",
+        ));
+    }
+    let version = u16::from_le_bytes([hello[4], hello[5]]);
+    if version != SERVE_VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("serve protocol version {version} not supported (want {SERVE_VERSION})"),
+        ));
+    }
+
+    loop {
+        let frame = match read_frame(&mut stream) {
+            Ok(f) => f,
+            // Client hung up between requests: a normal close.
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        if frame.tag != tag::REQ {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected a REQ frame, got tag {}", frame.tag),
+            ));
+        }
+        let resp = match from_bytes::<Request>(&frame.payload)? {
+            Request::Walk(req) => {
+                let rx = handle.submit(req);
+                // A dropped responder means the service loop died or
+                // drained out from under us.
+                rx.recv().unwrap_or(WalkResponse {
+                    status: Status::ShuttingDown,
+                    paths: Vec::new(),
+                })
+            }
+            Request::Shutdown => {
+                handle.shutdown();
+                WalkResponse {
+                    status: Status::Ok,
+                    paths: Vec::new(),
+                }
+            }
+        };
+        write_frame(&mut stream, tag::RESP, frame.seq, &to_bytes(&resp))?;
+        stream.flush()?;
+    }
+}

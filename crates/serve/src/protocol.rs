@@ -1,0 +1,356 @@
+//! The serve request/response protocol.
+//!
+//! Rides on `knightking-net`'s frame layer: after a 6-byte client hello
+//! ([`SERVE_MAGIC`] + [`SERVE_VERSION`]), every request travels as one
+//! `REQ` frame whose sequence number is a client-chosen request id, and
+//! every response as one `RESP` frame echoing that id. Payloads use the
+//! same hand-rolled [`Wire`] codec as every other byte that crosses a
+//! KnightKing socket.
+//!
+//! The hello exists so a serve listener can immediately distinguish a
+//! query client from a stray cluster peer (whose handshake starts with
+//! `KKNT`) and fail with a clear error instead of a frame-decode panic.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use knightking_graph::VertexId;
+use knightking_net::frame::{read_frame, tag, write_frame};
+use knightking_net::{from_bytes, to_bytes, Wire};
+
+/// First four bytes a query client sends ("KnightKing SerVe").
+pub const SERVE_MAGIC: [u8; 4] = *b"KKSV";
+
+/// Serve-protocol version, bumped on any wire change.
+pub const SERVE_VERSION: u16 = 1;
+
+/// Where a request's walkers start.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StartSpec {
+    /// `n` walkers placed by the engine's default strategy (walker `i`
+    /// starts at vertex `i mod |V|`), matching `WalkerStarts::Count`.
+    Count(u64),
+    /// Explicit start vertices; walker `i` starts at `starts[i]`.
+    Explicit(Vec<VertexId>),
+}
+
+impl Wire for StartSpec {
+    fn wire_size(&self) -> usize {
+        1 + match self {
+            StartSpec::Count(n) => n.wire_size(),
+            StartSpec::Explicit(v) => v.wire_size(),
+        }
+    }
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            StartSpec::Count(n) => {
+                out.push(0);
+                n.encode(out);
+            }
+            StartSpec::Explicit(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+    fn decode(input: &mut &[u8]) -> io::Result<Self> {
+        match u8::decode(input)? {
+            0 => Ok(StartSpec::Count(u64::decode(input)?)),
+            1 => Ok(StartSpec::Explicit(Vec::decode(input)?)),
+            b => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("wire: invalid StartSpec tag {b}"),
+            )),
+        }
+    }
+}
+
+/// One walk query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalkRequest {
+    /// Per-request seed: the served paths are byte-identical to a batch
+    /// run with this seed and the same starts.
+    pub seed: u64,
+    /// Start placement.
+    pub starts: StartSpec,
+    /// Deadline in milliseconds from admission-queue entry; `0` means
+    /// none. An expired request's walkers are force-terminated and the
+    /// response carries [`Status::DeadlineExceeded`].
+    pub deadline_ms: u64,
+}
+
+impl Wire for WalkRequest {
+    fn wire_size(&self) -> usize {
+        self.seed.wire_size() + self.starts.wire_size() + self.deadline_ms.wire_size()
+    }
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.seed.encode(out);
+        self.starts.encode(out);
+        self.deadline_ms.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> io::Result<Self> {
+        Ok(WalkRequest {
+            seed: u64::decode(input)?,
+            starts: StartSpec::decode(input)?,
+            deadline_ms: u64::decode(input)?,
+        })
+    }
+}
+
+/// Everything a client can ask of a serve listener.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Run a walk and return its paths.
+    Walk(WalkRequest),
+    /// Ask the service to drain in-flight work and exit. Acked with
+    /// [`Status::Ok`] before the drain completes.
+    Shutdown,
+}
+
+impl Wire for Request {
+    fn wire_size(&self) -> usize {
+        1 + match self {
+            Request::Walk(r) => r.wire_size(),
+            Request::Shutdown => 0,
+        }
+    }
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Request::Walk(r) => {
+                out.push(0);
+                r.encode(out);
+            }
+            Request::Shutdown => out.push(1),
+        }
+    }
+    fn decode(input: &mut &[u8]) -> io::Result<Self> {
+        match u8::decode(input)? {
+            0 => Ok(Request::Walk(WalkRequest::decode(input)?)),
+            1 => Ok(Request::Shutdown),
+            b => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("wire: invalid Request tag {b}"),
+            )),
+        }
+    }
+}
+
+/// How a request ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Status {
+    /// The walk completed; the response carries its paths.
+    Ok,
+    /// Admission queue full — backpressure, not failure. Retry after the
+    /// indicated delay.
+    Rejected {
+        /// Suggested client back-off in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The request's deadline expired before its walkers finished; they
+    /// were force-terminated and their paths discarded.
+    DeadlineExceeded,
+    /// The service is draining toward exit and admits nothing new.
+    ShuttingDown,
+    /// The request was malformed (e.g. a start vertex outside the graph);
+    /// the message names the problem.
+    Invalid(String),
+}
+
+impl Wire for Status {
+    fn wire_size(&self) -> usize {
+        1 + match self {
+            Status::Ok | Status::DeadlineExceeded | Status::ShuttingDown => 0,
+            Status::Rejected { retry_after_ms } => retry_after_ms.wire_size(),
+            Status::Invalid(msg) => 4 + msg.len(),
+        }
+    }
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Status::Ok => out.push(0),
+            Status::Rejected { retry_after_ms } => {
+                out.push(1);
+                retry_after_ms.encode(out);
+            }
+            Status::DeadlineExceeded => out.push(2),
+            Status::ShuttingDown => out.push(3),
+            Status::Invalid(msg) => {
+                out.push(4);
+                (msg.len() as u32).encode(out);
+                out.extend_from_slice(msg.as_bytes());
+            }
+        }
+    }
+    fn decode(input: &mut &[u8]) -> io::Result<Self> {
+        match u8::decode(input)? {
+            0 => Ok(Status::Ok),
+            1 => Ok(Status::Rejected {
+                retry_after_ms: u64::decode(input)?,
+            }),
+            2 => Ok(Status::DeadlineExceeded),
+            3 => Ok(Status::ShuttingDown),
+            4 => {
+                let len = u32::decode(input)? as usize;
+                if input.len() < len {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "wire: truncated Status message",
+                    ));
+                }
+                let (head, tail) = input.split_at(len);
+                let msg = String::from_utf8(head.to_vec()).map_err(|_| {
+                    io::Error::new(io::ErrorKind::InvalidData, "wire: Status message not UTF-8")
+                })?;
+                *input = tail;
+                Ok(Status::Invalid(msg))
+            }
+            b => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("wire: invalid Status tag {b}"),
+            )),
+        }
+    }
+}
+
+/// The answer to a [`Request`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalkResponse {
+    /// Outcome.
+    pub status: Status,
+    /// One walk per admitted walker, in walker order; empty unless
+    /// `status` is [`Status::Ok`] (a zero-walker request yields `Ok` with
+    /// no paths).
+    pub paths: Vec<Vec<VertexId>>,
+}
+
+impl Wire for WalkResponse {
+    fn wire_size(&self) -> usize {
+        self.status.wire_size() + self.paths.wire_size()
+    }
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.status.encode(out);
+        self.paths.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> io::Result<Self> {
+        Ok(WalkResponse {
+            status: Status::decode(input)?,
+            paths: Vec::decode(input)?,
+        })
+    }
+}
+
+/// Connects to a serve listener and sends the protocol hello.
+///
+/// # Errors
+///
+/// Propagates connection failures.
+pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<TcpStream> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut hello = [0u8; 6];
+    hello[0..4].copy_from_slice(&SERVE_MAGIC);
+    hello[4..6].copy_from_slice(&SERVE_VERSION.to_le_bytes());
+    stream.write_all(&hello)?;
+    Ok(stream)
+}
+
+/// Sends one request as a `REQ` frame; `req_id` is echoed in the
+/// response.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn send_request<W: Write>(w: &mut W, req_id: u64, req: &Request) -> io::Result<()> {
+    write_frame(w, tag::REQ, req_id, &to_bytes(req))?;
+    w.flush()
+}
+
+/// Reads one `RESP` frame and checks it answers `req_id`.
+///
+/// # Errors
+///
+/// Fails with `InvalidData` on a non-`RESP` frame or a mismatched
+/// request id, or with the underlying I/O error.
+pub fn read_response<R: Read>(r: &mut R, req_id: u64) -> io::Result<WalkResponse> {
+    let frame = read_frame(r)?;
+    if frame.tag != tag::RESP {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("expected a RESP frame, got tag {}", frame.tag),
+        ));
+    }
+    if frame.seq != req_id {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("response answers request {}, expected {req_id}", frame.seq),
+        ));
+    }
+    from_bytes(&frame.payload)
+}
+
+/// One full round trip: send `req`, await its response.
+///
+/// # Errors
+///
+/// Propagates I/O and protocol failures.
+pub fn round_trip(stream: &mut TcpStream, req_id: u64, req: &Request) -> io::Result<WalkResponse> {
+    send_request(stream, req_id, req)?;
+    read_response(stream, req_id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trips<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = to_bytes(&v);
+        assert_eq!(bytes.len(), v.wire_size(), "wire_size must be exact");
+        let back: T = from_bytes(&bytes).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trips(Request::Walk(WalkRequest {
+            seed: 7,
+            starts: StartSpec::Count(100),
+            deadline_ms: 0,
+        }));
+        round_trips(Request::Walk(WalkRequest {
+            seed: u64::MAX,
+            starts: StartSpec::Explicit(vec![0, 9, 3]),
+            deadline_ms: 250,
+        }));
+        round_trips(Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        round_trips(WalkResponse {
+            status: Status::Ok,
+            paths: vec![vec![1, 2, 3], vec![], vec![9]],
+        });
+        round_trips(WalkResponse {
+            status: Status::Rejected { retry_after_ms: 50 },
+            paths: Vec::new(),
+        });
+        round_trips(WalkResponse {
+            status: Status::DeadlineExceeded,
+            paths: Vec::new(),
+        });
+        round_trips(WalkResponse {
+            status: Status::ShuttingDown,
+            paths: Vec::new(),
+        });
+        round_trips(WalkResponse {
+            status: Status::Invalid("start vertex 99 is out of range".into()),
+            paths: Vec::new(),
+        });
+    }
+
+    #[test]
+    fn truncated_status_message_is_an_error_not_a_panic() {
+        let full = to_bytes(&Status::Invalid("hello".into()));
+        let cut = &full[..full.len() - 2];
+        assert!(from_bytes::<Status>(cut).is_err());
+    }
+}

@@ -1,0 +1,443 @@
+//! The resident walk service: admission queue, leader-side driver, and
+//! the handles clients use to reach them.
+//!
+//! A [`WalkService`] owns the shared state (queue, stats, shutdown flag)
+//! and runs the engine's serve loop; any number of cloned
+//! [`ServiceHandle`]s feed it requests from listener threads or
+//! in-process callers. The `QueueDriver` is the `ServeDriver` the
+//! leader node plugs into [`RandomWalkEngine::run_service`]: it admits
+//! queued requests at superstep boundaries (bounded per superstep),
+//! routes path fragments back to their requests, enforces deadlines, and
+//! answers each request's response channel when its last walker lands.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use knightking_cluster::comm::run_cluster_with_metrics;
+use knightking_core::result::PathEntry;
+use knightking_core::{
+    AdmitRequest, Directives, Msg, NoopDriver, RandomWalkEngine, ServeDelta, ServeDriver,
+    Transport, WalkConfig, WalkMetrics, WalkResult, WalkerProgram, WalkerStarts,
+};
+use knightking_graph::{CsrGraph, VertexId};
+
+use crate::protocol::{StartSpec, Status, WalkRequest, WalkResponse};
+use crate::stats::ServeStats;
+
+/// Admission-control knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Requests the admission queue holds before rejecting with
+    /// `Status::Rejected` — the service's backpressure bound.
+    pub queue_capacity: usize,
+    /// Requests admitted into the engine per superstep. Bounds how much
+    /// one superstep's admission can stall in-flight walkers.
+    pub max_admit_per_superstep: usize,
+    /// `retry_after_ms` carried by rejections.
+    pub retry_after_ms: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            queue_capacity: 64,
+            max_admit_per_superstep: 8,
+            retry_after_ms: 50,
+        }
+    }
+}
+
+/// A queued request plus everything needed to answer it.
+struct QueuedReq {
+    req: WalkRequest,
+    enqueued: Instant,
+    responder: mpsc::Sender<WalkResponse>,
+}
+
+/// State shared between the service loop and its handles.
+pub(crate) struct ServeShared {
+    cfg: ServiceConfig,
+    queue: Mutex<VecDeque<QueuedReq>>,
+    shutdown: AtomicBool,
+    stats: Mutex<ServeStats>,
+    conns: AtomicUsize,
+}
+
+/// A clonable handle for submitting requests and steering the service.
+#[derive(Clone)]
+pub struct ServiceHandle {
+    shared: Arc<ServeShared>,
+}
+
+impl ServiceHandle {
+    /// Submits a walk request. The response arrives on the returned
+    /// channel — immediately for rejections ([`Status::Rejected`] when
+    /// the queue is full, [`Status::ShuttingDown`] after shutdown), or
+    /// once the walk completes, misses its deadline, or fails
+    /// validation.
+    pub fn submit(&self, req: WalkRequest) -> mpsc::Receiver<WalkResponse> {
+        let (tx, rx) = mpsc::channel();
+        if self.is_shutdown() {
+            let _ = tx.send(WalkResponse {
+                status: Status::ShuttingDown,
+                paths: Vec::new(),
+            });
+            return rx;
+        }
+        let mut queue = lock(&self.shared.queue);
+        if queue.len() >= self.shared.cfg.queue_capacity {
+            lock(&self.shared.stats).rejected += 1;
+            let _ = tx.send(WalkResponse {
+                status: Status::Rejected {
+                    retry_after_ms: self.shared.cfg.retry_after_ms,
+                },
+                paths: Vec::new(),
+            });
+            return rx;
+        }
+        queue.push_back(QueuedReq {
+            req,
+            enqueued: Instant::now(),
+            responder: tx,
+        });
+        rx
+    }
+
+    /// Asks the service to drain in-flight and already-queued work, then
+    /// exit. New submissions are refused from this point on. Idempotent;
+    /// callable from any thread (e.g. a signal watcher).
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+    }
+
+    /// Whether a shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.shared.shutdown.load(Ordering::Acquire)
+    }
+
+    /// A snapshot of the service's counters and histograms.
+    pub fn stats(&self) -> ServeStats {
+        lock(&self.shared.stats).clone()
+    }
+
+    /// Listener connections currently open (used to drain writers before
+    /// process exit).
+    pub fn active_connections(&self) -> usize {
+        self.shared.conns.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn conn_opened(&self) {
+        self.shared.conns.fetch_add(1, Ordering::AcqRel);
+    }
+
+    pub(crate) fn conn_closed(&self) {
+        self.shared.conns.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Locks a mutex, ignoring poisoning: every guarded structure here stays
+/// consistent under panic (counters and queues, no multi-step
+/// invariants).
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// The resident walk service.
+pub struct WalkService {
+    shared: Arc<ServeShared>,
+}
+
+impl WalkService {
+    /// Creates a service and its first handle.
+    pub fn new(cfg: ServiceConfig) -> (WalkService, ServiceHandle) {
+        let shared = Arc::new(ServeShared {
+            cfg,
+            queue: Mutex::new(VecDeque::new()),
+            shutdown: AtomicBool::new(false),
+            stats: Mutex::new(ServeStats::default()),
+            conns: AtomicUsize::new(0),
+        });
+        (
+            WalkService {
+                shared: shared.clone(),
+            },
+            ServiceHandle { shared },
+        )
+    }
+
+    /// Runs the service on an in-process cluster of `cfg.n_nodes` node
+    /// threads, blocking until a shutdown drains. Path recording is
+    /// forced on (responses are the paths).
+    ///
+    /// Returns the leader node's accumulated [`WalkMetrics`].
+    pub fn run<P: WalkerProgram>(
+        &self,
+        graph: &CsrGraph,
+        program: P,
+        mut cfg: WalkConfig,
+    ) -> WalkMetrics {
+        cfg.record_paths = true;
+        let n_nodes = cfg.n_nodes;
+        let vertex_count = graph.vertex_count();
+        let engine = RandomWalkEngine::new(graph, program, cfg);
+        let shared = &self.shared;
+        let (mut outs, _comm) = run_cluster_with_metrics::<Msg<P>, _, _>(n_nodes, |ctx| {
+            let mut ctx = ctx;
+            if ctx.node == 0 {
+                let mut driver = QueueDriver::new(shared.clone(), vertex_count);
+                engine.run_service(&mut ctx, Some(&mut driver))
+            } else {
+                engine.run_service(&mut ctx, None::<&mut NoopDriver>)
+            }
+        });
+        self.drain_queue_shutting_down();
+        outs.swap_remove(0)
+    }
+
+    /// Runs the service as the **leader rank of a real cluster** (e.g.
+    /// rank 0 over a `TcpTransport` mesh). Blocks until shutdown drains.
+    pub fn run_leader<P: WalkerProgram, T: Transport<Msg<P>>>(
+        &self,
+        graph: &CsrGraph,
+        program: P,
+        mut cfg: WalkConfig,
+        transport: &mut T,
+    ) -> WalkMetrics {
+        cfg.record_paths = true;
+        let vertex_count = graph.vertex_count();
+        let engine = RandomWalkEngine::new(graph, program, cfg);
+        let mut driver = QueueDriver::new(self.shared.clone(), vertex_count);
+        let metrics = engine.run_service(transport, Some(&mut driver));
+        self.drain_queue_shutting_down();
+        metrics
+    }
+
+    /// Runs a **non-leader rank** of a real cluster: no queue, no
+    /// driver — the rank is steered entirely by the leader's broadcast
+    /// directives. Call with the same graph, program, and config as the
+    /// leader (the SPMD contract).
+    pub fn run_worker<P: WalkerProgram, T: Transport<Msg<P>>>(
+        graph: &CsrGraph,
+        program: P,
+        mut cfg: WalkConfig,
+        transport: &mut T,
+    ) -> WalkMetrics {
+        cfg.record_paths = true;
+        let engine = RandomWalkEngine::new(graph, program, cfg);
+        engine.run_service(transport, None::<&mut NoopDriver>)
+    }
+
+    /// Answers any request that slipped into the queue after the final
+    /// poll (the submit/shutdown race window) so no client blocks on a
+    /// response that will never come.
+    fn drain_queue_shutting_down(&self) {
+        for q in lock(&self.shared.queue).drain(..) {
+            let _ = q.responder.send(WalkResponse {
+                status: Status::ShuttingDown,
+                paths: Vec::new(),
+            });
+        }
+    }
+}
+
+/// One admitted request awaiting completion.
+struct Pending {
+    base: u64,
+    n: u64,
+    finished: u64,
+    frags: Vec<PathEntry>,
+    deadline: Option<Instant>,
+    enqueued: Instant,
+    responder: mpsc::Sender<WalkResponse>,
+}
+
+/// The leader-side [`ServeDriver`] bridging the admission queue and the
+/// engine's serve loop.
+pub(crate) struct QueueDriver {
+    shared: Arc<ServeShared>,
+    vertex_count: usize,
+    /// Next request tag; 0 is reserved for batch walkers.
+    next_tag: u64,
+    /// Next global walker-id base. Bases grow monotonically, so every
+    /// in-flight request owns a disjoint id range.
+    next_base: u64,
+    pending: HashMap<u64, Pending>,
+    /// Walker-id base → request tag, for routing path fragments. A
+    /// fragment's owner is the greatest base at or below its walker id
+    /// (checked against the request's range before accepting).
+    bases: BTreeMap<u64, u64>,
+}
+
+impl QueueDriver {
+    pub(crate) fn new(shared: Arc<ServeShared>, vertex_count: usize) -> Self {
+        QueueDriver {
+            shared,
+            vertex_count,
+            next_tag: 1,
+            next_base: 0,
+            pending: HashMap::new(),
+            bases: BTreeMap::new(),
+        }
+    }
+
+    /// Completes one request: shifts fragment ids back to request-local,
+    /// reassembles paths, and responds.
+    fn complete(&mut self, tag: u64, stats: &mut ServeStats) {
+        let p = self.pending.remove(&tag).expect("completing a known tag");
+        self.bases.remove(&p.base);
+        let mut frags = p.frags;
+        for e in &mut frags {
+            e.walker -= p.base;
+        }
+        let paths = WalkResult::assemble_paths(p.n, frags);
+        stats.completed += 1;
+        stats
+            .latency_us
+            .record(p.enqueued.elapsed().as_micros() as u64);
+        let _ = p.responder.send(WalkResponse {
+            status: Status::Ok,
+            paths,
+        });
+    }
+
+    /// Materializes and validates a request's start vertices, reusing the
+    /// engine's own validation so the error names the offending vertex.
+    fn materialize_starts(&self, spec: &StartSpec) -> Result<Vec<VertexId>, String> {
+        let starts = match spec {
+            StartSpec::Count(n) => WalkerStarts::Count(*n),
+            StartSpec::Explicit(v) => WalkerStarts::Explicit(v.clone()),
+        };
+        starts.validate(self.vertex_count)?;
+        Ok(starts.materialize(self.vertex_count))
+    }
+}
+
+impl ServeDriver for QueueDriver {
+    fn absorb(&mut self, _node: usize, delta: ServeDelta) {
+        for e in delta.paths {
+            // Route by id range. Fragments of killed requests find either
+            // no base or a foreign range and are dropped.
+            let Some((&base, &tag)) = self.bases.range(..=e.walker).next_back() else {
+                continue;
+            };
+            if let Some(p) = self.pending.get_mut(&tag) {
+                if e.walker < base + p.n {
+                    p.frags.push(e);
+                }
+            }
+        }
+        for f in delta.finished {
+            if let Some(p) = self.pending.get_mut(&f.tag) {
+                p.finished += 1;
+            }
+        }
+    }
+
+    fn poll(&mut self, _superstep: u64) -> Directives {
+        let mut dir = Directives::default();
+        let shared = self.shared.clone();
+        let mut stats = lock(&shared.stats);
+        stats.supersteps += 1;
+
+        // Completions first: every walker of the request has landed.
+        let done: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.finished >= p.n)
+            .map(|(&t, _)| t)
+            .collect();
+        let completed_now = done.len() as u64;
+        for tag in done {
+            self.complete(tag, &mut stats);
+        }
+        stats.completed_per_superstep.record(completed_now);
+
+        // Deadlines: force-terminate overdue requests. Their walkers are
+        // killed engine-side; fragments already collected are dropped.
+        let now = Instant::now();
+        let overdue: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.deadline.is_some_and(|d| now >= d))
+            .map(|(&t, _)| t)
+            .collect();
+        for tag in overdue {
+            let p = self.pending.remove(&tag).expect("expiring a known tag");
+            self.bases.remove(&p.base);
+            dir.kill.push(tag);
+            stats.deadline_exceeded += 1;
+            let _ = p.responder.send(WalkResponse {
+                status: Status::DeadlineExceeded,
+                paths: Vec::new(),
+            });
+        }
+
+        // Admissions: bounded batch off the queue.
+        let mut queue = lock(&shared.queue);
+        stats.queue_depth.record(queue.len() as u64);
+        let mut admitted_now = 0u64;
+        while (admitted_now as usize) < shared.cfg.max_admit_per_superstep {
+            let Some(q) = queue.pop_front() else { break };
+            let starts = match self.materialize_starts(&q.req.starts) {
+                Ok(s) => s,
+                Err(msg) => {
+                    let _ = q.responder.send(WalkResponse {
+                        status: Status::Invalid(msg),
+                        paths: Vec::new(),
+                    });
+                    continue;
+                }
+            };
+            if starts.is_empty() {
+                // Zero walkers: trivially complete.
+                stats.completed += 1;
+                stats
+                    .latency_us
+                    .record(q.enqueued.elapsed().as_micros() as u64);
+                let _ = q.responder.send(WalkResponse {
+                    status: Status::Ok,
+                    paths: Vec::new(),
+                });
+                continue;
+            }
+            let tag = self.next_tag;
+            self.next_tag += 1;
+            let base = self.next_base;
+            self.next_base += starts.len() as u64;
+            self.bases.insert(base, tag);
+            self.pending.insert(
+                tag,
+                Pending {
+                    base,
+                    n: starts.len() as u64,
+                    finished: 0,
+                    frags: Vec::new(),
+                    deadline: (q.req.deadline_ms > 0)
+                        .then(|| q.enqueued + Duration::from_millis(q.req.deadline_ms)),
+                    enqueued: q.enqueued,
+                    responder: q.responder,
+                },
+            );
+            dir.admit.push(AdmitRequest {
+                tag,
+                base_id: base,
+                seed: q.req.seed,
+                starts,
+            });
+            stats.admitted += 1;
+            admitted_now += 1;
+        }
+        stats.admitted_per_superstep.record(admitted_now);
+
+        // Drain-then-exit: requests already queued at shutdown are still
+        // admitted and finished; only new submissions are refused (the
+        // handle gates those). The engine exits once no walker remains.
+        dir.shutdown = shared.shutdown.load(Ordering::Acquire) && queue.is_empty();
+        dir
+    }
+}

@@ -1,0 +1,64 @@
+//! Minimal SIGINT/SIGTERM handling (no external crates): a C signal
+//! handler flips an atomic flag; a watcher thread turns the flag into a
+//! [`CancelToken`] cancellation so long-running walks and the serve loop
+//! can drain and flush instead of dying mid-write.
+
+use knightking_core::CancelToken;
+
+#[cfg(unix)]
+mod imp {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::thread;
+    use std::time::Duration;
+
+    use knightking_core::CancelToken;
+
+    static FLAG: AtomicBool = AtomicBool::new(false);
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only async-signal-safe work here: a relaxed store.
+        FLAG.store(true, Ordering::Relaxed);
+    }
+
+    pub fn install() -> CancelToken {
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+        let token = CancelToken::new();
+        let watcher = token.clone();
+        thread::spawn(move || loop {
+            if FLAG.load(Ordering::Relaxed) {
+                watcher.cancel();
+                return;
+            }
+            thread::sleep(Duration::from_millis(50));
+        });
+        token
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    use knightking_core::CancelToken;
+
+    pub fn install() -> CancelToken {
+        // No signal plumbing off unix; the token still works for
+        // programmatic cancellation.
+        CancelToken::new()
+    }
+}
+
+/// Installs SIGINT/SIGTERM handlers (on unix) and returns a token they
+/// cancel. Safe to call more than once; each call returns a fresh token
+/// watched by its own thread.
+pub fn install() -> CancelToken {
+    imp::install()
+}

@@ -1,0 +1,142 @@
+//! Service-level observability: request counters and latency/queue
+//! histograms, sharing `knightking-obs`'s histogram type and report
+//! schemas so existing profile consumers can ingest them unchanged.
+
+use std::io::{self, Write};
+
+use knightking_obs::{write_hist_jsonl, Pow2Histogram};
+
+/// Counters and histograms accumulated over a service's lifetime.
+///
+/// Counters move on the leader's control path (once per superstep or per
+/// request), never inside the walk itself, so serving stays as fast as
+/// batch execution.
+#[derive(Debug, Clone, Default)]
+pub struct ServeStats {
+    /// Requests admitted into the engine.
+    pub admitted: u64,
+    /// Requests completed with `Status::Ok`.
+    pub completed: u64,
+    /// Requests rejected at submission (queue full).
+    pub rejected: u64,
+    /// Requests force-terminated by deadline expiry.
+    pub deadline_exceeded: u64,
+    /// Supersteps the driver has polled.
+    pub supersteps: u64,
+    /// End-to-end request latency (queue entry → response), microseconds.
+    pub latency_us: Pow2Histogram,
+    /// Admission-queue depth sampled once per superstep.
+    pub queue_depth: Pow2Histogram,
+    /// Requests admitted per superstep.
+    pub admitted_per_superstep: Pow2Histogram,
+    /// Requests completed per superstep.
+    pub completed_per_superstep: Pow2Histogram,
+}
+
+impl ServeStats {
+    /// The histograms with their report names.
+    pub fn histograms(&self) -> [(&'static str, &Pow2Histogram); 4] {
+        [
+            ("request_latency_us", &self.latency_us),
+            ("queue_depth", &self.queue_depth),
+            ("admitted_per_superstep", &self.admitted_per_superstep),
+            ("completed_per_superstep", &self.completed_per_superstep),
+        ]
+    }
+
+    /// Writes the machine-readable JSON-lines rendering: one `serve`
+    /// counter line plus one `hist` line per histogram, in the same
+    /// schema as `RunProfile::write_jsonl`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from `w`.
+    pub fn write_jsonl<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        writeln!(
+            w,
+            "{{\"type\":\"serve\",\"admitted\":{},\"completed\":{},\"rejected\":{},\
+             \"deadline_exceeded\":{},\"supersteps\":{}}}",
+            self.admitted, self.completed, self.rejected, self.deadline_exceeded, self.supersteps
+        )?;
+        for (name, h) in self.histograms() {
+            write_hist_jsonl(w, 0, name, h)?;
+        }
+        Ok(())
+    }
+
+    /// Renders a human-readable summary table.
+    pub fn render_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "serve: {} admitted, {} completed, {} rejected, {} deadline-exceeded \
+             over {} supersteps",
+            self.admitted, self.completed, self.rejected, self.deadline_exceeded, self.supersteps
+        );
+        let _ = writeln!(
+            out,
+            "  {:<24} {:>10} {:>10} {:>10} {:>10}",
+            "histogram", "count", "p50", "p99", "max"
+        );
+        for (name, h) in self.histograms() {
+            let _ = writeln!(
+                out,
+                "  {:<24} {:>10} {:>10} {:>10} {:>10}",
+                name,
+                h.count(),
+                h.quantile(0.5),
+                h.quantile(0.99),
+                h.max()
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ServeStats {
+        let mut s = ServeStats {
+            admitted: 10,
+            completed: 8,
+            rejected: 1,
+            deadline_exceeded: 1,
+            supersteps: 40,
+            ..ServeStats::default()
+        };
+        for v in [100, 200, 5000] {
+            s.latency_us.record(v);
+        }
+        s.queue_depth.record(3);
+        s.admitted_per_superstep.record(1);
+        s.completed_per_superstep.record(0);
+        s
+    }
+
+    #[test]
+    fn jsonl_lines_are_balanced_objects() {
+        let mut buf = Vec::new();
+        sample().write_jsonl(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "line: {line}");
+            let open = line.matches(['{', '[']).count();
+            let close = line.matches(['}', ']']).count();
+            assert_eq!(open, close, "unbalanced: {line}");
+        }
+        assert!(text.contains("\"type\":\"serve\""));
+        assert!(text.contains("\"name\":\"request_latency_us\""));
+        assert!(text.contains("\"name\":\"queue_depth\""));
+    }
+
+    #[test]
+    fn table_mentions_counters_and_histograms() {
+        let t = sample().render_table();
+        assert!(t.contains("10 admitted"));
+        assert!(t.contains("request_latency_us"));
+        assert!(t.contains("p99"));
+    }
+}

@@ -1,0 +1,83 @@
+//! End-to-end serving over real sockets: a 2-rank TCP cluster runs the
+//! service, a listener accepts protocol clients, and a served query's
+//! paths are byte-identical to a one-shot batch run with the same seed.
+
+use std::net::TcpListener;
+use std::thread;
+
+use knightking_core::{RandomWalkEngine, WalkConfig, Walker, WalkerProgram, WalkerStarts};
+use knightking_graph::gen;
+use knightking_net::{reserve_loopback_addrs, TcpConfig, TcpTransport};
+use knightking_serve::{
+    protocol, serve_listener, Request, ServiceConfig, StartSpec, Status, WalkRequest, WalkService,
+};
+
+struct Fixed(u32);
+
+impl WalkerProgram for Fixed {
+    type Data = ();
+    type Query = ();
+    type Answer = ();
+    const DYNAMIC: bool = false;
+
+    fn init_data(&self, _id: u64, _start: u32) {}
+    fn should_terminate(&self, w: &mut Walker<()>) -> bool {
+        w.step >= self.0
+    }
+}
+
+#[test]
+fn tcp_served_query_matches_batch_and_shuts_down() {
+    let graph = gen::uniform_degree(80, 5, gen::GenOptions::seeded(23));
+    let batch = RandomWalkEngine::new(&graph, Fixed(9), WalkConfig::single_node(7))
+        .run(WalkerStarts::Count(12));
+
+    let peers = reserve_loopback_addrs(2).unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+
+    let (service, handle) = WalkService::new(ServiceConfig::default());
+
+    thread::scope(|scope| {
+        let graph = &graph;
+        let service = &service;
+
+        // Rank 0: the leader, driving admissions off the shared queue.
+        let peers0 = peers.clone();
+        scope.spawn(move || {
+            let mut t = TcpTransport::establish(TcpConfig::new(0, peers0, 0x5E12)).unwrap();
+            service.run_leader(graph, Fixed(9), WalkConfig::with_nodes(2, 999), &mut t);
+        });
+
+        // Rank 1: a worker steered entirely by broadcast directives.
+        let peers1 = peers.clone();
+        scope.spawn(move || {
+            let mut t = TcpTransport::establish(TcpConfig::new(1, peers1, 0x5E12)).unwrap();
+            WalkService::run_worker(graph, Fixed(9), WalkConfig::with_nodes(2, 999), &mut t);
+        });
+
+        // The front door.
+        let lh = handle.clone();
+        scope.spawn(move || serve_listener(listener, lh).unwrap());
+
+        // A protocol client: query, verify, then ask for shutdown.
+        let mut stream = protocol::connect(addr).unwrap();
+        let resp = protocol::round_trip(
+            &mut stream,
+            41,
+            &Request::Walk(WalkRequest {
+                seed: 7,
+                starts: StartSpec::Count(12),
+                deadline_ms: 0,
+            }),
+        )
+        .unwrap();
+        assert_eq!(resp.status, Status::Ok);
+        assert_eq!(resp.paths, batch.paths);
+
+        let ack = protocol::round_trip(&mut stream, 42, &Request::Shutdown).unwrap();
+        assert_eq!(ack.status, Status::Ok);
+    });
+
+    assert_eq!(handle.stats().completed, 1);
+}

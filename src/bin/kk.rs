@@ -20,6 +20,7 @@ use std::process::ExitCode;
 use knightking::graph::{binfmt, gen, io as gio};
 use knightking::net::reserve_loopback_addrs;
 use knightking::prelude::*;
+use knightking::serve::{protocol, serve_listener, signal, Request, Status, WalkService};
 use knightking::walks::analysis;
 
 /// Minimal flag parser: `--key value` pairs plus boolean `--key` flags.
@@ -228,7 +229,9 @@ fn cmd_walk(args: &Args, transport: Option<&mut TcpTransport>) -> Result<(), Str
             let n = t.world_size();
             let flag: usize = args.parse_num("nodes", n)?;
             if flag != n {
-                return Err(format!("--nodes {flag} disagrees with the {n}-process cluster"));
+                return Err(format!(
+                    "--nodes {flag} disagrees with the {n}-process cluster"
+                ));
             }
             n
         }
@@ -236,13 +239,26 @@ fn cmd_walk(args: &Args, transport: Option<&mut TcpTransport>) -> Result<(), Str
     };
     let seed: u64 = args.parse_num("seed", 1)?;
 
-    let starts = match args.get("walkers") {
-        None | Some("pervertex") => WalkerStarts::PerVertex,
-        Some(n) => WalkerStarts::Count(n.parse().map_err(|_| "bad --walkers".to_string())?),
+    let starts = match (args.get("walkers"), args.get("start")) {
+        (Some(_), Some(_)) => {
+            return Err("--walkers and --start are mutually exclusive".to_string())
+        }
+        (_, Some(list)) => WalkerStarts::Explicit(parse_vertex_list(list)?),
+        (None, None) | (Some("pervertex"), None) => WalkerStarts::PerVertex,
+        (Some(n), None) => WalkerStarts::Count(n.parse().map_err(|_| "bad --walkers".to_string())?),
     };
+    // Validate up front so a typo'd start vertex is a one-line error
+    // naming the vertex, not an index panic deep inside the engine.
+    starts.validate(graph.vertex_count())?;
+
     let mut cfg = WalkConfig::with_nodes(nodes, seed);
     cfg.record_paths = args.get("output").is_some() || args.has("stats");
     cfg.profile = args.get("profile").is_some();
+    // SIGINT/SIGTERM drain the walk and still flush paths/profile below
+    // instead of dropping buffered output. Every cluster rank installs
+    // the same hook, so the cancellation check stays a uniform collective.
+    let cancel = signal::install();
+    cfg.cancel = Some(cancel.clone());
 
     let engine_result = match algo {
         "deepwalk" => run_engine(&graph, DeepWalk::new(length), cfg, starts, transport),
@@ -263,9 +279,7 @@ fn cmd_walk(args: &Args, transport: Option<&mut TcpTransport>) -> Result<(), Str
             let c: f64 = args.parse_num("restart", 0.15)?;
             run_engine(&graph, Rwr::new(c, length), cfg, starts, transport)
         }
-        "nobacktrack" => {
-            run_engine(&graph, NonBacktracking::new(length), cfg, starts, transport)
-        }
+        "nobacktrack" => run_engine(&graph, NonBacktracking::new(length), cfg, starts, transport),
         other => {
             return Err(format!(
                 "unknown --algo {other} (deepwalk|ppr|node2vec|metapath|rwr|nobacktrack)"
@@ -277,6 +291,10 @@ fn cmd_walk(args: &Args, transport: Option<&mut TcpTransport>) -> Result<(), Str
     let Some(engine_result) = engine_result else {
         return Ok(());
     };
+
+    if cancel.is_cancelled() {
+        eprintln!("interrupted: walk drained; flushing partial results");
+    }
 
     eprintln!(
         "{} walks, {} steps, {} iterations in {:?} ({:.2} edges/step, {:.2} trials/step, {} queries)",
@@ -394,6 +412,219 @@ fn cmd_embed(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses a `--start v1,v2,...` vertex list.
+fn parse_vertex_list(list: &str) -> Result<Vec<VertexId>, String> {
+    list.split(',')
+        .map(|s| {
+            s.trim()
+                .parse()
+                .map_err(|_| format!("bad vertex id {s:?} in --start"))
+        })
+        .collect()
+}
+
+/// Writes paths in the same one-walk-per-line format as
+/// `WalkResult::write_paths`, so `kk query --output` and `kk walk
+/// --output` are byte-comparable.
+fn write_path_lines<W: std::io::Write>(writer: W, paths: &[Vec<VertexId>]) -> Result<(), String> {
+    use std::io::Write as _;
+    let mut out = std::io::BufWriter::new(writer);
+    let io = |e: std::io::Error| e.to_string();
+    for path in paths {
+        let mut first = true;
+        for &v in path {
+            if !first {
+                write!(out, " ").map_err(io)?;
+            }
+            write!(out, "{v}").map_err(io)?;
+            first = false;
+        }
+        writeln!(out).map_err(io)?;
+    }
+    out.flush().map_err(io)
+}
+
+/// `kk serve`: load the graph once, then serve walk queries over TCP
+/// until a shutdown request or signal arrives.
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let graph = load_graph(
+        args.require("graph")?,
+        args.has("weighted"),
+        args.has("typed"),
+        !args.has("directed"),
+    )?;
+    let algo = args.require("algo")?;
+    let length: u32 = args.parse_num("length", 80)?;
+    let seed: u64 = args.parse_num("seed", 1)?;
+    match algo {
+        "deepwalk" => serve_program(&graph, DeepWalk::new(length), args),
+        "ppr" => {
+            let pt: f64 = args.parse_num("pt", 1.0 / 80.0)?;
+            serve_program(&graph, Ppr::new(pt), args)
+        }
+        "node2vec" => {
+            let p: f64 = args.parse_num("p", 2.0)?;
+            let q: f64 = args.parse_num("q", 0.5)?;
+            serve_program(&graph, Node2Vec::new(p, q, length), args)
+        }
+        "metapath" => serve_program(&graph, knightking::walks::MetaPath::paper(seed), args),
+        "rwr" => {
+            let c: f64 = args.parse_num("restart", 0.15)?;
+            serve_program(&graph, Rwr::new(c, length), args)
+        }
+        "nobacktrack" => serve_program(&graph, NonBacktracking::new(length), args),
+        other => Err(format!(
+            "unknown --algo {other} (deepwalk|ppr|node2vec|metapath|rwr|nobacktrack)"
+        )),
+    }
+}
+
+/// Runs the resident service for one program: TCP listener, signal
+/// handling, and the in-process node cluster.
+fn serve_program<P: WalkerProgram>(
+    graph: &CsrGraph,
+    program: P,
+    args: &Args,
+) -> Result<(), String> {
+    use knightking::serve::ServiceConfig;
+
+    let nodes: usize = args.parse_num("nodes", 1)?;
+    let seed: u64 = args.parse_num("seed", 1)?;
+    let scfg = ServiceConfig {
+        queue_capacity: args.parse_num("queue-capacity", 64)?,
+        max_admit_per_superstep: args.parse_num("max-admit", 8)?,
+        retry_after_ms: args.parse_num("retry-after", 50)?,
+    };
+    let listen = args.get("listen").unwrap_or("127.0.0.1:0");
+    let listener =
+        std::net::TcpListener::bind(listen).map_err(|e| format!("binding {listen}: {e}"))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("listener address: {e}"))?;
+
+    let (service, handle) = WalkService::new(scfg);
+
+    // SIGINT/SIGTERM become a drain-then-exit shutdown: in-flight and
+    // already-queued walks finish, then the loop and listener stop.
+    let token = signal::install();
+    {
+        let h = handle.clone();
+        std::thread::spawn(move || loop {
+            if token.is_cancelled() {
+                h.shutdown();
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        });
+    }
+
+    let accept_handle = handle.clone();
+    let accept = std::thread::spawn(move || serve_listener(listener, accept_handle));
+
+    // The parseable readiness line scripts wait for (stdout; logs go to
+    // stderr).
+    println!("listening on {addr}");
+    use std::io::Write as _;
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+    eprintln!(
+        "serving {} vertices on {nodes} node(s); ctrl-c or `kk query --addr {addr} --shutdown` to stop",
+        graph.vertex_count()
+    );
+
+    service.run(graph, program, WalkConfig::with_nodes(nodes, seed));
+
+    // Give connection threads a bounded window to flush final responses.
+    let t0 = std::time::Instant::now();
+    while handle.active_connections() > 0 && t0.elapsed() < std::time::Duration::from_secs(5) {
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    accept
+        .join()
+        .map_err(|_| "accept loop panicked".to_string())?
+        .map_err(|e| format!("accept loop: {e}"))?;
+
+    let stats = handle.stats();
+    if args.has("stats") {
+        eprint!("{}", stats.render_table());
+    }
+    if let Some(path) = args.get("stats-output") {
+        let file = std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?;
+        let mut out = std::io::BufWriter::new(file);
+        stats
+            .write_jsonl(&mut out)
+            .and_then(|()| out.flush())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("serve stats written to {path}");
+    }
+    Ok(())
+}
+
+/// `kk query`: one-shot client for a running `kk serve`.
+fn cmd_query(args: &Args) -> Result<(), String> {
+    use knightking::serve::{StartSpec, WalkRequest};
+
+    let addr = args.require("addr")?;
+    let wants_walk = args.get("walkers").is_some() || args.get("start").is_some();
+    if !wants_walk && !args.has("shutdown") {
+        return Err("query needs --walkers, --start, or --shutdown".to_string());
+    }
+    let mut stream = protocol::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+
+    if wants_walk {
+        let starts = match (args.get("walkers"), args.get("start")) {
+            (Some(_), Some(_)) => {
+                return Err("--walkers and --start are mutually exclusive".to_string())
+            }
+            (Some(n), _) => StartSpec::Count(n.parse().map_err(|_| "bad --walkers".to_string())?),
+            (None, Some(list)) => StartSpec::Explicit(parse_vertex_list(list)?),
+            (None, None) => unreachable!("wants_walk implies one of the two"),
+        };
+        let req = Request::Walk(WalkRequest {
+            seed: args.parse_num("seed", 1)?,
+            starts,
+            deadline_ms: args.parse_num("deadline", 0)?,
+        });
+        let resp = protocol::round_trip(&mut stream, 1, &req)
+            .map_err(|e| format!("querying {addr}: {e}"))?;
+        match resp.status {
+            Status::Ok => {
+                eprintln!("{} walks served", resp.paths.len());
+                match args.get("output") {
+                    Some(output) => {
+                        let file = std::fs::File::create(output)
+                            .map_err(|e| format!("creating {output}: {e}"))?;
+                        write_path_lines(file, &resp.paths)?;
+                        eprintln!("paths written to {output}");
+                    }
+                    None => write_path_lines(std::io::stdout(), &resp.paths)?,
+                }
+            }
+            Status::Rejected { retry_after_ms } => {
+                return Err(format!(
+                    "rejected: the admission queue is full; retry after {retry_after_ms}ms"
+                ))
+            }
+            Status::DeadlineExceeded => {
+                return Err("deadline exceeded: the walk was force-terminated".to_string())
+            }
+            Status::ShuttingDown => {
+                return Err("the service is shutting down and admits nothing new".to_string())
+            }
+            Status::Invalid(msg) => return Err(format!("invalid request: {msg}")),
+        }
+    }
+
+    if args.has("shutdown") {
+        let ack = protocol::round_trip(&mut stream, 2, &Request::Shutdown)
+            .map_err(|e| format!("shutting down {addr}: {e}"))?;
+        match ack.status {
+            Status::Ok => eprintln!("shutdown requested; the service drains and exits"),
+            other => return Err(format!("unexpected shutdown ack: {other:?}")),
+        }
+    }
+    Ok(())
+}
+
 /// `kk cluster [--nodes N | --hostfile F --rank R] [--epoch E] -- walk ...`
 ///
 /// Two modes share one entry point:
@@ -504,12 +735,18 @@ fn cluster_worker(args: &Args, walk_args: &[String]) -> Result<(), String> {
     let epoch: u64 = args.parse_num("epoch", 0)?;
     let peers = parse_peers(args)?;
     if rank >= peers.len() {
-        return Err(format!("--rank {rank} out of range for {} peers", peers.len()));
+        return Err(format!(
+            "--rank {rank} out of range for {} peers",
+            peers.len()
+        ));
     }
     if args.get("nodes").is_some() {
         let n: usize = args.parse_num("nodes", peers.len())?;
         if n != peers.len() {
-            return Err(format!("--nodes {n} but peer list has {} entries", peers.len()));
+            return Err(format!(
+                "--nodes {n} but peer list has {} entries",
+                peers.len()
+            ));
         }
     }
     let mut transport = TcpTransport::establish(TcpConfig::new(rank, peers, epoch))
@@ -531,8 +768,18 @@ USAGE:
   kk stats    --graph <file> [--weighted] [--typed] [--directed]
   kk walk     --graph <file> --algo <deepwalk|ppr|node2vec|metapath|rwr|nobacktrack>
               [--length N] [--p P] [--q Q] [--pt PT] [--restart C]
-              [--walkers N|pervertex] [--nodes N] [--seed S]
+              [--walkers N|pervertex | --start v1,v2,...] [--nodes N] [--seed S]
               [--output paths.txt] [--stats] [--profile prof.jsonl]
+  kk serve    --graph <file> --algo <...> [walk params as above]
+              [--listen 127.0.0.1:0] [--nodes N] [--queue-capacity C]
+              [--max-admit A] [--retry-after MS] [--seed S]
+              [--stats] [--stats-output serve.jsonl]
+              load the graph once, print `listening on <addr>`, and serve
+              walk queries until `kk query --shutdown` or SIGINT/SIGTERM
+  kk query    --addr <host:port> [--walkers N | --start v1,v2,...]
+              [--seed S] [--deadline MS] [--output paths.txt] [--shutdown]
+              served paths are byte-identical to `kk walk` with the same
+              seed and starts
   kk cluster  [--nodes N] -- walk <walk args...>
               spawn N local worker processes talking real TCP on loopback
   kk cluster  --hostfile <file> --rank R [--epoch E] -- walk <walk args...>
@@ -549,7 +796,7 @@ fn main() -> ExitCode {
         eprint!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    let bool_flags = ["weighted", "typed", "directed", "stats"];
+    let bool_flags = ["weighted", "typed", "directed", "stats", "shutdown"];
     let result = if cmd == "cluster" {
         // `--` separates cluster flags from the walk invocation.
         match rest.iter().position(|a| a == "--") {
@@ -564,6 +811,8 @@ fn main() -> ExitCode {
                 "convert" => cmd_convert(&args),
                 "stats" => cmd_stats(&args),
                 "walk" => cmd_walk(&args, None),
+                "serve" => cmd_serve(&args),
+                "query" => cmd_query(&args),
                 "embed" => cmd_embed(&args),
                 "help" | "--help" | "-h" => {
                     print!("{USAGE}");

@@ -27,6 +27,10 @@
 //! * [`baseline`] — the comparison systems: traditional full-scan
 //!   sampling and a Gemini-style two-phase distributed engine
 //!   ([`knightking_baseline`]).
+//! * [`serve`] — the resident walk service: the graph loads once and walk
+//!   requests are admitted continuously at superstep boundaries, with
+//!   bounded-queue backpressure and per-request deadlines
+//!   ([`knightking_serve`]).
 //!
 //! # Quick start
 //!
@@ -58,6 +62,7 @@ pub use knightking_core as core;
 pub use knightking_graph as graph;
 pub use knightking_net as net;
 pub use knightking_sampling as sampling;
+pub use knightking_serve as serve;
 pub use knightking_walks as walks;
 
 pub use knightking_core::{
@@ -75,6 +80,7 @@ pub mod prelude {
     };
     pub use knightking_graph::{gen, io, GraphBuilder, Partition};
     pub use knightking_net::{TcpConfig, TcpTransport};
+    pub use knightking_serve::{ServiceConfig, ServiceHandle, StartSpec, WalkRequest, WalkService};
     pub use knightking_walks::{
         DeepWalk, IndexedNode2Vec, MetaPath, Node2Vec, NonBacktracking, Ppr, Rwr,
     };

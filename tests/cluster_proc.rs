@@ -2,7 +2,7 @@
 //! talking TCP on loopback, and their merged output must be byte-for-byte
 //! what the in-process simulation produces from the same seed.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::Command;
 use std::time::{Duration, Instant};
 
@@ -16,7 +16,7 @@ fn tmp(name: &str) -> PathBuf {
     dir.join(name)
 }
 
-fn generate(graph: &PathBuf, scale: &str, seed: &str) {
+fn generate(graph: &Path, scale: &str, seed: &str) {
     let out = kk()
         .args(["generate", "--kind", "twitter", "--scale", scale])
         .args(["--weighted", "--seed", seed])
@@ -107,7 +107,10 @@ fn cluster_worker_failure_fails_the_launch() {
         .args(["--algo", "no-such-algo"])
         .output()
         .expect("run kk cluster");
-    assert!(!out.status.success(), "launcher must propagate worker failure");
+    assert!(
+        !out.status.success(),
+        "launcher must propagate worker failure"
+    );
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("worker"), "{stderr}");
 }

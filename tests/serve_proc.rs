@@ -1,0 +1,168 @@
+//! Process-level serve tests: a real `kk serve` child process, queried by
+//! `kk query` over TCP, must return paths byte-identical to `kk walk`
+//! with the same seed, and must drain and exit on a shutdown request.
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn kk() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_kk"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("kk_serve_tests");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir.join(name)
+}
+
+fn generate(graph: &Path) {
+    let out = kk()
+        .args([
+            "generate", "--kind", "uniform", "--n", "200", "--degree", "6",
+        ])
+        .args(["--seed", "5", "--output", graph.to_str().unwrap()])
+        .output()
+        .expect("run kk generate");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+/// Spawns `kk serve` and reads its readiness line for the bound address.
+fn spawn_serve(graph: &Path) -> (Child, String) {
+    let mut child = kk()
+        .args(["serve", "--graph", graph.to_str().unwrap()])
+        .args([
+            "--algo", "node2vec", "--p", "2", "--q", "0.5", "--length", "12",
+        ])
+        .args(["--listen", "127.0.0.1:0", "--seed", "999"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn kk serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read readiness line");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected readiness line: {line:?}"))
+        .to_string();
+    (child, addr)
+}
+
+/// Waits for the child with a deadline, killing it on timeout so the test
+/// fails rather than hangs.
+fn wait_with_deadline(child: &mut Child, deadline: Duration) -> std::process::ExitStatus {
+    let t0 = Instant::now();
+    loop {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            return status;
+        }
+        if t0.elapsed() > deadline {
+            let _ = child.kill();
+            panic!("kk serve did not exit after shutdown within {deadline:?}");
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+#[test]
+fn served_query_matches_kk_walk_and_shutdown_drains() {
+    let graph = tmp("serve.kkg");
+    let batch_out = tmp("serve_batch.txt");
+    let served_out = tmp("serve_query.txt");
+    generate(&graph);
+
+    // Ground truth: a one-shot batch walk with seed 7.
+    let out = kk()
+        .args(["walk", "--graph", graph.to_str().unwrap()])
+        .args([
+            "--algo", "node2vec", "--p", "2", "--q", "0.5", "--length", "12",
+        ])
+        .args(["--walkers", "20", "--seed", "7"])
+        .args(["--output", batch_out.to_str().unwrap()])
+        .output()
+        .expect("run kk walk");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let (mut child, addr) = spawn_serve(&graph);
+
+    // The served query (note: the service itself was seeded 999).
+    let out = kk()
+        .args(["query", "--addr", &addr, "--walkers", "20", "--seed", "7"])
+        .args(["--output", served_out.to_str().unwrap()])
+        .output()
+        .expect("run kk query");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let batch = std::fs::read(&batch_out).expect("read batch paths");
+    let served = std::fs::read(&served_out).expect("read served paths");
+    assert!(!batch.is_empty());
+    assert_eq!(
+        batch, served,
+        "served paths must be byte-identical to the batch walk"
+    );
+
+    // An invalid start vertex is a clean client-side error naming it.
+    let out = kk()
+        .args(["query", "--addr", &addr, "--start", "3,999999"])
+        .output()
+        .expect("run kk query with a bad start");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("999999"),
+        "error should name the offending vertex: {err}"
+    );
+
+    // Shutdown: the ack must arrive and the server process must exit 0.
+    let out = kk()
+        .args(["query", "--addr", &addr, "--shutdown"])
+        .output()
+        .expect("run kk query --shutdown");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let status = wait_with_deadline(&mut child, Duration::from_secs(30));
+    assert!(status.success(), "kk serve exited with {status}");
+}
+
+#[test]
+fn walk_rejects_out_of_range_explicit_start() {
+    let graph = tmp("starts.kkg");
+    generate(&graph);
+
+    let out = kk()
+        .args(["walk", "--graph", graph.to_str().unwrap()])
+        .args(["--algo", "deepwalk", "--length", "5", "--start", "1,2,4096"])
+        .output()
+        .expect("run kk walk");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("4096"),
+        "error should name the offending vertex: {err}"
+    );
+    assert!(
+        err.contains("200"),
+        "error should name the graph bound: {err}"
+    );
+}

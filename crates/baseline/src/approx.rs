@@ -18,7 +18,7 @@
 //! `approx` benchmark binary quantifies each method's distributional
 //! error against exact node2vec alongside its run time.
 
-use knightking_core::{CsrGraph, EdgeView, OutlierSlot, VertexId, Walker, WalkerProgram};
+use knightking_core::{CsrGraph, EdgeView, GraphRef, OutlierSlot, VertexId, Walker, WalkerProgram};
 use knightking_graph::GraphBuilder;
 use knightking_sampling::DeterministicRng;
 use knightking_walks::Node2Vec;
@@ -88,7 +88,7 @@ impl StaticSwitchNode2Vec {
     }
 
     #[inline]
-    fn switched(&self, graph: &CsrGraph, v: VertexId) -> bool {
+    fn switched(&self, graph: &GraphRef<'_>, v: VertexId) -> bool {
         graph.degree(v) > self.degree_threshold
     }
 }
@@ -119,13 +119,13 @@ impl WalkerProgram for StaticSwitchNode2Vec {
         self.inner.state_query(walker, candidate)
     }
 
-    fn answer_query(&self, graph: &CsrGraph, target: VertexId, candidate: VertexId) -> bool {
+    fn answer_query(&self, graph: &GraphRef<'_>, target: VertexId, candidate: VertexId) -> bool {
         self.inner.answer_query(graph, target, candidate)
     }
 
     fn dynamic_comp(
         &self,
-        graph: &CsrGraph,
+        graph: &GraphRef<'_>,
         walker: &Walker<()>,
         edge: EdgeView,
         answer: Option<bool>,
@@ -137,7 +137,7 @@ impl WalkerProgram for StaticSwitchNode2Vec {
         }
     }
 
-    fn upper_bound(&self, graph: &CsrGraph, walker: &Walker<()>) -> f64 {
+    fn upper_bound(&self, graph: &GraphRef<'_>, walker: &Walker<()>) -> f64 {
         if self.switched(graph, walker.current) {
             1.0
         } else {
@@ -145,7 +145,7 @@ impl WalkerProgram for StaticSwitchNode2Vec {
         }
     }
 
-    fn lower_bound(&self, graph: &CsrGraph, walker: &Walker<()>) -> f64 {
+    fn lower_bound(&self, graph: &GraphRef<'_>, walker: &Walker<()>) -> f64 {
         if self.switched(graph, walker.current) {
             1.0 // Pd ≡ 1: every dart pre-accepts, no queries at hubs.
         } else {
@@ -153,7 +153,12 @@ impl WalkerProgram for StaticSwitchNode2Vec {
         }
     }
 
-    fn declare_outliers(&self, graph: &CsrGraph, walker: &Walker<()>, out: &mut Vec<OutlierSlot>) {
+    fn declare_outliers(
+        &self,
+        graph: &GraphRef<'_>,
+        walker: &Walker<()>,
+        out: &mut Vec<OutlierSlot>,
+    ) {
         if !self.switched(graph, walker.current) {
             self.inner.declare_outliers(graph, walker, out);
         }

@@ -8,7 +8,7 @@
 //! outliers — that separation is KnightKing's contribution, and the
 //! baselines deliberately lack it.
 
-use knightking_core::{Walker, Wire};
+use knightking_core::{Walker, Wire, WireError};
 use knightking_graph::{CsrGraph, EdgeTypeId, EdgeView, VertexId};
 use knightking_sampling::DeterministicRng;
 use knightking_walks::{MetaPath, Node2Vec, Ppr};
@@ -112,8 +112,8 @@ impl Wire for ScmState {
     fn wire_size(&self) -> usize {
         self.0.wire_size()
     }
-    fn encode(&self, out: &mut Vec<u8>) {
-        self.0.encode(out);
+    fn encode(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
+        self.0.encode(out)
     }
     fn decode(input: &mut &[u8]) -> std::io::Result<Self> {
         Ok(ScmState(u32::decode(input)?))

@@ -1,0 +1,244 @@
+//! Walk latency under live-update churn: closed-loop clients query a
+//! resident service while an updater applies batches of edge updates at
+//! every superstep boundary, sweeping churn from zero to heavy. The
+//! static-CSR service is the baseline row — the price of the dynamic
+//! layer with no churn at all is the gap between the first two rows.
+//!
+//! Churn is reweight-only so topology (and thus walk termination) is
+//! stable across rows; reweights still dirty the touched rows and force
+//! per-vertex sampler rebuilds, which is the cost being measured.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::thread;
+use std::time::Instant;
+
+use knightking_bench::{graphs::StandIn, HarnessOpts, Table};
+use knightking_core::WalkConfig;
+use knightking_dyn::{DynConfig, DynGraph, EdgeReweight, UpdateBatch};
+use knightking_obs::Pow2Histogram;
+use knightking_serve::{ServiceConfig, StartSpec, Status, WalkRequest, WalkService};
+use knightking_walks::DeepWalk;
+
+/// A minimal LCG — batch generation only.
+struct Lcg(u64);
+
+impl Lcg {
+    fn below(&mut self, n: u64) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (self.0 >> 33) % n.max(1)
+    }
+}
+
+fn churn_batch(rng: &mut Lcg, n_vertices: u64, ops: usize) -> UpdateBatch {
+    let mut batch = UpdateBatch::default();
+    batch.reweights.reserve(ops);
+    for _ in 0..ops {
+        batch.reweights.push(EdgeReweight {
+            src: rng.below(n_vertices) as u32,
+            dst: rng.below(n_vertices) as u32,
+            weight: 1.0 + rng.below(40) as f32 * 0.1,
+        });
+    }
+    batch
+}
+
+struct RowResult {
+    ok: u64,
+    updates: u64,
+    hist: Pow2Histogram,
+    wall: f64,
+}
+
+/// Runs one sweep row: closed-loop clients against `service`, plus (for
+/// dynamic rows) an updater pushing `ops_per_batch` reweights per
+/// superstep. The caller picks the graph behind the service.
+#[allow(clippy::too_many_arguments)]
+fn drive(
+    service: &WalkService,
+    handle: &knightking_serve::ServiceHandle,
+    run: impl FnOnce(),
+    clients: usize,
+    requests_per_client: usize,
+    walkers_per_request: usize,
+    n_vertices: u64,
+    ops_per_batch: usize,
+) -> RowResult {
+    let hist = Mutex::new(Pow2Histogram::default());
+    let ok = AtomicU64::new(0);
+    let failed = AtomicU64::new(0);
+    let done = AtomicBool::new(false);
+    let updates = AtomicU64::new(0);
+    let t0 = Instant::now();
+    let _ = service; // the runner closure owns the serve loop
+
+    thread::scope(|scope| {
+        for c in 0..clients {
+            let client = handle.clone();
+            let (hist, ok, failed) = (&hist, &ok, &failed);
+            scope.spawn(move || {
+                for r in 0..requests_per_client {
+                    let sent = Instant::now();
+                    let rx = client.submit(WalkRequest {
+                        seed: (c * requests_per_client + r) as u64,
+                        starts: StartSpec::Count(walkers_per_request as u64),
+                        deadline_ms: 0,
+                    });
+                    match rx.recv().expect("service dropped the responder").status {
+                        Status::Ok => {
+                            ok.fetch_add(1, Ordering::Relaxed);
+                            hist.lock()
+                                .unwrap()
+                                .record(sent.elapsed().as_micros() as u64);
+                        }
+                        _ => {
+                            failed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+
+        if ops_per_batch > 0 {
+            let updater = handle.clone();
+            let (done, updates) = (&done, &updates);
+            scope.spawn(move || {
+                let mut rng = Lcg(0xC0FFEE);
+                while !done.load(Ordering::Relaxed) {
+                    let batch = churn_batch(&mut rng, n_vertices, ops_per_batch);
+                    let rx = updater.submit_update(batch);
+                    match rx.recv() {
+                        Ok(resp) if matches!(resp.status, Status::Updated { .. }) => {
+                            updates.fetch_add(1, Ordering::Relaxed);
+                        }
+                        _ => return, // shutting down or rejected: stop churning
+                    }
+                }
+            });
+        }
+
+        let closer = handle.clone();
+        let total = (clients * requests_per_client) as u64;
+        let (ok, failed, done) = (&ok, &failed, &done);
+        scope.spawn(move || {
+            while ok.load(Ordering::Relaxed) + failed.load(Ordering::Relaxed) < total {
+                thread::sleep(std::time::Duration::from_millis(5));
+            }
+            done.store(true, Ordering::Relaxed);
+            closer.shutdown();
+        });
+
+        run();
+    });
+
+    RowResult {
+        ok: ok.load(Ordering::Relaxed),
+        updates: updates.load(Ordering::Relaxed),
+        hist: hist.into_inner().unwrap(),
+        wall: t0.elapsed().as_secs_f64(),
+    }
+}
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let scale = opts.effective_scale(12);
+    let graph = StandIn::Twitter.build(scale, true, false);
+    let n_vertices = graph.vertex_count() as u64;
+    let (clients, requests_per_client, walkers_per_request) =
+        if opts.quick { (2, 4, 8) } else { (4, 24, 64) };
+    let churn_levels: &[usize] = if opts.quick {
+        &[0, 64, 1024]
+    } else {
+        &[0, 1_000, 100_000]
+    };
+    println!(
+        "Walk latency under churn (Twitter stand-in, scale {scale}, weighted, {} nodes, \
+         deepwalk len=20, {clients} clients x {requests_per_client} requests x \
+         {walkers_per_request} walkers)\n",
+        opts.nodes
+    );
+
+    let mut table = Table::new(&[
+        "graph",
+        "ops/superstep",
+        "ok",
+        "updates",
+        "p50 (ms)",
+        "p99 (ms)",
+        "max (ms)",
+        "req/s",
+    ]);
+
+    let cfg = || {
+        let mut c = WalkConfig::with_nodes(opts.nodes, 999);
+        c.record_paths = true;
+        c
+    };
+    let scfg = ServiceConfig {
+        queue_capacity: clients * requests_per_client,
+        ..ServiceConfig::default()
+    };
+
+    // Baseline: the static CSR path, untouched by the dynamic layer.
+    {
+        let (service, handle) = WalkService::new(scfg.clone());
+        let r = drive(
+            &service,
+            &handle,
+            || {
+                service.run(&graph, DeepWalk::new(20), cfg());
+            },
+            clients,
+            requests_per_client,
+            walkers_per_request,
+            n_vertices,
+            0,
+        );
+        table.row(&[
+            "static".to_string(),
+            "-".to_string(),
+            format!("{}", r.ok),
+            "-".to_string(),
+            format!("{:.2}", r.hist.quantile(0.5) as f64 / 1000.0),
+            format!("{:.2}", r.hist.quantile(0.99) as f64 / 1000.0),
+            format!("{:.2}", r.hist.max() as f64 / 1000.0),
+            format!("{:.1}", r.ok as f64 / r.wall),
+        ]);
+    }
+
+    for &ops in churn_levels {
+        let dyn_graph = DynGraph::new(graph.clone(), DynConfig::default());
+        let (service, handle) = WalkService::new(scfg.clone());
+        let r = drive(
+            &service,
+            &handle,
+            || {
+                service.run(&dyn_graph, DeepWalk::new(20), cfg());
+            },
+            clients,
+            requests_per_client,
+            walkers_per_request,
+            n_vertices,
+            ops,
+        );
+        table.row(&[
+            "dynamic".to_string(),
+            format!("{ops}"),
+            format!("{}", r.ok),
+            format!("{}", r.updates),
+            format!("{:.2}", r.hist.quantile(0.5) as f64 / 1000.0),
+            format!("{:.2}", r.hist.quantile(0.99) as f64 / 1000.0),
+            format!("{:.2}", r.hist.max() as f64 / 1000.0),
+            format!("{:.1}", r.ok as f64 / r.wall),
+        ]);
+    }
+    table.print();
+
+    println!(
+        "\nlatency is end-to-end per request; `updates` counts applied batches \
+         (one per superstep boundary at most)"
+    );
+}

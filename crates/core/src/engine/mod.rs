@@ -24,13 +24,16 @@ mod instrument;
 mod second_order;
 mod serve;
 
-pub use serve::{AdmitRequest, Directives, FinishedWalk, NoopDriver, ServeDelta, ServeDriver};
+pub use serve::{
+    AdmitRequest, Directives, EpochUpdate, FinishedWalk, NoopDriver, ServeDelta, ServeDriver,
+};
 
+use std::collections::HashMap;
 use std::time::Instant;
 
 use knightking_cluster::{comm::run_cluster_with_metrics, Scheduler};
 use knightking_graph::{CsrGraph, EdgeView, Partition, VertexId};
-use knightking_net::{Transport, Wire};
+use knightking_net::{Transport, Wire, WireError};
 use knightking_sampling::{
     rejection::{Envelope, OutlierSlot},
     AliasTable, CdfTable, DeterministicRng,
@@ -38,6 +41,7 @@ use knightking_sampling::{
 
 use crate::{
     config::{WalkConfig, WalkerStarts},
+    graphref::GraphRef,
     metrics::WalkMetrics,
     program::{NoopObserver, WalkObserver, WalkerProgram},
     result::{PathEntry, WalkResult},
@@ -67,6 +71,10 @@ pub enum Msg<P: WalkerProgram> {
         tag: u32,
         /// Vertex whose owner executes the query.
         target: VertexId,
+        /// The asking walker's pinned graph epoch: the owner answers
+        /// against the same snapshot the walker samples (0 on static
+        /// runs).
+        epoch: u64,
         /// Program-defined payload.
         payload: P::Query,
     },
@@ -94,12 +102,14 @@ impl<P: WalkerProgram> Wire for Msg<P> {
                 slot,
                 tag,
                 target,
+                epoch,
                 payload,
             } => {
                 from.wire_size()
                     + slot.wire_size()
                     + tag.wire_size()
                     + target.wire_size()
+                    + epoch.wire_size()
                     + payload.wire_size()
             }
             Msg::Answer { slot, tag, payload } => {
@@ -107,31 +117,33 @@ impl<P: WalkerProgram> Wire for Msg<P> {
             }
         }
     }
-    fn encode(&self, out: &mut Vec<u8>) {
+    fn encode(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
         match self {
             Msg::Move(walker) => {
                 out.push(0);
-                walker.encode(out);
+                walker.encode(out)
             }
             Msg::Query {
                 from,
                 slot,
                 tag,
                 target,
+                epoch,
                 payload,
             } => {
                 out.push(1);
-                from.encode(out);
-                slot.encode(out);
-                tag.encode(out);
-                target.encode(out);
-                payload.encode(out);
+                from.encode(out)?;
+                slot.encode(out)?;
+                tag.encode(out)?;
+                target.encode(out)?;
+                epoch.encode(out)?;
+                payload.encode(out)
             }
             Msg::Answer { slot, tag, payload } => {
                 out.push(2);
-                slot.encode(out);
-                tag.encode(out);
-                payload.encode(out);
+                slot.encode(out)?;
+                tag.encode(out)?;
+                payload.encode(out)
             }
         }
     }
@@ -143,6 +155,7 @@ impl<P: WalkerProgram> Wire for Msg<P> {
                 slot: u32::decode(input)?,
                 tag: u32::decode(input)?,
                 target: VertexId::decode(input)?,
+                epoch: u64::decode(input)?,
                 payload: P::Query::decode(input)?,
             }),
             2 => Ok(Msg::Answer {
@@ -236,9 +249,25 @@ impl<P: WalkerProgram, O: WalkObserver<P::Data>> ChunkAcc<P, O> {
     }
 }
 
-/// Immutable per-node runtime shared by the execution paths.
+/// One vertex's rebuilt static sampling structures, stamped at the epoch
+/// of the update that invalidated them. Only the field matching the
+/// run's mode is populated (alias for decoupled-biased, `max_ps` for
+/// mixed).
+pub(crate) struct SamplerEntry {
+    pub(crate) alias: Option<AliasTable>,
+    pub(crate) max_ps: f64,
+}
+
+/// Per-node runtime shared by the execution paths. Immutable during an
+/// iteration; dynamic runs mutate the sampler overrides between
+/// supersteps via [`NodeRt::apply_update`] (exclusive access — the serve
+/// loop holds `&mut`).
 pub(crate) struct NodeRt<'a, P: WalkerProgram, O: WalkObserver<P::Data>> {
-    pub(crate) graph: &'a CsrGraph,
+    /// This node's graph view. Static runs: the local CSR slice (owned
+    /// vertices' out-edges only). Dynamic runs: the shared/full dynamic
+    /// graph pinned at the build epoch; per-walker access re-pins via
+    /// [`GraphRef::at`].
+    pub(crate) graph: GraphRef<'a>,
     pub(crate) program: &'a P,
     pub(crate) observer: &'a O,
     pub(crate) partition: &'a Partition,
@@ -247,10 +276,17 @@ pub(crate) struct NodeRt<'a, P: WalkerProgram, O: WalkObserver<P::Data>> {
     /// First vertex owned by this node.
     pub(crate) base: VertexId,
     /// Alias tables for owned vertices (`None` for degree-0 vertices);
-    /// empty when the static component is uniform.
+    /// empty when the static component is uniform. Built at
+    /// [`NodeRt::graph`]'s epoch; superseded per vertex by `overrides`.
     pub(crate) alias: Vec<Option<AliasTable>>,
     /// Per-owned-vertex maximum `Ps`, used only in mixed mode (Figure 8).
     pub(crate) max_ps: Vec<f64>,
+    /// Epoch-versioned sampler rebuilds, keyed by local vertex index —
+    /// only the vertices graph updates touched ever get an entry, which
+    /// is what makes maintenance incremental. Versions are epoch-sorted;
+    /// a walker pinned at epoch `e` uses the latest version ≤ `e`,
+    /// falling back to the build-time `alias`/`max_ps` tables.
+    pub(crate) overrides: HashMap<u32, Vec<(u64, SamplerEntry)>>,
     /// Whether candidates are drawn from alias tables (biased static
     /// component, decoupled mode).
     pub(crate) biased: bool,
@@ -273,7 +309,7 @@ impl<'a, P: WalkerProgram, O: WalkObserver<P::Data>> NodeRt<'a, P, O> {
     /// Builds the per-node runtime, including alias tables for owned
     /// vertices (parallel over the scheduler).
     fn build(
-        graph: &'a CsrGraph,
+        graph: GraphRef<'a>,
         program: &'a P,
         observer: &'a O,
         partition: &'a Partition,
@@ -293,13 +329,13 @@ impl<'a, P: WalkerProgram, O: WalkObserver<P::Data>> NodeRt<'a, P, O> {
                 Vec::new,
                 |_base, slice, acc: &mut Vec<Option<AliasTable>>| {
                     for &v in slice.iter() {
-                        if graph.degree(v) == 0 {
+                        let deg = graph.degree(v);
+                        if deg == 0 {
                             acc.push(None);
                         } else {
-                            let weights: Vec<f64> = graph
-                                .edges(v)
-                                .map(|e| program.static_comp(graph, e))
-                                .collect();
+                            let mut weights: Vec<f64> = Vec::with_capacity(deg);
+                            graph
+                                .for_each_edge(v, |e| weights.push(program.static_comp(&graph, e)));
                             acc.push(AliasTable::new(&weights).ok());
                         }
                     }
@@ -314,10 +350,9 @@ impl<'a, P: WalkerProgram, O: WalkObserver<P::Data>> NodeRt<'a, P, O> {
             (0..n_local)
                 .map(|i| {
                     let v = base + i as VertexId;
-                    graph
-                        .edges(v)
-                        .map(|e| program.static_comp(graph, e))
-                        .fold(0.0f64, f64::max)
+                    let mut m = 0.0f64;
+                    graph.for_each_edge(v, |e| m = m.max(program.static_comp(&graph, e)));
+                    m
                 })
                 .collect()
         } else {
@@ -334,21 +369,98 @@ impl<'a, P: WalkerProgram, O: WalkObserver<P::Data>> NodeRt<'a, P, O> {
             base,
             alias,
             max_ps,
+            overrides: HashMap::new(),
             biased,
         }
     }
 
-    /// Static component of an edge, as the program defines it.
-    #[inline]
-    pub(crate) fn ps(&self, edge: EdgeView) -> f64 {
-        self.program.static_comp(self.graph, edge)
+    /// Rebuilds the static sampling structures of the update-touched
+    /// owned vertices, versioned at `epoch`. Called by the serve loop at
+    /// the superstep boundary right after the graph update applies —
+    /// exactly the touched vertices are rebuilt, nothing else. Returns
+    /// the number of rebuilds performed (feeds
+    /// `WalkMetrics::sampler_rebuilds`).
+    pub(crate) fn apply_update(&mut self, epoch: u64, touched: &[VertexId]) -> u64 {
+        if self.cfg.decoupled_static && !self.biased {
+            // Uniform static component: no per-vertex structures exist.
+            return 0;
+        }
+        let mut rebuilt = 0u64;
+        let g = self.graph.at(epoch);
+        for &v in touched {
+            debug_assert_eq!(self.partition.owner(v), self.me);
+            let deg = g.degree(v);
+            let alias = if self.biased && deg > 0 {
+                let mut weights: Vec<f64> = Vec::with_capacity(deg);
+                g.for_each_edge(v, |e| weights.push(self.program.static_comp(&g, e)));
+                AliasTable::new(&weights).ok()
+            } else {
+                None
+            };
+            let max_ps = if !self.cfg.decoupled_static {
+                let mut m = 0.0f64;
+                g.for_each_edge(v, |e| m = m.max(self.program.static_comp(&g, e)));
+                m
+            } else {
+                0.0
+            };
+            self.overrides
+                .entry(v - self.base)
+                .or_default()
+                .push((epoch, SamplerEntry { alias, max_ps }));
+            rebuilt += 1;
+        }
+        rebuilt
     }
 
-    /// Draws a candidate edge index from the static distribution.
+    /// Drops sampler versions no live walker can pin anymore — the
+    /// sampler-side mirror of `DynGraph::retire`.
+    pub(crate) fn retire_samplers(&mut self, watermark: u64) {
+        for vers in self.overrides.values_mut() {
+            let n = vers.partition_point(|(ep, _)| *ep <= watermark);
+            if n > 1 {
+                vers.drain(..n - 1);
+            }
+        }
+    }
+
+    /// The sampler override in effect for `local` at `epoch`, if any.
     #[inline]
-    pub(crate) fn candidate(&self, v: VertexId, deg: usize, rng: &mut DeterministicRng) -> usize {
+    fn override_at(&self, local: u32, epoch: u64) -> Option<&SamplerEntry> {
+        if self.overrides.is_empty() {
+            return None; // static runs: zero-cost path
+        }
+        let vers = self.overrides.get(&local)?;
+        vers.iter()
+            .rev()
+            .find(|(ep, _)| *ep <= epoch)
+            .map(|(_, e)| e)
+    }
+
+    /// Static component of an edge, as the program defines it, against
+    /// the pinned graph view `g`.
+    #[inline]
+    pub(crate) fn ps(&self, g: GraphRef<'_>, edge: EdgeView) -> f64 {
+        self.program.static_comp(&g, edge)
+    }
+
+    /// Draws a candidate edge index from the static distribution at the
+    /// walker's pinned epoch.
+    #[inline]
+    pub(crate) fn candidate(
+        &self,
+        v: VertexId,
+        deg: usize,
+        epoch: u64,
+        rng: &mut DeterministicRng,
+    ) -> usize {
         if self.biased {
-            match &self.alias[(v - self.base) as usize] {
+            let local = v - self.base;
+            let table = match self.override_at(local, epoch) {
+                Some(entry) => entry.alias.as_ref(),
+                None => self.alias[local as usize].as_ref(),
+            };
+            match table {
                 Some(table) => table.sample(rng),
                 None => rng.next_index(deg),
             }
@@ -357,15 +469,28 @@ impl<'a, P: WalkerProgram, O: WalkObserver<P::Data>> NodeRt<'a, P, O> {
         }
     }
 
-    /// Sum of static components at `v` (the envelope's width).
+    /// Sum of static components at `v` (the envelope's width) at `epoch`.
     #[inline]
-    pub(crate) fn static_total(&self, v: VertexId, deg: usize) -> f64 {
+    pub(crate) fn static_total(&self, v: VertexId, deg: usize, epoch: u64) -> f64 {
         if self.biased {
-            self.alias[(v - self.base) as usize]
-                .as_ref()
-                .map_or(deg as f64, |t| t.total_weight())
+            let local = v - self.base;
+            let table = match self.override_at(local, epoch) {
+                Some(entry) => entry.alias.as_ref(),
+                None => self.alias[local as usize].as_ref(),
+            };
+            table.map_or(deg as f64, |t| t.total_weight())
         } else {
             deg as f64
+        }
+    }
+
+    /// Mixed-mode per-vertex maximum `Ps` at `epoch`.
+    #[inline]
+    fn max_ps_at(&self, v: VertexId, epoch: u64) -> f64 {
+        let local = v - self.base;
+        match self.override_at(local, epoch) {
+            Some(entry) => entry.max_ps,
+            None => self.max_ps[local as usize],
         }
     }
 
@@ -382,7 +507,8 @@ impl<'a, P: WalkerProgram, O: WalkObserver<P::Data>> NodeRt<'a, P, O> {
         metrics: &mut WalkMetrics,
     ) -> f64 {
         metrics.edges_evaluated += 1;
-        let base = self.program.dynamic_comp(self.graph, walker, edge, answer);
+        let g = self.graph.at(walker.epoch);
+        let base = self.program.dynamic_comp(&g, walker, edge, answer);
         debug_assert!(
             base.is_finite() && base >= 0.0,
             "dynamic_comp returned invalid probability {base} for edge ({}, {})",
@@ -392,26 +518,26 @@ impl<'a, P: WalkerProgram, O: WalkObserver<P::Data>> NodeRt<'a, P, O> {
         if self.cfg.decoupled_static {
             base
         } else {
-            base * self.ps(edge)
+            base * self.ps(g, edge)
         }
     }
 
     /// Rebuilds the scratch envelope for one step of `walker` at its
-    /// residing vertex.
+    /// residing vertex, against the walker's pinned snapshot.
     pub(crate) fn fill_envelope(&self, walker: &Walker<P::Data>, deg: usize, env: &mut Envelope) {
         let v = walker.current;
-        let q = self.program.upper_bound(self.graph, walker);
+        let g = self.graph.at(walker.epoch);
+        let q = self.program.upper_bound(&g, walker);
         env.outliers.clear();
         if self.cfg.decoupled_static {
             env.q = q;
             env.lower = if self.cfg.use_lower_bound {
-                self.program.lower_bound(self.graph, walker)
+                self.program.lower_bound(&g, walker)
             } else {
                 0.0
             };
-            env.static_total = self.static_total(v, deg);
-            self.program
-                .declare_outliers(self.graph, walker, &mut env.outliers);
+            env.static_total = self.static_total(v, deg, walker.epoch);
+            self.program.declare_outliers(&g, walker, &mut env.outliers);
             if !self.cfg.use_outliers && !env.outliers.is_empty() {
                 // Ablation mode (Table 5b "naive"): instead of folding the
                 // outliers into appendix areas, raise the whole envelope
@@ -427,13 +553,12 @@ impl<'a, P: WalkerProgram, O: WalkObserver<P::Data>> NodeRt<'a, P, O> {
             // any declared outlier heights, since appendix folding assumes
             // decoupled static sampling.
             let mut q = q;
-            self.program
-                .declare_outliers(self.graph, walker, &mut env.outliers);
+            self.program.declare_outliers(&g, walker, &mut env.outliers);
             for o in &env.outliers {
                 q = q.max(o.height_bound);
             }
             env.outliers.clear();
-            env.q = q * self.max_ps[(v - self.base) as usize];
+            env.q = q * self.max_ps_at(v, walker.epoch);
             env.lower = 0.0;
             env.static_total = deg as f64;
         }
@@ -462,7 +587,7 @@ impl<'a, P: WalkerProgram, O: WalkObserver<P::Data>> NodeRt<'a, P, O> {
     ) -> StepOutcome {
         acc.metrics.fallback_scans += 1;
         acc.obs.fallback(walker.id);
-        let graph = self.graph;
+        let graph = self.graph.at(walker.epoch);
         let v = walker.current;
         acc.cdf_scratch.clear();
         let mut run = 0.0f64;
@@ -470,7 +595,7 @@ impl<'a, P: WalkerProgram, O: WalkObserver<P::Data>> NodeRt<'a, P, O> {
             let edge = graph.edge(v, i);
             let pd = self.pd(walker, edge, None, &mut acc.metrics);
             let ps = if self.cfg.decoupled_static {
-                self.ps(edge)
+                self.ps(graph, edge)
             } else {
                 // Mixed mode folded Ps into `pd` already.
                 1.0
@@ -496,7 +621,8 @@ impl<'a, P: WalkerProgram, O: WalkObserver<P::Data>> NodeRt<'a, P, O> {
         acc: &mut ChunkAcc<P, O>,
     ) -> bool {
         slot.walker.advance(dst);
-        self.program.on_move(self.graph, &mut slot.walker);
+        let g = self.graph.at(slot.walker.epoch);
+        self.program.on_move(&g, &mut slot.walker);
         acc.metrics.steps += 1;
         self.observer.on_move(&mut acc.obs_acc, &slot.walker);
         self.record(acc, &slot.walker);
@@ -535,16 +661,21 @@ pub(crate) fn msg_wire_bytes<P: WalkerProgram>(msg: &Msg<P>) -> usize {
 ///
 /// See the [crate-level docs](crate) for an end-to-end example.
 pub struct RandomWalkEngine<'g, P: WalkerProgram> {
-    graph: &'g CsrGraph,
-    program: P,
-    config: WalkConfig,
+    pub(crate) graph: GraphRef<'g>,
+    pub(crate) program: P,
+    pub(crate) config: WalkConfig,
 }
 
 impl<'g, P: WalkerProgram> RandomWalkEngine<'g, P> {
     /// Creates an engine over `graph` running `program`.
-    pub fn new(graph: &'g CsrGraph, program: P, config: WalkConfig) -> Self {
+    ///
+    /// `graph` is anything convertible to a [`GraphRef`]: a `&CsrGraph`
+    /// (static run) or a `&DynGraph` (dynamic run — the engine pins the
+    /// graph's current epoch at this call, and every walker of a batch
+    /// run samples that snapshot).
+    pub fn new(graph: impl Into<GraphRef<'g>>, program: P, config: WalkConfig) -> Self {
         RandomWalkEngine {
-            graph,
+            graph: graph.into(),
             program,
             config,
         }
@@ -573,7 +704,7 @@ impl<'g, P: WalkerProgram> RandomWalkEngine<'g, P> {
         observer: &O,
     ) -> (WalkResult, O::Acc) {
         let starts = starts.materialize(self.graph.vertex_count());
-        let partition = Partition::balanced(self.graph, self.config.n_nodes, 1.0);
+        let partition = Partition::balanced(self.graph.base_csr(), self.config.n_nodes, 1.0);
         let n_walkers = starts.len() as u64;
         let threads = self.config.resolved_threads();
 
@@ -582,23 +713,25 @@ impl<'g, P: WalkerProgram> RandomWalkEngine<'g, P> {
         // Out-of-partition accesses become structurally impossible (a
         // foreign vertex has degree zero on this node). Single-node runs
         // use the input graph directly. Like graph loading/partitioning,
-        // this is excluded from the timed region (§7.1).
-        let locals: Vec<CsrGraph> = if self.config.n_nodes > 1 {
-            (0..self.config.n_nodes)
-                .map(|node| partition.extract_local(self.graph, node))
-                .collect()
-        } else {
-            Vec::new()
+        // this is excluded from the timed region (§7.1). Dynamic graphs
+        // are shared whole instead of sliced — their row versions can't
+        // be cheaply split — so only the partition-ownership discipline
+        // (debug-asserted on every sampled vertex) separates the nodes.
+        let locals: Vec<CsrGraph> = match self.graph {
+            GraphRef::Csr(g) if self.config.n_nodes > 1 => (0..self.config.n_nodes)
+                .map(|node| partition.extract_local(g, node))
+                .collect(),
+            _ => Vec::new(),
         };
 
         let begin = Instant::now();
         let (outs, comm): (Vec<(NodeOut, O::Acc)>, _) =
             run_cluster_with_metrics::<Msg<P>, _, _>(self.config.n_nodes, |ctx| {
                 let mut ctx = ctx;
-                let local = if self.config.n_nodes > 1 {
-                    &locals[ctx.node]
-                } else {
+                let local = if locals.is_empty() {
                     self.graph
+                } else {
+                    GraphRef::Csr(&locals[ctx.node])
                 };
                 self.node_main(&mut ctx, local, observer, &partition, &starts, threads)
             });
@@ -668,7 +801,7 @@ impl<'g, P: WalkerProgram> RandomWalkEngine<'g, P> {
     fn node_main<O: WalkObserver<P::Data>, T: Transport<Msg<P>>>(
         &self,
         ctx: &mut T,
-        local: &CsrGraph,
+        local: GraphRef<'_>,
         observer: &O,
         partition: &Partition,
         starts: &[VertexId],
@@ -702,7 +835,10 @@ impl<'g, P: WalkerProgram> RandomWalkEngine<'g, P> {
             for (id, &start) in starts.iter().enumerate() {
                 if partition.owner(start) == me {
                     let data = self.program.init_data(id as u64, start);
-                    let walker = Walker::new(id as u64, start, cfg.seed, data);
+                    let mut walker = Walker::new(id as u64, start, cfg.seed, data);
+                    // Batch runs pin every walker at the engine's snapshot
+                    // epoch (0 for CSR graphs).
+                    walker.epoch = local.epoch();
                     if cfg.record_paths {
                         paths.push(PathEntry {
                             walker: walker.id,
@@ -821,20 +957,22 @@ impl<'g, P: WalkerProgram> RandomWalkEngine<'g, P> {
             self.config.n_nodes
         );
         let starts = starts.materialize(self.graph.vertex_count());
-        let partition = Partition::balanced(self.graph, self.config.n_nodes, 1.0);
+        let partition = Partition::balanced(self.graph.base_csr(), self.config.n_nodes, 1.0);
         let n_walkers = starts.len() as u64;
         let threads = self.config.resolved_threads();
         let me = transport.node();
 
         // Every process loads the full graph and extracts its own slice —
         // the same physical partitioning as the in-process path, just
-        // without materializing the other nodes' slices.
+        // without materializing the other nodes' slices. Dynamic graphs
+        // stay whole (see `run_with_observer`).
         let local_owned;
-        let local: &CsrGraph = if self.config.n_nodes > 1 {
-            local_owned = partition.extract_local(self.graph, me);
-            &local_owned
-        } else {
-            self.graph
+        let local: GraphRef<'_> = match self.graph {
+            GraphRef::Csr(g) if self.config.n_nodes > 1 => {
+                local_owned = partition.extract_local(g, me);
+                GraphRef::Csr(&local_owned)
+            }
+            other => other,
         };
 
         let begin = Instant::now();
@@ -852,7 +990,8 @@ impl<'g, P: WalkerProgram> RandomWalkEngine<'g, P> {
         // the leader as one opaque blob; counters are snapshotted as a
         // collective so every rank agrees the run is over.
         let finalize_begin = Instant::now();
-        let blob = knightking_net::to_bytes(&(out.metrics, out.paths));
+        let blob = knightking_net::to_bytes(&(out.metrics, out.paths))
+            .expect("result blob exceeds wire limits");
         let gathered = transport.gather_bytes(blob);
         let comm = transport.cluster_counts();
         let parts = gathered?;
@@ -948,7 +1087,8 @@ pub(crate) fn local_step<P: WalkerProgram, O: WalkObserver<P::Data>>(
     slot_idx: u32,
     acc: &mut ChunkAcc<P, O>,
 ) -> StepOutcome {
-    let graph = rt.graph;
+    // All graph reads in this step resolve at the walker's pinned epoch.
+    let graph = rt.graph.at(slot.walker.epoch);
     // Distributed-memory discipline: a node only ever samples at vertices
     // it owns. The CSR is shared for simulation convenience, but every
     // access in the walk path must stay partition-local.
@@ -961,7 +1101,7 @@ pub(crate) fn local_step<P: WalkerProgram, O: WalkObserver<P::Data>>(
         if rt.program.should_terminate(&mut slot.walker) {
             return StepOutcome::Finished;
         }
-        if let Some(dst) = rt.program.teleport(graph, &mut slot.walker) {
+        if let Some(dst) = rt.program.teleport(&graph, &mut slot.walker) {
             // Restart-style jump: no edge traversed, no sampling.
             assert!(
                 (dst as usize) < graph.vertex_count(),
@@ -979,7 +1119,7 @@ pub(crate) fn local_step<P: WalkerProgram, O: WalkObserver<P::Data>>(
 
     // Static walks: the alias/uniform candidate *is* the sample.
     if !P::DYNAMIC {
-        let idx = rt.candidate(v, deg, &mut slot.walker.rng);
+        let idx = rt.candidate(v, deg, slot.walker.epoch, &mut slot.walker.rng);
         return StepOutcome::Moved(graph.edge(v, idx).dst);
     }
 
@@ -995,7 +1135,7 @@ pub(crate) fn local_step<P: WalkerProgram, O: WalkObserver<P::Data>>(
         };
         match dart {
             knightking_sampling::Trial::Main { y } => {
-                let idx = rt.candidate(v, deg, &mut slot.walker.rng);
+                let idx = rt.candidate(v, deg, slot.walker.epoch, &mut slot.walker.rng);
                 let edge = graph.edge(v, idx);
                 if y < acc.env.lower {
                     acc.metrics.pre_accepts += 1;
@@ -1003,7 +1143,15 @@ pub(crate) fn local_step<P: WalkerProgram, O: WalkObserver<P::Data>>(
                 }
                 if P::SECOND_ORDER {
                     if let Some((target, payload)) = rt.program.state_query(&slot.walker, edge) {
-                        post_query(rt, acc, slot_idx, target, idx as u32, payload);
+                        post_query(
+                            rt,
+                            acc,
+                            slot_idx,
+                            target,
+                            idx as u32,
+                            slot.walker.epoch,
+                            payload,
+                        );
                         return StepOutcome::Posted {
                             edge: idx as u32,
                             y,
@@ -1026,7 +1174,7 @@ pub(crate) fn local_step<P: WalkerProgram, O: WalkObserver<P::Data>>(
                 let mut cum = 0.0f64;
                 for i in graph.edge_range(v, slot_decl.target) {
                     let e = graph.edge(v, i);
-                    cum += rt.ps(e);
+                    cum += rt.ps(graph, e);
                     if x_mass < cum {
                         chosen = Some((i, e));
                         break;
@@ -1037,7 +1185,15 @@ pub(crate) fn local_step<P: WalkerProgram, O: WalkObserver<P::Data>>(
                 };
                 if P::SECOND_ORDER {
                     if let Some((target, payload)) = rt.program.state_query(&slot.walker, edge) {
-                        post_query(rt, acc, slot_idx, target, idx as u32, payload);
+                        post_query(
+                            rt,
+                            acc,
+                            slot_idx,
+                            target,
+                            idx as u32,
+                            slot.walker.epoch,
+                            payload,
+                        );
                         return StepOutcome::Posted {
                             edge: idx as u32,
                             y,
@@ -1059,13 +1215,16 @@ pub(crate) fn local_step<P: WalkerProgram, O: WalkObserver<P::Data>>(
     }
 }
 
-/// Emits a state query message addressed to the owner of `target`.
+/// Emits a state query message addressed to the owner of `target`,
+/// carrying the asking walker's pinned epoch so the owner answers against
+/// the same snapshot.
 pub(crate) fn post_query<P: WalkerProgram, O: WalkObserver<P::Data>>(
     rt: &NodeRt<'_, P, O>,
     acc: &mut ChunkAcc<P, O>,
     slot_idx: u32,
     target: VertexId,
     tag: u32,
+    epoch: u64,
     payload: P::Query,
 ) {
     acc.metrics.queries += 1;
@@ -1075,6 +1234,7 @@ pub(crate) fn post_query<P: WalkerProgram, O: WalkObserver<P::Data>>(
         slot: slot_idx,
         tag,
         target,
+        epoch,
         payload,
     });
 }

@@ -103,7 +103,7 @@ pub(super) fn iteration<P: WalkerProgram, O: WalkObserver<P::Data>, T: Transport
     });
     prof.record_exchange_bytes(q_stats.sent_bytes);
     let mut arrivals: Vec<Slot<P>> = Vec::new();
-    let mut queries: Vec<(u32, u32, u32, knightking_graph::VertexId, P::Query)> = Vec::new();
+    let mut queries: Vec<(u32, u32, u32, knightking_graph::VertexId, u64, P::Query)> = Vec::new();
     for msg in inbox {
         match msg {
             Msg::Move(walker) => arrivals.push(Slot {
@@ -117,8 +117,9 @@ pub(super) fn iteration<P: WalkerProgram, O: WalkObserver<P::Data>, T: Transport
                 slot,
                 tag,
                 target,
+                epoch,
                 payload,
-            } => queries.push((from, slot, tag, target, payload)),
+            } => queries.push((from, slot, tag, target, epoch, payload)),
             Msg::Answer { .. } => unreachable!("no answers in the query round"),
         }
     }
@@ -129,9 +130,13 @@ pub(super) fn iteration<P: WalkerProgram, O: WalkObserver<P::Data>, T: Transport
             &mut queries,
             || -> Vec<Vec<Msg<P>>> { (0..n).map(|_| Vec::new()).collect() },
             |_base, slice, acc| {
-                for &mut (from, slot, tag, target, payload) in slice.iter_mut() {
+                for &mut (from, slot, tag, target, epoch, payload) in slice.iter_mut() {
                     debug_assert_eq!(rt.partition.owner(target), rt.me);
-                    let answer = rt.program.answer_query(rt.graph, target, payload);
+                    // Answer against the asking walker's snapshot, not
+                    // this node's build epoch.
+                    let answer = rt
+                        .program
+                        .answer_query(&rt.graph.at(epoch), target, payload);
                     acc[from as usize].push(Msg::Answer {
                         slot,
                         tag,
@@ -189,7 +194,8 @@ pub(super) fn iteration<P: WalkerProgram, O: WalkObserver<P::Data>, T: Transport
                         _ => None,
                     };
                     if let Some((edge, y, a)) = answered {
-                        let view = rt.graph.edge(slot.walker.current, edge as usize);
+                        let g = rt.graph.at(slot.walker.epoch);
+                        let view = g.edge(slot.walker.current, edge as usize);
                         let pd = rt.pd(&slot.walker, view, Some(a), &mut acc.metrics);
                         if y < pd {
                             rt.commit_move(slot, view.dst, acc);
@@ -295,14 +301,15 @@ fn init_full_scan<P: WalkerProgram, O: WalkObserver<P::Data>>(
     acc.metrics.fallback_scans += 1;
     acc.obs.fallback(slot.walker.id);
     let v = slot.walker.current;
-    let deg = rt.graph.degree(v);
+    let g = rt.graph.at(slot.walker.epoch);
+    let deg = g.degree(v);
     let mut products = vec![f64::NAN; deg];
     let mut unfilled = deg;
     for (i, product) in products.iter_mut().enumerate() {
-        let edge = rt.graph.edge(v, i);
+        let edge = g.edge(v, i);
         if rt.program.state_query(&slot.walker, edge).is_none() {
             let pd = rt.pd(&slot.walker, edge, None, &mut acc.metrics);
-            *product = scan_product(rt, edge, pd);
+            *product = scan_product(rt, g, edge, pd);
             unfilled -= 1;
         }
     }
@@ -318,11 +325,12 @@ fn init_full_scan<P: WalkerProgram, O: WalkObserver<P::Data>>(
 /// includes `Ps`).
 fn scan_product<P: WalkerProgram, O: WalkObserver<P::Data>>(
     rt: &NodeRt<'_, P, O>,
+    g: crate::graphref::GraphRef<'_>,
     edge: knightking_graph::EdgeView,
     pd: f64,
 ) -> f64 {
     let ps = if rt.cfg.decoupled_static {
-        rt.ps(edge)
+        rt.ps(g, edge)
     } else {
         1.0
     };
@@ -337,7 +345,9 @@ fn post_scan_queries<P: WalkerProgram, O: WalkObserver<P::Data>>(
     acc: &mut ChunkAcc<P, O>,
 ) {
     let v = slot.walker.current;
-    let deg = rt.graph.degree(v);
+    let epoch = slot.walker.epoch;
+    let g = rt.graph.at(epoch);
+    let deg = g.degree(v);
     let SlotState::FullScan(scan) = &mut slot.state else {
         unreachable!("post_scan_queries requires a FullScan slot")
     };
@@ -348,7 +358,7 @@ fn post_scan_queries<P: WalkerProgram, O: WalkObserver<P::Data>>(
     let mut staged: Vec<(u32, knightking_graph::VertexId, P::Query)> = Vec::new();
     while i < deg && posted < FULL_SCAN_WINDOW {
         if scan.products[i].is_nan() {
-            let edge = rt.graph.edge(v, i);
+            let edge = g.edge(v, i);
             if let Some((target, payload)) = rt.program.state_query(&slot.walker, edge) {
                 staged.push((i as u32, target, payload));
                 posted += 1;
@@ -358,7 +368,7 @@ fn post_scan_queries<P: WalkerProgram, O: WalkObserver<P::Data>>(
     }
     scan.next_unqueried = i;
     for (tag, target, payload) in staged {
-        post_query(rt, acc, idx, target, tag, payload);
+        post_query(rt, acc, idx, target, tag, epoch, payload);
     }
 }
 
@@ -370,23 +380,24 @@ fn fold_scan_answers<P: WalkerProgram, O: WalkObserver<P::Data>>(
     acc: &mut ChunkAcc<P, O>,
 ) {
     let v = slot.walker.current;
+    let g = rt.graph.at(slot.walker.epoch);
     let SlotState::FullScan(scan) = &mut slot.state else {
         unreachable!("fold_scan_answers requires a FullScan slot")
     };
     let received = std::mem::take(&mut scan.received);
     // Split borrows: compute products against an immutable walker view.
     for (tag, answer) in received {
-        let edge = rt.graph.edge(v, tag as usize);
+        let edge = g.edge(v, tag as usize);
         acc.metrics.edges_evaluated += 1;
         let base = rt
             .program
-            .dynamic_comp(rt.graph, &slot.walker, edge, Some(answer));
+            .dynamic_comp(&g, &slot.walker, edge, Some(answer));
         let pd = if rt.cfg.decoupled_static {
             base
         } else {
-            base * rt.program.static_comp(rt.graph, edge)
+            base * rt.program.static_comp(&g, edge)
         };
-        let product = scan_product(rt, edge, pd);
+        let product = scan_product(rt, g, edge, pd);
         debug_assert!(scan.products[tag as usize].is_nan(), "duplicate answer");
         scan.products[tag as usize] = product;
         scan.unfilled -= 1;
@@ -414,6 +425,6 @@ fn fold_scan_answers<P: WalkerProgram, O: WalkObserver<P::Data>>(
         return;
     }
     let idx = CdfTable::sample_prepared(&acc.cdf_scratch, &mut slot.walker.rng);
-    let dst = rt.graph.edge(v, idx).dst;
+    let dst = g.edge(v, idx).dst;
     rt.commit_move(slot, dst, acc);
 }

@@ -15,9 +15,11 @@
 //! 1. every node gathers its [`ServeDelta`] (new path fragments + newly
 //!    finished walkers) to the leader;
 //! 2. the leader feeds the deltas to the driver and broadcasts the
-//!    driver's [`Directives`] (admissions, kills, shutdown) to all nodes;
-//! 3. every node applies kills and instantiates the admitted walkers it
-//!    owns;
+//!    driver's [`Directives`] (admissions, kills, graph updates,
+//!    retirement, shutdown) to all nodes;
+//! 3. every node applies kills, then the graph update (if any) in
+//!    lockstep, then retirement, then instantiates the admitted walkers
+//!    it owns — each pinned at the now-current graph epoch;
 //! 4. an allreduce agrees on the active-walker count: the loop exits when
 //!    a shutdown was directed *and* no walker remains (drain-then-exit);
 //! 5. one normal BSP iteration advances every active walker.
@@ -36,10 +38,12 @@
 use std::mem;
 
 use knightking_cluster::Scheduler;
-use knightking_graph::{CsrGraph, Partition, VertexId};
-use knightking_net::{from_bytes, to_bytes, Transport, Wire};
+use knightking_dyn::UpdateBatch;
+use knightking_graph::{Partition, VertexId};
+use knightking_net::{from_bytes, to_bytes, Transport, Wire, WireError};
 
 use crate::{
+    graphref::GraphRef,
     metrics::WalkMetrics,
     program::{NoopObserver, WalkObserver, WalkerProgram},
     result::PathEntry,
@@ -68,10 +72,10 @@ impl Wire for FinishedWalk {
     fn wire_size(&self) -> usize {
         self.tag.wire_size() + self.walker.wire_size() + self.steps.wire_size()
     }
-    fn encode(&self, out: &mut Vec<u8>) {
-        self.tag.encode(out);
-        self.walker.encode(out);
-        self.steps.encode(out);
+    fn encode(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
+        self.tag.encode(out)?;
+        self.walker.encode(out)?;
+        self.steps.encode(out)
     }
     fn decode(input: &mut &[u8]) -> std::io::Result<Self> {
         Ok(FinishedWalk {
@@ -84,27 +88,44 @@ impl Wire for FinishedWalk {
 
 /// One node's per-superstep report to the leader: everything that
 /// happened since the previous report.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServeDelta {
     /// Path fragments recorded since the last superstep (includes the
     /// step-0 entries of freshly admitted walkers).
     pub paths: Vec<PathEntry>,
     /// Walkers that terminated since the last superstep.
     pub finished: Vec<FinishedWalk>,
+    /// The smallest graph epoch any of this node's live walkers has
+    /// pinned; `u64::MAX` when the node has no walkers. The leader folds
+    /// the cluster-wide minimum into [`Directives::retire`] so nodes can
+    /// drop row and sampler versions no walker can read anymore.
+    pub min_pinned: u64,
+}
+
+impl Default for ServeDelta {
+    fn default() -> Self {
+        ServeDelta {
+            paths: Vec::new(),
+            finished: Vec::new(),
+            min_pinned: u64::MAX,
+        }
+    }
 }
 
 impl Wire for ServeDelta {
     fn wire_size(&self) -> usize {
-        self.paths.wire_size() + self.finished.wire_size()
+        self.paths.wire_size() + self.finished.wire_size() + self.min_pinned.wire_size()
     }
-    fn encode(&self, out: &mut Vec<u8>) {
-        self.paths.encode(out);
-        self.finished.encode(out);
+    fn encode(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
+        self.paths.encode(out)?;
+        self.finished.encode(out)?;
+        self.min_pinned.encode(out)
     }
     fn decode(input: &mut &[u8]) -> std::io::Result<Self> {
         Ok(ServeDelta {
             paths: Vec::decode(input)?,
             finished: Vec::decode(input)?,
+            min_pinned: u64::decode(input)?,
         })
     }
 }
@@ -134,11 +155,11 @@ impl Wire for AdmitRequest {
             + self.seed.wire_size()
             + self.starts.wire_size()
     }
-    fn encode(&self, out: &mut Vec<u8>) {
-        self.tag.encode(out);
-        self.base_id.encode(out);
-        self.seed.encode(out);
-        self.starts.encode(out);
+    fn encode(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
+        self.tag.encode(out)?;
+        self.base_id.encode(out)?;
+        self.seed.encode(out)?;
+        self.starts.encode(out)
     }
     fn decode(input: &mut &[u8]) -> std::io::Result<Self> {
         Ok(AdmitRequest {
@@ -150,9 +171,37 @@ impl Wire for AdmitRequest {
     }
 }
 
+/// A graph update batch stamped with the epoch it produces, broadcast to
+/// every node so all ranks apply it in lockstep at the same superstep
+/// boundary.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EpochUpdate {
+    /// The epoch the graph advances to when this batch applies (strictly
+    /// greater than the previous epoch; the leader assigns it).
+    pub epoch: u64,
+    /// The edge mutations.
+    pub batch: UpdateBatch,
+}
+
+impl Wire for EpochUpdate {
+    fn wire_size(&self) -> usize {
+        self.epoch.wire_size() + self.batch.wire_size()
+    }
+    fn encode(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
+        self.epoch.encode(out)?;
+        self.batch.encode(out)
+    }
+    fn decode(input: &mut &[u8]) -> std::io::Result<Self> {
+        Ok(EpochUpdate {
+            epoch: u64::decode(input)?,
+            batch: UpdateBatch::decode(input)?,
+        })
+    }
+}
+
 /// The leader's verdict for one superstep boundary, broadcast to every
 /// node.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Directives {
     /// Requests to admit this superstep.
     pub admit: Vec<AdmitRequest>,
@@ -162,22 +211,39 @@ pub struct Directives {
     /// Ask the loop to exit. Draining, not dropping: the loop keeps
     /// iterating until every in-flight walker has finished, then exits.
     pub shutdown: bool,
+    /// A graph update to apply at this boundary, *before* this
+    /// superstep's admissions — admitted walkers pin the post-update
+    /// epoch. Requires the service to be running over a `DynGraph`.
+    pub update: Option<EpochUpdate>,
+    /// Retirement watermark: when nonzero, nodes drop graph row versions
+    /// and sampler overrides superseded at or before this epoch. The
+    /// leader derives it from the cluster-wide minimum pinned epoch
+    /// ([`ServeDelta::min_pinned`]); 0 means "retire nothing".
+    pub retire: u64,
 }
 
 impl Wire for Directives {
     fn wire_size(&self) -> usize {
-        self.admit.wire_size() + self.kill.wire_size() + self.shutdown.wire_size()
+        self.admit.wire_size()
+            + self.kill.wire_size()
+            + self.shutdown.wire_size()
+            + self.update.wire_size()
+            + self.retire.wire_size()
     }
-    fn encode(&self, out: &mut Vec<u8>) {
-        self.admit.encode(out);
-        self.kill.encode(out);
-        self.shutdown.encode(out);
+    fn encode(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
+        self.admit.encode(out)?;
+        self.kill.encode(out)?;
+        self.shutdown.encode(out)?;
+        self.update.encode(out)?;
+        self.retire.encode(out)
     }
     fn decode(input: &mut &[u8]) -> std::io::Result<Self> {
         Ok(Directives {
             admit: Vec::decode(input)?,
             kill: Vec::decode(input)?,
             shutdown: bool::decode(input)?,
+            update: Option::decode(input)?,
+            retire: u64::decode(input)?,
         })
     }
 }
@@ -255,13 +321,16 @@ impl<'g, P: WalkerProgram> RandomWalkEngine<'g, P> {
             "the leader node must supply a ServeDriver"
         );
 
-        let partition = Partition::balanced(self.graph, cfg.n_nodes, 1.0);
+        let partition = Partition::balanced(self.graph.base_csr(), cfg.n_nodes, 1.0);
         let local_owned;
-        let local: &CsrGraph = if cfg.n_nodes > 1 {
-            local_owned = partition.extract_local(self.graph, me);
-            &local_owned
-        } else {
-            self.graph
+        let local: GraphRef<'_> = match self.graph {
+            GraphRef::Csr(g) if cfg.n_nodes > 1 => {
+                local_owned = partition.extract_local(g, me);
+                GraphRef::Csr(&local_owned)
+            }
+            // Dynamic graphs are shared whole (see `run_with_observer`);
+            // the partition-ownership discipline separates the ranks.
+            other => other,
         };
         let scheduler = Scheduler {
             threads: cfg.resolved_threads(),
@@ -272,7 +341,9 @@ impl<'g, P: WalkerProgram> RandomWalkEngine<'g, P> {
         // The obs profile is bounded per run, not per service lifetime;
         // a resident loop would grow it without bound, so keep it off.
         let mut prof = NodeObs::new(false, me);
-        let rt = NodeRt::build(
+        // `mut`: superstep boundaries rebuild sampler structures for
+        // update-touched vertices; iterations only ever borrow `&rt`.
+        let mut rt = NodeRt::build(
             local,
             &self.program,
             &observer,
@@ -288,14 +359,23 @@ impl<'g, P: WalkerProgram> RandomWalkEngine<'g, P> {
         let mut metrics = WalkMetrics::default();
         #[allow(clippy::let_unit_value)] // NoopObserver's Acc happens to be ()
         let mut obs_acc = <NoopObserver as WalkObserver<P::Data>>::make_acc(&observer);
+        // The epoch newly admitted walkers pin: advances when an update
+        // directive applies. Always 0 on static graphs.
+        let mut live_epoch: u64 = local.epoch();
         let mut superstep: u64 = 0;
         loop {
             // (1) Ship this node's delta to the leader.
             let delta = ServeDelta {
+                min_pinned: slots
+                    .iter()
+                    .map(|s| s.walker.epoch)
+                    .min()
+                    .unwrap_or(u64::MAX),
                 paths: mem::take(&mut paths),
                 finished: mem::take(&mut finished),
             };
-            let gathered = transport.gather_bytes(to_bytes(&delta));
+            let delta_bytes = to_bytes(&delta).expect("serve delta exceeds wire limits");
+            let gathered = transport.gather_bytes(delta_bytes);
 
             // (2) Leader: drive; everyone: learn the directives.
             let dir_bytes = match gathered {
@@ -307,7 +387,7 @@ impl<'g, P: WalkerProgram> RandomWalkEngine<'g, P> {
                         });
                         d.absorb(node, delta);
                     }
-                    to_bytes(&d.poll(superstep))
+                    to_bytes(&d.poll(superstep)).expect("serve directives exceed wire limits")
                 }
                 None => Vec::new(),
             };
@@ -321,7 +401,33 @@ impl<'g, P: WalkerProgram> RandomWalkEngine<'g, P> {
                 slots.retain(|s| !directives.kill.contains(&s.walker.tag));
             }
 
-            // (4) Admissions: instantiate owned walkers. The *request-local*
+            // (4) Graph update: applied on all ranks in lockstep at this
+            // boundary, each rank rebuilding only its owned rows and
+            // sampler structures. In-flight walkers keep their pinned
+            // epochs; everything admitted below pins the new one.
+            if let Some(up) = &directives.update {
+                let dyn_graph = local.dyn_graph().expect(
+                    "update directive received while serving a static CSR graph — \
+                     serve a DynGraph to accept live updates",
+                );
+                let applied = dyn_graph
+                    .apply_at(up.epoch, &up.batch, &|v| partition.owner(v) == me)
+                    .unwrap_or_else(|e| panic!("invalid update batch at epoch {}: {e}", up.epoch));
+                metrics.sampler_rebuilds += rt.apply_update(up.epoch, &applied.touched);
+                live_epoch = up.epoch;
+            }
+
+            // (5) Retirement: drop row and sampler versions no walker can
+            // pin anymore (the leader's watermark is the cluster-wide
+            // minimum pinned epoch).
+            if directives.retire > 0 {
+                if let Some(dyn_graph) = local.dyn_graph() {
+                    dyn_graph.retire(directives.retire);
+                }
+                rt.retire_samplers(directives.retire);
+            }
+
+            // (6) Admissions: instantiate owned walkers. The *request-local*
             // index seeds the RNG stream and `init_data` — the same values a
             // batch run of this request would use — while the global id
             // (`base_id + i`) labels the path fragments.
@@ -334,6 +440,7 @@ impl<'g, P: WalkerProgram> RandomWalkEngine<'g, P> {
                     let mut walker = Walker::new(i as u64, start, req.seed, data);
                     walker.id = req.base_id + i as u64;
                     walker.tag = req.tag;
+                    walker.epoch = live_epoch;
                     paths.push(PathEntry {
                         walker: walker.id,
                         step: 0,
@@ -348,7 +455,7 @@ impl<'g, P: WalkerProgram> RandomWalkEngine<'g, P> {
                 }
             }
 
-            // (5) Collective census: exit only when a shutdown has been
+            // (7) Collective census: exit only when a shutdown has been
             // directed and the last walker has drained.
             let active = transport.allreduce_sum(slots.len() as u64);
             if active == 0 {
@@ -363,7 +470,7 @@ impl<'g, P: WalkerProgram> RandomWalkEngine<'g, P> {
                 continue;
             }
 
-            // (6) One ordinary BSP iteration.
+            // (8) One ordinary BSP iteration.
             metrics.iterations += 1;
             if P::SECOND_ORDER {
                 second_order::iteration(
@@ -414,8 +521,22 @@ mod tests {
             }],
             kill: vec![7, 8],
             shutdown: true,
+            update: Some(EpochUpdate {
+                epoch: 4,
+                batch: UpdateBatch {
+                    adds: vec![knightking_dyn::EdgeAdd {
+                        src: 1,
+                        dst: 2,
+                        weight: 1.5,
+                        edge_type: 0,
+                    }],
+                    dels: vec![knightking_dyn::EdgeRef { src: 0, dst: 5 }],
+                    reweights: vec![],
+                },
+            }),
+            retire: 2,
         };
-        let bytes = to_bytes(&dir);
+        let bytes = to_bytes(&dir).unwrap();
         assert_eq!(bytes.len(), dir.wire_size());
         let back: Directives = from_bytes(&bytes).unwrap();
         assert_eq!(back, dir);
@@ -431,8 +552,9 @@ mod tests {
                 walker: 1,
                 steps: 2,
             }],
+            min_pinned: 4,
         };
-        let bytes = to_bytes(&delta);
+        let bytes = to_bytes(&delta).unwrap();
         assert_eq!(bytes.len(), delta.wire_size());
         let back: ServeDelta = from_bytes(&bytes).unwrap();
         assert_eq!(back, delta);
@@ -603,5 +725,99 @@ mod tests {
         // The service exited (we got here) and no walker finished
         // normally — the kill took them all out.
         assert_eq!(outs[0], 0);
+    }
+
+    /// Issues one update at superstep 0 alongside an admission, then
+    /// shuts down once the walkers drain.
+    struct UpdateDriver {
+        batch: UpdateBatch,
+        issued: bool,
+        done: u64,
+        want: u64,
+    }
+
+    impl ServeDriver for UpdateDriver {
+        fn absorb(&mut self, _node: usize, delta: ServeDelta) {
+            self.done += delta.finished.len() as u64;
+        }
+        fn poll(&mut self, _superstep: u64) -> Directives {
+            let mut dir = Directives::default();
+            if !self.issued {
+                self.issued = true;
+                dir.admit.push(AdmitRequest {
+                    tag: 1,
+                    base_id: 0,
+                    seed: 3,
+                    starts: vec![0, 25],
+                });
+                dir.update = Some(EpochUpdate {
+                    epoch: 1,
+                    batch: self.batch.clone(),
+                });
+            }
+            dir.shutdown = self.done >= self.want;
+            dir
+        }
+    }
+
+    /// Incremental sampler maintenance: a batch touching k vertices
+    /// rebuilds exactly k alias tables across the cluster, not O(V).
+    /// Both ranks share one DynGraph instance (idempotent partitioned
+    /// apply), each rebuilding only its owned slice of the touched set.
+    #[test]
+    fn update_rebuilds_exactly_touched_samplers() {
+        use knightking_dyn::{DynConfig, DynGraph, EdgeAdd, EdgeRef, EdgeReweight};
+
+        let g = gen::uniform_degree(50, 4, gen::GenOptions::paper_weighted(9));
+        let dyn_graph = DynGraph::new(g, DynConfig::default());
+        // Touched sources: {1, 7, 40} — the reweight of 1 folds into the
+        // same touch as its add.
+        let batch = UpdateBatch {
+            adds: vec![
+                EdgeAdd {
+                    src: 1,
+                    dst: 2,
+                    weight: 3.0,
+                    edge_type: 0,
+                },
+                EdgeAdd {
+                    src: 40,
+                    dst: 3,
+                    weight: 2.0,
+                    edge_type: 0,
+                },
+            ],
+            dels: vec![EdgeRef { src: 7, dst: 0 }],
+            reweights: vec![EdgeReweight {
+                src: 1,
+                dst: 2,
+                weight: 5.0,
+            }],
+        };
+
+        let mut cfg = WalkConfig::with_nodes(2, 5);
+        cfg.threads_per_node = 1;
+        let engine = RandomWalkEngine::new(&dyn_graph, FixedLen(8), cfg);
+        let (outs, _comm) = run_cluster_with_metrics::<Msg<FixedLen>, _, _>(2, |ctx| {
+            let mut ctx = ctx;
+            if ctx.node == 0 {
+                let mut driver = UpdateDriver {
+                    batch: batch.clone(),
+                    issued: false,
+                    done: 0,
+                    want: 2,
+                };
+                engine
+                    .run_service(&mut ctx, Some(&mut driver))
+                    .sampler_rebuilds
+            } else {
+                engine
+                    .run_service(&mut ctx, None::<&mut UpdateDriver>)
+                    .sampler_rebuilds
+            }
+        });
+        assert_eq!(outs.iter().sum::<u64>(), 3, "per-rank rebuilds: {outs:?}");
+        assert_eq!(dyn_graph.epoch(), 1);
+        assert_eq!(dyn_graph.stats().rows_rebuilt, 3);
     }
 }

@@ -54,6 +54,7 @@
 
 pub mod config;
 pub mod engine;
+pub mod graphref;
 pub mod metrics;
 pub mod program;
 pub mod result;
@@ -61,17 +62,19 @@ pub mod walker;
 
 pub use config::{CancelToken, WalkConfig, WalkerStarts};
 pub use engine::{
-    AdmitRequest, Directives, FinishedWalk, Msg, NoopDriver, RandomWalkEngine, ServeDelta,
-    ServeDriver,
+    AdmitRequest, Directives, EpochUpdate, FinishedWalk, Msg, NoopDriver, RandomWalkEngine,
+    ServeDelta, ServeDriver,
 };
+pub use graphref::GraphRef;
 pub use metrics::WalkMetrics;
 pub use program::{NoopObserver, WalkObserver, WalkerProgram};
 pub use result::WalkResult;
 pub use walker::Walker;
 
 // Re-export the substrate types users need to write programs.
+pub use knightking_dyn::{DynConfig, DynGraph, UpdateBatch};
 pub use knightking_graph::{CsrGraph, EdgeView, VertexId};
-pub use knightking_net::{Transport, Wire};
+pub use knightking_net::{Transport, Wire, WireError};
 pub use knightking_sampling::{rejection::OutlierSlot, DeterministicRng};
 
 /// The observability primitives backing `WalkResult::profile` (phase

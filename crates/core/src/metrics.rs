@@ -29,6 +29,9 @@ pub struct WalkMetrics {
     pub finished_walkers: u64,
     /// BSP iterations executed.
     pub iterations: u64,
+    /// Per-vertex sampling structures (alias table / trial bound)
+    /// rebuilt in response to dynamic graph updates. Zero on static runs.
+    pub sampler_rebuilds: u64,
 }
 
 impl WalkMetrics {
@@ -43,6 +46,7 @@ impl WalkMetrics {
         self.queries += other.queries;
         self.finished_walkers += other.finished_walkers;
         self.iterations = self.iterations.max(other.iterations);
+        self.sampler_rebuilds += other.sampler_rebuilds;
     }
 
     /// Average `Pd` computations per walker move — the paper's
@@ -65,15 +69,15 @@ impl WalkMetrics {
     }
 }
 
-use knightking_net::Wire;
+use knightking_net::{Wire, WireError};
 
 /// Metrics travel to the leader in the end-of-run result gather of
 /// multi-process runs.
 impl Wire for WalkMetrics {
     fn wire_size(&self) -> usize {
-        9 * 8
+        10 * 8
     }
-    fn encode(&self, out: &mut Vec<u8>) {
+    fn encode(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
         for v in [
             self.steps,
             self.edges_evaluated,
@@ -84,9 +88,11 @@ impl Wire for WalkMetrics {
             self.queries,
             self.finished_walkers,
             self.iterations,
+            self.sampler_rebuilds,
         ] {
-            v.encode(out);
+            v.encode(out)?;
         }
+        Ok(())
     }
     fn decode(input: &mut &[u8]) -> std::io::Result<Self> {
         Ok(WalkMetrics {
@@ -99,6 +105,7 @@ impl Wire for WalkMetrics {
             queries: u64::decode(input)?,
             finished_walkers: u64::decode(input)?,
             iterations: u64::decode(input)?,
+            sampler_rebuilds: u64::decode(input)?,
         })
     }
 }

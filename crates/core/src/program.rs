@@ -23,10 +23,11 @@
 
 use std::io;
 
-use knightking_graph::{CsrGraph, EdgeView, VertexId};
-use knightking_net::Wire;
+use knightking_graph::{EdgeView, VertexId};
+use knightking_net::{Wire, WireError};
 use knightking_sampling::rejection::OutlierSlot;
 
+use crate::graphref::GraphRef;
 use crate::walker::{Walker, WalkerData};
 
 /// A user-defined random walk algorithm.
@@ -78,7 +79,7 @@ pub trait WalkerProgram: Sync + Sized {
     /// Defaults to the edge weight (1 on unweighted graphs). The engine
     /// pre-computes per-vertex alias tables from this during
     /// initialization, so it must not depend on walker state.
-    fn static_comp(&self, _graph: &CsrGraph, edge: EdgeView) -> f64 {
+    fn static_comp(&self, _graph: &GraphRef<'_>, edge: EdgeView) -> f64 {
         edge.weight as f64
     }
 
@@ -89,7 +90,7 @@ pub trait WalkerProgram: Sync + Sized {
     /// for candidates the program declined to query).
     fn dynamic_comp(
         &self,
-        _graph: &CsrGraph,
+        _graph: &GraphRef<'_>,
         _walker: &Walker<Self::Data>,
         _edge: EdgeView,
         _answer: Option<Self::Answer>,
@@ -100,14 +101,14 @@ pub trait WalkerProgram: Sync + Sized {
     /// Envelope `Q(v)` — `dynamicCompUpperBound`. Mandatory for dynamic
     /// walks: must bound `Pd` over all non-outlier out-edges of the
     /// walker's residing vertex.
-    fn upper_bound(&self, _graph: &CsrGraph, _walker: &Walker<Self::Data>) -> f64 {
+    fn upper_bound(&self, _graph: &GraphRef<'_>, _walker: &Walker<Self::Data>) -> f64 {
         1.0
     }
 
     /// Optional `L(v)` — `dynamicCompLowerBound`. Darts at or below this
     /// height are pre-accepted without evaluating `Pd` (or sending state
     /// queries). Return 0 to disable.
-    fn lower_bound(&self, _graph: &CsrGraph, _walker: &Walker<Self::Data>) -> f64 {
+    fn lower_bound(&self, _graph: &GraphRef<'_>, _walker: &Walker<Self::Data>) -> f64 {
         0.0
     }
 
@@ -119,7 +120,7 @@ pub trait WalkerProgram: Sync + Sized {
     /// outlier edge by its `target` vertex via binary search.
     fn declare_outliers(
         &self,
-        _graph: &CsrGraph,
+        _graph: &GraphRef<'_>,
         _walker: &Walker<Self::Data>,
         _out: &mut Vec<OutlierSlot>,
     ) {
@@ -145,7 +146,7 @@ pub trait WalkerProgram: Sync + Sized {
     /// Default panics: programs that never post queries never get here.
     fn answer_query(
         &self,
-        _graph: &CsrGraph,
+        _graph: &GraphRef<'_>,
         _target: VertexId,
         _query: Self::Query,
     ) -> Self::Answer {
@@ -167,12 +168,16 @@ pub trait WalkerProgram: Sync + Sized {
     /// This is how restart-style algorithms (random walk with restart,
     /// PageRank's damping jump) are expressed; edge sampling is skipped
     /// for teleport steps. May draw from `walker.rng`.
-    fn teleport(&self, _graph: &CsrGraph, _walker: &mut Walker<Self::Data>) -> Option<VertexId> {
+    fn teleport(
+        &self,
+        _graph: &GraphRef<'_>,
+        _walker: &mut Walker<Self::Data>,
+    ) -> Option<VertexId> {
         None
     }
 
     /// Hook invoked after a walker advances along an accepted edge.
-    fn on_move(&self, _graph: &CsrGraph, _walker: &mut Walker<Self::Data>) {}
+    fn on_move(&self, _graph: &GraphRef<'_>, _walker: &mut Walker<Self::Data>) {}
 }
 
 /// In-flight aggregation over walker moves (§5.1: "output can be
@@ -268,8 +273,8 @@ impl Wire for NeighborQuery {
     fn wire_size(&self) -> usize {
         self.subject.wire_size()
     }
-    fn encode(&self, out: &mut Vec<u8>) {
-        self.subject.encode(out);
+    fn encode(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
+        self.subject.encode(out)
     }
     fn decode(input: &mut &[u8]) -> io::Result<Self> {
         Ok(NeighborQuery {
@@ -280,7 +285,7 @@ impl Wire for NeighborQuery {
 
 /// Answers a [`NeighborQuery`] at the owner of `target`: O(log d) binary
 /// search over the sorted adjacency (§6.1).
-pub fn answer_neighbor_query(graph: &CsrGraph, target: VertexId, query: NeighborQuery) -> bool {
+pub fn answer_neighbor_query(graph: &GraphRef<'_>, target: VertexId, query: NeighborQuery) -> bool {
     graph.has_edge(target, query.subject)
 }
 
@@ -304,7 +309,8 @@ mod tests {
     fn defaults_are_sensible() {
         let mut b = GraphBuilder::directed(2).with_weights();
         b.add_weighted_edge(0, 1, 2.5);
-        let g = b.build();
+        let csr = b.build();
+        let g = GraphRef::from(&csr);
         let p = Trivial;
         let w: Walker<()> = Walker::new(0, 0, 1, ());
         let e = g.edge(0, 0);
@@ -325,8 +331,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "no state queries")]
     fn default_answer_query_panics() {
-        let g = GraphBuilder::directed(1).build();
-        Trivial.answer_query(&g, 0, ());
+        let csr = GraphBuilder::directed(1).build();
+        Trivial.answer_query(&GraphRef::from(&csr), 0, ());
     }
 
     #[test]
@@ -334,7 +340,8 @@ mod tests {
         let mut b = GraphBuilder::directed(4);
         b.add_edge(1, 2);
         b.add_edge(1, 3);
-        let g = b.build();
+        let csr = b.build();
+        let g = GraphRef::from(&csr);
         assert!(answer_neighbor_query(&g, 1, NeighborQuery { subject: 2 }));
         assert!(!answer_neighbor_query(&g, 1, NeighborQuery { subject: 0 }));
         assert!(!answer_neighbor_query(&g, 2, NeighborQuery { subject: 1 }));

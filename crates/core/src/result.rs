@@ -1,7 +1,7 @@
 //! Walk results: reassembled paths, per-iteration activity, metrics.
 
 use knightking_graph::VertexId;
-use knightking_net::Wire;
+use knightking_net::{Wire, WireError};
 
 use crate::metrics::WalkMetrics;
 
@@ -25,10 +25,10 @@ impl Wire for PathEntry {
     fn wire_size(&self) -> usize {
         8 + 4 + 4
     }
-    fn encode(&self, out: &mut Vec<u8>) {
-        self.walker.encode(out);
-        self.step.encode(out);
-        self.vertex.encode(out);
+    fn encode(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
+        self.walker.encode(out)?;
+        self.step.encode(out)?;
+        self.vertex.encode(out)
     }
     fn decode(input: &mut &[u8]) -> std::io::Result<Self> {
         Ok(PathEntry {

@@ -45,6 +45,11 @@ pub struct Walker<D> {
     /// distributed serving can route each finished walker's results back
     /// to the request that admitted it.
     pub tag: u64,
+    /// The graph epoch this walker samples. Pinned at admission and
+    /// carried on the wire, so every step of the walk — on any node —
+    /// sees the same snapshot of a dynamic graph. Always 0 on static
+    /// (CSR-backed) runs.
+    pub epoch: u64,
     /// The walker's private random stream.
     pub rng: DeterministicRng,
     /// Algorithm-defined state (e.g. a Meta-path scheme assignment).
@@ -61,6 +66,7 @@ impl<D: WalkerData> Walker<D> {
             prev: None,
             step: 0,
             tag: 0,
+            epoch: 0,
             rng: DeterministicRng::for_stream(seed, id),
             data,
         }
@@ -89,17 +95,19 @@ impl<D: WalkerData + Wire> Wire for Walker<D> {
             + self.prev.wire_size()
             + self.step.wire_size()
             + self.tag.wire_size()
+            + self.epoch.wire_size()
             + self.rng.state().wire_size()
             + self.data.wire_size()
     }
-    fn encode(&self, out: &mut Vec<u8>) {
-        self.id.encode(out);
-        self.current.encode(out);
-        self.prev.encode(out);
-        self.step.encode(out);
-        self.tag.encode(out);
-        self.rng.state().encode(out);
-        self.data.encode(out);
+    fn encode(&self, out: &mut Vec<u8>) -> Result<(), knightking_net::WireError> {
+        self.id.encode(out)?;
+        self.current.encode(out)?;
+        self.prev.encode(out)?;
+        self.step.encode(out)?;
+        self.tag.encode(out)?;
+        self.epoch.encode(out)?;
+        self.rng.state().encode(out)?;
+        self.data.encode(out)
     }
     fn decode(input: &mut &[u8]) -> io::Result<Self> {
         let id = u64::decode(input)?;
@@ -107,6 +115,7 @@ impl<D: WalkerData + Wire> Wire for Walker<D> {
         let prev = Option::<VertexId>::decode(input)?;
         let step = u32::decode(input)?;
         let tag = u64::decode(input)?;
+        let epoch = u64::decode(input)?;
         let state = <[u64; 4]>::decode(input)?;
         if state == [0; 4] {
             return Err(io::Error::new(
@@ -121,6 +130,7 @@ impl<D: WalkerData + Wire> Wire for Walker<D> {
             prev,
             step,
             tag,
+            epoch,
             rng: DeterministicRng::from_state(state),
             data,
         })
@@ -139,6 +149,7 @@ mod tests {
         assert_eq!(w.prev, None);
         assert_eq!(w.step, 0);
         assert_eq!(w.tag, 0, "batch walkers belong to no request");
+        assert_eq!(w.epoch, 0, "static runs pin the base epoch");
     }
 
     #[test]
@@ -179,9 +190,10 @@ mod tests {
         let mut w: Walker<(Option<VertexId>, Option<VertexId>)> =
             Walker::new(9, 4, 77, (Some(1), None));
         w.tag = 0xFEED;
+        w.epoch = 3;
         w.advance(8);
         let _ = w.rng.next_u64(); // advance the stream past its origin
-        let bytes = knightking_net::to_bytes(&w);
+        let bytes = knightking_net::to_bytes(&w).unwrap();
         assert_eq!(bytes.len(), w.wire_size());
         let mut back: Walker<(Option<VertexId>, Option<VertexId>)> =
             knightking_net::from_bytes(&bytes).unwrap();
@@ -190,6 +202,7 @@ mod tests {
         assert_eq!(back.prev, Some(4));
         assert_eq!(back.step, 1);
         assert_eq!(back.tag, 0xFEED);
+        assert_eq!(back.epoch, 3);
         assert_eq!(back.data, (Some(1), None));
         // The decoded walker continues the exact same random stream.
         assert_eq!(back.rng.next_u64(), w.rng.next_u64());
@@ -198,10 +211,10 @@ mod tests {
     #[test]
     fn wire_rejects_zero_rng_state() {
         let w: Walker<()> = Walker::new(0, 0, 1, ());
-        let mut bytes = knightking_net::to_bytes(&w);
+        let mut bytes = knightking_net::to_bytes(&w).unwrap();
         // Zero out the 32-byte rng state (after id, current, prev, step,
-        // tag).
-        let off = 8 + 4 + w.prev.wire_size() + 4 + 8;
+        // tag, epoch).
+        let off = 8 + 4 + w.prev.wire_size() + 4 + 8 + 8;
         bytes[off..off + 32].fill(0);
         let err = knightking_net::from_bytes::<Walker<()>>(&bytes).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);

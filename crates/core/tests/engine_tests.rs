@@ -3,8 +3,8 @@
 //! the shipped algorithms (those live in `knightking-walks`).
 
 use knightking_core::{
-    CsrGraph, EdgeView, OutlierSlot, RandomWalkEngine, VertexId, WalkConfig, Walker, WalkerProgram,
-    WalkerStarts,
+    CsrGraph, EdgeView, GraphRef, OutlierSlot, RandomWalkEngine, VertexId, WalkConfig, Walker,
+    WalkerProgram, WalkerStarts,
 };
 use knightking_graph::{gen, GraphBuilder};
 use knightking_sampling::stats::assert_distribution_matches;
@@ -33,17 +33,17 @@ impl WalkerProgram for EvenLover {
     fn should_terminate(&self, w: &mut Walker<()>) -> bool {
         w.step >= 20
     }
-    fn dynamic_comp(&self, _g: &CsrGraph, _w: &Walker<()>, e: EdgeView, _a: Option<()>) -> f64 {
+    fn dynamic_comp(&self, _g: &GraphRef<'_>, _w: &Walker<()>, e: EdgeView, _a: Option<()>) -> f64 {
         if e.dst.is_multiple_of(2) {
             1.0
         } else {
             0.25
         }
     }
-    fn upper_bound(&self, _g: &CsrGraph, _w: &Walker<()>) -> f64 {
+    fn upper_bound(&self, _g: &GraphRef<'_>, _w: &Walker<()>) -> f64 {
         1.0
     }
-    fn lower_bound(&self, _g: &CsrGraph, _w: &Walker<()>) -> f64 {
+    fn lower_bound(&self, _g: &GraphRef<'_>, _w: &Walker<()>) -> f64 {
         0.25
     }
 }
@@ -69,10 +69,10 @@ impl WalkerProgram for NoReturn {
             _ => None,
         }
     }
-    fn answer_query(&self, g: &CsrGraph, target: VertexId, candidate: VertexId) -> bool {
+    fn answer_query(&self, g: &GraphRef<'_>, target: VertexId, candidate: VertexId) -> bool {
         g.has_edge(target, candidate)
     }
-    fn dynamic_comp(&self, _g: &CsrGraph, w: &Walker<()>, e: EdgeView, a: Option<bool>) -> f64 {
+    fn dynamic_comp(&self, _g: &GraphRef<'_>, w: &Walker<()>, e: EdgeView, a: Option<bool>) -> f64 {
         match w.prev {
             None => 1.0,
             Some(prev) if e.dst == prev => 0.0,
@@ -85,7 +85,7 @@ impl WalkerProgram for NoReturn {
             }
         }
     }
-    fn upper_bound(&self, _g: &CsrGraph, _w: &Walker<()>) -> f64 {
+    fn upper_bound(&self, _g: &GraphRef<'_>, _w: &Walker<()>) -> f64 {
         1.0
     }
 }
@@ -332,14 +332,14 @@ impl WalkerProgram for DeadEnd {
     fn should_terminate(&self, w: &mut Walker<()>) -> bool {
         w.step >= 50
     }
-    fn dynamic_comp(&self, _g: &CsrGraph, w: &Walker<()>, _e: EdgeView, _a: Option<()>) -> f64 {
+    fn dynamic_comp(&self, _g: &GraphRef<'_>, w: &Walker<()>, _e: EdgeView, _a: Option<()>) -> f64 {
         if w.step == 0 {
             1.0
         } else {
             0.0
         }
     }
-    fn upper_bound(&self, _g: &CsrGraph, _w: &Walker<()>) -> f64 {
+    fn upper_bound(&self, _g: &GraphRef<'_>, _w: &Walker<()>) -> f64 {
         1.0
     }
 }
@@ -360,10 +360,16 @@ impl WalkerProgram for RemoteDeadEnd {
     fn state_query(&self, w: &Walker<()>, e: EdgeView) -> Option<(VertexId, VertexId)> {
         w.prev.filter(|&t| t != e.dst).map(|t| (t, e.dst))
     }
-    fn answer_query(&self, g: &CsrGraph, t: VertexId, x: VertexId) -> bool {
+    fn answer_query(&self, g: &GraphRef<'_>, t: VertexId, x: VertexId) -> bool {
         g.has_edge(t, x)
     }
-    fn dynamic_comp(&self, _g: &CsrGraph, w: &Walker<()>, e: EdgeView, _a: Option<bool>) -> f64 {
+    fn dynamic_comp(
+        &self,
+        _g: &GraphRef<'_>,
+        w: &Walker<()>,
+        e: EdgeView,
+        _a: Option<bool>,
+    ) -> f64 {
         match w.prev {
             None => 1.0,
             Some(t) if e.dst == t => 0.0,
@@ -371,7 +377,7 @@ impl WalkerProgram for RemoteDeadEnd {
             _ => 0.0,
         }
     }
-    fn upper_bound(&self, _g: &CsrGraph, _w: &Walker<()>) -> f64 {
+    fn upper_bound(&self, _g: &GraphRef<'_>, _w: &Walker<()>) -> f64 {
         1.0
     }
 }
@@ -390,7 +396,7 @@ impl WalkerProgram for TeleportingNoReturn {
     fn should_terminate(&self, w: &mut Walker<VertexId>) -> bool {
         w.step >= 24
     }
-    fn teleport(&self, _g: &CsrGraph, w: &mut Walker<VertexId>) -> Option<VertexId> {
+    fn teleport(&self, _g: &GraphRef<'_>, w: &mut Walker<VertexId>) -> Option<VertexId> {
         if w.rng.chance(0.2) {
             Some(w.data)
         } else {
@@ -400,12 +406,12 @@ impl WalkerProgram for TeleportingNoReturn {
     fn state_query(&self, w: &Walker<VertexId>, e: EdgeView) -> Option<(VertexId, VertexId)> {
         w.prev.filter(|&t| t != e.dst).map(|t| (t, e.dst))
     }
-    fn answer_query(&self, g: &CsrGraph, t: VertexId, x: VertexId) -> bool {
+    fn answer_query(&self, g: &GraphRef<'_>, t: VertexId, x: VertexId) -> bool {
         g.has_edge(t, x)
     }
     fn dynamic_comp(
         &self,
-        _g: &CsrGraph,
+        _g: &GraphRef<'_>,
         w: &Walker<VertexId>,
         e: EdgeView,
         a: Option<bool>,
@@ -422,7 +428,7 @@ impl WalkerProgram for TeleportingNoReturn {
             }
         }
     }
-    fn upper_bound(&self, _g: &CsrGraph, _w: &Walker<VertexId>) -> f64 {
+    fn upper_bound(&self, _g: &GraphRef<'_>, _w: &Walker<VertexId>) -> f64 {
         1.0
     }
 }
@@ -486,17 +492,17 @@ impl WalkerProgram for OutlierProg {
     fn should_terminate(&self, w: &mut Walker<()>) -> bool {
         w.step >= 1
     }
-    fn dynamic_comp(&self, _g: &CsrGraph, _w: &Walker<()>, e: EdgeView, _a: Option<()>) -> f64 {
+    fn dynamic_comp(&self, _g: &GraphRef<'_>, _w: &Walker<()>, e: EdgeView, _a: Option<()>) -> f64 {
         if e.dst == 1 {
             3.0
         } else {
             1.0
         }
     }
-    fn upper_bound(&self, _g: &CsrGraph, _w: &Walker<()>) -> f64 {
+    fn upper_bound(&self, _g: &GraphRef<'_>, _w: &Walker<()>) -> f64 {
         1.0 // bound over NON-outlier edges only
     }
-    fn declare_outliers(&self, _g: &CsrGraph, _w: &Walker<()>, out: &mut Vec<OutlierSlot>) {
+    fn declare_outliers(&self, _g: &GraphRef<'_>, _w: &Walker<()>, out: &mut Vec<OutlierSlot>) {
         out.push(OutlierSlot {
             target: 1,
             width_bound: 1.0,
@@ -546,14 +552,20 @@ fn disabling_outliers_keeps_distribution_but_costs_trials() {
         fn should_terminate(&self, w: &mut Walker<()>) -> bool {
             w.step >= 1
         }
-        fn dynamic_comp(&self, _g: &CsrGraph, _w: &Walker<()>, e: EdgeView, _a: Option<()>) -> f64 {
+        fn dynamic_comp(
+            &self,
+            _g: &GraphRef<'_>,
+            _w: &Walker<()>,
+            e: EdgeView,
+            _a: Option<()>,
+        ) -> f64 {
             if e.dst == 1 {
                 3.0
             } else {
                 1.0
             }
         }
-        fn upper_bound(&self, _g: &CsrGraph, _w: &Walker<()>) -> f64 {
+        fn upper_bound(&self, _g: &GraphRef<'_>, _w: &Walker<()>) -> f64 {
             3.0
         }
     }
@@ -593,7 +605,7 @@ impl WalkerProgram for ThirdOrder {
     }
     fn dynamic_comp(
         &self,
-        _g: &CsrGraph,
+        _g: &GraphRef<'_>,
         w: &Walker<Self::Data>,
         e: EdgeView,
         _a: Option<()>,
@@ -605,7 +617,7 @@ impl WalkerProgram for ThirdOrder {
             1.0
         }
     }
-    fn upper_bound(&self, _g: &CsrGraph, _w: &Walker<Self::Data>) -> f64 {
+    fn upper_bound(&self, _g: &GraphRef<'_>, _w: &Walker<Self::Data>) -> f64 {
         1.0
     }
 }

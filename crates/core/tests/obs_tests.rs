@@ -6,7 +6,7 @@
 
 use knightking_core::obs::Phase;
 use knightking_core::{
-    CsrGraph, EdgeView, RandomWalkEngine, VertexId, WalkConfig, Walker, WalkerProgram, WalkerStarts,
+    EdgeView, GraphRef, RandomWalkEngine, VertexId, WalkConfig, Walker, WalkerProgram, WalkerStarts,
 };
 use knightking_graph::gen;
 
@@ -20,14 +20,14 @@ impl WalkerProgram for EvenLover {
     fn should_terminate(&self, w: &mut Walker<()>) -> bool {
         w.step >= 20
     }
-    fn dynamic_comp(&self, _g: &CsrGraph, _w: &Walker<()>, e: EdgeView, _a: Option<()>) -> f64 {
+    fn dynamic_comp(&self, _g: &GraphRef<'_>, _w: &Walker<()>, e: EdgeView, _a: Option<()>) -> f64 {
         if e.dst.is_multiple_of(2) {
             1.0
         } else {
             0.25
         }
     }
-    fn upper_bound(&self, _g: &CsrGraph, _w: &Walker<()>) -> f64 {
+    fn upper_bound(&self, _g: &GraphRef<'_>, _w: &Walker<()>) -> f64 {
         1.0
     }
 }
@@ -50,10 +50,10 @@ impl WalkerProgram for NoReturn {
             _ => None,
         }
     }
-    fn answer_query(&self, g: &CsrGraph, target: VertexId, candidate: VertexId) -> bool {
+    fn answer_query(&self, g: &GraphRef<'_>, target: VertexId, candidate: VertexId) -> bool {
         g.has_edge(target, candidate)
     }
-    fn dynamic_comp(&self, _g: &CsrGraph, w: &Walker<()>, e: EdgeView, a: Option<bool>) -> f64 {
+    fn dynamic_comp(&self, _g: &GraphRef<'_>, w: &Walker<()>, e: EdgeView, a: Option<bool>) -> f64 {
         match w.prev {
             None => 1.0,
             Some(prev) if e.dst == prev => 0.0,
@@ -66,7 +66,7 @@ impl WalkerProgram for NoReturn {
             }
         }
     }
-    fn upper_bound(&self, _g: &CsrGraph, _w: &Walker<()>) -> f64 {
+    fn upper_bound(&self, _g: &GraphRef<'_>, _w: &Walker<()>) -> f64 {
         1.0
     }
 }
@@ -82,10 +82,16 @@ impl WalkerProgram for ZeroMass {
     fn should_terminate(&self, w: &mut Walker<()>) -> bool {
         w.step >= 5
     }
-    fn dynamic_comp(&self, _g: &CsrGraph, _w: &Walker<()>, _e: EdgeView, _a: Option<()>) -> f64 {
+    fn dynamic_comp(
+        &self,
+        _g: &GraphRef<'_>,
+        _w: &Walker<()>,
+        _e: EdgeView,
+        _a: Option<()>,
+    ) -> f64 {
         0.0
     }
-    fn upper_bound(&self, _g: &CsrGraph, _w: &Walker<()>) -> f64 {
+    fn upper_bound(&self, _g: &GraphRef<'_>, _w: &Walker<()>) -> f64 {
         1.0
     }
 }

@@ -1,0 +1,124 @@
+#![warn(missing_docs)]
+
+//! Epoch-versioned dynamic graph layer over the immutable CSR base.
+//!
+//! KnightKing (§6.1) builds its graph once at load time; a resident walk
+//! service needs a graph that mutates while walks are in flight. This
+//! crate overlays per-vertex **delta adjacency** — appended edges,
+//! tombstoned deletions, and weight overrides — on an immutable
+//! [`CsrGraph`] base. Every applied [`UpdateBatch`] stamps a
+//! monotonically increasing **graph epoch**, and every read is made *at*
+//! an epoch: a walker that pins the epoch current at its admission
+//! samples one consistent snapshot for its whole trajectory, no matter
+//! how many updates land while it is in flight. The snapshot a pinned
+//! reader sees is defined to be byte-identical to the CSR
+//! [`DynGraph::materialize`] would produce at that epoch — the repo's
+//! standing determinism invariant extends to dynamic graphs through this
+//! definition.
+//!
+//! # Delta layout
+//!
+//! Each vertex carries a (usually empty) list of row versions. A version
+//! is either an [`Overlay`](row) — cumulative adds/tombstones/reweights
+//! relative to the nearest *full* row at or below it (the CSR base row if
+//! none) — or a compacted full row. A configurable delta-ratio threshold
+//! ([`DynConfig::compact_ratio`]) triggers per-vertex compaction of the
+//! overlay back into a fresh CSR-shaped row, so read cost stays bounded
+//! under sustained churn.
+//!
+//! The merged row a reader sees is the live underlying edges (base row
+//! minus tombstones, reweights applied) merged with the appended edges in
+//! destination order, underlying-before-appended on ties — exactly the
+//! row order [`knightking_graph::GraphBuilder`] produces, which is what
+//! makes [`DynGraph::materialize`] an identity for readers.
+
+mod graph;
+mod row;
+mod update;
+
+pub use graph::{AppliedUpdate, DynConfig, DynGraph, DynStats};
+pub use update::{EdgeAdd, EdgeRef, EdgeReweight, UpdateBatch};
+
+use knightking_graph::VertexId;
+
+/// Errors produced when validating or applying an update batch.
+///
+/// Validation happens up front and atomically: a batch that fails leaves
+/// the graph untouched. Every rank of a distributed apply validates the
+/// same full batch (independent of vertex ownership), so an invalid
+/// batch fails identically everywhere.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DynError {
+    /// An endpoint of an operation is outside the vertex range.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: VertexId,
+        /// Number of vertices in the graph.
+        vertex_count: usize,
+    },
+    /// An added or overridden weight is not finite and non-negative.
+    InvalidWeight {
+        /// Source of the offending edge.
+        src: VertexId,
+        /// Destination of the offending edge.
+        dst: VertexId,
+        /// The offending weight.
+        weight: f32,
+    },
+    /// A weight other than 1.0 was supplied for an unweighted graph.
+    WeightOnUnweighted {
+        /// Source of the offending edge.
+        src: VertexId,
+        /// Destination of the offending edge.
+        dst: VertexId,
+    },
+    /// A reweight was submitted against an unweighted graph.
+    ReweightUnweighted {
+        /// Source of the offending edge.
+        src: VertexId,
+        /// Destination of the offending edge.
+        dst: VertexId,
+    },
+    /// A non-zero edge type was supplied for an untyped graph.
+    TypeOnUntyped {
+        /// Source of the offending edge.
+        src: VertexId,
+        /// Destination of the offending edge.
+        dst: VertexId,
+    },
+}
+
+impl std::fmt::Display for DynError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DynError::VertexOutOfRange {
+                vertex,
+                vertex_count,
+            } => write!(
+                f,
+                "update references vertex {vertex} but the graph has {vertex_count} vertices"
+            ),
+            DynError::InvalidWeight { src, dst, weight } => write!(
+                f,
+                "update gives edge {src}->{dst} invalid weight {weight} \
+                 (must be finite and non-negative)"
+            ),
+            DynError::WeightOnUnweighted { src, dst } => write!(
+                f,
+                "update adds edge {src}->{dst} with a non-unit weight, \
+                 but the base graph is unweighted"
+            ),
+            DynError::ReweightUnweighted { src, dst } => write!(
+                f,
+                "update reweights edge {src}->{dst}, but the base graph is unweighted"
+            ),
+            DynError::TypeOnUntyped { src, dst } => write!(
+                f,
+                "update adds edge {src}->{dst} with a non-zero edge type, \
+                 but the base graph is untyped"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DynError {}

@@ -1,0 +1,240 @@
+//! Update batches: the unit of graph mutation.
+//!
+//! A batch carries edge additions, deletions, and weight overrides, and
+//! applies atomically under one new graph epoch. Within a batch the
+//! application order is fixed — **deletions, then additions, then
+//! reweights** — so a batch may replace an edge (delete + add) or add an
+//! edge and immediately override its weight, and every rank of a
+//! distributed apply agrees on the outcome.
+//!
+//! All operations address *directed* edge instances: on an undirected
+//! graph (whose CSR carries both directions explicitly) a logical edge
+//! update is two operations, one per direction.
+//!
+//! Batches travel on the wire — rank-to-rank inside the serve directive
+//! broadcast, and client-to-server as `Request::Update` — via the
+//! [`Wire`] codec.
+
+use std::io;
+
+use knightking_graph::{EdgeTypeId, VertexId, Weight};
+use knightking_net::{Wire, WireError};
+
+/// One edge to append.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeAdd {
+    /// Source vertex.
+    pub src: VertexId,
+    /// Destination vertex.
+    pub dst: VertexId,
+    /// Edge weight. Must be `1.0` when the base graph is unweighted.
+    pub weight: Weight,
+    /// Edge type. Must be `0` when the base graph is untyped.
+    pub edge_type: EdgeTypeId,
+}
+
+impl Wire for EdgeAdd {
+    fn wire_size(&self) -> usize {
+        4 + 4 + 4 + 1
+    }
+    fn encode(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
+        self.src.encode(out)?;
+        self.dst.encode(out)?;
+        self.weight.encode(out)?;
+        self.edge_type.encode(out)
+    }
+    fn decode(input: &mut &[u8]) -> io::Result<Self> {
+        Ok(EdgeAdd {
+            src: VertexId::decode(input)?,
+            dst: VertexId::decode(input)?,
+            weight: Weight::decode(input)?,
+            edge_type: EdgeTypeId::decode(input)?,
+        })
+    }
+}
+
+/// A reference to the edges `src -> dst`; deletion removes **all** live
+/// parallel instances of the pair. Deleting a pair with no live instances
+/// is a no-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeRef {
+    /// Source vertex.
+    pub src: VertexId,
+    /// Destination vertex.
+    pub dst: VertexId,
+}
+
+impl Wire for EdgeRef {
+    fn wire_size(&self) -> usize {
+        4 + 4
+    }
+    fn encode(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
+        self.src.encode(out)?;
+        self.dst.encode(out)
+    }
+    fn decode(input: &mut &[u8]) -> io::Result<Self> {
+        Ok(EdgeRef {
+            src: VertexId::decode(input)?,
+            dst: VertexId::decode(input)?,
+        })
+    }
+}
+
+/// A weight override for the edges `src -> dst`; applies to **all** live
+/// parallel instances of the pair. Reweighting a pair with no live
+/// instances is a no-op.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeReweight {
+    /// Source vertex.
+    pub src: VertexId,
+    /// Destination vertex.
+    pub dst: VertexId,
+    /// The new weight.
+    pub weight: Weight,
+}
+
+impl Wire for EdgeReweight {
+    fn wire_size(&self) -> usize {
+        4 + 4 + 4
+    }
+    fn encode(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
+        self.src.encode(out)?;
+        self.dst.encode(out)?;
+        self.weight.encode(out)
+    }
+    fn decode(input: &mut &[u8]) -> io::Result<Self> {
+        Ok(EdgeReweight {
+            src: VertexId::decode(input)?,
+            dst: VertexId::decode(input)?,
+            weight: Weight::decode(input)?,
+        })
+    }
+}
+
+/// One atomic graph mutation: applied under a single new epoch, in the
+/// fixed order deletions → additions → reweights.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct UpdateBatch {
+    /// Edges to append.
+    pub adds: Vec<EdgeAdd>,
+    /// Edge pairs to delete (all live parallel instances).
+    pub dels: Vec<EdgeRef>,
+    /// Edge pairs to reweight (all live parallel instances).
+    pub reweights: Vec<EdgeReweight>,
+}
+
+impl UpdateBatch {
+    /// True when the batch carries no operations.
+    pub fn is_empty(&self) -> bool {
+        self.adds.is_empty() && self.dels.is_empty() && self.reweights.is_empty()
+    }
+
+    /// Total operation count.
+    pub fn len(&self) -> usize {
+        self.adds.len() + self.dels.len() + self.reweights.len()
+    }
+
+    /// The sorted, deduplicated set of source vertices the batch touches
+    /// — the vertices whose rows (and sampling structures) an apply will
+    /// rebuild.
+    pub fn touched_sources(&self) -> Vec<VertexId> {
+        let mut v: Vec<VertexId> = self
+            .adds
+            .iter()
+            .map(|a| a.src)
+            .chain(self.dels.iter().map(|d| d.src))
+            .chain(self.reweights.iter().map(|r| r.src))
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Splits the batch by a vertex → partition map, producing one batch
+    /// per partition: `route(src)` names the partition whose rank owns
+    /// the operation. Used to fan a client batch out to owning ranks.
+    pub fn route_by(&self, n_parts: usize, route: impl Fn(VertexId) -> usize) -> Vec<UpdateBatch> {
+        let mut out = vec![UpdateBatch::default(); n_parts];
+        for a in &self.adds {
+            out[route(a.src)].adds.push(*a);
+        }
+        for d in &self.dels {
+            out[route(d.src)].dels.push(*d);
+        }
+        for r in &self.reweights {
+            out[route(r.src)].reweights.push(*r);
+        }
+        out
+    }
+}
+
+impl Wire for UpdateBatch {
+    fn wire_size(&self) -> usize {
+        self.adds.wire_size() + self.dels.wire_size() + self.reweights.wire_size()
+    }
+    fn encode(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
+        self.adds.encode(out)?;
+        self.dels.encode(out)?;
+        self.reweights.encode(out)
+    }
+    fn decode(input: &mut &[u8]) -> io::Result<Self> {
+        Ok(UpdateBatch {
+            adds: Vec::decode(input)?,
+            dels: Vec::decode(input)?,
+            reweights: Vec::decode(input)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knightking_net::{from_bytes, to_bytes};
+
+    fn sample_batch() -> UpdateBatch {
+        UpdateBatch {
+            adds: vec![EdgeAdd {
+                src: 1,
+                dst: 2,
+                weight: 1.5,
+                edge_type: 3,
+            }],
+            dels: vec![EdgeRef { src: 4, dst: 5 }, EdgeRef { src: 1, dst: 0 }],
+            reweights: vec![EdgeReweight {
+                src: 7,
+                dst: 8,
+                weight: 0.25,
+            }],
+        }
+    }
+
+    #[test]
+    fn batch_round_trips() {
+        let b = sample_batch();
+        let bytes = to_bytes(&b).unwrap();
+        assert_eq!(bytes.len(), b.wire_size());
+        assert_eq!(from_bytes::<UpdateBatch>(&bytes).unwrap(), b);
+    }
+
+    #[test]
+    fn touched_sources_dedups_and_sorts() {
+        assert_eq!(sample_batch().touched_sources(), vec![1, 4, 7]);
+    }
+
+    #[test]
+    fn routing_partitions_by_source() {
+        let parts = sample_batch().route_by(2, |v| (v % 2) as usize);
+        assert_eq!(parts[0].dels, vec![EdgeRef { src: 4, dst: 5 }]);
+        assert_eq!(parts[1].adds.len(), 1);
+        assert_eq!(parts[1].dels, vec![EdgeRef { src: 1, dst: 0 }]);
+        assert_eq!(parts[1].reweights.len(), 1);
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        assert!(UpdateBatch::default().is_empty());
+        assert_eq!(UpdateBatch::default().len(), 0);
+        assert!(!sample_batch().is_empty());
+        assert_eq!(sample_batch().len(), 4);
+    }
+}

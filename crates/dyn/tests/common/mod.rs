@@ -1,0 +1,88 @@
+//! Shared reference model for dynamic-graph equivalence tests: a naive
+//! per-vertex edge list, rebuilt from scratch on every batch, compared
+//! row-by-row against `DynGraph` views and materializations.
+
+use knightking_dyn::{DynGraph, UpdateBatch};
+use knightking_graph::{CsrGraph, VertexId, Weight};
+
+/// The naive dynamic graph: destination-sorted per-vertex edge lists
+/// with full rebuild per batch — O(degree) per op, no versioning, no
+/// overlays. Obviously correct; everything else is measured against it.
+#[derive(Clone)]
+pub struct RefGraph {
+    pub rows: Vec<Vec<(VertexId, Weight)>>,
+}
+
+impl RefGraph {
+    pub fn of(base: &CsrGraph) -> RefGraph {
+        let rows = (0..base.vertex_count() as VertexId)
+            .map(|v| base.edges(v).map(|e| (e.dst, e.weight)).collect())
+            .collect();
+        RefGraph { rows }
+    }
+
+    /// Mirrors `DynGraph::apply` semantics: deletions drop every
+    /// instance of the pair, additions insert destination-sorted after
+    /// existing instances, reweights hit every live instance (including
+    /// ones this batch added).
+    pub fn apply(&mut self, batch: &UpdateBatch) {
+        for d in &batch.dels {
+            self.rows[d.src as usize].retain(|&(dst, _)| dst != d.dst);
+        }
+        for a in &batch.adds {
+            let row = &mut self.rows[a.src as usize];
+            let pos = row.partition_point(|&(dst, _)| dst <= a.dst);
+            row.insert(pos, (a.dst, a.weight));
+        }
+        for r in &batch.reweights {
+            for e in self.rows[r.src as usize]
+                .iter_mut()
+                .filter(|e| e.0 == r.dst)
+            {
+                e.1 = r.weight;
+            }
+        }
+    }
+}
+
+/// Asserts that the pinned view of `dyn_graph` at `epoch` is equivalent
+/// to `reference`, edge by edge: degrees, iteration order, weights,
+/// lookup functions, weight sums, and the materialized CSR.
+pub fn assert_matches(dyn_graph: &DynGraph, epoch: u64, reference: &RefGraph) {
+    let n = reference.rows.len();
+    let materialized = dyn_graph.materialize_at(epoch);
+    for v in 0..n as VertexId {
+        let row = &reference.rows[v as usize];
+        assert_eq!(
+            dyn_graph.degree_at(v, epoch),
+            row.len(),
+            "degree of {v} at epoch {epoch}"
+        );
+        for (i, &(dst, w)) in row.iter().enumerate() {
+            let e = dyn_graph.edge_at(v, i, epoch);
+            assert_eq!(e.dst, dst, "edge {i} of {v} at epoch {epoch}");
+            assert_eq!(e.weight, w, "weight of edge {i} of {v} at epoch {epoch}");
+        }
+        for x in 0..n as VertexId {
+            let count = row.iter().filter(|&&(dst, _)| dst == x).count();
+            assert_eq!(
+                dyn_graph.edge_range_at(v, x, epoch).len(),
+                count,
+                "edge_range {v}->{x} at epoch {epoch}"
+            );
+            assert_eq!(dyn_graph.has_edge_at(v, x, epoch), count > 0);
+            match dyn_graph.find_edge_at(v, x, epoch) {
+                Some(i) => assert_eq!(dyn_graph.edge_at(v, i, epoch).dst, x),
+                None => assert_eq!(count, 0),
+            }
+        }
+        let sum: f64 = row.iter().map(|&(_, w)| f64::from(w)).sum();
+        assert!(
+            (dyn_graph.weight_sum_at(v, epoch) - sum).abs() < 1e-6,
+            "weight sum of {v} at epoch {epoch}"
+        );
+        let got: Vec<(VertexId, Weight)> =
+            materialized.edges(v).map(|e| (e.dst, e.weight)).collect();
+        assert_eq!(&got, row, "materialized row of {v} at epoch {epoch}");
+    }
+}

@@ -1,0 +1,144 @@
+//! Randomized equivalence against the naive reference model, across
+//! compaction thresholds. A dependency-free mirror of the proptest
+//! suite (`proptests.rs`), runnable in offline builds: a seeded LCG
+//! generates update sequences instead of proptest strategies.
+
+mod common;
+
+use common::{assert_matches, RefGraph};
+use knightking_dyn::{DynConfig, DynGraph, EdgeAdd, EdgeRef, EdgeReweight, UpdateBatch};
+use knightking_graph::{GraphBuilder, VertexId};
+
+/// A minimal LCG (Numerical Recipes constants) — test-input generation
+/// only.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+    /// Positive weights on the 0.25 grid: exact in f32 and through every
+    /// f64 round trip, so equality checks stay strict.
+    fn weight(&mut self) -> f32 {
+        (self.below(40) + 1) as f32 * 0.25
+    }
+}
+
+fn random_batch(rng: &mut Lcg, n: u64) -> UpdateBatch {
+    let mut batch = UpdateBatch::default();
+    for _ in 0..rng.below(6) {
+        batch.adds.push(EdgeAdd {
+            src: rng.below(n) as VertexId,
+            dst: rng.below(n) as VertexId,
+            weight: rng.weight(),
+            edge_type: 0,
+        });
+    }
+    for _ in 0..rng.below(4) {
+        batch.dels.push(EdgeRef {
+            src: rng.below(n) as VertexId,
+            dst: rng.below(n) as VertexId,
+        });
+    }
+    for _ in 0..rng.below(4) {
+        batch.reweights.push(EdgeReweight {
+            src: rng.below(n) as VertexId,
+            dst: rng.below(n) as VertexId,
+            weight: rng.weight(),
+        });
+    }
+    batch
+}
+
+fn run_case(seed: u64, compact_ratio: f64) {
+    let mut rng = Lcg(seed.wrapping_mul(0x9E3779B97F4A7C15) | 1);
+    let n = 2 + rng.below(20);
+    let mut b = GraphBuilder::directed(n as usize).with_weights();
+    for _ in 0..rng.below(4 * n) {
+        b.add_weighted_edge(
+            rng.below(n) as VertexId,
+            rng.below(n) as VertexId,
+            rng.weight(),
+        );
+    }
+    let base = b.build();
+
+    let dyn_graph = DynGraph::new(base.clone(), DynConfig { compact_ratio });
+    let mut reference = RefGraph::of(&base);
+    // Epoch-stamped snapshots: epoch 0 is the base.
+    let mut snapshots = vec![(0u64, reference.clone())];
+
+    for _ in 0..rng.below(7) + 1 {
+        let batch = random_batch(&mut rng, n);
+        let applied = dyn_graph.apply(&batch).expect("in-range batch");
+        reference.apply(&batch);
+        snapshots.push((applied.epoch, reference.clone()));
+    }
+
+    // Every pinned epoch still reads its own snapshot — updates never
+    // disturb history.
+    for (epoch, snap) in &snapshots {
+        assert_matches(&dyn_graph, *epoch, snap);
+    }
+}
+
+#[test]
+fn randomized_sequences_match_reference_across_thresholds() {
+    for seed in 0..24 {
+        // 0.0 compacts on every touch; 1000.0 effectively never — both
+        // extremes and the interesting middle must read identically.
+        for ratio in [0.0, 0.3, 0.5, 2.0, 1000.0] {
+            run_case(seed, ratio);
+        }
+    }
+}
+
+#[test]
+fn compaction_threshold_does_not_change_any_view() {
+    // The same sequence under different thresholds materializes the
+    // same bytes at every epoch.
+    for seed in 0..8 {
+        let build = |ratio: f64| {
+            let mut rng = Lcg(seed | 1);
+            let n = 4 + rng.below(12);
+            let mut b = GraphBuilder::directed(n as usize).with_weights();
+            for _ in 0..rng.below(3 * n) {
+                b.add_weighted_edge(
+                    rng.below(n) as VertexId,
+                    rng.below(n) as VertexId,
+                    rng.weight(),
+                );
+            }
+            let g = DynGraph::new(
+                b.build(),
+                DynConfig {
+                    compact_ratio: ratio,
+                },
+            );
+            for _ in 0..5 {
+                let batch = random_batch(&mut rng, n);
+                g.apply(&batch).expect("in-range batch");
+            }
+            g
+        };
+        let eager = build(0.0);
+        let lazy = build(1000.0);
+        assert!(eager.stats().compactions > lazy.stats().compactions);
+        for epoch in 0..=eager.epoch() {
+            let a = eager.materialize_at(epoch);
+            let b = lazy.materialize_at(epoch);
+            for v in 0..a.vertex_count() as VertexId {
+                let ea: Vec<_> = a.edges(v).map(|e| (e.dst, e.weight)).collect();
+                let eb: Vec<_> = b.edges(v).map(|e| (e.dst, e.weight)).collect();
+                assert_eq!(ea, eb, "vertex {v} at epoch {epoch}");
+            }
+        }
+    }
+}

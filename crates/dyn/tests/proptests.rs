@@ -1,0 +1,113 @@
+//! Property-based equivalence for the dynamic layer: any sequence of
+//! update batches, under any compaction threshold, reads identically to
+//! a naive rebuilt-from-scratch edge list at every epoch — neighbor
+//! iteration, degrees, weight lookups, and materialization.
+
+mod common;
+
+use common::{assert_matches, RefGraph};
+use knightking_dyn::{DynConfig, DynGraph, EdgeAdd, EdgeRef, EdgeReweight, UpdateBatch};
+use knightking_graph::{GraphBuilder, VertexId};
+use proptest::prelude::*;
+
+/// Weights on the 0.25 grid: exact in f32 and through every f64 round
+/// trip, so equality checks stay strict.
+fn weight_strategy() -> impl Strategy<Value = f32> {
+    (1u32..40).prop_map(|k| k as f32 * 0.25)
+}
+
+fn batch_strategy(n: u32) -> impl Strategy<Value = UpdateBatch> {
+    let add = (0..n, 0..n, weight_strategy())
+        .prop_map(|(src, dst, weight)| EdgeAdd {
+            src,
+            dst,
+            weight,
+            edge_type: 0,
+        });
+    let del = (0..n, 0..n).prop_map(|(src, dst)| EdgeRef { src, dst });
+    let rew = (0..n, 0..n, weight_strategy())
+        .prop_map(|(src, dst, weight)| EdgeReweight { src, dst, weight });
+    (
+        prop::collection::vec(add, 0..6),
+        prop::collection::vec(del, 0..4),
+        prop::collection::vec(rew, 0..4),
+    )
+        .prop_map(|(adds, dels, reweights)| UpdateBatch {
+            adds,
+            dels,
+            reweights,
+        })
+}
+
+/// A weighted directed base graph plus a sequence of in-range batches.
+fn scenario_strategy() -> impl Strategy<Value = (usize, Vec<(u32, u32, f32)>, Vec<UpdateBatch>)> {
+    (2usize..24).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32, weight_strategy());
+        (
+            Just(n),
+            prop::collection::vec(edge, 0..64),
+            prop::collection::vec(batch_strategy(n as u32), 1..8),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every epoch of a dynamic graph reads exactly like the naive
+    /// reference rebuilt at that epoch — and history stays intact as
+    /// later updates land.
+    #[test]
+    fn update_sequences_match_rebuilt_reference(
+        (n, edges, batches) in scenario_strategy(),
+        compact_ratio in prop_oneof![Just(0.0), Just(0.3), Just(0.5), Just(2.0), Just(1000.0)],
+    ) {
+        let mut b = GraphBuilder::directed(n).with_weights();
+        for &(s, d, w) in &edges {
+            b.add_weighted_edge(s, d, w);
+        }
+        let base = b.build();
+
+        let dyn_graph = DynGraph::new(base.clone(), DynConfig { compact_ratio });
+        let mut reference = RefGraph::of(&base);
+        let mut snapshots = vec![(0u64, reference.clone())];
+        for batch in &batches {
+            let applied = dyn_graph.apply(batch).expect("in-range batch");
+            reference.apply(batch);
+            snapshots.push((applied.epoch, reference.clone()));
+        }
+        for (epoch, snap) in &snapshots {
+            assert_matches(&dyn_graph, *epoch, snap);
+        }
+    }
+
+    /// Compaction is invisible: eager (every touch) and lazy (never)
+    /// thresholds materialize identical bytes at every epoch.
+    #[test]
+    fn compaction_threshold_is_unobservable(
+        (n, edges, batches) in scenario_strategy(),
+    ) {
+        let build = |ratio: f64| {
+            let mut b = GraphBuilder::directed(n).with_weights();
+            for &(s, d, w) in &edges {
+                b.add_weighted_edge(s, d, w);
+            }
+            let g = DynGraph::new(b.build(), DynConfig { compact_ratio: ratio });
+            for batch in &batches {
+                g.apply(batch).expect("in-range batch");
+            }
+            g
+        };
+        let eager = build(0.0);
+        let lazy = build(1000.0);
+        for epoch in 0..=eager.epoch() {
+            let a = eager.materialize_at(epoch);
+            let b = lazy.materialize_at(epoch);
+            for v in 0..a.vertex_count() as VertexId {
+                let ea: Vec<_> = a.edges(v).map(|e| (e.dst, e.weight)).collect();
+                let eb: Vec<_> = b.edges(v).map(|e| (e.dst, e.weight)).collect();
+                prop_assert_eq!(ea, eb, "vertex {} at epoch {}", v, epoch);
+            }
+        }
+    }
+}

@@ -184,14 +184,21 @@ impl Handshake {
 ///
 /// # Errors
 ///
-/// Propagates I/O failures.
-///
-/// # Panics
-///
-/// Panics if the payload exceeds [`MAX_FRAME_LEN`].
+/// Fails with `InvalidInput` (nothing written) when the payload exceeds
+/// [`MAX_FRAME_LEN`], or propagates the underlying I/O failure.
 pub fn write_frame<W: Write>(w: &mut W, tag: u8, seq: u64, payload: &[u8]) -> io::Result<u64> {
-    let len = u32::try_from(payload.len()).expect("frame payload exceeds u32");
-    assert!(len <= MAX_FRAME_LEN, "frame payload exceeds MAX_FRAME_LEN");
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|&l| l <= MAX_FRAME_LEN)
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "frame payload of {} bytes exceeds the {MAX_FRAME_LEN}-byte ceiling",
+                    payload.len()
+                ),
+            )
+        })?;
     let mut header = [0u8; HEADER_LEN];
     header[0] = tag;
     header[1..9].copy_from_slice(&seq.to_le_bytes());

@@ -392,10 +392,13 @@ impl<M: Wire> Transport<M> for TcpTransport {
             }
             sent_messages += msgs.len() as u64;
             scratch.clear();
-            (msgs.len() as u32).encode(&mut scratch);
+            (msgs.len() as u32)
+                .encode(&mut scratch)
+                .expect("u32 encode is infallible");
             for m in &msgs {
                 sent_bytes += wire_bytes(m) as u64;
-                m.encode(&mut scratch);
+                m.encode(&mut scratch)
+                    .expect("message exceeds wire encoding limits");
             }
             socket_bytes += self.send(to, tag::DATA, seq, &scratch);
         }

@@ -9,23 +9,67 @@
 //! backends agree (the in-process backend never serializes at all, it
 //! just *prices* messages with the same function).
 //!
+//! Encoding is fallible: lengths on the wire are `u32`, so a collection
+//! longer than `u32::MAX` cannot be represented. That limit surfaces as a
+//! typed [`WireError`] instead of a panic, letting servers reject an
+//! oversized value without dying.
+//!
 //! No `serde`: the workspace is dependency-free by design, and the
 //! message set is small enough that explicit impls are clearer than a
 //! derive anyway.
 
 use std::io;
 
+/// Failure to encode a value into the wire format.
+///
+/// The wire format itself imposes the only limit: collection lengths are
+/// carried as `u32`, so anything longer is unrepresentable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// A collection exceeded the `u32` length field of the wire format.
+    TooLong {
+        /// What was being encoded (e.g. `"vec"`).
+        what: &'static str,
+        /// The offending length.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::TooLong { what, len } => {
+                write!(f, "wire: {what} of length {len} exceeds u32::MAX")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<WireError> for io::Error {
+    fn from(e: WireError) -> Self {
+        io::Error::new(io::ErrorKind::InvalidData, e)
+    }
+}
+
 /// A value with an exact, self-describing binary encoding.
 ///
-/// Contract: `encode` appends exactly `wire_size()` bytes, and `decode`
-/// consumes exactly the bytes `encode` produced, yielding an equal value.
-/// The proptest suite in this module checks the round trip for every
-/// built-in impl.
+/// Contract: a successful `encode` appends exactly `wire_size()` bytes,
+/// and `decode` consumes exactly the bytes `encode` produced, yielding an
+/// equal value. The proptest suite in this module checks the round trip
+/// for every built-in impl.
 pub trait Wire: Sized {
     /// Exact number of bytes `encode` will append for this value.
     fn wire_size(&self) -> usize;
     /// Appends the encoding of `self` to `out`.
-    fn encode(&self, out: &mut Vec<u8>);
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::TooLong`] when a contained collection exceeds
+    /// the `u32` length field of the wire format. On error, `out` may
+    /// hold a partial encoding and should be discarded.
+    fn encode(&self, out: &mut Vec<u8>) -> Result<(), WireError>;
     /// Decodes one value from the front of `input`, advancing it.
     ///
     /// # Errors
@@ -60,8 +104,9 @@ macro_rules! wire_prim {
                 std::mem::size_of::<$t>()
             }
             #[inline]
-            fn encode(&self, out: &mut Vec<u8>) {
+            fn encode(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
                 out.extend_from_slice(&self.to_le_bytes());
+                Ok(())
             }
             #[inline]
             fn decode(input: &mut &[u8]) -> io::Result<Self> {
@@ -80,7 +125,9 @@ impl Wire for () {
         0
     }
     #[inline]
-    fn encode(&self, _out: &mut Vec<u8>) {}
+    fn encode(&self, _out: &mut Vec<u8>) -> Result<(), WireError> {
+        Ok(())
+    }
     #[inline]
     fn decode(_input: &mut &[u8]) -> io::Result<Self> {
         Ok(())
@@ -93,8 +140,9 @@ impl Wire for bool {
         1
     }
     #[inline]
-    fn encode(&self, out: &mut Vec<u8>) {
+    fn encode(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
         out.push(u8::from(*self));
+        Ok(())
     }
     #[inline]
     fn decode(input: &mut &[u8]) -> io::Result<Self> {
@@ -115,14 +163,15 @@ impl<T: Wire> Wire for Option<T> {
         1 + self.as_ref().map_or(0, Wire::wire_size)
     }
     #[inline]
-    fn encode(&self, out: &mut Vec<u8>) {
+    fn encode(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
         match self {
             None => out.push(0),
             Some(v) => {
                 out.push(1);
-                v.encode(out);
+                v.encode(out)?;
             }
         }
+        Ok(())
     }
     #[inline]
     fn decode(input: &mut &[u8]) -> io::Result<Self> {
@@ -141,12 +190,16 @@ impl<T: Wire> Wire for Vec<T> {
     fn wire_size(&self) -> usize {
         4 + self.iter().map(Wire::wire_size).sum::<usize>()
     }
-    fn encode(&self, out: &mut Vec<u8>) {
-        let n = u32::try_from(self.len()).expect("vec longer than u32::MAX");
-        n.encode(out);
+    fn encode(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
+        let n = u32::try_from(self.len()).map_err(|_| WireError::TooLong {
+            what: "vec",
+            len: self.len(),
+        })?;
+        n.encode(out)?;
         for v in self {
-            v.encode(out);
+            v.encode(out)?;
         }
+        Ok(())
     }
     fn decode(input: &mut &[u8]) -> io::Result<Self> {
         let n = u32::decode(input)? as usize;
@@ -165,10 +218,11 @@ impl<const N: usize> Wire for [u64; N] {
     fn wire_size(&self) -> usize {
         8 * N
     }
-    fn encode(&self, out: &mut Vec<u8>) {
+    fn encode(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
         for v in self {
-            v.encode(out);
+            v.encode(out)?;
         }
+        Ok(())
     }
     fn decode(input: &mut &[u8]) -> io::Result<Self> {
         let mut out = [0u64; N];
@@ -187,8 +241,9 @@ macro_rules! wire_tuple {
                 0 $(+ self.$idx.wire_size())+
             }
             #[inline]
-            fn encode(&self, out: &mut Vec<u8>) {
-                $(self.$idx.encode(out);)+
+            fn encode(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
+                $(self.$idx.encode(out)?;)+
+                Ok(())
             }
             #[inline]
             fn decode(input: &mut &[u8]) -> io::Result<Self> {
@@ -203,11 +258,16 @@ wire_tuple!(A: 0, B: 1, C: 2);
 wire_tuple!(A: 0, B: 1, C: 2, D: 3);
 
 /// Encodes a value into a fresh buffer (sized exactly).
-pub fn to_bytes<T: Wire>(value: &T) -> Vec<u8> {
+///
+/// # Errors
+///
+/// Returns [`WireError::TooLong`] when a contained collection exceeds the
+/// `u32` length field of the wire format.
+pub fn to_bytes<T: Wire>(value: &T) -> Result<Vec<u8>, WireError> {
     let mut out = Vec::with_capacity(value.wire_size());
-    value.encode(&mut out);
+    value.encode(&mut out)?;
     debug_assert_eq!(out.len(), value.wire_size(), "wire_size lied");
-    out
+    Ok(out)
 }
 
 /// Decodes a value from a buffer, requiring the buffer be fully consumed.
@@ -231,7 +291,7 @@ mod tests {
     use super::*;
 
     fn round_trip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
-        let bytes = to_bytes(&v);
+        let bytes = to_bytes(&v).unwrap();
         assert_eq!(bytes.len(), v.wire_size());
         assert_eq!(from_bytes::<T>(&bytes).unwrap(), v);
     }
@@ -264,14 +324,14 @@ mod tests {
 
     #[test]
     fn truncated_input_is_eof() {
-        let bytes = to_bytes(&0xAABBCCDDu32);
+        let bytes = to_bytes(&0xAABBCCDDu32).unwrap();
         let err = from_bytes::<u32>(&bytes[..2]).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
     }
 
     #[test]
     fn trailing_bytes_rejected() {
-        let mut bytes = to_bytes(&1u8);
+        let mut bytes = to_bytes(&1u8).unwrap();
         bytes.push(99);
         let err = from_bytes::<u8>(&bytes).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
@@ -286,8 +346,27 @@ mod tests {
     #[test]
     fn corrupt_vec_length_does_not_alloc_unbounded() {
         // Length claims u32::MAX elements; must error, not OOM.
-        let bytes = to_bytes(&u32::MAX);
+        let bytes = to_bytes(&u32::MAX).unwrap();
         let err = from_bytes::<Vec<u64>>(&bytes).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    /// An oversized collection surfaces as a typed error, not a panic.
+    /// `Vec<()>` makes a >u32::MAX-element vector cheap to build: each
+    /// element is zero bytes on the wire, so only the length field
+    /// overflows.
+    #[test]
+    fn oversized_vec_is_a_typed_error() {
+        let v = vec![(); u32::MAX as usize + 1];
+        let err = to_bytes(&v).unwrap_err();
+        assert_eq!(
+            err,
+            WireError::TooLong {
+                what: "vec",
+                len: u32::MAX as usize + 1,
+            }
+        );
+        let io_err: io::Error = err.into();
+        assert_eq!(io_err.kind(), io::ErrorKind::InvalidData);
     }
 }

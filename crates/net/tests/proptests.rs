@@ -6,7 +6,7 @@ use knightking_serve::{Request, StartSpec, Status, WalkRequest, WalkResponse};
 use proptest::prelude::*;
 
 fn round_trip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
-    let bytes = to_bytes(&v);
+    let bytes = to_bytes(&v).unwrap();
     assert_eq!(bytes.len(), v.wire_size(), "wire_size must be exact");
     assert_eq!(from_bytes::<T>(&bytes).unwrap(), v);
 }

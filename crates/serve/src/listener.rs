@@ -101,8 +101,17 @@ fn handle_conn(mut stream: TcpStream, handle: &ServiceHandle) -> io::Result<()> 
                     paths: Vec::new(),
                 }
             }
+            Request::Update(batch) => {
+                let rx = handle.submit_update(batch);
+                rx.recv().unwrap_or(WalkResponse {
+                    status: Status::ShuttingDown,
+                    paths: Vec::new(),
+                })
+            }
         };
-        write_frame(&mut stream, tag::RESP, frame.seq, &to_bytes(&resp))?;
+        let payload =
+            to_bytes(&resp).map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+        write_frame(&mut stream, tag::RESP, frame.seq, &payload)?;
         stream.flush()?;
     }
 }

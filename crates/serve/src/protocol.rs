@@ -14,15 +14,17 @@
 use std::io::{self, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
+use knightking_dyn::UpdateBatch;
 use knightking_graph::VertexId;
 use knightking_net::frame::{read_frame, tag, write_frame};
-use knightking_net::{from_bytes, to_bytes, Wire};
+use knightking_net::{from_bytes, to_bytes, Wire, WireError};
 
 /// First four bytes a query client sends ("KnightKing SerVe").
 pub const SERVE_MAGIC: [u8; 4] = *b"KKSV";
 
-/// Serve-protocol version, bumped on any wire change.
-pub const SERVE_VERSION: u16 = 1;
+/// Serve-protocol version, bumped on any wire change. Version 2 added
+/// [`Request::Update`] and [`Status::Updated`].
+pub const SERVE_VERSION: u16 = 2;
 
 /// Where a request's walkers start.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -41,15 +43,15 @@ impl Wire for StartSpec {
             StartSpec::Explicit(v) => v.wire_size(),
         }
     }
-    fn encode(&self, out: &mut Vec<u8>) {
+    fn encode(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
         match self {
             StartSpec::Count(n) => {
                 out.push(0);
-                n.encode(out);
+                n.encode(out)
             }
             StartSpec::Explicit(v) => {
                 out.push(1);
-                v.encode(out);
+                v.encode(out)
             }
         }
     }
@@ -83,10 +85,10 @@ impl Wire for WalkRequest {
     fn wire_size(&self) -> usize {
         self.seed.wire_size() + self.starts.wire_size() + self.deadline_ms.wire_size()
     }
-    fn encode(&self, out: &mut Vec<u8>) {
-        self.seed.encode(out);
-        self.starts.encode(out);
-        self.deadline_ms.encode(out);
+    fn encode(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
+        self.seed.encode(out)?;
+        self.starts.encode(out)?;
+        self.deadline_ms.encode(out)
     }
     fn decode(input: &mut &[u8]) -> io::Result<Self> {
         Ok(WalkRequest {
@@ -98,13 +100,21 @@ impl Wire for WalkRequest {
 }
 
 /// Everything a client can ask of a serve listener.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Run a walk and return its paths.
     Walk(WalkRequest),
     /// Ask the service to drain in-flight work and exit. Acked with
     /// [`Status::Ok`] before the drain completes.
     Shutdown,
+    /// Apply a graph update batch (edge adds, deletions, reweights). The
+    /// service applies the batch at the next superstep boundary on every
+    /// rank in lockstep; already-admitted walkers keep sampling their
+    /// pinned epoch, walkers admitted afterwards see the new one. Acked
+    /// with [`Status::Updated`] carrying the new graph epoch, or
+    /// [`Status::Invalid`] if the batch references out-of-range vertices
+    /// or the served graph is a static CSR.
+    Update(UpdateBatch),
 }
 
 impl Wire for Request {
@@ -112,21 +122,30 @@ impl Wire for Request {
         1 + match self {
             Request::Walk(r) => r.wire_size(),
             Request::Shutdown => 0,
+            Request::Update(b) => b.wire_size(),
         }
     }
-    fn encode(&self, out: &mut Vec<u8>) {
+    fn encode(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
         match self {
             Request::Walk(r) => {
                 out.push(0);
-                r.encode(out);
+                r.encode(out)
             }
-            Request::Shutdown => out.push(1),
+            Request::Shutdown => {
+                out.push(1);
+                Ok(())
+            }
+            Request::Update(b) => {
+                out.push(2);
+                b.encode(out)
+            }
         }
     }
     fn decode(input: &mut &[u8]) -> io::Result<Self> {
         match u8::decode(input)? {
             0 => Ok(Request::Walk(WalkRequest::decode(input)?)),
             1 => Ok(Request::Shutdown),
+            2 => Ok(Request::Update(UpdateBatch::decode(input)?)),
             b => Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("wire: invalid Request tag {b}"),
@@ -154,6 +173,12 @@ pub enum Status {
     /// The request was malformed (e.g. a start vertex outside the graph);
     /// the message names the problem.
     Invalid(String),
+    /// An update batch was applied; walkers admitted from now on sample
+    /// the graph at this epoch.
+    Updated {
+        /// The graph epoch the batch created.
+        epoch: u64,
+    },
 }
 
 impl Wire for Status {
@@ -162,23 +187,29 @@ impl Wire for Status {
             Status::Ok | Status::DeadlineExceeded | Status::ShuttingDown => 0,
             Status::Rejected { retry_after_ms } => retry_after_ms.wire_size(),
             Status::Invalid(msg) => 4 + msg.len(),
+            Status::Updated { epoch } => epoch.wire_size(),
         }
     }
-    fn encode(&self, out: &mut Vec<u8>) {
+    fn encode(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
         match self {
             Status::Ok => out.push(0),
             Status::Rejected { retry_after_ms } => {
                 out.push(1);
-                retry_after_ms.encode(out);
+                retry_after_ms.encode(out)?;
             }
             Status::DeadlineExceeded => out.push(2),
             Status::ShuttingDown => out.push(3),
             Status::Invalid(msg) => {
                 out.push(4);
-                (msg.len() as u32).encode(out);
+                (msg.len() as u32).encode(out)?;
                 out.extend_from_slice(msg.as_bytes());
             }
+            Status::Updated { epoch } => {
+                out.push(5);
+                epoch.encode(out)?;
+            }
         }
+        Ok(())
     }
     fn decode(input: &mut &[u8]) -> io::Result<Self> {
         match u8::decode(input)? {
@@ -203,6 +234,9 @@ impl Wire for Status {
                 *input = tail;
                 Ok(Status::Invalid(msg))
             }
+            5 => Ok(Status::Updated {
+                epoch: u64::decode(input)?,
+            }),
             b => Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("wire: invalid Status tag {b}"),
@@ -226,9 +260,9 @@ impl Wire for WalkResponse {
     fn wire_size(&self) -> usize {
         self.status.wire_size() + self.paths.wire_size()
     }
-    fn encode(&self, out: &mut Vec<u8>) {
-        self.status.encode(out);
-        self.paths.encode(out);
+    fn encode(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
+        self.status.encode(out)?;
+        self.paths.encode(out)
     }
     fn decode(input: &mut &[u8]) -> io::Result<Self> {
         Ok(WalkResponse {
@@ -258,9 +292,11 @@ pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<TcpStream> {
 ///
 /// # Errors
 ///
-/// Propagates I/O failures.
+/// Propagates I/O failures; an unencodable request (e.g. an update batch
+/// over wire limits) fails with `InvalidInput`.
 pub fn send_request<W: Write>(w: &mut W, req_id: u64, req: &Request) -> io::Result<()> {
-    write_frame(w, tag::REQ, req_id, &to_bytes(req))?;
+    let payload = to_bytes(req).map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+    write_frame(w, tag::REQ, req_id, &payload)?;
     w.flush()
 }
 
@@ -300,9 +336,10 @@ pub fn round_trip(stream: &mut TcpStream, req_id: u64, req: &Request) -> io::Res
 #[cfg(test)]
 mod tests {
     use super::*;
+    use knightking_dyn::{EdgeAdd, EdgeRef, EdgeReweight};
 
     fn round_trips<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
-        let bytes = to_bytes(&v);
+        let bytes = to_bytes(&v).unwrap();
         assert_eq!(bytes.len(), v.wire_size(), "wire_size must be exact");
         let back: T = from_bytes(&bytes).unwrap();
         assert_eq!(back, v);
@@ -321,6 +358,21 @@ mod tests {
             deadline_ms: 250,
         }));
         round_trips(Request::Shutdown);
+        round_trips(Request::Update(UpdateBatch {
+            adds: vec![EdgeAdd {
+                src: 3,
+                dst: 4,
+                weight: 2.5,
+                edge_type: 1,
+            }],
+            dels: vec![EdgeRef { src: 0, dst: 1 }],
+            reweights: vec![EdgeReweight {
+                src: 2,
+                dst: 3,
+                weight: 0.5,
+            }],
+        }));
+        round_trips(Request::Update(UpdateBatch::default()));
     }
 
     #[test]
@@ -345,11 +397,15 @@ mod tests {
             status: Status::Invalid("start vertex 99 is out of range".into()),
             paths: Vec::new(),
         });
+        round_trips(WalkResponse {
+            status: Status::Updated { epoch: 12 },
+            paths: Vec::new(),
+        });
     }
 
     #[test]
     fn truncated_status_message_is_an_error_not_a_panic() {
-        let full = to_bytes(&Status::Invalid("hello".into()));
+        let full = to_bytes(&Status::Invalid("hello".into())).unwrap();
         let cut = &full[..full.len() - 2];
         assert!(from_bytes::<Status>(cut).is_err());
     }

@@ -18,10 +18,11 @@ use std::time::{Duration, Instant};
 use knightking_cluster::comm::run_cluster_with_metrics;
 use knightking_core::result::PathEntry;
 use knightking_core::{
-    AdmitRequest, Directives, Msg, NoopDriver, RandomWalkEngine, ServeDelta, ServeDriver,
-    Transport, WalkConfig, WalkMetrics, WalkResult, WalkerProgram, WalkerStarts,
+    AdmitRequest, Directives, EpochUpdate, GraphRef, Msg, NoopDriver, RandomWalkEngine, ServeDelta,
+    ServeDriver, Transport, WalkConfig, WalkMetrics, WalkResult, WalkerProgram, WalkerStarts,
 };
-use knightking_graph::{CsrGraph, VertexId};
+use knightking_dyn::{DynGraph, UpdateBatch};
+use knightking_graph::VertexId;
 
 use crate::protocol::{StartSpec, Status, WalkRequest, WalkResponse};
 use crate::stats::ServeStats;
@@ -56,10 +57,17 @@ struct QueuedReq {
     responder: mpsc::Sender<WalkResponse>,
 }
 
+/// A queued graph update awaiting its superstep boundary.
+struct QueuedUpdate {
+    batch: UpdateBatch,
+    responder: mpsc::Sender<WalkResponse>,
+}
+
 /// State shared between the service loop and its handles.
 pub(crate) struct ServeShared {
     cfg: ServiceConfig,
     queue: Mutex<VecDeque<QueuedReq>>,
+    updates: Mutex<VecDeque<QueuedUpdate>>,
     shutdown: AtomicBool,
     stats: Mutex<ServeStats>,
     conns: AtomicUsize,
@@ -88,6 +96,10 @@ impl ServiceHandle {
         }
         let mut queue = lock(&self.shared.queue);
         if queue.len() >= self.shared.cfg.queue_capacity {
+            // Release the queue before touching stats: poll() locks
+            // stats → queue, so holding queue → stats here could
+            // deadlock.
+            drop(queue);
             lock(&self.shared.stats).rejected += 1;
             let _ = tx.send(WalkResponse {
                 status: Status::Rejected {
@@ -100,6 +112,43 @@ impl ServiceHandle {
         queue.push_back(QueuedReq {
             req,
             enqueued: Instant::now(),
+            responder: tx,
+        });
+        rx
+    }
+
+    /// Submits a graph update batch. The service broadcasts it to every
+    /// rank and applies it at the next superstep boundary; the response
+    /// carries [`Status::Updated`] with the new graph epoch once the
+    /// batch has been scheduled, [`Status::Invalid`] if it fails
+    /// validation or the served graph is a static CSR, or the usual
+    /// backpressure/shutdown statuses. Walkers admitted before the
+    /// update keep sampling their pinned epoch.
+    pub fn submit_update(&self, batch: UpdateBatch) -> mpsc::Receiver<WalkResponse> {
+        let (tx, rx) = mpsc::channel();
+        if self.is_shutdown() {
+            let _ = tx.send(WalkResponse {
+                status: Status::ShuttingDown,
+                paths: Vec::new(),
+            });
+            return rx;
+        }
+        let mut updates = lock(&self.shared.updates);
+        if updates.len() >= self.shared.cfg.queue_capacity {
+            // Same lock-order discipline as `submit`: never hold a
+            // queue lock while taking stats.
+            drop(updates);
+            lock(&self.shared.stats).rejected += 1;
+            let _ = tx.send(WalkResponse {
+                status: Status::Rejected {
+                    retry_after_ms: self.shared.cfg.retry_after_ms,
+                },
+                paths: Vec::new(),
+            });
+            return rx;
+        }
+        updates.push_back(QueuedUpdate {
+            batch,
             responder: tx,
         });
         rx
@@ -158,6 +207,7 @@ impl WalkService {
         let shared = Arc::new(ServeShared {
             cfg,
             queue: Mutex::new(VecDeque::new()),
+            updates: Mutex::new(VecDeque::new()),
             shutdown: AtomicBool::new(false),
             stats: Mutex::new(ServeStats::default()),
             conns: AtomicUsize::new(0),
@@ -174,22 +224,26 @@ impl WalkService {
     /// threads, blocking until a shutdown drains. Path recording is
     /// forced on (responses are the paths).
     ///
+    /// Accepts a `&CsrGraph` (static: update submissions are refused
+    /// with `Status::Invalid`) or a `&DynGraph` (live updates apply at
+    /// superstep boundaries).
+    ///
     /// Returns the leader node's accumulated [`WalkMetrics`].
-    pub fn run<P: WalkerProgram>(
+    pub fn run<'g, P: WalkerProgram>(
         &self,
-        graph: &CsrGraph,
+        graph: impl Into<GraphRef<'g>>,
         program: P,
         mut cfg: WalkConfig,
     ) -> WalkMetrics {
         cfg.record_paths = true;
         let n_nodes = cfg.n_nodes;
-        let vertex_count = graph.vertex_count();
+        let graph: GraphRef<'g> = graph.into();
         let engine = RandomWalkEngine::new(graph, program, cfg);
         let shared = &self.shared;
         let (mut outs, _comm) = run_cluster_with_metrics::<Msg<P>, _, _>(n_nodes, |ctx| {
             let mut ctx = ctx;
             if ctx.node == 0 {
-                let mut driver = QueueDriver::new(shared.clone(), vertex_count);
+                let mut driver = QueueDriver::new(shared.clone(), graph);
                 engine.run_service(&mut ctx, Some(&mut driver))
             } else {
                 engine.run_service(&mut ctx, None::<&mut NoopDriver>)
@@ -201,17 +255,17 @@ impl WalkService {
 
     /// Runs the service as the **leader rank of a real cluster** (e.g.
     /// rank 0 over a `TcpTransport` mesh). Blocks until shutdown drains.
-    pub fn run_leader<P: WalkerProgram, T: Transport<Msg<P>>>(
+    pub fn run_leader<'g, P: WalkerProgram, T: Transport<Msg<P>>>(
         &self,
-        graph: &CsrGraph,
+        graph: impl Into<GraphRef<'g>>,
         program: P,
         mut cfg: WalkConfig,
         transport: &mut T,
     ) -> WalkMetrics {
         cfg.record_paths = true;
-        let vertex_count = graph.vertex_count();
+        let graph: GraphRef<'g> = graph.into();
         let engine = RandomWalkEngine::new(graph, program, cfg);
-        let mut driver = QueueDriver::new(self.shared.clone(), vertex_count);
+        let mut driver = QueueDriver::new(self.shared.clone(), graph);
         let metrics = engine.run_service(transport, Some(&mut driver));
         self.drain_queue_shutting_down();
         metrics
@@ -221,8 +275,8 @@ impl WalkService {
     /// driver — the rank is steered entirely by the leader's broadcast
     /// directives. Call with the same graph, program, and config as the
     /// leader (the SPMD contract).
-    pub fn run_worker<P: WalkerProgram, T: Transport<Msg<P>>>(
-        graph: &CsrGraph,
+    pub fn run_worker<'g, P: WalkerProgram, T: Transport<Msg<P>>>(
+        graph: impl Into<GraphRef<'g>>,
         program: P,
         mut cfg: WalkConfig,
         transport: &mut T,
@@ -232,12 +286,18 @@ impl WalkService {
         engine.run_service(transport, None::<&mut NoopDriver>)
     }
 
-    /// Answers any request that slipped into the queue after the final
-    /// poll (the submit/shutdown race window) so no client blocks on a
-    /// response that will never come.
+    /// Answers any request or update that slipped into a queue after the
+    /// final poll (the submit/shutdown race window) so no client blocks
+    /// on a response that will never come.
     fn drain_queue_shutting_down(&self) {
         for q in lock(&self.shared.queue).drain(..) {
             let _ = q.responder.send(WalkResponse {
+                status: Status::ShuttingDown,
+                paths: Vec::new(),
+            });
+        }
+        for u in lock(&self.shared.updates).drain(..) {
+            let _ = u.responder.send(WalkResponse {
                 status: Status::ShuttingDown,
                 paths: Vec::new(),
             });
@@ -258,9 +318,23 @@ struct Pending {
 
 /// The leader-side [`ServeDriver`] bridging the admission queue and the
 /// engine's serve loop.
-pub(crate) struct QueueDriver {
+pub(crate) struct QueueDriver<'g> {
     shared: Arc<ServeShared>,
     vertex_count: usize,
+    /// `Some` when serving a dynamic graph: the leader validates update
+    /// batches and assigns their epochs. `None` (static CSR) refuses
+    /// updates with `Status::Invalid`.
+    dyn_graph: Option<&'g DynGraph>,
+    /// The graph epoch of the most recently scheduled update (starts at
+    /// the graph's epoch at service start). Leader-authoritative: the
+    /// engine applies updates at exactly these epochs, in order.
+    epoch: u64,
+    /// Cluster-wide minimum pinned epoch gathered from this superstep's
+    /// deltas; `u64::MAX` when no node reported a live walker.
+    min_pinned: u64,
+    /// The last retirement watermark broadcast, so idle supersteps don't
+    /// re-issue O(V) retirement sweeps.
+    last_retire: u64,
     /// Next request tag; 0 is reserved for batch walkers.
     next_tag: u64,
     /// Next global walker-id base. Bases grow monotonically, so every
@@ -273,11 +347,15 @@ pub(crate) struct QueueDriver {
     bases: BTreeMap<u64, u64>,
 }
 
-impl QueueDriver {
-    pub(crate) fn new(shared: Arc<ServeShared>, vertex_count: usize) -> Self {
+impl<'g> QueueDriver<'g> {
+    pub(crate) fn new(shared: Arc<ServeShared>, graph: GraphRef<'g>) -> Self {
         QueueDriver {
             shared,
-            vertex_count,
+            vertex_count: graph.vertex_count(),
+            dyn_graph: graph.dyn_graph(),
+            epoch: graph.dyn_graph().map_or(0, |g| g.epoch()),
+            min_pinned: u64::MAX,
+            last_retire: 0,
             next_tag: 1,
             next_base: 0,
             pending: HashMap::new(),
@@ -317,8 +395,9 @@ impl QueueDriver {
     }
 }
 
-impl ServeDriver for QueueDriver {
+impl ServeDriver for QueueDriver<'_> {
     fn absorb(&mut self, _node: usize, delta: ServeDelta) {
+        self.min_pinned = self.min_pinned.min(delta.min_pinned);
         for e in delta.paths {
             // Route by id range. Fragments of killed requests find either
             // no base or a foreign range and are dropped.
@@ -376,6 +455,54 @@ impl ServeDriver for QueueDriver {
                 paths: Vec::new(),
             });
         }
+
+        // Updates: at most one batch per superstep, so each batch gets
+        // its own epoch and every rank applies it at one well-defined
+        // boundary (before that superstep's admissions). The response
+        // goes out at scheduling time — the apply itself is infallible
+        // once the batch validates, since validation is ownership- and
+        // rank-independent.
+        if let Some(u) = lock(&shared.updates).pop_front() {
+            let verdict = match self.dyn_graph {
+                None => Err("the served graph is a static CSR and cannot take live \
+                     updates; serve a dynamic graph"
+                    .to_string()),
+                Some(g) => g.validate(&u.batch).map_err(|e| e.to_string()),
+            };
+            match verdict {
+                Err(msg) => {
+                    let _ = u.responder.send(WalkResponse {
+                        status: Status::Invalid(msg),
+                        paths: Vec::new(),
+                    });
+                }
+                Ok(()) => {
+                    self.epoch += 1;
+                    dir.update = Some(EpochUpdate {
+                        epoch: self.epoch,
+                        batch: u.batch,
+                    });
+                    stats.updates += 1;
+                    let _ = u.responder.send(WalkResponse {
+                        status: Status::Updated { epoch: self.epoch },
+                        paths: Vec::new(),
+                    });
+                }
+            }
+        }
+
+        // Retirement: nothing below the cluster-wide minimum pinned
+        // epoch (or the live epoch, when no walker is in flight) can
+        // ever be read again. Re-broadcast only when the watermark
+        // advances — a retirement sweep is O(V) on every rank.
+        if self.dyn_graph.is_some() {
+            let watermark = self.min_pinned.min(self.epoch);
+            if watermark > self.last_retire {
+                dir.retire = watermark;
+                self.last_retire = watermark;
+            }
+        }
+        self.min_pinned = u64::MAX;
 
         // Admissions: bounded batch off the queue.
         let mut queue = lock(&shared.queue);

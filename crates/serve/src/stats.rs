@@ -21,6 +21,8 @@ pub struct ServeStats {
     pub rejected: u64,
     /// Requests force-terminated by deadline expiry.
     pub deadline_exceeded: u64,
+    /// Graph update batches validated and scheduled for application.
+    pub updates: u64,
     /// Supersteps the driver has polled.
     pub supersteps: u64,
     /// End-to-end request latency (queue entry → response), microseconds.
@@ -55,8 +57,13 @@ impl ServeStats {
         writeln!(
             w,
             "{{\"type\":\"serve\",\"admitted\":{},\"completed\":{},\"rejected\":{},\
-             \"deadline_exceeded\":{},\"supersteps\":{}}}",
-            self.admitted, self.completed, self.rejected, self.deadline_exceeded, self.supersteps
+             \"deadline_exceeded\":{},\"updates\":{},\"supersteps\":{}}}",
+            self.admitted,
+            self.completed,
+            self.rejected,
+            self.deadline_exceeded,
+            self.updates,
+            self.supersteps
         )?;
         for (name, h) in self.histograms() {
             write_hist_jsonl(w, 0, name, h)?;
@@ -70,9 +77,14 @@ impl ServeStats {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "serve: {} admitted, {} completed, {} rejected, {} deadline-exceeded \
-             over {} supersteps",
-            self.admitted, self.completed, self.rejected, self.deadline_exceeded, self.supersteps
+            "serve: {} admitted, {} completed, {} rejected, {} deadline-exceeded, \
+             {} updates over {} supersteps",
+            self.admitted,
+            self.completed,
+            self.rejected,
+            self.deadline_exceeded,
+            self.updates,
+            self.supersteps
         );
         let _ = writeln!(
             out,

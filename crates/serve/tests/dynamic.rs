@@ -1,0 +1,313 @@
+//! Determinism under churn: a dynamic service must answer walk queries
+//! byte-identically to batch runs on the materialized graph at the
+//! walker's pinned epoch — before, during, and after live updates, both
+//! in-process and over a real 2-rank TCP cluster.
+
+use std::net::TcpListener;
+use std::thread;
+use std::time::Duration;
+
+use knightking_core::{RandomWalkEngine, WalkConfig, WalkerStarts};
+use knightking_dyn::{DynConfig, DynGraph, EdgeAdd, EdgeRef, EdgeReweight, UpdateBatch};
+use knightking_graph::gen;
+use knightking_net::{reserve_loopback_addrs, TcpConfig, TcpTransport};
+use knightking_serve::{
+    protocol, serve_listener, Request, ServiceConfig, StartSpec, Status, WalkRequest, WalkService,
+};
+use knightking_walks::DeepWalk;
+
+fn weighted_graph(n: usize, seed: u64) -> knightking_graph::CsrGraph {
+    gen::uniform_degree(n, 5, gen::GenOptions::paper_weighted(seed))
+}
+
+/// A batch mixing all three op kinds, biased enough to visibly shift
+/// weighted sampling around the tested start vertices.
+fn churn_batch() -> UpdateBatch {
+    UpdateBatch {
+        adds: vec![
+            EdgeAdd {
+                src: 0,
+                dst: 33,
+                weight: 9.0,
+                edge_type: 0,
+            },
+            EdgeAdd {
+                src: 33,
+                dst: 0,
+                weight: 9.0,
+                edge_type: 0,
+            },
+            EdgeAdd {
+                src: 9,
+                dst: 2,
+                weight: 6.5,
+                edge_type: 0,
+            },
+        ],
+        dels: vec![EdgeRef { src: 5, dst: 1 }],
+        reweights: vec![EdgeReweight {
+            src: 0,
+            dst: 33,
+            weight: 12.0,
+        }],
+    }
+}
+
+/// The post-update reference: apply the batch offline and materialize.
+fn materialized(
+    base: &knightking_graph::CsrGraph,
+    batch: &UpdateBatch,
+) -> knightking_graph::CsrGraph {
+    let reference = DynGraph::new(base.clone(), DynConfig::default());
+    reference.apply(batch).expect("valid batch");
+    reference.materialize()
+}
+
+/// Walk, update, walk again — serialized. The pre-update query matches a
+/// batch run on the base graph; the post-update query matches a batch
+/// run on the offline-materialized post-update graph, byte for byte.
+#[test]
+fn served_updates_match_batch_on_materialized_graph() {
+    let base = weighted_graph(60, 11);
+    let batch = churn_batch();
+    let starts = vec![0u32, 9, 33];
+
+    let pre = RandomWalkEngine::new(&base, DeepWalk::new(12), WalkConfig::single_node(7))
+        .run(WalkerStarts::Explicit(starts.clone()));
+    let post_graph = materialized(&base, &batch);
+    let post = RandomWalkEngine::new(&post_graph, DeepWalk::new(12), WalkConfig::single_node(31))
+        .run(WalkerStarts::Explicit(starts.clone()));
+
+    let dyn_graph = DynGraph::new(base, DynConfig::default());
+    let (service, handle) = WalkService::new(ServiceConfig::default());
+    let client = handle.clone();
+    let asker = thread::spawn(move || {
+        let a = client
+            .submit(WalkRequest {
+                seed: 7,
+                starts: StartSpec::Explicit(starts.clone()),
+                deadline_ms: 0,
+            })
+            .recv()
+            .unwrap();
+        let u = client.submit_update(batch).recv().unwrap();
+        let b = client
+            .submit(WalkRequest {
+                seed: 31,
+                starts: StartSpec::Explicit(starts),
+                deadline_ms: 0,
+            })
+            .recv()
+            .unwrap();
+        client.shutdown();
+        (a, u, b)
+    });
+    service.run(&dyn_graph, DeepWalk::new(12), WalkConfig::single_node(999));
+    let (a, u, b) = asker.join().unwrap();
+
+    assert_eq!(a.status, Status::Ok);
+    assert_eq!(a.paths, pre.paths);
+    assert_eq!(u.status, Status::Updated { epoch: 1 });
+    assert_eq!(b.status, Status::Ok);
+    assert_eq!(b.paths, post.paths);
+    assert_eq!(dyn_graph.epoch(), 1);
+    assert_eq!(handle.stats().updates, 1);
+}
+
+/// An update landing while a walk is in flight must not perturb it: the
+/// walker pinned epoch 0 at admission and keeps sampling that snapshot.
+/// A later walk with the same seed runs against the updated graph.
+#[test]
+fn in_flight_walks_pin_their_admission_epoch() {
+    let base = weighted_graph(60, 17);
+    let batch = churn_batch();
+    let starts = vec![3u32, 41];
+
+    let pre = RandomWalkEngine::new(&base, DeepWalk::new(1000), WalkConfig::single_node(7))
+        .run(WalkerStarts::Explicit(starts.clone()));
+    let post_graph = materialized(&base, &batch);
+    let post = RandomWalkEngine::new(&post_graph, DeepWalk::new(1000), WalkConfig::single_node(7))
+        .run(WalkerStarts::Explicit(starts.clone()));
+
+    let dyn_graph = DynGraph::new(base, DynConfig::default());
+    let (service, handle) = WalkService::new(ServiceConfig::default());
+    let client = handle.clone();
+    let asker = thread::spawn(move || {
+        let rx_a = client.submit(WalkRequest {
+            seed: 7,
+            starts: StartSpec::Explicit(starts.clone()),
+            deadline_ms: 0,
+        });
+        // Wait for admission, then race the update against the walk.
+        while client.stats().admitted < 1 {
+            thread::sleep(Duration::from_micros(200));
+        }
+        let u = client.submit_update(batch).recv().unwrap();
+        let a = rx_a.recv().unwrap();
+        let b = client
+            .submit(WalkRequest {
+                seed: 7,
+                starts: StartSpec::Explicit(starts),
+                deadline_ms: 0,
+            })
+            .recv()
+            .unwrap();
+        client.shutdown();
+        (a, u, b)
+    });
+    service.run(
+        &dyn_graph,
+        DeepWalk::new(1000),
+        WalkConfig::single_node(999),
+    );
+    let (a, u, b) = asker.join().unwrap();
+
+    assert_eq!(u.status, Status::Updated { epoch: 1 });
+    assert_eq!(a.status, Status::Ok);
+    assert_eq!(a.paths, pre.paths, "in-flight walk must stay on epoch 0");
+    assert_eq!(b.status, Status::Ok);
+    assert_eq!(b.paths, post.paths, "new walk must see epoch 1");
+}
+
+/// A static (CSR-served) service refuses updates with a diagnostic
+/// instead of panicking or silently ignoring them.
+#[test]
+fn static_service_refuses_updates() {
+    let base = weighted_graph(40, 3);
+    let (service, handle) = WalkService::new(ServiceConfig::default());
+    let client = handle.clone();
+    let asker = thread::spawn(move || {
+        let u = client.submit_update(churn_batch()).recv().unwrap();
+        client.shutdown();
+        u
+    });
+    service.run(&base, DeepWalk::new(5), WalkConfig::single_node(1));
+    let u = asker.join().unwrap();
+    match u.status {
+        Status::Invalid(msg) => assert!(msg.contains("static"), "diagnostic: {msg}"),
+        other => panic!("expected Invalid, got {other:?}"),
+    }
+    assert_eq!(handle.stats().updates, 0);
+}
+
+/// An invalid batch (vertex out of range) is rejected atomically: the
+/// epoch does not advance and later queries behave as if it never
+/// arrived.
+#[test]
+fn invalid_update_rejects_without_epoch_advance() {
+    let base = weighted_graph(40, 5);
+    let dyn_graph = DynGraph::new(base, DynConfig::default());
+    let (service, handle) = WalkService::new(ServiceConfig::default());
+    let client = handle.clone();
+    let asker = thread::spawn(move || {
+        let bad = UpdateBatch {
+            adds: vec![EdgeAdd {
+                src: 9999,
+                dst: 0,
+                weight: 1.0,
+                edge_type: 0,
+            }],
+            ..UpdateBatch::default()
+        };
+        let u = client.submit_update(bad).recv().unwrap();
+        client.shutdown();
+        u
+    });
+    service.run(&dyn_graph, DeepWalk::new(5), WalkConfig::single_node(1));
+    let u = asker.join().unwrap();
+    assert!(matches!(u.status, Status::Invalid(_)), "{:?}", u.status);
+    assert_eq!(dyn_graph.epoch(), 0);
+    assert_eq!(handle.stats().updates, 0);
+}
+
+/// The full distributed path: a 2-rank TCP cluster serves a dynamic
+/// graph, each rank holding its own replica; the update broadcast
+/// applies on both ranks in lockstep and post-update queries are
+/// byte-identical to batch runs on the materialized graph.
+#[test]
+fn tcp_two_rank_service_applies_updates_in_lockstep() {
+    let base = weighted_graph(80, 23);
+    let batch = churn_batch();
+    let starts: Vec<u32> = vec![0, 9, 33, 77];
+
+    let pre = RandomWalkEngine::new(&base, DeepWalk::new(9), WalkConfig::single_node(7))
+        .run(WalkerStarts::Explicit(starts.clone()));
+    let post_graph = materialized(&base, &batch);
+    let post = RandomWalkEngine::new(&post_graph, DeepWalk::new(9), WalkConfig::single_node(31))
+        .run(WalkerStarts::Explicit(starts.clone()));
+
+    let peers = reserve_loopback_addrs(2).unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+
+    let (service, handle) = WalkService::new(ServiceConfig::default());
+    // One replica per rank, as real multi-process deployments hold.
+    let dyn0 = DynGraph::new(base.clone(), DynConfig::default());
+    let dyn1 = DynGraph::new(base.clone(), DynConfig::default());
+
+    thread::scope(|scope| {
+        let service = &service;
+        let (dyn0, dyn1) = (&dyn0, &dyn1);
+
+        let peers0 = peers.clone();
+        scope.spawn(move || {
+            let mut t = TcpTransport::establish(TcpConfig::new(0, peers0, 0xD1A0)).unwrap();
+            service.run_leader(
+                dyn0,
+                DeepWalk::new(9),
+                WalkConfig::with_nodes(2, 999),
+                &mut t,
+            );
+        });
+        let peers1 = peers.clone();
+        scope.spawn(move || {
+            let mut t = TcpTransport::establish(TcpConfig::new(1, peers1, 0xD1A0)).unwrap();
+            WalkService::run_worker(
+                dyn1,
+                DeepWalk::new(9),
+                WalkConfig::with_nodes(2, 999),
+                &mut t,
+            );
+        });
+        let lh = handle.clone();
+        scope.spawn(move || serve_listener(listener, lh).unwrap());
+
+        let mut stream = protocol::connect(addr).unwrap();
+        let r1 = protocol::round_trip(
+            &mut stream,
+            1,
+            &Request::Walk(WalkRequest {
+                seed: 7,
+                starts: StartSpec::Explicit(starts.clone()),
+                deadline_ms: 0,
+            }),
+        )
+        .unwrap();
+        assert_eq!(r1.status, Status::Ok);
+        assert_eq!(r1.paths, pre.paths);
+
+        let r2 = protocol::round_trip(&mut stream, 2, &Request::Update(batch.clone())).unwrap();
+        assert_eq!(r2.status, Status::Updated { epoch: 1 });
+
+        let r3 = protocol::round_trip(
+            &mut stream,
+            3,
+            &Request::Walk(WalkRequest {
+                seed: 31,
+                starts: StartSpec::Explicit(starts.clone()),
+                deadline_ms: 0,
+            }),
+        )
+        .unwrap();
+        assert_eq!(r3.status, Status::Ok);
+        assert_eq!(r3.paths, post.paths);
+
+        let ack = protocol::round_trip(&mut stream, 4, &Request::Shutdown).unwrap();
+        assert_eq!(ack.status, Status::Ok);
+    });
+
+    // Both replicas advanced in lockstep.
+    assert_eq!(dyn0.epoch(), 1);
+    assert_eq!(dyn1.epoch(), 1);
+    assert_eq!(handle.stats().updates, 1);
+}

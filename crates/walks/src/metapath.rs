@@ -16,7 +16,7 @@
 //! trials all miss and the engine's exact full-scan fallback detects the
 //! zero probability mass and terminates the walk (§2.2).
 
-use knightking_core::{CsrGraph, EdgeView, VertexId, Walker, WalkerProgram, Wire};
+use knightking_core::{EdgeView, GraphRef, VertexId, Walker, WalkerProgram, Wire, WireError};
 use knightking_graph::EdgeTypeId;
 use knightking_sampling::DeterministicRng;
 
@@ -31,8 +31,8 @@ impl Wire for MetaPathState {
     fn wire_size(&self) -> usize {
         self.scheme.wire_size()
     }
-    fn encode(&self, out: &mut Vec<u8>) {
-        self.scheme.encode(out);
+    fn encode(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
+        self.scheme.encode(out)
     }
     fn decode(input: &mut &[u8]) -> std::io::Result<Self> {
         Ok(MetaPathState {
@@ -147,7 +147,7 @@ impl WalkerProgram for MetaPath {
 
     fn dynamic_comp(
         &self,
-        _graph: &CsrGraph,
+        _graph: &GraphRef<'_>,
         walker: &Walker<MetaPathState>,
         edge: EdgeView,
         _answer: Option<()>,
@@ -159,7 +159,7 @@ impl WalkerProgram for MetaPath {
         }
     }
 
-    fn upper_bound(&self, _graph: &CsrGraph, _walker: &Walker<MetaPathState>) -> f64 {
+    fn upper_bound(&self, _graph: &GraphRef<'_>, _walker: &Walker<MetaPathState>) -> f64 {
         1.0
     }
 }
@@ -170,7 +170,12 @@ mod tests {
     use knightking_core::{RandomWalkEngine, WalkConfig, WalkerStarts};
     use knightking_graph::{gen, GraphBuilder};
 
-    fn typed_graph(n: usize, deg: usize, types: EdgeTypeId, seed: u64) -> CsrGraph {
+    fn typed_graph(
+        n: usize,
+        deg: usize,
+        types: EdgeTypeId,
+        seed: u64,
+    ) -> knightking_core::CsrGraph {
         let opts = gen::GenOptions {
             weights: gen::WeightKind::None,
             edge_types: Some(types),

@@ -23,7 +23,7 @@
 //!   q = 2`), the **return edge is declared an outlier**, letting the
 //!   envelope stay at `max(1, 1/q)` instead of `1/p`.
 
-use knightking_core::{CsrGraph, EdgeView, OutlierSlot, VertexId, Walker, WalkerProgram};
+use knightking_core::{CsrGraph, EdgeView, GraphRef, OutlierSlot, VertexId, Walker, WalkerProgram};
 
 /// The node2vec walk program.
 ///
@@ -126,13 +126,13 @@ impl WalkerProgram for Node2Vec {
         }
     }
 
-    fn answer_query(&self, graph: &CsrGraph, target: VertexId, candidate: VertexId) -> bool {
+    fn answer_query(&self, graph: &GraphRef<'_>, target: VertexId, candidate: VertexId) -> bool {
         graph.has_edge(target, candidate)
     }
 
     fn dynamic_comp(
         &self,
-        _graph: &CsrGraph,
+        _graph: &GraphRef<'_>,
         walker: &Walker<()>,
         edge: EdgeView,
         answer: Option<bool>,
@@ -150,7 +150,7 @@ impl WalkerProgram for Node2Vec {
         }
     }
 
-    fn upper_bound(&self, _graph: &CsrGraph, walker: &Walker<()>) -> f64 {
+    fn upper_bound(&self, _graph: &GraphRef<'_>, walker: &Walker<()>) -> f64 {
         if walker.prev.is_none() {
             self.hi()
         } else if self.return_edge_is_outlier() {
@@ -163,11 +163,16 @@ impl WalkerProgram for Node2Vec {
         }
     }
 
-    fn lower_bound(&self, _graph: &CsrGraph, _walker: &Walker<()>) -> f64 {
+    fn lower_bound(&self, _graph: &GraphRef<'_>, _walker: &Walker<()>) -> f64 {
         (1.0 / self.p).min(1.0).min(1.0 / self.q)
     }
 
-    fn declare_outliers(&self, graph: &CsrGraph, walker: &Walker<()>, out: &mut Vec<OutlierSlot>) {
+    fn declare_outliers(
+        &self,
+        graph: &GraphRef<'_>,
+        walker: &Walker<()>,
+        out: &mut Vec<OutlierSlot>,
+    ) {
         let Some(prev) = walker.prev else { return };
         if !self.return_edge_is_outlier() {
             return;
@@ -234,25 +239,35 @@ impl WalkerProgram for IndexedNode2Vec {
     ) -> Option<(VertexId, VertexId)> {
         self.inner.state_query(walker, candidate)
     }
-    fn answer_query(&self, graph: &CsrGraph, target: VertexId, candidate: VertexId) -> bool {
-        self.index.has_edge(graph, target, candidate)
+    fn answer_query(&self, graph: &GraphRef<'_>, target: VertexId, candidate: VertexId) -> bool {
+        match graph.as_csr() {
+            Some(csr) => self.index.has_edge(csr, target, candidate),
+            // The index was built over a static snapshot; a dynamic graph
+            // mutates underneath it, so answer from the graph exactly.
+            None => graph.has_edge(target, candidate),
+        }
     }
     fn dynamic_comp(
         &self,
-        graph: &CsrGraph,
+        graph: &GraphRef<'_>,
         walker: &Walker<()>,
         edge: EdgeView,
         answer: Option<bool>,
     ) -> f64 {
         self.inner.dynamic_comp(graph, walker, edge, answer)
     }
-    fn upper_bound(&self, graph: &CsrGraph, walker: &Walker<()>) -> f64 {
+    fn upper_bound(&self, graph: &GraphRef<'_>, walker: &Walker<()>) -> f64 {
         self.inner.upper_bound(graph, walker)
     }
-    fn lower_bound(&self, graph: &CsrGraph, walker: &Walker<()>) -> f64 {
+    fn lower_bound(&self, graph: &GraphRef<'_>, walker: &Walker<()>) -> f64 {
         self.inner.lower_bound(graph, walker)
     }
-    fn declare_outliers(&self, graph: &CsrGraph, walker: &Walker<()>, out: &mut Vec<OutlierSlot>) {
+    fn declare_outliers(
+        &self,
+        graph: &GraphRef<'_>,
+        walker: &Walker<()>,
+        out: &mut Vec<OutlierSlot>,
+    ) {
         self.inner.declare_outliers(graph, walker, out)
     }
 }

@@ -13,7 +13,7 @@
 //! demonstration that order (history length) and query requirements are
 //! independent axes.
 
-use knightking_core::{CsrGraph, EdgeView, OutlierSlot, VertexId, Walker, WalkerProgram};
+use knightking_core::{EdgeView, GraphRef, OutlierSlot, VertexId, Walker, WalkerProgram};
 
 /// The non-backtracking walk program.
 ///
@@ -59,7 +59,7 @@ impl WalkerProgram for NonBacktracking {
 
     fn dynamic_comp(
         &self,
-        _graph: &CsrGraph,
+        _graph: &GraphRef<'_>,
         walker: &Walker<()>,
         edge: EdgeView,
         _answer: Option<()>,
@@ -70,7 +70,7 @@ impl WalkerProgram for NonBacktracking {
         }
     }
 
-    fn upper_bound(&self, _graph: &CsrGraph, _walker: &Walker<()>) -> f64 {
+    fn upper_bound(&self, _graph: &GraphRef<'_>, _walker: &Walker<()>) -> f64 {
         1.0
     }
 
@@ -79,7 +79,7 @@ impl WalkerProgram for NonBacktracking {
     // *above* the envelope, not below).
     fn declare_outliers(
         &self,
-        _graph: &CsrGraph,
+        _graph: &GraphRef<'_>,
         _walker: &Walker<()>,
         _out: &mut Vec<OutlierSlot>,
     ) {

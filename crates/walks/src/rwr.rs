@@ -14,7 +14,7 @@
 //! [`teleport`](knightking_core::WalkerProgram::teleport) hook relocates
 //! the walker directly.
 
-use knightking_core::{CsrGraph, VertexId, Walker, WalkerProgram};
+use knightking_core::{GraphRef, VertexId, Walker, WalkerProgram};
 
 /// The RWR program.
 ///
@@ -74,7 +74,7 @@ impl WalkerProgram for Rwr {
         walker.step >= self.walk_length
     }
 
-    fn teleport(&self, _graph: &CsrGraph, walker: &mut Walker<VertexId>) -> Option<VertexId> {
+    fn teleport(&self, _graph: &GraphRef<'_>, walker: &mut Walker<VertexId>) -> Option<VertexId> {
         if walker.rng.chance(self.restart_prob) {
             Some(walker.data)
         } else {

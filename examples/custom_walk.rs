@@ -25,8 +25,8 @@ impl Wire for Stats {
     fn wire_size(&self) -> usize {
         self.triangles_closed.wire_size()
     }
-    fn encode(&self, out: &mut Vec<u8>) {
-        self.triangles_closed.encode(out);
+    fn encode(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
+        self.triangles_closed.encode(out)
     }
     fn decode(input: &mut &[u8]) -> std::io::Result<Self> {
         Ok(Stats {
@@ -62,11 +62,17 @@ impl WalkerProgram for TriangleWalk {
         }
     }
 
-    fn answer_query(&self, g: &CsrGraph, t: VertexId, x: VertexId) -> bool {
+    fn answer_query(&self, g: &GraphRef<'_>, t: VertexId, x: VertexId) -> bool {
         g.has_edge(t, x)
     }
 
-    fn dynamic_comp(&self, _g: &CsrGraph, w: &Walker<Stats>, e: EdgeView, a: Option<bool>) -> f64 {
+    fn dynamic_comp(
+        &self,
+        _g: &GraphRef<'_>,
+        w: &Walker<Stats>,
+        e: EdgeView,
+        a: Option<bool>,
+    ) -> f64 {
         match w.prev {
             None => 1.0,
             Some(t) if e.dst == t => 0.0, // never return
@@ -86,7 +92,7 @@ impl WalkerProgram for TriangleWalk {
     // apply (outliers must be locatable by destination), and we set the
     // envelope to the true maximum instead — the API still keeps sampling
     // exact, just with more rejected darts.
-    fn upper_bound(&self, _g: &CsrGraph, w: &Walker<Stats>) -> f64 {
+    fn upper_bound(&self, _g: &GraphRef<'_>, w: &Walker<Stats>) -> f64 {
         if w.prev.is_none() {
             1.0
         } else {
@@ -94,11 +100,11 @@ impl WalkerProgram for TriangleWalk {
         }
     }
 
-    fn lower_bound(&self, _g: &CsrGraph, _w: &Walker<Stats>) -> f64 {
+    fn lower_bound(&self, _g: &GraphRef<'_>, _w: &Walker<Stats>) -> f64 {
         0.0 // the return edge has Pd = 0, so no useful lower bound exists
     }
 
-    fn on_move(&self, g: &CsrGraph, w: &mut Walker<Stats>) {
+    fn on_move(&self, g: &GraphRef<'_>, w: &mut Walker<Stats>) {
         // After advancing, prev→current→(previous prev) closed a triangle
         // iff current is adjacent to the vertex before prev — we cannot
         // see that far back, so count closures as current-adjacent-to-prev

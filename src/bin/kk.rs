@@ -17,6 +17,7 @@ use std::net::SocketAddr;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use knightking::dynamic::{DynConfig, DynGraph, EdgeAdd, EdgeRef, EdgeReweight, UpdateBatch};
 use knightking::graph::{binfmt, gen, io as gio};
 use knightking::net::reserve_loopback_addrs;
 use knightking::prelude::*;
@@ -445,34 +446,48 @@ fn write_path_lines<W: std::io::Write>(writer: W, paths: &[Vec<VertexId>]) -> Re
 }
 
 /// `kk serve`: load the graph once, then serve walk queries over TCP
-/// until a shutdown request or signal arrives.
+/// until a shutdown request or signal arrives. With `--dynamic` the
+/// graph is wrapped in the epoch-versioned dynamic layer and accepts
+/// live `kk update` batches at superstep boundaries.
 fn cmd_serve(args: &Args) -> Result<(), String> {
-    let graph = load_graph(
+    let csr = load_graph(
         args.require("graph")?,
         args.has("weighted"),
         args.has("typed"),
         !args.has("directed"),
     )?;
+    let dyn_store;
+    let csr_store;
+    let graph: GraphRef<'_> = if args.has("dynamic") {
+        let dcfg = DynConfig {
+            compact_ratio: args.parse_num("compact-ratio", DynConfig::default().compact_ratio)?,
+        };
+        dyn_store = DynGraph::new(csr, dcfg);
+        GraphRef::from(&dyn_store)
+    } else {
+        csr_store = csr;
+        GraphRef::from(&csr_store)
+    };
     let algo = args.require("algo")?;
     let length: u32 = args.parse_num("length", 80)?;
     let seed: u64 = args.parse_num("seed", 1)?;
     match algo {
-        "deepwalk" => serve_program(&graph, DeepWalk::new(length), args),
+        "deepwalk" => serve_program(graph, DeepWalk::new(length), args),
         "ppr" => {
             let pt: f64 = args.parse_num("pt", 1.0 / 80.0)?;
-            serve_program(&graph, Ppr::new(pt), args)
+            serve_program(graph, Ppr::new(pt), args)
         }
         "node2vec" => {
             let p: f64 = args.parse_num("p", 2.0)?;
             let q: f64 = args.parse_num("q", 0.5)?;
-            serve_program(&graph, Node2Vec::new(p, q, length), args)
+            serve_program(graph, Node2Vec::new(p, q, length), args)
         }
-        "metapath" => serve_program(&graph, knightking::walks::MetaPath::paper(seed), args),
+        "metapath" => serve_program(graph, knightking::walks::MetaPath::paper(seed), args),
         "rwr" => {
             let c: f64 = args.parse_num("restart", 0.15)?;
-            serve_program(&graph, Rwr::new(c, length), args)
+            serve_program(graph, Rwr::new(c, length), args)
         }
-        "nobacktrack" => serve_program(&graph, NonBacktracking::new(length), args),
+        "nobacktrack" => serve_program(graph, NonBacktracking::new(length), args),
         other => Err(format!(
             "unknown --algo {other} (deepwalk|ppr|node2vec|metapath|rwr|nobacktrack)"
         )),
@@ -482,7 +497,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
 /// Runs the resident service for one program: TCP listener, signal
 /// handling, and the in-process node cluster.
 fn serve_program<P: WalkerProgram>(
-    graph: &CsrGraph,
+    graph: GraphRef<'_>,
     program: P,
     args: &Args,
 ) -> Result<(), String> {
@@ -527,8 +542,13 @@ fn serve_program<P: WalkerProgram>(
     use std::io::Write as _;
     std::io::stdout().flush().map_err(|e| e.to_string())?;
     eprintln!(
-        "serving {} vertices on {nodes} node(s); ctrl-c or `kk query --addr {addr} --shutdown` to stop",
-        graph.vertex_count()
+        "serving {} vertices{} on {nodes} node(s); ctrl-c or `kk query --addr {addr} --shutdown` to stop",
+        graph.vertex_count(),
+        if graph.dyn_graph().is_some() {
+            " (dynamic: accepting `kk update`)"
+        } else {
+            ""
+        }
     );
 
     service.run(graph, program, WalkConfig::with_nodes(nodes, seed));
@@ -611,6 +631,11 @@ fn cmd_query(args: &Args) -> Result<(), String> {
                 return Err("the service is shutting down and admits nothing new".to_string())
             }
             Status::Invalid(msg) => return Err(format!("invalid request: {msg}")),
+            Status::Updated { epoch } => {
+                return Err(format!(
+                    "unexpected update ack (epoch {epoch}) for a walk request"
+                ))
+            }
         }
     }
 
@@ -623,6 +648,227 @@ fn cmd_query(args: &Args) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// Parses an update file into a batch. One op per line, `#` comments and
+/// blank lines skipped:
+///
+/// ```text
+/// add src dst [weight] [type]
+/// del src dst
+/// rew src dst weight
+/// ```
+fn parse_update_lines(text: &str) -> Result<UpdateBatch, String> {
+    let mut batch = UpdateBatch::default();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let op = parts.next().expect("non-empty line has a first token");
+        let fields: Vec<&str> = parts.collect();
+        let bad = |what: &str| format!("update line {}: {what}: {raw:?}", lineno + 1);
+        let vertex = |s: &str, name: &str| -> Result<VertexId, String> {
+            s.parse().map_err(|_| bad(&format!("bad {name}")))
+        };
+        match op {
+            "add" => {
+                if fields.len() < 2 || fields.len() > 4 {
+                    return Err(bad("want `add src dst [weight] [type]`"));
+                }
+                batch.adds.push(EdgeAdd {
+                    src: vertex(fields[0], "src")?,
+                    dst: vertex(fields[1], "dst")?,
+                    weight: match fields.get(2) {
+                        Some(w) => w.parse().map_err(|_| bad("bad weight"))?,
+                        None => 1.0,
+                    },
+                    edge_type: match fields.get(3) {
+                        Some(t) => t.parse().map_err(|_| bad("bad edge type"))?,
+                        None => 0,
+                    },
+                });
+            }
+            "del" => {
+                if fields.len() != 2 {
+                    return Err(bad("want `del src dst`"));
+                }
+                batch.dels.push(EdgeRef {
+                    src: vertex(fields[0], "src")?,
+                    dst: vertex(fields[1], "dst")?,
+                });
+            }
+            "rew" => {
+                if fields.len() != 3 {
+                    return Err(bad("want `rew src dst weight`"));
+                }
+                batch.reweights.push(EdgeReweight {
+                    src: vertex(fields[0], "src")?,
+                    dst: vertex(fields[1], "dst")?,
+                    weight: fields[2].parse().map_err(|_| bad("bad weight"))?,
+                });
+            }
+            other => return Err(bad(&format!("unknown op {other:?} (add|del|rew)"))),
+        }
+    }
+    Ok(batch)
+}
+
+/// `kk update`: send an update batch to a running `kk serve --dynamic`.
+fn cmd_update(args: &Args) -> Result<(), String> {
+    let addr = args.require("addr")?;
+    let path = args.require("updates")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let batch = parse_update_lines(&text)?;
+    eprintln!(
+        "{}: {} adds, {} deletions, {} reweights",
+        path,
+        batch.adds.len(),
+        batch.dels.len(),
+        batch.reweights.len()
+    );
+    let mut stream = protocol::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    let resp = protocol::round_trip(&mut stream, 1, &Request::Update(batch))
+        .map_err(|e| format!("updating {addr}: {e}"))?;
+    match resp.status {
+        Status::Updated { epoch } => {
+            // The parseable line scripts key on (stdout).
+            println!("updated: epoch {epoch}");
+            Ok(())
+        }
+        Status::Invalid(msg) => Err(format!("invalid update: {msg}")),
+        Status::Rejected { retry_after_ms } => Err(format!(
+            "rejected: the update queue is full; retry after {retry_after_ms}ms"
+        )),
+        Status::ShuttingDown => {
+            Err("the service is shutting down and accepts no updates".to_string())
+        }
+        other => Err(format!("unexpected update ack: {other:?}")),
+    }
+}
+
+/// `kk graph info <file.kkg>`: print the binary-format header and
+/// workload-balance diagnostics without walking anything.
+fn cmd_graph_info(path: &str, args: &Args) -> Result<(), String> {
+    // Decode the raw header first, so the printout reflects the bytes on
+    // disk (not a round trip through the loader).
+    let is_kkg = Path::new(path).extension().is_some_and(|e| e == "kkg");
+    if is_kkg {
+        use std::io::Read as _;
+        let mut f = std::fs::File::open(path).map_err(|e| format!("opening {path}: {e}"))?;
+        let mut header = [0u8; 21];
+        f.read_exact(&mut header)
+            .map_err(|e| format!("reading {path} header: {e}"))?;
+        let magic = &header[0..4];
+        let flags = header[4];
+        let v = u64::from_le_bytes(header[5..13].try_into().expect("8 bytes"));
+        let e = u64::from_le_bytes(header[13..21].try_into().expect("8 bytes"));
+        println!("magic            {}", String::from_utf8_lossy(magic));
+        println!("format version   {}", char::from(magic[3]));
+        println!("header flags     {flags:#04x}");
+        println!("header |V|       {v}");
+        println!("header |E|       {e}");
+    }
+    let graph = load_graph(
+        path,
+        args.has("weighted"),
+        args.has("typed"),
+        !args.has("directed"),
+    )?;
+    println!("|V|              {}", graph.vertex_count());
+    println!("stored |E|       {}", graph.edge_count());
+    println!("weighted         {}", graph.is_weighted());
+    println!("typed            {}", graph.is_typed());
+    println!("max degree       {}", graph.max_degree());
+
+    // Workload balance: the paper's α·|V_i| + |E_i| estimate per node of
+    // the 1-D balanced partitioning (§6.1).
+    let nodes: usize = args.parse_num("nodes", 4)?;
+    let alpha: f64 = args.parse_num("alpha", 1.0)?;
+    let partition = Partition::balanced(&graph, nodes, alpha);
+    let loads = partition.workloads(&graph, alpha);
+    let mean = loads.iter().sum::<f64>() / loads.len().max(1) as f64;
+    println!("partition balance (α = {alpha}, {nodes} nodes):");
+    for (node, load) in loads.iter().enumerate() {
+        let r = partition.range(node);
+        let edges = load - alpha * (r.end - r.start) as f64;
+        println!(
+            "  node {node}: vertices [{}, {}) ({}), edges {}, α·V + E = {:.0} ({:+.1}% of mean)",
+            r.start,
+            r.end,
+            r.end - r.start,
+            edges as u64,
+            load,
+            if mean > 0.0 {
+                100.0 * (load - mean) / mean
+            } else {
+                0.0
+            }
+        );
+    }
+    let max = loads.iter().cloned().fold(0.0_f64, f64::max);
+    if mean > 0.0 {
+        println!("  imbalance (max/mean): {:.4}", max / mean);
+    }
+    Ok(())
+}
+
+/// `kk graph apply`: materialize a base graph plus an update file into a
+/// new graph file — the offline mirror of serving updates live, used to
+/// cross-check served walks against batch walks on the updated graph.
+fn cmd_graph_apply(args: &Args) -> Result<(), String> {
+    let csr = load_graph(
+        args.require("graph")?,
+        args.has("weighted"),
+        args.has("typed"),
+        !args.has("directed"),
+    )?;
+    let path = args.require("updates")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let batch = parse_update_lines(&text)?;
+    let dyn_graph = DynGraph::new(csr, DynConfig::default());
+    let applied = dyn_graph
+        .apply(&batch)
+        .map_err(|e| format!("applying {path}: {e}"))?;
+    let out = dyn_graph.materialize();
+    save_graph(&out, args.require("output")?)?;
+    println!(
+        "applied {} ops touching {} vertices: |V| = {}, stored |E| = {}",
+        batch.len(),
+        applied.touched.len(),
+        out.vertex_count(),
+        out.edge_count()
+    );
+    Ok(())
+}
+
+/// `kk graph <info|apply> ...` dispatcher. `info` accepts the file as a
+/// positional argument (`kk graph info g.kkg`) or via `--graph`.
+fn cmd_graph(rest: &[String], bool_flags: &[&str]) -> Result<(), String> {
+    let Some((sub, sub_rest)) = rest.split_first() else {
+        return Err("graph needs a subcommand: kk graph <info|apply> ...".to_string());
+    };
+    match sub.as_str() {
+        "info" => {
+            let (positional, flag_args) = match sub_rest.first() {
+                Some(first) if !first.starts_with("--") => (Some(first.clone()), &sub_rest[1..]),
+                _ => (None, sub_rest),
+            };
+            let args = Args::parse(flag_args, bool_flags)?;
+            let path = match (&positional, args.get("graph")) {
+                (Some(p), None) => p.clone(),
+                (None, Some(p)) => p.to_string(),
+                (Some(_), Some(_)) => {
+                    return Err("give the graph positionally or via --graph, not both".to_string())
+                }
+                (None, None) => return Err("graph info needs a graph file".to_string()),
+            };
+            cmd_graph_info(&path, &args)
+        }
+        "apply" => cmd_graph_apply(&Args::parse(sub_rest, bool_flags)?),
+        other => Err(format!("unknown graph subcommand {other} (info|apply)")),
+    }
 }
 
 /// `kk cluster [--nodes N | --hostfile F --rank R] [--epoch E] -- walk ...`
@@ -773,13 +1019,25 @@ USAGE:
   kk serve    --graph <file> --algo <...> [walk params as above]
               [--listen 127.0.0.1:0] [--nodes N] [--queue-capacity C]
               [--max-admit A] [--retry-after MS] [--seed S]
+              [--dynamic] [--compact-ratio R]
               [--stats] [--stats-output serve.jsonl]
               load the graph once, print `listening on <addr>`, and serve
-              walk queries until `kk query --shutdown` or SIGINT/SIGTERM
+              walk queries until `kk query --shutdown` or SIGINT/SIGTERM;
+              with --dynamic the graph accepts live `kk update` batches
   kk query    --addr <host:port> [--walkers N | --start v1,v2,...]
               [--seed S] [--deadline MS] [--output paths.txt] [--shutdown]
               served paths are byte-identical to `kk walk` with the same
               seed and starts
+  kk update   --addr <host:port> --updates <file>
+              send an edge update batch to a running `kk serve --dynamic`;
+              the file has one op per line: `add src dst [weight] [type]`,
+              `del src dst`, `rew src dst weight` (# comments allowed)
+  kk graph    info <file[.kkg]> [--nodes N] [--alpha A]
+              print the binary header, counts/flags, and the per-node
+              alpha*V + E partition balance
+  kk graph    apply --graph <file> --updates <file> --output <file[.kkg]>
+              materialize base graph + updates into a new graph file (the
+              offline mirror of `kk update` against a live service)
   kk cluster  [--nodes N] -- walk <walk args...>
               spawn N local worker processes talking real TCP on loopback
   kk cluster  --hostfile <file> --rank R [--epoch E] -- walk <walk args...>
@@ -796,13 +1054,19 @@ fn main() -> ExitCode {
         eprint!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    let bool_flags = ["weighted", "typed", "directed", "stats", "shutdown"];
+    let bool_flags = [
+        "weighted", "typed", "directed", "stats", "shutdown", "dynamic",
+    ];
     let result = if cmd == "cluster" {
         // `--` separates cluster flags from the walk invocation.
         match rest.iter().position(|a| a == "--") {
             Some(i) => cmd_cluster(&rest[..i], &rest[i + 1..]),
             None => Err("cluster needs `-- walk ...` after its flags".to_string()),
         }
+    } else if cmd == "graph" {
+        // `graph` takes a subcommand and (for `info`) a positional file,
+        // so it parses its own flags.
+        cmd_graph(rest, &bool_flags)
     } else {
         match Args::parse(rest, &bool_flags) {
             Err(e) => Err(e),
@@ -813,6 +1077,7 @@ fn main() -> ExitCode {
                 "walk" => cmd_walk(&args, None),
                 "serve" => cmd_serve(&args),
                 "query" => cmd_query(&args),
+                "update" => cmd_update(&args),
                 "embed" => cmd_embed(&args),
                 "help" | "--help" | "-h" => {
                     print!("{USAGE}");

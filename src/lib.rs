@@ -27,10 +27,14 @@
 //! * [`baseline`] — the comparison systems: traditional full-scan
 //!   sampling and a Gemini-style two-phase distributed engine
 //!   ([`knightking_baseline`]).
+//! * [`dynamic`] — the epoch-versioned dynamic graph layer: per-vertex
+//!   delta adjacency over the immutable CSR base, with epoch-pinned
+//!   snapshot reads and incremental sampler maintenance
+//!   ([`knightking_dyn`]).
 //! * [`serve`] — the resident walk service: the graph loads once and walk
 //!   requests are admitted continuously at superstep boundaries, with
-//!   bounded-queue backpressure and per-request deadlines
-//!   ([`knightking_serve`]).
+//!   bounded-queue backpressure, per-request deadlines, and live graph
+//!   updates ([`knightking_serve`]).
 //!
 //! # Quick start
 //!
@@ -59,6 +63,7 @@
 pub use knightking_baseline as baseline;
 pub use knightking_cluster as cluster;
 pub use knightking_core as core;
+pub use knightking_dyn as dynamic;
 pub use knightking_graph as graph;
 pub use knightking_net as net;
 pub use knightking_sampling as sampling;
@@ -74,10 +79,11 @@ pub use knightking_core::{
 pub mod prelude {
     pub use knightking_baseline::{FullScanRunner, GeminiConfig, GeminiEngine};
     pub use knightking_core::{
-        CsrGraph, DeterministicRng, EdgeView, NoopObserver, OutlierSlot, RandomWalkEngine,
-        Transport, VertexId, WalkConfig, WalkMetrics, WalkObserver, WalkResult, Walker,
-        WalkerProgram, WalkerStarts, Wire,
+        CsrGraph, DeterministicRng, EdgeView, GraphRef, NoopObserver, OutlierSlot,
+        RandomWalkEngine, Transport, VertexId, WalkConfig, WalkMetrics, WalkObserver, WalkResult,
+        Walker, WalkerProgram, WalkerStarts, Wire, WireError,
     };
+    pub use knightking_dyn::{DynConfig, DynGraph, UpdateBatch};
     pub use knightking_graph::{gen, io, GraphBuilder, Partition};
     pub use knightking_net::{TcpConfig, TcpTransport};
     pub use knightking_serve::{ServiceConfig, ServiceHandle, StartSpec, WalkRequest, WalkService};

@@ -1,0 +1,207 @@
+//! Process-level dynamic-graph tests: a real `kk serve --dynamic` child,
+//! updated by `kk update`, must answer `kk query` byte-identically to
+//! `kk walk` on the graph that `kk graph apply` materializes offline.
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn kk() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_kk"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("kk_dyn_tests");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir.join(name)
+}
+
+fn run_ok(cmd: &mut Command) -> String {
+    let out = cmd.output().expect("run kk");
+    assert!(
+        out.status.success(),
+        "kk failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn generate(graph: &Path) {
+    run_ok(
+        kk().args([
+            "generate", "--kind", "uniform", "--n", "120", "--degree", "5",
+        ])
+        .args(["--weighted", "--seed", "5"])
+        .args(["--output", graph.to_str().unwrap()]),
+    );
+}
+
+/// Spawns `kk serve --dynamic` and reads its readiness line.
+fn spawn_serve_dynamic(graph: &Path) -> (Child, String) {
+    let mut child = kk()
+        .args(["serve", "--graph", graph.to_str().unwrap(), "--dynamic"])
+        .args(["--algo", "deepwalk", "--length", "10"])
+        .args(["--listen", "127.0.0.1:0", "--seed", "999"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn kk serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read readiness line");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected readiness line: {line:?}"))
+        .to_string();
+    (child, addr)
+}
+
+fn wait_with_deadline(child: &mut Child, deadline: Duration) -> std::process::ExitStatus {
+    let t0 = Instant::now();
+    loop {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            return status;
+        }
+        if t0.elapsed() > deadline {
+            let _ = child.kill();
+            panic!("kk serve did not exit after shutdown within {deadline:?}");
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+const UPDATES: &str = "\
+# heavy churn around the queried starts
+add 0 33 9.0
+add 33 0 9.0
+add 9 2 6.5
+del 5 1
+rew 0 33 12.0
+";
+
+#[test]
+fn live_updates_match_offline_apply_byte_for_byte() {
+    let graph = tmp("dyn.kkg");
+    let updates = tmp("updates.txt");
+    let post_graph = tmp("dyn_post.kkg");
+    let batch_pre = tmp("batch_pre.txt");
+    let batch_post = tmp("batch_post.txt");
+    let served_pre = tmp("served_pre.txt");
+    let served_post = tmp("served_post.txt");
+
+    generate(&graph);
+    std::fs::write(&updates, UPDATES).expect("write updates");
+
+    // Offline references: base graph, and base + updates materialized.
+    run_ok(
+        kk().args(["graph", "apply", "--graph", graph.to_str().unwrap()])
+            .args(["--updates", updates.to_str().unwrap()])
+            .args(["--output", post_graph.to_str().unwrap()]),
+    );
+    run_ok(
+        kk().args(["walk", "--graph", graph.to_str().unwrap()])
+            .args(["--algo", "deepwalk", "--length", "10"])
+            .args(["--start", "0,9,33", "--seed", "7"])
+            .args(["--output", batch_pre.to_str().unwrap()]),
+    );
+    run_ok(
+        kk().args(["walk", "--graph", post_graph.to_str().unwrap()])
+            .args(["--algo", "deepwalk", "--length", "10"])
+            .args(["--start", "0,9,33", "--seed", "31"])
+            .args(["--output", batch_post.to_str().unwrap()]),
+    );
+
+    // The live path: serve, query, update, query again.
+    let (mut child, addr) = spawn_serve_dynamic(&graph);
+    run_ok(
+        kk().args(["query", "--addr", &addr, "--start", "0,9,33"])
+            .args(["--seed", "7", "--output", served_pre.to_str().unwrap()]),
+    );
+    let ack = run_ok(
+        kk().args(["update", "--addr", &addr])
+            .args(["--updates", updates.to_str().unwrap()]),
+    );
+    assert_eq!(ack.trim(), "updated: epoch 1");
+    run_ok(
+        kk().args(["query", "--addr", &addr, "--start", "0,9,33"])
+            .args(["--seed", "31", "--output", served_post.to_str().unwrap()]),
+    );
+    run_ok(kk().args(["query", "--addr", &addr, "--shutdown"]));
+    let status = wait_with_deadline(&mut child, Duration::from_secs(30));
+    assert!(status.success(), "serve exited with {status}");
+
+    let read = |p: &Path| std::fs::read_to_string(p).expect("read paths");
+    assert_eq!(
+        read(&served_pre),
+        read(&batch_pre),
+        "pre-update served walks must match batch walks on the base graph"
+    );
+    assert_eq!(
+        read(&served_post),
+        read(&batch_post),
+        "post-update served walks must match batch walks on the materialized graph"
+    );
+    assert!(!read(&served_post).is_empty());
+}
+
+#[test]
+fn graph_info_prints_header_and_balance() {
+    let graph = tmp("info.kkg");
+    generate(&graph);
+    let out = run_ok(kk().args(["graph", "info", graph.to_str().unwrap(), "--nodes", "4"]));
+    assert!(out.contains("magic            KKG1"), "{out}");
+    assert!(out.contains("weighted         true"), "{out}");
+    assert!(out.contains("|V|              120"), "{out}");
+    assert!(out.contains("partition balance"), "{out}");
+    assert!(out.contains("node 3:"), "{out}");
+    assert!(out.contains("imbalance (max/mean):"), "{out}");
+}
+
+#[test]
+fn update_against_static_serve_is_refused() {
+    let graph = tmp("static.kkg");
+    let updates = tmp("static_updates.txt");
+    generate(&graph);
+    std::fs::write(&updates, "add 0 1 2.0\n").expect("write updates");
+
+    // Same serve, without --dynamic.
+    let mut child = kk()
+        .args(["serve", "--graph", graph.to_str().unwrap()])
+        .args(["--algo", "deepwalk", "--length", "5"])
+        .args(["--listen", "127.0.0.1:0", "--seed", "1"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn kk serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("readiness");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .expect("readiness line")
+        .to_string();
+
+    let out = kk()
+        .args(["update", "--addr", &addr])
+        .args(["--updates", updates.to_str().unwrap()])
+        .output()
+        .expect("run kk update");
+    assert!(
+        !out.status.success(),
+        "update against static serve must fail"
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("static"), "diagnostic names the cause: {err}");
+
+    run_ok(kk().args(["query", "--addr", &addr, "--shutdown"]));
+    let status = wait_with_deadline(&mut child, Duration::from_secs(30));
+    assert!(status.success(), "serve exited with {status}");
+}

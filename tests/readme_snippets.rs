@@ -21,7 +21,7 @@ impl WalkerProgram for MyWalk {
     // Pd: prefer candidates adjacent to the previous stop.
     fn dynamic_comp(
         &self,
-        _g: &CsrGraph,
+        _g: &GraphRef<'_>,
         w: &Walker<()>,
         e: EdgeView,
         answer: Option<bool>,
@@ -46,15 +46,15 @@ impl WalkerProgram for MyWalk {
             _ => None,
         }
     }
-    fn answer_query(&self, g: &CsrGraph, t: VertexId, x: VertexId) -> bool {
+    fn answer_query(&self, g: &GraphRef<'_>, t: VertexId, x: VertexId) -> bool {
         g.has_edge(t, x)
     }
 
     // dynamicCompUpperBound / LowerBound: the rejection envelope.
-    fn upper_bound(&self, _g: &CsrGraph, _w: &Walker<()>) -> f64 {
+    fn upper_bound(&self, _g: &GraphRef<'_>, _w: &Walker<()>) -> f64 {
         1.0
     }
-    fn lower_bound(&self, _g: &CsrGraph, _w: &Walker<()>) -> f64 {
+    fn lower_bound(&self, _g: &GraphRef<'_>, _w: &Walker<()>) -> f64 {
         0.25
     }
 }

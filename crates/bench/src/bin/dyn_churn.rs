@@ -13,6 +13,7 @@ use std::sync::Mutex;
 use std::thread;
 use std::time::Instant;
 
+use knightking_bench::emit::{BenchReport, BenchRow};
 use knightking_bench::{graphs::StandIn, HarnessOpts, Table};
 use knightking_core::WalkConfig;
 use knightking_dyn::{DynConfig, DynGraph, EdgeReweight, UpdateBatch};
@@ -171,6 +172,14 @@ fn main() {
         "max (ms)",
         "req/s",
     ]);
+    let mut report = BenchReport::new(
+        "dyn_churn",
+        &format!(
+            "Twitter stand-in scale {scale}, weighted, {} nodes, deepwalk len=20, \
+             {clients} clients x {requests_per_client} requests x {walkers_per_request} walkers",
+            opts.nodes
+        ),
+    );
 
     let cfg = || {
         let mut c = WalkConfig::with_nodes(opts.nodes, 999);
@@ -207,6 +216,14 @@ fn main() {
             format!("{:.2}", r.hist.max() as f64 / 1000.0),
             format!("{:.1}", r.ok as f64 / r.wall),
         ]);
+        report.push(BenchRow {
+            label: "static".to_string(),
+            ok: r.ok,
+            p50_us: r.hist.quantile(0.5),
+            p99_us: r.hist.quantile(0.99),
+            max_us: r.hist.max(),
+            req_per_s: r.ok as f64 / r.wall,
+        });
     }
 
     for &ops in churn_levels {
@@ -234,8 +251,21 @@ fn main() {
             format!("{:.2}", r.hist.max() as f64 / 1000.0),
             format!("{:.1}", r.ok as f64 / r.wall),
         ]);
+        report.push(BenchRow {
+            label: format!("dynamic, {ops} ops/superstep"),
+            ok: r.ok,
+            p50_us: r.hist.quantile(0.5),
+            p99_us: r.hist.quantile(0.99),
+            max_us: r.hist.max(),
+            req_per_s: r.ok as f64 / r.wall,
+        });
     }
     table.print();
+
+    match report.write() {
+        Ok(path) => println!("\nmachine-readable results written to {}", path.display()),
+        Err(e) => eprintln!("warning: could not write bench JSON: {e}"),
+    }
 
     println!(
         "\nlatency is end-to-end per request; `updates` counts applied batches \

@@ -11,6 +11,7 @@ use std::sync::Mutex;
 use std::thread;
 use std::time::Instant;
 
+use knightking_bench::emit::{BenchReport, BenchRow};
 use knightking_bench::{graphs::StandIn, HarnessOpts, Table};
 use knightking_core::WalkConfig;
 use knightking_obs::Pow2Histogram;
@@ -28,14 +29,31 @@ fn main() {
     );
 
     let mut table = Table::new(&[
-        "clients", "requests", "ok", "rejected", "p50 (ms)", "p99 (ms)", "max (ms)", "req/s",
+        "clients", "mode", "requests", "ok", "rejected", "p50 (ms)", "p99 (ms)", "max (ms)",
+        "req/s",
     ]);
+    let mut report = BenchReport::new(
+        "serve_latency",
+        &format!(
+            "Twitter stand-in scale {scale}, {} nodes, node2vec p=2 q=0.5 len=20, \
+             {requests_per_client} requests/client x {walkers_per_request} walkers",
+            opts.nodes
+        ),
+    );
 
-    for clients in [1usize, 4, 16] {
+    // Each client level runs twice: plain, then with the whole
+    // observability plane on (every request traced + the live metrics
+    // profile). The paired rows *are* the overhead measurement — the
+    // invariant is traced p99 within a few percent of plain.
+    for (clients, traced) in [1usize, 4, 16]
+        .into_iter()
+        .flat_map(|c| [(c, false), (c, true)])
+    {
         let (service, handle) = WalkService::new(ServiceConfig {
             // Enough queue for the burst: this sweep measures queueing
             // delay, not rejection behavior (rejections still count).
             queue_capacity: clients * requests_per_client,
+            trace_sample: u64::from(traced),
             ..ServiceConfig::default()
         });
 
@@ -90,14 +108,17 @@ fn main() {
 
             let mut cfg = WalkConfig::with_nodes(opts.nodes, 999);
             cfg.record_paths = true;
+            cfg.profile = traced;
             service.run(&graph, Node2Vec::new(2.0, 0.5, 20), cfg);
         });
 
         let wall = t0.elapsed().as_secs_f64();
         let h = hist.into_inner().unwrap();
         let done = ok.load(Ordering::Relaxed);
+        let mode = if traced { "traced" } else { "plain" };
         table.row(&[
             format!("{clients}"),
+            mode.to_string(),
             format!("{}", clients * requests_per_client),
             format!("{done}"),
             format!("{}", rejected.load(Ordering::Relaxed)),
@@ -106,8 +127,20 @@ fn main() {
             format!("{:.2}", h.max() as f64 / 1000.0),
             format!("{:.1}", done as f64 / wall),
         ]);
+        report.push(BenchRow {
+            label: format!("{clients} clients, {mode}"),
+            ok: done,
+            p50_us: h.quantile(0.5),
+            p99_us: h.quantile(0.99),
+            max_us: h.max(),
+            req_per_s: done as f64 / wall,
+        });
     }
     table.print();
 
+    match report.write() {
+        Ok(path) => println!("\nmachine-readable results written to {}", path.display()),
+        Err(e) => eprintln!("warning: could not write bench JSON: {e}"),
+    }
     println!("\nlatency is end-to-end: queue wait + supersteps until the walk's last step");
 }

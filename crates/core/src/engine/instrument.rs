@@ -95,21 +95,46 @@ mod real {
     /// end of the run.
     pub(crate) struct NodeObs {
         enabled: bool,
+        /// Live-service mode: fold phase times into run totals without
+        /// per-iteration rows, so a resident loop's profile stays bounded.
+        live: bool,
         iteration: u32,
         profile: NodeProfile,
         ring: EventRing,
         last_light: Option<bool>,
+        exchange_total: u64,
     }
 
     impl NodeObs {
         pub(crate) fn new(enabled: bool, node: usize) -> Self {
             NodeObs {
                 enabled,
+                live: false,
                 iteration: 0,
                 profile: NodeProfile::new(node as u32),
                 ring: EventRing::new(if enabled { NODE_RING_CAP } else { 1 }),
                 last_light: None,
+                exchange_total: 0,
             }
+        }
+
+        /// A profile for a resident service: everything unbounded
+        /// (per-iteration timer rows) is folded instead of stored, so the
+        /// loop can run for days while gauges stay scrapeable.
+        pub(crate) fn new_live(enabled: bool, node: usize) -> Self {
+            let mut obs = NodeObs::new(enabled, node);
+            obs.live = true;
+            obs
+        }
+
+        /// Cumulative nanoseconds per phase since the node started.
+        pub(crate) fn phase_ns_totals(&self) -> [u64; knightking_obs::N_PHASES] {
+            self.profile.timers.totals
+        }
+
+        /// Cumulative exchange bytes this node has sent since it started.
+        pub(crate) fn exchange_bytes_total(&self) -> u64 {
+            self.exchange_total
         }
 
         /// Times `f` under `phase` (runs it untimed when profiling is
@@ -172,6 +197,7 @@ mod real {
         pub(crate) fn record_exchange_bytes(&mut self, bytes: u64) {
             if self.enabled {
                 self.profile.exchange_bytes.record(bytes);
+                self.exchange_total += bytes;
             }
         }
 
@@ -188,11 +214,16 @@ mod real {
             self.profile.dropped_events += chunk.ring.dropped();
         }
 
-        /// Closes the current BSP iteration: snapshots a timer row and
-        /// advances the iteration counter.
+        /// Closes the current BSP iteration: snapshots a timer row (or, in
+        /// live mode, folds it without a row) and advances the iteration
+        /// counter.
         pub(crate) fn end_iteration(&mut self) {
             if self.enabled {
-                self.profile.timers.end_iteration();
+                if self.live {
+                    self.profile.timers.flush_setup();
+                } else {
+                    self.profile.timers.end_iteration();
+                }
             }
             self.iteration += 1;
         }
@@ -258,6 +289,21 @@ mod inert {
         #[inline]
         pub(crate) fn new(_enabled: bool, _node: usize) -> Self {
             NodeObs
+        }
+
+        #[inline]
+        pub(crate) fn new_live(_enabled: bool, _node: usize) -> Self {
+            NodeObs
+        }
+
+        #[inline]
+        pub(crate) fn phase_ns_totals(&self) -> [u64; 8] {
+            [0; 8]
+        }
+
+        #[inline]
+        pub(crate) fn exchange_bytes_total(&self) -> u64 {
+            0
         }
 
         #[inline]

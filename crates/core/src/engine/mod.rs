@@ -25,7 +25,8 @@ mod second_order;
 mod serve;
 
 pub use serve::{
-    AdmitRequest, Directives, EpochUpdate, FinishedWalk, NoopDriver, ServeDelta, ServeDriver,
+    AdmitRequest, Directives, EpochUpdate, FinishedWalk, LiveSample, NoopDriver, ServeDelta,
+    ServeDriver, SpanEvent, SpanEventKind,
 };
 
 use std::collections::HashMap;

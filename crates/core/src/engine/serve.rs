@@ -86,6 +86,231 @@ impl Wire for FinishedWalk {
     }
 }
 
+/// What a span event marks in a traced request's timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanEventKind {
+    /// The node instantiated `walkers` walkers of the request.
+    Admit {
+        /// Number of start vertices this node owned.
+        walkers: u64,
+    },
+    /// The node advanced `hops` of the request's walkers one superstep.
+    Superstep {
+        /// Active walkers of the request on this node this superstep.
+        hops: u64,
+    },
+    /// The node's exchange volume for a superstep the request was part
+    /// of. Node-level, not per-request: walkers from concurrent requests
+    /// share each exchange, so the bytes are attributed to every traced
+    /// request active in that superstep.
+    Exchange {
+        /// Remote bytes this node sent in the superstep's exchanges.
+        bytes: u64,
+    },
+    /// The request's walkers were force-terminated on this node
+    /// (deadline kill).
+    Kill,
+    /// `walkers` walkers of the request finished on this node.
+    Complete {
+        /// Walkers that terminated this superstep.
+        walkers: u64,
+    },
+}
+
+impl SpanEventKind {
+    /// Stable name used in JSONL and Chrome trace-event exports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SpanEventKind::Admit { .. } => "admit",
+            SpanEventKind::Superstep { .. } => "superstep",
+            SpanEventKind::Exchange { .. } => "exchange",
+            SpanEventKind::Kill => "kill",
+            SpanEventKind::Complete { .. } => "complete",
+        }
+    }
+
+    /// The kind's payload value (`walkers`, `hops`, or `bytes`; 0 for
+    /// `Kill`), for flat export schemas.
+    pub fn value(&self) -> u64 {
+        match *self {
+            SpanEventKind::Admit { walkers } => walkers,
+            SpanEventKind::Superstep { hops } => hops,
+            SpanEventKind::Exchange { bytes } => bytes,
+            SpanEventKind::Kill => 0,
+            SpanEventKind::Complete { walkers } => walkers,
+        }
+    }
+}
+
+impl Wire for SpanEventKind {
+    fn wire_size(&self) -> usize {
+        match self {
+            SpanEventKind::Kill => 1,
+            _ => 1 + 8,
+        }
+    }
+    fn encode(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
+        match *self {
+            SpanEventKind::Admit { walkers } => {
+                out.push(0);
+                walkers.encode(out)
+            }
+            SpanEventKind::Superstep { hops } => {
+                out.push(1);
+                hops.encode(out)
+            }
+            SpanEventKind::Exchange { bytes } => {
+                out.push(2);
+                bytes.encode(out)
+            }
+            SpanEventKind::Kill => {
+                out.push(3);
+                Ok(())
+            }
+            SpanEventKind::Complete { walkers } => {
+                out.push(4);
+                walkers.encode(out)
+            }
+        }
+    }
+    fn decode(input: &mut &[u8]) -> std::io::Result<Self> {
+        let tag = u8::decode(input)?;
+        Ok(match tag {
+            0 => SpanEventKind::Admit {
+                walkers: u64::decode(input)?,
+            },
+            1 => SpanEventKind::Superstep {
+                hops: u64::decode(input)?,
+            },
+            2 => SpanEventKind::Exchange {
+                bytes: u64::decode(input)?,
+            },
+            3 => SpanEventKind::Kill,
+            4 => SpanEventKind::Complete {
+                walkers: u64::decode(input)?,
+            },
+            other => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("unknown span event kind tag {other}"),
+                ))
+            }
+        })
+    }
+}
+
+/// One event in a traced request's distributed timeline, recorded
+/// node-side at superstep boundaries and gathered to the leader in the
+/// next [`ServeDelta`].
+///
+/// The trace id is the request tag ([`Walker::tag`]), which already rides
+/// the walker wire format through exchanges — tracing adds no bytes to
+/// the per-walker hot path, only to the once-per-superstep delta.
+///
+/// [`Walker::tag`]: crate::Walker::tag
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Trace id: the tag of the request this event belongs to.
+    pub trace: u64,
+    /// Rank that recorded the event.
+    pub node: u32,
+    /// Superstep at which the event happened.
+    pub superstep: u64,
+    /// Microseconds since this rank's service started. Ranks' clocks are
+    /// not synchronized; cross-rank skew is bounded by service startup
+    /// skew and is fine for timeline visualization.
+    pub ts_us: u64,
+    /// Event duration in microseconds (0 for instant events).
+    pub dur_us: u64,
+    /// What happened.
+    pub kind: SpanEventKind,
+}
+
+impl Wire for SpanEvent {
+    fn wire_size(&self) -> usize {
+        self.trace.wire_size()
+            + self.node.wire_size()
+            + self.superstep.wire_size()
+            + self.ts_us.wire_size()
+            + self.dur_us.wire_size()
+            + self.kind.wire_size()
+    }
+    fn encode(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
+        self.trace.encode(out)?;
+        self.node.encode(out)?;
+        self.superstep.encode(out)?;
+        self.ts_us.encode(out)?;
+        self.dur_us.encode(out)?;
+        self.kind.encode(out)
+    }
+    fn decode(input: &mut &[u8]) -> std::io::Result<Self> {
+        Ok(SpanEvent {
+            trace: u64::decode(input)?,
+            node: u32::decode(input)?,
+            superstep: u64::decode(input)?,
+            ts_us: u64::decode(input)?,
+            dur_us: u64::decode(input)?,
+            kind: SpanEventKind::decode(input)?,
+        })
+    }
+}
+
+/// One node's per-superstep gauge/counter sample, shipped in every
+/// [`ServeDelta`] so the leader always has a live, cluster-wide view.
+///
+/// All fields except `active` are **cumulative** since the node started
+/// (Prometheus-counter style): the leader keeps only the latest sample
+/// per node and sums across nodes, so a lost superstep never loses
+/// counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LiveSample {
+    /// Active walker slots on this node right now (gauge).
+    pub active: u64,
+    /// Total walker steps taken.
+    pub steps: u64,
+    /// Total rejection-sampling trials.
+    pub trials: u64,
+    /// Total remote exchange bytes sent.
+    pub exchange_bytes: u64,
+    /// Cumulative nanoseconds per engine phase (the `knightking-obs`
+    /// phase taxonomy, index order; all zeros when the engine was built
+    /// without the `obs` feature).
+    pub phase_ns: [u64; 8],
+}
+
+impl Wire for LiveSample {
+    fn wire_size(&self) -> usize {
+        8 * (4 + self.phase_ns.len())
+    }
+    fn encode(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
+        self.active.encode(out)?;
+        self.steps.encode(out)?;
+        self.trials.encode(out)?;
+        self.exchange_bytes.encode(out)?;
+        for ns in &self.phase_ns {
+            ns.encode(out)?;
+        }
+        Ok(())
+    }
+    fn decode(input: &mut &[u8]) -> std::io::Result<Self> {
+        let active = u64::decode(input)?;
+        let steps = u64::decode(input)?;
+        let trials = u64::decode(input)?;
+        let exchange_bytes = u64::decode(input)?;
+        let mut phase_ns = [0u64; 8];
+        for ns in &mut phase_ns {
+            *ns = u64::decode(input)?;
+        }
+        Ok(LiveSample {
+            active,
+            steps,
+            trials,
+            exchange_bytes,
+            phase_ns,
+        })
+    }
+}
+
 /// One node's per-superstep report to the leader: everything that
 /// happened since the previous report.
 #[derive(Debug, Clone, PartialEq)]
@@ -100,6 +325,11 @@ pub struct ServeDelta {
     /// the cluster-wide minimum into [`Directives::retire`] so nodes can
     /// drop row and sampler versions no walker can read anymore.
     pub min_pinned: u64,
+    /// Span events recorded for traced requests since the last superstep
+    /// (empty when nothing is traced).
+    pub spans: Vec<SpanEvent>,
+    /// This node's live metrics sample.
+    pub live: LiveSample,
 }
 
 impl Default for ServeDelta {
@@ -108,24 +338,34 @@ impl Default for ServeDelta {
             paths: Vec::new(),
             finished: Vec::new(),
             min_pinned: u64::MAX,
+            spans: Vec::new(),
+            live: LiveSample::default(),
         }
     }
 }
 
 impl Wire for ServeDelta {
     fn wire_size(&self) -> usize {
-        self.paths.wire_size() + self.finished.wire_size() + self.min_pinned.wire_size()
+        self.paths.wire_size()
+            + self.finished.wire_size()
+            + self.min_pinned.wire_size()
+            + self.spans.wire_size()
+            + self.live.wire_size()
     }
     fn encode(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
         self.paths.encode(out)?;
         self.finished.encode(out)?;
-        self.min_pinned.encode(out)
+        self.min_pinned.encode(out)?;
+        self.spans.encode(out)?;
+        self.live.encode(out)
     }
     fn decode(input: &mut &[u8]) -> std::io::Result<Self> {
         Ok(ServeDelta {
             paths: Vec::decode(input)?,
             finished: Vec::decode(input)?,
             min_pinned: u64::decode(input)?,
+            spans: Vec::decode(input)?,
+            live: LiveSample::decode(input)?,
         })
     }
 }
@@ -146,6 +386,11 @@ pub struct AdmitRequest {
     /// Start vertices; walker `i` starts at `starts[i]`. Must be within
     /// graph bounds (validate before admitting).
     pub starts: Vec<VertexId>,
+    /// Whether this request is traced: every node records span events
+    /// for the request's tag until the leader ends the trace
+    /// ([`Directives::end_traces`]). Tracing never touches walker RNG
+    /// state, so traced and untraced runs are byte-identical.
+    pub trace: bool,
 }
 
 impl Wire for AdmitRequest {
@@ -154,12 +399,14 @@ impl Wire for AdmitRequest {
             + self.base_id.wire_size()
             + self.seed.wire_size()
             + self.starts.wire_size()
+            + self.trace.wire_size()
     }
     fn encode(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
         self.tag.encode(out)?;
         self.base_id.encode(out)?;
         self.seed.encode(out)?;
-        self.starts.encode(out)
+        self.starts.encode(out)?;
+        self.trace.encode(out)
     }
     fn decode(input: &mut &[u8]) -> std::io::Result<Self> {
         Ok(AdmitRequest {
@@ -167,6 +414,7 @@ impl Wire for AdmitRequest {
             base_id: u64::decode(input)?,
             seed: u64::decode(input)?,
             starts: Vec::decode(input)?,
+            trace: bool::decode(input)?,
         })
     }
 }
@@ -220,6 +468,10 @@ pub struct Directives {
     /// leader derives it from the cluster-wide minimum pinned epoch
     /// ([`ServeDelta::min_pinned`]); 0 means "retire nothing".
     pub retire: u64,
+    /// Trace ids whose requests have completed (or been killed): nodes
+    /// stop recording spans for these tags. Without this, a node's traced
+    /// set would grow for the life of the service.
+    pub end_traces: Vec<u64>,
 }
 
 impl Wire for Directives {
@@ -229,13 +481,15 @@ impl Wire for Directives {
             + self.shutdown.wire_size()
             + self.update.wire_size()
             + self.retire.wire_size()
+            + self.end_traces.wire_size()
     }
     fn encode(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
         self.admit.encode(out)?;
         self.kill.encode(out)?;
         self.shutdown.encode(out)?;
         self.update.encode(out)?;
-        self.retire.encode(out)
+        self.retire.encode(out)?;
+        self.end_traces.encode(out)
     }
     fn decode(input: &mut &[u8]) -> std::io::Result<Self> {
         Ok(Directives {
@@ -244,6 +498,7 @@ impl Wire for Directives {
             shutdown: bool::decode(input)?,
             update: Option::decode(input)?,
             retire: u64::decode(input)?,
+            end_traces: Vec::decode(input)?,
         })
     }
 }
@@ -338,9 +593,10 @@ impl<'g, P: WalkerProgram> RandomWalkEngine<'g, P> {
             light_threshold: cfg.light_threshold,
         };
         let observer = NoopObserver;
-        // The obs profile is bounded per run, not per service lifetime;
-        // a resident loop would grow it without bound, so keep it off.
-        let mut prof = NodeObs::new(false, me);
+        // Live-mode profile: phase times fold into bounded run totals
+        // (no per-iteration rows), so a resident loop can keep it on and
+        // ship cumulative counters in every delta.
+        let mut prof = NodeObs::new_live(cfg.profile, me);
         // `mut`: superstep boundaries rebuild sampler structures for
         // update-touched vertices; iterations only ever borrow `&rt`.
         let mut rt = NodeRt::build(
@@ -363,6 +619,13 @@ impl<'g, P: WalkerProgram> RandomWalkEngine<'g, P> {
         // directive applies. Always 0 on static graphs.
         let mut live_epoch: u64 = local.epoch();
         let mut superstep: u64 = 0;
+        // Tracing state: tags of requests currently traced on this node
+        // (bounded by the leader's sampling), and the span events recorded
+        // since the last delta. Timestamps are relative to this rank's
+        // service start.
+        let service_start = std::time::Instant::now();
+        let mut traced: Vec<u64> = Vec::new();
+        let mut spans: Vec<SpanEvent> = Vec::new();
         loop {
             // (1) Ship this node's delta to the leader.
             let delta = ServeDelta {
@@ -373,6 +636,14 @@ impl<'g, P: WalkerProgram> RandomWalkEngine<'g, P> {
                     .unwrap_or(u64::MAX),
                 paths: mem::take(&mut paths),
                 finished: mem::take(&mut finished),
+                spans: mem::take(&mut spans),
+                live: LiveSample {
+                    active: slots.len() as u64,
+                    steps: metrics.steps,
+                    trials: metrics.trials,
+                    exchange_bytes: prof.exchange_bytes_total(),
+                    phase_ns: prof.phase_ns_totals(),
+                },
             };
             let delta_bytes = to_bytes(&delta).expect("serve delta exceeds wire limits");
             let gathered = transport.gather_bytes(delta_bytes);
@@ -399,6 +670,22 @@ impl<'g, P: WalkerProgram> RandomWalkEngine<'g, P> {
             // fragments already shipped are discarded leader-side.
             if !directives.kill.is_empty() {
                 slots.retain(|s| !directives.kill.contains(&s.walker.tag));
+                for &tag in &directives.kill {
+                    if let Some(i) = traced.iter().position(|&t| t == tag) {
+                        traced.swap_remove(i);
+                        spans.push(SpanEvent {
+                            trace: tag,
+                            node: me as u32,
+                            superstep,
+                            ts_us: service_start.elapsed().as_micros() as u64,
+                            dur_us: 0,
+                            kind: SpanEventKind::Kill,
+                        });
+                    }
+                }
+            }
+            if !directives.end_traces.is_empty() {
+                traced.retain(|t| !directives.end_traces.contains(t));
             }
 
             // (4) Graph update: applied on all ranks in lockstep at this
@@ -432,10 +719,12 @@ impl<'g, P: WalkerProgram> RandomWalkEngine<'g, P> {
             // batch run of this request would use — while the global id
             // (`base_id + i`) labels the path fragments.
             for req in &directives.admit {
+                let mut owned = 0u64;
                 for (i, &start) in req.starts.iter().enumerate() {
                     if partition.owner(start) != me {
                         continue;
                     }
+                    owned += 1;
                     let data = self.program.init_data(i as u64, start);
                     let mut walker = Walker::new(i as u64, start, req.seed, data);
                     walker.id = req.base_id + i as u64;
@@ -451,6 +740,17 @@ impl<'g, P: WalkerProgram> RandomWalkEngine<'g, P> {
                         state: SlotState::Active,
                         fresh: true,
                         stuck: 0,
+                    });
+                }
+                if req.trace {
+                    traced.push(req.tag);
+                    spans.push(SpanEvent {
+                        trace: req.tag,
+                        node: me as u32,
+                        superstep,
+                        ts_us: service_start.elapsed().as_micros() as u64,
+                        dur_us: 0,
+                        kind: SpanEventKind::Admit { walkers: owned },
                     });
                 }
             }
@@ -470,7 +770,16 @@ impl<'g, P: WalkerProgram> RandomWalkEngine<'g, P> {
                 continue;
             }
 
-            // (8) One ordinary BSP iteration.
+            // (8) One ordinary BSP iteration. For traced requests, count
+            // their active walkers before the step and their completions
+            // after — all outside the per-walker hot path.
+            let pre_hops: Vec<(u64, u64)> = traced
+                .iter()
+                .map(|&t| (t, slots.iter().filter(|s| s.walker.tag == t).count() as u64))
+                .collect();
+            let xbytes_before = prof.exchange_bytes_total();
+            let finished_before = finished.len();
+            let iter_start_us = service_start.elapsed().as_micros() as u64;
             metrics.iterations += 1;
             if P::SECOND_ORDER {
                 second_order::iteration(
@@ -497,6 +806,51 @@ impl<'g, P: WalkerProgram> RandomWalkEngine<'g, P> {
                     &mut prof,
                 );
             }
+            prof.end_iteration();
+            if !traced.is_empty() {
+                let now_us = service_start.elapsed().as_micros() as u64;
+                let dur_us = now_us.saturating_sub(iter_start_us);
+                let xbytes = prof.exchange_bytes_total() - xbytes_before;
+                for &(tag, hops) in &pre_hops {
+                    if hops == 0 {
+                        continue;
+                    }
+                    spans.push(SpanEvent {
+                        trace: tag,
+                        node: me as u32,
+                        superstep,
+                        ts_us: iter_start_us,
+                        dur_us,
+                        kind: SpanEventKind::Superstep { hops },
+                    });
+                    if xbytes > 0 {
+                        spans.push(SpanEvent {
+                            trace: tag,
+                            node: me as u32,
+                            superstep,
+                            ts_us: iter_start_us,
+                            dur_us,
+                            kind: SpanEventKind::Exchange { bytes: xbytes },
+                        });
+                    }
+                }
+                for &tag in &traced {
+                    let done = finished[finished_before..]
+                        .iter()
+                        .filter(|f| f.tag == tag)
+                        .count() as u64;
+                    if done > 0 {
+                        spans.push(SpanEvent {
+                            trace: tag,
+                            node: me as u32,
+                            superstep,
+                            ts_us: now_us,
+                            dur_us: 0,
+                            kind: SpanEventKind::Complete { walkers: done },
+                        });
+                    }
+                }
+            }
             superstep += 1;
         }
         metrics
@@ -518,6 +872,7 @@ mod tests {
                 base_id: 1000,
                 seed: 42,
                 starts: vec![0, 5, 9],
+                trace: true,
             }],
             kill: vec![7, 8],
             shutdown: true,
@@ -535,6 +890,7 @@ mod tests {
                 },
             }),
             retire: 2,
+            end_traces: vec![11, 12],
         };
         let bytes = to_bytes(&dir).unwrap();
         assert_eq!(bytes.len(), dir.wire_size());
@@ -553,11 +909,61 @@ mod tests {
                 steps: 2,
             }],
             min_pinned: 4,
+            spans: vec![
+                SpanEvent {
+                    trace: 3,
+                    node: 1,
+                    superstep: 9,
+                    ts_us: 1000,
+                    dur_us: 50,
+                    kind: SpanEventKind::Superstep { hops: 5 },
+                },
+                SpanEvent {
+                    trace: 3,
+                    node: 1,
+                    superstep: 9,
+                    ts_us: 1050,
+                    dur_us: 0,
+                    kind: SpanEventKind::Kill,
+                },
+            ],
+            live: LiveSample {
+                active: 7,
+                steps: 120,
+                trials: 300,
+                exchange_bytes: 4096,
+                phase_ns: [1, 2, 3, 4, 5, 6, 7, 8],
+            },
         };
         let bytes = to_bytes(&delta).unwrap();
         assert_eq!(bytes.len(), delta.wire_size());
         let back: ServeDelta = from_bytes(&bytes).unwrap();
         assert_eq!(back, delta);
+    }
+
+    #[test]
+    fn span_event_kinds_round_trip() {
+        let kinds = [
+            SpanEventKind::Admit { walkers: 3 },
+            SpanEventKind::Superstep { hops: 17 },
+            SpanEventKind::Exchange { bytes: u64::MAX },
+            SpanEventKind::Kill,
+            SpanEventKind::Complete { walkers: 0 },
+        ];
+        for kind in kinds {
+            let ev = SpanEvent {
+                trace: 42,
+                node: 2,
+                superstep: 1,
+                ts_us: 123,
+                dur_us: 456,
+                kind,
+            };
+            let bytes = to_bytes(&ev).unwrap();
+            assert_eq!(bytes.len(), ev.wire_size(), "{kind:?}");
+            let back: SpanEvent = from_bytes(&bytes).unwrap();
+            assert_eq!(back, ev);
+        }
     }
 
     struct FixedLen(u32);
@@ -616,6 +1022,7 @@ mod tests {
             base_id: 0,
             seed: 7,
             starts: starts.clone(),
+            trace: false,
         };
         let n = starts.len() as u64;
         let (outs, _comm) = run_cluster_with_metrics::<Msg<FixedLen>, _, _>(1, |ctx| {
@@ -652,6 +1059,7 @@ mod tests {
             base_id: 0,
             seed: 11,
             starts: starts.clone(),
+            trace: false,
         };
         let n = starts.len() as u64;
         let (outs, _comm) = run_cluster_with_metrics::<Msg<FixedLen>, _, _>(2, |ctx| {
@@ -699,6 +1107,7 @@ mod tests {
                         base_id: 0,
                         seed: 1,
                         starts: vec![0, 1, 2],
+                        trace: false,
                     });
                 }
                 if superstep >= 3 && !self.killed {
@@ -749,6 +1158,7 @@ mod tests {
                     base_id: 0,
                     seed: 3,
                     starts: vec![0, 25],
+                    trace: false,
                 });
                 dir.update = Some(EpochUpdate {
                     epoch: 1,

@@ -62,8 +62,8 @@ pub mod walker;
 
 pub use config::{CancelToken, WalkConfig, WalkerStarts};
 pub use engine::{
-    AdmitRequest, Directives, EpochUpdate, FinishedWalk, Msg, NoopDriver, RandomWalkEngine,
-    ServeDelta, ServeDriver,
+    AdmitRequest, Directives, EpochUpdate, FinishedWalk, LiveSample, Msg, NoopDriver,
+    RandomWalkEngine, ServeDelta, ServeDriver, SpanEvent, SpanEventKind,
 };
 pub use graphref::GraphRef;
 pub use metrics::WalkMetrics;

@@ -52,12 +52,15 @@ impl Pow2Histogram {
         (64 - v.leading_zeros()) as usize
     }
 
-    /// `[lo, hi]` value range of bucket `i`.
+    /// `[lo, hi]` value range of bucket `i`. The top bucket's upper bound
+    /// saturates at `u64::MAX` (the doubling wraps to 0, so subtract
+    /// wrapping too).
     pub fn bucket_bounds(i: usize) -> (u64, u64) {
         if i == 0 {
             (0, 0)
         } else {
-            (1u64 << (i - 1), (1u64 << (i - 1)).wrapping_mul(2) - 1)
+            let lo = 1u64 << (i - 1);
+            (lo, lo.wrapping_mul(2).wrapping_sub(1))
         }
     }
 
@@ -226,6 +229,88 @@ mod tests {
         };
         assert_eq!(merged_empty.count(), 0);
         assert_eq!(merged_empty.min(), 0);
+    }
+
+    #[test]
+    fn quantile_edge_cases_on_empty_and_single_bucket() {
+        let empty = Pow2Histogram::new();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(empty.quantile(q), 0, "empty histogram at q={q}");
+        }
+        // Out-of-range q is clamped, not a panic.
+        assert_eq!(empty.quantile(-1.0), 0);
+        assert_eq!(empty.quantile(2.0), 0);
+
+        // Every observation in one bucket: every quantile is that
+        // bucket's bound clamped to the observed max.
+        let mut single = Pow2Histogram::new();
+        for _ in 0..10 {
+            single.record(5); // bucket [4, 7]
+        }
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(single.quantile(q), 5, "single-bucket at q={q}");
+        }
+        assert_eq!(single.quantile(-3.0), 5, "clamped q hits the same bucket");
+
+        // A lone zero observation lives in the zero bucket.
+        let mut zero = Pow2Histogram::new();
+        zero.record(0);
+        assert_eq!(zero.quantile(0.5), 0);
+        assert_eq!(zero.quantile(1.0), 0);
+    }
+
+    #[test]
+    fn merge_of_disjoint_bucket_ranges_keeps_both() {
+        // `merge` scans only `other`'s touched prefix (`hi`); merging a
+        // low-bucket histogram into a high-bucket one must not lose the
+        // high buckets, and vice versa.
+        let mut low = Pow2Histogram::new();
+        low.record(1);
+        low.record(3);
+        let mut high = Pow2Histogram::new();
+        high.record(1 << 40);
+        high.record((1 << 40) + 5);
+
+        let mut a = low.clone();
+        a.merge(&high);
+        let mut b = high.clone();
+        b.merge(&low);
+        for m in [&a, &b] {
+            assert_eq!(m.count(), 4);
+            assert_eq!(m.min(), 1);
+            assert_eq!(m.max(), (1 << 40) + 5);
+            let buckets: Vec<_> = m.nonzero_buckets().collect();
+            assert_eq!(buckets.len(), 3, "both ranges survive: {buckets:?}");
+            assert_eq!(buckets.iter().map(|&(_, _, c)| c).sum::<u64>(), 4);
+        }
+        assert_eq!(a.quantile(0.5), 3);
+        assert_eq!(a.quantile(1.0), (1 << 40) + 5);
+    }
+
+    #[test]
+    fn top_bucket_saturates_without_overflow() {
+        // Values at and near u64::MAX land in the last bucket, whose
+        // upper bound computation must not overflow.
+        let mut h = Pow2Histogram::new();
+        h.record(u64::MAX);
+        h.record(1u64 << 63);
+        h.record(u64::MAX - 1);
+        assert_eq!(h.count(), 3);
+        let buckets: Vec<_> = h.nonzero_buckets().collect();
+        assert_eq!(buckets.len(), 1, "all three in the top bucket");
+        let (lo, hi, c) = buckets[0];
+        assert_eq!(lo, 1u64 << 63);
+        assert_eq!(hi, u64::MAX);
+        assert_eq!(c, 3);
+        // Quantiles clamp to the observed max, not the bucket bound.
+        assert_eq!(h.quantile(0.5), u64::MAX);
+        assert_eq!(h.max(), u64::MAX);
+        // Merging two saturated histograms keeps the top bucket intact.
+        let mut other = Pow2Histogram::new();
+        other.record(u64::MAX);
+        h.merge(&other);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.nonzero_buckets().next().unwrap().2, 4);
     }
 
     #[test]

@@ -27,6 +27,9 @@
 //!   exchange barriers.
 //! * [`Pow2Histogram`] — power-of-two-bucket histograms: `record` is two
 //!   integer ops and an array increment, no floats.
+//! * [`BoundedRing`] — a bounded, overwrite-oldest time-series ring for
+//!   per-superstep gauge snapshots in resident services, where history
+//!   must stay bounded over days of uptime.
 //! * [`RunProfile`] / [`NodeProfile`] — the aggregated per-run report,
 //!   rendering both a human-readable table and machine-readable JSON
 //!   lines (see [`report`] for the schema).
@@ -35,8 +38,10 @@ pub mod hist;
 pub mod phase;
 pub mod report;
 pub mod ring;
+pub mod series;
 
 pub use hist::Pow2Histogram;
 pub use phase::{Phase, PhaseTimers, N_PHASES};
 pub use report::{write_hist_jsonl, NodeProfile, RunProfile};
 pub use ring::{Event, EventKind, EventRing};
+pub use series::BoundedRing;

@@ -136,6 +136,13 @@ impl RunProfile {
             .unwrap_or(0)
     }
 
+    /// Total events lost to ring overwrites across every node. Nonzero
+    /// means the trace is truncated and conclusions drawn from event
+    /// counts undercount reality.
+    pub fn dropped_events(&self) -> u64 {
+        self.nodes.iter().map(|n| n.dropped_events).sum()
+    }
+
     /// Writes the machine-readable JSON-lines rendering.
     ///
     /// # Errors
@@ -273,6 +280,17 @@ impl RunProfile {
                 );
             }
         }
+        // Truncation must never be silent: a reader skimming the table
+        // has to learn the trace is partial without hunting per-node
+        // lines.
+        let dropped = self.dropped_events();
+        if dropped > 0 {
+            let _ = writeln!(
+                out,
+                "  WARNING: {dropped} trace event(s) dropped to ring overwrites; \
+                 the event trace is truncated"
+            );
+        }
         out
     }
 }
@@ -365,6 +383,33 @@ mod tests {
         assert!(t.contains("walk_length"));
         assert!(t.contains("1 node(s)"));
         assert!(t.contains("events: 2 recorded"));
+    }
+
+    #[test]
+    fn dropped_events_are_never_silent() {
+        let mut p = sample_profile();
+        assert_eq!(p.dropped_events(), 0);
+        assert!(!p.render_table().contains("WARNING"));
+
+        p.nodes[0].dropped_events = 7;
+        let mut n1 = NodeProfile::new(1);
+        n1.dropped_events = 3;
+        p.nodes.push(n1);
+        assert_eq!(p.dropped_events(), 10);
+
+        let table = p.render_table();
+        assert!(table.contains("node 0 events: 2 recorded, 7 dropped"));
+        assert!(
+            table.contains("node 1 events: 0 recorded, 3 dropped"),
+            "a node with only drops still gets its line: {table}"
+        );
+        assert!(table.contains("WARNING: 10 trace event(s) dropped"));
+
+        let mut buf = Vec::new();
+        p.write_jsonl(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("{\"type\":\"events_dropped\",\"node\":0,\"count\":7}"));
+        assert!(text.contains("{\"type\":\"events_dropped\",\"node\":1,\"count\":3}"));
     }
 
     #[test]

@@ -1,0 +1,124 @@
+//! Bounded time-series rings for live metrics sampling.
+//!
+//! A resident service samples its gauges once per superstep; over days of
+//! uptime that history must stay bounded. [`BoundedRing`] is the same
+//! overwrite-oldest discipline as [`EventRing`](crate::EventRing),
+//! generalized over the sample type so subsystems can ring whatever
+//! per-tick record they need (the walk service rings a
+//! superstep-indexed gauge snapshot) without this crate knowing its
+//! shape.
+
+/// A bounded ring of samples that overwrites the oldest entry when full,
+/// counting what it dropped.
+#[derive(Debug, Clone)]
+pub struct BoundedRing<T> {
+    buf: Vec<T>,
+    cap: usize,
+    /// Index of the oldest entry.
+    start: usize,
+    len: usize,
+    dropped: u64,
+}
+
+impl<T: Clone> BoundedRing<T> {
+    /// A ring holding at most `cap` samples (`cap` ≥ 1).
+    ///
+    /// Allocation is lazy: a ring that never sees a sample never touches
+    /// the heap.
+    pub fn new(cap: usize) -> Self {
+        BoundedRing {
+            buf: Vec::new(),
+            cap: cap.max(1),
+            start: 0,
+            len: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Pushes a sample, overwriting the oldest if the ring is full.
+    #[inline]
+    pub fn push(&mut self, sample: T) {
+        if self.buf.len() < self.cap {
+            self.buf.push(sample);
+            self.len += 1;
+        } else {
+            self.buf[self.start] = sample;
+            self.start = (self.start + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// Number of samples currently held.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the ring holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Samples overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates the held samples, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> + '_ {
+        (0..self.len).map(move |i| &self.buf[(self.start + i) % self.cap])
+    }
+
+    /// The most recently pushed sample, if any.
+    pub fn latest(&self) -> Option<&T> {
+        if self.len == 0 {
+            None
+        } else {
+            Some(&self.buf[(self.start + self.len - 1) % self.cap])
+        }
+    }
+
+    /// Clones out the held samples, oldest first.
+    pub fn to_vec(&self) -> Vec<T> {
+        self.iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_below_capacity() {
+        let mut r: BoundedRing<u64> = BoundedRing::new(4);
+        assert!(r.is_empty());
+        assert!(r.latest().is_none());
+        for v in 0..3 {
+            r.push(v);
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 0);
+        assert_eq!(r.to_vec(), vec![0, 1, 2]);
+        assert_eq!(r.latest(), Some(&2));
+    }
+
+    #[test]
+    fn overwrites_oldest_and_counts_drops() {
+        let mut r: BoundedRing<u64> = BoundedRing::new(3);
+        for v in 0..8 {
+            r.push(v);
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 5);
+        assert_eq!(r.to_vec(), vec![5, 6, 7]);
+        assert_eq!(r.latest(), Some(&7));
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut r: BoundedRing<&str> = BoundedRing::new(0);
+        r.push("a");
+        r.push("b");
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.to_vec(), vec!["b"]);
+    }
+}

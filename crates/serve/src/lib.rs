@@ -19,7 +19,12 @@
 //!   deadlines, and drain-then-exit shutdown;
 //! * [`listener`] — the TCP front door bridging sockets to a handle;
 //! * [`stats`] — request latency and queue-depth histograms in the same
-//!   report schemas as `knightking-obs` profiles;
+//!   report schemas as `knightking-obs` profiles, plus the live metrics
+//!   plane: per-superstep gauges, a bounded time series, the
+//!   `Request::Stats` snapshot, and Prometheus text exposition;
+//! * [`trace`] — the bounded leader-side log of sampled request traces,
+//!   exporting JSONL and Chrome trace-event JSON (Perfetto-viewable);
+//! * [`metrics_http`] — the `--metrics-addr` scrape endpoint;
 //! * [`signal`] — SIGINT/SIGTERM → [`knightking_core::CancelToken`].
 //!
 //! Served walks are **byte-deterministic**: a request carries its own
@@ -64,14 +69,18 @@
 //! ```
 
 pub mod listener;
+pub mod metrics_http;
 pub mod protocol;
 pub mod service;
 pub mod signal;
 pub mod stats;
+pub mod trace;
 
 pub use listener::serve_listener;
+pub use metrics_http::metrics_listener;
 pub use protocol::{
     Request, StartSpec, Status, WalkRequest, WalkResponse, SERVE_MAGIC, SERVE_VERSION,
 };
 pub use service::{ServiceConfig, ServiceHandle, WalkService};
-pub use stats::ServeStats;
+pub use stats::{SeriesPoint, ServeStats, StatsReport};
+pub use trace::TraceLog;

@@ -108,6 +108,12 @@ fn handle_conn(mut stream: TcpStream, handle: &ServiceHandle) -> io::Result<()> 
                     paths: Vec::new(),
                 })
             }
+            // Answered inline off the shared stats — never queued, so a
+            // saturated or draining service still reports.
+            Request::Stats => WalkResponse {
+                status: Status::Stats(Box::new(handle.report())),
+                paths: Vec::new(),
+            },
         };
         let payload =
             to_bytes(&resp).map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;

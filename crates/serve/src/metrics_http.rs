@@ -1,0 +1,115 @@
+//! A minimal HTTP/1.1 exposition endpoint for the metrics plane.
+//!
+//! `kk serve --metrics-addr` binds a second listener that answers every
+//! request with the Prometheus text exposition (0.0.4) rendered from the
+//! service's live [`StatsReport`] — `curl http://addr/metrics` (any path
+//! works; scrapers only ever GET). Hand-rolled like every other wire
+//! format in the repo: no HTTP library, just enough of the protocol for
+//! Prometheus, `curl`, and browsers to scrape one plaintext document per
+//! connection.
+//!
+//! [`StatsReport`]: crate::stats::StatsReport
+
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::thread;
+use std::time::Duration;
+
+use crate::service::ServiceHandle;
+
+/// Accepts scrape connections on `listener` until the service shuts
+/// down. Each connection gets one rendered exposition and is closed
+/// (`Connection: close`), which is how Prometheus scrapes by default.
+///
+/// # Errors
+///
+/// Propagates listener configuration failures. Per-connection errors
+/// only end that connection.
+pub fn metrics_listener(listener: TcpListener, handle: ServiceHandle) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    loop {
+        if handle.is_shutdown() {
+            return Ok(());
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Scrapes are tiny; serve them inline rather than
+                // spawning per-connection threads.
+                let _ = serve_scrape(stream, &handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Reads (and discards) the request head, then writes one exposition.
+fn serve_scrape(mut stream: TcpStream, handle: &ServiceHandle) -> io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    // Drain the request head up to the blank line; cap how much we will
+    // read so a misbehaving client can't hold the loop.
+    let mut head = Vec::with_capacity(512);
+    let mut byte = [0u8; 1];
+    while head.len() < 8192 {
+        match stream.read(&mut byte) {
+            Ok(0) => break,
+            Ok(_) => {
+                head.push(byte[0]);
+                if head.ends_with(b"\r\n\r\n") || head.ends_with(b"\n\n") {
+                    break;
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    let body = handle.report().render_prometheus();
+    let header = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::{ServiceConfig, WalkService};
+
+    #[test]
+    fn scrape_returns_prometheus_text() {
+        let (_service, handle) = WalkService::new(ServiceConfig::default());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let h = handle.clone();
+        let t = thread::spawn(move || metrics_listener(listener, h));
+
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut resp = String::new();
+        conn.read_to_string(&mut resp).unwrap();
+        assert!(resp.starts_with("HTTP/1.1 200 OK\r\n"), "{resp}");
+        assert!(resp.contains("text/plain; version=0.0.4"));
+        let body = resp.split("\r\n\r\n").nth(1).unwrap();
+        assert!(body.contains("kk_requests_admitted_total 0"));
+        assert!(body.contains("kk_supersteps_total 0"));
+        // Content-Length matches the body exactly.
+        let len: usize = resp
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        assert_eq!(len, body.len());
+
+        handle.shutdown();
+        t.join().unwrap().unwrap();
+    }
+}

@@ -19,12 +19,15 @@ use knightking_graph::VertexId;
 use knightking_net::frame::{read_frame, tag, write_frame};
 use knightking_net::{from_bytes, to_bytes, Wire, WireError};
 
+use crate::stats::StatsReport;
+
 /// First four bytes a query client sends ("KnightKing SerVe").
 pub const SERVE_MAGIC: [u8; 4] = *b"KKSV";
 
 /// Serve-protocol version, bumped on any wire change. Version 2 added
-/// [`Request::Update`] and [`Status::Updated`].
-pub const SERVE_VERSION: u16 = 2;
+/// [`Request::Update`] and [`Status::Updated`]; version 3 added
+/// [`Request::Stats`] and [`Status::Stats`].
+pub const SERVE_VERSION: u16 = 3;
 
 /// Where a request's walkers start.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -115,6 +118,10 @@ pub enum Request {
     /// [`Status::Invalid`] if the batch references out-of-range vertices
     /// or the served graph is a static CSR.
     Update(UpdateBatch),
+    /// Ask for a live stats snapshot. Answered with [`Status::Stats`];
+    /// never queued — the listener reads the shared stats directly, so a
+    /// busy or draining service still answers.
+    Stats,
 }
 
 impl Wire for Request {
@@ -123,6 +130,7 @@ impl Wire for Request {
             Request::Walk(r) => r.wire_size(),
             Request::Shutdown => 0,
             Request::Update(b) => b.wire_size(),
+            Request::Stats => 0,
         }
     }
     fn encode(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
@@ -139,6 +147,10 @@ impl Wire for Request {
                 out.push(2);
                 b.encode(out)
             }
+            Request::Stats => {
+                out.push(3);
+                Ok(())
+            }
         }
     }
     fn decode(input: &mut &[u8]) -> io::Result<Self> {
@@ -146,6 +158,7 @@ impl Wire for Request {
             0 => Ok(Request::Walk(WalkRequest::decode(input)?)),
             1 => Ok(Request::Shutdown),
             2 => Ok(Request::Update(UpdateBatch::decode(input)?)),
+            3 => Ok(Request::Stats),
             b => Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("wire: invalid Request tag {b}"),
@@ -179,6 +192,8 @@ pub enum Status {
         /// The graph epoch the batch created.
         epoch: u64,
     },
+    /// A live stats snapshot (the answer to [`Request::Stats`]).
+    Stats(Box<StatsReport>),
 }
 
 impl Wire for Status {
@@ -188,6 +203,7 @@ impl Wire for Status {
             Status::Rejected { retry_after_ms } => retry_after_ms.wire_size(),
             Status::Invalid(msg) => 4 + msg.len(),
             Status::Updated { epoch } => epoch.wire_size(),
+            Status::Stats(r) => r.wire_size(),
         }
     }
     fn encode(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
@@ -207,6 +223,10 @@ impl Wire for Status {
             Status::Updated { epoch } => {
                 out.push(5);
                 epoch.encode(out)?;
+            }
+            Status::Stats(r) => {
+                out.push(6);
+                r.encode(out)?;
             }
         }
         Ok(())
@@ -237,6 +257,7 @@ impl Wire for Status {
             5 => Ok(Status::Updated {
                 epoch: u64::decode(input)?,
             }),
+            6 => Ok(Status::Stats(Box::new(StatsReport::decode(input)?))),
             b => Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("wire: invalid Status tag {b}"),
@@ -373,6 +394,7 @@ mod tests {
             }],
         }));
         round_trips(Request::Update(UpdateBatch::default()));
+        round_trips(Request::Stats);
     }
 
     #[test]
@@ -399,6 +421,25 @@ mod tests {
         });
         round_trips(WalkResponse {
             status: Status::Updated { epoch: 12 },
+            paths: Vec::new(),
+        });
+        let mut report = StatsReport {
+            admitted: 4,
+            completed: 3,
+            supersteps: 99,
+            latency_p99_us: 1234,
+            phase_ns: [9, 8, 7, 6, 5, 4, 3, 2],
+            ..StatsReport::default()
+        };
+        report.series.push(crate::stats::SeriesPoint {
+            superstep: 98,
+            active_walkers: 6,
+            queue_depth: 1,
+            admitted: 4,
+            completed: 3,
+        });
+        round_trips(WalkResponse {
+            status: Status::Stats(Box::new(report)),
             paths: Vec::new(),
         });
     }

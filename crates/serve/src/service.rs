@@ -25,7 +25,8 @@ use knightking_dyn::{DynGraph, UpdateBatch};
 use knightking_graph::VertexId;
 
 use crate::protocol::{StartSpec, Status, WalkRequest, WalkResponse};
-use crate::stats::ServeStats;
+use crate::stats::{SeriesPoint, ServeStats, StatsReport};
+use crate::trace::TraceLog;
 
 /// Admission-control knobs.
 #[derive(Debug, Clone)]
@@ -38,6 +39,10 @@ pub struct ServiceConfig {
     pub max_admit_per_superstep: usize,
     /// `retry_after_ms` carried by rejections.
     pub retry_after_ms: u64,
+    /// Trace one of every `trace_sample` admitted requests (`0` disables
+    /// tracing). Sampling keeps heavy traffic cheap: untraced requests
+    /// record nothing anywhere.
+    pub trace_sample: u64,
 }
 
 impl Default for ServiceConfig {
@@ -46,6 +51,7 @@ impl Default for ServiceConfig {
             queue_capacity: 64,
             max_admit_per_superstep: 8,
             retry_after_ms: 50,
+            trace_sample: 0,
         }
     }
 }
@@ -70,6 +76,7 @@ pub(crate) struct ServeShared {
     updates: Mutex<VecDeque<QueuedUpdate>>,
     shutdown: AtomicBool,
     stats: Mutex<ServeStats>,
+    trace: Mutex<TraceLog>,
     conns: AtomicUsize,
 }
 
@@ -171,6 +178,23 @@ impl ServiceHandle {
         lock(&self.shared.stats).clone()
     }
 
+    /// The flat stats snapshot served to `Request::Stats` clients and
+    /// the metrics endpoint. Locks stats and the trace log in sequence
+    /// (never nested).
+    pub fn report(&self) -> StatsReport {
+        let stats = lock(&self.shared.stats).clone();
+        let (spans, dropped) = {
+            let t = lock(&self.shared.trace);
+            (t.len() as u64, t.dropped())
+        };
+        stats.report(spans, dropped)
+    }
+
+    /// A snapshot of the gathered trace log (spans from every rank).
+    pub fn trace_log(&self) -> TraceLog {
+        lock(&self.shared.trace).clone()
+    }
+
     /// Listener connections currently open (used to drain writers before
     /// process exit).
     pub fn active_connections(&self) -> usize {
@@ -210,6 +234,7 @@ impl WalkService {
             updates: Mutex::new(VecDeque::new()),
             shutdown: AtomicBool::new(false),
             stats: Mutex::new(ServeStats::default()),
+            trace: Mutex::new(TraceLog::default()),
             conns: AtomicUsize::new(0),
         });
         (
@@ -345,6 +370,17 @@ pub(crate) struct QueueDriver<'g> {
     /// fragment's owner is the greatest base at or below its walker id
     /// (checked against the request's range before accepting).
     bases: BTreeMap<u64, u64>,
+    /// The latest cumulative [`LiveSample`] per node, refreshed from
+    /// each superstep's deltas.
+    ///
+    /// [`LiveSample`]: knightking_core::LiveSample
+    live_nodes: Vec<knightking_core::LiveSample>,
+    /// Requests admitted so far, for trace sampling (request `k` is
+    /// traced when `k % trace_sample == 0`).
+    admit_seq: u64,
+    /// Tags of in-flight traced requests, so their completion can end
+    /// the trace on every node via `Directives::end_traces`.
+    traced: Vec<u64>,
 }
 
 impl<'g> QueueDriver<'g> {
@@ -360,6 +396,9 @@ impl<'g> QueueDriver<'g> {
             next_base: 0,
             pending: HashMap::new(),
             bases: BTreeMap::new(),
+            live_nodes: Vec::new(),
+            admit_seq: 0,
+            traced: Vec::new(),
         }
     }
 
@@ -396,8 +435,16 @@ impl<'g> QueueDriver<'g> {
 }
 
 impl ServeDriver for QueueDriver<'_> {
-    fn absorb(&mut self, _node: usize, delta: ServeDelta) {
+    fn absorb(&mut self, node: usize, delta: ServeDelta) {
         self.min_pinned = self.min_pinned.min(delta.min_pinned);
+        if self.live_nodes.len() <= node {
+            self.live_nodes
+                .resize(node + 1, knightking_core::LiveSample::default());
+        }
+        self.live_nodes[node] = delta.live;
+        if !delta.spans.is_empty() {
+            lock(&self.shared.trace).extend(delta.spans);
+        }
         for e in delta.paths {
             // Route by id range. Fragments of killed requests find either
             // no base or a foreign range and are dropped.
@@ -422,6 +469,12 @@ impl ServeDriver for QueueDriver<'_> {
         let shared = self.shared.clone();
         let mut stats = lock(&shared.stats);
         stats.supersteps += 1;
+        stats.apply_live(&self.live_nodes);
+        stats.epoch = self.epoch;
+        // Lag of the oldest pinned walker behind the live epoch (0 when
+        // idle or fully caught up). min_pinned is this superstep's
+        // gather; it resets below after retirement uses it.
+        stats.pinned_lag = self.epoch - self.min_pinned.min(self.epoch);
 
         // Completions first: every walker of the request has landed.
         let done: Vec<u64> = self
@@ -432,6 +485,10 @@ impl ServeDriver for QueueDriver<'_> {
             .collect();
         let completed_now = done.len() as u64;
         for tag in done {
+            if let Some(i) = self.traced.iter().position(|&t| t == tag) {
+                self.traced.swap_remove(i);
+                dir.end_traces.push(tag);
+            }
             self.complete(tag, &mut stats);
         }
         stats.completed_per_superstep.record(completed_now);
@@ -448,6 +505,9 @@ impl ServeDriver for QueueDriver<'_> {
         for tag in overdue {
             let p = self.pending.remove(&tag).expect("expiring a known tag");
             self.bases.remove(&p.base);
+            // Traced tags leave `traced` too: the kill directive already
+            // ends span recording on every node.
+            self.traced.retain(|&t| t != tag);
             dir.kill.push(tag);
             stats.deadline_exceeded += 1;
             let _ = p.responder.send(WalkResponse {
@@ -550,16 +610,32 @@ impl ServeDriver for QueueDriver<'_> {
                     responder: q.responder,
                 },
             );
+            let trace = shared.cfg.trace_sample > 0
+                && self.admit_seq.is_multiple_of(shared.cfg.trace_sample);
+            self.admit_seq += 1;
+            if trace {
+                self.traced.push(tag);
+            }
             dir.admit.push(AdmitRequest {
                 tag,
                 base_id: base,
                 seed: q.req.seed,
                 starts,
+                trace,
             });
             stats.admitted += 1;
             admitted_now += 1;
         }
         stats.admitted_per_superstep.record(admitted_now);
+        stats.queue_len = queue.len() as u64;
+        let point = SeriesPoint {
+            superstep: stats.supersteps,
+            active_walkers: stats.active_walkers,
+            queue_depth: stats.queue_len,
+            admitted: stats.admitted,
+            completed: stats.completed,
+        };
+        stats.series.push(point);
 
         // Drain-then-exit: requests already queued at shutdown are still
         // admitted and finished; only new submissions are refused (the

@@ -1,0 +1,226 @@
+//! Leader-side trace log for sampled request traces.
+//!
+//! Nodes record [`SpanEvent`]s for traced requests at superstep
+//! boundaries and ship them in their `ServeDelta`s; the leader's
+//! `QueueDriver` appends them here. The log is bounded (newest spans are
+//! dropped when full, and counted — a truncated trace must never look
+//! complete) and exports two formats: the repo's JSONL schema (`span`
+//! lines) and the Chrome trace-event format, which Perfetto and
+//! `chrome://tracing` open directly.
+//!
+//! In the Chrome export a span's *process* is the rank that recorded it
+//! and its *thread* is the trace id, so one request's timeline reads as
+//! one lane per rank and concurrent requests stack vertically.
+
+use std::io::{self, Write};
+
+use knightking_core::SpanEvent;
+
+/// Default trace-log capacity: enough for thousands of traced requests
+/// while bounding resident memory (~3 MB of spans).
+pub const TRACE_LOG_CAP: usize = 65_536;
+
+/// A bounded log of span events gathered from every rank.
+#[derive(Debug, Clone)]
+pub struct TraceLog {
+    cap: usize,
+    spans: Vec<SpanEvent>,
+    dropped: u64,
+}
+
+impl Default for TraceLog {
+    fn default() -> Self {
+        TraceLog::new(TRACE_LOG_CAP)
+    }
+}
+
+impl TraceLog {
+    /// A log holding at most `cap` spans (`cap` ≥ 1).
+    pub fn new(cap: usize) -> Self {
+        TraceLog {
+            cap: cap.max(1),
+            spans: Vec::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Appends a span, dropping (and counting) it if the log is full.
+    /// Oldest spans win: a trace's admit event is the anchor the rest of
+    /// its timeline hangs off.
+    pub fn push(&mut self, span: SpanEvent) {
+        if self.spans.len() < self.cap {
+            self.spans.push(span);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Appends every span of an iterator.
+    pub fn extend(&mut self, spans: impl IntoIterator<Item = SpanEvent>) {
+        for s in spans {
+            self.push(s);
+        }
+    }
+
+    /// Spans retained, in arrival order.
+    pub fn spans(&self) -> &[SpanEvent] {
+        &self.spans
+    }
+
+    /// Number of retained spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether the log holds no spans.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Spans dropped because the log was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Writes one `span` JSONL line per retained span, plus a final
+    /// `spans_dropped` line when any were lost.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from `w`.
+    pub fn write_jsonl<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        for s in &self.spans {
+            writeln!(
+                w,
+                "{{\"type\":\"span\",\"trace\":{},\"node\":{},\"superstep\":{},\
+                 \"ts_us\":{},\"dur_us\":{},\"kind\":\"{}\",\"value\":{}}}",
+                s.trace,
+                s.node,
+                s.superstep,
+                s.ts_us,
+                s.dur_us,
+                s.kind.name(),
+                s.kind.value()
+            )?;
+        }
+        if self.dropped > 0 {
+            writeln!(
+                w,
+                "{{\"type\":\"spans_dropped\",\"count\":{}}}",
+                self.dropped
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Writes the Chrome trace-event JSON rendering: one complete (`X`)
+    /// event per span with `pid` = rank and `tid` = trace id. Zero-length
+    /// spans get a 1 µs duration so viewers draw them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from `w`.
+    pub fn write_chrome_trace<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        write!(w, "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")?;
+        for (i, s) in self.spans.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            write!(
+                w,
+                "{sep}\n{{\"name\":\"{}\",\"cat\":\"walk\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                 \"pid\":{},\"tid\":{},\"args\":{{\"superstep\":{},\"value\":{}}}}}",
+                s.kind.name(),
+                s.ts_us,
+                s.dur_us.max(1),
+                s.node,
+                s.trace,
+                s.superstep,
+                s.kind.value()
+            )?;
+        }
+        writeln!(w, "\n]}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knightking_core::SpanEventKind;
+
+    fn span(trace: u64, node: u32, kind: SpanEventKind) -> SpanEvent {
+        SpanEvent {
+            trace,
+            node,
+            superstep: 4,
+            ts_us: 100,
+            dur_us: 25,
+            kind,
+        }
+    }
+
+    #[test]
+    fn bounded_and_counts_drops() {
+        let mut log = TraceLog::new(2);
+        log.push(span(1, 0, SpanEventKind::Admit { walkers: 2 }));
+        log.push(span(1, 0, SpanEventKind::Superstep { hops: 2 }));
+        log.push(span(1, 0, SpanEventKind::Complete { walkers: 2 }));
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.dropped(), 1);
+        // Oldest retained: the admit anchor survives.
+        assert!(matches!(log.spans()[0].kind, SpanEventKind::Admit { .. }));
+    }
+
+    #[test]
+    fn jsonl_emits_span_lines_and_drop_marker() {
+        let mut log = TraceLog::new(1);
+        log.push(span(7, 1, SpanEventKind::Exchange { bytes: 512 }));
+        log.push(span(7, 1, SpanEventKind::Kill));
+        let mut buf = Vec::new();
+        log.write_jsonl(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"type\":\"span\""));
+        assert!(lines[0].contains("\"kind\":\"exchange\""));
+        assert!(lines[0].contains("\"value\":512"));
+        assert!(lines[1].contains("\"type\":\"spans_dropped\""));
+        assert!(lines[1].contains("\"count\":1"));
+    }
+
+    #[test]
+    fn chrome_trace_shape() {
+        let mut log = TraceLog::default();
+        log.push(span(3, 0, SpanEventKind::Admit { walkers: 5 }));
+        log.push(SpanEvent {
+            dur_us: 0,
+            ..span(3, 1, SpanEventKind::Superstep { hops: 5 })
+        });
+        let mut buf = Vec::new();
+        log.write_chrome_trace(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(text.trim_end().ends_with("]}"));
+        assert!(text.contains("\"ph\":\"X\""));
+        assert!(text.contains("\"pid\":1"));
+        assert!(text.contains("\"tid\":3"));
+        // Zero-duration spans are widened so viewers draw them.
+        assert!(text.contains("\"dur\":1"));
+        // Balanced braces/brackets — structurally valid JSON.
+        assert_eq!(
+            text.matches(['{', '[']).count(),
+            text.matches(['}', ']']).count()
+        );
+    }
+
+    #[test]
+    fn empty_log_exports_are_valid() {
+        let log = TraceLog::default();
+        let mut buf = Vec::new();
+        log.write_jsonl(&mut buf).unwrap();
+        assert!(buf.is_empty());
+        let mut buf = Vec::new();
+        log.write_chrome_trace(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("\"traceEvents\":["));
+        assert!(log.is_empty());
+    }
+}

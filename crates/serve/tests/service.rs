@@ -4,7 +4,9 @@
 use std::thread;
 use std::time::Duration;
 
-use knightking_core::{RandomWalkEngine, WalkConfig, Walker, WalkerProgram, WalkerStarts};
+use knightking_core::{
+    RandomWalkEngine, SpanEventKind, WalkConfig, Walker, WalkerProgram, WalkerStarts,
+};
 use knightking_graph::gen;
 use knightking_serve::{ServiceConfig, StartSpec, Status, WalkRequest, WalkService};
 use knightking_walks::Node2Vec;
@@ -94,6 +96,130 @@ fn served_walks_interleave_without_cross_talk() {
     assert_eq!(b.status, Status::Ok);
     assert_eq!(a.paths, batch_a.paths);
     assert_eq!(b.paths, batch_b.paths);
+}
+
+/// Tracing and profiling must be pure observers: with `trace_sample: 1`
+/// and the obs profile on, served paths are still byte-identical to an
+/// untraced batch run, and the gathered trace log holds the request's
+/// full admit → superstep(s) → complete timeline.
+#[test]
+fn traced_request_is_byte_identical_and_leaves_spans() {
+    let graph = test_graph();
+    let program = || Node2Vec::new(2.0, 0.5, 20);
+
+    let batch = RandomWalkEngine::new(&graph, program(), WalkConfig::single_node(7))
+        .run(WalkerStarts::Count(16));
+
+    let cfg = ServiceConfig {
+        trace_sample: 1,
+        ..ServiceConfig::default()
+    };
+    let (service, handle) = WalkService::new(cfg);
+    let client = handle.clone();
+    let asker = thread::spawn(move || {
+        let rx = client.submit(WalkRequest {
+            seed: 7,
+            starts: StartSpec::Count(16),
+            deadline_ms: 0,
+        });
+        let resp = rx.recv().expect("service dropped the responder");
+        client.shutdown();
+        resp
+    });
+    let mut walk_cfg = WalkConfig::single_node(999);
+    walk_cfg.profile = true;
+    service.run(&graph, program(), walk_cfg);
+    let resp = asker.join().unwrap();
+
+    assert_eq!(resp.status, Status::Ok);
+    assert_eq!(resp.paths, batch.paths, "tracing must not perturb walks");
+
+    // The trace log tells the request's whole story.
+    let log = handle.trace_log();
+    assert_eq!(log.dropped(), 0);
+    let spans = log.spans();
+    let admits: Vec<_> = spans
+        .iter()
+        .filter(|s| matches!(s.kind, SpanEventKind::Admit { .. }))
+        .collect();
+    assert_eq!(admits.len(), 1, "one traced request, one admit anchor");
+    let trace_id = admits[0].trace;
+    assert!(matches!(
+        admits[0].kind,
+        SpanEventKind::Admit { walkers: 16 }
+    ));
+    assert!(
+        spans
+            .iter()
+            .any(|s| matches!(s.kind, SpanEventKind::Superstep { hops } if hops > 0)),
+        "a 20-hop walk must record superstep spans"
+    );
+    let completed: u64 = spans
+        .iter()
+        .filter(|s| s.trace == trace_id)
+        .map(|s| match s.kind {
+            SpanEventKind::Complete { walkers } => walkers,
+            _ => 0,
+        })
+        .sum();
+    assert_eq!(completed, 16, "every admitted walker must complete");
+    assert!(spans.iter().all(|s| s.trace == trace_id && s.node == 0));
+
+    // The flat report sees the same life: one request admitted and
+    // completed, a populated series, and the span count.
+    let report = handle.report();
+    assert_eq!(report.admitted, 1);
+    assert_eq!(report.completed, 1);
+    assert!(report.supersteps > 0);
+    assert!(report.steps >= 16 * 20, "16 walkers × 20 hops of work");
+    assert_eq!(report.spans, spans.len() as u64);
+    assert_eq!(report.spans_dropped, 0);
+    assert!(!report.series.is_empty());
+    assert!(report.series.iter().any(|p| p.active_walkers > 0));
+    // Exposition renders without panicking and names the request count.
+    assert!(report
+        .render_prometheus()
+        .contains("kk_requests_completed_total 1"));
+}
+
+/// `trace_sample: 3` traces every third admission: the sampler is
+/// deterministic (admission order), so exactly requests 0 and 3 of four
+/// leave spans.
+#[test]
+fn trace_sampling_traces_every_nth_request() {
+    let graph = test_graph();
+    let cfg = ServiceConfig {
+        trace_sample: 3,
+        ..ServiceConfig::default()
+    };
+    let (service, handle) = WalkService::new(cfg);
+    let client = handle.clone();
+    let asker = thread::spawn(move || {
+        let rxs: Vec<_> = (0..4)
+            .map(|i| {
+                client.submit(WalkRequest {
+                    seed: i,
+                    starts: StartSpec::Count(2),
+                    deadline_ms: 0,
+                })
+            })
+            .collect();
+        for rx in rxs {
+            assert_eq!(rx.recv().unwrap().status, Status::Ok);
+        }
+        client.shutdown();
+    });
+    service.run(&graph, Fixed(6), WalkConfig::single_node(0));
+    asker.join().unwrap();
+
+    let log = handle.trace_log();
+    let admits = log
+        .spans()
+        .iter()
+        .filter(|s| matches!(s.kind, SpanEventKind::Admit { .. }))
+        .count();
+    assert_eq!(admits, 2, "admissions 0 and 3 of 4 are sampled at N=3");
+    assert_eq!(handle.report().admitted, 4);
 }
 
 /// A full queue rejects immediately with the configured retry-after —

@@ -5,7 +5,9 @@
 use std::net::TcpListener;
 use std::thread;
 
-use knightking_core::{RandomWalkEngine, WalkConfig, Walker, WalkerProgram, WalkerStarts};
+use knightking_core::{
+    RandomWalkEngine, SpanEventKind, WalkConfig, Walker, WalkerProgram, WalkerStarts,
+};
 use knightking_graph::gen;
 use knightking_net::{reserve_loopback_addrs, TcpConfig, TcpTransport};
 use knightking_serve::{
@@ -80,4 +82,118 @@ fn tcp_served_query_matches_batch_and_shuts_down() {
     });
 
     assert_eq!(handle.stats().completed, 1);
+}
+
+/// The same cluster with tracing and profiling on: paths stay
+/// byte-identical, a `Request::Stats` round trip returns a live
+/// [`StatsReport`], and the gathered trace log holds spans from *both*
+/// ranks — the distributed timeline the Chrome export renders.
+#[test]
+fn tcp_traced_query_gathers_spans_from_both_ranks() {
+    let graph = gen::uniform_degree(80, 5, gen::GenOptions::seeded(23));
+    let batch = RandomWalkEngine::new(&graph, Fixed(9), WalkConfig::single_node(7))
+        .run(WalkerStarts::Count(12));
+
+    let peers = reserve_loopback_addrs(2).unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+
+    let cfg = ServiceConfig {
+        trace_sample: 1,
+        ..ServiceConfig::default()
+    };
+    let (service, handle) = WalkService::new(cfg);
+    let mut walk_cfg = WalkConfig::with_nodes(2, 999);
+    walk_cfg.profile = true;
+
+    thread::scope(|scope| {
+        let graph = &graph;
+        let service = &service;
+        let walk_cfg = &walk_cfg;
+
+        let peers0 = peers.clone();
+        scope.spawn(move || {
+            let mut t = TcpTransport::establish(TcpConfig::new(0, peers0, 0x5E13)).unwrap();
+            service.run_leader(graph, Fixed(9), walk_cfg.clone(), &mut t);
+        });
+
+        let peers1 = peers.clone();
+        scope.spawn(move || {
+            let mut t = TcpTransport::establish(TcpConfig::new(1, peers1, 0x5E13)).unwrap();
+            WalkService::run_worker(graph, Fixed(9), walk_cfg.clone(), &mut t);
+        });
+
+        let lh = handle.clone();
+        scope.spawn(move || serve_listener(listener, lh).unwrap());
+
+        let mut stream = protocol::connect(addr).unwrap();
+        let resp = protocol::round_trip(
+            &mut stream,
+            41,
+            &Request::Walk(WalkRequest {
+                seed: 7,
+                starts: StartSpec::Count(12),
+                deadline_ms: 0,
+            }),
+        )
+        .unwrap();
+        assert_eq!(resp.status, Status::Ok);
+        assert_eq!(resp.paths, batch.paths, "tracing must not perturb walks");
+
+        // A live stats snapshot over the same wire protocol.
+        let stats = protocol::round_trip(&mut stream, 42, &Request::Stats).unwrap();
+        match stats.status {
+            Status::Stats(report) => {
+                assert_eq!(report.admitted, 1);
+                assert_eq!(report.completed, 1);
+                assert!(report.supersteps > 0);
+                assert!(report.spans > 0, "completed trace must be gathered");
+                assert!(report
+                    .render_prometheus()
+                    .contains("kk_requests_completed_total 1"));
+            }
+            other => panic!("expected Stats, got {other:?}"),
+        }
+
+        let ack = protocol::round_trip(&mut stream, 43, &Request::Shutdown).unwrap();
+        assert_eq!(ack.status, Status::Ok);
+    });
+
+    // The gathered log shows the request on both ranks.
+    let log = handle.trace_log();
+    assert_eq!(log.dropped(), 0);
+    let spans = log.spans();
+    for node in [0u32, 1] {
+        assert!(
+            spans.iter().any(|s| s.node == node),
+            "expected spans from rank {node}"
+        );
+    }
+    let trace_id = spans[0].trace;
+    assert!(spans.iter().all(|s| s.trace == trace_id));
+    let admitted: u64 = spans
+        .iter()
+        .map(|s| match s.kind {
+            SpanEventKind::Admit { walkers } => walkers,
+            _ => 0,
+        })
+        .sum();
+    let completed: u64 = spans
+        .iter()
+        .map(|s| match s.kind {
+            SpanEventKind::Complete { walkers } => walkers,
+            _ => 0,
+        })
+        .sum();
+    assert_eq!(admitted, 12, "admit spans across ranks cover every walker");
+    assert_eq!(
+        completed, 12,
+        "complete spans across ranks cover every walker"
+    );
+
+    // The export is one coherent Chrome trace across both processes.
+    let mut buf = Vec::new();
+    log.write_chrome_trace(&mut buf).unwrap();
+    let text = String::from_utf8(buf).unwrap();
+    assert!(text.contains("\"pid\":0") && text.contains("\"pid\":1"));
 }

@@ -21,7 +21,9 @@ use knightking::dynamic::{DynConfig, DynGraph, EdgeAdd, EdgeRef, EdgeReweight, U
 use knightking::graph::{binfmt, gen, io as gio};
 use knightking::net::reserve_loopback_addrs;
 use knightking::prelude::*;
-use knightking::serve::{protocol, serve_listener, signal, Request, Status, WalkService};
+use knightking::serve::{
+    metrics_listener, protocol, serve_listener, signal, Request, Status, WalkService,
+};
 use knightking::walks::analysis;
 
 /// Minimal flag parser: `--key value` pairs plus boolean `--key` flags.
@@ -509,6 +511,7 @@ fn serve_program<P: WalkerProgram>(
         queue_capacity: args.parse_num("queue-capacity", 64)?,
         max_admit_per_superstep: args.parse_num("max-admit", 8)?,
         retry_after_ms: args.parse_num("retry-after", 50)?,
+        trace_sample: args.parse_num("trace-sample", 0)?,
     };
     let listen = args.get("listen").unwrap_or("127.0.0.1:0");
     let listener =
@@ -536,9 +539,28 @@ fn serve_program<P: WalkerProgram>(
     let accept_handle = handle.clone();
     let accept = std::thread::spawn(move || serve_listener(listener, accept_handle));
 
-    // The parseable readiness line scripts wait for (stdout; logs go to
+    // Optional metrics plane: a second listener serving the Prometheus
+    // text exposition (scraped by Prometheus, `curl`, or `kk top`).
+    let metrics = match args.get("metrics-addr") {
+        Some(maddr) => {
+            let ml = std::net::TcpListener::bind(maddr)
+                .map_err(|e| format!("binding metrics {maddr}: {e}"))?;
+            let bound = ml
+                .local_addr()
+                .map_err(|e| format!("metrics address: {e}"))?;
+            let mh = handle.clone();
+            let t = std::thread::spawn(move || metrics_listener(ml, mh));
+            Some((bound, t))
+        }
+        None => None,
+    };
+
+    // The parseable readiness lines scripts wait for (stdout; logs go to
     // stderr).
     println!("listening on {addr}");
+    if let Some((bound, _)) = &metrics {
+        println!("metrics on {bound}");
+    }
     use std::io::Write as _;
     std::io::stdout().flush().map_err(|e| e.to_string())?;
     eprintln!(
@@ -551,7 +573,12 @@ fn serve_program<P: WalkerProgram>(
         }
     );
 
-    service.run(graph, program, WalkConfig::with_nodes(nodes, seed));
+    // The live metrics plane (phase breakdown, exchange bytes) rides the
+    // obs profile; the service folds it in bounded live mode, so it is
+    // always on for a resident loop.
+    let mut wcfg = WalkConfig::with_nodes(nodes, seed);
+    wcfg.profile = true;
+    service.run(graph, program, wcfg);
 
     // Give connection threads a bounded window to flush final responses.
     let t0 = std::time::Instant::now();
@@ -562,6 +589,11 @@ fn serve_program<P: WalkerProgram>(
         .join()
         .map_err(|_| "accept loop panicked".to_string())?
         .map_err(|e| format!("accept loop: {e}"))?;
+    if let Some((_, t)) = metrics {
+        t.join()
+            .map_err(|_| "metrics loop panicked".to_string())?
+            .map_err(|e| format!("metrics loop: {e}"))?;
+    }
 
     let stats = handle.stats();
     if args.has("stats") {
@@ -572,11 +604,71 @@ fn serve_program<P: WalkerProgram>(
         let mut out = std::io::BufWriter::new(file);
         stats
             .write_jsonl(&mut out)
+            .and_then(|()| handle.trace_log().write_jsonl(&mut out))
             .and_then(|()| out.flush())
             .map_err(|e| format!("writing {path}: {e}"))?;
         eprintln!("serve stats written to {path}");
     }
+    if let Some(path) = args.get("trace-output") {
+        let log = handle.trace_log();
+        let file = std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?;
+        let mut out = std::io::BufWriter::new(file);
+        log.write_chrome_trace(&mut out)
+            .and_then(|()| out.flush())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!(
+            "trace written to {path} ({} spans, {} dropped) — open in Perfetto or chrome://tracing",
+            log.len(),
+            log.dropped()
+        );
+    }
     Ok(())
+}
+
+/// `kk top`: poll a service's stats endpoint and render a refreshing
+/// dashboard — request/latency/phase breakdown plus an active-walker
+/// sparkline, over the same KKSV protocol `kk query` speaks.
+fn cmd_top(args: &Args) -> Result<(), String> {
+    let addr = args.require("addr")?;
+    let interval = std::time::Duration::from_millis(args.parse_num("interval-ms", 1000)?);
+    // `--once` prints a single plain frame (CI-friendly); `--count N`
+    // stops after N frames; the default refreshes until ^C or disconnect.
+    let frames: u64 = if args.has("once") {
+        1
+    } else {
+        args.parse_num("count", 0)?
+    };
+    let mut stream = protocol::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    let mut seq = 1u64;
+    loop {
+        let resp = match protocol::round_trip(&mut stream, seq, &Request::Stats) {
+            Ok(r) => r,
+            // The service shut down between polls: exit cleanly, like
+            // `top` on a host going away.
+            Err(_) if seq > 1 => {
+                eprintln!("service at {addr} went away");
+                return Ok(());
+            }
+            Err(e) => return Err(format!("polling {addr}: {e}")),
+        };
+        let report = match resp.status {
+            Status::Stats(report) => report,
+            other => return Err(format!("unexpected stats reply: {other:?}")),
+        };
+        if frames != 1 {
+            // Clear and home between frames so the dashboard refreshes in
+            // place rather than scrolling.
+            print!("\x1b[2J\x1b[H");
+        }
+        print!("{}", report.render_dashboard());
+        use std::io::Write as _;
+        std::io::stdout().flush().map_err(|e| e.to_string())?;
+        if frames > 0 && seq >= frames {
+            return Ok(());
+        }
+        seq += 1;
+        std::thread::sleep(interval);
+    }
 }
 
 /// `kk query`: one-shot client for a running `kk serve`.
@@ -636,6 +728,7 @@ fn cmd_query(args: &Args) -> Result<(), String> {
                     "unexpected update ack (epoch {epoch}) for a walk request"
                 ))
             }
+            Status::Stats(_) => return Err("unexpected stats reply for a walk request".to_string()),
         }
     }
 
@@ -1021,13 +1114,23 @@ USAGE:
               [--max-admit A] [--retry-after MS] [--seed S]
               [--dynamic] [--compact-ratio R]
               [--stats] [--stats-output serve.jsonl]
+              [--metrics-addr 127.0.0.1:0] [--trace-sample N]
+              [--trace-output trace.json]
               load the graph once, print `listening on <addr>`, and serve
               walk queries until `kk query --shutdown` or SIGINT/SIGTERM;
-              with --dynamic the graph accepts live `kk update` batches
+              with --dynamic the graph accepts live `kk update` batches;
+              --metrics-addr binds a Prometheus text endpoint (printed as
+              `metrics on <addr>`), --trace-sample N traces every Nth
+              request, and --trace-output writes the gathered spans as
+              Chrome trace-event JSON (Perfetto / chrome://tracing)
   kk query    --addr <host:port> [--walkers N | --start v1,v2,...]
               [--seed S] [--deadline MS] [--output paths.txt] [--shutdown]
               served paths are byte-identical to `kk walk` with the same
               seed and starts
+  kk top      --addr <host:port> [--interval-ms MS] [--count N] [--once]
+              live dashboard for a running `kk serve`: requests, latency
+              quantiles, phase breakdown, and an active-walker sparkline;
+              --once prints a single plain frame (for scripts/CI)
   kk update   --addr <host:port> --updates <file>
               send an edge update batch to a running `kk serve --dynamic`;
               the file has one op per line: `add src dst [weight] [type]`,
@@ -1055,7 +1158,7 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
     let bool_flags = [
-        "weighted", "typed", "directed", "stats", "shutdown", "dynamic",
+        "weighted", "typed", "directed", "stats", "shutdown", "dynamic", "once",
     ];
     let result = if cmd == "cluster" {
         // `--` separates cluster flags from the walk invocation.
@@ -1078,6 +1181,7 @@ fn main() -> ExitCode {
                 "serve" => cmd_serve(&args),
                 "query" => cmd_query(&args),
                 "update" => cmd_update(&args),
+                "top" => cmd_top(&args),
                 "embed" => cmd_embed(&args),
                 "help" | "--help" | "-h" => {
                     print!("{USAGE}");

@@ -32,29 +32,71 @@ fn generate(graph: &Path) {
     );
 }
 
-/// Spawns `kk serve` and reads its readiness line for the bound address.
-fn spawn_serve(graph: &Path) -> (Child, String) {
+/// Spawns `kk serve` with extra flags and reads its readiness lines:
+/// the query address, plus the metrics address when `--metrics-addr`
+/// was among `extra`.
+fn spawn_serve_with(graph: &Path, extra: &[&str]) -> (Child, String, Option<String>) {
+    let wants_metrics = extra.contains(&"--metrics-addr");
     let mut child = kk()
         .args(["serve", "--graph", graph.to_str().unwrap()])
         .args([
             "--algo", "node2vec", "--p", "2", "--q", "0.5", "--length", "12",
         ])
         .args(["--listen", "127.0.0.1:0", "--seed", "999"])
+        .args(extra)
         .stdout(Stdio::piped())
         .stderr(Stdio::null())
         .spawn()
         .expect("spawn kk serve");
     let stdout = child.stdout.take().expect("piped stdout");
+    let mut reader = BufReader::new(stdout);
     let mut line = String::new();
-    BufReader::new(stdout)
-        .read_line(&mut line)
-        .expect("read readiness line");
+    reader.read_line(&mut line).expect("read readiness line");
     let addr = line
         .trim()
         .strip_prefix("listening on ")
         .unwrap_or_else(|| panic!("unexpected readiness line: {line:?}"))
         .to_string();
+    let metrics = wants_metrics.then(|| {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read metrics line");
+        line.trim()
+            .strip_prefix("metrics on ")
+            .unwrap_or_else(|| panic!("unexpected metrics line: {line:?}"))
+            .to_string()
+    });
+    (child, addr, metrics)
+}
+
+/// Spawns `kk serve` and reads its readiness line for the bound address.
+fn spawn_serve(graph: &Path) -> (Child, String) {
+    let (child, addr, _) = spawn_serve_with(graph, &[]);
     (child, addr)
+}
+
+/// One plain HTTP scrape of a metrics endpoint, returning the body.
+fn scrape(addr: &str) -> String {
+    use std::io::{Read, Write};
+    let mut conn = std::net::TcpStream::connect(addr).expect("connect to metrics");
+    conn.write_all(b"GET /metrics HTTP/1.1\r\nHost: kk\r\n\r\n")
+        .expect("send scrape");
+    let mut resp = String::new();
+    conn.read_to_string(&mut resp).expect("read scrape");
+    assert!(resp.starts_with("HTTP/1.1 200 OK"), "{resp}");
+    resp.split("\r\n\r\n")
+        .nth(1)
+        .expect("scrape body")
+        .to_string()
+}
+
+/// Pulls one named counter's value out of an exposition body.
+fn metric(body: &str, name: &str) -> u64 {
+    body.lines()
+        .find_map(|l| l.strip_prefix(&format!("{name} ")))
+        .unwrap_or_else(|| panic!("metric {name} missing from exposition:\n{body}"))
+        .trim()
+        .parse()
+        .unwrap_or_else(|_| panic!("metric {name} is not an integer"))
 }
 
 /// Waits for the child with a deadline, killing it on timeout so the test
@@ -143,6 +185,140 @@ fn served_query_matches_kk_walk_and_shutdown_drains() {
 
     let status = wait_with_deadline(&mut child, Duration::from_secs(30));
     assert!(status.success(), "kk serve exited with {status}");
+}
+
+/// The whole observability plane on at once — every request traced, the
+/// metrics endpoint scraped mid-load — must not perturb walks: served
+/// paths stay byte-identical to `kk walk`, the scraped counters are
+/// monotone, `kk top --once` renders, and the exported trace parses as
+/// Chrome trace-event JSON.
+#[test]
+fn observed_serve_stays_byte_identical_and_exports_artifacts() {
+    let graph = tmp("obs.kkg");
+    let batch_out = tmp("obs_batch.txt");
+    let served_out = tmp("obs_query.txt");
+    let trace_out = tmp("obs_trace.json");
+    let stats_out = tmp("obs_stats.jsonl");
+    generate(&graph);
+
+    let out = kk()
+        .args(["walk", "--graph", graph.to_str().unwrap()])
+        .args([
+            "--algo", "node2vec", "--p", "2", "--q", "0.5", "--length", "12",
+        ])
+        .args(["--walkers", "20", "--seed", "7"])
+        .args(["--output", batch_out.to_str().unwrap()])
+        .output()
+        .expect("run kk walk");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let (mut child, addr, metrics_addr) = spawn_serve_with(
+        &graph,
+        &[
+            "--trace-sample",
+            "1",
+            "--metrics-addr",
+            "127.0.0.1:0",
+            "--trace-output",
+            trace_out.to_str().unwrap(),
+            "--stats-output",
+            stats_out.to_str().unwrap(),
+        ],
+    );
+    let metrics_addr = metrics_addr.expect("metrics readiness line");
+
+    let before = scrape(&metrics_addr);
+    let completed_before = metric(&before, "kk_requests_completed_total");
+
+    let out = kk()
+        .args(["query", "--addr", &addr, "--walkers", "20", "--seed", "7"])
+        .args(["--output", served_out.to_str().unwrap()])
+        .output()
+        .expect("run kk query");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        std::fs::read(&batch_out).expect("read batch paths"),
+        std::fs::read(&served_out).expect("read served paths"),
+        "tracing and metrics must not perturb served walks"
+    );
+
+    // The scrape after the query shows the documented metric set with
+    // counters moved monotonically.
+    let after = scrape(&metrics_addr);
+    for name in [
+        "kk_requests_admitted_total",
+        "kk_requests_completed_total",
+        "kk_supersteps_total",
+        "kk_walker_steps_total",
+        "kk_active_walkers",
+        "kk_queue_depth",
+        "kk_trace_spans_total",
+    ] {
+        assert!(
+            after.contains(&format!("{name} ")),
+            "metric {name} missing:\n{after}"
+        );
+    }
+    let completed_after = metric(&after, "kk_requests_completed_total");
+    assert!(completed_after > completed_before);
+    assert!(metric(&after, "kk_walker_steps_total") >= 20 * 12);
+    assert!(metric(&after, "kk_trace_spans_total") > 0);
+
+    // `kk top --once` renders one plain dashboard frame off the live
+    // service.
+    let out = kk()
+        .args(["top", "--addr", &addr, "--once"])
+        .output()
+        .expect("run kk top");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let frame = String::from_utf8_lossy(&out.stdout);
+    assert!(frame.contains("kk top"), "unexpected frame: {frame}");
+    assert!(frame.contains("1 completed"), "unexpected frame: {frame}");
+
+    let out = kk()
+        .args(["query", "--addr", &addr, "--shutdown"])
+        .output()
+        .expect("run kk query --shutdown");
+    assert!(out.status.success());
+    let status = wait_with_deadline(&mut child, Duration::from_secs(30));
+    assert!(status.success(), "kk serve exited with {status}");
+
+    // The exported trace is Chrome trace-event JSON with the request's
+    // admit → superstep(s) → complete timeline.
+    let trace = std::fs::read_to_string(&trace_out).expect("read trace export");
+    assert!(trace.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+    for kind in ["admit", "superstep", "complete"] {
+        assert!(
+            trace.contains(&format!("\"name\":\"{kind}\"")),
+            "trace missing {kind} spans: {trace}"
+        );
+    }
+    assert_eq!(
+        trace.matches(['{', '[']).count(),
+        trace.matches(['}', ']']).count(),
+        "trace JSON must be structurally balanced"
+    );
+
+    // The stats JSONL carries serve, span, and series records.
+    let stats = std::fs::read_to_string(&stats_out).expect("read stats export");
+    for kind in ["serve", "hist", "phase_total", "span", "series"] {
+        assert!(
+            stats.contains(&format!("\"type\":\"{kind}\"")),
+            "stats JSONL missing {kind} records"
+        );
+    }
 }
 
 #[test]

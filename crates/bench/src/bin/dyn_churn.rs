@@ -219,6 +219,7 @@ fn main() {
         report.push(BenchRow {
             label: "static".to_string(),
             ok: r.ok,
+            rejected: 0,
             p50_us: r.hist.quantile(0.5),
             p99_us: r.hist.quantile(0.99),
             max_us: r.hist.max(),
@@ -254,6 +255,7 @@ fn main() {
         report.push(BenchRow {
             label: format!("dynamic, {ops} ops/superstep"),
             ok: r.ok,
+            rejected: 0,
             p50_us: r.hist.quantile(0.5),
             p99_us: r.hist.quantile(0.99),
             max_us: r.hist.max(),

@@ -1,0 +1,440 @@
+//! Serving at connection scale: an **open-loop** load generator against
+//! the real TCP front door.
+//!
+//! The closed-loop predecessor (`serve_latency`) measured in-process
+//! queueing with a handful of clients that each waited for their last
+//! response before sending the next — which silently slows the offered
+//! load exactly when the service stalls (coordinated omission). This
+//! bench instead fixes an *arrival rate* per tenant and sends each
+//! request at its scheduled instant whether or not earlier ones have
+//! answered, over real sockets, while a large pool of idle connections
+//! sits resident in the listener's slab. Latency is measured from the
+//! scheduled send time, so server stalls are charged to every request
+//! they delay.
+//!
+//! One client thread multiplexes every active connection on the same
+//! `knightking-reactor` [`Poller`] the server uses — the bench is also
+//! an exercise of the poll layer from its second consumer.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::io::AsRawFd;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use knightking_bench::emit::{BenchReport, BenchRow};
+use knightking_bench::{graphs::StandIn, HarnessOpts, Table};
+use knightking_core::WalkConfig;
+use knightking_net::frame::{split_frame, tag, write_frame};
+use knightking_net::{from_bytes, to_bytes};
+use knightking_obs::Pow2Histogram;
+use knightking_reactor::{sys, Interest, Poller};
+use knightking_serve::{
+    protocol, serve_listener_with, ListenerConfig, Request, ServiceConfig, StartSpec, Status,
+    WalkRequest, WalkResponse, WalkService,
+};
+use knightking_walks::Node2Vec;
+
+/// One tenant's slice of the offered load.
+struct TenantLoad {
+    name: &'static str,
+    weight: u32,
+    connections: usize,
+    /// Open-loop arrival rate, requests/second across the tenant.
+    rate: f64,
+}
+
+/// Per-tenant measurement sink.
+#[derive(Default)]
+struct TenantOut {
+    ok: u64,
+    rejected: u64,
+    other: u64,
+    hist: Pow2Histogram,
+}
+
+/// One active connection the multiplexer drives.
+struct Conn {
+    stream: TcpStream,
+    tenant: usize,
+    inbuf: Vec<u8>,
+    outbuf: Vec<u8>,
+    writable_armed: bool,
+    /// seq -> scheduled send instant, for open-loop latency.
+    pending: HashMap<u64, Instant>,
+    dead: bool,
+}
+
+/// A scheduled request: fire on `conn` at `due`.
+struct Arrival {
+    due: Duration,
+    conn: usize,
+    seq: u64,
+    seed: u64,
+}
+
+fn flush(conn: &mut Conn, poller: &Poller, key: u64) {
+    while !conn.outbuf.is_empty() {
+        match conn.stream.write(&conn.outbuf) {
+            Ok(0) => {
+                conn.dead = true;
+                return;
+            }
+            Ok(n) => {
+                conn.outbuf.drain(..n);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true;
+                return;
+            }
+        }
+    }
+    // Arm (or disarm) write interest to match the buffer state.
+    let want = !conn.outbuf.is_empty();
+    if want != conn.writable_armed {
+        let interest = if want {
+            Interest::READ_WRITE
+        } else {
+            Interest::READ
+        };
+        if poller.modify(conn.stream.as_raw_fd(), key, interest).is_ok() {
+            conn.writable_armed = want;
+        }
+    }
+}
+
+/// Reads everything available, completing any pending requests whose
+/// responses arrived.
+fn drain_reads(conn: &mut Conn, outs: &mut [TenantOut]) {
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                conn.dead = true;
+                break;
+            }
+            Ok(n) => conn.inbuf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true;
+                break;
+            }
+        }
+    }
+    while let Ok(Some((frame, used))) = split_frame(&conn.inbuf) {
+        conn.inbuf.drain(..used);
+        if frame.tag != tag::RESP {
+            continue;
+        }
+        let Some(sent) = conn.pending.remove(&frame.seq) else {
+            continue;
+        };
+        let out = &mut outs[conn.tenant];
+        match from_bytes::<WalkResponse>(&frame.payload) {
+            Ok(resp) => match resp.status {
+                Status::Ok => {
+                    out.ok += 1;
+                    out.hist.record(sent.elapsed().as_micros() as u64);
+                }
+                Status::Rejected { .. } => out.rejected += 1,
+                _ => out.other += 1,
+            },
+            Err(_) => out.other += 1,
+        }
+    }
+}
+
+/// Runs one open-loop sweep: `loads` tenants firing at their rates for
+/// `duration`, then draining. Returns per-tenant results.
+fn run_sweep(
+    addr: std::net::SocketAddr,
+    loads: &[TenantLoad],
+    duration: Duration,
+    walkers: u64,
+) -> Vec<TenantOut> {
+    let poller = Poller::new().expect("client poller");
+    let mut conns: Vec<Conn> = Vec::new();
+    for (t, load) in loads.iter().enumerate() {
+        for _ in 0..load.connections {
+            let stream = protocol::connect_as(addr, load.name).expect("connect active");
+            stream.set_nonblocking(true).expect("nonblocking");
+            poller
+                .register(stream.as_raw_fd(), conns.len() as u64, Interest::READ)
+                .expect("register");
+            conns.push(Conn {
+                stream,
+                tenant: t,
+                inbuf: Vec::new(),
+                outbuf: Vec::new(),
+                writable_armed: false,
+                pending: HashMap::new(),
+                dead: false,
+            });
+        }
+    }
+
+    // The arrival schedule: each tenant's requests uniformly spaced at
+    // its rate, round-robined over its connections, merged by due time.
+    let mut schedule: Vec<Arrival> = Vec::new();
+    let mut base = 0usize;
+    for load in loads {
+        let n = (load.rate * duration.as_secs_f64()).round() as u64;
+        for i in 0..n {
+            schedule.push(Arrival {
+                due: Duration::from_secs_f64(i as f64 / load.rate),
+                conn: base + (i as usize % load.connections),
+                seq: i + 1,
+                seed: i,
+            });
+        }
+        base += load.connections;
+    }
+    schedule.sort_by_key(|a| a.due);
+
+    let mut outs: Vec<TenantOut> = loads.iter().map(|_| TenantOut::default()).collect();
+    let start = Instant::now();
+    let mut next = 0usize;
+    let mut events = Vec::new();
+    let drain_cap = duration + Duration::from_secs(30);
+    loop {
+        // Fire everything due.
+        let now = start.elapsed();
+        while next < schedule.len() && schedule[next].due <= now {
+            let a = &schedule[next];
+            let conn = &mut conns[a.conn];
+            next += 1;
+            if conn.dead {
+                outs[conn.tenant].other += 1;
+                continue;
+            }
+            let payload = to_bytes(&Request::Walk(WalkRequest {
+                seed: a.seed,
+                starts: StartSpec::Count(walkers),
+                deadline_ms: 0,
+            }))
+            .expect("encode request");
+            write_frame(&mut conn.outbuf, tag::REQ, a.seq, &payload).expect("frame request");
+            // Latency clock starts at the SCHEDULED time: if the client
+            // or server fell behind, that delay is part of the answer.
+            conn.pending.insert(a.seq, start + a.due);
+            let key = a.conn as u64;
+            flush(conn, &poller, key);
+        }
+
+        let outstanding: usize = conns.iter().map(|c| c.pending.len()).sum();
+        if next >= schedule.len() && outstanding == 0 {
+            break;
+        }
+        if start.elapsed() > drain_cap {
+            for c in &conns {
+                outs[c.tenant].other += c.pending.len() as u64;
+            }
+            eprintln!("warning: drain cap hit with {outstanding} responses outstanding");
+            break;
+        }
+
+        // Sleep until the next arrival (or readiness, whichever first).
+        let timeout = if next < schedule.len() {
+            schedule[next].due.saturating_sub(start.elapsed())
+        } else {
+            Duration::from_millis(50)
+        }
+        .min(Duration::from_millis(50));
+        poller
+            .wait(&mut events, Some(timeout.max(Duration::from_millis(1))))
+            .expect("poll");
+        for ev in events.drain(..) {
+            let idx = ev.key as usize;
+            let conn = &mut conns[idx];
+            if conn.dead {
+                continue;
+            }
+            if ev.readable || ev.closed {
+                drain_reads(conn, &mut outs);
+            }
+            if ev.writable && !conn.dead {
+                flush(conn, &poller, ev.key);
+            }
+        }
+    }
+    for c in &conns {
+        poller.deregister(c.stream.as_raw_fd());
+    }
+    outs
+}
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let scale = opts.effective_scale(10);
+    // Connection scale is the subject; walks are kept cheap.
+    let graph = StandIn::Twitter.build(scale, false, false);
+    let walkers: u64 = 4;
+    let (idle_levels, conns_per_tenant, rate, duration) = if opts.quick {
+        (vec![100usize, 1_000], 8, 50.0, Duration::from_secs(2))
+    } else {
+        (vec![1_000usize, 10_000], 32, 300.0, Duration::from_secs(8))
+    };
+    let max_needed = (idle_levels.iter().copied().max().unwrap_or(0)
+        + 3 * conns_per_tenant
+        + 64) as u64;
+    // Server and clients share this process, so every connection costs
+    // TWO descriptors. Raise the limit toward that, then budget the
+    // idle pool from whatever the hard ceiling actually allows.
+    let fd_limit = match sys::raise_nofile_limit(max_needed * 2 + 512) {
+        Ok(limit) => {
+            eprintln!("fd limit: {limit}");
+            limit
+        }
+        Err(e) => {
+            eprintln!("warning: could not raise fd limit: {e}");
+            sys::nofile_limit().map(|l| l.cur).unwrap_or(1024)
+        }
+    };
+    let idle_cap = ((fd_limit.saturating_sub(512)) / 2) as usize
+        - (2 * conns_per_tenant).min(fd_limit as usize / 4);
+
+    println!(
+        "Open-loop serving scale (Twitter stand-in, scale {scale}, node2vec p=2 q=0.5 len=10, \
+         {walkers} walkers/request, {rate} req/s per tenant for {}s)\n",
+        duration.as_secs()
+    );
+
+    // Two tenants with a 4:1 weight split plus a quota-capped one; the
+    // serve-side lanes are what the per-tenant rows measure.
+    let loads = [
+        TenantLoad {
+            name: "gold",
+            weight: 4,
+            connections: conns_per_tenant,
+            rate,
+        },
+        TenantLoad {
+            name: "bronze",
+            weight: 1,
+            connections: conns_per_tenant,
+            rate,
+        },
+    ];
+
+    let (service, handle) = WalkService::new(ServiceConfig {
+        queue_capacity: 4096,
+        max_admit_per_superstep: 64,
+        tenant_weights: loads
+            .iter()
+            .map(|l| (l.name.to_string(), l.weight))
+            .collect(),
+        ..ServiceConfig::default()
+    });
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let lcfg = ListenerConfig {
+        max_connections: max_needed as usize,
+        ..ListenerConfig::default()
+    };
+    let lh = handle.clone();
+    let front = thread::spawn(move || serve_listener_with(listener, lh, lcfg));
+    let runner = {
+        let graph = graph;
+        thread::spawn(move || {
+            let mut cfg = WalkConfig::single_node(0);
+            cfg.record_paths = true;
+            service.run(&graph, Node2Vec::new(2.0, 0.5, 10), cfg);
+        })
+    };
+
+    let mut table = Table::new(&[
+        "connections", "tenant", "requests", "ok", "rejected", "p50 (ms)", "p99 (ms)", "max (ms)",
+        "req/s",
+    ]);
+    let mut report = BenchReport::new(
+        "serve_scale",
+        &format!(
+            "Twitter stand-in scale {scale}, open loop: 2 tenants (gold w=4, bronze w=1) x \
+             {conns_per_tenant} conns x {rate} req/s for {}s, {walkers} walkers/request, \
+             idle pool swept",
+            duration.as_secs()
+        ),
+    );
+
+    // Idle residents: connect, say hello, then sit in the slab. Each
+    // sweep level tops the pool up and re-runs the same offered load —
+    // the invariant is that latency does not degrade with slab size.
+    let mut idle: Vec<TcpStream> = Vec::new();
+    for &level in &idle_levels {
+        let target = level.min(idle_cap);
+        if target < level {
+            eprintln!("note: idle level {level} capped at {target} by the fd limit ({fd_limit})");
+        }
+        while idle.len() < target {
+            match protocol::connect(addr) {
+                Ok(s) => idle.push(s),
+                Err(e) => {
+                    eprintln!("warning: idle pool capped at {}: {e}", idle.len());
+                    break;
+                }
+            }
+            if idle.len() % 512 == 0 {
+                // Let the accept loop breathe.
+                thread::sleep(Duration::from_millis(1));
+            }
+        }
+
+        let t0 = Instant::now();
+        let outs = run_sweep(addr, &loads, duration, walkers);
+        let wall = t0.elapsed().as_secs_f64();
+
+        for (load, out) in loads.iter().zip(&outs) {
+            let total = out.ok + out.rejected + out.other;
+            table.row(&[
+                format!("{}", idle.len()),
+                load.name.to_string(),
+                format!("{total}"),
+                format!("{}", out.ok),
+                format!("{}", out.rejected),
+                format!("{:.2}", out.hist.quantile(0.5) as f64 / 1000.0),
+                format!("{:.2}", out.hist.quantile(0.99) as f64 / 1000.0),
+                format!("{:.2}", out.hist.max() as f64 / 1000.0),
+                format!("{:.1}", out.ok as f64 / wall),
+            ]);
+            report.push(BenchRow {
+                label: format!("{} idle, {}", idle.len(), load.name),
+                ok: out.ok,
+                rejected: out.rejected,
+                p50_us: out.hist.quantile(0.5),
+                p99_us: out.hist.quantile(0.99),
+                max_us: out.hist.max(),
+                req_per_s: out.ok as f64 / wall,
+            });
+        }
+    }
+    table.print();
+
+    // How many idle residents survived the whole run (eviction = bug at
+    // these timeouts: the bench finishes well inside the idle window).
+    let survivors = idle
+        .iter()
+        .filter(|s| {
+            s.set_nonblocking(true).is_ok()
+                && matches!(
+                    (&mut &**s).read(&mut [0u8; 1]),
+                    Err(ref e) if e.kind() == io::ErrorKind::WouldBlock
+                )
+        })
+        .count();
+    println!("\nidle survivors: {survivors}/{}", idle.len());
+
+    drop(idle);
+    handle.shutdown();
+    let _ = runner.join();
+    let _ = front.join();
+
+    match report.write() {
+        Ok(path) => println!("machine-readable results written to {}", path.display()),
+        Err(e) => eprintln!("warning: could not write bench JSON: {e}"),
+    }
+    println!("latency is open-loop: measured from each request's scheduled arrival instant");
+}

@@ -265,6 +265,8 @@ pub mod emit {
         pub label: String,
         /// Requests that completed `Ok`.
         pub ok: u64,
+        /// Requests shed with `Rejected` (admission backpressure).
+        pub rejected: u64,
         /// Median end-to-end latency, microseconds.
         pub p50_us: u64,
         /// 99th-percentile end-to-end latency, microseconds.
@@ -329,10 +331,11 @@ pub mod emit {
             out.push_str("  \"rows\": [\n");
             for (i, r) in self.rows.iter().enumerate() {
                 out.push_str(&format!(
-                    "    {{\"label\": \"{}\", \"ok\": {}, \"p50_us\": {}, \"p99_us\": {}, \
-                     \"max_us\": {}, \"req_per_s\": {:.2}}}{}\n",
+                    "    {{\"label\": \"{}\", \"ok\": {}, \"rejected\": {}, \"p50_us\": {}, \
+                     \"p99_us\": {}, \"max_us\": {}, \"req_per_s\": {:.2}}}{}\n",
                     escape(&r.label),
                     r.ok,
+                    r.rejected,
                     r.p50_us,
                     r.p99_us,
                     r.max_us,
@@ -525,6 +528,7 @@ mod tests {
         r.push(emit::BenchRow {
             label: "1 client".into(),
             ok: 4,
+            rejected: 0,
             p50_us: 1500,
             p99_us: 2500,
             max_us: 3000,
@@ -533,6 +537,7 @@ mod tests {
         r.push(emit::BenchRow {
             label: "4 clients, traced".into(),
             ok: 16,
+            rejected: 3,
             p50_us: 1600,
             p99_us: 2600,
             max_us: 3100,

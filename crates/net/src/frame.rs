@@ -237,6 +237,49 @@ pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Frame> {
     Ok(Frame { tag, seq, payload })
 }
 
+/// Tries to split one frame off the front of `buf` — the non-blocking
+/// counterpart of [`read_frame`] for event-loop readers that accumulate
+/// whatever bytes the socket had. Returns the frame plus how many bytes
+/// it consumed (the caller drains that prefix), or `None` when `buf`
+/// does not yet hold a complete frame.
+///
+/// # Errors
+///
+/// Fails with `InvalidData` on an unknown tag or oversized length — as
+/// soon as the header alone reveals it, without waiting for the payload.
+pub fn split_frame(buf: &[u8]) -> io::Result<Option<(Frame, usize)>> {
+    if buf.len() < HEADER_LEN {
+        return Ok(None);
+    }
+    let t = buf[0];
+    if !(tag::DATA..=tag::RESP).contains(&t) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unknown frame tag {t}"),
+        ));
+    }
+    let seq = u64::from_le_bytes(buf[1..9].try_into().expect("sized"));
+    let len = u32::from_le_bytes(buf[9..13].try_into().expect("sized"));
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds the {MAX_FRAME_LEN}-byte ceiling"),
+        ));
+    }
+    let total = HEADER_LEN + len as usize;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    Ok(Some((
+        Frame {
+            tag: t,
+            seq,
+            payload: buf[HEADER_LEN..total].to_vec(),
+        },
+        total,
+    )))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -343,5 +386,48 @@ mod tests {
         write_frame(&mut buf, tag::DATA, 0, b"abcdef").unwrap();
         let err = read_frame(&mut &buf[..HEADER_LEN + 2]).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn split_frame_agrees_with_read_frame_on_every_prefix() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, tag::REQ, 99, b"payload bytes").unwrap();
+        let whole = read_frame(&mut &buf[..]).unwrap();
+        for cut in 0..buf.len() {
+            assert_eq!(split_frame(&buf[..cut]).unwrap(), None, "prefix {cut}");
+        }
+        let (frame, used) = split_frame(&buf).unwrap().unwrap();
+        assert_eq!(frame, whole);
+        assert_eq!(used, buf.len());
+    }
+
+    #[test]
+    fn split_frame_leaves_trailing_bytes_alone() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, tag::RESP, 1, b"first").unwrap();
+        let first_len = buf.len();
+        write_frame(&mut buf, tag::RESP, 2, b"second").unwrap();
+        let (frame, used) = split_frame(&buf).unwrap().unwrap();
+        assert_eq!(frame.seq, 1);
+        assert_eq!(used, first_len);
+        let (frame2, used2) = split_frame(&buf[used..]).unwrap().unwrap();
+        assert_eq!(frame2.seq, 2);
+        assert_eq!(used + used2, buf.len());
+    }
+
+    #[test]
+    fn split_frame_rejects_bad_header_before_payload_arrives() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, tag::DATA, 0, b"abcdef").unwrap();
+        buf[0] = 200;
+        // Header alone (payload still in flight) already fails.
+        let err = split_frame(&buf[..HEADER_LEN]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        let mut buf = Vec::new();
+        write_frame(&mut buf, tag::DATA, 0, &[]).unwrap();
+        buf[9..13].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = split_frame(&buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 }

@@ -89,3 +89,124 @@ proptest! {
         let _ = from_bytes::<Status>(&bytes);
     }
 }
+
+// --- Adversarial chunking: incremental framing must agree with a ---
+// --- whole-buffer decode no matter how the bytes arrive.          ---
+
+use knightking_net::frame::{read_frame, split_frame, tag, write_frame, Frame};
+use knightking_serve::protocol::{hello_bytes, split_hello, DEFAULT_TENANT};
+
+/// One well-formed frame: any in-range tag, any seq, a small payload.
+fn frame_parts() -> impl Strategy<Value = (u8, u64, Vec<u8>)> {
+    (
+        tag::DATA..=tag::RESP,
+        any::<u64>(),
+        proptest::collection::vec(any::<u8>(), 0..96),
+    )
+}
+
+/// Encodes `frames` back-to-back the way a peer's socket would carry them.
+fn encode_stream(frames: &[(u8, u64, Vec<u8>)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for (t, seq, payload) in frames {
+        write_frame(&mut out, *t, *seq, payload).unwrap();
+    }
+    out
+}
+
+/// Cuts `stream` into adversarial pieces: each piece's size comes from
+/// `cuts` (cycled), so 1-byte trickles, split headers, and coalesced
+/// frames all occur.
+fn chunks<'a>(stream: &'a [u8], cuts: &'a [usize]) -> Vec<&'a [u8]> {
+    let mut out = Vec::new();
+    let (mut pos, mut i) = (0usize, 0usize);
+    while pos < stream.len() {
+        let n = cuts[i % cuts.len()].max(1).min(stream.len() - pos);
+        out.push(&stream[pos..pos + n]);
+        pos += n;
+        i += 1;
+    }
+    out
+}
+
+/// Drains every complete frame currently in `buf`.
+fn drain_frames(buf: &mut Vec<u8>) -> Vec<Frame> {
+    let mut out = Vec::new();
+    while let Some((frame, used)) = split_frame(buf).unwrap() {
+        buf.drain(..used);
+        out.push(frame);
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn prop_chunked_split_frame_agrees_with_read_frame(
+        frames in proptest::collection::vec(frame_parts(), 1..6),
+        cuts in proptest::collection::vec(1usize..32, 1..24),
+    ) {
+        let stream = encode_stream(&frames);
+
+        // Ground truth: the blocking reader over the whole stream.
+        let mut cursor = std::io::Cursor::new(stream.clone());
+        let whole: Vec<Frame> =
+            (0..frames.len()).map(|_| read_frame(&mut cursor).unwrap()).collect();
+
+        // Incremental: feed adversarial chunks, draining after each.
+        let mut buf = Vec::new();
+        let mut got = Vec::new();
+        for chunk in chunks(&stream, &cuts) {
+            buf.extend_from_slice(chunk);
+            got.extend(drain_frames(&mut buf));
+        }
+        prop_assert!(buf.is_empty(), "complete stream must be fully consumed");
+        prop_assert_eq!(got, whole);
+    }
+
+    #[test]
+    fn prop_chunked_hello_then_frames_decodes_identically(
+        tenant in "[A-Za-z0-9._-]{0,64}",
+        frames in proptest::collection::vec(frame_parts(), 0..4),
+        cuts in proptest::collection::vec(1usize..16, 1..24),
+    ) {
+        let mut stream = hello_bytes(&tenant).unwrap();
+        stream.extend_from_slice(&encode_stream(&frames));
+        let want_tenant = if tenant.is_empty() { DEFAULT_TENANT } else { &tenant };
+
+        let mut buf: Vec<u8> = Vec::new();
+        let mut seen_tenant: Option<String> = None;
+        let mut got = Vec::new();
+        for chunk in chunks(&stream, &cuts) {
+            buf.extend_from_slice(chunk);
+            if seen_tenant.is_none() {
+                if let Some((t, used)) = split_hello(&buf).unwrap() {
+                    buf.drain(..used);
+                    seen_tenant = Some(t);
+                }
+            }
+            if seen_tenant.is_some() {
+                got.extend(drain_frames(&mut buf));
+            }
+        }
+        prop_assert_eq!(seen_tenant.as_deref(), Some(want_tenant));
+        prop_assert!(buf.is_empty());
+        prop_assert_eq!(got.len(), frames.len());
+        for (g, (t, seq, payload)) in got.iter().zip(&frames) {
+            prop_assert_eq!(g.tag, *t);
+            prop_assert_eq!(g.seq, *seq);
+            prop_assert_eq!(&g.payload, payload);
+        }
+    }
+
+    #[test]
+    fn prop_split_parsers_never_panic_on_garbage(bytes: Vec<u8>) {
+        // Arbitrary prefixes must yield Some, None, or Err — never panic,
+        // and never consume more than the buffer holds.
+        if let Ok(Some((_, used))) = split_frame(&bytes) {
+            prop_assert!(used <= bytes.len());
+        }
+        if let Ok(Some((_, used))) = split_hello(&bytes) {
+            prop_assert!(used <= bytes.len());
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! `knightking-reactor`: a dependency-free edge-triggered event loop.
+//!
+//! The serve tier's front door: raw `epoll` (Linux) / `kqueue`
+//! (macOS, FreeBSD) declared straight against the platform libc, one
+//! poller thread, a generation-counted [`Slab`] of connection states,
+//! write-interest-driven flushes, and timer wheels for idle and
+//! write-stall eviction. One thread holds tens of thousands of
+//! connections; protocol logic plugs in through [`ConnHandler`].
+//!
+//! The lower layers are public on purpose: [`Poller`] is reused by the
+//! open-loop bench to multiplex thousands of *client* sockets, and
+//! [`sys::raise_nofile_limit`] is how anything holding that many
+//! descriptors asks the OS for room.
+
+mod poll;
+mod reactor;
+mod slab;
+pub mod sys;
+mod timer;
+
+pub use poll::{Event, Interest, Poller};
+pub use reactor::{CloseReason, ConnHandler, ConnIo, Reactor, ReactorConfig, ReactorHandle};
+pub use slab::{Slab, Token};
+pub use timer::TimerWheel;

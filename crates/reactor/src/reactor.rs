@@ -1,0 +1,666 @@
+//! The reactor proper: one poller thread servicing every connection.
+//!
+//! # Shape
+//!
+//! A [`Reactor`] owns a listening socket, a [`Poller`], a [`Slab`] of
+//! connection states, and two [`TimerWheel`]s (idle and write-stall
+//! deadlines). [`Reactor::run`] is the event loop; protocol logic lives
+//! in a caller-supplied [`ConnHandler`], which sees raw bytes and
+//! answers through a [`ConnIo`] (synchronous, inside the loop) or a
+//! [`ReactorHandle`] (from any thread, e.g. when a walk completes
+//! superstep later).
+//!
+//! # Readiness model
+//!
+//! Everything is edge-triggered: one wake per readiness *transition*,
+//! so every readable socket is drained to `WouldBlock` and every write
+//! runs until the kernel buffer fills. Write interest is the exception
+//! state — a connection is registered read-only until a flush leaves
+//! bytes behind, gains `EPOLLOUT` while the backlog drains, and drops
+//! it again the moment the buffer empties. Ten thousand idle
+//! connections therefore cost zero events per tick.
+//!
+//! # Cross-thread sends
+//!
+//! [`ReactorHandle::send`] enqueues bytes under a mutex and pokes a
+//! wake pipe (a `UnixStream` pair registered with the poller); the loop
+//! drains the command queue on every iteration. Tokens are
+//! generation-checked, so a send racing a disconnect falls on the floor
+//! instead of hitting a recycled slot.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::poll::{Event, Interest, Poller};
+use crate::slab::{Slab, Token};
+use crate::timer::TimerWheel;
+
+/// Poller key for the listening socket.
+const LISTENER_KEY: u64 = u64::MAX;
+/// Poller key for the wake pipe's read end.
+const WAKER_KEY: u64 = u64::MAX - 1;
+
+/// Reactor tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ReactorConfig {
+    /// Connections held at once; accepts beyond this are closed
+    /// immediately (connection-level shed — the client sees EOF).
+    pub max_connections: usize,
+    /// A connection with no read activity for this long is evicted.
+    pub idle_timeout: Duration,
+    /// A connection whose write backlog makes no progress for this
+    /// long (a reader that stopped reading) is evicted.
+    pub write_deadline: Duration,
+    /// Per-connection cap on buffered unparsed input; exceeding it is a
+    /// protocol error and closes the connection.
+    pub read_buf_limit: usize,
+    /// Per-connection cap on buffered unflushed output; exceeding it
+    /// counts as a stalled writer and closes the connection.
+    pub write_buf_limit: usize,
+    /// How long [`ReactorHandle::stop`] waits for write backlogs to
+    /// drain before force-closing survivors.
+    pub drain_grace: Duration,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> Self {
+        ReactorConfig {
+            max_connections: 10_240,
+            idle_timeout: Duration::from_secs(60),
+            write_deadline: Duration::from_secs(5),
+            read_buf_limit: 64 << 20,
+            write_buf_limit: 256 << 20,
+            drain_grace: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Why a connection ended, handed to [`ConnHandler::on_close`].
+#[derive(Debug)]
+pub enum CloseReason {
+    /// The peer closed and everything owed was flushed.
+    PeerClosed,
+    /// No read activity within [`ReactorConfig::idle_timeout`].
+    IdleTimeout,
+    /// The write backlog outlived [`ReactorConfig::write_deadline`] or
+    /// outgrew [`ReactorConfig::write_buf_limit`].
+    WriteStalled,
+    /// The handler or a [`ReactorHandle`] asked for the close.
+    Requested,
+    /// The reactor is stopping and drained (or force-closed) the
+    /// connection.
+    Draining,
+    /// An I/O or protocol error.
+    Error(io::Error),
+}
+
+/// Per-connection protocol logic. One handler instance serves every
+/// connection; per-connection state lives in `Self::Conn`.
+pub trait ConnHandler {
+    /// State carried by each connection (parser position, tenant id…).
+    type Conn;
+
+    /// A connection was accepted. `token` is its stable address for
+    /// [`ReactorHandle::send`] until `on_close`.
+    fn on_open(&mut self, token: Token, peer: SocketAddr) -> Self::Conn;
+
+    /// Bytes arrived: `input` holds everything received and not yet
+    /// consumed — parse what is complete, `drain(..n)` it, and leave
+    /// partial frames for the next call. Respond synchronously via
+    /// [`ConnIo::send`] or later via [`ReactorHandle::send`].
+    ///
+    /// # Errors
+    ///
+    /// An `Err` is a protocol violation: the connection closes with
+    /// [`CloseReason::Error`].
+    fn on_data(
+        &mut self,
+        io: &mut ConnIo<'_>,
+        conn: &mut Self::Conn,
+        input: &mut Vec<u8>,
+    ) -> io::Result<()>;
+
+    /// The connection ended (exactly once per `on_open`).
+    fn on_close(&mut self, token: Token, conn: Self::Conn, reason: CloseReason);
+}
+
+/// The handler's window onto one connection during
+/// [`ConnHandler::on_data`]. Sends are buffered and flushed when the
+/// handler returns; nothing here blocks.
+pub struct ConnIo<'a> {
+    token: Token,
+    out: &'a mut Vec<u8>,
+    close: bool,
+}
+
+impl ConnIo<'_> {
+    /// This connection's token (the address async responders need).
+    pub fn token(&self) -> Token {
+        self.token
+    }
+
+    /// Queues response bytes; the reactor flushes after the handler
+    /// returns and keeps flushing on write readiness.
+    pub fn send(&mut self, bytes: &[u8]) {
+        self.out.extend_from_slice(bytes);
+    }
+
+    /// Closes the connection once everything queued has been flushed.
+    pub fn close(&mut self) {
+        self.close = true;
+    }
+}
+
+enum Cmd {
+    Send(Token, Vec<u8>),
+    Close(Token),
+}
+
+struct HandleShared {
+    cmds: Mutex<Vec<Cmd>>,
+    wake_tx: UnixStream,
+    stopping: AtomicBool,
+    conns: AtomicUsize,
+    accepts_rejected: AtomicU64,
+}
+
+/// A clonable, thread-safe handle into a running reactor.
+#[derive(Clone)]
+pub struct ReactorHandle {
+    shared: Arc<HandleShared>,
+}
+
+impl ReactorHandle {
+    /// Queues `bytes` for the connection at `token` and wakes the
+    /// loop. Callable from any thread; a send to a connection that
+    /// already closed is silently dropped (its token can never alias a
+    /// newer connection).
+    pub fn send(&self, token: Token, bytes: Vec<u8>) {
+        self.push(Cmd::Send(token, bytes));
+    }
+
+    /// Asks the loop to close `token` once its output drains.
+    pub fn close(&self, token: Token) {
+        self.push(Cmd::Close(token));
+    }
+
+    /// Stops the reactor: queued commands still apply, write backlogs
+    /// get [`ReactorConfig::drain_grace`] to flush, then `run` returns.
+    /// Idempotent.
+    pub fn stop(&self) {
+        self.shared.stopping.store(true, Ordering::Release);
+        self.wake();
+    }
+
+    /// Whether a stop has been requested.
+    pub fn is_stopping(&self) -> bool {
+        self.shared.stopping.load(Ordering::Acquire)
+    }
+
+    /// Connections currently open.
+    pub fn connections(&self) -> usize {
+        self.shared.conns.load(Ordering::Acquire)
+    }
+
+    /// Connections refused because [`ReactorConfig::max_connections`]
+    /// was reached.
+    pub fn rejected_connections(&self) -> u64 {
+        self.shared.accepts_rejected.load(Ordering::Acquire)
+    }
+
+    fn push(&self, cmd: Cmd) {
+        match self.shared.cmds.lock() {
+            Ok(mut q) => q.push(cmd),
+            Err(mut poisoned) => poisoned.get_mut().push(cmd),
+        }
+        self.wake();
+    }
+
+    fn wake(&self) {
+        // A full pipe already guarantees a pending wake; any error here
+        // is therefore ignorable.
+        let _ = (&self.shared.wake_tx).write(&[1]);
+    }
+}
+
+struct Conn<C> {
+    stream: TcpStream,
+    state: C,
+    input: Vec<u8>,
+    out: Vec<u8>,
+    out_pos: usize,
+    want_write: bool,
+    read_eof: bool,
+    /// Close (with this reason) once `out` drains.
+    closing: Option<CloseReason>,
+    last_activity_ms: u64,
+    /// When the current write backlog appeared; `None` while drained.
+    out_since_ms: Option<u64>,
+}
+
+/// The event loop. Create with [`Reactor::new`], drive with
+/// [`Reactor::run`] (usually on a dedicated thread), steer with the
+/// [`ReactorHandle`] from anywhere else.
+pub struct Reactor<H: ConnHandler> {
+    listener: TcpListener,
+    poller: Poller,
+    handler: H,
+    conns: Slab<Conn<H::Conn>>,
+    idle_wheel: TimerWheel,
+    write_wheel: TimerWheel,
+    cfg: ReactorConfig,
+    shared: Arc<HandleShared>,
+    wake_rx: UnixStream,
+    start: Instant,
+    poll_interval: Duration,
+}
+
+impl<H: ConnHandler> Reactor<H> {
+    /// Builds a reactor on `listener`. The handler is constructed by
+    /// `make_handler` so it can capture the [`ReactorHandle`] for async
+    /// responses.
+    ///
+    /// # Errors
+    ///
+    /// Propagates poller/listener/pipe setup failures.
+    pub fn new<F>(listener: TcpListener, cfg: ReactorConfig, make_handler: F) -> io::Result<Self>
+    where
+        F: FnOnce(ReactorHandle) -> H,
+    {
+        listener.set_nonblocking(true)?;
+        let poller = Poller::new()?;
+        poller.register(listener.as_raw_fd(), LISTENER_KEY, Interest::READ)?;
+        let (wake_rx, wake_tx) = UnixStream::pair()?;
+        wake_rx.set_nonblocking(true)?;
+        wake_tx.set_nonblocking(true)?;
+        poller.register(wake_rx.as_raw_fd(), WAKER_KEY, Interest::READ)?;
+        let shared = Arc::new(HandleShared {
+            cmds: Mutex::new(Vec::new()),
+            wake_tx,
+            stopping: AtomicBool::new(false),
+            conns: AtomicUsize::new(0),
+            accepts_rejected: AtomicU64::new(0),
+        });
+        let handler = make_handler(ReactorHandle {
+            shared: shared.clone(),
+        });
+        // Tick fast enough that the shortest deadline is enforced with
+        // reasonable accuracy, slow enough that an idle loop is cheap.
+        let tick_ms = (cfg
+            .idle_timeout
+            .min(cfg.write_deadline)
+            .as_millis()
+            .max(1)
+            .min(u128::from(u64::MAX)) as u64
+            / 4)
+        .clamp(5, 200);
+        Ok(Reactor {
+            listener,
+            poller,
+            handler,
+            conns: Slab::new(),
+            idle_wheel: TimerWheel::new(tick_ms, 256),
+            write_wheel: TimerWheel::new(tick_ms, 256),
+            cfg,
+            shared,
+            wake_rx,
+            start: Instant::now(),
+            poll_interval: Duration::from_millis(tick_ms),
+        })
+    }
+
+    /// A handle usable from other threads.
+    pub fn handle(&self) -> ReactorHandle {
+        ReactorHandle {
+            shared: self.shared.clone(),
+        }
+    }
+
+    fn now_ms(&self) -> u64 {
+        self.start.elapsed().as_millis() as u64
+    }
+
+    /// Runs the loop until [`ReactorHandle::stop`]. On return every
+    /// connection has been closed (flushed where possible) and every
+    /// `on_close` delivered.
+    ///
+    /// # Errors
+    ///
+    /// Only unrecoverable poller failures abort the loop; per-connection
+    /// errors close that connection.
+    pub fn run(mut self) -> io::Result<()> {
+        let mut events: Vec<Event> = Vec::new();
+        let mut draining = false;
+        let mut drain_deadline_ms = 0u64;
+        loop {
+            self.poller.wait(&mut events, Some(self.poll_interval))?;
+            let now = self.now_ms();
+            for i in 0..events.len() {
+                let ev = events[i];
+                match ev.key {
+                    LISTENER_KEY => self.accept_ready(now, draining),
+                    WAKER_KEY => self.drain_waker(),
+                    _ => self.conn_event(Token(ev.key), ev, now),
+                }
+            }
+            self.apply_cmds(now);
+            self.fire_timers(now);
+
+            if !draining && self.shared.stopping.load(Ordering::Acquire) {
+                draining = true;
+                drain_deadline_ms = now + self.cfg.drain_grace.as_millis() as u64;
+                for token in self.conns.tokens() {
+                    self.begin_close(token, CloseReason::Draining);
+                }
+            }
+            if draining {
+                if now >= drain_deadline_ms {
+                    for token in self.conns.tokens() {
+                        self.close_conn(token, CloseReason::Draining);
+                    }
+                }
+                if self.conns.is_empty() {
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    fn accept_ready(&mut self, now: u64, draining: bool) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, peer)) => {
+                    if draining || self.conns.len() >= self.cfg.max_connections {
+                        // Shed at the door: close immediately. The
+                        // client sees EOF instead of a hung connect.
+                        self.shared
+                            .accepts_rejected
+                            .fetch_add(1, Ordering::AcqRel);
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+                        continue;
+                    }
+                    let handler = &mut self.handler;
+                    let token = self.conns.insert_with(|token| Conn {
+                        state: handler.on_open(token, peer),
+                        stream,
+                        input: Vec::new(),
+                        out: Vec::new(),
+                        out_pos: 0,
+                        want_write: false,
+                        read_eof: false,
+                        closing: None,
+                        last_activity_ms: now,
+                        out_since_ms: None,
+                    });
+                    let conn = self.conns.get_mut(token).expect("just inserted");
+                    if self
+                        .poller
+                        .register(conn.stream.as_raw_fd(), token.0, Interest::READ)
+                        .is_err()
+                    {
+                        let conn = self.conns.remove(token).expect("just inserted");
+                        self.handler.on_close(
+                            token,
+                            conn.state,
+                            CloseReason::Error(io::Error::new(
+                                io::ErrorKind::Other,
+                                "poller registration failed",
+                            )),
+                        );
+                        continue;
+                    }
+                    self.shared.conns.fetch_add(1, Ordering::AcqRel);
+                    self.idle_wheel
+                        .schedule(now + self.cfg.idle_timeout.as_millis() as u64, token.0);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // Transient accept failures (ECONNABORTED, EMFILE…):
+                // drop the attempt; the periodic poll tick retries.
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn drain_waker(&mut self) {
+        let mut buf = [0u8; 64];
+        while matches!((&self.wake_rx).read(&mut buf), Ok(n) if n > 0) {}
+    }
+
+    fn conn_event(&mut self, token: Token, ev: Event, now: u64) {
+        if ev.writable {
+            self.flush_conn(token, now);
+        }
+        if ev.readable || ev.closed {
+            self.conn_readable(token, now);
+        }
+    }
+
+    fn conn_readable(&mut self, token: Token, now: u64) {
+        let Some(conn) = self.conns.get_mut(token) else {
+            return;
+        };
+        let mut chunk = [0u8; 16 * 1024];
+        let mut got_bytes = false;
+        loop {
+            match (&conn.stream).read(&mut chunk) {
+                Ok(0) => {
+                    conn.read_eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    if conn.input.len() + n > self.cfg.read_buf_limit {
+                        self.close_conn(
+                            token,
+                            CloseReason::Error(io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                format!(
+                                    "input buffer exceeded {} bytes without a parseable frame",
+                                    self.cfg.read_buf_limit
+                                ),
+                            )),
+                        );
+                        return;
+                    }
+                    conn.input.extend_from_slice(&chunk[..n]);
+                    got_bytes = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    self.close_conn(token, CloseReason::Error(e));
+                    return;
+                }
+            }
+        }
+        conn.last_activity_ms = now;
+        if got_bytes {
+            let mut conn_io = ConnIo {
+                token,
+                out: &mut conn.out,
+                close: false,
+            };
+            let verdict = self
+                .handler
+                .on_data(&mut conn_io, &mut conn.state, &mut conn.input);
+            let close_requested = conn_io.close;
+            match verdict {
+                Ok(()) => {
+                    if close_requested && conn.closing.is_none() {
+                        conn.closing = Some(CloseReason::Requested);
+                    }
+                }
+                Err(e) => {
+                    self.close_conn(token, CloseReason::Error(e));
+                    return;
+                }
+            }
+            self.flush_conn(token, now);
+        }
+        if let Some(conn) = self.conns.get_mut(token) {
+            if conn.read_eof {
+                if conn.out_pos >= conn.out.len() {
+                    self.close_conn(token, CloseReason::PeerClosed);
+                } else if conn.closing.is_none() {
+                    conn.closing = Some(CloseReason::PeerClosed);
+                }
+            }
+        }
+    }
+
+    /// Writes as much pending output as the kernel accepts, managing
+    /// write interest and the stall clock.
+    fn flush_conn(&mut self, token: Token, now: u64) {
+        let Some(conn) = self.conns.get_mut(token) else {
+            return;
+        };
+        while conn.out_pos < conn.out.len() {
+            match (&conn.stream).write(&conn.out[conn.out_pos..]) {
+                Ok(0) => {
+                    self.close_conn(
+                        token,
+                        CloseReason::Error(io::Error::new(
+                            io::ErrorKind::WriteZero,
+                            "socket accepted zero bytes",
+                        )),
+                    );
+                    return;
+                }
+                Ok(n) => conn.out_pos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    self.close_conn(token, CloseReason::Error(e));
+                    return;
+                }
+            }
+        }
+        if conn.out_pos >= conn.out.len() {
+            conn.out.clear();
+            conn.out_pos = 0;
+            conn.out_since_ms = None;
+            if conn.want_write {
+                conn.want_write = false;
+                let _ = self
+                    .poller
+                    .modify(conn.stream.as_raw_fd(), token.0, Interest::READ);
+            }
+            if let Some(reason) = conn.closing.take() {
+                self.close_conn(token, reason);
+            }
+        } else {
+            if conn.out.len() - conn.out_pos > self.cfg.write_buf_limit {
+                self.close_conn(token, CloseReason::WriteStalled);
+                return;
+            }
+            if conn.out_since_ms.is_none() {
+                conn.out_since_ms = Some(now);
+                self.write_wheel
+                    .schedule(now + self.cfg.write_deadline.as_millis() as u64, token.0);
+            }
+            if !conn.want_write {
+                conn.want_write = true;
+                let _ = self.poller.modify(
+                    conn.stream.as_raw_fd(),
+                    token.0,
+                    Interest::READ_WRITE,
+                );
+            }
+        }
+    }
+
+    fn apply_cmds(&mut self, now: u64) {
+        loop {
+            let cmds = {
+                let mut q = match self.shared.cmds.lock() {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                std::mem::take(&mut *q)
+            };
+            if cmds.is_empty() {
+                return;
+            }
+            for cmd in cmds {
+                match cmd {
+                    Cmd::Send(token, bytes) => {
+                        if let Some(conn) = self.conns.get_mut(token) {
+                            conn.out.extend_from_slice(&bytes);
+                            self.flush_conn(token, now);
+                        }
+                    }
+                    Cmd::Close(token) => self.begin_close(token, CloseReason::Requested),
+                }
+            }
+        }
+    }
+
+    /// Closes now if flushed, otherwise once the backlog drains.
+    fn begin_close(&mut self, token: Token, reason: CloseReason) {
+        let Some(conn) = self.conns.get_mut(token) else {
+            return;
+        };
+        if conn.out_pos >= conn.out.len() {
+            self.close_conn(token, reason);
+        } else if conn.closing.is_none() {
+            conn.closing = Some(reason);
+        }
+    }
+
+    fn close_conn(&mut self, token: Token, reason: CloseReason) {
+        let Some(conn) = self.conns.remove(token) else {
+            return;
+        };
+        self.poller.deregister(conn.stream.as_raw_fd());
+        self.shared.conns.fetch_sub(1, Ordering::AcqRel);
+        self.handler.on_close(token, conn.state, reason);
+    }
+
+    fn fire_timers(&mut self, now: u64) {
+        let idle_ms = self.cfg.idle_timeout.as_millis() as u64;
+        let mut due = Vec::new();
+        self.idle_wheel.advance(now, |k| due.push(k));
+        for key in due.drain(..) {
+            let token = Token(key);
+            let Some(conn) = self.conns.get_mut(token) else {
+                continue;
+            };
+            let deadline = conn.last_activity_ms + idle_ms;
+            if deadline <= now {
+                self.close_conn(token, CloseReason::IdleTimeout);
+            } else {
+                // Lazy cancellation: the connection was active since
+                // this entry was filed — re-file at the live deadline.
+                self.idle_wheel.schedule(deadline, key);
+            }
+        }
+        let write_ms = self.cfg.write_deadline.as_millis() as u64;
+        self.write_wheel.advance(now, |k| due.push(k));
+        for key in due {
+            let token = Token(key);
+            let Some(conn) = self.conns.get_mut(token) else {
+                continue;
+            };
+            match conn.out_since_ms {
+                // Backlog drained since the entry was filed; a future
+                // stall re-schedules.
+                None => {}
+                Some(since) => {
+                    let deadline = since + write_ms;
+                    if deadline <= now {
+                        self.close_conn(token, CloseReason::WriteStalled);
+                    } else {
+                        self.write_wheel.schedule(deadline, key);
+                    }
+                }
+            }
+        }
+    }
+}

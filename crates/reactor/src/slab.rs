@@ -1,0 +1,207 @@
+//! A generation-counted slab: connection states addressed by dense
+//! indices that are safe to hand to the kernel.
+//!
+//! The poller gives back whatever 64-bit key a descriptor was
+//! registered with — long after the connection may have died and its
+//! slot been reused. A bare index would mis-deliver those stale events
+//! to the slot's new occupant, so every slot carries a generation that
+//! bumps on removal and the [`Token`] packs `generation << 32 | index`.
+//! A stale token fails the generation check and the event falls on the
+//! floor, which is exactly where it belongs.
+
+/// A slab address: slot index in the low 32 bits, slot generation in
+/// the high 32. The reactor registers this as the kernel event key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Token(pub u64);
+
+impl Token {
+    fn new(index: u32, generation: u32) -> Token {
+        Token(u64::from(generation) << 32 | u64::from(index))
+    }
+
+    fn index(self) -> usize {
+        (self.0 & 0xFFFF_FFFF) as usize
+    }
+
+    fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
+
+struct Slot<T> {
+    generation: u32,
+    value: Option<T>,
+}
+
+/// The slab itself. O(1) insert/remove/lookup; slots are reused LIFO.
+pub struct Slab<T> {
+    slots: Vec<Slot<T>>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Slab::new()
+    }
+}
+
+impl<T> Slab<T> {
+    /// An empty slab.
+    pub fn new() -> Slab<T> {
+        Slab {
+            slots: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Occupied slot count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no slot is occupied.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Stores `value`, returning its token.
+    pub fn insert(&mut self, value: T) -> Token {
+        self.len += 1;
+        if let Some(index) = self.free.pop() {
+            let slot = &mut self.slots[index as usize];
+            slot.value = Some(value);
+            Token::new(index, slot.generation)
+        } else {
+            let index = u32::try_from(self.slots.len()).expect("slab exceeds u32 slots");
+            self.slots.push(Slot {
+                generation: 0,
+                value: Some(value),
+            });
+            Token::new(index, 0)
+        }
+    }
+
+    /// Stores the value built by `f`, which receives the token the
+    /// value will live under (so connection state can capture its own
+    /// address).
+    pub fn insert_with(&mut self, f: impl FnOnce(Token) -> T) -> Token {
+        self.len += 1;
+        if let Some(index) = self.free.pop() {
+            let generation = self.slots[index as usize].generation;
+            let token = Token::new(index, generation);
+            self.slots[index as usize].value = Some(f(token));
+            token
+        } else {
+            let index = u32::try_from(self.slots.len()).expect("slab exceeds u32 slots");
+            let token = Token::new(index, 0);
+            self.slots.push(Slot {
+                generation: 0,
+                value: None,
+            });
+            self.slots[index as usize].value = Some(f(token));
+            token
+        }
+    }
+
+    /// The value at `token`, unless the token is stale or removed.
+    pub fn get_mut(&mut self, token: Token) -> Option<&mut T> {
+        let slot = self.slots.get_mut(token.index())?;
+        if slot.generation != token.generation() {
+            return None;
+        }
+        slot.value.as_mut()
+    }
+
+    /// Removes and returns the value at `token`; stale tokens remove
+    /// nothing. The slot's generation bumps so the token can never
+    /// resolve again.
+    pub fn remove(&mut self, token: Token) -> Option<T> {
+        let slot = self.slots.get_mut(token.index())?;
+        if slot.generation != token.generation() {
+            return None;
+        }
+        let value = slot.value.take()?;
+        slot.generation = slot.generation.wrapping_add(1);
+        self.free.push(token.index() as u32);
+        self.len -= 1;
+        Some(value)
+    }
+
+    /// Tokens of every occupied slot (for shutdown sweeps).
+    pub fn tokens(&self) -> Vec<Token> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.value.is_some())
+            .map(|(i, s)| Token::new(i as u32, s.generation))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut slab = Slab::new();
+        let a = slab.insert("a");
+        let b = slab.insert("b");
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.get_mut(a), Some(&mut "a"));
+        assert_eq!(slab.get_mut(b), Some(&mut "b"));
+        assert_eq!(slab.remove(a), Some("a"));
+        assert_eq!(slab.len(), 1);
+        assert_eq!(slab.get_mut(a), None);
+    }
+
+    #[test]
+    fn stale_token_never_resolves_after_reuse() {
+        let mut slab = Slab::new();
+        let old = slab.insert(1u32);
+        slab.remove(old);
+        let new = slab.insert(2u32);
+        // Same slot, different generation.
+        assert_eq!(old.index(), new.index());
+        assert_ne!(old.generation(), new.generation());
+        assert_eq!(slab.get_mut(old), None);
+        assert_eq!(slab.remove(old), None);
+        assert_eq!(slab.get_mut(new), Some(&mut 2));
+    }
+
+    #[test]
+    fn double_remove_is_inert() {
+        let mut slab = Slab::new();
+        let t = slab.insert(7u8);
+        assert_eq!(slab.remove(t), Some(7));
+        assert_eq!(slab.remove(t), None);
+        assert_eq!(slab.len(), 0);
+    }
+
+    #[test]
+    fn tokens_lists_live_slots_only() {
+        let mut slab = Slab::new();
+        let a = slab.insert(0);
+        let b = slab.insert(1);
+        let c = slab.insert(2);
+        slab.remove(b);
+        let mut live = slab.tokens();
+        live.sort();
+        assert_eq!(live, vec![a, c]);
+    }
+
+    #[test]
+    fn slots_reused_lifo() {
+        let mut slab = Slab::new();
+        let tokens: Vec<_> = (0..100).map(|i| slab.insert(i)).collect();
+        for &t in &tokens {
+            slab.remove(t);
+        }
+        assert!(slab.is_empty());
+        let again = slab.insert(999);
+        assert_eq!(again.index(), 99);
+        assert_eq!(slab.get_mut(again), Some(&mut 999));
+    }
+}

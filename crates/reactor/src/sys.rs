@@ -1,0 +1,309 @@
+//! Raw readiness syscalls: `epoll` on Linux, `kqueue` on the BSDs and
+//! macOS, declared directly against the platform libc that `std`
+//! already links. No `libc` crate, no `mio` — the reactor's entire
+//! platform surface is this file.
+//!
+//! Everything here is `unsafe` FFI wrapped into narrow safe helpers
+//! that turn `-1` into [`io::Error::last_os_error`]. The structures
+//! mirror the kernel ABI exactly; `epoll_event` is packed on x86-64
+//! (and only there), matching the kernel's layout quirk.
+
+use std::ffi::c_int;
+use std::io;
+
+/// File-descriptor resource limit, queried and raised by callers that
+/// want to hold tens of thousands of sockets (the open-loop bench).
+#[repr(C)]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Rlimit {
+    /// Soft limit (what the process may actually use).
+    pub cur: u64,
+    /// Hard ceiling (the most the soft limit can be raised to without
+    /// privilege).
+    pub max: u64,
+}
+
+#[cfg(target_os = "linux")]
+const RLIMIT_NOFILE: c_int = 7;
+#[cfg(not(target_os = "linux"))]
+const RLIMIT_NOFILE: c_int = 8;
+
+extern "C" {
+    fn getrlimit(resource: c_int, rlim: *mut Rlimit) -> c_int;
+    fn setrlimit(resource: c_int, rlim: *const Rlimit) -> c_int;
+}
+
+/// Returns the process's open-file limit (soft, hard).
+///
+/// # Errors
+///
+/// Propagates the OS error.
+pub fn nofile_limit() -> io::Result<Rlimit> {
+    let mut lim = Rlimit::default();
+    if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } == -1 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(lim)
+}
+
+/// Raises the soft open-file limit toward `want` (capped at the hard
+/// limit) and returns the resulting soft limit. Never lowers it.
+///
+/// # Errors
+///
+/// Propagates the OS error from `setrlimit`.
+pub fn raise_nofile_limit(want: u64) -> io::Result<u64> {
+    let lim = nofile_limit()?;
+    if lim.cur >= want {
+        return Ok(lim.cur);
+    }
+    let raised = Rlimit {
+        cur: want.min(lim.max),
+        max: lim.max,
+    };
+    if unsafe { setrlimit(RLIMIT_NOFILE, &raised) } == -1 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(raised.cur)
+}
+
+#[cfg(target_os = "linux")]
+pub use linux::*;
+
+#[cfg(target_os = "linux")]
+mod linux {
+    use std::ffi::c_int;
+    use std::io;
+    use std::os::unix::io::RawFd;
+
+    // The kernel packs epoll_event on x86-64 only; every other
+    // architecture uses natural alignment. Getting this wrong corrupts
+    // every second event in the wait buffer.
+    #[cfg(target_arch = "x86_64")]
+    #[repr(C, packed)]
+    #[derive(Debug, Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    #[cfg(not(target_arch = "x86_64"))]
+    #[repr(C)]
+    #[derive(Debug, Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+    pub const EPOLLET: u32 = 1 << 31;
+
+    pub const EPOLL_CTL_ADD: c_int = 1;
+    pub const EPOLL_CTL_DEL: c_int = 2;
+    pub const EPOLL_CTL_MOD: c_int = 3;
+
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int)
+            -> c_int;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    /// Creates a close-on-exec epoll instance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS error.
+    pub fn epoll_create() -> io::Result<RawFd> {
+        let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if fd == -1 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(fd)
+    }
+
+    /// One `epoll_ctl` operation ([`EPOLL_CTL_ADD`] / `MOD` / `DEL`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS error.
+    pub fn epoll_control(
+        epfd: RawFd,
+        op: c_int,
+        fd: RawFd,
+        events: u32,
+        data: u64,
+    ) -> io::Result<()> {
+        // DEL ignores the event argument but pre-2.6.9 kernels fault on
+        // NULL, so always pass a real struct.
+        let mut ev = EpollEvent { events, data };
+        if unsafe { epoll_ctl(epfd, op, fd, &mut ev) } == -1 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Waits for readiness, filling `buf`; returns how many events
+    /// landed. A negative `timeout_ms` blocks indefinitely. `EINTR`
+    /// surfaces as zero events, not an error — reactors always re-poll.
+    ///
+    /// # Errors
+    ///
+    /// Propagates non-`EINTR` OS errors.
+    pub fn epoll_wait_events(
+        epfd: RawFd,
+        buf: &mut [EpollEvent],
+        timeout_ms: c_int,
+    ) -> io::Result<usize> {
+        let n = unsafe { epoll_wait(epfd, buf.as_mut_ptr(), buf.len() as c_int, timeout_ms) };
+        if n == -1 {
+            let e = io::Error::last_os_error();
+            if e.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(e);
+        }
+        Ok(n as usize)
+    }
+
+    /// Closes a raw descriptor owned by the poller.
+    pub fn close_fd(fd: RawFd) {
+        unsafe { close(fd) };
+    }
+}
+
+#[cfg(any(target_os = "macos", target_os = "freebsd"))]
+pub use bsd::*;
+
+#[cfg(any(target_os = "macos", target_os = "freebsd"))]
+mod bsd {
+    use std::ffi::{c_int, c_void};
+    use std::io;
+    use std::os::unix::io::RawFd;
+    use std::ptr;
+
+    #[repr(C)]
+    #[derive(Debug, Clone, Copy)]
+    pub struct Kevent {
+        pub ident: usize,
+        pub filter: i16,
+        pub flags: u16,
+        pub fflags: u32,
+        pub data: isize,
+        pub udata: *mut c_void,
+    }
+
+    #[repr(C)]
+    struct Timespec {
+        tv_sec: i64,
+        tv_nsec: i64,
+    }
+
+    pub const EVFILT_READ: i16 = -1;
+    pub const EVFILT_WRITE: i16 = -2;
+    pub const EV_ADD: u16 = 0x1;
+    pub const EV_DELETE: u16 = 0x2;
+    pub const EV_CLEAR: u16 = 0x20;
+    pub const EV_EOF: u16 = 0x8000;
+    pub const EV_ERROR: u16 = 0x4000;
+
+    extern "C" {
+        fn kqueue() -> c_int;
+        fn kevent(
+            kq: c_int,
+            changelist: *const Kevent,
+            nchanges: c_int,
+            eventlist: *mut Kevent,
+            nevents: c_int,
+            timeout: *const Timespec,
+        ) -> c_int;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    /// Creates a kqueue instance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS error.
+    pub fn kqueue_create() -> io::Result<RawFd> {
+        let fd = unsafe { kqueue() };
+        if fd == -1 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(fd)
+    }
+
+    /// Applies a change list and/or collects events. A negative
+    /// `timeout_ms` blocks indefinitely. `EINTR` surfaces as zero
+    /// events.
+    ///
+    /// # Errors
+    ///
+    /// Propagates non-`EINTR` OS errors.
+    pub fn kevent_wait(
+        kq: RawFd,
+        changes: &[Kevent],
+        events: &mut [Kevent],
+        timeout_ms: c_int,
+    ) -> io::Result<usize> {
+        let ts;
+        let ts_ptr = if timeout_ms < 0 {
+            ptr::null()
+        } else {
+            ts = Timespec {
+                tv_sec: i64::from(timeout_ms) / 1000,
+                tv_nsec: (i64::from(timeout_ms) % 1000) * 1_000_000,
+            };
+            &ts as *const Timespec
+        };
+        let n = unsafe {
+            kevent(
+                kq,
+                changes.as_ptr(),
+                changes.len() as c_int,
+                events.as_mut_ptr(),
+                events.len() as c_int,
+                ts_ptr,
+            )
+        };
+        if n == -1 {
+            let e = io::Error::last_os_error();
+            if e.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(e);
+        }
+        Ok(n as usize)
+    }
+
+    /// Closes a raw descriptor owned by the poller.
+    pub fn close_fd(fd: RawFd) {
+        unsafe { close(fd) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nofile_limit_is_sane() {
+        let lim = nofile_limit().unwrap();
+        assert!(lim.cur > 0);
+        assert!(lim.max >= lim.cur);
+    }
+
+    #[test]
+    fn raise_never_lowers() {
+        let before = nofile_limit().unwrap();
+        let got = raise_nofile_limit(1).unwrap();
+        assert_eq!(got, before.cur);
+    }
+}

@@ -1,0 +1,162 @@
+//! A hashed timer wheel for connection deadlines.
+//!
+//! The reactor needs two kinds of deadline per connection — idle
+//! timeout and write-stall timeout — for up to tens of thousands of
+//! connections, where almost every deadline is *cancelled* (the
+//! connection stays active) rather than fired. The wheel makes the
+//! common path free: deadlines are never removed, only lazily
+//! re-validated when their slot comes around. A connection that stayed
+//! busy simply gets its entry re-filed at the fresh deadline; one that
+//! went quiet fires. Cost per tick is the slot's entry list, cost per
+//! activity is zero.
+
+/// One scheduled entry: an opaque key the caller maps back to a
+/// connection, due at `due_ms` (reactor-relative milliseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    due_ms: u64,
+    key: u64,
+}
+
+/// The wheel. Slots cover `tick_ms` each; entries further out than one
+/// full rotation still land in their modular slot and are skipped (and
+/// kept) until their lap arrives.
+pub struct TimerWheel {
+    slots: Vec<Vec<Entry>>,
+    tick_ms: u64,
+    /// The next slot `advance` will process, in absolute tick units.
+    next_tick: u64,
+    /// Entries filed for ticks already processed; fired on the next
+    /// `advance` once due.
+    late: Vec<Entry>,
+}
+
+impl TimerWheel {
+    /// A wheel of `slots` buckets, each `tick_ms` wide. Accuracy is one
+    /// tick: entries fire within `tick_ms` of their deadline.
+    pub fn new(tick_ms: u64, slots: usize) -> TimerWheel {
+        assert!(tick_ms > 0 && slots > 1);
+        TimerWheel {
+            slots: (0..slots).map(|_| Vec::new()).collect(),
+            tick_ms,
+            next_tick: 0,
+            late: Vec::new(),
+        }
+    }
+
+    /// Files `key` to fire at `due_ms`. Deadlines already in the past
+    /// fire on the next [`advance`](TimerWheel::advance).
+    pub fn schedule(&mut self, due_ms: u64, key: u64) {
+        let tick = due_ms / self.tick_ms;
+        if tick < self.next_tick {
+            // That slot has already been processed this lap; park the
+            // entry where the next advance is guaranteed to see it.
+            self.late.push(Entry { due_ms, key });
+            return;
+        }
+        let slot = (tick % self.slots.len() as u64) as usize;
+        self.slots[slot].push(Entry { due_ms, key });
+    }
+
+    /// Processes every slot up to `now_ms`, calling `fire(key)` for
+    /// each due entry. Entries parked in a passed slot for a future lap
+    /// are re-filed, not fired.
+    pub fn advance(&mut self, now_ms: u64, mut fire: impl FnMut(u64)) {
+        let mut still_late = Vec::new();
+        for e in std::mem::take(&mut self.late) {
+            if e.due_ms <= now_ms {
+                fire(e.key);
+            } else {
+                still_late.push(e);
+            }
+        }
+        self.late = still_late;
+        let target_tick = now_ms / self.tick_ms;
+        while self.next_tick <= target_tick {
+            let slot = (self.next_tick % self.slots.len() as u64) as usize;
+            let entries = std::mem::take(&mut self.slots[slot]);
+            for e in entries {
+                if e.due_ms <= now_ms {
+                    fire(e.key);
+                } else {
+                    self.schedule(e.due_ms, e.key);
+                }
+            }
+            self.next_tick += 1;
+        }
+    }
+
+    /// Scheduled entry count (live and stale alike), for tests and
+    /// introspection.
+    pub fn len(&self) -> usize {
+        self.late.len() + self.slots.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// Whether nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fired(wheel: &mut TimerWheel, now_ms: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        wheel.advance(now_ms, |k| out.push(k));
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn fires_at_deadline_within_a_tick() {
+        let mut w = TimerWheel::new(10, 16);
+        w.schedule(35, 1);
+        assert_eq!(fired(&mut w, 20), Vec::<u64>::new());
+        assert_eq!(fired(&mut w, 40), vec![1]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn past_deadline_fires_immediately() {
+        let mut w = TimerWheel::new(10, 16);
+        w.advance(100, |_| {});
+        w.schedule(50, 9);
+        assert_eq!(fired(&mut w, 100), vec![9]);
+    }
+
+    #[test]
+    fn far_future_entries_survive_full_laps() {
+        let mut w = TimerWheel::new(10, 4);
+        // One lap is 40ms; a 170ms deadline parks in its modular slot
+        // through four passes.
+        w.schedule(170, 5);
+        assert_eq!(fired(&mut w, 160), Vec::<u64>::new());
+        assert_eq!(fired(&mut w, 180), vec![5]);
+    }
+
+    #[test]
+    fn many_keys_fire_in_their_own_slots() {
+        let mut w = TimerWheel::new(5, 8);
+        for k in 0..100 {
+            w.schedule(k * 3, k);
+        }
+        let mut all = Vec::new();
+        for now in (0..350).step_by(7) {
+            w.advance(now, |k| all.push(k));
+        }
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn advance_is_monotonic_and_idempotent() {
+        let mut w = TimerWheel::new(10, 16);
+        w.schedule(30, 1);
+        assert_eq!(fired(&mut w, 30), vec![1]);
+        // Re-advancing over the same span fires nothing twice.
+        assert_eq!(fired(&mut w, 30), Vec::<u64>::new());
+        assert_eq!(fired(&mut w, 25), Vec::<u64>::new());
+    }
+}

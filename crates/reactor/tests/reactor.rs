@@ -1,0 +1,344 @@
+//! End-to-end reactor tests over real loopback sockets: a trivial
+//! length-free echo protocol exercises accept, edge-triggered reads,
+//! buffered writes, cross-thread sends, idle eviction, the connection
+//! cap, and drain-then-exit.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::mpsc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use knightking_reactor::{
+    CloseReason, ConnHandler, ConnIo, Reactor, ReactorConfig, ReactorHandle, Token,
+};
+
+/// Echoes every byte back; `closes` reports each close reason.
+struct Echo {
+    closes: mpsc::Sender<(Token, CloseReason)>,
+}
+
+impl ConnHandler for Echo {
+    type Conn = ();
+
+    fn on_open(&mut self, _token: Token, _peer: SocketAddr) -> Self::Conn {}
+
+    fn on_data(
+        &mut self,
+        io: &mut ConnIo<'_>,
+        _conn: &mut Self::Conn,
+        input: &mut Vec<u8>,
+    ) -> std::io::Result<()> {
+        io.send(input);
+        input.clear();
+        Ok(())
+    }
+
+    fn on_close(&mut self, token: Token, _conn: Self::Conn, reason: CloseReason) {
+        let _ = self.closes.send((token, reason));
+    }
+}
+
+struct Running {
+    addr: SocketAddr,
+    handle: ReactorHandle,
+    closes: mpsc::Receiver<(Token, CloseReason)>,
+    thread: thread::JoinHandle<std::io::Result<()>>,
+}
+
+fn spawn_echo(cfg: ReactorConfig) -> Running {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let (tx, rx) = mpsc::channel();
+    let reactor = Reactor::new(listener, cfg, |_handle| Echo { closes: tx }).unwrap();
+    let handle = reactor.handle();
+    let thread = thread::spawn(move || reactor.run());
+    Running {
+        addr,
+        handle,
+        closes: rx,
+        thread,
+    }
+}
+
+fn read_exact_timeout(stream: &mut TcpStream, n: usize) -> Vec<u8> {
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut buf = vec![0u8; n];
+    stream.read_exact(&mut buf).unwrap();
+    buf
+}
+
+#[test]
+fn echoes_across_many_connections() {
+    let r = spawn_echo(ReactorConfig::default());
+    let mut conns: Vec<TcpStream> = (0..64)
+        .map(|_| TcpStream::connect(r.addr).unwrap())
+        .collect();
+    for (i, c) in conns.iter_mut().enumerate() {
+        let msg = format!("hello from client {i}");
+        c.write_all(msg.as_bytes()).unwrap();
+        let back = read_exact_timeout(c, msg.len());
+        assert_eq!(back, msg.into_bytes());
+    }
+    // Interleave a second round in reverse order: connections are
+    // independent and long-lived.
+    for (i, c) in conns.iter_mut().enumerate().rev() {
+        let msg = format!("round two {i}");
+        c.write_all(msg.as_bytes()).unwrap();
+        assert_eq!(read_exact_timeout(c, msg.len()), msg.into_bytes());
+    }
+    drop(conns);
+    r.handle.stop();
+    r.thread.join().unwrap().unwrap();
+}
+
+#[test]
+fn one_byte_chunks_accumulate() {
+    let r = spawn_echo(ReactorConfig::default());
+    let mut c = TcpStream::connect(r.addr).unwrap();
+    c.set_nodelay(true).unwrap();
+    let msg = b"trickled";
+    for &b in msg.iter() {
+        c.write_all(&[b]).unwrap();
+        thread::sleep(Duration::from_millis(2));
+    }
+    assert_eq!(read_exact_timeout(&mut c, msg.len()), msg.to_vec());
+    r.handle.stop();
+    r.thread.join().unwrap().unwrap();
+}
+
+#[test]
+fn peer_close_reaches_handler() {
+    let r = spawn_echo(ReactorConfig::default());
+    let c = TcpStream::connect(r.addr).unwrap();
+    // Ensure the connection is fully established server-side first.
+    thread::sleep(Duration::from_millis(50));
+    drop(c);
+    let (_token, reason) = r.closes.recv_timeout(Duration::from_secs(10)).unwrap();
+    assert!(
+        matches!(reason, CloseReason::PeerClosed),
+        "expected PeerClosed, got {reason:?}"
+    );
+    r.handle.stop();
+    r.thread.join().unwrap().unwrap();
+}
+
+#[test]
+fn idle_connections_are_evicted() {
+    let r = spawn_echo(ReactorConfig {
+        idle_timeout: Duration::from_millis(200),
+        ..ReactorConfig::default()
+    });
+    // A half-open peer: connects, says nothing, never reads.
+    let mut c = TcpStream::connect(r.addr).unwrap();
+    let start = Instant::now();
+    let (_token, reason) = r.closes.recv_timeout(Duration::from_secs(10)).unwrap();
+    assert!(
+        matches!(reason, CloseReason::IdleTimeout),
+        "expected IdleTimeout, got {reason:?}"
+    );
+    let waited = start.elapsed();
+    assert!(
+        waited >= Duration::from_millis(150),
+        "evicted too early: {waited:?}"
+    );
+    // The client observes EOF.
+    c.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut buf = [0u8; 1];
+    assert_eq!(c.read(&mut buf).unwrap(), 0);
+    r.handle.stop();
+    r.thread.join().unwrap().unwrap();
+}
+
+#[test]
+fn active_connections_survive_idle_sweeps() {
+    let r = spawn_echo(ReactorConfig {
+        idle_timeout: Duration::from_millis(300),
+        ..ReactorConfig::default()
+    });
+    let mut c = TcpStream::connect(r.addr).unwrap();
+    // Keep touching the connection for several timeout windows.
+    for i in 0..10u32 {
+        let msg = format!("beat {i}");
+        c.write_all(msg.as_bytes()).unwrap();
+        assert_eq!(read_exact_timeout(&mut c, msg.len()), msg.into_bytes());
+        thread::sleep(Duration::from_millis(100));
+    }
+    assert!(
+        r.closes.try_recv().is_err(),
+        "an active connection was evicted"
+    );
+    r.handle.stop();
+    r.thread.join().unwrap().unwrap();
+}
+
+#[test]
+fn cross_thread_send_reaches_client() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let (tok_tx, tok_rx) = mpsc::channel();
+
+    struct Opens {
+        tx: mpsc::Sender<Token>,
+    }
+    impl ConnHandler for Opens {
+        type Conn = ();
+        fn on_open(&mut self, token: Token, _peer: SocketAddr) -> Self::Conn {
+            let _ = self.tx.send(token);
+        }
+        fn on_data(
+            &mut self,
+            _io: &mut ConnIo<'_>,
+            _conn: &mut Self::Conn,
+            input: &mut Vec<u8>,
+        ) -> std::io::Result<()> {
+            input.clear();
+            Ok(())
+        }
+        fn on_close(&mut self, _token: Token, _conn: Self::Conn, _reason: CloseReason) {}
+    }
+
+    let reactor = Reactor::new(listener, ReactorConfig::default(), |_h| Opens { tx: tok_tx })
+        .unwrap();
+    let handle = reactor.handle();
+    let t = thread::spawn(move || reactor.run());
+
+    let mut c = TcpStream::connect(addr).unwrap();
+    let token = tok_rx.recv_timeout(Duration::from_secs(10)).unwrap();
+    // Push from this thread, not the poller thread — the wake-pipe path.
+    handle.send(token, b"pushed from afar".to_vec());
+    assert_eq!(read_exact_timeout(&mut c, 16), b"pushed from afar".to_vec());
+
+    // A send to a closed connection must be inert, not a crash.
+    drop(c);
+    thread::sleep(Duration::from_millis(100));
+    handle.send(token, b"into the void".to_vec());
+
+    handle.stop();
+    t.join().unwrap().unwrap();
+}
+
+#[test]
+fn connection_cap_sheds_excess() {
+    let r = spawn_echo(ReactorConfig {
+        max_connections: 4,
+        ..ReactorConfig::default()
+    });
+    let mut kept: Vec<TcpStream> = (0..4)
+        .map(|_| TcpStream::connect(r.addr).unwrap())
+        .collect();
+    // Make sure all four are registered before over-subscribing.
+    for (i, c) in kept.iter_mut().enumerate() {
+        let msg = format!("in {i}");
+        c.write_all(msg.as_bytes()).unwrap();
+        assert_eq!(read_exact_timeout(c, msg.len()), msg.into_bytes());
+    }
+    // The fifth is accepted then immediately closed: EOF, not a hang.
+    let mut extra = TcpStream::connect(r.addr).unwrap();
+    extra
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut buf = [0u8; 1];
+    match extra.read(&mut buf) {
+        Ok(0) => {}
+        Ok(n) => panic!("shed connection received {n} bytes"),
+        Err(e) if e.kind() == ErrorKind::ConnectionReset => {}
+        Err(e) => panic!("unexpected error on shed connection: {e}"),
+    }
+    assert!(r.handle.rejected_connections() >= 1);
+    // Shedding freed nothing: the four originals still work.
+    for (i, c) in kept.iter_mut().enumerate() {
+        let msg = format!("still {i}");
+        c.write_all(msg.as_bytes()).unwrap();
+        assert_eq!(read_exact_timeout(c, msg.len()), msg.into_bytes());
+    }
+    r.handle.stop();
+    r.thread.join().unwrap().unwrap();
+}
+
+#[test]
+fn stop_flushes_pending_writes_before_exit() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let (tok_tx, tok_rx) = mpsc::channel();
+
+    struct Opens {
+        tx: mpsc::Sender<Token>,
+    }
+    impl ConnHandler for Opens {
+        type Conn = ();
+        fn on_open(&mut self, token: Token, _peer: SocketAddr) -> Self::Conn {
+            let _ = self.tx.send(token);
+        }
+        fn on_data(
+            &mut self,
+            _io: &mut ConnIo<'_>,
+            _conn: &mut Self::Conn,
+            input: &mut Vec<u8>,
+        ) -> std::io::Result<()> {
+            input.clear();
+            Ok(())
+        }
+        fn on_close(&mut self, _token: Token, _conn: Self::Conn, _reason: CloseReason) {}
+    }
+
+    let reactor = Reactor::new(listener, ReactorConfig::default(), |_h| Opens { tx: tok_tx })
+        .unwrap();
+    let handle = reactor.handle();
+    let t = thread::spawn(move || reactor.run());
+
+    let mut c = TcpStream::connect(addr).unwrap();
+    let token = tok_rx.recv_timeout(Duration::from_secs(10)).unwrap();
+    let payload = vec![0x5Au8; 1 << 20];
+    handle.send(token, payload.clone());
+    handle.stop();
+
+    // Stop must not lose the megabyte queued just before it.
+    let got = read_exact_timeout(&mut c, payload.len());
+    assert_eq!(got, payload);
+    let mut rest = Vec::new();
+    c.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty());
+    t.join().unwrap().unwrap();
+    assert_eq!(handle.connections(), 0);
+}
+
+#[test]
+fn handler_requested_close_after_flush() {
+    struct OneShot;
+    impl ConnHandler for OneShot {
+        type Conn = ();
+        fn on_open(&mut self, _token: Token, _peer: SocketAddr) -> Self::Conn {}
+        fn on_data(
+            &mut self,
+            io: &mut ConnIo<'_>,
+            _conn: &mut Self::Conn,
+            input: &mut Vec<u8>,
+        ) -> std::io::Result<()> {
+            io.send(b"bye");
+            io.close();
+            input.clear();
+            Ok(())
+        }
+        fn on_close(&mut self, _token: Token, _conn: Self::Conn, _reason: CloseReason) {}
+    }
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let reactor = Reactor::new(listener, ReactorConfig::default(), |_h| OneShot).unwrap();
+    let handle = reactor.handle();
+    let t = thread::spawn(move || reactor.run());
+
+    let mut c = TcpStream::connect(addr).unwrap();
+    c.write_all(b"anything").unwrap();
+    let mut all = Vec::new();
+    c.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    c.read_to_end(&mut all).unwrap();
+    // The farewell arrives, then EOF — not an abrupt reset.
+    assert_eq!(all, b"bye");
+
+    handle.stop();
+    t.join().unwrap().unwrap();
+}

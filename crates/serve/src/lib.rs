@@ -17,7 +17,10 @@
 //! * [`service`] — [`WalkService`] / [`ServiceHandle`]: the bounded
 //!   admission queue (reject-with-retry-after on overflow), per-request
 //!   deadlines, and drain-then-exit shutdown;
-//! * [`listener`] — the TCP front door bridging sockets to a handle;
+//! * [`listener`] — the TCP front door: every client connection lives
+//!   in one `knightking-reactor` event-loop thread, and each request is
+//!   queued under its tenant's weighted-fair-queueing lane (tenants come
+//!   from the hello; weights and quotas from [`ServiceConfig`]);
 //! * [`stats`] — request latency and queue-depth histograms in the same
 //!   report schemas as `knightking-obs` profiles, plus the live metrics
 //!   plane: per-superstep gauges, a bounded time series, the
@@ -71,16 +74,18 @@
 pub mod listener;
 pub mod metrics_http;
 pub mod protocol;
+mod qos;
 pub mod service;
 pub mod signal;
 pub mod stats;
 pub mod trace;
 
-pub use listener::serve_listener;
+pub use listener::{serve_listener, serve_listener_with, ListenerConfig};
 pub use metrics_http::metrics_listener;
 pub use protocol::{
-    Request, StartSpec, Status, WalkRequest, WalkResponse, SERVE_MAGIC, SERVE_VERSION,
+    Request, StartSpec, Status, WalkRequest, WalkResponse, DEFAULT_TENANT, SERVE_MAGIC,
+    SERVE_VERSION,
 };
-pub use service::{ServiceConfig, ServiceHandle, WalkService};
-pub use stats::{SeriesPoint, ServeStats, StatsReport};
+pub use service::{Responder, ServiceConfig, ServiceHandle, WalkService};
+pub use stats::{SeriesPoint, ServeStats, StatsReport, TenantStat};
 pub use trace::TraceLog;

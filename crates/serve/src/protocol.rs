@@ -1,15 +1,18 @@
 //! The serve request/response protocol.
 //!
-//! Rides on `knightking-net`'s frame layer: after a 6-byte client hello
-//! ([`SERVE_MAGIC`] + [`SERVE_VERSION`]), every request travels as one
-//! `REQ` frame whose sequence number is a client-chosen request id, and
-//! every response as one `RESP` frame echoing that id. Payloads use the
-//! same hand-rolled [`Wire`] codec as every other byte that crosses a
-//! KnightKing socket.
+//! Rides on `knightking-net`'s frame layer: after the client hello
+//! ([`SERVE_MAGIC`] + [`SERVE_VERSION`] + a tenant id), every request
+//! travels as one `REQ` frame whose sequence number is a client-chosen
+//! request id, and every response as one `RESP` frame echoing that id.
+//! Payloads use the same hand-rolled [`Wire`] codec as every other byte
+//! that crosses a KnightKing socket.
 //!
 //! The hello exists so a serve listener can immediately distinguish a
 //! query client from a stray cluster peer (whose handshake starts with
 //! `KKNT`) and fail with a clear error instead of a frame-decode panic.
+//! Since version 4 it also names the client's **tenant** — the identity
+//! per-tenant fair queueing and quotas key on ([`connect_as`]); clients
+//! that name none land in [`DEFAULT_TENANT`].
 
 use std::io::{self, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -26,8 +29,109 @@ pub const SERVE_MAGIC: [u8; 4] = *b"KKSV";
 
 /// Serve-protocol version, bumped on any wire change. Version 2 added
 /// [`Request::Update`] and [`Status::Updated`]; version 3 added
-/// [`Request::Stats`] and [`Status::Stats`].
-pub const SERVE_VERSION: u16 = 3;
+/// [`Request::Stats`] and [`Status::Stats`]; version 4 added the tenant
+/// id to the hello and per-tenant counters to [`StatsReport`].
+pub const SERVE_VERSION: u16 = 4;
+
+/// Longest tenant id a hello may carry.
+pub const MAX_TENANT_LEN: usize = 64;
+
+/// The tenant requests fall under when the hello names none.
+pub const DEFAULT_TENANT: &str = "default";
+
+/// Checks a tenant id: at most [`MAX_TENANT_LEN`] bytes of
+/// `[A-Za-z0-9._-]` (empty is allowed and means [`DEFAULT_TENANT`]).
+///
+/// # Errors
+///
+/// Fails with `InvalidInput` naming the violation.
+pub fn validate_tenant(tenant: &str) -> io::Result<()> {
+    if tenant.len() > MAX_TENANT_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "tenant id of {} bytes exceeds the {MAX_TENANT_LEN}-byte limit",
+                tenant.len()
+            ),
+        ));
+    }
+    if let Some(b) = tenant
+        .bytes()
+        .find(|b| !(b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-')))
+    {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("tenant id contains byte {b:#04x}; only [A-Za-z0-9._-] is allowed"),
+        ));
+    }
+    Ok(())
+}
+
+/// Encodes the client hello: magic, version, and a length-prefixed
+/// tenant id.
+///
+/// # Errors
+///
+/// Fails with `InvalidInput` when the tenant id is invalid.
+pub fn hello_bytes(tenant: &str) -> io::Result<Vec<u8>> {
+    validate_tenant(tenant)?;
+    let mut out = Vec::with_capacity(7 + tenant.len());
+    out.extend_from_slice(&SERVE_MAGIC);
+    out.extend_from_slice(&SERVE_VERSION.to_le_bytes());
+    out.push(tenant.len() as u8);
+    out.extend_from_slice(tenant.as_bytes());
+    Ok(out)
+}
+
+/// Tries to split one hello off the front of `buf` — the listener-side
+/// incremental parser. Returns the (normalized) tenant plus the bytes
+/// consumed, or `None` when the hello is still incomplete. An empty
+/// tenant id normalizes to [`DEFAULT_TENANT`].
+///
+/// # Errors
+///
+/// Fails with `InvalidData` on a bad magic (likely a stray cluster
+/// peer), an unsupported version, or a malformed tenant id.
+pub fn split_hello(buf: &[u8]) -> io::Result<Option<(String, usize)>> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    if buf[0..4] != SERVE_MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a serve client: bad hello magic (is this a cluster peer?)",
+        ));
+    }
+    if buf.len() < 7 {
+        return Ok(None);
+    }
+    let version = u16::from_le_bytes([buf[4], buf[5]]);
+    if version != SERVE_VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("serve protocol version {version} not supported (want {SERVE_VERSION})"),
+        ));
+    }
+    let n = buf[6] as usize;
+    if n > MAX_TENANT_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("tenant id of {n} bytes exceeds the {MAX_TENANT_LEN}-byte limit"),
+        ));
+    }
+    if buf.len() < 7 + n {
+        return Ok(None);
+    }
+    let tenant = std::str::from_utf8(&buf[7..7 + n])
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "tenant id is not UTF-8"))?;
+    validate_tenant(tenant).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let tenant = if tenant.is_empty() {
+        DEFAULT_TENANT.to_string()
+    } else {
+        tenant.to_string()
+    };
+    Ok(Some((tenant, 7 + n)))
+}
 
 /// Where a request's walkers start.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -293,17 +397,28 @@ impl Wire for WalkResponse {
     }
 }
 
-/// Connects to a serve listener and sends the protocol hello.
+/// Connects to a serve listener and sends the protocol hello as
+/// [`DEFAULT_TENANT`].
 ///
 /// # Errors
 ///
 /// Propagates connection failures.
 pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<TcpStream> {
+    connect_as(addr, "")
+}
+
+/// Connects to a serve listener announcing `tenant` (empty means
+/// [`DEFAULT_TENANT`]). The tenant determines which fair-queueing lane
+/// and quota the connection's requests fall under.
+///
+/// # Errors
+///
+/// Propagates connection failures; an invalid tenant id fails with
+/// `InvalidInput` before anything is sent.
+pub fn connect_as<A: ToSocketAddrs>(addr: A, tenant: &str) -> io::Result<TcpStream> {
+    let hello = hello_bytes(tenant)?;
     let mut stream = TcpStream::connect(addr)?;
     stream.set_nodelay(true)?;
-    let mut hello = [0u8; 6];
-    hello[0..4].copy_from_slice(&SERVE_MAGIC);
-    hello[4..6].copy_from_slice(&SERVE_VERSION.to_le_bytes());
     stream.write_all(&hello)?;
     Ok(stream)
 }
@@ -449,5 +564,49 @@ mod tests {
         let full = to_bytes(&Status::Invalid("hello".into())).unwrap();
         let cut = &full[..full.len() - 2];
         assert!(from_bytes::<Status>(cut).is_err());
+    }
+
+    #[test]
+    fn hello_round_trips_through_incremental_parse() {
+        for tenant in ["", "default", "team-a", "p99.critical_7"] {
+            let bytes = hello_bytes(tenant).unwrap();
+            for cut in 0..bytes.len() {
+                assert_eq!(split_hello(&bytes[..cut]).unwrap(), None, "prefix {cut}");
+            }
+            let (got, used) = split_hello(&bytes).unwrap().unwrap();
+            let want = if tenant.is_empty() { DEFAULT_TENANT } else { tenant };
+            assert_eq!(got, want);
+            assert_eq!(used, bytes.len());
+        }
+    }
+
+    #[test]
+    fn hello_rejects_bad_magic_version_and_tenant() {
+        let mut bytes = hello_bytes("x").unwrap();
+        bytes[0] = b'X';
+        assert!(split_hello(&bytes).unwrap_err().to_string().contains("magic"));
+
+        let mut bytes = hello_bytes("x").unwrap();
+        bytes[4..6].copy_from_slice(&99u16.to_le_bytes());
+        assert!(split_hello(&bytes)
+            .unwrap_err()
+            .to_string()
+            .contains("version 99"));
+
+        // An overlong length byte fails before the name even arrives.
+        let mut bytes = hello_bytes("x").unwrap();
+        bytes[6] = (MAX_TENANT_LEN + 1) as u8;
+        assert!(split_hello(&bytes[..7]).unwrap_err().to_string().contains("64-byte"));
+
+        // Client side refuses bad tenant ids outright.
+        assert!(hello_bytes("has space").is_err());
+        assert!(hello_bytes(&"x".repeat(MAX_TENANT_LEN + 1)).is_err());
+        assert!(hello_bytes(&"x".repeat(MAX_TENANT_LEN)).is_ok());
+
+        // Server side: a non-allowed byte inside the name.
+        let mut bytes = hello_bytes("ab").unwrap();
+        let n = bytes.len();
+        bytes[n - 1] = b'!';
+        assert!(split_hello(&bytes).is_err());
     }
 }

@@ -1,0 +1,381 @@
+//! Per-tenant admission control: weighted fair queueing and quotas.
+//!
+//! The admission queue is no longer one FIFO — each tenant (named in
+//! the client hello) gets its own lane, and the driver pops requests by
+//! **deficit round-robin**: every time the scheduler's cursor visits a
+//! non-empty lane it banks `QUANTUM × weight` walkers of credit, and a
+//! lane may dequeue its head request once its bank covers the request's
+//! walker count. Over any busy interval, tenant `i` therefore admits
+//! walkers in proportion to `weight_i / Σ weight_j` regardless of how
+//! request sizes are distributed — one tenant's 10k-walker monsters
+//! cannot starve another's single-walker lookups.
+//!
+//! Two backpressure layers ride on top, both answered with
+//! `Status::Rejected { retry_after_ms }` so clients back off instead of
+//! piling on:
+//!
+//! * a **global capacity** across all lanes (the pre-existing
+//!   `queue_capacity` bound), and
+//! * an optional **per-tenant quota** on lane depth, which sheds a
+//!   flooding tenant while the queue still has room for everyone else.
+//!   Quota sheds are counted separately (`shed`) so operators can tell
+//!   "the service is full" from "tenant X is being throttled".
+//!
+//! Idle lanes forfeit their bank (classic DRR): fairness is about
+//! sharing the present backlog, not hoarding credit from quiet hours.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::protocol::StartSpec;
+use crate::service::QueuedReq;
+use crate::stats::TenantStat;
+
+/// Walkers of credit banked per cursor visit, scaled by lane weight.
+/// Small enough that single-walker lanes interleave finely, large
+/// enough that a typical request clears in a few rotations.
+const QUANTUM: u64 = 64;
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Shed {
+    /// The global queue is at capacity.
+    QueueFull,
+    /// This tenant's lane is at its quota.
+    TenantQuota,
+}
+
+/// One tenant's lane.
+struct Lane {
+    name: String,
+    weight: u32,
+    /// Banked walker credit (deficit counter).
+    deficit: u64,
+    queue: VecDeque<QueuedReq>,
+    admitted: u64,
+    completed: u64,
+    rejected: u64,
+    shed: u64,
+}
+
+impl Lane {
+    fn new(name: String, weight: u32) -> Lane {
+        Lane {
+            name,
+            weight: weight.max(1),
+            deficit: 0,
+            queue: VecDeque::new(),
+            admitted: 0,
+            completed: 0,
+            rejected: 0,
+            shed: 0,
+        }
+    }
+}
+
+/// The weighted fair admission queue.
+pub(crate) struct FairQueue {
+    capacity: usize,
+    /// Per-tenant lane-depth bound; `0` means unlimited.
+    quota: usize,
+    default_weight: u32,
+    lanes: Vec<Lane>,
+    index: HashMap<String, usize>,
+    cursor: usize,
+    len: usize,
+}
+
+/// A request's cost in walkers (its fair-queueing currency). Zero-walker
+/// requests cost 1 so they still consume a scheduling slot.
+fn cost(req: &QueuedReq) -> u64 {
+    match &req.req.starts {
+        StartSpec::Count(n) => (*n).max(1),
+        StartSpec::Explicit(v) => (v.len() as u64).max(1),
+    }
+}
+
+impl FairQueue {
+    /// A queue bounded at `capacity` requests overall and `quota` per
+    /// tenant (`0` = no per-tenant bound). `weights` pre-registers named
+    /// tenants; anyone else gets `default_weight`.
+    pub(crate) fn new(
+        capacity: usize,
+        quota: usize,
+        default_weight: u32,
+        weights: &[(String, u32)],
+    ) -> FairQueue {
+        let mut q = FairQueue {
+            capacity,
+            quota,
+            default_weight: default_weight.max(1),
+            lanes: Vec::new(),
+            index: HashMap::new(),
+            cursor: 0,
+            len: 0,
+        };
+        for (name, w) in weights {
+            let i = q.lane_index(name);
+            q.lanes[i].weight = (*w).max(1);
+        }
+        q
+    }
+
+    fn lane_index(&mut self, tenant: &str) -> usize {
+        if let Some(&i) = self.index.get(tenant) {
+            return i;
+        }
+        let i = self.lanes.len();
+        self.lanes
+            .push(Lane::new(tenant.to_string(), self.default_weight));
+        self.index.insert(tenant.to_string(), i);
+        i
+    }
+
+    /// Queued requests across all lanes.
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether every lane is empty.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Enqueues `req` on its tenant's lane, or hands it back with the
+    /// shed reason when a bound is hit.
+    pub(crate) fn push(&mut self, req: QueuedReq) -> Result<(), (QueuedReq, Shed)> {
+        let i = self.lane_index(&req.tenant);
+        if self.len >= self.capacity {
+            self.lanes[i].rejected += 1;
+            return Err((req, Shed::QueueFull));
+        }
+        if self.quota > 0 && self.lanes[i].queue.len() >= self.quota {
+            self.lanes[i].rejected += 1;
+            self.lanes[i].shed += 1;
+            return Err((req, Shed::TenantQuota));
+        }
+        self.lanes[i].queue.push_back(req);
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Dequeues the next request under deficit round-robin. Within a
+    /// lane, order stays FIFO; across lanes, admitted walker counts
+    /// track the weight ratio.
+    pub(crate) fn pop(&mut self) -> Option<QueuedReq> {
+        if self.len == 0 {
+            return None;
+        }
+        let n = self.lanes.len();
+        let mut visits = 0usize;
+        loop {
+            let i = self.cursor;
+            let lane = &mut self.lanes[i];
+            if lane.queue.is_empty() {
+                // Idle lanes forfeit banked credit.
+                lane.deficit = 0;
+                self.cursor = (i + 1) % n;
+                continue;
+            }
+            let c = cost(&lane.queue[0]);
+            if lane.deficit >= c {
+                lane.deficit -= c;
+                lane.admitted += 1;
+                self.len -= 1;
+                // Cursor stays: the lane keeps its turn while credit
+                // lasts, then pays its way back around.
+                return lane.queue.pop_front();
+            }
+            lane.deficit += QUANTUM * u64::from(lane.weight);
+            self.cursor = (i + 1) % n;
+            visits += 1;
+            if visits >= n {
+                // A full rotation replenished every non-empty lane once
+                // without serving anything: the cheapest head still owes
+                // rotations. Bank them all at once instead of spinning.
+                let rounds = self
+                    .lanes
+                    .iter()
+                    .filter(|l| !l.queue.is_empty())
+                    .map(|l| {
+                        let per = QUANTUM * u64::from(l.weight);
+                        cost(&l.queue[0]).saturating_sub(l.deficit).div_ceil(per)
+                    })
+                    .min()
+                    .unwrap_or(0);
+                for l in self.lanes.iter_mut().filter(|l| !l.queue.is_empty()) {
+                    l.deficit += rounds * QUANTUM * u64::from(l.weight);
+                }
+                visits = 0;
+            }
+        }
+    }
+
+    /// Records a completion against `tenant`'s counters.
+    pub(crate) fn note_completed(&mut self, tenant: &str) {
+        if let Some(&i) = self.index.get(tenant) {
+            self.lanes[i].completed += 1;
+        }
+    }
+
+    /// Empties every lane (shutdown drain), returning the requests in
+    /// lane order.
+    pub(crate) fn drain_all(&mut self) -> Vec<QueuedReq> {
+        self.len = 0;
+        self.lanes
+            .iter_mut()
+            .flat_map(|l| l.queue.drain(..))
+            .collect()
+    }
+
+    /// Per-tenant snapshot, sorted by name.
+    pub(crate) fn tenant_stats(&self) -> Vec<TenantStat> {
+        let mut v: Vec<TenantStat> = self
+            .lanes
+            .iter()
+            .map(|l| TenantStat {
+                name: l.name.clone(),
+                weight: l.weight,
+                queued: l.queue.len() as u64,
+                admitted: l.admitted,
+                completed: l.completed,
+                rejected: l.rejected,
+                shed: l.shed,
+            })
+            .collect();
+        v.sort_by(|a, b| a.name.cmp(&b.name));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::WalkRequest;
+    use crate::service::Responder;
+    use std::time::Instant;
+
+    fn req(tenant: &str, walkers: u64) -> QueuedReq {
+        QueuedReq {
+            tenant: tenant.to_string(),
+            req: WalkRequest {
+                seed: 0,
+                starts: StartSpec::Count(walkers),
+                deadline_ms: 0,
+            },
+            enqueued: Instant::now(),
+            responder: Responder::Callback(Box::new(|_| {})),
+        }
+    }
+
+    #[test]
+    fn single_tenant_stays_fifo() {
+        let mut q = FairQueue::new(16, 0, 1, &[]);
+        for w in [5, 1, 300, 2] {
+            q.push(req("a", w)).map_err(|_| ()).unwrap();
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|r| cost(&r))
+            .collect();
+        assert_eq!(order, vec![5, 1, 300, 2]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn weighted_shares_track_weights() {
+        // Equal-cost requests, weights 1 : 3 — over a long run tenant b
+        // should admit ~3x the walkers of tenant a.
+        let mut q = FairQueue::new(1000, 0, 1, &[("b".to_string(), 3)]);
+        for _ in 0..200 {
+            q.push(req("a", 10)).map_err(|_| ()).unwrap();
+            q.push(req("b", 10)).map_err(|_| ()).unwrap();
+        }
+        let (mut a, mut b) = (0u64, 0u64);
+        for _ in 0..100 {
+            let r = q.pop().unwrap();
+            match r.tenant.as_str() {
+                "a" => a += cost(&r),
+                _ => b += cost(&r),
+            }
+        }
+        // 100 pops of cost 10 = 1000 walkers; the 1:3 split is 250/750.
+        // DRR is exact to within one quantum per lane.
+        assert!((200..=320).contains(&a), "tenant a got {a}");
+        assert!((680..=800).contains(&b), "tenant b got {b}");
+    }
+
+    #[test]
+    fn giant_requests_do_not_starve_small_ones() {
+        let mut q = FairQueue::new(100, 0, 1, &[]);
+        // Tenant "big" queues 100k-walker monsters; "small" queues
+        // 1-walker lookups. Both make progress, roughly alternating in
+        // walker share.
+        for _ in 0..3 {
+            q.push(req("big", 100_000)).map_err(|_| ()).unwrap();
+        }
+        for _ in 0..50 {
+            q.push(req("small", 1)).map_err(|_| ()).unwrap();
+        }
+        let mut popped = Vec::new();
+        while let Some(r) = q.pop() {
+            popped.push(r.tenant.clone());
+        }
+        assert_eq!(popped.len(), 53);
+        // The small lane drains long before the last monster: count
+        // smalls served before the final big.
+        let last_big = popped.iter().rposition(|t| t == "big").unwrap();
+        let smalls_before = popped[..last_big].iter().filter(|t| *t == "small").count();
+        assert!(
+            smalls_before >= 45,
+            "only {smalls_before} small requests beat the last monster"
+        );
+    }
+
+    #[test]
+    fn quota_sheds_only_the_flooding_tenant() {
+        let mut q = FairQueue::new(100, 2, 1, &[]);
+        q.push(req("flood", 1)).map_err(|_| ()).unwrap();
+        q.push(req("flood", 1)).map_err(|_| ()).unwrap();
+        let (back, why) = q.push(req("flood", 1)).unwrap_err();
+        assert_eq!(why, Shed::TenantQuota);
+        assert_eq!(back.tenant, "flood");
+        // Another tenant still gets in.
+        q.push(req("calm", 1)).map_err(|_| ()).unwrap();
+        assert_eq!(q.len(), 3);
+        let stats = q.tenant_stats();
+        let flood = stats.iter().find(|t| t.name == "flood").unwrap();
+        assert_eq!(flood.rejected, 1);
+        assert_eq!(flood.shed, 1);
+        let calm = stats.iter().find(|t| t.name == "calm").unwrap();
+        assert_eq!(calm.rejected, 0);
+    }
+
+    #[test]
+    fn capacity_rejects_across_all_tenants() {
+        let mut q = FairQueue::new(2, 0, 1, &[]);
+        q.push(req("a", 1)).map_err(|_| ()).unwrap();
+        q.push(req("b", 1)).map_err(|_| ()).unwrap();
+        let (_, why) = q.push(req("c", 1)).unwrap_err();
+        assert_eq!(why, Shed::QueueFull);
+        let stats = q.tenant_stats();
+        let c = stats.iter().find(|t| t.name == "c").unwrap();
+        assert_eq!(c.rejected, 1);
+        assert_eq!(c.shed, 0);
+    }
+
+    #[test]
+    fn drain_returns_everything_and_counters_survive() {
+        let mut q = FairQueue::new(10, 0, 2, &[]);
+        for t in ["a", "b", "a"] {
+            q.push(req(t, 1)).map_err(|_| ()).unwrap();
+        }
+        let _ = q.pop().unwrap();
+        q.note_completed("a");
+        let drained = q.drain_all();
+        assert_eq!(drained.len(), 2);
+        assert!(q.is_empty());
+        assert_eq!(q.pop().map(|r| r.tenant), None);
+        let stats = q.tenant_stats();
+        assert_eq!(stats.iter().map(|t| t.admitted).sum::<u64>(), 1);
+        assert_eq!(stats.iter().map(|t| t.completed).sum::<u64>(), 1);
+    }
+}

@@ -24,7 +24,8 @@ use knightking_core::{
 use knightking_dyn::{DynGraph, UpdateBatch};
 use knightking_graph::VertexId;
 
-use crate::protocol::{StartSpec, Status, WalkRequest, WalkResponse};
+use crate::protocol::{StartSpec, Status, WalkRequest, WalkResponse, DEFAULT_TENANT};
+use crate::qos::{FairQueue, Shed};
 use crate::stats::{SeriesPoint, ServeStats, StatsReport};
 use crate::trace::TraceLog;
 
@@ -43,6 +44,16 @@ pub struct ServiceConfig {
     /// tracing). Sampling keeps heavy traffic cheap: untraced requests
     /// record nothing anywhere.
     pub trace_sample: u64,
+    /// Fair-queueing weights for named tenants: tenant `i`'s share of
+    /// admitted walkers tracks `weight_i / Σ weight_j` over any busy
+    /// interval. Tenants not listed here get `default_tenant_weight`.
+    pub tenant_weights: Vec<(String, u32)>,
+    /// Weight for tenants absent from `tenant_weights`.
+    pub default_tenant_weight: u32,
+    /// Max requests one tenant may hold queued at once; `0` disables the
+    /// quota. Exceeding it sheds with `Status::Rejected` while the
+    /// global queue may still have room for other tenants.
+    pub tenant_quota: usize,
 }
 
 impl Default for ServiceConfig {
@@ -52,27 +63,56 @@ impl Default for ServiceConfig {
             max_admit_per_superstep: 8,
             retry_after_ms: 50,
             trace_sample: 0,
+            tenant_weights: Vec::new(),
+            default_tenant_weight: 1,
+            tenant_quota: 0,
+        }
+    }
+}
+
+/// How a finished request's response reaches its client.
+pub enum Responder {
+    /// In-process callers: the response travels over an mpsc channel
+    /// (what [`ServiceHandle::submit`] hands back).
+    Channel(mpsc::Sender<WalkResponse>),
+    /// The reactor listener: the callback encodes the response into a
+    /// `RESP` frame and hands it to the poller thread. Runs on whatever
+    /// thread resolves the request (driver or submitter), so it must be
+    /// quick and non-blocking.
+    Callback(Box<dyn FnOnce(WalkResponse) + Send>),
+}
+
+impl Responder {
+    pub(crate) fn respond(self, resp: WalkResponse) {
+        match self {
+            // A dropped receiver means the client went away; nothing to
+            // deliver to.
+            Responder::Channel(tx) => {
+                let _ = tx.send(resp);
+            }
+            Responder::Callback(f) => f(resp),
         }
     }
 }
 
 /// A queued request plus everything needed to answer it.
-struct QueuedReq {
-    req: WalkRequest,
-    enqueued: Instant,
-    responder: mpsc::Sender<WalkResponse>,
+pub(crate) struct QueuedReq {
+    pub(crate) tenant: String,
+    pub(crate) req: WalkRequest,
+    pub(crate) enqueued: Instant,
+    pub(crate) responder: Responder,
 }
 
 /// A queued graph update awaiting its superstep boundary.
 struct QueuedUpdate {
     batch: UpdateBatch,
-    responder: mpsc::Sender<WalkResponse>,
+    responder: Responder,
 }
 
 /// State shared between the service loop and its handles.
 pub(crate) struct ServeShared {
     cfg: ServiceConfig,
-    queue: Mutex<VecDeque<QueuedReq>>,
+    queue: Mutex<FairQueue>,
     updates: Mutex<VecDeque<QueuedUpdate>>,
     shutdown: AtomicBool,
     stats: Mutex<ServeStats>,
@@ -87,41 +127,69 @@ pub struct ServiceHandle {
 }
 
 impl ServiceHandle {
-    /// Submits a walk request. The response arrives on the returned
-    /// channel — immediately for rejections ([`Status::Rejected`] when
-    /// the queue is full, [`Status::ShuttingDown`] after shutdown), or
-    /// once the walk completes, misses its deadline, or fails
-    /// validation.
+    /// Submits a walk request as [`DEFAULT_TENANT`]. The response
+    /// arrives on the returned channel — immediately for rejections
+    /// ([`Status::Rejected`] when the queue or the tenant's quota is
+    /// full, [`Status::ShuttingDown`] after shutdown), or once the walk
+    /// completes, misses its deadline, or fails validation.
     pub fn submit(&self, req: WalkRequest) -> mpsc::Receiver<WalkResponse> {
+        self.submit_as("", req)
+    }
+
+    /// Like [`submit`](ServiceHandle::submit), under `tenant`'s
+    /// fair-queueing lane and quota (empty means [`DEFAULT_TENANT`]).
+    pub fn submit_as(&self, tenant: &str, req: WalkRequest) -> mpsc::Receiver<WalkResponse> {
         let (tx, rx) = mpsc::channel();
+        self.submit_with(tenant, req, Responder::Channel(tx));
+        rx
+    }
+
+    /// The responder-parameterized submit the listener uses: the
+    /// response is delivered through `responder` — synchronously (before
+    /// this returns) for rejections and shutdown, later from the driver
+    /// otherwise.
+    pub fn submit_with(&self, tenant: &str, req: WalkRequest, responder: Responder) {
         if self.is_shutdown() {
-            let _ = tx.send(WalkResponse {
+            responder.respond(WalkResponse {
                 status: Status::ShuttingDown,
                 paths: Vec::new(),
             });
-            return rx;
+            return;
         }
-        let mut queue = lock(&self.shared.queue);
-        if queue.len() >= self.shared.cfg.queue_capacity {
-            // Release the queue before touching stats: poll() locks
-            // stats → queue, so holding queue → stats here could
-            // deadlock.
-            drop(queue);
-            lock(&self.shared.stats).rejected += 1;
-            let _ = tx.send(WalkResponse {
-                status: Status::Rejected {
-                    retry_after_ms: self.shared.cfg.retry_after_ms,
-                },
-                paths: Vec::new(),
-            });
-            return rx;
-        }
-        queue.push_back(QueuedReq {
+        let tenant = if tenant.is_empty() {
+            DEFAULT_TENANT
+        } else {
+            tenant
+        };
+        let queued = QueuedReq {
+            tenant: tenant.to_string(),
             req,
             enqueued: Instant::now(),
-            responder: tx,
-        });
-        rx
+            responder,
+        };
+        let mut queue = lock(&self.shared.queue);
+        match queue.push(queued) {
+            Ok(()) => {}
+            Err((back, why)) => {
+                // Release the queue before touching stats: poll() locks
+                // stats → queue, so holding queue → stats here could
+                // deadlock.
+                drop(queue);
+                {
+                    let mut stats = lock(&self.shared.stats);
+                    stats.rejected += 1;
+                    if why == Shed::TenantQuota {
+                        stats.shed += 1;
+                    }
+                }
+                back.responder.respond(WalkResponse {
+                    status: Status::Rejected {
+                        retry_after_ms: self.shared.cfg.retry_after_ms,
+                    },
+                    paths: Vec::new(),
+                });
+            }
+        }
     }
 
     /// Submits a graph update batch. The service broadcasts it to every
@@ -133,32 +201,35 @@ impl ServiceHandle {
     /// update keep sampling their pinned epoch.
     pub fn submit_update(&self, batch: UpdateBatch) -> mpsc::Receiver<WalkResponse> {
         let (tx, rx) = mpsc::channel();
+        self.submit_update_with(batch, Responder::Channel(tx));
+        rx
+    }
+
+    /// The responder-parameterized update submit (listener-side twin of
+    /// [`submit_with`](ServiceHandle::submit_with)).
+    pub fn submit_update_with(&self, batch: UpdateBatch, responder: Responder) {
         if self.is_shutdown() {
-            let _ = tx.send(WalkResponse {
+            responder.respond(WalkResponse {
                 status: Status::ShuttingDown,
                 paths: Vec::new(),
             });
-            return rx;
+            return;
         }
         let mut updates = lock(&self.shared.updates);
         if updates.len() >= self.shared.cfg.queue_capacity {
-            // Same lock-order discipline as `submit`: never hold a
+            // Same lock-order discipline as `submit_with`: never hold a
             // queue lock while taking stats.
             drop(updates);
             lock(&self.shared.stats).rejected += 1;
-            let _ = tx.send(WalkResponse {
+            responder.respond(WalkResponse {
                 status: Status::Rejected {
                     retry_after_ms: self.shared.cfg.retry_after_ms,
                 },
                 paths: Vec::new(),
             });
-            return rx;
+            return;
         }
-        updates.push_back(QueuedUpdate {
-            batch,
-            responder: tx,
-        });
-        rx
+        updates.push_back(QueuedUpdate { batch, responder });
     }
 
     /// Asks the service to drain in-flight and already-queued work, then
@@ -179,15 +250,17 @@ impl ServiceHandle {
     }
 
     /// The flat stats snapshot served to `Request::Stats` clients and
-    /// the metrics endpoint. Locks stats and the trace log in sequence
-    /// (never nested).
+    /// the metrics endpoint. Locks stats, the trace log, and the queue
+    /// in sequence (never nested).
     pub fn report(&self) -> StatsReport {
         let stats = lock(&self.shared.stats).clone();
         let (spans, dropped) = {
             let t = lock(&self.shared.trace);
             (t.len() as u64, t.dropped())
         };
-        stats.report(spans, dropped)
+        let mut report = stats.report(spans, dropped);
+        report.tenants = lock(&self.shared.queue).tenant_stats();
+        report
     }
 
     /// A snapshot of the gathered trace log (spans from every rank).
@@ -228,9 +301,15 @@ pub struct WalkService {
 impl WalkService {
     /// Creates a service and its first handle.
     pub fn new(cfg: ServiceConfig) -> (WalkService, ServiceHandle) {
+        let queue = FairQueue::new(
+            cfg.queue_capacity,
+            cfg.tenant_quota,
+            cfg.default_tenant_weight,
+            &cfg.tenant_weights,
+        );
         let shared = Arc::new(ServeShared {
             cfg,
-            queue: Mutex::new(VecDeque::new()),
+            queue: Mutex::new(queue),
             updates: Mutex::new(VecDeque::new()),
             shutdown: AtomicBool::new(false),
             stats: Mutex::new(ServeStats::default()),
@@ -315,14 +394,19 @@ impl WalkService {
     /// final poll (the submit/shutdown race window) so no client blocks
     /// on a response that will never come.
     fn drain_queue_shutting_down(&self) {
-        for q in lock(&self.shared.queue).drain(..) {
-            let _ = q.responder.send(WalkResponse {
+        // Collect under the locks, respond after releasing them: a
+        // callback responder may itself take service locks (e.g. a
+        // stats snapshot).
+        let drained: Vec<QueuedReq> = lock(&self.shared.queue).drain_all();
+        for q in drained {
+            q.responder.respond(WalkResponse {
                 status: Status::ShuttingDown,
                 paths: Vec::new(),
             });
         }
-        for u in lock(&self.shared.updates).drain(..) {
-            let _ = u.responder.send(WalkResponse {
+        let drained: Vec<QueuedUpdate> = lock(&self.shared.updates).drain(..).collect();
+        for u in drained {
+            u.responder.respond(WalkResponse {
                 status: Status::ShuttingDown,
                 paths: Vec::new(),
             });
@@ -332,13 +416,14 @@ impl WalkService {
 
 /// One admitted request awaiting completion.
 struct Pending {
+    tenant: String,
     base: u64,
     n: u64,
     finished: u64,
     frags: Vec<PathEntry>,
     deadline: Option<Instant>,
     enqueued: Instant,
-    responder: mpsc::Sender<WalkResponse>,
+    responder: Responder,
 }
 
 /// The leader-side [`ServeDriver`] bridging the admission queue and the
@@ -416,7 +501,9 @@ impl<'g> QueueDriver<'g> {
         stats
             .latency_us
             .record(p.enqueued.elapsed().as_micros() as u64);
-        let _ = p.responder.send(WalkResponse {
+        // stats → queue nesting matches poll()'s lock order.
+        lock(&self.shared.queue).note_completed(&p.tenant);
+        p.responder.respond(WalkResponse {
             status: Status::Ok,
             paths,
         });
@@ -510,7 +597,7 @@ impl ServeDriver for QueueDriver<'_> {
             self.traced.retain(|&t| t != tag);
             dir.kill.push(tag);
             stats.deadline_exceeded += 1;
-            let _ = p.responder.send(WalkResponse {
+            p.responder.respond(WalkResponse {
                 status: Status::DeadlineExceeded,
                 paths: Vec::new(),
             });
@@ -531,7 +618,7 @@ impl ServeDriver for QueueDriver<'_> {
             };
             match verdict {
                 Err(msg) => {
-                    let _ = u.responder.send(WalkResponse {
+                    u.responder.respond(WalkResponse {
                         status: Status::Invalid(msg),
                         paths: Vec::new(),
                     });
@@ -543,7 +630,7 @@ impl ServeDriver for QueueDriver<'_> {
                         batch: u.batch,
                     });
                     stats.updates += 1;
-                    let _ = u.responder.send(WalkResponse {
+                    u.responder.respond(WalkResponse {
                         status: Status::Updated { epoch: self.epoch },
                         paths: Vec::new(),
                     });
@@ -564,16 +651,17 @@ impl ServeDriver for QueueDriver<'_> {
         }
         self.min_pinned = u64::MAX;
 
-        // Admissions: bounded batch off the queue.
+        // Admissions: bounded batch off the queue, in weighted
+        // fair-queueing order across tenants.
         let mut queue = lock(&shared.queue);
         stats.queue_depth.record(queue.len() as u64);
         let mut admitted_now = 0u64;
         while (admitted_now as usize) < shared.cfg.max_admit_per_superstep {
-            let Some(q) = queue.pop_front() else { break };
+            let Some(q) = queue.pop() else { break };
             let starts = match self.materialize_starts(&q.req.starts) {
                 Ok(s) => s,
                 Err(msg) => {
-                    let _ = q.responder.send(WalkResponse {
+                    q.responder.respond(WalkResponse {
                         status: Status::Invalid(msg),
                         paths: Vec::new(),
                     });
@@ -586,7 +674,8 @@ impl ServeDriver for QueueDriver<'_> {
                 stats
                     .latency_us
                     .record(q.enqueued.elapsed().as_micros() as u64);
-                let _ = q.responder.send(WalkResponse {
+                queue.note_completed(&q.tenant);
+                q.responder.respond(WalkResponse {
                     status: Status::Ok,
                     paths: Vec::new(),
                 });
@@ -600,6 +689,7 @@ impl ServeDriver for QueueDriver<'_> {
             self.pending.insert(
                 tag,
                 Pending {
+                    tenant: q.tenant,
                     base,
                     n: starts.len() as u64,
                     finished: 0,

@@ -66,8 +66,11 @@ pub struct ServeStats {
     pub admitted: u64,
     /// Requests completed with `Status::Ok`.
     pub completed: u64,
-    /// Requests rejected at submission (queue full).
+    /// Requests rejected at submission (queue full or tenant quota).
     pub rejected: u64,
+    /// The subset of `rejected` shed by a per-tenant quota while the
+    /// global queue still had room.
+    pub shed: u64,
     /// Requests force-terminated by deadline expiry.
     pub deadline_exceeded: u64,
     /// Graph update batches validated and scheduled for application.
@@ -110,6 +113,7 @@ impl Default for ServeStats {
             admitted: 0,
             completed: 0,
             rejected: 0,
+            shed: 0,
             deadline_exceeded: 0,
             updates: 0,
             supersteps: 0,
@@ -162,6 +166,7 @@ impl ServeStats {
             admitted: self.admitted,
             completed: self.completed,
             rejected: self.rejected,
+            shed: self.shed,
             deadline_exceeded: self.deadline_exceeded,
             updates: self.updates,
             supersteps: self.supersteps,
@@ -181,6 +186,9 @@ impl ServeStats {
             spans_dropped,
             phase_ns: self.phase_ns,
             series: self.series.to_vec(),
+            // Per-tenant counters live behind the queue lock, not here;
+            // `ServiceHandle::report` fills them in.
+            tenants: Vec::new(),
         }
     }
 
@@ -197,12 +205,13 @@ impl ServeStats {
         writeln!(
             w,
             "{{\"type\":\"serve\",\"admitted\":{},\"completed\":{},\"rejected\":{},\
-             \"deadline_exceeded\":{},\"updates\":{},\"supersteps\":{},\
+             \"shed\":{},\"deadline_exceeded\":{},\"updates\":{},\"supersteps\":{},\
              \"active_walkers\":{},\"queue_len\":{},\"epoch\":{},\"pinned_lag\":{},\
              \"steps\":{},\"trials\":{},\"exchange_bytes\":{}}}",
             self.admitted,
             self.completed,
             self.rejected,
+            self.shed,
             self.deadline_exceeded,
             self.updates,
             self.supersteps,
@@ -243,11 +252,12 @@ impl ServeStats {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "serve: {} admitted, {} completed, {} rejected, {} deadline-exceeded, \
-             {} updates over {} supersteps",
+            "serve: {} admitted, {} completed, {} rejected ({} quota-shed), \
+             {} deadline-exceeded, {} updates over {} supersteps",
             self.admitted,
             self.completed,
             self.rejected,
+            self.shed,
             self.deadline_exceeded,
             self.updates,
             self.supersteps
@@ -294,6 +304,8 @@ pub struct StatsReport {
     pub completed: u64,
     /// Requests rejected at submission.
     pub rejected: u64,
+    /// The subset of `rejected` shed by a per-tenant quota.
+    pub shed: u64,
     /// Requests force-terminated by deadline expiry.
     pub deadline_exceeded: u64,
     /// Graph update batches scheduled.
@@ -332,16 +344,79 @@ pub struct StatsReport {
     pub phase_ns: [u64; N_PHASES],
     /// Recent per-superstep snapshots, oldest first.
     pub series: Vec<SeriesPoint>,
+    /// Per-tenant queue/fairness counters, sorted by tenant name.
+    pub tenants: Vec<TenantStat>,
+}
+
+/// One tenant's slice of the admission queue: its configured weight,
+/// instantaneous lane depth, and cumulative outcome counters.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TenantStat {
+    /// Tenant id from the client hello.
+    pub name: String,
+    /// Fair-queueing weight (deficit round-robin replenishment scale).
+    pub weight: u32,
+    /// Requests waiting in this tenant's lane (gauge).
+    pub queued: u64,
+    /// Requests handed to the engine (cumulative).
+    pub admitted: u64,
+    /// Requests completed with `Status::Ok` (cumulative).
+    pub completed: u64,
+    /// Requests rejected at submission, quota and queue-full alike
+    /// (cumulative).
+    pub rejected: u64,
+    /// The subset of `rejected` shed by this tenant's quota (cumulative).
+    pub shed: u64,
+}
+
+impl Wire for TenantStat {
+    fn wire_size(&self) -> usize {
+        4 + self.name.len() + 4 + 5 * 8
+    }
+    fn encode(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
+        (self.name.len() as u32).encode(out)?;
+        out.extend_from_slice(self.name.as_bytes());
+        self.weight.encode(out)?;
+        self.queued.encode(out)?;
+        self.admitted.encode(out)?;
+        self.completed.encode(out)?;
+        self.rejected.encode(out)?;
+        self.shed.encode(out)
+    }
+    fn decode(input: &mut &[u8]) -> io::Result<Self> {
+        let len = u32::decode(input)? as usize;
+        if input.len() < len {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "wire: truncated tenant name",
+            ));
+        }
+        let (head, tail) = input.split_at(len);
+        let name = String::from_utf8(head.to_vec()).map_err(|_| {
+            io::Error::new(io::ErrorKind::InvalidData, "wire: tenant name not UTF-8")
+        })?;
+        *input = tail;
+        Ok(TenantStat {
+            name,
+            weight: u32::decode(input)?,
+            queued: u64::decode(input)?,
+            admitted: u64::decode(input)?,
+            completed: u64::decode(input)?,
+            rejected: u64::decode(input)?,
+            shed: u64::decode(input)?,
+        })
+    }
 }
 
 impl StatsReport {
     /// The scalar fields in schema order, paired with their names —
     /// single source of truth for the wire codec.
-    fn scalars(&self) -> [u64; 20] {
+    fn scalars(&self) -> [u64; 21] {
         [
             self.admitted,
             self.completed,
             self.rejected,
+            self.shed,
             self.deadline_exceeded,
             self.updates,
             self.supersteps,
@@ -367,10 +442,11 @@ impl StatsReport {
     pub fn render_prometheus(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let counters: [(&str, u64); 9] = [
+        let counters: [(&str, u64); 10] = [
             ("kk_requests_admitted_total", self.admitted),
             ("kk_requests_completed_total", self.completed),
             ("kk_requests_rejected_total", self.rejected),
+            ("kk_requests_shed_total", self.shed),
             (
                 "kk_requests_deadline_exceeded_total",
                 self.deadline_exceeded,
@@ -425,6 +501,21 @@ impl StatsReport {
             "# TYPE kk_trace_spans_dropped_total counter\nkk_trace_spans_dropped_total {}",
             self.spans_dropped
         );
+        if !self.tenants.is_empty() {
+            let per_tenant: [(&str, &str, fn(&TenantStat) -> u64); 5] = [
+                ("kk_tenant_queue_depth", "gauge", |t| t.queued),
+                ("kk_tenant_admitted_total", "counter", |t| t.admitted),
+                ("kk_tenant_completed_total", "counter", |t| t.completed),
+                ("kk_tenant_rejected_total", "counter", |t| t.rejected),
+                ("kk_tenant_shed_total", "counter", |t| t.shed),
+            ];
+            for (name, kind, get) in per_tenant {
+                let _ = writeln!(out, "# TYPE {name} {kind}");
+                for t in &self.tenants {
+                    let _ = writeln!(out, "{name}{{tenant=\"{}\"}} {}", t.name, get(t));
+                }
+            }
+        }
         out
     }
 
@@ -495,7 +586,7 @@ impl StatsReport {
 
 impl Wire for StatsReport {
     fn wire_size(&self) -> usize {
-        8 * (20 + N_PHASES) + self.series.wire_size()
+        8 * (21 + N_PHASES) + self.series.wire_size() + self.tenants.wire_size()
     }
     fn encode(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
         for v in self.scalars() {
@@ -504,10 +595,11 @@ impl Wire for StatsReport {
         for ns in &self.phase_ns {
             ns.encode(out)?;
         }
-        self.series.encode(out)
+        self.series.encode(out)?;
+        self.tenants.encode(out)
     }
     fn decode(input: &mut &[u8]) -> io::Result<Self> {
-        let mut scalars = [0u64; 20];
+        let mut scalars = [0u64; 21];
         for v in &mut scalars {
             *v = u64::decode(input)?;
         }
@@ -515,12 +607,13 @@ impl Wire for StatsReport {
         for ns in &mut phase_ns {
             *ns = u64::decode(input)?;
         }
-        let [admitted, completed, rejected, deadline_exceeded, updates, supersteps, active_walkers, queue_len, epoch, pinned_lag, steps, trials, exchange_bytes, latency_p50_us, latency_p99_us, latency_max_us, latency_count, latency_sum_us, spans, spans_dropped] =
+        let [admitted, completed, rejected, shed, deadline_exceeded, updates, supersteps, active_walkers, queue_len, epoch, pinned_lag, steps, trials, exchange_bytes, latency_p50_us, latency_p99_us, latency_max_us, latency_count, latency_sum_us, spans, spans_dropped] =
             scalars;
         Ok(StatsReport {
             admitted,
             completed,
             rejected,
+            shed,
             deadline_exceeded,
             updates,
             supersteps,
@@ -540,6 +633,7 @@ impl Wire for StatsReport {
             spans_dropped,
             phase_ns,
             series: Vec::decode(input)?,
+            tenants: Vec::decode(input)?,
         })
     }
 }
@@ -661,6 +755,41 @@ mod tests {
         assert_eq!(bytes.len(), r.wire_size());
         let back: StatsReport = from_bytes(&bytes).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn tenant_stats_round_trip_and_render() {
+        let mut r = sample().report(7, 2);
+        r.shed = 3;
+        r.tenants = vec![
+            TenantStat {
+                name: "default".into(),
+                weight: 1,
+                queued: 2,
+                admitted: 5,
+                completed: 4,
+                rejected: 1,
+                shed: 0,
+            },
+            TenantStat {
+                name: "pro".into(),
+                weight: 4,
+                queued: 0,
+                admitted: 9,
+                completed: 9,
+                rejected: 3,
+                shed: 3,
+            },
+        ];
+        let bytes = to_bytes(&r).unwrap();
+        assert_eq!(bytes.len(), r.wire_size());
+        let back: StatsReport = from_bytes(&bytes).unwrap();
+        assert_eq!(back, r);
+        let text = r.render_prometheus();
+        assert!(text.contains("kk_requests_shed_total 3"));
+        assert!(text.contains("kk_tenant_queue_depth{tenant=\"default\"} 2"));
+        assert!(text.contains("kk_tenant_admitted_total{tenant=\"pro\"} 9"));
+        assert!(text.contains("kk_tenant_shed_total{tenant=\"pro\"} 3"));
     }
 
     #[test]

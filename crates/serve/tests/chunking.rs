@@ -1,0 +1,269 @@
+//! Adversarial byte-arrival tests for the serve front door.
+//!
+//! The reactor listener parses KKSV incrementally — nothing about a
+//! response may depend on how the client's bytes were sliced into TCP
+//! segments. These tests drive the parsers (and the real listener) with
+//! hostile chunkings: 1-byte trickles, headers split mid-field, many
+//! frames coalesced into one write — plus a half-open client that must
+//! be evicted by the idle timer. A deterministic LCG stands in for the
+//! proptest chunking suite in `knightking-net`, so this file runs with
+//! no external dev-dependencies.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::thread;
+use std::time::Duration;
+
+use knightking_core::{RandomWalkEngine, WalkConfig, Walker, WalkerProgram, WalkerStarts};
+use knightking_graph::gen;
+use knightking_net::frame::{read_frame, split_frame, tag, write_frame, Frame};
+use knightking_net::to_bytes;
+use knightking_serve::protocol::{hello_bytes, split_hello};
+use knightking_serve::{
+    protocol, serve_listener_with, ListenerConfig, Request, ServiceConfig, StartSpec, Status,
+    WalkRequest, WalkService, DEFAULT_TENANT,
+};
+
+struct Fixed(u32);
+
+impl WalkerProgram for Fixed {
+    type Data = ();
+    type Query = ();
+    type Answer = ();
+    const DYNAMIC: bool = false;
+
+    fn init_data(&self, _id: u64, _start: u32) {}
+    fn should_terminate(&self, w: &mut Walker<()>) -> bool {
+        w.step >= self.0
+    }
+}
+
+/// A tiny deterministic generator (LCG) so the fuzz below reproduces
+/// exactly — no external randomness.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// Drains every complete frame currently in `buf`.
+fn drain_frames(buf: &mut Vec<u8>) -> Vec<Frame> {
+    let mut out = Vec::new();
+    while let Some((frame, used)) = split_frame(buf).unwrap() {
+        buf.drain(..used);
+        out.push(frame);
+    }
+    out
+}
+
+#[test]
+fn fuzzed_chunkings_agree_with_whole_buffer_decode() {
+    let mut rng = Lcg(0xC0FFEE);
+    for round in 0..200 {
+        // A random tenant and a few random frames.
+        let tenant: String = (0..rng.below(65))
+            .map(|_| {
+                let cs = b"abcXYZ019._-";
+                cs[rng.below(cs.len() as u64) as usize] as char
+            })
+            .collect();
+        let frames: Vec<(u8, u64, Vec<u8>)> = (0..rng.below(5))
+            .map(|_| {
+                (
+                    (tag::DATA + rng.below((tag::RESP - tag::DATA + 1) as u64) as u8),
+                    rng.next(),
+                    (0..rng.below(80)).map(|_| rng.next() as u8).collect(),
+                )
+            })
+            .collect();
+        let mut stream = hello_bytes(&tenant).unwrap();
+        for (t, seq, payload) in &frames {
+            write_frame(&mut stream, *t, *seq, payload).unwrap();
+        }
+
+        // Ground truth: the blocking reader over the whole stream.
+        let (want_tenant, used) = split_hello(&stream).unwrap().unwrap();
+        let mut cursor = std::io::Cursor::new(&stream[used..]);
+        let whole: Vec<Frame> = (0..frames.len())
+            .map(|_| read_frame(&mut cursor).unwrap())
+            .collect();
+
+        // Incremental: adversarial chunk sizes, skewed tiny so header
+        // splits and 1-byte reads dominate; drain after every chunk.
+        let mut buf: Vec<u8> = Vec::new();
+        let mut got_tenant: Option<String> = None;
+        let mut got = Vec::new();
+        let mut pos = 0;
+        while pos < stream.len() {
+            let n = (1 + rng.below(7) as usize).min(stream.len() - pos);
+            buf.extend_from_slice(&stream[pos..pos + n]);
+            pos += n;
+            if got_tenant.is_none() {
+                if let Some((t, used)) = split_hello(&buf).unwrap() {
+                    buf.drain(..used);
+                    got_tenant = Some(t);
+                }
+            }
+            if got_tenant.is_some() {
+                got.extend(drain_frames(&mut buf));
+            }
+        }
+        assert_eq!(got_tenant.as_deref(), Some(want_tenant.as_str()), "round {round}");
+        assert!(buf.is_empty(), "round {round}: leftover bytes");
+        assert_eq!(got, whole, "round {round}");
+        if tenant.is_empty() {
+            assert_eq!(want_tenant, DEFAULT_TENANT);
+        }
+    }
+}
+
+#[test]
+fn split_parsers_survive_garbage_prefixes() {
+    let mut rng = Lcg(0xBADF00D);
+    for _ in 0..500 {
+        let bytes: Vec<u8> = (0..rng.below(40)).map(|_| rng.next() as u8).collect();
+        // Some, None, or Err — never a panic, never over-consumption.
+        if let Ok(Some((_, used))) = split_frame(&bytes) {
+            assert!(used <= bytes.len());
+        }
+        if let Ok(Some((_, used))) = split_hello(&bytes) {
+            assert!(used <= bytes.len());
+        }
+    }
+}
+
+/// Runs a single-node service + reactor listener, hands `client` the
+/// address, then shuts down and propagates panics.
+fn with_served_graph<F>(lcfg: ListenerConfig, client: F)
+where
+    F: FnOnce(std::net::SocketAddr) + Send,
+{
+    let graph = gen::uniform_degree(64, 4, gen::GenOptions::seeded(3));
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let (service, handle) = WalkService::new(ServiceConfig::default());
+
+    thread::scope(|scope| {
+        let lh = handle.clone();
+        scope.spawn(move || serve_listener_with(listener, lh, lcfg).unwrap());
+        let h = handle.clone();
+        scope.spawn(move || {
+            // Shut down even if the client asserts: a panicking client
+            // must fail the test, not deadlock the scope on service.run.
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| client(addr)));
+            h.shutdown();
+            if let Err(p) = r {
+                std::panic::resume_unwind(p);
+            }
+        });
+        service.run(&graph, Fixed(8), WalkConfig::single_node(0));
+    });
+}
+
+#[test]
+fn one_byte_at_a_time_client_is_served_identically() {
+    let graph = gen::uniform_degree(64, 4, gen::GenOptions::seeded(3));
+    // Served walks are keyed by the REQUEST's seed: the batch twin must
+    // run with the same seed (1) for byte-identical paths.
+    let batch =
+        RandomWalkEngine::new(&graph, Fixed(8), WalkConfig::single_node(1)).run(WalkerStarts::Count(6));
+
+    with_served_graph(ListenerConfig::default(), move |addr| {
+        // Hand-build hello + REQ and trickle it one byte per write.
+        let mut bytes = hello_bytes("drip").unwrap();
+        let payload = to_bytes(&Request::Walk(WalkRequest {
+            seed: 1,
+            starts: StartSpec::Count(6),
+            deadline_ms: 0,
+        }))
+        .unwrap();
+        write_frame(&mut bytes, tag::REQ, 9, &payload).unwrap();
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.set_nodelay(true).unwrap();
+        for b in bytes {
+            stream.write_all(&[b]).unwrap();
+            stream.flush().unwrap();
+        }
+        let resp = protocol::read_response(&mut stream, 9).unwrap();
+        assert_eq!(resp.status, Status::Ok);
+        assert_eq!(resp.paths, batch.paths);
+    });
+}
+
+#[test]
+fn coalesced_pipelined_requests_each_get_their_response() {
+    with_served_graph(ListenerConfig::default(), |addr| {
+        // Hello + three pipelined requests in ONE write: the parser must
+        // peel them apart, and every seq must be answered.
+        let mut bytes = hello_bytes("burst").unwrap();
+        for seq in [5u64, 6, 7] {
+            let payload = to_bytes(&Request::Walk(WalkRequest {
+                seed: seq,
+                starts: StartSpec::Count(3),
+                deadline_ms: 0,
+            }))
+            .unwrap();
+            write_frame(&mut bytes, tag::REQ, seq, &payload).unwrap();
+        }
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(&bytes).unwrap();
+
+        // Responses may arrive in any order; collect them by seq.
+        let mut seen = Vec::new();
+        for _ in 0..3 {
+            let frame = read_frame(&mut stream).unwrap();
+            assert_eq!(frame.tag, tag::RESP);
+            seen.push(frame.seq);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, vec![5, 6, 7]);
+    });
+}
+
+#[test]
+fn half_open_connection_is_evicted_by_the_idle_timer() {
+    let lcfg = ListenerConfig {
+        idle_timeout: Duration::from_millis(150),
+        ..ListenerConfig::default()
+    };
+    with_served_graph(lcfg, |addr| {
+        // A client that sends half a hello and goes quiet: the idle
+        // timer must reap it (read returns EOF/reset), and the listener
+        // must keep serving well-behaved clients afterwards.
+        let mut mute = TcpStream::connect(addr).unwrap();
+        mute.write_all(b"KK").unwrap();
+        mute.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut sink = Vec::new();
+        let evicted = match mute.read_to_end(&mut sink) {
+            Ok(0) => true,
+            Ok(_) => false,
+            Err(_) => true, // reset also counts as eviction
+        };
+        assert!(evicted, "half-open connection was never evicted");
+
+        let mut stream = protocol::connect(addr).unwrap();
+        let resp = protocol::round_trip(
+            &mut stream,
+            1,
+            &Request::Walk(WalkRequest {
+                seed: 4,
+                starts: StartSpec::Count(2),
+                deadline_ms: 0,
+            }),
+        )
+        .unwrap();
+        assert_eq!(resp.status, Status::Ok);
+        assert_eq!(resp.paths.len(), 2);
+    });
+}

@@ -22,7 +22,7 @@ use knightking::graph::{binfmt, gen, io as gio};
 use knightking::net::reserve_loopback_addrs;
 use knightking::prelude::*;
 use knightking::serve::{
-    metrics_listener, protocol, serve_listener, signal, Request, Status, WalkService,
+    metrics_listener, protocol, serve_listener_with, signal, Request, Status, WalkService,
 };
 use knightking::walks::analysis;
 
@@ -496,6 +496,27 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     }
 }
 
+/// Parses a `--tenant-weight` spec: comma-separated `name=weight`
+/// pairs, e.g. `batch=1,online=4`.
+fn parse_tenant_weights(spec: &str) -> Result<Vec<(String, u32)>, String> {
+    spec.split(',')
+        .filter(|s| !s.trim().is_empty())
+        .map(|pair| {
+            let pair = pair.trim();
+            let (name, w) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("bad --tenant-weight entry {pair:?}: want name=weight"))?;
+            let weight: u32 = w
+                .parse()
+                .map_err(|_| format!("bad weight in --tenant-weight entry {pair:?}"))?;
+            if weight == 0 {
+                return Err(format!("weight must be >= 1 in --tenant-weight entry {pair:?}"));
+            }
+            Ok((name.to_string(), weight))
+        })
+        .collect()
+}
+
 /// Runs the resident service for one program: TCP listener, signal
 /// handling, and the in-process node cluster.
 fn serve_program<P: WalkerProgram>(
@@ -512,6 +533,22 @@ fn serve_program<P: WalkerProgram>(
         max_admit_per_superstep: args.parse_num("max-admit", 8)?,
         retry_after_ms: args.parse_num("retry-after", 50)?,
         trace_sample: args.parse_num("trace-sample", 0)?,
+        tenant_weights: match args.get("tenant-weight") {
+            Some(spec) => parse_tenant_weights(spec)?,
+            None => Vec::new(),
+        },
+        default_tenant_weight: args.parse_num("default-tenant-weight", 1)?,
+        tenant_quota: args.parse_num("tenant-quota", 0)?,
+    };
+    let lcfg = knightking::serve::ListenerConfig {
+        max_connections: args.parse_num(
+            "max-connections",
+            knightking::serve::ListenerConfig::default().max_connections,
+        )?,
+        idle_timeout: std::time::Duration::from_millis(args.parse_num("idle-timeout-ms", 60_000)?),
+        write_deadline: std::time::Duration::from_millis(
+            args.parse_num("write-deadline-ms", 10_000)?,
+        ),
     };
     let listen = args.get("listen").unwrap_or("127.0.0.1:0");
     let listener =
@@ -537,7 +574,7 @@ fn serve_program<P: WalkerProgram>(
     }
 
     let accept_handle = handle.clone();
-    let accept = std::thread::spawn(move || serve_listener(listener, accept_handle));
+    let accept = std::thread::spawn(move || serve_listener_with(listener, accept_handle, lcfg));
 
     // Optional metrics plane: a second listener serving the Prometheus
     // text exposition (scraped by Prometheus, `curl`, or `kk top`).
@@ -680,7 +717,9 @@ fn cmd_query(args: &Args) -> Result<(), String> {
     if !wants_walk && !args.has("shutdown") {
         return Err("query needs --walkers, --start, or --shutdown".to_string());
     }
-    let mut stream = protocol::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    let tenant = args.get("tenant").unwrap_or("");
+    let mut stream =
+        protocol::connect_as(addr, tenant).map_err(|e| format!("connecting to {addr}: {e}"))?;
 
     if wants_walk {
         let starts = match (args.get("walkers"), args.get("start")) {
@@ -696,8 +735,36 @@ fn cmd_query(args: &Args) -> Result<(), String> {
             starts,
             deadline_ms: args.parse_num("deadline", 0)?,
         });
-        let resp = protocol::round_trip(&mut stream, 1, &req)
-            .map_err(|e| format!("querying {addr}: {e}"))?;
+        // A `Rejected` response is backpressure, not failure: honor the
+        // service's retry-after hint with capped exponential backoff,
+        // bounded by --retries (1 try total under --no-retry).
+        let attempts: u64 = if args.has("no-retry") {
+            1
+        } else {
+            args.parse_num("retries", 5)?
+        };
+        if attempts == 0 {
+            return Err("--retries must be >= 1".to_string());
+        }
+        let mut attempt = 1u64;
+        let resp = loop {
+            let resp = protocol::round_trip(&mut stream, attempt, &req)
+                .map_err(|e| format!("querying {addr}: {e}"))?;
+            match resp.status {
+                Status::Rejected { retry_after_ms } if attempt < attempts => {
+                    let backoff = retry_after_ms
+                        .max(1)
+                        .saturating_mul(1 << (attempt - 1).min(16))
+                        .min(2_000);
+                    eprintln!(
+                        "rejected (attempt {attempt}/{attempts}); retrying in {backoff}ms"
+                    );
+                    std::thread::sleep(std::time::Duration::from_millis(backoff));
+                    attempt += 1;
+                }
+                _ => break resp,
+            }
+        };
         match resp.status {
             Status::Ok => {
                 eprintln!("{} walks served", resp.paths.len());
@@ -713,7 +780,7 @@ fn cmd_query(args: &Args) -> Result<(), String> {
             }
             Status::Rejected { retry_after_ms } => {
                 return Err(format!(
-                    "rejected: the admission queue is full; retry after {retry_after_ms}ms"
+                    "rejected after {attempt} attempt(s): the queue is full; retry after {retry_after_ms}ms"
                 ))
             }
             Status::DeadlineExceeded => {
@@ -1112,21 +1179,35 @@ USAGE:
   kk serve    --graph <file> --algo <...> [walk params as above]
               [--listen 127.0.0.1:0] [--nodes N] [--queue-capacity C]
               [--max-admit A] [--retry-after MS] [--seed S]
+              [--max-connections N] [--idle-timeout-ms MS]
+              [--write-deadline-ms MS]
+              [--tenant-weight name=w,name=w] [--default-tenant-weight W]
+              [--tenant-quota N]
               [--dynamic] [--compact-ratio R]
               [--stats] [--stats-output serve.jsonl]
               [--metrics-addr 127.0.0.1:0] [--trace-sample N]
               [--trace-output trace.json]
               load the graph once, print `listening on <addr>`, and serve
               walk queries until `kk query --shutdown` or SIGINT/SIGTERM;
-              with --dynamic the graph accepts live `kk update` batches;
-              --metrics-addr binds a Prometheus text endpoint (printed as
-              `metrics on <addr>`), --trace-sample N traces every Nth
-              request, and --trace-output writes the gathered spans as
-              Chrome trace-event JSON (Perfetto / chrome://tracing)
+              all client connections share one event-loop thread
+              (--max-connections caps them; idle and stalled-writer
+              connections are evicted on the listed timeouts); requests
+              are scheduled across tenants by weighted fair queueing
+              (--tenant-weight / --default-tenant-weight), and
+              --tenant-quota N sheds any single tenant holding more than
+              N queued requests; with --dynamic the graph accepts live
+              `kk update` batches; --metrics-addr binds a Prometheus text
+              endpoint (printed as `metrics on <addr>`), --trace-sample N
+              traces every Nth request, and --trace-output writes the
+              gathered spans as Chrome trace-event JSON (Perfetto /
+              chrome://tracing)
   kk query    --addr <host:port> [--walkers N | --start v1,v2,...]
-              [--seed S] [--deadline MS] [--output paths.txt] [--shutdown]
+              [--seed S] [--deadline MS] [--tenant NAME] [--retries N]
+              [--no-retry] [--output paths.txt] [--shutdown]
               served paths are byte-identical to `kk walk` with the same
-              seed and starts
+              seed and starts; --tenant names this client's QoS lane, and
+              a Rejected response is retried with capped exponential
+              backoff (--retries, default 5) unless --no-retry
   kk top      --addr <host:port> [--interval-ms MS] [--count N] [--once]
               live dashboard for a running `kk serve`: requests, latency
               quantiles, phase breakdown, and an active-walker sparkline;
@@ -1158,7 +1239,7 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
     let bool_flags = [
-        "weighted", "typed", "directed", "stats", "shutdown", "dynamic", "once",
+        "weighted", "typed", "directed", "stats", "shutdown", "dynamic", "once", "no-retry",
     ];
     let result = if cmd == "cluster" {
         // `--` separates cluster flags from the walk invocation.

@@ -14,7 +14,7 @@ use std::thread;
 use std::time::Instant;
 
 use knightking_bench::emit::{BenchReport, BenchRow};
-use knightking_bench::{graphs::StandIn, HarnessOpts, Table};
+use knightking_bench::{graphs::StandIn, phase_breakdown, HarnessOpts, Table};
 use knightking_core::WalkConfig;
 use knightking_dyn::{DynConfig, DynGraph, EdgeReweight, UpdateBatch};
 use knightking_obs::Pow2Histogram;
@@ -184,8 +184,13 @@ fn main() {
     let cfg = || {
         let mut c = WalkConfig::with_nodes(opts.nodes, 999);
         c.record_paths = true;
+        // Profiled so each row can attribute its wall time to engine
+        // phases (gather/local_compute/commit/exchange/...) instead of
+        // one opaque number.
+        c.profile = true;
         c
     };
+    let mut phase_lines: Vec<String> = Vec::new();
     let scfg = ServiceConfig {
         queue_capacity: clients * requests_per_client,
         ..ServiceConfig::default()
@@ -216,6 +221,10 @@ fn main() {
             format!("{:.2}", r.hist.max() as f64 / 1000.0),
             format!("{:.1}", r.ok as f64 / r.wall),
         ]);
+        phase_lines.push(format!(
+            "static: {}",
+            phase_breakdown(&handle.stats().phase_ns)
+        ));
         report.push(BenchRow {
             label: "static".to_string(),
             ok: r.ok,
@@ -252,6 +261,10 @@ fn main() {
             format!("{:.2}", r.hist.max() as f64 / 1000.0),
             format!("{:.1}", r.ok as f64 / r.wall),
         ]);
+        phase_lines.push(format!(
+            "dynamic, {ops} ops/superstep: {}",
+            phase_breakdown(&handle.stats().phase_ns)
+        ));
         report.push(BenchRow {
             label: format!("dynamic, {ops} ops/superstep"),
             ok: r.ok,
@@ -263,6 +276,10 @@ fn main() {
         });
     }
     table.print();
+    println!("\nengine phase breakdown per row:");
+    for line in &phase_lines {
+        println!("  {line}");
+    }
 
     match report.write() {
         Ok(path) => println!("\nmachine-readable results written to {}", path.display()),

@@ -100,7 +100,10 @@ fn flush(conn: &mut Conn, poller: &Poller, key: u64) {
         } else {
             Interest::READ
         };
-        if poller.modify(conn.stream.as_raw_fd(), key, interest).is_ok() {
+        if poller
+            .modify(conn.stream.as_raw_fd(), key, interest)
+            .is_ok()
+        {
             conn.writable_armed = want;
         }
     }
@@ -278,9 +281,8 @@ fn main() {
     } else {
         (vec![1_000usize, 10_000], 32, 300.0, Duration::from_secs(8))
     };
-    let max_needed = (idle_levels.iter().copied().max().unwrap_or(0)
-        + 3 * conns_per_tenant
-        + 64) as u64;
+    let max_needed =
+        (idle_levels.iter().copied().max().unwrap_or(0) + 3 * conns_per_tenant + 64) as u64;
     // Server and clients share this process, so every connection costs
     // TWO descriptors. Raise the limit toward that, then budget the
     // idle pool from whatever the hard ceiling actually allows.
@@ -337,17 +339,24 @@ fn main() {
     };
     let lh = handle.clone();
     let front = thread::spawn(move || serve_listener_with(listener, lh, lcfg));
-    let runner = {
-        let graph = graph;
-        thread::spawn(move || {
-            let mut cfg = WalkConfig::single_node(0);
-            cfg.record_paths = true;
-            service.run(&graph, Node2Vec::new(2.0, 0.5, 10), cfg);
-        })
-    };
+    let runner = thread::spawn(move || {
+        let mut cfg = WalkConfig::single_node(0);
+        cfg.record_paths = true;
+        // Profiled so the final summary can attribute serve-loop time
+        // to engine phases rather than one opaque wall number.
+        cfg.profile = true;
+        service.run(&graph, Node2Vec::new(2.0, 0.5, 10), cfg);
+    });
 
     let mut table = Table::new(&[
-        "connections", "tenant", "requests", "ok", "rejected", "p50 (ms)", "p99 (ms)", "max (ms)",
+        "connections",
+        "tenant",
+        "requests",
+        "ok",
+        "rejected",
+        "p50 (ms)",
+        "p99 (ms)",
+        "max (ms)",
         "req/s",
     ]);
     let mut report = BenchReport::new(
@@ -377,7 +386,7 @@ fn main() {
                     break;
                 }
             }
-            if idle.len() % 512 == 0 {
+            if idle.len().is_multiple_of(512) {
                 // Let the accept loop breathe.
                 thread::sleep(Duration::from_millis(1));
             }
@@ -428,9 +437,16 @@ fn main() {
     println!("\nidle survivors: {survivors}/{}", idle.len());
 
     drop(idle);
+    // Snapshot before shutdown: the stats plane keeps the last live
+    // sample per node, which at this point covers the whole run.
+    let phase_ns = handle.stats().phase_ns;
     handle.shutdown();
     let _ = runner.join();
     let _ = front.join();
+    println!(
+        "engine phases: {}",
+        knightking_bench::phase_breakdown(&phase_ns)
+    );
 
     match report.write() {
         Ok(path) => println!("machine-readable results written to {}", path.display()),

@@ -1,0 +1,214 @@
+//! `walk_step` — intra-rank step-engine micro-benchmark.
+//!
+//! A/Bs the scalar and stage-interleaved step engines on skewed
+//! workloads where the hot path is memory-bound: unweighted and weighted
+//! DeepWalk (direct and alias sampling) plus node2vec (rejection sampling
+//! with the query protocol) on the Twitter stand-in. Each run is profiled
+//! so throughput can be attributed to the local-compute phases the engine
+//! owns, and every interleaved run is checked for metric-identity against
+//! its scalar twin (the full byte-identity sweep lives in
+//! `crates/core/tests/step_engine_identity.rs`).
+//!
+//! Writes `BENCH_walk_throughput.json` (see `emit::ThroughputReport`).
+
+use knightking_bench::emit::ThroughputReport;
+use knightking_bench::{graphs::StandIn, phase_breakdown, throughput_row, HarnessOpts, Table};
+use knightking_core::{
+    RandomWalkEngine, StepEngine, WalkConfig, WalkMetrics, WalkResult, WalkerProgram, WalkerStarts,
+};
+use knightking_graph::CsrGraph;
+use knightking_obs::Phase;
+use knightking_walks::{DeepWalk, Node2Vec};
+
+/// Steps per second of local compute for a profiled run.
+fn compute_rate(r: &WalkResult) -> f64 {
+    let profile = r.profile.as_ref().expect("walk_step always profiles");
+    let compute_ns: u64 = profile
+        .nodes
+        .iter()
+        .map(|n| {
+            n.timers.totals[Phase::LocalCompute.index()]
+                + n.timers.totals[Phase::LightMode.index()]
+                + n.timers.totals[Phase::Commit.index()]
+        })
+        .sum();
+    r.metrics.steps as f64 / (compute_ns.max(1) as f64 / 1e9)
+}
+
+struct EngineRun {
+    name: &'static str,
+    engine: StepEngine,
+    block_sort: bool,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn sweep_workload<P: WalkerProgram + Clone>(
+    label: &str,
+    graph: &CsrGraph,
+    program: P,
+    walkers: u64,
+    opts: &HarnessOpts,
+    engines: &[EngineRun],
+    table: &mut Table,
+    report: &mut ThroughputReport,
+) {
+    let reps = if opts.quick { 1 } else { 3 };
+    let mut scalar: Option<(WalkMetrics, f64)> = None;
+    for run in engines {
+        let mut cfg = WalkConfig::with_nodes(opts.nodes, 42);
+        opts.configure(&mut cfg);
+        cfg.record_paths = false;
+        // Attribution to compute phases needs the phase timers whether or
+        // not a `--profile` sink was requested.
+        cfg.profile = true;
+        cfg.step_engine = run.engine;
+        cfg.block_sort = run.block_sort;
+        // Best-of-`reps`: per-run noise (VM neighbors, frequency ramps)
+        // only ever slows a run down, so the fastest repetition is the
+        // closest estimate of the engine's capability.
+        let mut r = RandomWalkEngine::new(graph, program.clone(), cfg.clone())
+            .run(WalkerStarts::Count(walkers));
+        let mut rate = compute_rate(&r);
+        for _ in 1..reps {
+            let again = RandomWalkEngine::new(graph, program.clone(), cfg.clone())
+                .run(WalkerStarts::Count(walkers));
+            let again_rate = compute_rate(&again);
+            if again_rate > rate {
+                r = again;
+                rate = again_rate;
+            }
+        }
+        match &scalar {
+            None => scalar = Some((r.metrics, rate)),
+            Some((m, _)) => assert_eq!(
+                *m, r.metrics,
+                "{label}/{}: engines must be metric-identical",
+                run.name
+            ),
+        }
+        let speedup = rate / scalar.as_ref().expect("scalar row runs first").1;
+        table.row(&[
+            label.to_string(),
+            run.name.to_string(),
+            format!("{:.2}M", r.metrics.steps as f64 / 1e6),
+            format!("{:.2}", r.elapsed.as_secs_f64()),
+            format!(
+                "{:.2}M",
+                r.metrics.steps as f64 / r.elapsed.as_secs_f64() / 1e6
+            ),
+            format!("{:.2}M", rate / 1e6),
+            format!("{speedup:.2}x"),
+        ]);
+        let row = throughput_row(&format!("{label}, {}", run.name), &r);
+        let ns: Vec<u64> = {
+            let mut all = vec![0u64; Phase::ALL.len()];
+            for (name, v) in &row.phase_ns {
+                if let Some(p) = Phase::ALL.iter().find(|p| p.name() == *name) {
+                    all[p.index()] = *v;
+                }
+            }
+            all
+        };
+        println!("  {label}/{}: {}", run.name, phase_breakdown(&ns));
+        report.push(row);
+    }
+}
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let scale = opts.effective_scale(if opts.quick { 10 } else { 18 });
+    let walk_len = 20u32;
+    let walkers_per_vertex = 2u64;
+
+    let engines = [
+        EngineRun {
+            name: "scalar",
+            engine: StepEngine::Scalar,
+            block_sort: false,
+        },
+        EngineRun {
+            name: "interleaved",
+            engine: StepEngine::Interleaved { ring: 8 },
+            block_sort: false,
+        },
+        EngineRun {
+            name: "interleaved+sort",
+            engine: StepEngine::Interleaved { ring: 8 },
+            block_sort: true,
+        },
+    ];
+    // Second-order answer routing is positional, so block sorting is a
+    // config no-op there; skip the redundant third run.
+    let so_engines = &engines[..2];
+
+    println!(
+        "walk_step — step-engine A/B (Twitter stand-in, scale {scale}, len {walk_len}, \
+         {walkers_per_vertex} walkers/vertex, {} node(s))\n",
+        opts.nodes
+    );
+    let mut table = Table::new(&[
+        "workload",
+        "engine",
+        "steps",
+        "wall (s)",
+        "steps/s",
+        "compute steps/s",
+        "speedup",
+    ]);
+    let mut report = ThroughputReport::new(&format!(
+        "Twitter stand-in scale {scale}, deepwalk len={walk_len} (unweighted + weighted) and \
+         node2vec p=2 q=0.5, {walkers_per_vertex} walkers/vertex, {} node(s)",
+        opts.nodes
+    ));
+
+    {
+        let g = StandIn::Twitter.build(scale, false, false);
+        let walkers = g.vertex_count() as u64 * walkers_per_vertex;
+        sweep_workload(
+            "deepwalk unweighted",
+            &g,
+            DeepWalk::new(walk_len),
+            walkers,
+            &opts,
+            &engines,
+            &mut table,
+            &mut report,
+        );
+    }
+    {
+        let g = StandIn::Twitter.build(scale, true, false);
+        let walkers = g.vertex_count() as u64 * walkers_per_vertex;
+        sweep_workload(
+            "deepwalk weighted",
+            &g,
+            DeepWalk::new(walk_len),
+            walkers,
+            &opts,
+            &engines,
+            &mut table,
+            &mut report,
+        );
+        sweep_workload(
+            "node2vec weighted",
+            &g,
+            Node2Vec::new(2.0, 0.5, walk_len),
+            walkers / 2,
+            &opts,
+            so_engines,
+            &mut table,
+            &mut report,
+        );
+    }
+
+    println!();
+    table.print();
+    match report.write() {
+        Ok(path) => println!("\nmachine-readable results written to {}", path.display()),
+        Err(e) => eprintln!("warning: could not write bench JSON: {e}"),
+    }
+    println!(
+        "\n`compute steps/s` divides steps by the local-compute phase time \
+         (local_compute + light_mode + commit) the step engine owns; \
+         `speedup` is relative to the scalar row of the same workload"
+    );
+}

@@ -10,6 +10,7 @@ use knightking_cluster::Scheduler;
 use knightking_net::Transport;
 
 use crate::{
+    config::StepEngine,
     metrics::WalkMetrics,
     program::{WalkObserver, WalkerProgram},
     result::PathEntry,
@@ -17,9 +18,42 @@ use crate::{
 
 use super::{
     instrument::{NodeObs, Phase},
-    local_step, merge_accs, msg_wire_bytes, ChunkAcc, FinishedWalk, Msg, NodeRt, Slot, SlotState,
-    StepOutcome,
+    local_step, merge_accs, msg_wire_bytes, run_chunk_interleaved, ChunkAcc, FinishedWalk, Msg,
+    NodeRt, Slot, SlotState, StepOutcome,
 };
+
+/// One walker's whole first-order step: the local sampling decision plus
+/// outcome handling. Shared verbatim by the scalar and interleaved
+/// engines — the engines differ only in visitation order and prefetching.
+fn step_one<P: WalkerProgram, O: WalkObserver<P::Data>>(
+    rt: &NodeRt<'_, P, O>,
+    slot: &mut Slot<P>,
+    idx: u32,
+    acc: &mut ChunkAcc<P, O>,
+) {
+    let trials_before = acc.metrics.trials;
+    match local_step(rt, slot, idx, acc) {
+        StepOutcome::Finished => {
+            acc.metrics.finished_walkers += 1;
+            slot.state = SlotState::Finished;
+            acc.obs.walk_finished(slot.walker.step as u64);
+            acc.finished.push(FinishedWalk {
+                tag: slot.walker.tag,
+                walker: slot.walker.id,
+                steps: slot.walker.step,
+            });
+        }
+        StepOutcome::Moved(dst) => {
+            rt.commit_move(slot, dst, acc);
+        }
+        StepOutcome::Posted { .. } | StepOutcome::NeedFullScan => {
+            unreachable!("first-order walks resolve every step locally")
+        }
+    }
+    if P::DYNAMIC {
+        acc.obs.record_trials(acc.metrics.trials - trials_before);
+    }
+}
 
 /// Runs one first-order BSP iteration on this node.
 #[allow(clippy::too_many_arguments)]
@@ -52,31 +86,24 @@ pub(super) fn iteration<P: WalkerProgram, O: WalkObserver<P::Data>, T: Transport
         scheduler.run_chunks(
             slots,
             || ChunkAcc::new(n, rt.observer, obs_ctx),
-            |base, slice, acc| {
-                for (i, slot) in slice.iter_mut().enumerate() {
-                    let trials_before = acc.metrics.trials;
-                    match local_step(rt, slot, (base + i) as u32, acc) {
-                        StepOutcome::Finished => {
-                            acc.metrics.finished_walkers += 1;
-                            slot.state = SlotState::Finished;
-                            acc.obs.walk_finished(slot.walker.step as u64);
-                            acc.finished.push(FinishedWalk {
-                                tag: slot.walker.tag,
-                                walker: slot.walker.id,
-                                steps: slot.walker.step,
-                            });
-                        }
-                        StepOutcome::Moved(dst) => {
-                            rt.commit_move(slot, dst, acc);
-                        }
-                        StepOutcome::Posted { .. } | StepOutcome::NeedFullScan => {
-                            unreachable!("first-order walks resolve every step locally")
-                        }
-                    }
-                    if P::DYNAMIC {
-                        acc.obs.record_trials(acc.metrics.trials - trials_before);
+            |base, slice, acc| match rt.cfg.step_engine {
+                StepEngine::Scalar => {
+                    for (i, slot) in slice.iter_mut().enumerate() {
+                        step_one(rt, slot, (base + i) as u32, acc);
                     }
                 }
+                engine @ StepEngine::Interleaved { .. } => run_chunk_interleaved(
+                    rt,
+                    slice,
+                    base,
+                    acc,
+                    engine.ring(),
+                    // First-order answer routing is tag-free, so the
+                    // visitation order is free to chase cache locality.
+                    rt.cfg.block_sort,
+                    |_| true,
+                    |slot, idx, acc| step_one(rt, slot, idx, acc),
+                ),
             },
         )
     });
@@ -95,14 +122,12 @@ pub(super) fn iteration<P: WalkerProgram, O: WalkObserver<P::Data>, T: Transport
         ctx.exchange_with_stats(outbox, &msg_wire_bytes::<P>)
     });
     prof.record_exchange_bytes(stats.sent_bytes);
-    slots.retain(|s| matches!(s.state, SlotState::Active));
+    slots.retain(|s| matches!(s.state, SlotState::Active { .. }));
     for msg in inbox {
         match msg {
             Msg::Move(walker) => slots.push(Slot {
                 walker,
-                state: SlotState::Active,
-                fresh: true,
-                stuck: 0,
+                state: SlotState::fresh(),
             }),
             _ => unreachable!("first-order iterations exchange only walker moves"),
         }

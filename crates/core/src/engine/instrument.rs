@@ -47,6 +47,7 @@ mod real {
         ring: EventRing,
         walk_length: Pow2Histogram,
         trials_per_step: Pow2Histogram,
+        gather_ns: u64,
     }
 
     impl ChunkObs {
@@ -58,6 +59,18 @@ mod real {
                 ring: EventRing::new(if ctx.enabled { CHUNK_RING_CAP } else { 1 }),
                 walk_length: Pow2Histogram::new(),
                 trials_per_step: Pow2Histogram::new(),
+                gather_ns: 0,
+            }
+        }
+
+        /// Records CPU nanoseconds spent building this chunk's stage pool
+        /// (the interleaved engine's gather stage). Thread-summed across
+        /// chunks into `Phase::Gather`, so the total can exceed the
+        /// wall-clock `LocalCompute` time on many threads.
+        #[inline]
+        pub(crate) fn record_gather_ns(&mut self, ns: u64) {
+            if self.ctx.enabled {
+                self.gather_ns += ns;
             }
         }
 
@@ -208,6 +221,9 @@ mod real {
             }
             self.profile.walk_length.merge(&chunk.walk_length);
             self.profile.trials_per_step.merge(&chunk.trials_per_step);
+            if chunk.gather_ns > 0 {
+                self.profile.timers.add(Phase::Gather, chunk.gather_ns);
+            }
             for e in chunk.ring.drain() {
                 self.ring.push(e);
             }
@@ -258,6 +274,8 @@ mod inert {
         AnswerRound,
         LightMode,
         Finalize,
+        Gather,
+        Commit,
     }
 
     pub(crate) type NodeProfileOut = ();
@@ -275,6 +293,9 @@ mod inert {
 
         #[inline]
         pub(crate) fn record_trials(&mut self, _trials: u64) {}
+
+        #[inline]
+        pub(crate) fn record_gather_ns(&mut self, _ns: u64) {}
 
         #[inline]
         pub(crate) fn walk_finished(&mut self, _steps: u64) {}
@@ -297,8 +318,8 @@ mod inert {
         }
 
         #[inline]
-        pub(crate) fn phase_ns_totals(&self) -> [u64; 8] {
-            [0; 8]
+        pub(crate) fn phase_ns_totals(&self) -> [u64; 10] {
+            [0; 10]
         }
 
         #[inline]

@@ -173,28 +173,38 @@ impl<P: WalkerProgram> Wire for Msg<P> {
 }
 
 /// Walker bookkeeping within a node.
+///
+/// Step-progress flags (`fresh`, `stuck`) live inside the states that
+/// need them rather than alongside every walker: `Departed` and
+/// `Finished` slots — retained through the exchange until the iteration's
+/// `retain` pass — carry no dead flag bytes, and a state transition can
+/// never leave a stale flag behind.
 pub(crate) struct Slot<P: WalkerProgram> {
     pub(crate) walker: Walker<P::Data>,
     pub(crate) state: SlotState<P>,
-    /// Whether the walker is about to *start* a step (the termination
-    /// component `Pe` is evaluated once per step, not once per trial).
-    pub(crate) fresh: bool,
-    /// Consecutive remote-answer rejections for the current step.
-    /// Second-order walks reject across iterations; once this exceeds the
-    /// trial budget the engine switches to the exact full scan, which
-    /// guarantees liveness even when all queried `Pd` are zero.
-    pub(crate) stuck: u32,
 }
 
 /// Per-walker execution state.
 pub(crate) enum SlotState<P: WalkerProgram> {
     /// Ready to throw darts.
-    Active,
+    Active {
+        /// Whether the walker is about to *start* a step (the termination
+        /// component `Pe` is evaluated once per step, not once per trial).
+        fresh: bool,
+        /// Consecutive remote-answer rejections for the current step.
+        /// Second-order walks reject across iterations; once this exceeds
+        /// the trial budget the engine switches to the exact full scan,
+        /// which guarantees liveness even when all queried `Pd` are zero.
+        stuck: u32,
+    },
     /// One dart thrown; awaiting the state query answer for its candidate.
     Awaiting {
         edge: u32,
         y: f64,
         answer: Option<P::Answer>,
+        /// Rejection count carried across the query round (see
+        /// [`SlotState::Active`]).
+        stuck: u32,
     },
     /// Exact full-scan fallback in progress (rare; see module docs).
     FullScan(Box<FullScanState<P::Answer>>),
@@ -202,6 +212,17 @@ pub(crate) enum SlotState<P: WalkerProgram> {
     Departed,
     /// Walk complete.
     Finished,
+}
+
+impl<P: WalkerProgram> SlotState<P> {
+    /// A freshly (re)started walker: about to begin a step, no rejections.
+    #[inline]
+    pub(crate) fn fresh() -> Self {
+        SlotState::Active {
+            fresh: true,
+            stuck: 0,
+        }
+    }
 }
 
 /// State of an in-progress exact full scan over a walker's out-edges.
@@ -233,6 +254,9 @@ pub(crate) struct ChunkAcc<P: WalkerProgram, O: WalkObserver<P::Data>> {
     pub(crate) env: Envelope,
     /// Scratch buffer for full-scan CDF sampling.
     pub(crate) cdf_scratch: Vec<f64>,
+    /// Stage pool reused across this accumulator's chunks (interleaved
+    /// engine only; stays empty under the scalar engine).
+    pub(crate) pool: StagePool,
 }
 
 impl<P: WalkerProgram, O: WalkObserver<P::Data>> ChunkAcc<P, O> {
@@ -246,8 +270,129 @@ impl<P: WalkerProgram, O: WalkObserver<P::Data>> ChunkAcc<P, O> {
             obs: ChunkObs::new(obs_ctx),
             env: Envelope::simple(1.0, 1.0),
             cdf_scratch: Vec::new(),
+            pool: StagePool::default(),
         }
     }
+}
+
+/// Visitation-order scratch for the interleaved engine's optional
+/// cache-block sort, reused across a thread's chunks. Stays empty in the
+/// default (unsorted) pipeline, which walks the slot slice directly.
+#[derive(Default)]
+pub(crate) struct StagePool {
+    order: Vec<u32>,
+}
+
+/// Cache-block granularity of the optional gather-stage sort: vertices
+/// whose CSR offsets share a `2^BLOCK_SHIFT`-id block are visited
+/// together. Coarse on purpose — the sort only needs to cluster walkers
+/// enough that a block's rows stay resident across its visits.
+const BLOCK_SHIFT: u32 = 10;
+
+/// Drives one chunk of walkers through the stage-interleaved pipeline.
+///
+/// The loop runs `step` — the exact scalar per-slot logic — on walker
+/// `i` while issuing software prefetches for walkers `i + ring/2` and
+/// `i + ring`:
+///
+/// * distance `ring`: the CSR offsets entry (row bounds) and the
+///   first-level sampler entry (`Option<AliasTable>` / `max_ps` cell);
+/// * distance `ring/2`: the row *payload* (edge targets + weights) and
+///   the alias table's `prob`/`alias` arrays — these reads of row bounds
+///   and the alias pointer hit lines the distance-`ring` stage already
+///   requested.
+///
+/// Lookahead reads the un-stepped slots directly (their `current`/`epoch`
+/// are stable until their own `step` runs, and the slot line is warmed
+/// for the step that follows). With `sort_blocks`, a gather stage first
+/// builds a visitation order clustered by current-vertex cache block
+/// (stable within a block), timed into `Phase::Gather` as thread-summed
+/// CPU nanoseconds.
+///
+/// Byte-identity with the scalar engine holds by construction: prefetches
+/// are architectural no-ops, the early reads touch only immutable data,
+/// every kept slot runs `step` exactly once, and each walker's RNG
+/// stream is private to it — so trajectories, metrics, and
+/// instrumentation are unchanged in every bit. Prefetching a *dead*
+/// slot's vertex (possibly foreign) is likewise harmless: local CSR
+/// slices span the full vertex range and the hint wrappers never fault.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_chunk_interleaved<P: WalkerProgram, O: WalkObserver<P::Data>>(
+    rt: &NodeRt<'_, P, O>,
+    slice: &mut [Slot<P>],
+    base: usize,
+    acc: &mut ChunkAcc<P, O>,
+    ring: usize,
+    sort_blocks: bool,
+    keep: impl Fn(&Slot<P>) -> bool,
+    mut step: impl FnMut(&mut Slot<P>, u32, &mut ChunkAcc<P, O>),
+) {
+    let d1 = ring.max(1);
+    let d2 = (d1 / 2).max(1);
+    let stage1 = |slot: &Slot<P>| {
+        let v = slot.walker.current;
+        rt.graph.prefetch_row_bounds(v);
+        rt.prefetch_sampler(v);
+    };
+    let stage2 = |slot: &Slot<P>| {
+        let (v, epoch) = (slot.walker.current, slot.walker.epoch);
+        rt.graph.at(epoch).prefetch_row_payload(v);
+        rt.prefetch_sampler_deep(v, epoch);
+    };
+
+    if !sort_blocks {
+        // Fast path: visit in slice order, no gather, no indirection.
+        let n = slice.len();
+        for slot in slice.iter().take(d1.min(n)) {
+            stage1(slot);
+        }
+        for slot in slice.iter().take(d2.min(n)) {
+            stage2(slot);
+        }
+        for i in 0..n {
+            if i + d1 < n {
+                stage1(&slice[i + d1]);
+            }
+            if i + d2 < n {
+                stage2(&slice[i + d2]);
+            }
+            if keep(&slice[i]) {
+                step(&mut slice[i], (base + i) as u32, acc);
+            }
+        }
+        return;
+    }
+
+    // Sorted path: gather a block-clustered visitation order first.
+    let gather_begin = Instant::now();
+    let mut pool = std::mem::take(&mut acc.pool);
+    pool.order.clear();
+    pool.order
+        .extend((0..slice.len() as u32).filter(|&i| keep(&slice[i as usize])));
+    // Stable: within a block, chunk order is preserved.
+    pool.order
+        .sort_by_key(|&i| slice[i as usize].walker.current >> BLOCK_SHIFT);
+    acc.obs
+        .record_gather_ns(gather_begin.elapsed().as_nanos() as u64);
+
+    let n = pool.order.len();
+    for k in 0..d1.min(n) {
+        stage1(&slice[pool.order[k] as usize]);
+    }
+    for k in 0..d2.min(n) {
+        stage2(&slice[pool.order[k] as usize]);
+    }
+    for i in 0..n {
+        if i + d1 < n {
+            stage1(&slice[pool.order[i + d1] as usize]);
+        }
+        if i + d2 < n {
+            stage2(&slice[pool.order[i + d2] as usize]);
+        }
+        let j = pool.order[i] as usize;
+        step(&mut slice[j], (base + j) as u32, acc);
+    }
+    acc.pool = pool;
 }
 
 /// One vertex's rebuilt static sampling structures, stamped at the epoch
@@ -485,6 +630,44 @@ impl<'a, P: WalkerProgram, O: WalkObserver<P::Data>> NodeRt<'a, P, O> {
         }
     }
 
+    /// First-level sampler prefetch for a walker about to step at `v`:
+    /// warms the `Option<AliasTable>` slot (biased runs) or the `max_ps`
+    /// cell (mixed mode). Pure hint — reads nothing.
+    #[inline]
+    pub(crate) fn prefetch_sampler(&self, v: VertexId) {
+        let local = v.wrapping_sub(self.base) as usize;
+        if self.biased {
+            if let Some(entry) = self.alias.get(local) {
+                knightking_sampling::prefetch::read(entry);
+            }
+        } else if !self.cfg.decoupled_static {
+            if let Some(m) = self.max_ps.get(local) {
+                knightking_sampling::prefetch::read(m);
+            }
+        }
+    }
+
+    /// Second-level sampler prefetch: reads the (already-warmed)
+    /// `Option<AliasTable>` slot and prefetches the table's `prob`/`alias`
+    /// arrays — the lines `candidate` will bisect. The read touches only
+    /// immutable sampler metadata, so issuing it early cannot change
+    /// results. No-op outside biased runs (mixed mode has no second
+    /// level).
+    #[inline]
+    pub(crate) fn prefetch_sampler_deep(&self, v: VertexId, epoch: u64) {
+        if !self.biased {
+            return;
+        }
+        let local = v.wrapping_sub(self.base);
+        let table = match self.override_at(local, epoch) {
+            Some(entry) => entry.alias.as_ref(),
+            None => self.alias.get(local as usize).and_then(|t| t.as_ref()),
+        };
+        if let Some(table) = table {
+            table.prefetch();
+        }
+    }
+
     /// Mixed-mode per-vertex maximum `Ps` at `epoch`.
     #[inline]
     fn max_ps_at(&self, v: VertexId, epoch: u64) -> f64 {
@@ -627,11 +810,9 @@ impl<'a, P: WalkerProgram, O: WalkObserver<P::Data>> NodeRt<'a, P, O> {
         acc.metrics.steps += 1;
         self.observer.on_move(&mut acc.obs_acc, &slot.walker);
         self.record(acc, &slot.walker);
-        slot.fresh = true;
-        slot.stuck = 0;
         let owner = self.partition.owner(dst);
         if owner == self.me {
-            slot.state = SlotState::Active;
+            slot.state = SlotState::fresh();
             true
         } else {
             slot.state = SlotState::Departed;
@@ -849,9 +1030,7 @@ impl<'g, P: WalkerProgram> RandomWalkEngine<'g, P> {
                     }
                     slots.push(Slot {
                         walker,
-                        state: SlotState::Active,
-                        fresh: true,
-                        stuck: 0,
+                        state: SlotState::fresh(),
                     });
                 }
             }
@@ -1098,7 +1277,10 @@ pub(crate) fn local_step<P: WalkerProgram, O: WalkObserver<P::Data>>(
         rt.me,
         "walker resides on a vertex this node does not own"
     );
-    if slot.fresh {
+    let SlotState::Active { fresh, stuck } = slot.state else {
+        unreachable!("local_step requires an Active slot")
+    };
+    if fresh {
         if rt.program.should_terminate(&mut slot.walker) {
             return StepOutcome::Finished;
         }
@@ -1110,7 +1292,10 @@ pub(crate) fn local_step<P: WalkerProgram, O: WalkObserver<P::Data>>(
             );
             return StepOutcome::Moved(dst);
         }
-        slot.fresh = false;
+        slot.state = SlotState::Active {
+            fresh: false,
+            stuck,
+        };
     }
     let v = slot.walker.current;
     let deg = graph.degree(v);

@@ -28,6 +28,7 @@ use knightking_net::Transport;
 use knightking_sampling::CdfTable;
 
 use crate::{
+    config::StepEngine,
     metrics::WalkMetrics,
     program::{WalkObserver, WalkerProgram},
     result::PathEntry,
@@ -35,8 +36,8 @@ use crate::{
 
 use super::{
     instrument::{NodeObs, Phase},
-    local_step, merge_accs, msg_wire_bytes, post_query, ChunkAcc, FinishedWalk, FullScanState, Msg,
-    NodeRt, Slot, SlotState, StepOutcome, FULL_SCAN_WINDOW,
+    local_step, merge_accs, msg_wire_bytes, post_query, run_chunk_interleaved, ChunkAcc,
+    FinishedWalk, FullScanState, Msg, NodeRt, Slot, SlotState, StepOutcome, FULL_SCAN_WINDOW,
 };
 
 /// Runs one second-order BSP iteration on this node.
@@ -73,15 +74,33 @@ pub(super) fn iteration<P: WalkerProgram, O: WalkObserver<P::Data>, T: Transport
             slots,
             || ChunkAcc::new(n, rt.observer, obs_ctx),
             |base, slice, acc| {
-                for (i, slot) in slice.iter_mut().enumerate() {
-                    let idx = (base + i) as u32;
-                    if matches!(slot.state, SlotState::Active) {
+                let handle = |slot: &mut Slot<P>, idx: u32, acc: &mut ChunkAcc<P, O>| {
+                    if matches!(slot.state, SlotState::Active { .. }) {
                         phase_a_active(rt, slot, idx, acc);
                     } else if matches!(slot.state, SlotState::FullScan(_)) {
                         post_scan_queries(rt, slot, idx, acc);
                     } else {
                         unreachable!("awaiting/departed/finished slots cannot start an iteration")
                     }
+                };
+                match rt.cfg.step_engine {
+                    StepEngine::Scalar => {
+                        for (i, slot) in slice.iter_mut().enumerate() {
+                            handle(slot, (base + i) as u32, acc);
+                        }
+                    }
+                    // No block sort: answers address slots positionally,
+                    // and reordering would also reorder posted queries.
+                    engine @ StepEngine::Interleaved { .. } => run_chunk_interleaved(
+                        rt,
+                        slice,
+                        base,
+                        acc,
+                        engine.ring(),
+                        false,
+                        |_| true,
+                        handle,
+                    ),
                 }
             },
         )
@@ -108,9 +127,7 @@ pub(super) fn iteration<P: WalkerProgram, O: WalkObserver<P::Data>, T: Transport
         match msg {
             Msg::Move(walker) => arrivals.push(Slot {
                 walker,
-                state: SlotState::Active,
-                fresh: true,
-                stuck: 0,
+                state: SlotState::fresh(),
             }),
             Msg::Query {
                 from,
@@ -130,7 +147,21 @@ pub(super) fn iteration<P: WalkerProgram, O: WalkObserver<P::Data>, T: Transport
             &mut queries,
             || -> Vec<Vec<Msg<P>>> { (0..n).map(|_| Vec::new()).collect() },
             |_base, slice, acc| {
-                for &mut (from, slot, tag, target, epoch, payload) in slice.iter_mut() {
+                // Same two-distance lookahead as the walker pipeline:
+                // query targets arrive in partition-random order, so each
+                // one's adjacency row is a likely miss.
+                let d1 = rt.cfg.step_engine.ring();
+                let d2 = (d1 / 2).max(1);
+                for k in 0..slice.len() {
+                    if d1 > 0 {
+                        if let Some(&(_, _, _, t, _, _)) = slice.get(k + d1) {
+                            rt.graph.prefetch_row_bounds(t);
+                        }
+                        if let Some(&(_, _, _, t, ep, _)) = slice.get(k + d2) {
+                            rt.graph.at(ep).prefetch_row_payload(t);
+                        }
+                    }
+                    let (from, slot, tag, target, epoch, payload) = slice[k];
                     debug_assert_eq!(rt.partition.owner(target), rt.me);
                     // Answer against the asking walker's snapshot, not
                     // this node's build epoch.
@@ -175,25 +206,28 @@ pub(super) fn iteration<P: WalkerProgram, O: WalkObserver<P::Data>, T: Transport
         }
     });
 
-    // ---- Phase B (step 5): decide outcomes; movers move. ----
-    let accs = prof.time(compute_phase, || {
+    // ---- Phase B (step 5): decide outcomes; movers move. Timed as its
+    // own `Commit` phase so the answer-application cost of second-order
+    // walks is visible separately from phase A's sampling. ----
+    let accs = prof.time(Phase::Commit, || {
         scheduler.run_chunks(
             slots,
             || ChunkAcc::new(n, rt.observer, obs_ctx),
-            |_base, slice, acc| {
-                for slot in slice.iter_mut() {
+            |base, slice, acc| {
+                let handle = |slot: &mut Slot<P>, _idx: u32, acc: &mut ChunkAcc<P, O>| {
                     let answered = match &slot.state {
                         SlotState::Awaiting {
                             edge,
                             y,
                             answer: Some(a),
-                        } => Some((*edge, *y, *a)),
+                            stuck,
+                        } => Some((*edge, *y, *a, *stuck)),
                         SlotState::Awaiting { answer: None, .. } => {
                             unreachable!("every posted query is answered in its iteration")
                         }
                         _ => None,
                     };
-                    if let Some((edge, y, a)) = answered {
+                    if let Some((edge, y, a, stuck)) = answered {
                         let g = rt.graph.at(slot.walker.epoch);
                         let view = g.edge(slot.walker.current, edge as usize);
                         let pd = rt.pd(&slot.walker, view, Some(a), &mut acc.metrics);
@@ -206,12 +240,34 @@ pub(super) fn iteration<P: WalkerProgram, O: WalkObserver<P::Data>, T: Transport
                             // both bounds the retry cost and guarantees
                             // termination when the true probability mass is
                             // zero.
-                            slot.stuck += 1;
-                            slot.state = SlotState::Active;
+                            slot.state = SlotState::Active {
+                                fresh: false,
+                                stuck: stuck + 1,
+                            };
                         }
                     } else if matches!(slot.state, SlotState::FullScan(_)) {
                         fold_scan_answers(rt, slot, acc);
                     }
+                };
+                match rt.cfg.step_engine {
+                    StepEngine::Scalar => {
+                        for (i, slot) in slice.iter_mut().enumerate() {
+                            handle(slot, (base + i) as u32, acc);
+                        }
+                    }
+                    // Only slots with phase-B work enter the pool; the
+                    // scalar loop's visits to departed/finished slots are
+                    // no-ops, so skipping them is identical.
+                    engine @ StepEngine::Interleaved { .. } => run_chunk_interleaved(
+                        rt,
+                        slice,
+                        base,
+                        acc,
+                        engine.ring(),
+                        false,
+                        |s| matches!(s.state, SlotState::Awaiting { .. } | SlotState::FullScan(_)),
+                        handle,
+                    ),
                 }
             },
         )
@@ -236,9 +292,7 @@ pub(super) fn iteration<P: WalkerProgram, O: WalkObserver<P::Data>, T: Transport
         match msg {
             Msg::Move(walker) => arrivals.push(Slot {
                 walker,
-                state: SlotState::Active,
-                fresh: true,
-                stuck: 0,
+                state: SlotState::fresh(),
             }),
             _ => unreachable!("only moves in the move round"),
         }
@@ -256,7 +310,10 @@ fn phase_a_active<P: WalkerProgram, O: WalkObserver<P::Data>>(
     idx: u32,
     acc: &mut ChunkAcc<P, O>,
 ) {
-    if slot.stuck > rt.cfg.max_local_trials {
+    let SlotState::Active { stuck, .. } = slot.state else {
+        unreachable!("phase_a_active requires an Active slot")
+    };
+    if stuck > rt.cfg.max_local_trials {
         init_full_scan(rt, slot, acc);
         post_scan_queries(rt, slot, idx, acc);
         return;
@@ -281,6 +338,7 @@ fn phase_a_active<P: WalkerProgram, O: WalkObserver<P::Data>>(
                 edge,
                 y,
                 answer: None,
+                stuck,
             };
         }
         StepOutcome::NeedFullScan => {

@@ -274,8 +274,10 @@ pub struct LiveSample {
     pub exchange_bytes: u64,
     /// Cumulative nanoseconds per engine phase (the `knightking-obs`
     /// phase taxonomy, index order; all zeros when the engine was built
-    /// without the `obs` feature).
-    pub phase_ns: [u64; 8],
+    /// without the `obs` feature). Ten slots since the taxonomy gained
+    /// `gather` and `commit` — a wire-format change, so all ranks of a
+    /// cluster must run the same build.
+    pub phase_ns: [u64; 10],
 }
 
 impl Wire for LiveSample {
@@ -297,7 +299,7 @@ impl Wire for LiveSample {
         let steps = u64::decode(input)?;
         let trials = u64::decode(input)?;
         let exchange_bytes = u64::decode(input)?;
-        let mut phase_ns = [0u64; 8];
+        let mut phase_ns = [0u64; 10];
         for ns in &mut phase_ns {
             *ns = u64::decode(input)?;
         }
@@ -737,9 +739,7 @@ impl<'g, P: WalkerProgram> RandomWalkEngine<'g, P> {
                     });
                     slots.push(Slot {
                         walker,
-                        state: SlotState::Active,
-                        fresh: true,
-                        stuck: 0,
+                        state: SlotState::fresh(),
                     });
                 }
                 if req.trace {
@@ -932,7 +932,7 @@ mod tests {
                 steps: 120,
                 trials: 300,
                 exchange_bytes: 4096,
-                phase_ns: [1, 2, 3, 4, 5, 6, 7, 8],
+                phase_ns: [1, 2, 3, 4, 5, 6, 7, 8, 9, 10],
             },
         };
         let bytes = to_bytes(&delta).unwrap();

@@ -1,0 +1,261 @@
+//! Byte-identity sweep for the stage-interleaved step engine.
+//!
+//! The interleaved engine (and its optional cache-block sort) must be
+//! indistinguishable from the scalar engine in every observable output:
+//! paths, metrics, and the observability histograms. This suite sweeps
+//! ring sizes, chunk sizes, and block sorting across first- and
+//! second-order programs on both static CSR and dynamic overlay graphs,
+//! comparing each variant against the scalar reference.
+
+use knightking_core::{
+    DynConfig, DynGraph, EdgeView, GraphRef, RandomWalkEngine, StepEngine, VertexId, WalkConfig,
+    WalkResult, Walker, WalkerProgram, WalkerStarts,
+};
+use knightking_dyn::{EdgeAdd, EdgeRef, EdgeReweight, UpdateBatch};
+use knightking_graph::gen;
+
+/// Ring sizes the issue mandates sweeping, plus the scalar reference.
+const RINGS: [usize; 4] = [1, 2, 8, 64];
+const CHUNKS: [usize; 3] = [3, 64, 128];
+
+/// Unbiased truncated walk of fixed length.
+struct Fixed(u32);
+impl WalkerProgram for Fixed {
+    type Data = ();
+    type Query = ();
+    type Answer = ();
+    const DYNAMIC: bool = false;
+    fn init_data(&self, _id: u64, _start: VertexId) {}
+    fn should_terminate(&self, w: &mut Walker<()>) -> bool {
+        w.step >= self.0
+    }
+}
+
+/// First-order dynamic walk biased toward even vertices.
+struct EvenLover;
+impl WalkerProgram for EvenLover {
+    type Data = ();
+    type Query = ();
+    type Answer = ();
+    fn init_data(&self, _id: u64, _start: VertexId) {}
+    fn should_terminate(&self, w: &mut Walker<()>) -> bool {
+        w.step >= 12
+    }
+    fn dynamic_comp(&self, _g: &GraphRef<'_>, _w: &Walker<()>, e: EdgeView, _a: Option<()>) -> f64 {
+        if e.dst.is_multiple_of(2) {
+            1.0
+        } else {
+            0.25
+        }
+    }
+    fn upper_bound(&self, _g: &GraphRef<'_>, _w: &Walker<()>) -> f64 {
+        1.0
+    }
+    fn lower_bound(&self, _g: &GraphRef<'_>, _w: &Walker<()>) -> f64 {
+        0.25
+    }
+}
+
+/// Second-order non-backtracking walk exercising the query machinery.
+struct NoReturn {
+    len: u32,
+}
+impl WalkerProgram for NoReturn {
+    type Data = ();
+    type Query = VertexId;
+    type Answer = bool;
+    const SECOND_ORDER: bool = true;
+    fn init_data(&self, _id: u64, _start: VertexId) {}
+    fn should_terminate(&self, w: &mut Walker<()>) -> bool {
+        w.step >= self.len
+    }
+    fn state_query(&self, w: &Walker<()>, e: EdgeView) -> Option<(VertexId, VertexId)> {
+        match w.prev {
+            Some(prev) if e.dst != prev => Some((prev, e.dst)),
+            _ => None,
+        }
+    }
+    fn answer_query(&self, g: &GraphRef<'_>, target: VertexId, candidate: VertexId) -> bool {
+        g.has_edge(target, candidate)
+    }
+    fn dynamic_comp(&self, _g: &GraphRef<'_>, w: &Walker<()>, e: EdgeView, a: Option<bool>) -> f64 {
+        match w.prev {
+            None => 1.0,
+            Some(prev) if e.dst == prev => 0.0,
+            _ => {
+                if a.expect("non-return candidates carry an answer") {
+                    1.0
+                } else {
+                    0.5
+                }
+            }
+        }
+    }
+    fn upper_bound(&self, _g: &GraphRef<'_>, _w: &Walker<()>) -> f64 {
+        1.0
+    }
+}
+
+/// Every observable output of a run must match the scalar reference.
+/// Phase timers are wall-clock and legitimately differ; everything else —
+/// paths, metrics, iteration trace, and all four histograms per node —
+/// must be byte-identical.
+fn assert_identical(reference: &WalkResult, candidate: &WalkResult, label: &str) {
+    assert_eq!(reference.paths, candidate.paths, "{label}: paths diverged");
+    assert_eq!(
+        reference.metrics, candidate.metrics,
+        "{label}: metrics diverged"
+    );
+    assert_eq!(
+        reference.active_per_iteration, candidate.active_per_iteration,
+        "{label}: per-iteration actives diverged"
+    );
+    let (rp, cp) = (
+        reference.profile.as_ref().expect("reference profile"),
+        candidate.profile.as_ref().expect("candidate profile"),
+    );
+    assert_eq!(rp.nodes.len(), cp.nodes.len(), "{label}: node count");
+    for (rn, cn) in rp.nodes.iter().zip(&cp.nodes) {
+        for ((name, rh), (_, ch)) in rn.histograms().iter().zip(cn.histograms()) {
+            let rb: Vec<_> = rh.nonzero_buckets().collect();
+            let cb: Vec<_> = ch.nonzero_buckets().collect();
+            assert_eq!(
+                rb, cb,
+                "{label}: node {} histogram {name} diverged",
+                rn.node
+            );
+        }
+    }
+}
+
+/// Runs `make_run` under the scalar engine, then sweeps every interleaved
+/// variant (ring × chunk × block_sort when allowed) against it.
+fn sweep(label: &str, block_sortable: bool, make_run: impl Fn(WalkConfig) -> WalkResult) {
+    let seed = 0xD15C0;
+    let base_cfg = |chunk: usize| {
+        let mut cfg = WalkConfig::with_nodes(2, seed);
+        cfg.threads_per_node = 2;
+        cfg.chunk_size = chunk;
+        cfg.profile = true;
+        cfg
+    };
+    for chunk in CHUNKS {
+        let mut scalar_cfg = base_cfg(chunk);
+        scalar_cfg.step_engine = StepEngine::Scalar;
+        let reference = make_run(scalar_cfg);
+        for ring in RINGS {
+            let sorts: &[bool] = if block_sortable {
+                &[false, true]
+            } else {
+                &[false]
+            };
+            for &sort in sorts {
+                let mut cfg = base_cfg(chunk);
+                cfg.step_engine = StepEngine::Interleaved { ring };
+                cfg.block_sort = sort;
+                let run = make_run(cfg);
+                assert_identical(
+                    &reference,
+                    &run,
+                    &format!("{label} chunk={chunk} ring={ring} sort={sort}"),
+                );
+            }
+        }
+    }
+}
+
+/// A dynamic graph with a non-trivial overlay (adds, deletes, reweights)
+/// so merged-row reads and overlay samplers are on the hot path.
+fn overlay_graph(n: usize, seed: u64) -> DynGraph {
+    let base = gen::uniform_degree(n, 5, gen::GenOptions::paper_weighted(seed));
+    let dg = DynGraph::new(base, DynConfig::default());
+    dg.apply(&UpdateBatch {
+        adds: vec![
+            EdgeAdd {
+                src: 0,
+                dst: (n as u32) / 2,
+                weight: 9.0,
+                edge_type: 0,
+            },
+            EdgeAdd {
+                src: (n as u32) / 2,
+                dst: 0,
+                weight: 9.0,
+                edge_type: 0,
+            },
+            EdgeAdd {
+                src: 9,
+                dst: 2,
+                weight: 6.5,
+                edge_type: 0,
+            },
+        ],
+        dels: vec![EdgeRef { src: 5, dst: 1 }],
+        reweights: vec![EdgeReweight {
+            src: 0,
+            dst: (n as u32) / 2,
+            weight: 12.0,
+        }],
+    })
+    .expect("overlay batch applies");
+    dg
+}
+
+#[test]
+fn first_order_static_unbiased_identical_across_engines() {
+    let g = gen::presets::twitter_like(9, gen::GenOptions::seeded(3));
+    sweep("static unbiased", true, |cfg| {
+        RandomWalkEngine::new(&g, Fixed(20), cfg).run(WalkerStarts::PerVertex)
+    });
+}
+
+#[test]
+fn first_order_static_biased_identical_across_engines() {
+    let g = gen::uniform_degree(300, 6, gen::GenOptions::paper_weighted(5));
+    sweep("static biased", true, |cfg| {
+        RandomWalkEngine::new(&g, Fixed(16), cfg).run(WalkerStarts::Count(400))
+    });
+}
+
+#[test]
+fn first_order_dynamic_identical_across_engines() {
+    let g = gen::uniform_degree(250, 6, gen::GenOptions::seeded(7));
+    sweep("first-order dynamic", true, |cfg| {
+        RandomWalkEngine::new(&g, EvenLover, cfg).run(WalkerStarts::PerVertex)
+    });
+}
+
+#[test]
+fn second_order_identical_across_engines() {
+    let g = gen::uniform_degree(200, 6, gen::GenOptions::seeded(11));
+    sweep("second-order", false, |cfg| {
+        RandomWalkEngine::new(&g, NoReturn { len: 14 }, cfg).run(WalkerStarts::Count(300))
+    });
+}
+
+#[test]
+fn first_order_dyn_overlay_identical_across_engines() {
+    let dg = overlay_graph(240, 13);
+    sweep("dyn overlay first-order", true, |cfg| {
+        RandomWalkEngine::new(&dg, Fixed(15), cfg).run(WalkerStarts::PerVertex)
+    });
+}
+
+#[test]
+fn second_order_dyn_overlay_identical_across_engines() {
+    let dg = overlay_graph(180, 17);
+    sweep("dyn overlay second-order", false, |cfg| {
+        RandomWalkEngine::new(&dg, NoReturn { len: 10 }, cfg).run(WalkerStarts::Count(200))
+    });
+}
+
+#[test]
+fn scalar_env_override_selects_scalar_engine() {
+    // `from_env` reads KK_SCALAR_STEP at construction; the test process
+    // does not set it, so the default must be interleaved.
+    assert!(matches!(
+        StepEngine::from_env(),
+        StepEngine::Interleaved { .. }
+    ));
+    assert_eq!(StepEngine::Scalar.ring(), 0);
+}

@@ -225,6 +225,45 @@ impl CsrGraph {
             .unwrap_or(0)
     }
 
+    /// Hints that `v`'s row bounds (`offsets[v]`, `offsets[v + 1]`) are
+    /// about to be read.
+    ///
+    /// First prefetch stage of the interleaved engine: both offsets share
+    /// a cache line except at line boundaries, so one hint per line
+    /// suffices. Purely a performance hint — never faults, even for
+    /// out-of-range `v`.
+    #[inline]
+    pub fn prefetch_row_bounds(&self, v: VertexId) {
+        let p = self.offsets.as_ptr().wrapping_add(v as usize);
+        knightking_sampling::prefetch::read(p);
+        knightking_sampling::prefetch::read(p.wrapping_add(1));
+    }
+
+    /// Hints that `v`'s edge payload (targets, weights) is about to be
+    /// scanned, reading the (by now cached) row bounds to locate it.
+    ///
+    /// Second prefetch stage of the interleaved engine, issued closer to
+    /// use than [`CsrGraph::prefetch_row_bounds`]. Capped at a few cache
+    /// lines per array so hub vertices don't flush the cache they are
+    /// meant to warm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range (same contract as [`CsrGraph::degree`]).
+    #[inline]
+    pub fn prefetch_row_payload(&self, v: VertexId) {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        let len = hi - lo;
+        if len == 0 {
+            return;
+        }
+        knightking_sampling::prefetch::span(self.targets.as_ptr().wrapping_add(lo), len);
+        if let Some(w) = &self.weights {
+            knightking_sampling::prefetch::span(w.as_ptr().wrapping_add(lo), len);
+        }
+    }
+
     /// Approximate heap footprint in bytes.
     pub fn heap_bytes(&self) -> usize {
         self.offsets.len() * 8

@@ -317,7 +317,10 @@ mod tests {
         poller
             .wait(&mut events, Some(Duration::from_millis(50)))
             .unwrap();
-        assert!(events.is_empty(), "edge-triggered event re-fired: {events:?}");
+        assert!(
+            events.is_empty(),
+            "edge-triggered event re-fired: {events:?}"
+        );
     }
 
     #[test]

@@ -340,8 +340,7 @@ impl<H: ConnHandler> Reactor<H> {
         loop {
             self.poller.wait(&mut events, Some(self.poll_interval))?;
             let now = self.now_ms();
-            for i in 0..events.len() {
-                let ev = events[i];
+            for &ev in events.iter() {
                 match ev.key {
                     LISTENER_KEY => self.accept_ready(now, draining),
                     WAKER_KEY => self.drain_waker(),
@@ -378,9 +377,7 @@ impl<H: ConnHandler> Reactor<H> {
                     if draining || self.conns.len() >= self.cfg.max_connections {
                         // Shed at the door: close immediately. The
                         // client sees EOF instead of a hung connect.
-                        self.shared
-                            .accepts_rejected
-                            .fetch_add(1, Ordering::AcqRel);
+                        self.shared.accepts_rejected.fetch_add(1, Ordering::AcqRel);
                         continue;
                     }
                     if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
@@ -409,10 +406,7 @@ impl<H: ConnHandler> Reactor<H> {
                         self.handler.on_close(
                             token,
                             conn.state,
-                            CloseReason::Error(io::Error::new(
-                                io::ErrorKind::Other,
-                                "poller registration failed",
-                            )),
+                            CloseReason::Error(io::Error::other("poller registration failed")),
                         );
                         continue;
                     }
@@ -567,11 +561,9 @@ impl<H: ConnHandler> Reactor<H> {
             }
             if !conn.want_write {
                 conn.want_write = true;
-                let _ = self.poller.modify(
-                    conn.stream.as_raw_fd(),
-                    token.0,
-                    Interest::READ_WRITE,
-                );
+                let _ = self
+                    .poller
+                    .modify(conn.stream.as_raw_fd(), token.0, Interest::READ_WRITE);
             }
         }
     }

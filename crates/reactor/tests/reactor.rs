@@ -200,8 +200,10 @@ fn cross_thread_send_reaches_client() {
         fn on_close(&mut self, _token: Token, _conn: Self::Conn, _reason: CloseReason) {}
     }
 
-    let reactor = Reactor::new(listener, ReactorConfig::default(), |_h| Opens { tx: tok_tx })
-        .unwrap();
+    let reactor = Reactor::new(listener, ReactorConfig::default(), |_h| Opens {
+        tx: tok_tx,
+    })
+    .unwrap();
     let handle = reactor.handle();
     let t = thread::spawn(move || reactor.run());
 
@@ -284,8 +286,10 @@ fn stop_flushes_pending_writes_before_exit() {
         fn on_close(&mut self, _token: Token, _conn: Self::Conn, _reason: CloseReason) {}
     }
 
-    let reactor = Reactor::new(listener, ReactorConfig::default(), |_h| Opens { tx: tok_tx })
-        .unwrap();
+    let reactor = Reactor::new(listener, ReactorConfig::default(), |_h| Opens {
+        tx: tok_tx,
+    })
+    .unwrap();
     let handle = reactor.handle();
     let t = thread::spawn(move || reactor.run());
 

@@ -95,6 +95,18 @@ impl AliasTable {
         })
     }
 
+    /// Hints that this table is about to be sampled.
+    ///
+    /// Warms the head of both bucket arrays — `sample` draws a uniform
+    /// bucket, so only the first lines can be predicted, but on skewed
+    /// graphs most tables are small enough that the head *is* the table.
+    /// Purely a performance hint; see [`crate::prefetch`].
+    #[inline]
+    pub fn prefetch(&self) {
+        crate::prefetch::slice(&self.prob);
+        crate::prefetch::slice(&self.alias);
+    }
+
     /// Draws one outcome index in O(1).
     #[inline]
     pub fn sample(&self, rng: &mut DeterministicRng) -> usize {

@@ -17,10 +17,13 @@
 //!   pre-acceptance, and outlier "appendix" folding.
 //!
 //! The [`stats`] module provides the chi-squared helpers used by this
-//! repository's statistical tests.
+//! repository's statistical tests, and [`prefetch`] the dependency-free
+//! software-prefetch hints the stage-interleaved engine issues while one
+//! walker samples and the next walker's tables are still in DRAM.
 
 pub mod alias;
 pub mod its;
+pub mod prefetch;
 pub mod rejection;
 pub mod rng;
 pub mod stats;

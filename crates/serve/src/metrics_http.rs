@@ -186,7 +186,8 @@ mod tests {
 
         // Open all connections first, then send all requests: every
         // scrape is concurrently resident in the one reactor.
-        let mut conns: Vec<TcpStream> = (0..32).map(|_| TcpStream::connect(addr).unwrap()).collect();
+        let mut conns: Vec<TcpStream> =
+            (0..32).map(|_| TcpStream::connect(addr).unwrap()).collect();
         for c in &mut conns {
             c.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
         }

@@ -543,7 +543,7 @@ mod tests {
             completed: 3,
             supersteps: 99,
             latency_p99_us: 1234,
-            phase_ns: [9, 8, 7, 6, 5, 4, 3, 2],
+            phase_ns: [9, 8, 7, 6, 5, 4, 3, 2, 1, 10],
             ..StatsReport::default()
         };
         report.series.push(crate::stats::SeriesPoint {
@@ -574,7 +574,11 @@ mod tests {
                 assert_eq!(split_hello(&bytes[..cut]).unwrap(), None, "prefix {cut}");
             }
             let (got, used) = split_hello(&bytes).unwrap().unwrap();
-            let want = if tenant.is_empty() { DEFAULT_TENANT } else { tenant };
+            let want = if tenant.is_empty() {
+                DEFAULT_TENANT
+            } else {
+                tenant
+            };
             assert_eq!(got, want);
             assert_eq!(used, bytes.len());
         }
@@ -584,7 +588,10 @@ mod tests {
     fn hello_rejects_bad_magic_version_and_tenant() {
         let mut bytes = hello_bytes("x").unwrap();
         bytes[0] = b'X';
-        assert!(split_hello(&bytes).unwrap_err().to_string().contains("magic"));
+        assert!(split_hello(&bytes)
+            .unwrap_err()
+            .to_string()
+            .contains("magic"));
 
         let mut bytes = hello_bytes("x").unwrap();
         bytes[4..6].copy_from_slice(&99u16.to_le_bytes());
@@ -596,7 +603,10 @@ mod tests {
         // An overlong length byte fails before the name even arrives.
         let mut bytes = hello_bytes("x").unwrap();
         bytes[6] = (MAX_TENANT_LEN + 1) as u8;
-        assert!(split_hello(&bytes[..7]).unwrap_err().to_string().contains("64-byte"));
+        assert!(split_hello(&bytes[..7])
+            .unwrap_err()
+            .to_string()
+            .contains("64-byte"));
 
         // Client side refuses bad tenant ids outright.
         assert!(hello_bytes("has space").is_err());

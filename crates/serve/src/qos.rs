@@ -273,9 +273,7 @@ mod tests {
         for w in [5, 1, 300, 2] {
             q.push(req("a", w)).map_err(|_| ()).unwrap();
         }
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
-            .map(|r| cost(&r))
-            .collect();
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|r| cost(&r)).collect();
         assert_eq!(order, vec![5, 1, 300, 2]);
         assert!(q.is_empty());
     }

@@ -502,7 +502,8 @@ impl StatsReport {
             self.spans_dropped
         );
         if !self.tenants.is_empty() {
-            let per_tenant: [(&str, &str, fn(&TenantStat) -> u64); 5] = [
+            type TenantCol = (&'static str, &'static str, fn(&TenantStat) -> u64);
+            let per_tenant: [TenantCol; 5] = [
                 ("kk_tenant_queue_depth", "gauge", |t| t.queued),
                 ("kk_tenant_admitted_total", "counter", |t| t.admitted),
                 ("kk_tenant_completed_total", "counter", |t| t.completed),
@@ -702,14 +703,14 @@ mod tests {
             steps: 100,
             trials: 40,
             exchange_bytes: 1000,
-            phase_ns: [10, 0, 20, 30, 0, 0, 0, 5],
+            phase_ns: [10, 0, 20, 30, 0, 0, 0, 5, 2, 1],
         };
         let b = LiveSample {
             active: 2,
             steps: 50,
             trials: 10,
             exchange_bytes: 200,
-            phase_ns: [1, 0, 2, 3, 0, 0, 0, 4],
+            phase_ns: [1, 0, 2, 3, 0, 0, 0, 4, 1, 1],
         };
         s.apply_live(&[a, b]);
         assert_eq!(s.active_walkers, 5);
@@ -829,7 +830,7 @@ mod tests {
         let empty = StatsReport::default().render_dashboard();
         assert!(empty.contains("kk top"));
         let mut s = sample();
-        s.phase_ns = [5, 0, 100, 40, 0, 0, 0, 1];
+        s.phase_ns = [5, 0, 100, 40, 0, 0, 0, 1, 6, 2];
         for i in 0..200 {
             s.series.push(SeriesPoint {
                 superstep: 40 + i,

@@ -118,7 +118,11 @@ fn fuzzed_chunkings_agree_with_whole_buffer_decode() {
                 got.extend(drain_frames(&mut buf));
             }
         }
-        assert_eq!(got_tenant.as_deref(), Some(want_tenant.as_str()), "round {round}");
+        assert_eq!(
+            got_tenant.as_deref(),
+            Some(want_tenant.as_str()),
+            "round {round}"
+        );
         assert!(buf.is_empty(), "round {round}: leftover bytes");
         assert_eq!(got, whole, "round {round}");
         if tenant.is_empty() {
@@ -175,8 +179,8 @@ fn one_byte_at_a_time_client_is_served_identically() {
     let graph = gen::uniform_degree(64, 4, gen::GenOptions::seeded(3));
     // Served walks are keyed by the REQUEST's seed: the batch twin must
     // run with the same seed (1) for byte-identical paths.
-    let batch =
-        RandomWalkEngine::new(&graph, Fixed(8), WalkConfig::single_node(1)).run(WalkerStarts::Count(6));
+    let batch = RandomWalkEngine::new(&graph, Fixed(8), WalkConfig::single_node(1))
+        .run(WalkerStarts::Count(6));
 
     with_served_graph(ListenerConfig::default(), move |addr| {
         // Hand-build hello + REQ and trickle it one byte per write.

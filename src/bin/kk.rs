@@ -510,7 +510,9 @@ fn parse_tenant_weights(spec: &str) -> Result<Vec<(String, u32)>, String> {
                 .parse()
                 .map_err(|_| format!("bad weight in --tenant-weight entry {pair:?}"))?;
             if weight == 0 {
-                return Err(format!("weight must be >= 1 in --tenant-weight entry {pair:?}"));
+                return Err(format!(
+                    "weight must be >= 1 in --tenant-weight entry {pair:?}"
+                ));
             }
             Ok((name.to_string(), weight))
         })
@@ -756,9 +758,7 @@ fn cmd_query(args: &Args) -> Result<(), String> {
                         .max(1)
                         .saturating_mul(1 << (attempt - 1).min(16))
                         .min(2_000);
-                    eprintln!(
-                        "rejected (attempt {attempt}/{attempts}); retrying in {backoff}ms"
-                    );
+                    eprintln!("rejected (attempt {attempt}/{attempts}); retrying in {backoff}ms");
                     std::thread::sleep(std::time::Duration::from_millis(backoff));
                     attempt += 1;
                 }

@@ -15,7 +15,7 @@ use std::time::Instant;
 
 use knightking_bench::emit::{BenchReport, BenchRow};
 use knightking_bench::{graphs::StandIn, phase_breakdown, HarnessOpts, Table};
-use knightking_core::WalkConfig;
+use knightking_core::{SamplerBackend, WalkConfig};
 use knightking_dyn::{DynConfig, DynGraph, EdgeReweight, UpdateBatch};
 use knightking_obs::Pow2Histogram;
 use knightking_serve::{ServiceConfig, StartSpec, Status, WalkRequest, WalkService};
@@ -144,7 +144,35 @@ fn drive(
 }
 
 fn main() {
-    let opts = HarnessOpts::from_args();
+    // `--sampler {alias,radix,both}` is local to this benchmark; strip
+    // it before handing the rest to the shared harness parser.
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut samplers = vec![SamplerBackend::Alias, SamplerBackend::Radix];
+    if let Some(i) = args.iter().position(|a| a == "--sampler") {
+        let Some(value) = args.get(i + 1) else {
+            eprintln!("error: --sampler requires a value (alias|radix|both)");
+            std::process::exit(2);
+        };
+        match value.as_str() {
+            "both" => {}
+            other => match SamplerBackend::parse(other) {
+                Ok(s) => samplers = vec![s],
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                }
+            },
+        }
+        args.drain(i..=i + 1);
+    }
+    let opts = match HarnessOpts::parse(&args) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{} [--sampler alias|radix|both]", knightking_bench::USAGE);
+            std::process::exit(2);
+        }
+    };
     let scale = opts.effective_scale(12);
     let graph = StandIn::Twitter.build(scale, true, false);
     let n_vertices = graph.vertex_count() as u64;
@@ -153,7 +181,7 @@ fn main() {
     let churn_levels: &[usize] = if opts.quick {
         &[0, 64, 1024]
     } else {
-        &[0, 1_000, 100_000]
+        &[0, 1_000, 100_000, 1_000_000]
     };
     println!(
         "Walk latency under churn (Twitter stand-in, scale {scale}, weighted, {} nodes, \
@@ -167,6 +195,7 @@ fn main() {
         "ops/superstep",
         "ok",
         "updates",
+        "maint edits",
         "p50 (ms)",
         "p99 (ms)",
         "max (ms)",
@@ -181,8 +210,9 @@ fn main() {
         ),
     );
 
-    let cfg = || {
+    let cfg = |sampler: SamplerBackend| {
         let mut c = WalkConfig::with_nodes(opts.nodes, 999);
+        c.sampler = sampler;
         c.record_paths = true;
         // Profiled so each row can attribute its wall time to engine
         // phases (gather/local_compute/commit/exchange/...) instead of
@@ -203,7 +233,7 @@ fn main() {
             &service,
             &handle,
             || {
-                service.run(&graph, DeepWalk::new(20), cfg());
+                service.run(&graph, DeepWalk::new(20), cfg(SamplerBackend::Alias));
             },
             clients,
             requests_per_client,
@@ -215,6 +245,7 @@ fn main() {
             "static".to_string(),
             "-".to_string(),
             format!("{}", r.ok),
+            "-".to_string(),
             "-".to_string(),
             format!("{:.2}", r.hist.quantile(0.5) as f64 / 1000.0),
             format!("{:.2}", r.hist.quantile(0.99) as f64 / 1000.0),
@@ -236,44 +267,51 @@ fn main() {
         });
     }
 
-    for &ops in churn_levels {
-        let dyn_graph = DynGraph::new(graph.clone(), DynConfig::default());
-        let (service, handle) = WalkService::new(scfg.clone());
-        let r = drive(
-            &service,
-            &handle,
-            || {
-                service.run(&dyn_graph, DeepWalk::new(20), cfg());
-            },
-            clients,
-            requests_per_client,
-            walkers_per_request,
-            n_vertices,
-            ops,
-        );
-        table.row(&[
-            "dynamic".to_string(),
-            format!("{ops}"),
-            format!("{}", r.ok),
-            format!("{}", r.updates),
-            format!("{:.2}", r.hist.quantile(0.5) as f64 / 1000.0),
-            format!("{:.2}", r.hist.quantile(0.99) as f64 / 1000.0),
-            format!("{:.2}", r.hist.max() as f64 / 1000.0),
-            format!("{:.1}", r.ok as f64 / r.wall),
-        ]);
-        phase_lines.push(format!(
-            "dynamic, {ops} ops/superstep: {}",
-            phase_breakdown(&handle.stats().phase_ns)
-        ));
-        report.push(BenchRow {
-            label: format!("dynamic, {ops} ops/superstep"),
-            ok: r.ok,
-            rejected: 0,
-            p50_us: r.hist.quantile(0.5),
-            p99_us: r.hist.quantile(0.99),
-            max_us: r.hist.max(),
-            req_per_s: r.ok as f64 / r.wall,
-        });
+    // Paired rows per churn level: one per sampler backend, so the
+    // alias O(degree)-rebuild vs radix O(k)-patch maintenance gap shows
+    // up side by side in both the table and the JSON.
+    for &sampler in &samplers {
+        for &ops in churn_levels {
+            let dyn_graph = DynGraph::new(graph.clone(), DynConfig::default());
+            let (service, handle) = WalkService::new(scfg.clone());
+            let r = drive(
+                &service,
+                &handle,
+                || {
+                    service.run(&dyn_graph, DeepWalk::new(20), cfg(sampler));
+                },
+                clients,
+                requests_per_client,
+                walkers_per_request,
+                n_vertices,
+                ops,
+            );
+            let stats = handle.stats();
+            table.row(&[
+                format!("dynamic[{sampler}]"),
+                format!("{ops}"),
+                format!("{}", r.ok),
+                format!("{}", r.updates),
+                format!("{}", stats.sampler_rebuild_cost),
+                format!("{:.2}", r.hist.quantile(0.5) as f64 / 1000.0),
+                format!("{:.2}", r.hist.quantile(0.99) as f64 / 1000.0),
+                format!("{:.2}", r.hist.max() as f64 / 1000.0),
+                format!("{:.1}", r.ok as f64 / r.wall),
+            ]);
+            phase_lines.push(format!(
+                "dynamic[{sampler}], {ops} ops/superstep: {}",
+                phase_breakdown(&stats.phase_ns)
+            ));
+            report.push(BenchRow {
+                label: format!("dynamic[{sampler}], {ops} ops/superstep"),
+                ok: r.ok,
+                rejected: 0,
+                p50_us: r.hist.quantile(0.5),
+                p99_us: r.hist.quantile(0.99),
+                max_us: r.hist.max(),
+                req_per_s: r.ok as f64 / r.wall,
+            });
+        }
     }
     table.print();
     println!("\nengine phase breakdown per row:");
@@ -288,6 +326,8 @@ fn main() {
 
     println!(
         "\nlatency is end-to-end per request; `updates` counts applied batches \
-         (one per superstep boundary at most)"
+         (one per superstep boundary at most); `maint edits` is cumulative sampler \
+         maintenance in entry-edits (degree per alias rebuild, edges touched per \
+         radix patch)"
     );
 }

@@ -184,6 +184,57 @@ impl Default for StepEngine {
     }
 }
 
+/// Which static-component sampler backend the engine builds per vertex.
+///
+/// Both backends sample the *same* distribution exactly; they differ in
+/// maintenance cost under graph updates and in RNG consumption pattern,
+/// so walks are byte-identical *per backend* (an alias run never matches
+/// a radix run draw-for-draw, but each backend matches itself against a
+/// freshly rebuilt reference at the same epoch). Backend choice is
+/// config, pinned for the lifetime of a run or service — never switched
+/// mid-flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SamplerBackend {
+    /// Walker's alias method: O(1) sample, O(degree) rebuild on any
+    /// weight change. Best for static graphs.
+    #[default]
+    Alias,
+    /// Radix (power-of-two slab) factorization over a canonical segment
+    /// tree: O(log degree) sample, O(log degree) per-edge reweight. Best
+    /// under churn — a batch reweighting k edges costs O(k log d), not
+    /// O(Σ degree).
+    Radix,
+}
+
+impl SamplerBackend {
+    /// Parses a CLI spelling (`alias` | `radix`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the valid spellings.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "alias" => Ok(SamplerBackend::Alias),
+            "radix" => Ok(SamplerBackend::Radix),
+            other => Err(format!("unknown sampler {other:?} (alias|radix)")),
+        }
+    }
+
+    /// The canonical CLI spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SamplerBackend::Alias => "alias",
+            SamplerBackend::Radix => "radix",
+        }
+    }
+}
+
+impl std::fmt::Display for SamplerBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Engine configuration.
 ///
 /// The ablation flags (`use_lower_bound`, `use_outliers`,
@@ -248,6 +299,11 @@ pub struct WalkConfig {
     /// make trajectories order-independent, and paths/metrics are merged
     /// canonically.
     pub block_sort: bool,
+    /// Static-component sampler backend (see [`SamplerBackend`]).
+    /// Epoch-pinned by construction: config is immutable for the lifetime
+    /// of a run or resident service, so every walker of a run samples
+    /// through the same backend regardless of its admission epoch.
+    pub sampler: SamplerBackend,
 }
 
 impl WalkConfig {
@@ -273,6 +329,7 @@ impl WalkConfig {
             cancel: None,
             step_engine: StepEngine::from_env(),
             block_sort: false,
+            sampler: SamplerBackend::default(),
         }
     }
 

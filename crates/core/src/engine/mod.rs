@@ -37,11 +37,13 @@ use knightking_graph::{CsrGraph, EdgeView, Partition, VertexId};
 use knightking_net::{Transport, Wire, WireError};
 use knightking_sampling::{
     rejection::{Envelope, OutlierSlot},
-    AliasTable, CdfTable, DeterministicRng,
+    AliasTable, CdfTable, DeterministicRng, RadixTable,
 };
 
+use knightking_dyn::UpdateBatch;
+
 use crate::{
-    config::{WalkConfig, WalkerStarts},
+    config::{SamplerBackend, WalkConfig, WalkerStarts},
     graphref::GraphRef,
     metrics::WalkMetrics,
     program::{NoopObserver, WalkObserver, WalkerProgram},
@@ -397,10 +399,13 @@ pub(crate) fn run_chunk_interleaved<P: WalkerProgram, O: WalkObserver<P::Data>>(
 
 /// One vertex's rebuilt static sampling structures, stamped at the epoch
 /// of the update that invalidated them. Only the field matching the
-/// run's mode is populated (alias for decoupled-biased, `max_ps` for
-/// mixed).
+/// run's backend and mode is populated: `alias` for decoupled-biased
+/// alias runs, `max_ps` for alias mixed mode, `radix` for the radix
+/// backend (which serves both decoupled candidates and the mixed-mode
+/// max bound via [`RadixTable::max_slab`]).
 pub(crate) struct SamplerEntry {
     pub(crate) alias: Option<AliasTable>,
+    pub(crate) radix: Option<RadixTable>,
     pub(crate) max_ps: f64,
 }
 
@@ -422,10 +427,19 @@ pub(crate) struct NodeRt<'a, P: WalkerProgram, O: WalkObserver<P::Data>> {
     /// First vertex owned by this node.
     pub(crate) base: VertexId,
     /// Alias tables for owned vertices (`None` for degree-0 vertices);
-    /// empty when the static component is uniform. Built at
-    /// [`NodeRt::graph`]'s epoch; superseded per vertex by `overrides`.
+    /// empty when the static component is uniform or the radix backend is
+    /// selected. Built at [`NodeRt::graph`]'s epoch; superseded per
+    /// vertex by `overrides`.
     pub(crate) alias: Vec<Option<AliasTable>>,
-    /// Per-owned-vertex maximum `Ps`, used only in mixed mode (Figure 8).
+    /// Radix tables for owned vertices when `cfg.sampler` is
+    /// [`SamplerBackend::Radix`] and the graph is weighted (`None` for
+    /// degree-0 / zero-mass vertices). Serves biased candidate draws in
+    /// decoupled mode and the `max_ps`-equivalent envelope bound in mixed
+    /// mode; superseded per vertex by `overrides`.
+    pub(crate) radix: Vec<Option<RadixTable>>,
+    /// Per-owned-vertex maximum `Ps`, used only in alias-backend mixed
+    /// mode (Figure 8); the radix backend reads
+    /// [`RadixTable::max_slab`] instead.
     pub(crate) max_ps: Vec<f64>,
     /// Epoch-versioned sampler rebuilds, keyed by local vertex index —
     /// only the vertices graph updates touched ever get an entry, which
@@ -433,9 +447,12 @@ pub(crate) struct NodeRt<'a, P: WalkerProgram, O: WalkObserver<P::Data>> {
     /// a walker pinned at epoch `e` uses the latest version ≤ `e`,
     /// falling back to the build-time `alias`/`max_ps` tables.
     pub(crate) overrides: HashMap<u32, Vec<(u64, SamplerEntry)>>,
-    /// Whether candidates are drawn from alias tables (biased static
-    /// component, decoupled mode).
+    /// Whether candidates are drawn from per-vertex sampler tables
+    /// (biased static component, decoupled mode).
     pub(crate) biased: bool,
+    /// Whether the radix backend is active (epoch-pinned config: chosen
+    /// once at build, constant for the run).
+    pub(crate) radix_on: bool,
 }
 
 /// What one local sampling attempt decided.
@@ -467,8 +484,9 @@ impl<'a, P: WalkerProgram, O: WalkObserver<P::Data>> NodeRt<'a, P, O> {
         let base = range.start;
         let n_local = (range.end - range.start) as usize;
         let biased = cfg.decoupled_static && graph.is_weighted();
+        let radix_on = cfg.sampler == SamplerBackend::Radix && graph.is_weighted();
 
-        let alias = if biased {
+        let alias = if biased && !radix_on {
             let mut locals: Vec<VertexId> = (range.start..range.end).collect();
             let tables = scheduler.run_chunks(
                 &mut locals,
@@ -492,7 +510,31 @@ impl<'a, P: WalkerProgram, O: WalkObserver<P::Data>> NodeRt<'a, P, O> {
             Vec::new()
         };
 
-        let max_ps = if !cfg.decoupled_static {
+        let radix = if radix_on {
+            let mut locals: Vec<VertexId> = (range.start..range.end).collect();
+            let tables = scheduler.run_chunks(
+                &mut locals,
+                Vec::new,
+                |_base, slice, acc: &mut Vec<Option<RadixTable>>| {
+                    for &v in slice.iter() {
+                        let deg = graph.degree(v);
+                        if deg == 0 {
+                            acc.push(None);
+                        } else {
+                            let mut weights: Vec<f64> = Vec::with_capacity(deg);
+                            graph
+                                .for_each_edge(v, |e| weights.push(program.static_comp(&graph, e)));
+                            acc.push(RadixTable::new(&weights).ok());
+                        }
+                    }
+                },
+            );
+            tables.into_iter().flatten().collect()
+        } else {
+            Vec::new()
+        };
+
+        let max_ps = if !cfg.decoupled_static && !radix_on {
             (0..n_local)
                 .map(|i| {
                     let v = base + i as VertexId;
@@ -514,28 +556,106 @@ impl<'a, P: WalkerProgram, O: WalkObserver<P::Data>> NodeRt<'a, P, O> {
             me,
             base,
             alias,
+            radix,
             max_ps,
             overrides: HashMap::new(),
             biased,
+            radix_on,
         }
     }
 
-    /// Rebuilds the static sampling structures of the update-touched
+    /// Refreshes the static sampling structures of the update-touched
     /// owned vertices, versioned at `epoch`. Called by the serve loop at
     /// the superstep boundary right after the graph update applies —
-    /// exactly the touched vertices are rebuilt, nothing else. Returns
-    /// the number of rebuilds performed (feeds
-    /// `WalkMetrics::sampler_rebuilds`).
-    pub(crate) fn apply_update(&mut self, epoch: u64, touched: &[VertexId]) -> u64 {
+    /// exactly the touched vertices are refreshed, nothing else.
+    ///
+    /// The alias backend always rebuilds a touched vertex from scratch
+    /// (O(degree)). The radix backend patches in place when it can: a
+    /// vertex whose edits are *reweights only* keeps its merged-row edge
+    /// indices, so the previous table is cloned and each touched edge
+    /// gets an O(log degree) point reweight — O(k) bucket edits for a
+    /// batch touching k edges, independent of vertex degree. Structural
+    /// edits (adds/dels shift the merged row) or a vertex with no prior
+    /// table still rebuild. Point updates and fresh builds produce
+    /// bitwise-identical tables, so the patched sampler is
+    /// indistinguishable from a rebuild.
+    ///
+    /// Returns `(rebuilt, cost)`: the number of sampler versions pushed
+    /// (feeds `WalkMetrics::sampler_rebuilds`) and the maintenance cost
+    /// in entry-edits — degree per rebuilt vertex, edges-touched per
+    /// patched vertex (feeds `WalkMetrics::sampler_rebuild_cost`).
+    pub(crate) fn apply_update(
+        &mut self,
+        epoch: u64,
+        batch: &UpdateBatch,
+        touched: &[VertexId],
+    ) -> (u64, u64) {
         if self.cfg.decoupled_static && !self.biased {
             // Uniform static component: no per-vertex structures exist.
-            return 0;
+            return (0, 0);
         }
         let mut rebuilt = 0u64;
+        let mut cost = 0u64;
         let g = self.graph.at(epoch);
+        // Vertices with structural edits cannot be patched in place.
+        let structural: std::collections::HashSet<VertexId> = batch
+            .adds
+            .iter()
+            .map(|a| a.src)
+            .chain(batch.dels.iter().map(|d| d.src))
+            .collect();
         for &v in touched {
             debug_assert_eq!(self.partition.owner(v), self.me);
+            let local = v - self.base;
             let deg = g.degree(v);
+
+            if self.radix_on {
+                // Structural edits shift merged-row indices, so those
+                // vertices rebuild below; reweight-only vertices patch.
+                let radix = if deg == 0 || structural.contains(&v) {
+                    None
+                } else {
+                    // Reweight-only vertex: clone the version the previous
+                    // epoch used and point-patch the touched edges. The
+                    // merged row is index-stable under reweights, and a
+                    // reweight hits every live parallel (v, dst) instance —
+                    // exactly `edge_range(v, dst)` at the new epoch.
+                    let prev = match self.override_at(local, epoch) {
+                        Some(entry) => entry.radix.clone(),
+                        None => self.radix.get(local as usize).cloned().flatten(),
+                    };
+                    prev.filter(|t| t.len() == deg).map(|mut table| {
+                        for r in batch.reweights.iter().filter(|r| r.src == v) {
+                            for i in g.edge_range(v, r.dst) {
+                                table.reweight(i, self.program.static_comp(&g, g.edge(v, i)));
+                                cost += 1;
+                            }
+                        }
+                        table
+                    })
+                };
+                let radix = match radix {
+                    Some(table) => Some(table),
+                    None if deg > 0 => {
+                        let mut weights: Vec<f64> = Vec::with_capacity(deg);
+                        g.for_each_edge(v, |e| weights.push(self.program.static_comp(&g, e)));
+                        cost += deg as u64;
+                        RadixTable::new(&weights).ok()
+                    }
+                    None => None,
+                };
+                self.overrides.entry(local).or_default().push((
+                    epoch,
+                    SamplerEntry {
+                        alias: None,
+                        radix,
+                        max_ps: 0.0,
+                    },
+                ));
+                rebuilt += 1;
+                continue;
+            }
+
             let alias = if self.biased && deg > 0 {
                 let mut weights: Vec<f64> = Vec::with_capacity(deg);
                 g.for_each_edge(v, |e| weights.push(self.program.static_comp(&g, e)));
@@ -550,13 +670,18 @@ impl<'a, P: WalkerProgram, O: WalkObserver<P::Data>> NodeRt<'a, P, O> {
             } else {
                 0.0
             };
-            self.overrides
-                .entry(v - self.base)
-                .or_default()
-                .push((epoch, SamplerEntry { alias, max_ps }));
+            cost += deg as u64;
+            self.overrides.entry(local).or_default().push((
+                epoch,
+                SamplerEntry {
+                    alias,
+                    radix: None,
+                    max_ps,
+                },
+            ));
             rebuilt += 1;
         }
-        rebuilt
+        (rebuilt, cost)
     }
 
     /// Drops sampler versions no live walker can pin anymore — the
@@ -602,13 +727,26 @@ impl<'a, P: WalkerProgram, O: WalkObserver<P::Data>> NodeRt<'a, P, O> {
     ) -> usize {
         if self.biased {
             let local = v - self.base;
+            if self.radix_on {
+                let table = match self.override_at(local, epoch) {
+                    Some(entry) => entry.radix.as_ref(),
+                    None => self.radix[local as usize].as_ref(),
+                };
+                return match table {
+                    Some(table) => table.sample(rng),
+                    // Zero static mass: callers gate on `static_total`
+                    // (decoupled) or `Envelope::total_area` before
+                    // drawing candidates.
+                    None => unreachable!("candidate drawn at zero-mass vertex {v}"),
+                };
+            }
             let table = match self.override_at(local, epoch) {
                 Some(entry) => entry.alias.as_ref(),
                 None => self.alias[local as usize].as_ref(),
             };
             match table {
                 Some(table) => table.sample(rng),
-                None => rng.next_index(deg),
+                None => unreachable!("candidate drawn at zero-mass vertex {v}"),
             }
         } else {
             rng.next_index(deg)
@@ -616,15 +754,27 @@ impl<'a, P: WalkerProgram, O: WalkObserver<P::Data>> NodeRt<'a, P, O> {
     }
 
     /// Sum of static components at `v` (the envelope's width) at `epoch`.
+    ///
+    /// A biased vertex with no sampler table (all static weights zero or
+    /// invalid) reports `0.0`, and the step paths finish the walker —
+    /// matching [`NodeRt::local_full_scan`], which finishes on a zero
+    /// total. Degree never substitutes for missing mass.
     #[inline]
     pub(crate) fn static_total(&self, v: VertexId, deg: usize, epoch: u64) -> f64 {
         if self.biased {
             let local = v - self.base;
+            if self.radix_on {
+                let table = match self.override_at(local, epoch) {
+                    Some(entry) => entry.radix.as_ref(),
+                    None => self.radix[local as usize].as_ref(),
+                };
+                return table.map_or(0.0, |t| t.total_weight());
+            }
             let table = match self.override_at(local, epoch) {
                 Some(entry) => entry.alias.as_ref(),
                 None => self.alias[local as usize].as_ref(),
             };
-            table.map_or(deg as f64, |t| t.total_weight())
+            table.map_or(0.0, |t| t.total_weight())
         } else {
             deg as f64
         }
@@ -636,7 +786,11 @@ impl<'a, P: WalkerProgram, O: WalkObserver<P::Data>> NodeRt<'a, P, O> {
     #[inline]
     pub(crate) fn prefetch_sampler(&self, v: VertexId) {
         let local = v.wrapping_sub(self.base) as usize;
-        if self.biased {
+        if self.radix_on {
+            if let Some(entry) = self.radix.get(local) {
+                knightking_sampling::prefetch::read(entry);
+            }
+        } else if self.biased {
             if let Some(entry) = self.alias.get(local) {
                 knightking_sampling::prefetch::read(entry);
             }
@@ -647,18 +801,30 @@ impl<'a, P: WalkerProgram, O: WalkObserver<P::Data>> NodeRt<'a, P, O> {
         }
     }
 
-    /// Second-level sampler prefetch: reads the (already-warmed)
-    /// `Option<AliasTable>` slot and prefetches the table's `prob`/`alias`
-    /// arrays — the lines `candidate` will bisect. The read touches only
-    /// immutable sampler metadata, so issuing it early cannot change
-    /// results. No-op outside biased runs (mixed mode has no second
-    /// level).
+    /// Second-level sampler prefetch: reads the (already-warmed) table
+    /// slot and prefetches the table's hot arrays — the alias
+    /// `prob`/`alias` pair, or the radix slab tree's head plus the leaf
+    /// region the descent and acceptance test will read. The read touches
+    /// only immutable sampler metadata, so issuing it early cannot change
+    /// results. No-op for uniform alias runs (alias mixed mode has no
+    /// second level).
     #[inline]
     pub(crate) fn prefetch_sampler_deep(&self, v: VertexId, epoch: u64) {
+        let local = v.wrapping_sub(self.base);
+        if self.radix_on {
+            let table = match self.override_at(local, epoch) {
+                Some(entry) => entry.radix.as_ref(),
+                None => self.radix.get(local as usize).and_then(|t| t.as_ref()),
+            };
+            if let Some(table) = table {
+                table.prefetch();
+                table.prefetch_leaves();
+            }
+            return;
+        }
         if !self.biased {
             return;
         }
-        let local = v.wrapping_sub(self.base);
         let table = match self.override_at(local, epoch) {
             Some(entry) => entry.alias.as_ref(),
             None => self.alias.get(local as usize).and_then(|t| t.as_ref()),
@@ -668,10 +834,24 @@ impl<'a, P: WalkerProgram, O: WalkObserver<P::Data>> NodeRt<'a, P, O> {
         }
     }
 
-    /// Mixed-mode per-vertex maximum `Ps` at `epoch`.
+    /// Mixed-mode per-vertex maximum `Ps` bound at `epoch`.
+    ///
+    /// Alias backend: the exact per-vertex maximum from the build/rebuild
+    /// scan. Radix backend: the table's largest slab — a power-of-two
+    /// upper bound within 2× of the true maximum that stays canonical
+    /// under O(log n) reweights (a running max cannot shrink without an
+    /// O(degree) rescan). Both keep the envelope sound; they differ in
+    /// envelope height, which per-backend byte-identity permits.
     #[inline]
     fn max_ps_at(&self, v: VertexId, epoch: u64) -> f64 {
         let local = v - self.base;
+        if self.radix_on {
+            let table = match self.override_at(local, epoch) {
+                Some(entry) => entry.radix.as_ref(),
+                None => self.radix[local as usize].as_ref(),
+            };
+            return table.map_or(0.0, |t| t.max_slab());
+        }
         match self.override_at(local, epoch) {
             Some(entry) => entry.max_ps,
             None => self.max_ps[local as usize],
@@ -1303,8 +1483,14 @@ pub(crate) fn local_step<P: WalkerProgram, O: WalkObserver<P::Data>>(
         return StepOutcome::Finished;
     }
 
-    // Static walks: the alias/uniform candidate *is* the sample.
+    // Static walks: the sampler/uniform candidate *is* the sample. A
+    // biased vertex whose static mass is zero (every edge reweighted to
+    // zero, or the table invalid) has no edge to draw — the walk ends
+    // there, exactly as the full-scan fallback decides.
     if !P::DYNAMIC {
+        if rt.static_total(v, deg, slot.walker.epoch) <= 0.0 {
+            return StepOutcome::Finished;
+        }
         let idx = rt.candidate(v, deg, slot.walker.epoch, &mut slot.walker.rng);
         return StepOutcome::Moved(graph.edge(v, idx).dst);
     }

@@ -272,6 +272,12 @@ pub struct LiveSample {
     pub trials: u64,
     /// Total remote exchange bytes sent.
     pub exchange_bytes: u64,
+    /// Total sampler versions rebuilt or patched for graph updates.
+    pub sampler_rebuilds: u64,
+    /// Total sampler maintenance cost in entry-edits (degree per rebuild,
+    /// edges touched per radix point-patch) — the live counter behind
+    /// `kk_sampler_rebuild_cost_total`.
+    pub sampler_rebuild_cost: u64,
     /// Cumulative nanoseconds per engine phase (the `knightking-obs`
     /// phase taxonomy, index order; all zeros when the engine was built
     /// without the `obs` feature). Ten slots since the taxonomy gained
@@ -282,13 +288,15 @@ pub struct LiveSample {
 
 impl Wire for LiveSample {
     fn wire_size(&self) -> usize {
-        8 * (4 + self.phase_ns.len())
+        8 * (6 + self.phase_ns.len())
     }
     fn encode(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
         self.active.encode(out)?;
         self.steps.encode(out)?;
         self.trials.encode(out)?;
         self.exchange_bytes.encode(out)?;
+        self.sampler_rebuilds.encode(out)?;
+        self.sampler_rebuild_cost.encode(out)?;
         for ns in &self.phase_ns {
             ns.encode(out)?;
         }
@@ -299,6 +307,8 @@ impl Wire for LiveSample {
         let steps = u64::decode(input)?;
         let trials = u64::decode(input)?;
         let exchange_bytes = u64::decode(input)?;
+        let sampler_rebuilds = u64::decode(input)?;
+        let sampler_rebuild_cost = u64::decode(input)?;
         let mut phase_ns = [0u64; 10];
         for ns in &mut phase_ns {
             *ns = u64::decode(input)?;
@@ -308,6 +318,8 @@ impl Wire for LiveSample {
             steps,
             trials,
             exchange_bytes,
+            sampler_rebuilds,
+            sampler_rebuild_cost,
             phase_ns,
         })
     }
@@ -644,6 +656,8 @@ impl<'g, P: WalkerProgram> RandomWalkEngine<'g, P> {
                     steps: metrics.steps,
                     trials: metrics.trials,
                     exchange_bytes: prof.exchange_bytes_total(),
+                    sampler_rebuilds: metrics.sampler_rebuilds,
+                    sampler_rebuild_cost: metrics.sampler_rebuild_cost,
                     phase_ns: prof.phase_ns_totals(),
                 },
             };
@@ -702,7 +716,9 @@ impl<'g, P: WalkerProgram> RandomWalkEngine<'g, P> {
                 let applied = dyn_graph
                     .apply_at(up.epoch, &up.batch, &|v| partition.owner(v) == me)
                     .unwrap_or_else(|e| panic!("invalid update batch at epoch {}: {e}", up.epoch));
-                metrics.sampler_rebuilds += rt.apply_update(up.epoch, &applied.touched);
+                let (rebuilt, cost) = rt.apply_update(up.epoch, &up.batch, &applied.touched);
+                metrics.sampler_rebuilds += rebuilt;
+                metrics.sampler_rebuild_cost += cost;
                 live_epoch = up.epoch;
             }
 
@@ -932,6 +948,8 @@ mod tests {
                 steps: 120,
                 trials: 300,
                 exchange_bytes: 4096,
+                sampler_rebuilds: 11,
+                sampler_rebuild_cost: 57,
                 phase_ns: [1, 2, 3, 4, 5, 6, 7, 8, 9, 10],
             },
         };
@@ -1229,5 +1247,61 @@ mod tests {
         assert_eq!(outs.iter().sum::<u64>(), 3, "per-rank rebuilds: {outs:?}");
         assert_eq!(dyn_graph.epoch(), 1);
         assert_eq!(dyn_graph.stats().rows_rebuilt, 3);
+    }
+
+    /// The O(k)-maintenance claim, counter-verified: a reweight-only
+    /// batch touching k edges costs the radix backend exactly k bucket
+    /// edits, while the alias backend pays Σ degree of the touched
+    /// vertices. Structural edits cost degree on both.
+    #[test]
+    fn radix_patch_cost_counts_touched_edges_not_degree() {
+        use knightking_dyn::{DynConfig, DynGraph, EdgeReweight};
+
+        let g = gen::uniform_degree(50, 4, gen::GenOptions::paper_weighted(9));
+        // Reweight one existing edge at each of two vertices: k = 2.
+        let batch = UpdateBatch {
+            reweights: vec![
+                EdgeReweight {
+                    src: 1,
+                    dst: g.edge(1, 0).dst,
+                    weight: 5.0,
+                },
+                EdgeReweight {
+                    src: 40,
+                    dst: g.edge(40, 2).dst,
+                    weight: 0.25,
+                },
+            ],
+            ..UpdateBatch::default()
+        };
+
+        let run = |sampler: crate::SamplerBackend| {
+            let dyn_graph = DynGraph::new(g.clone(), DynConfig::default());
+            let mut cfg = WalkConfig::single_node(5);
+            cfg.threads_per_node = 1;
+            cfg.sampler = sampler;
+            let engine = RandomWalkEngine::new(&dyn_graph, FixedLen(8), cfg);
+            let (outs, _comm) = run_cluster_with_metrics::<Msg<FixedLen>, _, _>(1, |ctx| {
+                let mut ctx = ctx;
+                let mut driver = UpdateDriver {
+                    batch: batch.clone(),
+                    issued: false,
+                    done: 0,
+                    want: 2,
+                };
+                let m = engine.run_service(&mut ctx, Some(&mut driver));
+                (m.sampler_rebuilds, m.sampler_rebuild_cost)
+            });
+            outs[0]
+        };
+
+        let (alias_rebuilds, alias_cost) = run(crate::SamplerBackend::Alias);
+        let (radix_rebuilds, radix_cost) = run(crate::SamplerBackend::Radix);
+        assert_eq!(alias_rebuilds, 2);
+        assert_eq!(radix_rebuilds, 2);
+        // Alias: full rebuild of both degree-4 vertices.
+        assert_eq!(alias_cost, 8);
+        // Radix: one point edit per reweighted live edge instance.
+        assert_eq!(radix_cost, 2);
     }
 }

@@ -60,7 +60,7 @@ pub mod program;
 pub mod result;
 pub mod walker;
 
-pub use config::{CancelToken, StepEngine, WalkConfig, WalkerStarts};
+pub use config::{CancelToken, SamplerBackend, StepEngine, WalkConfig, WalkerStarts};
 pub use engine::{
     AdmitRequest, Directives, EpochUpdate, FinishedWalk, LiveSample, Msg, NoopDriver,
     RandomWalkEngine, ServeDelta, ServeDriver, SpanEvent, SpanEventKind,

@@ -29,9 +29,15 @@ pub struct WalkMetrics {
     pub finished_walkers: u64,
     /// BSP iterations executed.
     pub iterations: u64,
-    /// Per-vertex sampling structures (alias table / trial bound)
-    /// rebuilt in response to dynamic graph updates. Zero on static runs.
+    /// Per-vertex sampling structures (alias table / radix table / trial
+    /// bound) rebuilt in response to dynamic graph updates. Zero on
+    /// static runs.
     pub sampler_rebuilds: u64,
+    /// Sampler maintenance cost in entry-edits: the vertex degree for
+    /// every O(degree) rebuild, the number of edges actually touched for
+    /// every O(log degree) radix point-patch. The counter that makes the
+    /// alias-vs-radix maintenance asymptotics observable.
+    pub sampler_rebuild_cost: u64,
 }
 
 impl WalkMetrics {
@@ -47,6 +53,7 @@ impl WalkMetrics {
         self.finished_walkers += other.finished_walkers;
         self.iterations = self.iterations.max(other.iterations);
         self.sampler_rebuilds += other.sampler_rebuilds;
+        self.sampler_rebuild_cost += other.sampler_rebuild_cost;
     }
 
     /// Average `Pd` computations per walker move — the paper's
@@ -75,7 +82,7 @@ use knightking_net::{Wire, WireError};
 /// multi-process runs.
 impl Wire for WalkMetrics {
     fn wire_size(&self) -> usize {
-        10 * 8
+        11 * 8
     }
     fn encode(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
         for v in [
@@ -89,6 +96,7 @@ impl Wire for WalkMetrics {
             self.finished_walkers,
             self.iterations,
             self.sampler_rebuilds,
+            self.sampler_rebuild_cost,
         ] {
             v.encode(out)?;
         }
@@ -106,6 +114,7 @@ impl Wire for WalkMetrics {
             finished_walkers: u64::decode(input)?,
             iterations: u64::decode(input)?,
             sampler_rebuilds: u64::decode(input)?,
+            sampler_rebuild_cost: u64::decode(input)?,
         })
     }
 }

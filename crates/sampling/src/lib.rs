@@ -12,6 +12,10 @@
 //! * [`alias`] and [`its`] — the two classic static samplers (§3 of the
 //!   paper): Walker's alias method with O(n) build / O(1) sample, and
 //!   Inverse Transform Sampling with O(n) build / O(log n) sample.
+//! * [`radix`] — the dynamic-graph sampler: BINGO-style radix (power-of-two
+//!   slab) factorization over a canonical segment tree, O(log n) sample
+//!   *and* O(log n) reweight, bitwise identical whether maintained
+//!   incrementally or rebuilt from scratch.
 //! * [`rejection`] — the rejection-sampling state machine at the heart of
 //!   KnightKing (§4): envelope `Q(v)`, optional lower bound `L(v)`
 //!   pre-acceptance, and outlier "appendix" folding.
@@ -24,12 +28,14 @@
 pub mod alias;
 pub mod its;
 pub mod prefetch;
+pub mod radix;
 pub mod rejection;
 pub mod rng;
 pub mod stats;
 
 pub use alias::AliasTable;
 pub use its::CdfTable;
+pub use radix::RadixTable;
 pub use rejection::{Envelope, OutlierSlot, Trial};
 pub use rng::{DeterministicRng, SplitMix64};
 

@@ -7,7 +7,7 @@
 use knightking_sampling::{
     rejection::{sample_local, Envelope, LocalOutcome, OutlierSlot},
     stats::{chi_squared, chi_squared_critical},
-    AliasTable, CdfTable, DeterministicRng,
+    AliasTable, CdfTable, DeterministicRng, RadixTable,
 };
 use proptest::prelude::*;
 
@@ -174,6 +174,73 @@ proptest! {
         for _ in 0..2000 {
             prop_assert_ne!(alias.sample(&mut rng), idx);
             prop_assert_ne!(cdf.sample(&mut rng), idx);
+        }
+    }
+
+    /// The radix table matches the naive weighted-choice reference
+    /// distribution (normalized weights) for arbitrary weight vectors.
+    #[test]
+    fn radix_matches_arbitrary_distributions(w in weights_strategy(24), seed in 0u64..1000) {
+        let table = RadixTable::new(&w).unwrap();
+        check_sampler(&w, 30_000, seed, |rng| table.sample(rng));
+    }
+
+    /// The radix table never returns a zero-weight index — including a
+    /// weight zeroed *after* build via `reweight`.
+    #[test]
+    fn radix_zero_weight_never_sampled(
+        mut w in weights_strategy(16),
+        zero_at in 0usize..16,
+        seed in 0u64..1000,
+    ) {
+        let idx = zero_at % w.len();
+        let mut table = RadixTable::new(&w).unwrap();
+        table.reweight(idx, 0.0);
+        w[idx] = 0.0;
+        prop_assume!(w.iter().sum::<f64>() > 0.0);
+        let mut rng = DeterministicRng::new(seed);
+        for _ in 0..2000 {
+            prop_assert_ne!(table.sample(&mut rng), idx);
+        }
+    }
+
+    /// The maintenance canonical-form property that buys dyn's
+    /// byte-identity: a table patched through an arbitrary reweight
+    /// sequence (including zeros, including through zero-total
+    /// intermediate states) produces the same fixed-seed draw sequence
+    /// as a table rebuilt from the final weights — and identical
+    /// envelope bookkeeping (`total_weight`, `max_slab`), bitwise.
+    #[test]
+    fn radix_patched_equals_rebuilt_draw_sequence(
+        w in weights_strategy(20),
+        edits in prop::collection::vec((0usize..20, 0.0f64..100.0), 1..32),
+        seed in 0u64..1000,
+    ) {
+        let mut patched = RadixTable::new(&w).unwrap();
+        let mut finals = w.clone();
+        for &(i, new_w) in &edits {
+            let idx = i % finals.len();
+            patched.reweight(idx, new_w);
+            finals[idx] = new_w;
+        }
+        // `new` refuses zero-total weights; a patched table can reach
+        // zero mass (callers gate on `total_weight`), so only compare
+        // when a rebuilt reference exists.
+        prop_assume!(finals.iter().sum::<f64>() > 0.0);
+        let rebuilt = RadixTable::new(&finals).unwrap();
+        prop_assert_eq!(
+            patched.total_weight().to_bits(),
+            rebuilt.total_weight().to_bits()
+        );
+        prop_assert_eq!(patched.max_slab().to_bits(), rebuilt.max_slab().to_bits());
+        let mut rng_a = DeterministicRng::new(seed);
+        let mut rng_b = DeterministicRng::new(seed);
+        for draw in 0..2000 {
+            prop_assert_eq!(
+                patched.sample(&mut rng_a),
+                rebuilt.sample(&mut rng_b),
+                "draw {} diverged", draw
+            );
         }
     }
 

@@ -92,6 +92,12 @@ pub struct ServeStats {
     pub trials: u64,
     /// Total remote exchange bytes sent across the cluster (counter).
     pub exchange_bytes: u64,
+    /// Sampler versions rebuilt or patched for graph updates (counter).
+    pub sampler_rebuilds: u64,
+    /// Sampler maintenance cost in entry-edits — degree per O(degree)
+    /// rebuild, edges touched per O(log degree) radix point-patch
+    /// (counter).
+    pub sampler_rebuild_cost: u64,
     /// Cumulative nanoseconds per engine phase across the cluster
     /// (counters; all zeros when the engine was built without `obs`).
     pub phase_ns: [u64; N_PHASES],
@@ -124,6 +130,8 @@ impl Default for ServeStats {
             steps: 0,
             trials: 0,
             exchange_bytes: 0,
+            sampler_rebuilds: 0,
+            sampler_rebuild_cost: 0,
             phase_ns: [0; N_PHASES],
             latency_us: Pow2Histogram::new(),
             queue_depth: Pow2Histogram::new(),
@@ -143,6 +151,8 @@ impl ServeStats {
         self.steps = nodes.iter().map(|s| s.steps).sum();
         self.trials = nodes.iter().map(|s| s.trials).sum();
         self.exchange_bytes = nodes.iter().map(|s| s.exchange_bytes).sum();
+        self.sampler_rebuilds = nodes.iter().map(|s| s.sampler_rebuilds).sum();
+        self.sampler_rebuild_cost = nodes.iter().map(|s| s.sampler_rebuild_cost).sum();
         for i in 0..N_PHASES {
             self.phase_ns[i] = nodes.iter().map(|s| s.phase_ns[i]).sum();
         }
@@ -177,6 +187,8 @@ impl ServeStats {
             steps: self.steps,
             trials: self.trials,
             exchange_bytes: self.exchange_bytes,
+            sampler_rebuilds: self.sampler_rebuilds,
+            sampler_rebuild_cost: self.sampler_rebuild_cost,
             latency_p50_us: self.latency_us.quantile(0.5),
             latency_p99_us: self.latency_us.quantile(0.99),
             latency_max_us: self.latency_us.max(),
@@ -207,7 +219,8 @@ impl ServeStats {
             "{{\"type\":\"serve\",\"admitted\":{},\"completed\":{},\"rejected\":{},\
              \"shed\":{},\"deadline_exceeded\":{},\"updates\":{},\"supersteps\":{},\
              \"active_walkers\":{},\"queue_len\":{},\"epoch\":{},\"pinned_lag\":{},\
-             \"steps\":{},\"trials\":{},\"exchange_bytes\":{}}}",
+             \"steps\":{},\"trials\":{},\"exchange_bytes\":{},\
+             \"sampler_rebuilds\":{},\"sampler_rebuild_cost\":{}}}",
             self.admitted,
             self.completed,
             self.rejected,
@@ -221,7 +234,9 @@ impl ServeStats {
             self.pinned_lag,
             self.steps,
             self.trials,
-            self.exchange_bytes
+            self.exchange_bytes,
+            self.sampler_rebuilds,
+            self.sampler_rebuild_cost
         )?;
         for (name, h) in self.histograms() {
             write_hist_jsonl(w, 0, name, h)?;
@@ -326,6 +341,11 @@ pub struct StatsReport {
     pub trials: u64,
     /// Total exchange bytes sent (counter).
     pub exchange_bytes: u64,
+    /// Sampler versions rebuilt or patched for graph updates (counter).
+    pub sampler_rebuilds: u64,
+    /// Sampler maintenance cost in entry-edits (counter): degree per
+    /// rebuild, edges touched per radix point-patch.
+    pub sampler_rebuild_cost: u64,
     /// Request latency p50, bucket-resolution microseconds.
     pub latency_p50_us: u64,
     /// Request latency p99, bucket-resolution microseconds.
@@ -411,7 +431,7 @@ impl Wire for TenantStat {
 impl StatsReport {
     /// The scalar fields in schema order, paired with their names —
     /// single source of truth for the wire codec.
-    fn scalars(&self) -> [u64; 21] {
+    fn scalars(&self) -> [u64; 23] {
         [
             self.admitted,
             self.completed,
@@ -427,6 +447,8 @@ impl StatsReport {
             self.steps,
             self.trials,
             self.exchange_bytes,
+            self.sampler_rebuilds,
+            self.sampler_rebuild_cost,
             self.latency_p50_us,
             self.latency_p99_us,
             self.latency_max_us,
@@ -442,7 +464,7 @@ impl StatsReport {
     pub fn render_prometheus(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let counters: [(&str, u64); 10] = [
+        let counters: [(&str, u64); 12] = [
             ("kk_requests_admitted_total", self.admitted),
             ("kk_requests_completed_total", self.completed),
             ("kk_requests_rejected_total", self.rejected),
@@ -456,6 +478,8 @@ impl StatsReport {
             ("kk_walker_steps_total", self.steps),
             ("kk_sampler_trials_total", self.trials),
             ("kk_exchange_bytes_total", self.exchange_bytes),
+            ("kk_sampler_rebuilds_total", self.sampler_rebuilds),
+            ("kk_sampler_rebuild_cost_total", self.sampler_rebuild_cost),
         ];
         for (name, v) in counters {
             let _ = writeln!(out, "# TYPE {name} counter\n{name} {v}");
@@ -549,6 +573,17 @@ impl StatsReport {
             "  traces     {:>10} spans ({} dropped)   {} updates applied",
             self.spans, self.spans_dropped, self.updates
         );
+        let _ = writeln!(
+            out,
+            "  sampler    {:>10} rebuilds   {:>12} entry-edits   ({:.1} edits/rebuild)",
+            self.sampler_rebuilds,
+            self.sampler_rebuild_cost,
+            if self.sampler_rebuilds == 0 {
+                0.0
+            } else {
+                self.sampler_rebuild_cost as f64 / self.sampler_rebuilds as f64
+            }
+        );
         let total_ns: u64 = self.phase_ns.iter().sum();
         if total_ns > 0 {
             let _ = writeln!(out, "  phase breakdown:");
@@ -587,7 +622,7 @@ impl StatsReport {
 
 impl Wire for StatsReport {
     fn wire_size(&self) -> usize {
-        8 * (21 + N_PHASES) + self.series.wire_size() + self.tenants.wire_size()
+        8 * (23 + N_PHASES) + self.series.wire_size() + self.tenants.wire_size()
     }
     fn encode(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
         for v in self.scalars() {
@@ -600,7 +635,7 @@ impl Wire for StatsReport {
         self.tenants.encode(out)
     }
     fn decode(input: &mut &[u8]) -> io::Result<Self> {
-        let mut scalars = [0u64; 21];
+        let mut scalars = [0u64; 23];
         for v in &mut scalars {
             *v = u64::decode(input)?;
         }
@@ -608,7 +643,7 @@ impl Wire for StatsReport {
         for ns in &mut phase_ns {
             *ns = u64::decode(input)?;
         }
-        let [admitted, completed, rejected, shed, deadline_exceeded, updates, supersteps, active_walkers, queue_len, epoch, pinned_lag, steps, trials, exchange_bytes, latency_p50_us, latency_p99_us, latency_max_us, latency_count, latency_sum_us, spans, spans_dropped] =
+        let [admitted, completed, rejected, shed, deadline_exceeded, updates, supersteps, active_walkers, queue_len, epoch, pinned_lag, steps, trials, exchange_bytes, sampler_rebuilds, sampler_rebuild_cost, latency_p50_us, latency_p99_us, latency_max_us, latency_count, latency_sum_us, spans, spans_dropped] =
             scalars;
         Ok(StatsReport {
             admitted,
@@ -625,6 +660,8 @@ impl Wire for StatsReport {
             steps,
             trials,
             exchange_bytes,
+            sampler_rebuilds,
+            sampler_rebuild_cost,
             latency_p50_us,
             latency_p99_us,
             latency_max_us,
@@ -651,6 +688,8 @@ mod tests {
             rejected: 1,
             deadline_exceeded: 1,
             supersteps: 40,
+            sampler_rebuilds: 6,
+            sampler_rebuild_cost: 48,
             ..ServeStats::default()
         };
         for v in [100, 200, 5000] {
@@ -681,6 +720,8 @@ mod tests {
             assert_eq!(open, close, "unbalanced: {line}");
         }
         assert!(text.contains("\"type\":\"serve\""));
+        assert!(text.contains("\"sampler_rebuilds\":6"));
+        assert!(text.contains("\"sampler_rebuild_cost\":48"));
         assert!(text.contains("\"name\":\"request_latency_us\""));
         assert!(text.contains("\"name\":\"queue_depth\""));
         assert!(text.contains("\"type\":\"series\""));
@@ -703,6 +744,8 @@ mod tests {
             steps: 100,
             trials: 40,
             exchange_bytes: 1000,
+            sampler_rebuilds: 4,
+            sampler_rebuild_cost: 64,
             phase_ns: [10, 0, 20, 30, 0, 0, 0, 5, 2, 1],
         };
         let b = LiveSample {
@@ -710,6 +753,8 @@ mod tests {
             steps: 50,
             trials: 10,
             exchange_bytes: 200,
+            sampler_rebuilds: 1,
+            sampler_rebuild_cost: 8,
             phase_ns: [1, 0, 2, 3, 0, 0, 0, 4, 1, 1],
         };
         s.apply_live(&[a, b]);
@@ -717,6 +762,8 @@ mod tests {
         assert_eq!(s.steps, 150);
         assert_eq!(s.trials, 50);
         assert_eq!(s.exchange_bytes, 1200);
+        assert_eq!(s.sampler_rebuilds, 5);
+        assert_eq!(s.sampler_rebuild_cost, 72);
         assert_eq!(s.phase_ns[0], 11);
         assert_eq!(s.phase_ns[3], 33);
         // Re-applying newer samples replaces, not double-counts.
@@ -806,6 +853,8 @@ mod tests {
             "kk_walker_steps_total",
             "kk_sampler_trials_total",
             "kk_exchange_bytes_total",
+            "kk_sampler_rebuilds_total",
+            "kk_sampler_rebuild_cost_total",
             "kk_phase_ns_total{phase=\"exchange\"}",
             "kk_active_walkers",
             "kk_queue_depth",

@@ -1,0 +1,457 @@
+//! Radix-backend byte-identity under churn.
+//!
+//! The invariant is *per backend*: a service maintaining its radix
+//! samplers incrementally (O(log n) point patches for reweight-only
+//! vertices) must answer walk queries byte-identically to a batch run
+//! with the radix backend on the freshly materialized graph at the
+//! walker's pinned epoch — where every table is rebuilt from scratch.
+//! Asserted across compaction thresholds, in-process and over a real
+//! 2-rank TCP cluster, plus the zero-mass edge cases on both backends.
+
+use std::net::TcpListener;
+use std::thread;
+
+use knightking_core::{RandomWalkEngine, SamplerBackend, WalkConfig, WalkerStarts};
+use knightking_dyn::{DynConfig, DynGraph, EdgeAdd, EdgeRef, EdgeReweight, UpdateBatch};
+use knightking_graph::gen;
+use knightking_net::{reserve_loopback_addrs, TcpConfig, TcpTransport};
+use knightking_serve::{
+    protocol, serve_listener, Request, ServiceConfig, StartSpec, Status, WalkRequest, WalkService,
+};
+use knightking_walks::DeepWalk;
+
+fn weighted_graph(n: usize, seed: u64) -> knightking_graph::CsrGraph {
+    gen::uniform_degree(n, 5, gen::GenOptions::paper_weighted(seed))
+}
+
+fn cfg(seed: u64, sampler: SamplerBackend) -> WalkConfig {
+    let mut c = WalkConfig::single_node(seed);
+    c.sampler = sampler;
+    c
+}
+
+/// Structural churn: adds and dels shift merged-row indices, forcing the
+/// O(degree) rebuild path on every touched vertex.
+fn structural_batch() -> UpdateBatch {
+    UpdateBatch {
+        adds: vec![
+            EdgeAdd {
+                src: 0,
+                dst: 33,
+                weight: 9.0,
+                edge_type: 0,
+            },
+            EdgeAdd {
+                src: 9,
+                dst: 2,
+                weight: 6.5,
+                edge_type: 0,
+            },
+        ],
+        dels: vec![EdgeRef { src: 5, dst: 1 }],
+        reweights: vec![EdgeReweight {
+            src: 0,
+            dst: 33,
+            weight: 12.0,
+        }],
+    }
+}
+
+/// Reweight-only churn on vertices the structural batch never touches:
+/// exactly the vertices the radix backend patches in place instead of
+/// rebuilding. Includes a reweight-to-zero leaf.
+fn reweight_batch(base: &knightking_graph::CsrGraph) -> UpdateBatch {
+    UpdateBatch {
+        reweights: vec![
+            EdgeReweight {
+                src: 2,
+                dst: base.edge(2, 0).dst,
+                weight: 0.0,
+            },
+            EdgeReweight {
+                src: 7,
+                dst: base.edge(7, 1).dst,
+                weight: 3.25,
+            },
+            EdgeReweight {
+                src: 41,
+                dst: base.edge(41, 4).dst,
+                weight: 0.125,
+            },
+        ],
+        ..UpdateBatch::default()
+    }
+}
+
+/// The rebuilt-reference graph: batches applied offline, materialized.
+fn materialized(
+    base: &knightking_graph::CsrGraph,
+    batches: &[&UpdateBatch],
+) -> knightking_graph::CsrGraph {
+    let reference = DynGraph::new(base.clone(), DynConfig::default());
+    for b in batches {
+        reference.apply(b).expect("valid batch");
+    }
+    reference.materialize()
+}
+
+/// In-process: walk / structural update / walk / reweight-only update /
+/// walk, byte-compared against fresh radix rebuilds at each epoch, at
+/// compaction thresholds 0 (compact every touch), the default, and 1000
+/// (never compact in these sizes).
+#[test]
+fn radix_serve_matches_rebuilt_radix_across_compaction_thresholds() {
+    for ratio in [0.0, 0.5, 1000.0] {
+        let base = weighted_graph(60, 11);
+        let b1 = structural_batch();
+        let b2 = reweight_batch(&base);
+        let starts = vec![0u32, 2, 7, 9, 33, 41];
+
+        let pre = RandomWalkEngine::new(&base, DeepWalk::new(12), cfg(7, SamplerBackend::Radix))
+            .run(WalkerStarts::Explicit(starts.clone()));
+        let g1 = materialized(&base, &[&b1]);
+        let post1 = RandomWalkEngine::new(&g1, DeepWalk::new(12), cfg(31, SamplerBackend::Radix))
+            .run(WalkerStarts::Explicit(starts.clone()));
+        let g2 = materialized(&base, &[&b1, &b2]);
+        let post2 = RandomWalkEngine::new(&g2, DeepWalk::new(12), cfg(47, SamplerBackend::Radix))
+            .run(WalkerStarts::Explicit(starts.clone()));
+
+        let dyn_graph = DynGraph::new(
+            base,
+            DynConfig {
+                compact_ratio: ratio,
+            },
+        );
+        let (service, handle) = WalkService::new(ServiceConfig::default());
+        let client = handle.clone();
+        let asker_starts = starts.clone();
+        let asker = thread::spawn(move || {
+            let ask = |seed: u64| {
+                client
+                    .submit(WalkRequest {
+                        seed,
+                        starts: StartSpec::Explicit(asker_starts.clone()),
+                        deadline_ms: 0,
+                    })
+                    .recv()
+                    .unwrap()
+            };
+            let a = ask(7);
+            let u1 = client.submit_update(b1).recv().unwrap();
+            let b = ask(31);
+            let u2 = client.submit_update(b2).recv().unwrap();
+            let c = ask(47);
+            client.shutdown();
+            (a, u1, b, u2, c)
+        });
+        service.run(
+            &dyn_graph,
+            DeepWalk::new(12),
+            cfg(999, SamplerBackend::Radix),
+        );
+        let (a, u1, b, u2, c) = asker.join().unwrap();
+
+        assert_eq!(u1.status, Status::Updated { epoch: 1 });
+        assert_eq!(u2.status, Status::Updated { epoch: 2 });
+        assert_eq!(a.status, Status::Ok);
+        assert_eq!(a.paths, pre.paths, "epoch 0, compact_ratio {ratio}");
+        assert_eq!(b.status, Status::Ok);
+        assert_eq!(b.paths, post1.paths, "epoch 1, compact_ratio {ratio}");
+        assert_eq!(c.status, Status::Ok);
+        assert_eq!(c.paths, post2.paths, "epoch 2, compact_ratio {ratio}");
+        assert_eq!(dyn_graph.epoch(), 2);
+    }
+}
+
+/// Zero-mass edge cases on both backends: a vertex whose every edge is
+/// reweighted to zero and a vertex whose every edge is deleted must end
+/// walks cleanly (path = the start vertex alone), identically between
+/// the incrementally maintained service and a fresh batch rebuild —
+/// never sample uniformly from dead mass, never panic.
+#[test]
+fn zero_mass_and_tombstoned_vertices_finish_walks_on_both_backends() {
+    let base = weighted_graph(40, 3);
+    let (zeroed, culled) = (6u32, 8u32);
+    let mut batch = UpdateBatch::default();
+    for i in 0..base.degree(zeroed) {
+        batch.reweights.push(EdgeReweight {
+            src: zeroed,
+            dst: base.edge(zeroed, i).dst,
+            weight: 0.0,
+        });
+    }
+    for i in 0..base.degree(culled) {
+        batch.dels.push(EdgeRef {
+            src: culled,
+            dst: base.edge(culled, i).dst,
+        });
+    }
+    let starts = vec![zeroed, culled];
+    let post_graph = materialized(&base, &[&batch]);
+
+    for sampler in [SamplerBackend::Alias, SamplerBackend::Radix] {
+        let post = RandomWalkEngine::new(&post_graph, DeepWalk::new(12), cfg(31, sampler))
+            .run(WalkerStarts::Explicit(starts.clone()));
+
+        let dyn_graph = DynGraph::new(base.clone(), DynConfig::default());
+        let (service, handle) = WalkService::new(ServiceConfig::default());
+        let client = handle.clone();
+        let (asker_starts, asker_batch) = (starts.clone(), batch.clone());
+        let asker = thread::spawn(move || {
+            let u = client.submit_update(asker_batch).recv().unwrap();
+            let b = client
+                .submit(WalkRequest {
+                    seed: 31,
+                    starts: StartSpec::Explicit(asker_starts),
+                    deadline_ms: 0,
+                })
+                .recv()
+                .unwrap();
+            client.shutdown();
+            (u, b)
+        });
+        service.run(&dyn_graph, DeepWalk::new(12), cfg(999, sampler));
+        let (u, b) = asker.join().unwrap();
+
+        assert_eq!(u.status, Status::Updated { epoch: 1 });
+        assert_eq!(b.status, Status::Ok);
+        assert_eq!(b.paths, post.paths, "served vs rebuilt, {sampler:?}");
+        assert_eq!(
+            b.paths,
+            vec![vec![zeroed], vec![culled]],
+            "{sampler:?}: dead vertices must end walks immediately"
+        );
+        let _ = handle;
+    }
+}
+
+/// The full distributed path with the radix backend: a 2-rank TCP
+/// cluster applies structural + reweight-only updates in lockstep, each
+/// rank patching only its owned radix tables; queries at every epoch are
+/// byte-identical to rebuilt-radix batch runs.
+#[test]
+fn tcp_two_rank_radix_service_stays_byte_identical_under_churn() {
+    let base = weighted_graph(80, 23);
+    let b1 = structural_batch();
+    let b2 = reweight_batch(&base);
+    let starts: Vec<u32> = vec![0, 2, 7, 9, 33, 41, 77];
+
+    let pre = RandomWalkEngine::new(&base, DeepWalk::new(9), cfg(7, SamplerBackend::Radix))
+        .run(WalkerStarts::Explicit(starts.clone()));
+    let g2 = materialized(&base, &[&b1, &b2]);
+    let post = RandomWalkEngine::new(&g2, DeepWalk::new(9), cfg(31, SamplerBackend::Radix))
+        .run(WalkerStarts::Explicit(starts.clone()));
+
+    let peers = reserve_loopback_addrs(2).unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+
+    let (service, handle) = WalkService::new(ServiceConfig::default());
+    let dyn0 = DynGraph::new(base.clone(), DynConfig::default());
+    let dyn1 = DynGraph::new(base.clone(), DynConfig::default());
+
+    thread::scope(|scope| {
+        let service = &service;
+        let (dyn0, dyn1) = (&dyn0, &dyn1);
+
+        let peers0 = peers.clone();
+        scope.spawn(move || {
+            let mut t = TcpTransport::establish(TcpConfig::new(0, peers0, 0x4AD1)).unwrap();
+            service.run_leader(
+                dyn0,
+                DeepWalk::new(9),
+                {
+                    let mut c = WalkConfig::with_nodes(2, 999);
+                    c.sampler = SamplerBackend::Radix;
+                    c
+                },
+                &mut t,
+            );
+        });
+        let peers1 = peers.clone();
+        scope.spawn(move || {
+            let mut t = TcpTransport::establish(TcpConfig::new(1, peers1, 0x4AD1)).unwrap();
+            WalkService::run_worker(
+                dyn1,
+                DeepWalk::new(9),
+                {
+                    let mut c = WalkConfig::with_nodes(2, 999);
+                    c.sampler = SamplerBackend::Radix;
+                    c
+                },
+                &mut t,
+            );
+        });
+        let lh = handle.clone();
+        scope.spawn(move || serve_listener(listener, lh).unwrap());
+
+        let mut stream = protocol::connect(addr).unwrap();
+        let r1 = protocol::round_trip(
+            &mut stream,
+            1,
+            &Request::Walk(WalkRequest {
+                seed: 7,
+                starts: StartSpec::Explicit(starts.clone()),
+                deadline_ms: 0,
+            }),
+        )
+        .unwrap();
+        assert_eq!(r1.status, Status::Ok);
+        assert_eq!(r1.paths, pre.paths);
+
+        let r2 = protocol::round_trip(&mut stream, 2, &Request::Update(b1.clone())).unwrap();
+        assert_eq!(r2.status, Status::Updated { epoch: 1 });
+        let r3 = protocol::round_trip(&mut stream, 3, &Request::Update(b2.clone())).unwrap();
+        assert_eq!(r3.status, Status::Updated { epoch: 2 });
+
+        let r4 = protocol::round_trip(
+            &mut stream,
+            4,
+            &Request::Walk(WalkRequest {
+                seed: 31,
+                starts: StartSpec::Explicit(starts.clone()),
+                deadline_ms: 0,
+            }),
+        )
+        .unwrap();
+        assert_eq!(r4.status, Status::Ok);
+        assert_eq!(r4.paths, post.paths);
+
+        let ack = protocol::round_trip(&mut stream, 5, &Request::Shutdown).unwrap();
+        assert_eq!(ack.status, Status::Ok);
+    });
+
+    assert_eq!(dyn0.epoch(), 2);
+    assert_eq!(dyn1.epoch(), 2);
+    assert_eq!(handle.stats().updates, 2);
+}
+
+/// A minimal LCG (Numerical Recipes constants) — test-input generation
+/// only.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+fn random_batch(rng: &mut Lcg, n: u64) -> UpdateBatch {
+    let mut batch = UpdateBatch::default();
+    for _ in 0..rng.below(5) {
+        batch.adds.push(EdgeAdd {
+            src: rng.below(n) as u32,
+            dst: rng.below(n) as u32,
+            weight: (rng.below(40) + 1) as f32 * 0.25,
+            edge_type: 0,
+        });
+    }
+    for _ in 0..rng.below(4) {
+        batch.dels.push(EdgeRef {
+            src: rng.below(n) as u32,
+            dst: rng.below(n) as u32,
+        });
+    }
+    for _ in 0..rng.below(4) {
+        batch.reweights.push(EdgeReweight {
+            // Reweights on the 0.25 grid, occasionally to zero.
+            src: rng.below(n) as u32,
+            dst: rng.below(n) as u32,
+            weight: rng.below(40) as f32 * 0.25,
+        });
+    }
+    batch
+}
+
+/// Randomized churn, the `crates/dyn/tests/model.rs` discipline lifted
+/// to sampler maintenance: arbitrary batch sequences (adds, dels,
+/// reweights — including reweight-to-zero), every compaction threshold,
+/// and at each epoch the incrementally maintained radix service must
+/// walk byte-identically to a rebuilt-radix batch run on the
+/// materialized graph.
+#[test]
+fn randomized_churn_stays_byte_identical_across_thresholds() {
+    for seed in [1u64, 2, 3] {
+        for ratio in [0.0, 0.5, 1000.0] {
+            let n = 50usize;
+            let base = weighted_graph(n, seed);
+            let mut rng = Lcg(seed.wrapping_mul(0x9E3779B97F4A7C15));
+            let batches: Vec<UpdateBatch> =
+                (0..4).map(|_| random_batch(&mut rng, n as u64)).collect();
+            let starts: Vec<u32> = (0..10).map(|_| rng.below(n as u64) as u32).collect();
+
+            // Rebuilt references at epochs 0..=4.
+            let mut refs = Vec::new();
+            for e in 0..=batches.len() {
+                let g = materialized(&base, &batches[..e].iter().collect::<Vec<_>>());
+                refs.push(
+                    RandomWalkEngine::new(
+                        &g,
+                        DeepWalk::new(8),
+                        cfg(100 + e as u64, SamplerBackend::Radix),
+                    )
+                    .run(WalkerStarts::Explicit(starts.clone()))
+                    .paths,
+                );
+            }
+
+            let dyn_graph = DynGraph::new(
+                base,
+                DynConfig {
+                    compact_ratio: ratio,
+                },
+            );
+            let (service, handle) = WalkService::new(ServiceConfig::default());
+            let client = handle.clone();
+            let asker_starts = starts.clone();
+            let asker_batches = batches.clone();
+            let asker = thread::spawn(move || {
+                let mut served = Vec::new();
+                let ask = |seed: u64| {
+                    client
+                        .submit(WalkRequest {
+                            seed,
+                            starts: StartSpec::Explicit(asker_starts.clone()),
+                            deadline_ms: 0,
+                        })
+                        .recv()
+                        .unwrap()
+                };
+                served.push(ask(100));
+                for (i, batch) in asker_batches.into_iter().enumerate() {
+                    let u = client.submit_update(batch).recv().unwrap();
+                    assert_eq!(
+                        u.status,
+                        Status::Updated {
+                            epoch: i as u64 + 1
+                        }
+                    );
+                    served.push(ask(100 + i as u64 + 1));
+                }
+                client.shutdown();
+                served
+            });
+            service.run(
+                &dyn_graph,
+                DeepWalk::new(8),
+                cfg(999, SamplerBackend::Radix),
+            );
+            let served = asker.join().unwrap();
+
+            for (e, (resp, reference)) in served.iter().zip(&refs).enumerate() {
+                assert_eq!(resp.status, Status::Ok);
+                assert_eq!(
+                    &resp.paths, reference,
+                    "seed {seed}, compact_ratio {ratio}, epoch {e}"
+                );
+            }
+        }
+    }
+}

@@ -255,6 +255,7 @@ fn cmd_walk(args: &Args, transport: Option<&mut TcpTransport>) -> Result<(), Str
     starts.validate(graph.vertex_count())?;
 
     let mut cfg = WalkConfig::with_nodes(nodes, seed);
+    cfg.sampler = SamplerBackend::parse(args.get("sampler").unwrap_or("alias"))?;
     cfg.record_paths = args.get("output").is_some() || args.has("stats");
     cfg.profile = args.get("profile").is_some();
     // SIGINT/SIGTERM drain the walk and still flush paths/profile below
@@ -616,6 +617,7 @@ fn serve_program<P: WalkerProgram>(
     // obs profile; the service folds it in bounded live mode, so it is
     // always on for a resident loop.
     let mut wcfg = WalkConfig::with_nodes(nodes, seed);
+    wcfg.sampler = SamplerBackend::parse(args.get("sampler").unwrap_or("alias"))?;
     wcfg.profile = true;
     service.run(graph, program, wcfg);
 
@@ -942,6 +944,30 @@ fn cmd_graph_info(path: &str, args: &Args) -> Result<(), String> {
     println!("typed            {}", graph.is_typed());
     println!("max degree       {}", graph.max_degree());
 
+    // Static-sampler memory: what each backend would allocate for this
+    // graph's weighted per-vertex tables (alias: 12 B/edge; radix: three
+    // f64 segment trees over the next power of two of the degree).
+    if graph.is_weighted() {
+        let mut alias_bytes = 0u64;
+        let mut radix_bytes = 0u64;
+        for v in 0..graph.vertex_count() as u32 {
+            let deg = graph.degree(v) as u64;
+            if deg > 0 {
+                alias_bytes += 12 * deg;
+                radix_bytes += 3 * 2 * deg.next_power_of_two() * 8;
+            }
+        }
+        println!("sampler footprint (weighted static component):");
+        println!(
+            "  alias: {alias_bytes} bytes ({:.1} B/edge), O(degree) update",
+            alias_bytes as f64 / graph.edge_count().max(1) as f64
+        );
+        println!(
+            "  radix: {radix_bytes} bytes ({:.1} B/edge), O(log degree) update",
+            radix_bytes as f64 / graph.edge_count().max(1) as f64
+        );
+    }
+
     // Workload balance: the paper's α·|V_i| + |E_i| estimate per node of
     // the 1-D balanced partitioning (§6.1).
     let nodes: usize = args.parse_num("nodes", 4)?;
@@ -1175,7 +1201,11 @@ USAGE:
   kk walk     --graph <file> --algo <deepwalk|ppr|node2vec|metapath|rwr|nobacktrack>
               [--length N] [--p P] [--q Q] [--pt PT] [--restart C]
               [--walkers N|pervertex | --start v1,v2,...] [--nodes N] [--seed S]
-              [--output paths.txt] [--stats] [--profile prof.jsonl]
+              [--sampler alias|radix] [--output paths.txt] [--stats]
+              [--profile prof.jsonl]
+              --sampler picks the weighted static-component backend:
+              alias (O(1) sample, O(degree) update) or radix (O(log n)
+              sample and update — for dynamic graphs under churn)
   kk serve    --graph <file> --algo <...> [walk params as above]
               [--listen 127.0.0.1:0] [--nodes N] [--queue-capacity C]
               [--max-admit A] [--retry-after MS] [--seed S]
@@ -1183,7 +1213,7 @@ USAGE:
               [--write-deadline-ms MS]
               [--tenant-weight name=w,name=w] [--default-tenant-weight W]
               [--tenant-quota N]
-              [--dynamic] [--compact-ratio R]
+              [--dynamic] [--compact-ratio R] [--sampler alias|radix]
               [--stats] [--stats-output serve.jsonl]
               [--metrics-addr 127.0.0.1:0] [--trace-sample N]
               [--trace-output trace.json]
@@ -1217,8 +1247,9 @@ USAGE:
               the file has one op per line: `add src dst [weight] [type]`,
               `del src dst`, `rew src dst weight` (# comments allowed)
   kk graph    info <file[.kkg]> [--nodes N] [--alpha A]
-              print the binary header, counts/flags, and the per-node
-              alpha*V + E partition balance
+              print the binary header, counts/flags, the alias-vs-radix
+              sampler memory footprint (weighted graphs), and the
+              per-node alpha*V + E partition balance
   kk graph    apply --graph <file> --updates <file> --output <file[.kkg]>
               materialize base graph + updates into a new graph file (the
               offline mirror of `kk update` against a live service)

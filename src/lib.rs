@@ -80,8 +80,8 @@ pub mod prelude {
     pub use knightking_baseline::{FullScanRunner, GeminiConfig, GeminiEngine};
     pub use knightking_core::{
         CsrGraph, DeterministicRng, EdgeView, GraphRef, NoopObserver, OutlierSlot,
-        RandomWalkEngine, Transport, VertexId, WalkConfig, WalkMetrics, WalkObserver, WalkResult,
-        Walker, WalkerProgram, WalkerStarts, Wire, WireError,
+        RandomWalkEngine, SamplerBackend, Transport, VertexId, WalkConfig, WalkMetrics,
+        WalkObserver, WalkResult, Walker, WalkerProgram, WalkerStarts, Wire, WireError,
     };
     pub use knightking_dyn::{DynConfig, DynGraph, UpdateBatch};
     pub use knightking_graph::{gen, io, GraphBuilder, Partition};

@@ -40,10 +40,15 @@ fn generate(graph: &Path) {
 
 /// Spawns `kk serve --dynamic` and reads its readiness line.
 fn spawn_serve_dynamic(graph: &Path) -> (Child, String) {
+    spawn_serve_dynamic_with(graph, &[])
+}
+
+fn spawn_serve_dynamic_with(graph: &Path, extra: &[&str]) -> (Child, String) {
     let mut child = kk()
         .args(["serve", "--graph", graph.to_str().unwrap(), "--dynamic"])
         .args(["--algo", "deepwalk", "--length", "10"])
         .args(["--listen", "127.0.0.1:0", "--seed", "999"])
+        .args(extra)
         .stdout(Stdio::piped())
         .stderr(Stdio::null())
         .spawn()
@@ -149,6 +154,110 @@ fn live_updates_match_offline_apply_byte_for_byte() {
     assert!(!read(&served_post).is_empty());
 }
 
+/// A second, reweight-only batch: every touched vertex is
+/// non-structural, so the radix backend maintains its tables with O(1)
+/// point patches instead of rebuilds. Targets edges the first batch
+/// created, so their presence is guaranteed regardless of generator
+/// seed. Includes a reweight-to-zero.
+const REWEIGHTS: &str = "\
+rew 0 33 4.5
+rew 9 2 3.25
+rew 33 0 0.0
+";
+
+/// The radix backend's end-to-end contract at the process level:
+/// `kk serve --dynamic --sampler radix`, updated twice (structural
+/// churn, then reweight-only patches), answers queries byte-identically
+/// to `kk walk --sampler radix` on the `kk graph apply`-materialized
+/// graph at each epoch.
+#[test]
+fn radix_serve_matches_radix_walk_byte_for_byte() {
+    let graph = tmp("radix.kkg");
+    let updates = tmp("radix_updates.txt");
+    let reweights = tmp("radix_reweights.txt");
+    let post1_graph = tmp("radix_post1.kkg");
+    let post2_graph = tmp("radix_post2.kkg");
+    let batch = [
+        tmp("radix_b0.txt"),
+        tmp("radix_b1.txt"),
+        tmp("radix_b2.txt"),
+    ];
+    let served = [
+        tmp("radix_s0.txt"),
+        tmp("radix_s1.txt"),
+        tmp("radix_s2.txt"),
+    ];
+
+    generate(&graph);
+    std::fs::write(&updates, UPDATES).expect("write updates");
+    std::fs::write(&reweights, REWEIGHTS).expect("write reweights");
+
+    // Offline references at epochs 0, 1, 2.
+    run_ok(
+        kk().args(["graph", "apply", "--graph", graph.to_str().unwrap()])
+            .args(["--updates", updates.to_str().unwrap()])
+            .args(["--output", post1_graph.to_str().unwrap()]),
+    );
+    run_ok(
+        kk().args(["graph", "apply", "--graph", post1_graph.to_str().unwrap()])
+            .args(["--updates", reweights.to_str().unwrap()])
+            .args(["--output", post2_graph.to_str().unwrap()]),
+    );
+    for (i, (g, seed)) in [(&graph, "7"), (&post1_graph, "31"), (&post2_graph, "47")]
+        .into_iter()
+        .enumerate()
+    {
+        run_ok(
+            kk().args(["walk", "--graph", g.to_str().unwrap()])
+                .args(["--algo", "deepwalk", "--length", "10"])
+                .args(["--start", "0,9,33", "--seed", seed])
+                .args(["--sampler", "radix"])
+                .args(["--output", batch[i].to_str().unwrap()]),
+        );
+    }
+
+    // The live path with the radix backend.
+    let (mut child, addr) = spawn_serve_dynamic_with(&graph, &["--sampler", "radix"]);
+    run_ok(
+        kk().args(["query", "--addr", &addr, "--start", "0,9,33"])
+            .args(["--seed", "7", "--output", served[0].to_str().unwrap()]),
+    );
+    let ack = run_ok(
+        kk().args(["update", "--addr", &addr])
+            .args(["--updates", updates.to_str().unwrap()]),
+    );
+    assert_eq!(ack.trim(), "updated: epoch 1");
+    run_ok(
+        kk().args(["query", "--addr", &addr, "--start", "0,9,33"])
+            .args(["--seed", "31", "--output", served[1].to_str().unwrap()]),
+    );
+    let ack = run_ok(
+        kk().args(["update", "--addr", &addr])
+            .args(["--updates", reweights.to_str().unwrap()]),
+    );
+    assert_eq!(ack.trim(), "updated: epoch 2");
+    run_ok(
+        kk().args(["query", "--addr", &addr, "--start", "0,9,33"])
+            .args(["--seed", "47", "--output", served[2].to_str().unwrap()]),
+    );
+    run_ok(kk().args(["query", "--addr", &addr, "--shutdown"]));
+    let status = wait_with_deadline(&mut child, Duration::from_secs(30));
+    assert!(status.success(), "serve exited with {status}");
+
+    let read = |p: &Path| std::fs::read_to_string(p).expect("read paths");
+    for (i, epoch) in ["base", "structural churn", "reweight-only patches"]
+        .iter()
+        .enumerate()
+    {
+        assert_eq!(
+            read(&served[i]),
+            read(&batch[i]),
+            "served radix walks must match batch radix walks after {epoch}"
+        );
+        assert!(!read(&served[i]).is_empty());
+    }
+}
+
 #[test]
 fn graph_info_prints_header_and_balance() {
     let graph = tmp("info.kkg");
@@ -157,6 +266,12 @@ fn graph_info_prints_header_and_balance() {
     assert!(out.contains("magic            KKG1"), "{out}");
     assert!(out.contains("weighted         true"), "{out}");
     assert!(out.contains("|V|              120"), "{out}");
+    assert!(
+        out.contains("sampler footprint (weighted static component):"),
+        "{out}"
+    );
+    assert!(out.contains("O(degree) update"), "{out}");
+    assert!(out.contains("O(log degree) update"), "{out}");
     assert!(out.contains("partition balance"), "{out}");
     assert!(out.contains("node 3:"), "{out}");
     assert!(out.contains("imbalance (max/mean):"), "{out}");

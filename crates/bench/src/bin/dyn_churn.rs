@@ -87,6 +87,7 @@ fn drive(
                         seed: (c * requests_per_client + r) as u64,
                         starts: StartSpec::Count(walkers_per_request as u64),
                         deadline_ms: 0,
+                        stitch: false,
                     });
                     match rx.recv().expect("service dropped the responder").status {
                         Status::Ok => {

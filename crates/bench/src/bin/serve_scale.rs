@@ -218,6 +218,7 @@ fn run_sweep(
                 seed: a.seed,
                 starts: StartSpec::Count(walkers),
                 deadline_ms: 0,
+                stitch: false,
             }))
             .expect("encode request");
             write_frame(&mut conn.outbuf, tag::REQ, a.seq, &payload).expect("frame request");

@@ -278,6 +278,14 @@ pub struct LiveSample {
     /// edges touched per radix point-patch) — the live counter behind
     /// `kk_sampler_rebuild_cost_total`.
     pub sampler_rebuild_cost: u64,
+    /// Total precomputed segments spliced by stitched execution. Zero on
+    /// nodes other than the leader — stitched requests run leader-side.
+    pub segments_spliced: u64,
+    /// Total stitched-execution pool misses (dry, invalidated, or absent
+    /// pools).
+    pub stitch_pool_dry: u64,
+    /// Total exact steps taken by the stitched fallback path.
+    pub stitch_fallback_steps: u64,
     /// Cumulative nanoseconds per engine phase (the `knightking-obs`
     /// phase taxonomy, index order; all zeros when the engine was built
     /// without the `obs` feature). Ten slots since the taxonomy gained
@@ -288,7 +296,7 @@ pub struct LiveSample {
 
 impl Wire for LiveSample {
     fn wire_size(&self) -> usize {
-        8 * (6 + self.phase_ns.len())
+        8 * (9 + self.phase_ns.len())
     }
     fn encode(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
         self.active.encode(out)?;
@@ -297,6 +305,9 @@ impl Wire for LiveSample {
         self.exchange_bytes.encode(out)?;
         self.sampler_rebuilds.encode(out)?;
         self.sampler_rebuild_cost.encode(out)?;
+        self.segments_spliced.encode(out)?;
+        self.stitch_pool_dry.encode(out)?;
+        self.stitch_fallback_steps.encode(out)?;
         for ns in &self.phase_ns {
             ns.encode(out)?;
         }
@@ -309,6 +320,9 @@ impl Wire for LiveSample {
         let exchange_bytes = u64::decode(input)?;
         let sampler_rebuilds = u64::decode(input)?;
         let sampler_rebuild_cost = u64::decode(input)?;
+        let segments_spliced = u64::decode(input)?;
+        let stitch_pool_dry = u64::decode(input)?;
+        let stitch_fallback_steps = u64::decode(input)?;
         let mut phase_ns = [0u64; 10];
         for ns in &mut phase_ns {
             *ns = u64::decode(input)?;
@@ -320,6 +334,9 @@ impl Wire for LiveSample {
             exchange_bytes,
             sampler_rebuilds,
             sampler_rebuild_cost,
+            segments_spliced,
+            stitch_pool_dry,
+            stitch_fallback_steps,
             phase_ns,
         })
     }
@@ -658,6 +675,9 @@ impl<'g, P: WalkerProgram> RandomWalkEngine<'g, P> {
                     exchange_bytes: prof.exchange_bytes_total(),
                     sampler_rebuilds: metrics.sampler_rebuilds,
                     sampler_rebuild_cost: metrics.sampler_rebuild_cost,
+                    segments_spliced: metrics.segments_spliced,
+                    stitch_pool_dry: metrics.stitch_pool_dry,
+                    stitch_fallback_steps: metrics.stitch_fallback_steps,
                     phase_ns: prof.phase_ns_totals(),
                 },
             };
@@ -950,6 +970,9 @@ mod tests {
                 exchange_bytes: 4096,
                 sampler_rebuilds: 11,
                 sampler_rebuild_cost: 57,
+                segments_spliced: 13,
+                stitch_pool_dry: 2,
+                stitch_fallback_steps: 6,
                 phase_ns: [1, 2, 3, 4, 5, 6, 7, 8, 9, 10],
             },
         };

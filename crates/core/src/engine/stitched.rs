@@ -1,0 +1,435 @@
+//! Stitched execution: answering long first-order walks by splicing
+//! precomputed segments instead of stepping.
+//!
+//! The MPC literature ("Walking Randomly, Massively, and Efficiently")
+//! observes that a long random walk can be assembled from short
+//! *independent* segments: for a first-order walk, a precomputed segment
+//! starting at vertex `v` is a distribution-faithful sample of the walk
+//! measure from `v`, so following one to its end and continuing with a
+//! fresh segment from the endpoint composes exactly — provided no
+//! segment is ever used twice (reuse would correlate trajectories).
+//!
+//! [`StitchedDriver`] is the serving half of that idea. It consumes
+//! segments from a [`SegmentSource`] (the pool lives in
+//! `knightking-stitch`; the trait keeps the dependency arrow pointing at
+//! this crate) and **falls back to exact stepping** whenever a vertex's
+//! pool runs dry, so results degrade toward the exact walk, never toward
+//! garbage. The fallback samples the same static distribution the batch
+//! engine would — an O(degree) CDF scan over `Ps` at the walker's pinned
+//! epoch, which stays correct under dynamic updates with zero sampler
+//! maintenance (dry vertices are the rare path by construction).
+//!
+//! Only programs that declare [`WalkerProgram::STITCHABLE`] may run
+//! here; second-order programs get a typed [`StitchError`] naming them
+//! at construction, before any pool or graph work happens.
+
+use std::time::Instant;
+
+use knightking_graph::VertexId;
+use knightking_sampling::CdfTable;
+
+use crate::graphref::GraphRef;
+use crate::metrics::WalkMetrics;
+use crate::program::WalkerProgram;
+use crate::result::WalkResult;
+use crate::walker::Walker;
+
+/// A supply of precomputed, single-use walk segments.
+///
+/// `take` hands out a segment *starting at `v`* that is valid at `epoch`
+/// (built at or before it, not invalidated by any update at or before
+/// it), marking it consumed. A segment is the sequence of vertices
+/// *after* `v` — splicing appends it verbatim. Returning `None` means
+/// the pool is dry at `v` and the caller must step exactly.
+///
+/// Implementations must never return an empty segment: a zero-length
+/// splice makes no progress and would loop the driver forever.
+pub trait SegmentSource {
+    /// Takes one unconsumed segment from `v` valid at `epoch`.
+    fn take(&mut self, v: VertexId, epoch: u64) -> Option<&[VertexId]>;
+}
+
+/// Why a program cannot run under stitched execution. Produced at
+/// construction/validation time — never mid-walk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StitchError {
+    /// The program is second-order: its transition law reads the
+    /// previous vertex, which independent per-vertex segments cannot
+    /// preserve across a splice boundary.
+    SecondOrder {
+        /// The program's [`WalkerProgram::NAME`].
+        program: &'static str,
+    },
+    /// The program's transitions consult walker state (restart origin,
+    /// meta-path scheme, dynamic component), so precomputed segments
+    /// would not be distribution-faithful for it.
+    NotStitchable {
+        /// The program's [`WalkerProgram::NAME`].
+        program: &'static str,
+    },
+}
+
+impl std::fmt::Display for StitchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StitchError::SecondOrder { program } => write!(
+                f,
+                "program '{program}' is second-order: its transitions depend on the \
+                 previous vertex, which segment splicing cannot preserve; run it \
+                 without --stitch"
+            ),
+            StitchError::NotStitchable { program } => write!(
+                f,
+                "program '{program}' consults walker state when choosing edges, so \
+                 precomputed segments are not distribution-faithful for it; run it \
+                 without --stitch"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StitchError {}
+
+/// Checks `P` against the stitchability contract without needing a graph
+/// or a pool — what the CLI calls at argument-parse time.
+///
+/// # Errors
+///
+/// [`StitchError::SecondOrder`] for second-order programs (the sharper
+/// diagnosis), [`StitchError::NotStitchable`] otherwise.
+pub fn stitch_support<P: WalkerProgram>() -> Result<(), StitchError> {
+    if P::SECOND_ORDER {
+        Err(StitchError::SecondOrder { program: P::NAME })
+    } else if !P::STITCHABLE {
+        Err(StitchError::NotStitchable { program: P::NAME })
+    } else {
+        Ok(())
+    }
+}
+
+/// The stitched execution engine: one walker at a time, splicing pool
+/// segments and stepping exactly where the pool is dry.
+///
+/// Deliberately sequential and single-node: a stitched query's work is
+/// O(fallback steps + splices), small by construction, and sequential
+/// consumption is what makes runs deterministic — the same pool state,
+/// epoch, and request seed always consume the same segments in the same
+/// order and draw the same fallback samples.
+pub struct StitchedDriver<'g, P: WalkerProgram> {
+    graph: GraphRef<'g>,
+    program: P,
+}
+
+impl<'g, P: WalkerProgram> StitchedDriver<'g, P> {
+    /// Creates a driver, validating the program's stitchability.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`stitch_support`]'s verdict.
+    pub fn new(graph: impl Into<GraphRef<'g>>, program: P) -> Result<Self, StitchError> {
+        stitch_support::<P>()?;
+        Ok(StitchedDriver {
+            graph: graph.into(),
+            program,
+        })
+    }
+
+    /// The graph this driver walks.
+    pub fn graph(&self) -> GraphRef<'g> {
+        self.graph
+    }
+
+    /// Runs one walker from each of `starts`, reading the graph at
+    /// `epoch` and consuming segments valid there. Paths are always
+    /// recorded (a stitched query exists to return them). Walker `i`'s
+    /// RNG stream derives from `(seed, i)` exactly as in the batch
+    /// engine; it drives termination coins and fallback sampling, while
+    /// spliced steps consume no request randomness at all.
+    pub fn run(
+        &self,
+        pool: &mut dyn SegmentSource,
+        starts: &[VertexId],
+        epoch: u64,
+        seed: u64,
+    ) -> WalkResult {
+        let t0 = Instant::now();
+        let g = self.graph.at(epoch);
+        let mut metrics = WalkMetrics::default();
+        let mut paths = Vec::with_capacity(starts.len());
+        let mut cdf_scratch: Vec<f64> = Vec::new();
+        for (i, &start) in starts.iter().enumerate() {
+            let id = i as u64;
+            let mut walker = Walker::new(id, start, seed, self.program.init_data(id, start));
+            walker.epoch = epoch;
+            let mut path = vec![start];
+            'walk: while !self.program.should_terminate(&mut walker) {
+                if let Some(seg) = pool.take(walker.current, epoch) {
+                    metrics.segments_spliced += 1;
+                    debug_assert!(
+                        !seg.is_empty(),
+                        "segment sources must not hand out empty segments"
+                    );
+                    for &dst in seg {
+                        walker.advance(dst);
+                        self.program.on_move(&g, &mut walker);
+                        path.push(dst);
+                        metrics.steps += 1;
+                        // Termination can land mid-segment; dropping the
+                        // tail is a prefix of a faithful sample, itself
+                        // faithful by the Markov property. The segment
+                        // stays consumed either way.
+                        if self.program.should_terminate(&mut walker) {
+                            break 'walk;
+                        }
+                    }
+                } else {
+                    metrics.stitch_pool_dry += 1;
+                    match self.exact_step(g, &mut walker, &mut cdf_scratch) {
+                        Some(dst) => {
+                            path.push(dst);
+                            metrics.steps += 1;
+                            metrics.stitch_fallback_steps += 1;
+                        }
+                        // Dead end (or zero static mass): the walk
+                        // finishes here, as it would in the batch engine.
+                        None => break 'walk,
+                    }
+                }
+            }
+            metrics.finished_walkers += 1;
+            paths.push(path);
+        }
+        WalkResult {
+            paths,
+            active_per_iteration: Vec::new(),
+            metrics,
+            comm: Default::default(),
+            elapsed: t0.elapsed(),
+            #[cfg(feature = "obs")]
+            profile: None,
+        }
+    }
+
+    /// One exact step: samples an out-edge of the walker's vertex from
+    /// the static distribution `Ps` at the pinned epoch, advances, and
+    /// returns the destination; `None` finishes the walk (no out-edges
+    /// or zero static mass, matching the batch engine's behavior).
+    fn exact_step(
+        &self,
+        g: GraphRef<'_>,
+        walker: &mut Walker<P::Data>,
+        cdf: &mut Vec<f64>,
+    ) -> Option<VertexId> {
+        let v = walker.current;
+        let deg = g.degree(v);
+        if deg == 0 {
+            return None;
+        }
+        cdf.clear();
+        let mut run = 0.0f64;
+        for i in 0..deg {
+            run += self.program.static_comp(&g, g.edge(v, i)).max(0.0);
+            cdf.push(run);
+        }
+        if run <= 0.0 {
+            return None;
+        }
+        let idx = CdfTable::sample_prepared(cdf, &mut walker.rng);
+        let dst = g.edge(v, idx).dst;
+        walker.advance(dst);
+        self.program.on_move(&g, walker);
+        Some(dst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knightking_graph::GraphBuilder;
+
+    /// A fixed-length unbiased first-order walk that opts into stitching.
+    struct Stitchy(u32);
+    impl WalkerProgram for Stitchy {
+        type Data = ();
+        type Query = ();
+        type Answer = ();
+        const DYNAMIC: bool = false;
+        const NAME: &'static str = "stitchy";
+        const STITCHABLE: bool = true;
+        fn init_data(&self, _id: u64, _start: VertexId) {}
+        fn should_terminate(&self, w: &mut Walker<()>) -> bool {
+            w.step >= self.0
+        }
+    }
+
+    /// A second-order stand-in.
+    struct TwoHop;
+    impl WalkerProgram for TwoHop {
+        type Data = ();
+        type Query = ();
+        type Answer = ();
+        const SECOND_ORDER: bool = true;
+        const NAME: &'static str = "twohop";
+        fn init_data(&self, _id: u64, _start: VertexId) {}
+        fn should_terminate(&self, w: &mut Walker<()>) -> bool {
+            w.step >= 2
+        }
+    }
+
+    /// A canned source: per-vertex queue of owned segments, the taken one
+    /// kept alive in a side buffer so `take` can return a borrow.
+    struct Queue {
+        per_vertex: Vec<Vec<Vec<VertexId>>>,
+        held: Vec<VertexId>,
+    }
+    impl Queue {
+        fn new(per_vertex: Vec<Vec<Vec<VertexId>>>) -> Self {
+            Queue {
+                per_vertex,
+                held: Vec::new(),
+            }
+        }
+    }
+    impl SegmentSource for Queue {
+        fn take(&mut self, v: VertexId, _epoch: u64) -> Option<&[VertexId]> {
+            let slot = &mut self.per_vertex[v as usize];
+            if slot.is_empty() {
+                return None;
+            }
+            self.held = slot.remove(0);
+            Some(&self.held)
+        }
+    }
+
+    fn ring(n: u32) -> knightking_graph::CsrGraph {
+        let mut b = GraphBuilder::directed(n as usize);
+        for v in 0..n {
+            b.add_edge(v, (v + 1) % n);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn second_order_programs_are_rejected_by_name() {
+        let g = ring(4);
+        let err = StitchedDriver::new(&g, TwoHop).err().unwrap();
+        assert_eq!(err, StitchError::SecondOrder { program: "twohop" });
+        assert!(err.to_string().contains("second-order"));
+        assert!(err.to_string().contains("twohop"));
+    }
+
+    #[test]
+    fn non_stitchable_programs_are_rejected_by_name() {
+        struct Plain;
+        impl WalkerProgram for Plain {
+            type Data = ();
+            type Query = ();
+            type Answer = ();
+            const NAME: &'static str = "plain";
+            fn init_data(&self, _id: u64, _start: VertexId) {}
+            fn should_terminate(&self, w: &mut Walker<()>) -> bool {
+                w.step >= 1
+            }
+        }
+        let g = ring(3);
+        let err = StitchedDriver::new(&g, Plain).err().unwrap();
+        assert_eq!(err, StitchError::NotStitchable { program: "plain" });
+        assert!(err.to_string().contains("plain"));
+    }
+
+    #[test]
+    fn splices_segments_and_counts_them() {
+        let g = ring(4);
+        let driver = StitchedDriver::new(&g, Stitchy(4)).unwrap();
+        // Vertex v holds one segment [v+1, v+2] on the ring.
+        let segs = (0..4u32)
+            .map(|v| vec![vec![(v + 1) % 4, (v + 2) % 4]])
+            .collect();
+        let mut pool = Queue::new(segs);
+        let result = driver.run(&mut pool, &[0], 0, 7);
+        assert_eq!(result.paths, vec![vec![0, 1, 2, 3, 0]]);
+        assert_eq!(result.metrics.segments_spliced, 2);
+        assert_eq!(result.metrics.steps, 4);
+        assert_eq!(result.metrics.stitch_pool_dry, 0);
+        assert_eq!(result.metrics.stitch_fallback_steps, 0);
+        assert_eq!(result.metrics.finished_walkers, 1);
+    }
+
+    #[test]
+    fn termination_mid_segment_truncates_the_splice() {
+        let g = ring(4);
+        let driver = StitchedDriver::new(&g, Stitchy(1)).unwrap();
+        let segs = (0..4u32)
+            .map(|v| vec![vec![(v + 1) % 4, (v + 2) % 4]])
+            .collect();
+        let mut pool = Queue::new(segs);
+        let result = driver.run(&mut pool, &[0], 0, 7);
+        assert_eq!(result.paths, vec![vec![0, 1]]);
+        assert_eq!(result.metrics.steps, 1);
+        assert_eq!(result.metrics.segments_spliced, 1);
+    }
+
+    #[test]
+    fn dry_pool_falls_back_to_exact_stepping() {
+        let g = ring(4);
+        let driver = StitchedDriver::new(&g, Stitchy(6)).unwrap();
+        // Empty pool everywhere: every step is an exact fallback. On a
+        // ring the walk is forced, so the path is still fully valid.
+        let mut pool = Queue::new(vec![Vec::new(); 4]);
+        let result = driver.run(&mut pool, &[0], 0, 7);
+        assert_eq!(result.paths, vec![vec![0, 1, 2, 3, 0, 1, 2]]);
+        assert_eq!(result.metrics.segments_spliced, 0);
+        assert_eq!(result.metrics.stitch_pool_dry, 6);
+        assert_eq!(result.metrics.stitch_fallback_steps, 6);
+        assert_eq!(result.metrics.steps, 6);
+    }
+
+    #[test]
+    fn dead_end_finishes_the_walk_without_a_fallback_step() {
+        // 0 -> 1, and 1 has no out-edges.
+        let mut b = GraphBuilder::directed(2);
+        b.add_edge(0, 1);
+        let g = b.build();
+        let driver = StitchedDriver::new(&g, Stitchy(10)).unwrap();
+        let mut pool = Queue::new(vec![Vec::new(); 2]);
+        let result = driver.run(&mut pool, &[0], 0, 3);
+        assert_eq!(result.paths, vec![vec![0, 1]]);
+        assert_eq!(
+            result.metrics.stitch_pool_dry, 2,
+            "dry at 0, then dry at the dead end"
+        );
+        assert_eq!(
+            result.metrics.stitch_fallback_steps, 1,
+            "the dead end took no step"
+        );
+    }
+
+    #[test]
+    fn weighted_fallback_samples_the_static_distribution() {
+        // 0 -> 1 has weight 0, 0 -> 2 weight 5: the fallback must never
+        // pick the zero-weight edge.
+        let mut b = GraphBuilder::directed(3).with_weights();
+        b.add_weighted_edge(0, 1, 0.0);
+        b.add_weighted_edge(0, 2, 5.0);
+        let g = b.build();
+        let driver = StitchedDriver::new(&g, Stitchy(1)).unwrap();
+        for seed in 0..64 {
+            let mut pool = Queue::new(vec![Vec::new(); 3]);
+            let result = driver.run(&mut pool, &[0], 0, seed);
+            assert_eq!(result.paths[0], vec![0, 2], "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn same_seed_and_pool_state_is_deterministic() {
+        let g = ring(5);
+        let driver = StitchedDriver::new(&g, Stitchy(8)).unwrap();
+        let segs: Vec<Vec<Vec<VertexId>>> = (0..5u32)
+            .map(|v| vec![vec![(v + 1) % 5, (v + 2) % 5]])
+            .collect();
+        let a = driver.run(&mut Queue::new(segs.clone()), &[0, 2, 4], 0, 99);
+        let b = driver.run(&mut Queue::new(segs), &[0, 2, 4], 0, 99);
+        assert_eq!(a.paths, b.paths);
+        assert_eq!(a.metrics, b.metrics);
+    }
+}

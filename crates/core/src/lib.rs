@@ -62,8 +62,9 @@ pub mod walker;
 
 pub use config::{CancelToken, SamplerBackend, StepEngine, WalkConfig, WalkerStarts};
 pub use engine::{
-    AdmitRequest, Directives, EpochUpdate, FinishedWalk, LiveSample, Msg, NoopDriver,
-    RandomWalkEngine, ServeDelta, ServeDriver, SpanEvent, SpanEventKind,
+    stitch_support, AdmitRequest, Directives, EpochUpdate, FinishedWalk, LiveSample, Msg,
+    NoopDriver, RandomWalkEngine, SegmentSource, ServeDelta, ServeDriver, SpanEvent, SpanEventKind,
+    StitchError, StitchedDriver,
 };
 pub use graphref::GraphRef;
 pub use metrics::WalkMetrics;

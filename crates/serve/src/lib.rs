@@ -61,6 +61,7 @@
 //!         seed: 7,
 //!         starts: StartSpec::Count(5),
 //!         deadline_ms: 0,
+//!         stitch: false,
 //!     });
 //!     let resp = rx.recv().unwrap();
 //!     assert_eq!(resp.status, Status::Ok);

@@ -30,8 +30,10 @@ pub const SERVE_MAGIC: [u8; 4] = *b"KKSV";
 /// Serve-protocol version, bumped on any wire change. Version 2 added
 /// [`Request::Update`] and [`Status::Updated`]; version 3 added
 /// [`Request::Stats`] and [`Status::Stats`]; version 4 added the tenant
-/// id to the hello and per-tenant counters to [`StatsReport`].
-pub const SERVE_VERSION: u16 = 4;
+/// id to the hello and per-tenant counters to [`StatsReport`]; version 5
+/// added [`WalkRequest::stitch`] and [`Status::Stitched`] for
+/// segment-pool approximate execution.
+pub const SERVE_VERSION: u16 = 5;
 
 /// Longest tenant id a hello may carry.
 pub const MAX_TENANT_LEN: usize = 64;
@@ -186,22 +188,34 @@ pub struct WalkRequest {
     /// none. An expired request's walkers are force-terminated and the
     /// response carries [`Status::DeadlineExceeded`].
     pub deadline_ms: u64,
+    /// Ask for stitched (segment-pool) execution: the service splices
+    /// precomputed segments instead of stepping, falling back to exact
+    /// steps where a pool runs dry, and answers with
+    /// [`Status::Stitched`]. Requires the service to hold a pool for the
+    /// served program; answered [`Status::Invalid`] otherwise. Stitched
+    /// requests stay pinned to their admission epoch like exact ones.
+    pub stitch: bool,
 }
 
 impl Wire for WalkRequest {
     fn wire_size(&self) -> usize {
-        self.seed.wire_size() + self.starts.wire_size() + self.deadline_ms.wire_size()
+        self.seed.wire_size()
+            + self.starts.wire_size()
+            + self.deadline_ms.wire_size()
+            + self.stitch.wire_size()
     }
     fn encode(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
         self.seed.encode(out)?;
         self.starts.encode(out)?;
-        self.deadline_ms.encode(out)
+        self.deadline_ms.encode(out)?;
+        self.stitch.encode(out)
     }
     fn decode(input: &mut &[u8]) -> io::Result<Self> {
         Ok(WalkRequest {
             seed: u64::decode(input)?,
             starts: StartSpec::decode(input)?,
             deadline_ms: u64::decode(input)?,
+            stitch: bool::decode(input)?,
         })
     }
 }
@@ -298,6 +312,16 @@ pub enum Status {
     },
     /// A live stats snapshot (the answer to [`Request::Stats`]).
     Stats(Box<StatsReport>),
+    /// The walk completed via stitched execution; the response carries
+    /// its paths. The counters report how much of the walk was spliced
+    /// from the segment pool versus stepped exactly, so clients can judge
+    /// the approximation at a glance.
+    Stitched {
+        /// Precomputed segments spliced into the walks.
+        segments_spliced: u64,
+        /// Exact steps taken where pools ran dry.
+        fallback_steps: u64,
+    },
 }
 
 impl Wire for Status {
@@ -308,6 +332,10 @@ impl Wire for Status {
             Status::Invalid(msg) => 4 + msg.len(),
             Status::Updated { epoch } => epoch.wire_size(),
             Status::Stats(r) => r.wire_size(),
+            Status::Stitched {
+                segments_spliced,
+                fallback_steps,
+            } => segments_spliced.wire_size() + fallback_steps.wire_size(),
         }
     }
     fn encode(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
@@ -331,6 +359,14 @@ impl Wire for Status {
             Status::Stats(r) => {
                 out.push(6);
                 r.encode(out)?;
+            }
+            Status::Stitched {
+                segments_spliced,
+                fallback_steps,
+            } => {
+                out.push(7);
+                segments_spliced.encode(out)?;
+                fallback_steps.encode(out)?;
             }
         }
         Ok(())
@@ -362,6 +398,10 @@ impl Wire for Status {
                 epoch: u64::decode(input)?,
             }),
             6 => Ok(Status::Stats(Box::new(StatsReport::decode(input)?))),
+            7 => Ok(Status::Stitched {
+                segments_spliced: u64::decode(input)?,
+                fallback_steps: u64::decode(input)?,
+            }),
             b => Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("wire: invalid Status tag {b}"),
@@ -487,11 +527,13 @@ mod tests {
             seed: 7,
             starts: StartSpec::Count(100),
             deadline_ms: 0,
+            stitch: false,
         }));
         round_trips(Request::Walk(WalkRequest {
             seed: u64::MAX,
             starts: StartSpec::Explicit(vec![0, 9, 3]),
             deadline_ms: 250,
+            stitch: true,
         }));
         round_trips(Request::Shutdown);
         round_trips(Request::Update(UpdateBatch {
@@ -556,6 +598,13 @@ mod tests {
         round_trips(WalkResponse {
             status: Status::Stats(Box::new(report)),
             paths: Vec::new(),
+        });
+        round_trips(WalkResponse {
+            status: Status::Stitched {
+                segments_spliced: 42,
+                fallback_steps: 7,
+            },
+            paths: vec![vec![0, 5, 2], vec![3]],
         });
     }
 

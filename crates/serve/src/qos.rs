@@ -261,6 +261,7 @@ mod tests {
                 seed: 0,
                 starts: StartSpec::Count(walkers),
                 deadline_ms: 0,
+                stitch: false,
             },
             enqueued: Instant::now(),
             responder: Responder::Callback(Box::new(|_| {})),

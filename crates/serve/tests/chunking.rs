@@ -189,6 +189,7 @@ fn one_byte_at_a_time_client_is_served_identically() {
             seed: 1,
             starts: StartSpec::Count(6),
             deadline_ms: 0,
+            stitch: false,
         }))
         .unwrap();
         write_frame(&mut bytes, tag::REQ, 9, &payload).unwrap();
@@ -216,6 +217,7 @@ fn coalesced_pipelined_requests_each_get_their_response() {
                 seed: seq,
                 starts: StartSpec::Count(3),
                 deadline_ms: 0,
+                stitch: false,
             }))
             .unwrap();
             write_frame(&mut bytes, tag::REQ, seq, &payload).unwrap();
@@ -264,6 +266,7 @@ fn half_open_connection_is_evicted_by_the_idle_timer() {
                 seed: 4,
                 starts: StartSpec::Count(2),
                 deadline_ms: 0,
+                stitch: false,
             }),
         )
         .unwrap();

@@ -87,6 +87,7 @@ fn served_updates_match_batch_on_materialized_graph() {
                 seed: 7,
                 starts: StartSpec::Explicit(starts.clone()),
                 deadline_ms: 0,
+                stitch: false,
             })
             .recv()
             .unwrap();
@@ -96,6 +97,7 @@ fn served_updates_match_batch_on_materialized_graph() {
                 seed: 31,
                 starts: StartSpec::Explicit(starts),
                 deadline_ms: 0,
+                stitch: false,
             })
             .recv()
             .unwrap();
@@ -137,6 +139,7 @@ fn in_flight_walks_pin_their_admission_epoch() {
             seed: 7,
             starts: StartSpec::Explicit(starts.clone()),
             deadline_ms: 0,
+            stitch: false,
         });
         // Wait for admission, then race the update against the walk.
         while client.stats().admitted < 1 {
@@ -149,6 +152,7 @@ fn in_flight_walks_pin_their_admission_epoch() {
                 seed: 7,
                 starts: StartSpec::Explicit(starts),
                 deadline_ms: 0,
+                stitch: false,
             })
             .recv()
             .unwrap();
@@ -280,6 +284,7 @@ fn tcp_two_rank_service_applies_updates_in_lockstep() {
                 seed: 7,
                 starts: StartSpec::Explicit(starts.clone()),
                 deadline_ms: 0,
+                stitch: false,
             }),
         )
         .unwrap();
@@ -296,6 +301,7 @@ fn tcp_two_rank_service_applies_updates_in_lockstep() {
                 seed: 31,
                 starts: StartSpec::Explicit(starts.clone()),
                 deadline_ms: 0,
+                stitch: false,
             }),
         )
         .unwrap();

@@ -132,6 +132,7 @@ fn radix_serve_matches_rebuilt_radix_across_compaction_thresholds() {
                         seed,
                         starts: StartSpec::Explicit(asker_starts.clone()),
                         deadline_ms: 0,
+                        stitch: false,
                     })
                     .recv()
                     .unwrap()
@@ -204,6 +205,7 @@ fn zero_mass_and_tombstoned_vertices_finish_walks_on_both_backends() {
                     seed: 31,
                     starts: StartSpec::Explicit(asker_starts),
                     deadline_ms: 0,
+                    stitch: false,
                 })
                 .recv()
                 .unwrap();
@@ -293,6 +295,7 @@ fn tcp_two_rank_radix_service_stays_byte_identical_under_churn() {
                 seed: 7,
                 starts: StartSpec::Explicit(starts.clone()),
                 deadline_ms: 0,
+                stitch: false,
             }),
         )
         .unwrap();
@@ -311,6 +314,7 @@ fn tcp_two_rank_radix_service_stays_byte_identical_under_churn() {
                 seed: 31,
                 starts: StartSpec::Explicit(starts.clone()),
                 deadline_ms: 0,
+                stitch: false,
             }),
         )
         .unwrap();
@@ -420,6 +424,7 @@ fn randomized_churn_stays_byte_identical_across_thresholds() {
                             seed,
                             starts: StartSpec::Explicit(asker_starts.clone()),
                             deadline_ms: 0,
+                            stitch: false,
                         })
                         .recv()
                         .unwrap()

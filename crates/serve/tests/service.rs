@@ -48,6 +48,7 @@ fn served_node2vec_matches_batch_byte_for_byte() {
             seed: 7,
             starts: StartSpec::Count(16),
             deadline_ms: 0,
+            stitch: false,
         });
         let resp = rx.recv().expect("service dropped the responder");
         client.shutdown();
@@ -78,11 +79,13 @@ fn served_walks_interleave_without_cross_talk() {
             seed: 7,
             starts: StartSpec::Count(10),
             deadline_ms: 0,
+            stitch: false,
         });
         let rx_b = client.submit(WalkRequest {
             seed: 31,
             starts: StartSpec::Explicit(vec![5, 5, 80]),
             deadline_ms: 0,
+            stitch: false,
         });
         let a = rx_a.recv().unwrap();
         let b = rx_b.recv().unwrap();
@@ -121,6 +124,7 @@ fn traced_request_is_byte_identical_and_leaves_spans() {
             seed: 7,
             starts: StartSpec::Count(16),
             deadline_ms: 0,
+            stitch: false,
         });
         let resp = rx.recv().expect("service dropped the responder");
         client.shutdown();
@@ -201,6 +205,7 @@ fn trace_sampling_traces_every_nth_request() {
                     seed: i,
                     starts: StartSpec::Count(2),
                     deadline_ms: 0,
+                    stitch: false,
                 })
             })
             .collect();
@@ -237,6 +242,7 @@ fn overflow_rejects_with_retry_after() {
         seed: 1,
         starts: StartSpec::Count(4),
         deadline_ms: 0,
+        stitch: false,
     };
     // Nothing is draining the queue yet, so the second submit overflows.
     let _rx_first = handle.submit(req());
@@ -268,6 +274,7 @@ fn expired_deadline_reports_deadline_exceeded() {
             seed: 3,
             starts: StartSpec::Count(4),
             deadline_ms: 50,
+            stitch: false,
         });
         let overdue = rx.recv().unwrap();
 
@@ -278,6 +285,7 @@ fn expired_deadline_reports_deadline_exceeded() {
             seed: 3,
             starts: StartSpec::Explicit(vec![0]),
             deadline_ms: 50,
+            stitch: false,
         });
         let after = rx.recv().unwrap();
         client.shutdown();
@@ -305,6 +313,7 @@ fn shutdown_drains_queued_requests() {
         seed: 42,
         starts: StartSpec::Count(6),
         deadline_ms: 0,
+        stitch: false,
     });
     // Shutdown lands before the service loop ever polls the queue.
     handle.shutdown();
@@ -320,6 +329,7 @@ fn shutdown_drains_queued_requests() {
             seed: 1,
             starts: StartSpec::Count(1),
             deadline_ms: 0,
+            stitch: false,
         })
         .recv()
         .unwrap();
@@ -338,6 +348,7 @@ fn invalid_start_names_the_offending_vertex() {
             seed: 1,
             starts: StartSpec::Explicit(vec![3, 7, 4096]),
             deadline_ms: 0,
+            stitch: false,
         });
         let bad = rx.recv().unwrap();
 
@@ -345,6 +356,7 @@ fn invalid_start_names_the_offending_vertex() {
             seed: 1,
             starts: StartSpec::Count(2),
             deadline_ms: 0,
+            stitch: false,
         });
         let good = rx.recv().unwrap();
         client.shutdown();
@@ -374,6 +386,7 @@ fn zero_walker_request_is_trivially_ok() {
             seed: 1,
             starts: StartSpec::Count(0),
             deadline_ms: 0,
+            stitch: false,
         });
         let resp = rx.recv().unwrap();
         client.shutdown();

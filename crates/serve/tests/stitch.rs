@@ -1,0 +1,203 @@
+//! Stitched-mode service tests: a pool-backed service answers stitch
+//! requests by splicing, marks them [`Status::Stitched`], refuses them
+//! without a pool, and leaves exact requests byte-identical.
+
+use std::thread;
+
+use knightking_core::{
+    GraphRef, RandomWalkEngine, WalkConfig, Walker, WalkerProgram, WalkerStarts,
+};
+use knightking_graph::gen;
+use knightking_serve::{ServiceConfig, StartSpec, Status, WalkRequest, WalkService};
+use knightking_stitch::{PoolConfig, SegmentPool};
+
+/// An unbiased fixed-length first-order walk — stitchable.
+#[derive(Clone)]
+struct Hops(u32);
+
+impl WalkerProgram for Hops {
+    type Data = ();
+    type Query = ();
+    type Answer = ();
+    const DYNAMIC: bool = false;
+    const STITCHABLE: bool = true;
+    const NAME: &'static str = "hops";
+
+    fn init_data(&self, _id: u64, _start: u32) {}
+    fn should_terminate(&self, w: &mut Walker<()>) -> bool {
+        w.step >= self.0
+    }
+}
+
+fn test_graph() -> knightking_graph::CsrGraph {
+    gen::uniform_degree(96, 6, gen::GenOptions::seeded(11))
+}
+
+/// A stitch request against a pool-backed service comes back
+/// `Status::Stitched` with splice counters set, every response path is a
+/// valid walk of the requested length, and an exact request served by the
+/// same process remains byte-identical to a batch run — stitching stays
+/// strictly opt-in even when a pool is loaded.
+#[test]
+fn stitched_requests_splice_and_exact_requests_stay_byte_identical() {
+    let graph = test_graph();
+    let walk_len = 24;
+
+    let pool = SegmentPool::build(
+        &graph,
+        &Hops(walk_len),
+        PoolConfig {
+            segments_per_vertex: 4,
+            segment_length: 8,
+            seed: 3,
+        },
+    )
+    .expect("pool build");
+
+    let batch = RandomWalkEngine::new(&graph, Hops(walk_len), WalkConfig::single_node(7))
+        .run(WalkerStarts::Count(16));
+
+    let (service, handle) = WalkService::new(ServiceConfig::default());
+    let client = handle.clone();
+    let asker = thread::spawn(move || {
+        let rx_stitched = client.submit(WalkRequest {
+            seed: 7,
+            starts: StartSpec::Count(12),
+            deadline_ms: 0,
+            stitch: true,
+        });
+        let rx_exact = client.submit(WalkRequest {
+            seed: 7,
+            starts: StartSpec::Count(16),
+            deadline_ms: 0,
+            stitch: false,
+        });
+        let stitched = rx_stitched.recv().expect("service dropped the responder");
+        let exact = rx_exact.recv().expect("service dropped the responder");
+        client.shutdown();
+        (stitched, exact)
+    });
+    service
+        .run_with_pool(
+            &graph,
+            Hops(walk_len),
+            WalkConfig::single_node(999),
+            Some(pool),
+        )
+        .expect("stitchable program");
+    let (stitched, exact) = asker.join().unwrap();
+
+    match stitched.status {
+        Status::Stitched {
+            segments_spliced,
+            fallback_steps,
+        } => {
+            assert!(
+                segments_spliced > 0,
+                "a fresh pool must contribute segments"
+            );
+            // The pool holds 4 segments of 8 steps per vertex; 12 walks of
+            // 24 steps may dip into fallback, but splices must dominate.
+            assert!(
+                segments_spliced * 8 >= fallback_steps,
+                "spliced work should dominate: {segments_spliced} segments vs {fallback_steps} fallback steps"
+            );
+        }
+        other => panic!("expected Status::Stitched, got {other:?}"),
+    }
+    let gref = GraphRef::from(&graph);
+    assert_eq!(stitched.paths.len(), 12);
+    for path in &stitched.paths {
+        assert_eq!(
+            path.len() as u32,
+            walk_len + 1,
+            "stitched walks run full length"
+        );
+        for pair in path.windows(2) {
+            assert!(
+                gref.has_edge(pair[0], pair[1]),
+                "spliced paths follow real edges"
+            );
+        }
+    }
+
+    assert_eq!(exact.status, Status::Ok);
+    assert_eq!(
+        exact.paths, batch.paths,
+        "exact requests must not see the pool"
+    );
+}
+
+/// Without a pool, a stitch request is refused with an actionable
+/// `Status::Invalid` — not silently downgraded to exact execution.
+#[test]
+fn stitch_requests_without_a_pool_are_refused() {
+    let graph = test_graph();
+
+    let (service, handle) = WalkService::new(ServiceConfig::default());
+    let client = handle.clone();
+    let asker = thread::spawn(move || {
+        let rx = client.submit(WalkRequest {
+            seed: 7,
+            starts: StartSpec::Count(4),
+            deadline_ms: 0,
+            stitch: true,
+        });
+        let resp = rx.recv().expect("service dropped the responder");
+        client.shutdown();
+        resp
+    });
+    service
+        .run_with_pool(&graph, Hops(10), WalkConfig::single_node(999), None)
+        .expect("no pool, nothing to validate");
+    let resp = asker.join().unwrap();
+
+    match resp.status {
+        Status::Invalid(msg) => {
+            assert!(
+                msg.contains("pool"),
+                "the refusal names the missing pool: {msg}"
+            )
+        }
+        other => panic!("expected Status::Invalid, got {other:?}"),
+    }
+    assert!(resp.paths.is_empty());
+}
+
+/// Stitched responses are deterministic: the same seed against the same
+/// pool state yields identical paths.
+#[test]
+fn stitched_requests_are_deterministic() {
+    let graph = test_graph();
+    let cfg = PoolConfig {
+        segments_per_vertex: 3,
+        segment_length: 6,
+        seed: 9,
+    };
+
+    let run_once = || {
+        let pool = SegmentPool::build(&graph, &Hops(18), cfg).expect("pool build");
+        let (service, handle) = WalkService::new(ServiceConfig::default());
+        let client = handle.clone();
+        let asker = thread::spawn(move || {
+            let rx = client.submit(WalkRequest {
+                seed: 41,
+                starts: StartSpec::Explicit(vec![1, 2, 3, 4, 5]),
+                deadline_ms: 0,
+                stitch: true,
+            });
+            let resp = rx.recv().expect("service dropped the responder");
+            client.shutdown();
+            resp
+        });
+        service
+            .run_with_pool(&graph, Hops(18), WalkConfig::single_node(999), Some(pool))
+            .expect("stitchable program");
+        asker.join().unwrap()
+    };
+
+    let a = run_once();
+    let b = run_once();
+    assert!(matches!(a.status, Status::Stitched { .. }));
+    assert_eq!(a.paths, b.paths, "same seed + same pool state = same walks");
+}

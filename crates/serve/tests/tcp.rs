@@ -71,6 +71,7 @@ fn tcp_served_query_matches_batch_and_shuts_down() {
                 seed: 7,
                 starts: StartSpec::Count(12),
                 deadline_ms: 0,
+                stitch: false,
             }),
         )
         .unwrap();
@@ -134,6 +135,7 @@ fn tcp_traced_query_gathers_spans_from_both_ranks() {
                 seed: 7,
                 starts: StartSpec::Count(12),
                 deadline_ms: 0,
+                stitch: false,
             }),
         )
         .unwrap();

@@ -1,0 +1,797 @@
+#![warn(missing_docs)]
+
+//! knightking-stitch: the segment pool behind stitched long-walk
+//! execution.
+//!
+//! A [`SegmentPool`] holds, for every vertex, up to K precomputed
+//! length-L walk segments sampled from the **static kernel** of a
+//! stitchable [`WalkerProgram`] — the same per-edge distribution the
+//! batch engine draws from, sampled by the batch engine itself
+//! ([`SegmentPool::build`] runs K deterministic `PerVertex` rounds).
+//! Because a first-order walk's future depends only on its current
+//! vertex, a segment starting at `v` is a faithful sample of the walk
+//! measure from `v`; the [`StitchedDriver`] answers a long-walk query by
+//! hopping segment-to-segment, consuming each at most once (reuse would
+//! correlate trajectories), and stepping exactly where a pool runs dry.
+//!
+//! Pools are **seed- and epoch-stamped**: the same `(graph, program,
+//! PoolConfig)` always builds byte-identical pools, and every segment
+//! carries a validity window `[pool.epoch, invalid_from)` in graph
+//! epochs. [`SegmentPool::invalidate`] closes that window for every
+//! segment passing through a vertex touched by a dynamic update —
+//! mirroring the engine's incremental sampler maintenance, but
+//! pessimistic: a touched vertex *anywhere* in a segment (start
+//! included) kills it, so stitched walks at the new epoch can never
+//! splice stale transitions. Requests pinned at older epochs keep using
+//! the segment.
+//!
+//! Pools serialize to the compact `KKPL` format ([`SegmentPool::save`] /
+//! [`SegmentPool::load`]); consumption and invalidation state is
+//! deliberately *not* persisted — a loaded pool is fresh.
+//!
+//! [`StitchedDriver`]: knightking_core::StitchedDriver
+//! [`WalkerProgram`]: knightking_core::WalkerProgram
+
+use std::collections::HashSet;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use knightking_core::{
+    stitch_support, GraphRef, RandomWalkEngine, SegmentSource, StitchError, UpdateBatch,
+    WalkConfig, Walker, WalkerProgram, WalkerStarts,
+};
+use knightking_graph::VertexId;
+
+/// First four bytes of a serialized pool ("KnightKing PooL").
+pub const POOL_MAGIC: [u8; 4] = *b"KKPL";
+
+/// Pool file-format version.
+pub const POOL_VERSION: u16 = 1;
+
+/// Shape of a segment pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolConfig {
+    /// Segments precomputed per vertex (K). Each build round contributes
+    /// one segment per vertex, so build cost is K batch runs.
+    pub segments_per_vertex: u32,
+    /// Steps per segment (L). A query of length `n` consumes about
+    /// `n / L` segments, so larger L trades pool memory for fewer
+    /// splices.
+    pub segment_length: u32,
+    /// Pool seed. Round `j` runs the batch engine with a seed derived
+    /// from `(seed, j)`, so pools are reproducible end to end.
+    pub seed: u64,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            segments_per_vertex: 4,
+            segment_length: 16,
+            seed: 1,
+        }
+    }
+}
+
+/// One segment's bookkeeping; the vertices live in the shared flat
+/// buffer.
+#[derive(Debug, Clone, Copy)]
+struct SegMeta {
+    /// Offset into [`SegmentPool::data`].
+    off: u64,
+    /// Entry count; never zero (dead-end starts produce no segment).
+    len: u32,
+    /// First graph epoch this segment is *stale* at: `u64::MAX` while
+    /// valid, the update's epoch once a touched vertex lies on it.
+    invalid_from: u64,
+    /// Whether a walk already spliced this segment.
+    consumed: bool,
+}
+
+/// A per-epoch pool of single-use walk segments.
+pub struct SegmentPool {
+    /// Graph epoch the segments were sampled at.
+    epoch: u64,
+    /// The seed the pool was built from.
+    seed: u64,
+    /// Configured K.
+    segments_per_vertex: u32,
+    /// Configured L.
+    segment_length: u32,
+    /// Vertex count of the graph the pool was built on.
+    vertex_count: u32,
+    /// Prefix index: vertex `v`'s segments are
+    /// `segs[seg_index[v]..seg_index[v + 1]]`.
+    seg_index: Vec<u64>,
+    segs: Vec<SegMeta>,
+    /// All segment vertices, flat.
+    data: Vec<VertexId>,
+}
+
+/// Summary counters for `kk pool info` and logs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolInfo {
+    /// Graph epoch the pool was sampled at.
+    pub epoch: u64,
+    /// Build seed.
+    pub seed: u64,
+    /// Configured segments per vertex (K).
+    pub segments_per_vertex: u32,
+    /// Configured segment length (L).
+    pub segment_length: u32,
+    /// Vertex count of the source graph.
+    pub vertex_count: u32,
+    /// Segments held (dead-end vertices contribute fewer than K).
+    pub segments: u64,
+    /// Total vertex entries across all segments.
+    pub entries: u64,
+    /// Segments already consumed by splices.
+    pub consumed: u64,
+    /// Segments invalidated by dynamic updates.
+    pub invalidated: u64,
+}
+
+/// The fixed-length program that samples segments: the target program's
+/// static kernel (`Ps` only — stitchable programs have no dynamic
+/// component by contract), terminated purely by step count.
+struct SegmentKernel<'p, P> {
+    inner: &'p P,
+    len: u32,
+}
+
+impl<P: WalkerProgram> WalkerProgram for SegmentKernel<'_, P> {
+    type Data = ();
+    type Query = ();
+    type Answer = ();
+    const DYNAMIC: bool = false;
+    const NAME: &'static str = "segment-kernel";
+    fn static_comp(&self, graph: &GraphRef<'_>, edge: knightking_graph::EdgeView) -> f64 {
+        self.inner.static_comp(graph, edge)
+    }
+    fn init_data(&self, _id: u64, _start: VertexId) {}
+    fn should_terminate(&self, walker: &mut Walker<()>) -> bool {
+        walker.step >= self.len
+    }
+}
+
+/// Derives round `j`'s engine seed from the pool seed — a SplitMix64
+/// finalizer, so rounds get decorrelated walker streams.
+fn round_seed(seed: u64, round: u32) -> u64 {
+    let mut z = seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(round as u64 + 1);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SegmentPool {
+    /// Builds a pool by running K deterministic one-walker-per-vertex
+    /// batch rounds of `program`'s static kernel over `graph` at its
+    /// pinned epoch. Dead-end starts (no out-edges, or zero static mass)
+    /// contribute no segment — an empty segment could never advance a
+    /// walk.
+    ///
+    /// Memory high-water mark is one round's paths (`|V| × (L + 1)`
+    /// vertex ids) on top of the accumulating pool.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-stitchable programs with the same typed
+    /// [`StitchError`] the driver raises.
+    pub fn build<'g, P: WalkerProgram>(
+        graph: impl Into<GraphRef<'g>>,
+        program: &P,
+        cfg: PoolConfig,
+    ) -> Result<SegmentPool, StitchError> {
+        stitch_support::<P>()?;
+        let graph: GraphRef<'g> = graph.into();
+        let epoch = graph.epoch();
+        let n = graph.vertex_count();
+        let mut per_vertex: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+        let mut lens: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for round in 0..cfg.segments_per_vertex {
+            let kernel = SegmentKernel {
+                inner: program,
+                len: cfg.segment_length,
+            };
+            let mut wcfg = WalkConfig::single_node(round_seed(cfg.seed, round));
+            wcfg.record_paths = true;
+            let result = RandomWalkEngine::new(graph, kernel, wcfg).run(WalkerStarts::PerVertex);
+            for (v, path) in result.paths.into_iter().enumerate() {
+                debug_assert_eq!(path.first().copied(), Some(v as VertexId));
+                if path.len() > 1 {
+                    per_vertex[v].extend_from_slice(&path[1..]);
+                    lens[v].push((path.len() - 1) as u32);
+                }
+            }
+        }
+        let mut seg_index = Vec::with_capacity(n + 1);
+        let mut segs = Vec::new();
+        let mut data = Vec::new();
+        seg_index.push(0u64);
+        for v in 0..n {
+            let mut off_in_v = 0usize;
+            for &len in &lens[v] {
+                segs.push(SegMeta {
+                    off: data.len() as u64,
+                    len,
+                    invalid_from: u64::MAX,
+                    consumed: false,
+                });
+                data.extend_from_slice(&per_vertex[v][off_in_v..off_in_v + len as usize]);
+                off_in_v += len as usize;
+            }
+            seg_index.push(segs.len() as u64);
+        }
+        Ok(SegmentPool {
+            epoch,
+            seed: cfg.seed,
+            segments_per_vertex: cfg.segments_per_vertex,
+            segment_length: cfg.segment_length,
+            vertex_count: n as u32,
+            seg_index,
+            segs,
+            data,
+        })
+    }
+
+    /// The graph epoch the pool was sampled at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Summary counters.
+    pub fn info(&self) -> PoolInfo {
+        PoolInfo {
+            epoch: self.epoch,
+            seed: self.seed,
+            segments_per_vertex: self.segments_per_vertex,
+            segment_length: self.segment_length,
+            vertex_count: self.vertex_count,
+            segments: self.segs.len() as u64,
+            entries: self.data.len() as u64,
+            consumed: self.segs.iter().filter(|s| s.consumed).count() as u64,
+            invalidated: self
+                .segs
+                .iter()
+                .filter(|s| s.invalid_from != u64::MAX)
+                .count() as u64,
+        }
+    }
+
+    /// Unconsumed segments of `v` still valid at `epoch` — what the
+    /// exhaustion tests count down.
+    pub fn remaining_at(&self, v: VertexId, epoch: u64) -> usize {
+        if epoch < self.epoch || (v as usize) >= self.vertex_count as usize {
+            return 0;
+        }
+        let range = self.seg_index[v as usize] as usize..self.seg_index[v as usize + 1] as usize;
+        self.segs[range]
+            .iter()
+            .filter(|s| !s.consumed && epoch < s.invalid_from)
+            .count()
+    }
+
+    /// Marks every segment passing through a vertex `batch` touches
+    /// (sources *and* destinations of adds, deletions, and reweights — a
+    /// safe overapproximation covering undirected mirrors) as stale from
+    /// `epoch` on. Requests pinned before `epoch` keep splicing them;
+    /// requests at or after it fall back to exact stepping there.
+    ///
+    /// O(pool entries) per batch — the pool-side analogue of the
+    /// engine's per-touched-vertex sampler maintenance, traded simpler
+    /// because invalidation is off the walk hot path.
+    pub fn invalidate(&mut self, batch: &UpdateBatch, epoch: u64) {
+        let mut touched: HashSet<VertexId> = HashSet::new();
+        for a in &batch.adds {
+            touched.insert(a.src);
+            touched.insert(a.dst);
+        }
+        for d in &batch.dels {
+            touched.insert(d.src);
+            touched.insert(d.dst);
+        }
+        for r in &batch.reweights {
+            touched.insert(r.src);
+            touched.insert(r.dst);
+        }
+        self.invalidate_vertices(&touched, epoch);
+    }
+
+    /// [`invalidate`](SegmentPool::invalidate) by explicit vertex set.
+    pub fn invalidate_vertices(&mut self, touched: &HashSet<VertexId>, epoch: u64) {
+        if touched.is_empty() {
+            return;
+        }
+        for v in 0..self.vertex_count as usize {
+            let start_touched = touched.contains(&(v as VertexId));
+            for i in self.seg_index[v] as usize..self.seg_index[v + 1] as usize {
+                let seg = self.segs[i];
+                if seg.invalid_from <= epoch {
+                    continue;
+                }
+                let body = &self.data[seg.off as usize..seg.off as usize + seg.len as usize];
+                if start_touched || body.iter().any(|x| touched.contains(x)) {
+                    self.segs[i].invalid_from = epoch;
+                }
+            }
+        }
+    }
+
+    /// Serializes the pool (KKPL v1). Consumption and invalidation state
+    /// is not persisted: a pool file is a reproducible artifact of its
+    /// build, and a loaded pool is fresh.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn write_to<W: Write>(&self, w: W) -> io::Result<()> {
+        let mut w = io::BufWriter::new(w);
+        w.write_all(&POOL_MAGIC)?;
+        w.write_all(&POOL_VERSION.to_le_bytes())?;
+        w.write_all(&0u16.to_le_bytes())?; // flags, reserved
+        w.write_all(&self.epoch.to_le_bytes())?;
+        w.write_all(&self.seed.to_le_bytes())?;
+        w.write_all(&self.segments_per_vertex.to_le_bytes())?;
+        w.write_all(&self.segment_length.to_le_bytes())?;
+        w.write_all(&self.vertex_count.to_le_bytes())?;
+        w.write_all(&(self.segs.len() as u64).to_le_bytes())?;
+        w.write_all(&(self.data.len() as u64).to_le_bytes())?;
+        for &ix in &self.seg_index {
+            w.write_all(&ix.to_le_bytes())?;
+        }
+        for seg in &self.segs {
+            w.write_all(&seg.len.to_le_bytes())?;
+        }
+        for &v in &self.data {
+            w.write_all(&v.to_le_bytes())?;
+        }
+        w.flush()
+    }
+
+    /// Deserializes a KKPL pool; the inverse of
+    /// [`write_to`](SegmentPool::write_to).
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` on a bad magic, unsupported version, or any
+    /// structural inconsistency (index not monotone, zero-length or
+    /// truncated segments); propagates I/O failures.
+    pub fn read_from<R: Read>(r: R) -> io::Result<SegmentPool> {
+        let mut r = io::BufReader::new(r);
+        let mut head = [0u8; 4];
+        r.read_exact(&mut head)?;
+        if head != POOL_MAGIC {
+            return Err(bad_data("not a segment pool: bad KKPL magic"));
+        }
+        let version = read_u16(&mut r)?;
+        if version != POOL_VERSION {
+            return Err(bad_data(format!(
+                "pool format version {version} not supported (want {POOL_VERSION})"
+            )));
+        }
+        let _flags = read_u16(&mut r)?;
+        let epoch = read_u64(&mut r)?;
+        let seed = read_u64(&mut r)?;
+        let segments_per_vertex = read_u32(&mut r)?;
+        let segment_length = read_u32(&mut r)?;
+        let vertex_count = read_u32(&mut r)?;
+        let n_segs = read_u64(&mut r)? as usize;
+        let n_entries = read_u64(&mut r)? as usize;
+        let mut seg_index = Vec::with_capacity(vertex_count as usize + 1);
+        for _ in 0..=vertex_count {
+            seg_index.push(read_u64(&mut r)?);
+        }
+        if seg_index.first() != Some(&0)
+            || seg_index.last() != Some(&(n_segs as u64))
+            || seg_index.windows(2).any(|w| w[0] > w[1])
+        {
+            return Err(bad_data("pool segment index is not a monotone prefix sum"));
+        }
+        let mut segs = Vec::with_capacity(n_segs);
+        let mut off = 0u64;
+        for _ in 0..n_segs {
+            let len = read_u32(&mut r)?;
+            if len == 0 {
+                return Err(bad_data("pool holds a zero-length segment"));
+            }
+            segs.push(SegMeta {
+                off,
+                len,
+                invalid_from: u64::MAX,
+                consumed: false,
+            });
+            off += len as u64;
+        }
+        if off != n_entries as u64 {
+            return Err(bad_data(
+                "pool segment lengths disagree with the entry count",
+            ));
+        }
+        let mut data = Vec::with_capacity(n_entries);
+        for _ in 0..n_entries {
+            let v = read_u32(&mut r)?;
+            if v >= vertex_count {
+                return Err(bad_data(format!(
+                    "pool entry {v} is outside the {vertex_count}-vertex graph"
+                )));
+            }
+            data.push(v);
+        }
+        Ok(SegmentPool {
+            epoch,
+            seed,
+            segments_per_vertex,
+            segment_length,
+            vertex_count,
+            seg_index,
+            segs,
+            data,
+        })
+    }
+
+    /// [`write_to`](SegmentPool::write_to) a file path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        self.write_to(std::fs::File::create(path)?)
+    }
+
+    /// [`read_from`](SegmentPool::read_from) a file path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and format failures.
+    pub fn load<P: AsRef<Path>>(path: P) -> io::Result<SegmentPool> {
+        Self::read_from(std::fs::File::open(path)?)
+    }
+}
+
+impl SegmentSource for SegmentPool {
+    /// Hands out the first unconsumed segment of `v` whose validity
+    /// window covers `epoch`, marking it consumed. First-fit over K
+    /// slots: deterministic, and requests pinned at older epochs can
+    /// still use segments newer requests must skip.
+    fn take(&mut self, v: VertexId, epoch: u64) -> Option<&[VertexId]> {
+        if epoch < self.epoch || (v as usize) >= self.vertex_count as usize {
+            return None;
+        }
+        let range = self.seg_index[v as usize] as usize..self.seg_index[v as usize + 1] as usize;
+        for i in range {
+            let seg = &mut self.segs[i];
+            if !seg.consumed && epoch < seg.invalid_from {
+                seg.consumed = true;
+                let (off, len) = (seg.off as usize, seg.len as usize);
+                return Some(&self.data[off..off + len]);
+            }
+        }
+        None
+    }
+}
+
+fn bad_data(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+fn read_u16<R: Read>(r: &mut R) -> io::Result<u16> {
+    let mut b = [0u8; 2];
+    r.read_exact(&mut b)?;
+    Ok(u16::from_le_bytes(b))
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knightking_core::{DynConfig, DynGraph, StitchedDriver};
+    use knightking_graph::{gen, GraphBuilder};
+
+    /// The test-local stitchable fixed-length walk.
+    struct Stitchy(u32);
+    impl WalkerProgram for Stitchy {
+        type Data = ();
+        type Query = ();
+        type Answer = ();
+        const DYNAMIC: bool = false;
+        const NAME: &'static str = "stitchy";
+        const STITCHABLE: bool = true;
+        fn init_data(&self, _id: u64, _start: VertexId) {}
+        fn should_terminate(&self, w: &mut Walker<()>) -> bool {
+            w.step >= self.0
+        }
+    }
+
+    fn pool_bytes(p: &SegmentPool) -> Vec<u8> {
+        let mut out = Vec::new();
+        p.write_to(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn build_is_deterministic_and_shaped() {
+        let g = gen::uniform_degree(40, 5, gen::GenOptions::seeded(3));
+        let cfg = PoolConfig {
+            segments_per_vertex: 3,
+            segment_length: 7,
+            seed: 42,
+        };
+        let a = SegmentPool::build(&g, &Stitchy(0), cfg).unwrap();
+        let b = SegmentPool::build(&g, &Stitchy(0), cfg).unwrap();
+        assert_eq!(pool_bytes(&a), pool_bytes(&b));
+        let info = a.info();
+        assert_eq!(info.vertex_count, 40);
+        assert_eq!(info.segments, 3 * 40, "no dead ends in this graph");
+        assert_eq!(info.entries, 3 * 40 * 7);
+        assert_eq!(info.consumed, 0);
+        // A different seed builds a different pool.
+        let c = SegmentPool::build(&g, &Stitchy(0), PoolConfig { seed: 43, ..cfg }).unwrap();
+        assert_ne!(pool_bytes(&a), pool_bytes(&c));
+    }
+
+    #[test]
+    fn segments_start_where_they_claim_and_follow_edges() {
+        let g = gen::uniform_degree(30, 4, gen::GenOptions::seeded(9));
+        let mut pool = SegmentPool::build(&g, &Stitchy(0), PoolConfig::default()).unwrap();
+        let gr = GraphRef::from(&g);
+        for v in 0..30u32 {
+            while let Some(seg) = pool.take(v, 0).map(|s| s.to_vec()) {
+                let mut at = v;
+                for &next in &seg {
+                    assert!(
+                        gr.has_edge(at, next),
+                        "segment uses a non-edge {at}->{next}"
+                    );
+                    at = next;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dead_ends_produce_no_segments() {
+        let mut b = GraphBuilder::directed(3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        // 2 has no out-edges.
+        let g = b.build();
+        let mut pool = SegmentPool::build(&g, &Stitchy(0), PoolConfig::default()).unwrap();
+        assert_eq!(pool.remaining_at(2, 0), 0);
+        assert_eq!(pool.take(2, 0), None);
+        assert!(pool.remaining_at(0, 0) > 0);
+    }
+
+    #[test]
+    fn take_consumes_each_segment_once_and_gates_on_epoch() {
+        let g = gen::uniform_degree(10, 3, gen::GenOptions::seeded(1));
+        let cfg = PoolConfig {
+            segments_per_vertex: 2,
+            segment_length: 4,
+            seed: 5,
+        };
+        let mut pool = SegmentPool::build(&g, &Stitchy(0), cfg).unwrap();
+        assert_eq!(pool.remaining_at(0, 0), 2);
+        assert!(pool.take(0, 0).is_some());
+        assert!(pool.take(0, 0).is_some());
+        assert_eq!(pool.take(0, 0), None, "K segments, K takes");
+        assert_eq!(pool.info().consumed, 2);
+        // Out-of-range vertex and pre-pool epochs are dry, not a panic.
+        assert_eq!(pool.take(99, 0), None);
+        let dyn_pool_epoch = {
+            // A pool stamped at epoch 2 refuses epoch-1 requests.
+            let d = DynGraph::new(
+                gen::uniform_degree(10, 3, gen::GenOptions::seeded(1)),
+                DynConfig::default(),
+            );
+            d.apply(&UpdateBatch::default()).unwrap();
+            d.apply(&UpdateBatch::default()).unwrap();
+            SegmentPool::build(&d, &Stitchy(0), cfg).unwrap()
+        };
+        assert_eq!(dyn_pool_epoch.epoch(), 2);
+        let mut p = dyn_pool_epoch;
+        assert_eq!(p.take(0, 1), None);
+        assert!(p.take(0, 2).is_some());
+    }
+
+    #[test]
+    fn save_load_round_trips_and_loads_fresh() {
+        let g = gen::uniform_degree(25, 4, gen::GenOptions::seeded(7));
+        let mut pool = SegmentPool::build(&g, &Stitchy(0), PoolConfig::default()).unwrap();
+        let bytes = pool_bytes(&pool);
+        // Consume and invalidate, then serialize again: state is not
+        // persisted, so the bytes are unchanged.
+        pool.take(0, 0);
+        pool.invalidate_vertices(&HashSet::from([3u32]), 1);
+        assert_eq!(pool_bytes(&pool), bytes);
+        let loaded = SegmentPool::read_from(&bytes[..]).unwrap();
+        assert_eq!(pool_bytes(&loaded), bytes);
+        let info = loaded.info();
+        assert_eq!(info.consumed, 0);
+        assert_eq!(info.invalidated, 0);
+        assert_eq!(info.epoch, 0);
+        assert_eq!(info.seed, PoolConfig::default().seed);
+    }
+
+    #[test]
+    fn load_rejects_corrupt_pools() {
+        let g = gen::uniform_degree(8, 2, gen::GenOptions::seeded(2));
+        let pool = SegmentPool::build(&g, &Stitchy(0), PoolConfig::default()).unwrap();
+        let bytes = pool_bytes(&pool);
+        assert!(SegmentPool::read_from(&bytes[..bytes.len() - 1]).is_err());
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'X';
+        assert!(SegmentPool::read_from(&bad_magic[..]).is_err());
+        let mut bad_version = bytes.clone();
+        bad_version[4] = 99;
+        assert!(SegmentPool::read_from(&bad_version[..]).is_err());
+    }
+
+    #[test]
+    fn non_stitchable_programs_cannot_build_pools() {
+        struct Plain;
+        impl WalkerProgram for Plain {
+            type Data = ();
+            type Query = ();
+            type Answer = ();
+            const NAME: &'static str = "plain";
+            fn init_data(&self, _id: u64, _start: VertexId) {}
+            fn should_terminate(&self, w: &mut Walker<()>) -> bool {
+                w.step >= 1
+            }
+        }
+        let g = gen::uniform_degree(4, 2, gen::GenOptions::seeded(1));
+        let err = SegmentPool::build(&g, &Plain, PoolConfig::default())
+            .err()
+            .unwrap();
+        assert_eq!(err, StitchError::NotStitchable { program: "plain" });
+    }
+
+    #[test]
+    fn invalidation_gates_by_epoch_and_spares_untouched_segments() {
+        // A two-community graph: vertices 0..5 form a clique, 5..10 form
+        // a clique; segments from one side never cross.
+        let mut b = GraphBuilder::directed(10);
+        for side in [0u32, 5] {
+            for u in side..side + 5 {
+                for w in side..side + 5 {
+                    if u != w {
+                        b.add_edge(u, w);
+                    }
+                }
+            }
+        }
+        let g = b.build();
+        let cfg = PoolConfig {
+            segments_per_vertex: 2,
+            segment_length: 5,
+            seed: 11,
+        };
+        let mut pool = SegmentPool::build(&g, &Stitchy(0), cfg).unwrap();
+        pool.invalidate_vertices(&HashSet::from([0u32]), 1);
+        // Epoch-0 requests still see everything.
+        assert_eq!(pool.remaining_at(0, 0), 2);
+        // Epoch-1 requests: side-A segments all pass through the clique
+        // (vertex 0 reachable in 5 steps with high probability — but at
+        // minimum vertex 0's own segments are dead), side-B untouched.
+        assert_eq!(
+            pool.remaining_at(0, 1),
+            0,
+            "segments FROM the touched vertex are stale"
+        );
+        assert_eq!(
+            pool.remaining_at(7, 1),
+            2,
+            "the other community is untouched"
+        );
+        assert!(pool.info().invalidated >= 2);
+    }
+
+    #[test]
+    fn exhaustion_falls_back_to_exact_steps_matching_the_counter() {
+        // Satellite: a trap vertex (self-loop only) with a walk far
+        // longer than K·L must fall back to exact stepping, produce a
+        // valid path, and count exactly the exact steps taken.
+        let mut b = GraphBuilder::directed(2);
+        b.add_edge(0, 1);
+        b.add_edge(1, 1); // trap: 1's only edge is the self-loop
+        let g = b.build();
+        let cfg = PoolConfig {
+            segments_per_vertex: 2,
+            segment_length: 3,
+            seed: 9,
+        };
+        let mut pool = SegmentPool::build(&g, &Stitchy(0), cfg).unwrap();
+        let walk_len = 40u32; // ≫ K·L = 6
+        let driver = StitchedDriver::new(&g, Stitchy(walk_len)).unwrap();
+        let result = driver.run(&mut pool, &[0], 0, 77);
+        // The path is fully valid: forced 0 -> 1, then the self-loop.
+        assert_eq!(result.paths[0].len() as u32, walk_len + 1);
+        assert_eq!(result.paths[0][0], 0);
+        assert!(result.paths[0][1..].iter().all(|&v| v == 1));
+        let m = result.metrics;
+        assert_eq!(m.steps, walk_len as u64);
+        assert!(
+            m.segments_spliced >= 1,
+            "the pool served its segments first"
+        );
+        assert!(m.stitch_pool_dry > 0, "exhaustion engaged");
+        let spliced_steps = m.steps - m.stitch_fallback_steps;
+        assert!(spliced_steps <= (cfg.segments_per_vertex * cfg.segment_length * 2) as u64);
+        // The fallback counter is exactly the exact steps taken: total
+        // steps minus what splices contributed.
+        assert_eq!(m.stitch_fallback_steps, walk_len as u64 - spliced_steps);
+        assert_eq!(
+            pool.remaining_at(1, 0),
+            0,
+            "the trap's pool is fully consumed"
+        );
+    }
+
+    #[test]
+    fn dynamic_invalidation_never_splices_stale_segments() {
+        // Satellite: after an update touches v, stitched walks at the
+        // new epoch never traverse an edge absent from
+        // materialize_at(new_epoch) — i.e. no stale segment through v is
+        // ever spliced even though the pool was built at epoch 0.
+        let mut b = GraphBuilder::directed(12);
+        // A ring 0->1->...->11->0 plus stride-2 chords so segments have
+        // branching to exercise.
+        for v in 0..12u32 {
+            b.add_edge(v, (v + 1) % 12);
+            b.add_edge(v, (v + 2) % 12);
+        }
+        let base = b.build();
+        let d = DynGraph::new(base, DynConfig::default());
+        // L = 2 keeps segments short enough that vertices far from the
+        // touched pair deterministically retain valid segments (every
+        // 2-step continuation from 4..=8 avoids vertices 2 and 3).
+        let cfg = PoolConfig {
+            segments_per_vertex: 3,
+            segment_length: 2,
+            seed: 13,
+        };
+        let mut pool = SegmentPool::build(&d, &Stitchy(0), cfg).unwrap();
+        // Remove ring edge 2->3: any old segment stepping 2->3 is stale
+        // at epoch 1, and invalidation kills every segment touching
+        // vertex 2 or 3 (a safe overapproximation).
+        let batch = UpdateBatch {
+            adds: vec![],
+            dels: vec![knightking_dyn::EdgeRef { src: 2, dst: 3 }],
+            reweights: vec![],
+        };
+        d.apply(&batch).unwrap();
+        pool.invalidate(&batch, d.epoch());
+        let reference = d.materialize_at(d.epoch());
+        let gr = GraphRef::from(&reference);
+        let driver = StitchedDriver::new(&d, Stitchy(24)).unwrap();
+        let starts: Vec<VertexId> = (0..12).collect();
+        let result = driver.run(&mut pool, &starts, d.epoch(), 1234);
+        for path in &result.paths {
+            for pair in path.windows(2) {
+                assert!(
+                    gr.has_edge(pair[0], pair[1]),
+                    "stitched walk used stale edge {}->{} absent at epoch {}",
+                    pair[0],
+                    pair[1],
+                    d.epoch()
+                );
+            }
+        }
+        assert!(
+            result.metrics.segments_spliced > 0,
+            "valid segments still splice"
+        );
+        assert!(result.metrics.stitch_pool_dry > 0, "stale pools fall back");
+    }
+}
